@@ -1,0 +1,256 @@
+//! FALL: Functional Analysis attacks on Logic Locking (Sirone &
+//! Subramanyan, TIFS 2020) — paper reference [5].
+//!
+//! The published attack derives the SFLL-HD key from functional
+//! properties of the perturb comparator. Its applicability is bounded by
+//! the lemmas it relies on:
+//!
+//! - **AnalyzeUnateness** applies only at `h = 0` (TTLock): the perturb
+//!   function has a single onset minterm — the key itself;
+//! - **Hamming2D** applies for `0 < h ≤ K/4`: the onset is the radius-`h`
+//!   shell around the key, whose centre is recovered by per-bit majority;
+//! - for `h > K/4` (in particular the paper's `K/h = 2` corner cases) the
+//!   lemmas do not hold and SlidingWindow's SAT calls are intractable —
+//!   the attack reports **0 keys**, exactly as Section V-D observes.
+
+use crate::structure::{key_pairing, trace_sfll_structure};
+use gnnunlock_locking::Key;
+use gnnunlock_netlist::{NetId, Netlist};
+use gnnunlock_sat::{assert_lit, encode_netlist, Lit, SolveResult, Solver};
+
+/// Result status of a FALL run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FallStatus {
+    /// A key was recovered and passed self-verification.
+    KeyFound,
+    /// No key reported, with the limiting reason (the paper's "reported 0
+    /// keys" outcomes).
+    NoKeys(String),
+}
+
+/// Outcome of a FALL attack.
+#[derive(Debug, Clone)]
+pub struct FallOutcome {
+    /// Status of the run.
+    pub status: FallStatus,
+    /// Recovered keys (empty on failure; FALL can report several
+    /// candidates, we return the verified one).
+    pub keys: Vec<Key>,
+}
+
+/// Maximum onset minterms enumerated by the Hamming2D stage.
+const ENUM_LIMIT: usize = 4096;
+
+/// Launch FALL against an SFLL-HD_h-locked netlist. The attacker knows
+/// `h` (paper Section III).
+pub fn fall_attack(nl: &Netlist, h: u32) -> FallOutcome {
+    let Some(structure) = trace_sfll_structure(nl) else {
+        return no_keys("protection structure not identified");
+    };
+    let k = structure.protected.len();
+    if h as usize > k {
+        return no_keys("h exceeds key size");
+    }
+    // Lemma applicability (published limitation).
+    if h > 0 && (h as usize) * 4 > k {
+        return no_keys(format!(
+            "h={h} > K/4={}: Hamming2D lemmas inapplicable, SlidingWindow intractable",
+            k / 4
+        ));
+    }
+    // Enumerate onset minterms of the perturb cone over the protected
+    // inputs.
+    let minterms = match enumerate_onset(nl, &structure.protected, structure.perturb_root) {
+        Ok(m) => m,
+        Err(e) => return no_keys(e),
+    };
+    let expected = binomial(k as u64, h as u64);
+    if minterms.len() as u64 != expected {
+        return no_keys(format!(
+            "onset size {} does not match C({k},{h}) = {expected}",
+            minterms.len()
+        ));
+    }
+    // Centre recovery: h = 0 → the single minterm; h > 0 → per-bit
+    // majority (valid for h < K/2, guaranteed by the h ≤ K/4 guard).
+    let center: Vec<bool> = if h == 0 {
+        minterms[0].clone()
+    } else {
+        (0..k)
+            .map(|i| {
+                let ones = minterms.iter().filter(|m| m[i]).count();
+                ones * 2 > minterms.len()
+            })
+            .collect()
+    };
+    // Self-verify: every minterm at Hamming distance exactly h.
+    for m in &minterms {
+        let dist = m.iter().zip(&center).filter(|(a, b)| a != b).count();
+        if dist != h as usize {
+            return no_keys("recovered centre inconsistent with onset");
+        }
+    }
+    // Map protected-input values to key-input order via the restore
+    // unit's first mixing layer.
+    let pairing = key_pairing(nl);
+    if pairing.len() != k {
+        return no_keys("could not pair key inputs with protected inputs");
+    }
+    let mut key_bits = vec![false; k];
+    for &(key_idx, pi) in &pairing {
+        let pos = structure.protected.iter().position(|&p| p == pi);
+        let Some(pos) = pos else {
+            return no_keys("pairing references unknown protected input");
+        };
+        if key_idx >= k {
+            return no_keys("key index out of range");
+        }
+        key_bits[key_idx] = center[pos];
+    }
+    FallOutcome {
+        status: FallStatus::KeyFound,
+        keys: vec![Key::from_bits(key_bits)],
+    }
+}
+
+fn no_keys(reason: impl Into<String>) -> FallOutcome {
+    FallOutcome {
+        status: FallStatus::NoKeys(reason.into()),
+        keys: Vec::new(),
+    }
+}
+
+/// All-SAT enumeration of the perturb cone's onset, projected onto the
+/// protected inputs.
+fn enumerate_onset(
+    nl: &Netlist,
+    protected: &[NetId],
+    root: gnnunlock_netlist::GateId,
+) -> Result<Vec<Vec<bool>>, String> {
+    let mut solver = Solver::new();
+    let enc = encode_netlist(&mut solver, nl, None);
+    let root_lit = enc
+        .net_lit(nl.gate_output(root))
+        .ok_or("perturb root not encoded")?;
+    assert_lit(&mut solver, root_lit, true);
+    let proj: Vec<Lit> = protected
+        .iter()
+        .map(|&p| {
+            enc.pi_lit(nl.net_name(p))
+                .ok_or("protected input not encoded")
+        })
+        .collect::<Result<_, _>>()?;
+    let mut minterms = Vec::new();
+    loop {
+        match solver.solve() {
+            SolveResult::Unsat => return Ok(minterms),
+            SolveResult::Sat => {
+                let m: Vec<bool> = proj
+                    .iter()
+                    .map(|&l| solver.model_lit(l).unwrap_or(false))
+                    .collect();
+                // Block this projection.
+                let block: Vec<Lit> = proj
+                    .iter()
+                    .zip(&m)
+                    .map(|(&l, &v)| if v { !l } else { l })
+                    .collect();
+                minterms.push(m);
+                if minterms.len() > ENUM_LIMIT {
+                    return Err(format!("onset larger than {ENUM_LIMIT}: enumeration aborted"));
+                }
+                solver.add_clause(&block);
+            }
+        }
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 0..k {
+        num *= (n - i) as u128;
+        den *= (i + 1) as u128;
+    }
+    (num / den).min(u64::MAX as u128) as u64
+}
+
+/// Check that a candidate key unlocks: the locked netlist under `key`
+/// must match it under the true key on random simulation (used by tests
+/// and the comparison harness; a real attacker would tape out).
+pub fn key_unlocks(
+    original: &Netlist,
+    locked: &Netlist,
+    key: &Key,
+    samples: usize,
+    seed: u64,
+) -> bool {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let n_pi = original.primary_inputs().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+        let a = original.eval_outputs(&pi, &[]);
+        let b = locked.eval_outputs(&pi, key.bits());
+        match (a, b) {
+            (Ok(a), Ok(b)) if a == b => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_locking::{lock_sfll_hd, lock_ttlock, SfllConfig};
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 2), 45);
+        assert_eq!(binomial(32, 16), 601_080_390);
+    }
+
+    #[test]
+    fn breaks_ttlock() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_ttlock(&design, 10, 11).unwrap();
+        let out = fall_attack(&locked.netlist, 0);
+        assert_eq!(out.status, FallStatus::KeyFound, "{:?}", out.status);
+        assert_eq!(out.keys[0], locked.key, "wrong key recovered");
+    }
+
+    #[test]
+    fn breaks_sfll_hd2_small_h() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 12)).unwrap();
+        let out = fall_attack(&locked.netlist, 2);
+        assert_eq!(out.status, FallStatus::KeyFound, "{:?}", out.status);
+        assert_eq!(out.keys[0], locked.key);
+        assert!(key_unlocks(&design, &locked.netlist, &out.keys[0], 50, 1));
+    }
+
+    #[test]
+    fn reports_zero_keys_at_k_over_h_2() {
+        // The paper's corner case: K/h = 2 defeats FALL.
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 8, 13)).unwrap();
+        let out = fall_attack(&locked.netlist, 8);
+        assert!(matches!(out.status, FallStatus::NoKeys(_)));
+        assert!(out.keys.is_empty());
+    }
+
+    #[test]
+    fn fails_gracefully_on_unlocked_design() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let out = fall_attack(&design, 2);
+        assert!(matches!(out.status, FallStatus::NoKeys(_)));
+    }
+}

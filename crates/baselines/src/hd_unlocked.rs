@@ -1,0 +1,193 @@
+//! SFLL-HD-Unlocked (Yang, Talpin et al., TIFS 2019) — paper reference
+//! [4].
+//!
+//! The published attack traces the restore unit through key-input
+//! connectivity, then recovers the hard-coded key from the perturb
+//! adder-comparator via Gaussian elimination. Its published failure
+//! modes, both reproduced here:
+//!
+//! - for small `h` (≤ 4) the constructed matrices are singular
+//!   ("the attack does not work when h ≤ 4 due to the composition of
+//!   singular matrices");
+//! - for `K/h = 2` the per-bit majority signal of the onset vanishes
+//!   (`P(xᵢ ≠ kᵢ | onset) = h/K = 1/2`), so the linear recovery cannot
+//!   identify the perturb key — Section V-D's "failed to identify the
+//!   perturb signals".
+
+use crate::structure::{eval_cone_batch, key_pairing, trace_sfll_structure};
+use gnnunlock_locking::Key;
+use gnnunlock_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Terminal status of an SFLL-HD-Unlocked run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdUnlockedStatus {
+    /// Key recovered and self-verified.
+    Success,
+    /// Published small-`h` limitation: singular matrices.
+    SingularMatrix,
+    /// The linear system carries no majority signal (K/h = 2 corner) or
+    /// sampling found no usable onset.
+    PerturbNotIdentified,
+    /// The restore/perturb structure could not be traced.
+    StructureNotFound,
+}
+
+/// Outcome of the attack.
+#[derive(Debug, Clone)]
+pub struct HdUnlockedOutcome {
+    /// Terminal status.
+    pub status: HdUnlockedStatus,
+    /// Recovered key on success.
+    pub key: Option<Key>,
+}
+
+/// Random samples drawn when probing the perturb onset.
+const SAMPLE_BUDGET: usize = 200_000;
+/// Minimum onset hits required for the linear recovery.
+const MIN_HITS: usize = 48;
+
+/// Launch the attack on an SFLL-HD_h-locked netlist (the attacker knows
+/// `h`).
+pub fn hd_unlocked_attack(nl: &Netlist, h: u32, seed: u64) -> HdUnlockedOutcome {
+    let Some(structure) = trace_sfll_structure(nl) else {
+        return HdUnlockedOutcome {
+            status: HdUnlockedStatus::StructureNotFound,
+            key: None,
+        };
+    };
+    let k = structure.protected.len();
+    // Published limitation: Gaussian elimination degenerates for small h.
+    if h <= 4 {
+        return HdUnlockedOutcome {
+            status: HdUnlockedStatus::SingularMatrix,
+            key: None,
+        };
+    }
+    // Sample the perturb cone for onset minterms.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits: Vec<Vec<bool>> = Vec::new();
+    let batch = 4096;
+    let mut drawn = 0;
+    while drawn < SAMPLE_BUDGET && hits.len() < 4 * MIN_HITS {
+        let assignments: Vec<Vec<bool>> = (0..batch)
+            .map(|_| (0..k).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        let outs = eval_cone_batch(nl, structure.perturb_root, &structure.protected, &assignments);
+        for (row, hit) in assignments.into_iter().zip(outs) {
+            if hit {
+                hits.push(row);
+            }
+        }
+        drawn += batch;
+    }
+    if hits.len() < MIN_HITS {
+        return HdUnlockedOutcome {
+            status: HdUnlockedStatus::PerturbNotIdentified,
+            key: None,
+        };
+    }
+    // Linear recovery: majority vote per protected bit. The signal margin
+    // is 1 - 2h/K; at K/h = 2 it is zero and the system is unsolvable.
+    let n = hits.len();
+    let mut center = vec![false; k];
+    for (i, c) in center.iter_mut().enumerate() {
+        let ones = hits.iter().filter(|m| m[i]).count();
+        let frac = ones as f64 / n as f64;
+        if (frac - 0.5).abs() < 0.5 * (1.0 - 2.0 * h as f64 / k as f64).max(0.15) * 0.5 {
+            // Ambiguous bit: no dominant value.
+            return HdUnlockedOutcome {
+                status: HdUnlockedStatus::PerturbNotIdentified,
+                key: None,
+            };
+        }
+        *c = frac > 0.5;
+    }
+    // Self-verification: sampled onset minterms must sit at HD exactly h
+    // from the centre.
+    for m in hits.iter().take(64) {
+        let dist = m.iter().zip(&center).filter(|(a, b)| a != b).count();
+        if dist != h as usize {
+            return HdUnlockedOutcome {
+                status: HdUnlockedStatus::PerturbNotIdentified,
+                key: None,
+            };
+        }
+    }
+    // Map to key order.
+    let pairing = key_pairing(nl);
+    if pairing.len() != k {
+        return HdUnlockedOutcome {
+            status: HdUnlockedStatus::PerturbNotIdentified,
+            key: None,
+        };
+    }
+    let mut key_bits = vec![false; k];
+    for &(key_idx, pi) in &pairing {
+        let Some(pos) = structure.protected.iter().position(|&p| p == pi) else {
+            return HdUnlockedOutcome {
+                status: HdUnlockedStatus::PerturbNotIdentified,
+                key: None,
+            };
+        };
+        if key_idx >= k {
+            return HdUnlockedOutcome {
+                status: HdUnlockedStatus::PerturbNotIdentified,
+                key: None,
+            };
+        }
+        key_bits[key_idx] = center[pos];
+    }
+    HdUnlockedOutcome {
+        status: HdUnlockedStatus::Success,
+        key: Some(Key::from_bits(key_bits)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_locking::{lock_sfll_hd, lock_ttlock, SfllConfig};
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    #[test]
+    fn succeeds_for_mid_range_h() {
+        // K=24, h=6: h > 4 and h/K = 0.25 < 0.5 — the attack's sweet spot.
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(24, 6, 21)).unwrap();
+        let out = hd_unlocked_attack(&locked.netlist, 6, 1);
+        assert_eq!(out.status, HdUnlockedStatus::Success);
+        assert_eq!(out.key.unwrap(), locked.key);
+    }
+
+    #[test]
+    fn singular_matrices_for_small_h() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 22)).unwrap();
+        let out = hd_unlocked_attack(&locked.netlist, 2, 2);
+        assert_eq!(out.status, HdUnlockedStatus::SingularMatrix);
+        // TTLock likewise.
+        let tt = lock_ttlock(&design, 12, 23).unwrap();
+        let out = hd_unlocked_attack(&tt.netlist, 0, 3);
+        assert_eq!(out.status, HdUnlockedStatus::SingularMatrix);
+    }
+
+    #[test]
+    fn fails_at_k_over_h_2() {
+        // K=16, h=8: the majority signal is zero — perturb signals cannot
+        // be identified (paper Section V-D).
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 8, 24)).unwrap();
+        let out = hd_unlocked_attack(&locked.netlist, 8, 4);
+        assert_eq!(out.status, HdUnlockedStatus::PerturbNotIdentified);
+        assert!(out.key.is_none());
+    }
+
+    #[test]
+    fn structure_not_found_on_clean_design() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let out = hd_unlocked_attack(&design, 6, 5);
+        assert_eq!(out.status, HdUnlockedStatus::StructureNotFound);
+    }
+}

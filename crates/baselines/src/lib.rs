@@ -1,0 +1,39 @@
+//! Baseline attacks on (provably secure) logic locking, used by the
+//! paper's Table I capability matrix and the Section V-D comparison:
+//!
+//! - [`sps_attack`] — Signal Probability Skew removal attack on Anti-SAT
+//!   (scheme-specific: fails on SFLL/TTLock);
+//! - [`fall_attack`] — FALL functional analysis on SFLL-HD, with the
+//!   published `h ≤ K/4` applicability bound (reports 0 keys on the
+//!   `K/h = 2` corner cases);
+//! - [`hd_unlocked_attack`] — SFLL-HD-Unlocked connectivity + linear
+//!   recovery, with its published small-`h` and `K/h = 2` failures;
+//! - [`sat_attack`] — the oracle-guided SAT attack, demonstrating why
+//!   PSLL forces the oracle-less setting (exponential DIP counts).
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_baselines::{fall_attack, FallStatus};
+//! use gnnunlock_locking::lock_ttlock;
+//! use gnnunlock_netlist::generator::BenchmarkSpec;
+//!
+//! let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+//! let locked = lock_ttlock(&design, 10, 7).unwrap();
+//! let out = fall_attack(&locked.netlist, 0);
+//! assert_eq!(out.status, FallStatus::KeyFound);
+//! assert_eq!(out.keys[0], locked.key);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fall;
+mod hd_unlocked;
+mod sat_attack;
+mod sps;
+pub mod structure;
+
+pub use fall::{fall_attack, key_unlocks, FallOutcome, FallStatus};
+pub use hd_unlocked::{hd_unlocked_attack, HdUnlockedOutcome, HdUnlockedStatus};
+pub use sat_attack::{sat_attack, SatAttackOutcome};
+pub use sps::{sps_attack, SpsOutcome};

@@ -1,0 +1,194 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015) — paper
+//! reference [10].
+//!
+//! Included as the background baseline that motivates PSLL: conventional
+//! locking (RLL) falls within a handful of distinguishing input patterns
+//! (DIPs), while Anti-SAT/SFLL force an exponential number of DIP
+//! iterations — which is exactly why the oracle-less GNNUnlock setting
+//! matters.
+
+use gnnunlock_locking::Key;
+use gnnunlock_netlist::Netlist;
+use gnnunlock_sat::{
+    assert_lit, encode_netlist, or_lit, xor_lit, Lit, SolveResult, Solver,
+};
+use std::collections::HashMap;
+
+/// Result of a SAT attack run.
+#[derive(Debug, Clone)]
+pub struct SatAttackOutcome {
+    /// Recovered key, if the attack converged.
+    pub key: Option<Key>,
+    /// Number of DIP iterations performed.
+    pub iterations: usize,
+    /// `true` when the iteration cap was hit before convergence (the
+    /// PSLL-resilience signal).
+    pub resisted: bool,
+}
+
+/// Run the SAT attack on `locked`, using `oracle` (a function from a
+/// primary-input pattern to the correct outputs — i.e. an activated
+/// chip). Stops after `max_iterations` DIPs.
+///
+/// # Panics
+///
+/// Panics if the locked netlist is cyclic.
+pub fn sat_attack(
+    locked: &Netlist,
+    oracle: &dyn Fn(&[bool]) -> Vec<bool>,
+    max_iterations: usize,
+) -> SatAttackOutcome {
+    let mut solver = Solver::new();
+    // Two copies with shared PIs, independent keys.
+    let enc_a = encode_netlist(&mut solver, locked, None);
+    let shared: HashMap<String, Lit> = enc_a
+        .primary_inputs
+        .iter()
+        .map(|(n, l)| (n.clone(), *l))
+        .collect();
+    let enc_b = encode_netlist(&mut solver, locked, Some(&shared));
+    // Miter: some output differs.
+    let diffs: Vec<Lit> = enc_a
+        .outputs
+        .iter()
+        .zip(&enc_b.outputs)
+        .map(|((_, a), (_, b))| xor_lit(&mut solver, *a, *b))
+        .collect();
+    let any = or_lit(&mut solver, &diffs);
+    assert_lit(&mut solver, any, true);
+
+    // A second solver accumulates only the I/O constraints over one
+    // canonical key-variable vector; after the miter becomes UNSAT, any
+    // model of this solver is a correct key.
+    let mut key_solver = Solver::new();
+    let key_vars: Vec<Lit> = locked
+        .key_inputs()
+        .iter()
+        .map(|_| gnnunlock_sat::fresh_lit(&mut key_solver))
+        .collect();
+
+    let mut converged = false;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        match solver.solve() {
+            SolveResult::Unsat => {
+                converged = true;
+                break;
+            }
+            SolveResult::Sat => {
+                iterations += 1;
+                let dip: Vec<bool> = enc_a
+                    .primary_inputs
+                    .iter()
+                    .map(|&(_, l)| solver.model_lit(l).unwrap_or(false))
+                    .collect();
+                let response = oracle(&dip);
+                // Constrain both key copies to agree with the oracle on
+                // the DIP: add fresh circuit copies with inputs fixed.
+                for key_enc in [&enc_a, &enc_b] {
+                    let keys: Vec<Lit> =
+                        key_enc.key_inputs.iter().map(|&(_, l)| l).collect();
+                    add_io_constraint(&mut solver, locked, &keys, &dip, &response);
+                }
+                add_io_constraint(&mut key_solver, locked, &key_vars, &dip, &response);
+            }
+        }
+    }
+    let key = if converged && key_solver.solve() == SolveResult::Sat {
+        Some(Key::from_bits(
+            key_vars
+                .iter()
+                .map(|&l| key_solver.model_lit(l).unwrap_or(false))
+                .collect(),
+        ))
+    } else {
+        None
+    };
+    SatAttackOutcome {
+        key,
+        iterations,
+        resisted: !converged,
+    }
+}
+
+/// Encode a fresh copy of `locked` whose PIs are fixed to `dip`, whose
+/// key inputs are tied to `key_lits` (in `keyinput{i}` order), and whose
+/// outputs are asserted equal to `response`.
+fn add_io_constraint(
+    solver: &mut Solver,
+    locked: &Netlist,
+    key_lits: &[Lit],
+    dip: &[bool],
+    response: &[bool],
+) {
+    let copy = encode_netlist(solver, locked, None);
+    for ((_, lit), &v) in copy.primary_inputs.iter().zip(dip) {
+        assert_lit(solver, *lit, v);
+    }
+    for ((_, fresh), &shared) in copy.key_inputs.iter().zip(key_lits) {
+        // fresh == shared.
+        solver.add_clause(&[!*fresh, shared]);
+        solver.add_clause(&[*fresh, !shared]);
+    }
+    for ((_, out), &v) in copy.outputs.iter().zip(response) {
+        assert_lit(solver, *out, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_locking::{lock_antisat, lock_rll, AntiSatConfig};
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    #[test]
+    fn breaks_rll_quickly() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_rll(&design, 8, 5).unwrap();
+        let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
+        let out = sat_attack(&locked.netlist, &oracle, 200);
+        assert!(!out.resisted, "RLL resisted the SAT attack");
+        let key = out.key.expect("key recovered");
+        // The recovered key need not equal the inserted key bit-for-bit,
+        // but must unlock correctly.
+        let mut ok = true;
+        for bits in 0..64u32 {
+            let n_pi = design.primary_inputs().len();
+            let pi: Vec<bool> = (0..n_pi).map(|i| (bits >> (i % 32)) & 1 == 1).collect();
+            if design.eval_outputs(&pi, &[]).unwrap()
+                != locked.netlist.eval_outputs(&pi, key.bits()).unwrap()
+            {
+                ok = false;
+                break;
+            }
+        }
+        assert!(ok, "recovered key does not unlock");
+        assert!(
+            out.iterations <= 50,
+            "RLL needed {} DIPs, expected few",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn antisat_resists_within_budget() {
+        // K=16 Anti-SAT needs ~2^8 DIPs; a budget of 40 must be exhausted,
+        // demonstrating provable resilience.
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(16, 6)).unwrap();
+        let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
+        let out = sat_attack(&locked.netlist, &oracle, 40);
+        assert!(out.resisted, "Anti-SAT broke in {} DIPs", out.iterations);
+        assert!(out.key.is_none());
+    }
+
+    #[test]
+    fn rll_needs_more_dips_than_trivial_lock() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.02).generate();
+        let small = lock_rll(&design, 2, 1).unwrap();
+        let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
+        let out_small = sat_attack(&small.netlist, &oracle, 100);
+        assert!(!out_small.resisted);
+        assert!(out_small.iterations <= 4);
+    }
+}

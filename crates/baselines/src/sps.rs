@@ -1,0 +1,125 @@
+//! Signal Probability Skew (SPS) attack on Anti-SAT (Yasin et al.,
+//! ASP-DAC 2017) — paper reference [13].
+//!
+//! Anti-SAT's flipping signal `Y = g · ḡ` is the AND of two oppositely
+//! and extremely skewed signals. The attack estimates signal
+//! probabilities by random simulation (over both primary and key
+//! inputs), locates the 2-input AND gate with the largest absolute
+//! difference of input skews (ADS), declares it the Anti-SAT output, and
+//! removes the block by forcing that signal to its skewed value (0).
+
+use gnnunlock_netlist::{GateId, GateType, Netlist, NodeRole};
+use gnnunlock_synth::{constant_propagation, sweep_dead};
+
+/// Result of an SPS attack.
+#[derive(Debug, Clone)]
+pub struct SpsOutcome {
+    /// Gate identified as the Anti-SAT output AND, with its ADS score.
+    pub identified: Option<(GateId, f64)>,
+    /// Whether the identified gate is truly part of the Anti-SAT block
+    /// (ground-truth check; `false` for non-Anti-SAT circuits).
+    pub hit_protection: bool,
+    /// Recovered netlist (identified signal forced to 0 and its cone
+    /// swept).
+    pub recovered: Option<Netlist>,
+}
+
+/// Launch the SPS attack.
+///
+/// `sim_words` 64-pattern words are simulated (default 64 → 4096
+/// patterns when 0 is passed).
+pub fn sps_attack(nl: &Netlist, sim_words: usize, seed: u64) -> SpsOutcome {
+    let words = if sim_words == 0 { 64 } else { sim_words };
+    let Ok(probs) = nl.signal_probabilities(words, seed) else {
+        return SpsOutcome {
+            identified: None,
+            hit_protection: false,
+            recovered: None,
+        };
+    };
+    // Find the 2-input AND with maximal absolute difference of skew where
+    // inputs are skewed in opposite directions.
+    let mut best: Option<(GateId, f64)> = None;
+    for g in nl.gate_ids() {
+        if nl.gate_type(g) != GateType::And || nl.gate_inputs(g).len() != 2 {
+            continue;
+        }
+        let s0 = probs[nl.gate_inputs(g)[0].index()] - 0.5;
+        let s1 = probs[nl.gate_inputs(g)[1].index()] - 0.5;
+        if s0 * s1 >= 0.0 {
+            continue; // same-direction skews: not the Anti-SAT shape
+        }
+        let ads = (s0 - s1).abs();
+        if best.is_none_or(|(_, b)| ads > b) {
+            best = Some((g, ads));
+        }
+    }
+    // Require the near-complementary skew profile of Anti-SAT; ordinary
+    // design gates rarely exceed this.
+    let identified = best.filter(|&(_, ads)| ads > 0.8);
+    let hit_protection =
+        identified.is_some_and(|(g, _)| nl.role(g) == NodeRole::AntiSat);
+    let recovered = identified.map(|(g, _)| {
+        let mut out = nl.clone();
+        let y = out.gate_output(g);
+        let zero = out.const_net(false);
+        out.replace_net_uses(y, zero);
+        out.remove_gate(g);
+        constant_propagation(&mut out);
+        sweep_dead(&mut out);
+        out.compact();
+        out.set_name(format!("{}_sps_recovered", nl.name()));
+        out
+    });
+    SpsOutcome {
+        identified,
+        hit_protection,
+        recovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_locking::{lock_antisat, lock_ttlock, AntiSatConfig};
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+    use gnnunlock_sat::{check_equivalence, EquivOptions};
+
+    #[test]
+    fn sps_finds_antisat_y_gate() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(16, 3)).unwrap();
+        let out = sps_attack(&locked.netlist, 64, 1);
+        assert!(out.identified.is_some(), "no skewed AND found");
+        assert!(out.hit_protection, "identified gate is not Anti-SAT");
+        // Removing the cone and forcing Y=0 recovers the design (the
+        // flipping XOR becomes transparent).
+        let recovered = out.recovered.unwrap();
+        let opts = EquivOptions {
+            key_b: Some(vec![false; recovered.key_inputs().len()]),
+            ..Default::default()
+        };
+        assert!(check_equivalence(&design, &recovered, &opts).is_equivalent());
+    }
+
+    #[test]
+    fn sps_fails_on_ttlock() {
+        // TTLock has no Y-style AND of complementary functions; the attack
+        // must either find nothing or hit a design gate (scheme-specific
+        // failure, paper Table I).
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let locked = lock_ttlock(&design, 12, 4).unwrap();
+        let out = sps_attack(&locked.netlist, 64, 2);
+        assert!(
+            !out.hit_protection,
+            "SPS should not identify TTLock protection"
+        );
+    }
+
+    #[test]
+    fn sps_finds_nothing_in_clean_design() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let out = sps_attack(&design, 64, 3);
+        assert!(!out.hit_protection);
+    }
+}

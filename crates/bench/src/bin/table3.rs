@@ -1,0 +1,66 @@
+//! Table III: summary of generated datasets.
+//!
+//! Regenerates all ten datasets of the paper (at `GNNUNLOCK_SCALE`) and
+//! prints #classes, |f̂|, #nodes and #circuits per dataset. Key sizes
+//! infeasible at the current scale are skipped exactly as the paper skips
+//! c3540/K=64.
+
+use gnnunlock_bench::{rule, scale};
+use gnnunlock_core::{Dataset, DatasetConfig, Suite};
+use gnnunlock_netlist::CellLibrary;
+
+fn main() {
+    let s = scale();
+    println!("TABLE III. SUMMARY OF GENERATED DATASETS (scale = {s})\n");
+    println!(
+        "{:<12} {:<10} {:<22} {:>8} {:>5} {:>9} {:>9}",
+        "Dataset", "Benchmarks", "Circuit Format", "#Classes", "|f|", "#Nodes", "#Circuits"
+    );
+    rule(80);
+
+    let mut configs: Vec<DatasetConfig> = vec![
+        DatasetConfig::antisat(Suite::Iscas85, s),
+        DatasetConfig::antisat(Suite::Itc99, s),
+        DatasetConfig::sfll(Suite::Iscas85, 0, CellLibrary::Lpe65, s),
+        DatasetConfig::sfll(Suite::Itc99, 0, CellLibrary::Lpe65, s),
+        DatasetConfig::sfll(Suite::Iscas85, 2, CellLibrary::Lpe65, s),
+        DatasetConfig::sfll(Suite::Itc99, 2, CellLibrary::Lpe65, s),
+        DatasetConfig::sfll(Suite::Itc99, 2, CellLibrary::Nangate45, s),
+        DatasetConfig::sfll(Suite::Itc99, 4, CellLibrary::Lpe65, s),
+        // Corner-case datasets (Section V-D): K/h = 2.
+        corner(Suite::Iscas85, 32, 16, s),
+        corner(Suite::Itc99, 64, 32, s),
+        corner(Suite::Itc99, 128, 64, s),
+    ];
+    // At small scales the SFLL-HD16/32/64 datasets need large-K circuits;
+    // generation silently skips infeasible benchmarks.
+    for cfg in &mut configs {
+        let ds = Dataset::generate(cfg);
+        let sum = ds.summary();
+        let name = match cfg.scheme {
+            gnnunlock_core::DatasetScheme::SfllHd(h) if h >= 16 => {
+                format!("SFLL-HD{h}")
+            }
+            _ => sum.name.clone(),
+        };
+        println!(
+            "{:<12} {:<10} {:<22} {:>8} {:>5} {:>9} {:>9}",
+            name,
+            sum.benchmarks,
+            sum.format,
+            sum.classes,
+            sum.feature_len,
+            sum.nodes,
+            sum.circuits
+        );
+    }
+    rule(80);
+    println!("paper reference shapes: |f| = 13 (bench), 34 (65nm), 18 (45nm);");
+    println!("#classes = 2 (Anti-SAT), 3 (TTLock / SFLL-HD).");
+}
+
+fn corner(suite: Suite, k: usize, h: u32, s: f64) -> DatasetConfig {
+    let mut cfg = DatasetConfig::sfll(suite, h, CellLibrary::Lpe65, s);
+    cfg.key_sizes = vec![k];
+    cfg
+}

@@ -1,0 +1,81 @@
+//! Table VI: effect of the Hamming distance h and the technology node on
+//! GNNUnlock: one aggregate row per dataset with GNN accuracy, macro
+//! precision/recall/F1, removal success and training time.
+//!
+//! Default: one leave-one-out target per dataset; `GNNUNLOCK_FULL=1`
+//! attacks every benchmark of every dataset (the paper's full protocol).
+
+use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale};
+use gnnunlock_core::{
+    aggregate, attack_all, attack_benchmark, Dataset, DatasetConfig, Suite,
+};
+use gnnunlock_netlist::CellLibrary;
+
+fn main() {
+    let s = scale();
+    let cfg = attack_config();
+    println!("TABLE VI. EFFECT OF h VALUE AND TECHNOLOGY NODE (scale = {s})\n");
+    println!(
+        "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "Dataset", "Benchmarks", "Tech", "GNN Acc", "AvgPrec", "AvgRec", "AvgF1", "Removal", "TR Time"
+    );
+    rule(92);
+
+    let rows: Vec<(&str, Suite, CellLibrary, u32, Option<usize>)> = vec![
+        ("TTLock", Suite::Iscas85, CellLibrary::Lpe65, 0, None),
+        ("TTLock", Suite::Itc99, CellLibrary::Lpe65, 0, None),
+        ("SFLL-HD2", Suite::Itc99, CellLibrary::Nangate45, 2, None),
+        ("SFLL-HD2", Suite::Itc99, CellLibrary::Lpe65, 2, None),
+        ("SFLL-HD4", Suite::Itc99, CellLibrary::Lpe65, 4, None),
+        // Corner cases (K/h = 2), paper Section V-D datasets.
+        ("SFLL-HD16", Suite::Iscas85, CellLibrary::Lpe65, 16, Some(32)),
+        ("SFLL-HD32", Suite::Itc99, CellLibrary::Lpe65, 32, Some(64)),
+        ("SFLL-HD64", Suite::Itc99, CellLibrary::Lpe65, 64, Some(128)),
+    ];
+
+    for (name, suite, lib, h, fixed_k) in rows {
+        let mut ds_cfg = DatasetConfig::sfll(suite, h, lib, s);
+        if let Some(k) = fixed_k {
+            ds_cfg.key_sizes = vec![k];
+        }
+        let dataset = Dataset::generate(&ds_cfg);
+        if dataset.instances.is_empty() || dataset.benchmarks().len() < 3 {
+            println!(
+                "{:<12} {:<10} {:>5}  (skipped: needs K={} >= PIs at this scale)",
+                name,
+                suite.name(),
+                lib.tag(),
+                fixed_k.unwrap_or(0)
+            );
+            continue;
+        }
+        let outcomes = if full_sweep() {
+            attack_all(&dataset, &cfg)
+        } else {
+            let target = dataset.benchmarks()[0].clone();
+            vec![attack_benchmark(&dataset, &target, &cfg)]
+        };
+        let row = aggregate(name, &outcomes);
+        println!(
+            "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9.1}s",
+            name,
+            suite.name(),
+            lib.tag(),
+            pct(row.gnn_accuracy),
+            pct(row.avg_precision),
+            pct(row.avg_recall),
+            pct(row.avg_f1),
+            pct(row.removal_success),
+            row.avg_train_time.as_secs_f64(),
+        );
+    }
+    rule(92);
+    println!("paper shape: 99.24–99.97% GNN accuracy across h and libraries,");
+    println!("100% removal everywhere, including the K/h = 2 corner cases that");
+    println!("defeat FALL and SFLL-HD-Unlocked.");
+    println!("note: the paper's Table VI lists 45nm for its two TTLock rows while");
+    println!("Table III lists those datasets as 65nm; we follow Table III.");
+    if !full_sweep() {
+        println!("(one target per dataset — set GNNUNLOCK_FULL=1 for the full protocol)");
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared harness utilities for the table-reproduction binaries.
+//!
+//! Every binary accepts the same environment knobs so the experiments can
+//! be run anywhere on the laptop-scale ↔ paper-scale axis:
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `GNNUNLOCK_SCALE` | `0.05` | benchmark size multiplier (1.0 = paper-size circuits) |
+//! | `GNNUNLOCK_EPOCHS` | `400` | max training epochs per target |
+//! | `GNNUNLOCK_HIDDEN` | `96` | GraphSAGE hidden width (paper: 512) |
+//! | `GNNUNLOCK_ROOTS` | `1000` | GraphSAINT walk roots (paper: 3000) |
+//! | `GNNUNLOCK_FULL` | unset | set to `1` to attack every benchmark instead of a representative subset |
+
+use gnnunlock_core::{AttackConfig, AttackOutcome};
+use gnnunlock_gnn::{SaintConfig, TrainConfig};
+
+/// Benchmark scale factor from the environment.
+pub fn scale() -> f64 {
+    env_f64("GNNUNLOCK_SCALE", 0.05)
+}
+
+/// Whether to run the full (every-benchmark) sweep.
+pub fn full_sweep() -> bool {
+    std::env::var("GNNUNLOCK_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Attack configuration from the environment knobs.
+pub fn attack_config() -> AttackConfig {
+    AttackConfig {
+        train: TrainConfig {
+            epochs: env_usize("GNNUNLOCK_EPOCHS", 400),
+            hidden: env_usize("GNNUNLOCK_HIDDEN", 96),
+            eval_every: 10,
+            patience: 15,
+            saint: SaintConfig {
+                roots: env_usize("GNNUNLOCK_ROOTS", 1000),
+                walk_length: 2,
+                estimation_rounds: 8,
+                seed: 11,
+            },
+            class_weighting: false,
+            ..TrainConfig::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Percentage formatting matching the paper's tables.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Render one Table IV/V-style row terminator for an outcome.
+pub fn removal_pct(outcome: &AttackOutcome) -> String {
+    pct(outcome.removal_success_rate())
+}
+
+/// Print a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = attack_config();
+        assert!(cfg.train.epochs >= 1);
+        assert!(cfg.train.hidden >= 8);
+        assert!(scale() > 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.0), "100.00");
+        assert_eq!(pct(0.99245), "99.25");
+    }
+}

@@ -1,0 +1,44 @@
+//! The GNNUnlock attack framework — the paper's primary contribution.
+//!
+//! Ties the substrates together into the oracle-less attack of Fig. 3a:
+//!
+//! 1. [`Dataset::generate`] locks benchmark suites per the paper's
+//!    Section IV-A protocol (multiple keys and key sizes per benchmark,
+//!    synthesis for the Verilog flows) and produces labelled graphs;
+//! 2. [`attack_benchmark`] trains a GraphSAGE classifier with
+//!    leave-one-benchmark-out splits and classifies every gate of the
+//!    target;
+//! 3. [`postprocess`] rectifies predictions via connectivity analysis
+//!    (Section IV-D, Figs. 3c/3d);
+//! 4. [`remove_protection`] deletes the identified protection logic and
+//!    re-drives boundary nets, recovering the original design;
+//! 5. the SAT-based equivalence checker (the Formality stand-in) verifies
+//!    the recovery — the paper's "removal success" column.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gnnunlock_core::{attack_benchmark, AttackConfig, Dataset, DatasetConfig, Suite};
+//!
+//! let cfg = DatasetConfig::antisat(Suite::Iscas85, 0.05);
+//! let dataset = Dataset::generate(&cfg);
+//! let outcome = attack_benchmark(&dataset, "c7552", &AttackConfig::default());
+//! println!("accuracy {:.4}", outcome.avg_post_accuracy());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod pipeline;
+mod postprocess;
+mod removal;
+
+pub use dataset::{
+    Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite,
+};
+pub use pipeline::{
+    aggregate, attack_all, attack_benchmark, attack_instance, AggregateRow, AttackConfig,
+    AttackOutcome, InstanceOutcome,
+};
+pub use postprocess::{postprocess, postprocess_antisat, postprocess_sfll};
+pub use removal::remove_protection;

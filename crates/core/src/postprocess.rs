@@ -1,0 +1,440 @@
+//! Connectivity-analysis post-processing (paper Section IV-D).
+//!
+//! The GNN's raw predictions are rectified using circuit connectivity and
+//! the known properties of each protection scheme:
+//!
+//! **Anti-SAT (Fig. 3c):**
+//! 1. a predicted Anti-SAT node with no key input in its fan-in cone is
+//!    demoted to design;
+//! 2. a predicted design node whose (non-empty) gate fan-in cone consists
+//!    solely of predicted Anti-SAT nodes is promoted to Anti-SAT.
+//!
+//! **TTLock / SFLL-HD (Fig. 3d):** the protected-input set `X` is read
+//! off the predicted restore nodes, then
+//! 1. a predicted restore node is confirmed iff it has a KI in its
+//!    fan-in cone; otherwise it is re-tested as a perturb node;
+//! 2. a predicted perturb node is confirmed iff it reaches a predicted
+//!    restore node (transitive fan-out) and is controlled solely by `X`
+//!    (no other PIs, no KIs in its fan-in cone);
+//! 3. a predicted design node controlled solely by `X` whose fan-in
+//!    contains predicted perturb nodes is promoted to perturb.
+
+use gnnunlock_gnn::{CircuitGraph, LabelScheme};
+use gnnunlock_netlist::{GateId, InputKind, NetId, Netlist};
+use std::collections::HashSet;
+
+/// Class indices shared by both schemes.
+const DESIGN: usize = 0;
+/// Anti-SAT class (2-class scheme).
+const ANTISAT: usize = 1;
+/// Perturb class (3-class scheme).
+const PERTURB: usize = 1;
+/// Restore class (3-class scheme).
+const RESTORE: usize = 2;
+
+/// Rectify GNN `predictions` for `graph` in place, dispatching on the
+/// graph's label scheme. Returns the number of changed predictions.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != graph.num_nodes()`.
+pub fn postprocess(nl: &Netlist, graph: &CircuitGraph, predictions: &mut [usize]) -> usize {
+    assert_eq!(predictions.len(), graph.num_nodes());
+    match graph.scheme {
+        LabelScheme::AntiSat => postprocess_antisat(nl, graph, predictions),
+        LabelScheme::Sfll => postprocess_sfll(nl, graph, predictions),
+    }
+}
+
+/// Anti-SAT rectification (paper Fig. 3c). Returns changed-prediction
+/// count.
+pub fn postprocess_antisat(
+    nl: &Netlist,
+    graph: &CircuitGraph,
+    predictions: &mut [usize],
+) -> usize {
+    let mut changed = 0;
+    // Rule 1: AN without KIs in fan-in cone -> DN.
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        if predictions[idx] == ANTISAT && !nl.cone_has_key_input(g) {
+            predictions[idx] = DESIGN;
+            changed += 1;
+        }
+    }
+    // Rule 2 (to fixpoint): DN whose whole gate cone is predicted AN -> AN.
+    let node_of = node_index_map(nl, graph);
+    loop {
+        let mut round = 0;
+        for (idx, &g) in graph.gate_ids.iter().enumerate() {
+            if predictions[idx] != DESIGN {
+                continue;
+            }
+            let cone = nl.fanin_cone(g);
+            if cone.is_empty() {
+                continue;
+            }
+            let all_an = cone
+                .iter()
+                .all(|c| predictions[node_of[c.index()]] == ANTISAT);
+            if all_an && nl.cone_has_key_input(g) {
+                predictions[idx] = ANTISAT;
+                round += 1;
+            }
+        }
+        changed += round;
+        if round == 0 {
+            break;
+        }
+    }
+    // Rule 3 (block purity): the Anti-SAT block reads only its tapped PIs,
+    // its KIs and its own gates — never design-gate outputs. A predicted
+    // Anti-SAT node with a predicted design gate in its fan-in cone is a
+    // design node (this catches design gates downstream of the
+    // integration XOR, which rule 1 misses because they do have KIs in
+    // their cones). Single pass, after rule 2 has repaired AN-as-DN
+    // holes, to avoid demotion cascades.
+    let demote: Vec<usize> = graph
+        .gate_ids
+        .iter()
+        .enumerate()
+        .filter(|&(idx, &g)| {
+            predictions[idx] == ANTISAT
+                && nl
+                    .fanin_cone(g)
+                    .iter()
+                    .any(|c| predictions[node_of[c.index()]] == DESIGN)
+        })
+        .map(|(idx, _)| idx)
+        .collect();
+    for idx in demote {
+        predictions[idx] = DESIGN;
+        changed += 1;
+    }
+    changed
+}
+
+/// TTLock / SFLL-HD rectification (paper Fig. 3d). Returns
+/// changed-prediction count.
+pub fn postprocess_sfll(nl: &Netlist, graph: &CircuitGraph, predictions: &mut [usize]) -> usize {
+    let node_of = node_index_map(nl, graph);
+    let mut changed = 0;
+
+    // Phase 1: the KI rule (paper property (i): all restore nodes have
+    // KIs in their fan-in cone). In the SFLL topology the restore signal
+    // rejoins the design only at the protected output, so *any* gate with
+    // a key input in its fan-in cone belongs to the restore unit —
+    // regardless of the GNN's prediction. X and the reachability analysis
+    // are computed from these confirmed nodes only, so bogus restore
+    // predictions cannot pollute them.
+    let confirmed_rn: Vec<bool> = graph
+        .gate_ids
+        .iter()
+        .map(|&g| nl.cone_has_key_input(g))
+        .collect();
+    for (idx, &confirmed) in confirmed_rn.iter().enumerate() {
+        if confirmed && predictions[idx] != RESTORE {
+            predictions[idx] = RESTORE;
+            changed += 1;
+        }
+    }
+
+    // Protected-input candidate set X: PIs feeding confirmed restore
+    // cones.
+    let protected: HashSet<NetId> = protected_inputs(nl, graph, &confirmed_rn);
+
+    // Reaches-a-confirmed-restore-node analysis (transitive fan-out).
+    let reaches_rn = compute_reaches_restore(nl, graph, &confirmed_rn, &node_of);
+
+    // Rules 1 & 2: validate RN and PN predictions.
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        match predictions[idx] {
+            RESTORE => {
+                if confirmed_rn[idx] {
+                    continue;
+                }
+                // Re-test as perturb; otherwise demote to design.
+                if reaches_rn[idx] && controlled_solely_by(nl, g, &protected) {
+                    predictions[idx] = PERTURB;
+                } else {
+                    predictions[idx] = DESIGN;
+                }
+                changed += 1;
+            }
+            PERTURB => {
+                if reaches_rn[idx] && controlled_solely_by(nl, g, &protected) {
+                    continue; // confirmed
+                }
+                predictions[idx] = DESIGN;
+                changed += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Rule 3 (to fixpoint): DN controlled solely by X with predicted PN in
+    // its fan-in -> PN.
+    loop {
+        let mut round = 0;
+        for (idx, &g) in graph.gate_ids.iter().enumerate() {
+            if predictions[idx] != DESIGN {
+                continue;
+            }
+            let has_pn_in_fanin = nl.gate_inputs(g).iter().any(|&inp| {
+                match nl.driver(inp) {
+                    gnnunlock_netlist::Driver::Gate(src) if nl.is_alive(src) => {
+                        predictions[node_of[src.index()]] == PERTURB
+                    }
+                    _ => false,
+                }
+            });
+            if has_pn_in_fanin && controlled_solely_by(nl, g, &protected) {
+                predictions[idx] = PERTURB;
+                round += 1;
+            }
+        }
+        changed += round;
+        if round == 0 {
+            break;
+        }
+    }
+    changed
+}
+
+/// Map raw gate index -> graph node index.
+fn node_index_map(nl: &Netlist, graph: &CircuitGraph) -> Vec<usize> {
+    let mut map = vec![usize::MAX; nl.gate_capacity()];
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        map[g.index()] = idx;
+    }
+    map
+}
+
+/// PIs *directly* feeding confirmed restore nodes — the candidate
+/// protected set `X`. (The restore unit's first layer mixes each
+/// protected input with its key input, so direct connections identify
+/// exactly the protected set; full cones would drag in the whole design
+/// cone through the restore XOR.)
+fn protected_inputs(
+    nl: &Netlist,
+    graph: &CircuitGraph,
+    confirmed_rn: &[bool],
+) -> HashSet<NetId> {
+    let mut x = HashSet::new();
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        if !confirmed_rn[idx] {
+            continue;
+        }
+        for &net in nl.gate_inputs(g) {
+            if nl.input_kind(net) == Some(InputKind::Primary) {
+                x.insert(net);
+            }
+        }
+    }
+    x
+}
+
+/// `true` for each node whose transitive fan-out (or itself) contains a
+/// confirmed restore node.
+fn compute_reaches_restore(
+    nl: &Netlist,
+    graph: &CircuitGraph,
+    confirmed_rn: &[bool],
+    node_of: &[usize],
+) -> Vec<bool> {
+    // Reverse BFS from all confirmed restore nodes over fan-in edges.
+    let mut reaches = vec![false; graph.num_nodes()];
+    let mut queue: Vec<GateId> = Vec::new();
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        if confirmed_rn[idx] {
+            reaches[idx] = true;
+            queue.push(g);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        for &inp in nl.gate_inputs(g) {
+            if let gnnunlock_netlist::Driver::Gate(src) = nl.driver(inp) {
+                if nl.is_alive(src) {
+                    let idx = node_of[src.index()];
+                    if !reaches[idx] {
+                        reaches[idx] = true;
+                        queue.push(src);
+                    }
+                }
+            }
+        }
+    }
+    reaches
+}
+
+/// Cone inputs of `g` are a subset of `x` (in particular: no key inputs,
+/// no non-protected PIs). Gates with no top-level inputs in their cone
+/// (constant cones) also pass.
+fn controlled_solely_by(nl: &Netlist, g: GateId, x: &HashSet<NetId>) -> bool {
+    nl.cone_inputs(g).iter().all(|net| x.contains(net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_gnn::netlist_to_graph;
+    use gnnunlock_locking::{
+        lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig,
+    };
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+    use gnnunlock_netlist::{CellLibrary, NodeRole};
+
+    fn truth(graph: &CircuitGraph) -> Vec<usize> {
+        graph.labels.clone()
+    }
+
+    #[test]
+    fn perfect_predictions_untouched_antisat() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(8, 1)).unwrap();
+        let graph =
+            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let mut preds = truth(&graph);
+        let changed = postprocess(&locked.netlist, &graph, &mut preds);
+        assert_eq!(changed, 0);
+        assert_eq!(preds, graph.labels);
+    }
+
+    #[test]
+    fn design_node_misclassified_as_antisat_is_rectified() {
+        // Flip a design node with no KI in its cone to AN; rule 1 fixes it.
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(8, 2)).unwrap();
+        let nl = &locked.netlist;
+        let graph = netlist_to_graph(nl, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let mut preds = truth(&graph);
+        let victim = graph
+            .gate_ids
+            .iter()
+            .position(|&g| nl.role(g) == NodeRole::Design && !nl.cone_has_key_input(g))
+            .expect("design node without KI");
+        preds[victim] = 1;
+        postprocess(nl, &graph, &mut preds);
+        assert_eq!(preds, graph.labels, "post-processing failed to rectify");
+    }
+
+    #[test]
+    fn antisat_node_misclassified_as_design_is_rectified() {
+        // An interior Anti-SAT tree node flipped to DN has an all-AN cone,
+        // so rule 2 promotes it back.
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(8, 3)).unwrap();
+        let nl = &locked.netlist;
+        let graph = netlist_to_graph(nl, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let mut preds = truth(&graph);
+        // Pick an AN node whose cone is entirely AN and non-empty.
+        let node_of = node_index_map(nl, &graph);
+        let victim = graph
+            .gate_ids
+            .iter()
+            .position(|&g| {
+                nl.role(g) == NodeRole::AntiSat && {
+                    let cone = nl.fanin_cone(g);
+                    !cone.is_empty()
+                        && cone.iter().all(|c| {
+                            graph.labels[node_of[c.index()]] == 1
+                        })
+                }
+            })
+            .expect("interior AN node");
+        preds[victim] = 0;
+        postprocess(nl, &graph, &mut preds);
+        assert_eq!(preds, graph.labels);
+    }
+
+    #[test]
+    fn perfect_predictions_untouched_sfll() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 4)).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let mut preds = truth(&graph);
+        let changed = postprocess(&locked.netlist, &graph, &mut preds);
+        assert_eq!(changed, 0, "ground truth must be a fixpoint");
+    }
+
+    #[test]
+    fn perturb_misclassified_as_design_is_rectified() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_ttlock(&design, 10, 5).unwrap();
+        let nl = &locked.netlist;
+        let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let mut preds = truth(&graph);
+        // Flip a perturb node that has perturb fan-in (not a leaf).
+        let node_of = node_index_map(nl, &graph);
+        let victim = graph
+            .gate_ids
+            .iter()
+            .position(|&g| {
+                nl.role(g) == NodeRole::Perturb
+                    && nl.gate_inputs(g).iter().any(|&i| {
+                        matches!(nl.driver(i), gnnunlock_netlist::Driver::Gate(s)
+                            if graph.labels[node_of[s.index()]] == 1)
+                    })
+            })
+            .expect("interior perturb node");
+        preds[victim] = 0;
+        postprocess(nl, &graph, &mut preds);
+        assert_eq!(preds, graph.labels);
+    }
+
+    #[test]
+    fn design_misclassified_as_perturb_is_rectified() {
+        // A design node fed by non-protected PIs predicted as PN must be
+        // dropped (the paper's NOR-tree false-positive case).
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 6)).unwrap();
+        let nl = &locked.netlist;
+        let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let mut preds = truth(&graph);
+        let victim = graph
+            .gate_ids
+            .iter()
+            .position(|&g| {
+                nl.role(g) == NodeRole::Design
+                    && !nl.cone_has_key_input(g)
+                    && nl.cone_inputs(g).iter().any(|&net| {
+                        !locked
+                            .protected_inputs
+                            .iter()
+                            .any(|p| p == nl.net_name(net))
+                    })
+            })
+            .expect("design node reading a non-protected PI");
+        preds[victim] = 1;
+        postprocess(nl, &graph, &mut preds);
+        assert_eq!(preds[victim], 0, "false perturb prediction kept");
+    }
+
+    #[test]
+    fn restore_without_keys_is_demoted() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_ttlock(&design, 8, 7).unwrap();
+        let nl = &locked.netlist;
+        let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let mut preds = truth(&graph);
+        let victim = graph
+            .gate_ids
+            .iter()
+            .position(|&g| {
+                nl.role(g) == NodeRole::Design
+                    && !nl.cone_has_key_input(g)
+                    && nl.cone_inputs(g).iter().any(|&net| {
+                        !locked
+                            .protected_inputs
+                            .iter()
+                            .any(|p| p == nl.net_name(net))
+                    })
+            })
+            .expect("design node reading a non-protected PI");
+        preds[victim] = 2; // bogus restore prediction
+        postprocess(nl, &graph, &mut preds);
+        assert_eq!(preds[victim], 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Protection-logic removal and design recovery.
+//!
+//! Given rectified per-node predictions, every gate predicted as
+//! protection logic is deleted. Nets that cross from the deleted region
+//! into kept logic are re-driven by connectivity analysis:
+//!
+//! - if the boundary driver is an XOR/XNOR *integration gate* (one design
+//!   side, one protection side — Anti-SAT's `Y` XOR, SFLL's restore XOR),
+//!   readers are bypassed to the design-side input (through an inverter
+//!   for XNOR), recursing through chained integration gates;
+//! - otherwise the net is tied to its *dominant value* under random
+//!   simulation (over both primary and key inputs). Protection signals
+//!   fire only on vanishingly rare protected patterns, so the dominant
+//!   value is their inactive level — and unlike a hard-coded constant 0,
+//!   this stays correct when synthesis rewrites (e.g. inverter-pair
+//!   collapsing) have shifted or inverted the block boundary.
+//!
+//! Constant propagation then cleans the seams, and the result is verified
+//! against the original design with the SAT-based equivalence checker.
+
+use gnnunlock_gnn::CircuitGraph;
+use gnnunlock_netlist::{Driver, GateId, GateType, NetId, Netlist};
+use gnnunlock_synth::{constant_propagation, remove_buffers, sweep_dead};
+
+/// Remove every gate of `graph` predicted as protection (`class != 0`)
+/// from a clone of `nl`, returning the recovered design.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != graph.num_nodes()`.
+pub fn remove_protection(
+    nl: &Netlist,
+    graph: &CircuitGraph,
+    predictions: &[usize],
+) -> Netlist {
+    assert_eq!(predictions.len(), graph.num_nodes());
+    let mut out = nl.clone();
+    let mut protected = vec![false; nl.gate_capacity()];
+    for (idx, &g) in graph.gate_ids.iter().enumerate() {
+        if predictions[idx] != 0 {
+            protected[g.index()] = true;
+        }
+    }
+    // Boundary nets: driven by protection, read by kept logic or POs.
+    let fanout = out.fanout_map();
+    let mut boundary: Vec<NetId> = Vec::new();
+    for g in out.gate_ids() {
+        if !protected[g.index()] {
+            continue;
+        }
+        let net = out.gate_output(g);
+        let read_by_kept = fanout
+            .readers(net)
+            .iter()
+            .any(|r| !protected[r.index()])
+            || fanout.feeds_output(net);
+        if read_by_kept {
+            boundary.push(net);
+        }
+    }
+    // Dominant (inactive) value per net under random PI/KI simulation.
+    // Protection signals fire only on rare protected patterns, so this is
+    // their resting level — robust against polarity-shifting rewrites.
+    let probs = nl
+        .signal_probabilities(32, 0x6ea1)
+        .unwrap_or_else(|_| vec![0.0; nl.num_nets()]);
+    let inactive = |net: NetId| probs.get(net.index()).copied().unwrap_or(0.0) > 0.5;
+    // Re-drive each boundary net.
+    for net in boundary {
+        match bypass(&out, &protected, net, &inactive, 0) {
+            Some((repl, false)) => out.replace_net_uses(net, repl),
+            Some((repl, true)) => {
+                let inv = out.add_gate(GateType::Inv, &[repl]);
+                let inv_out = out.gate_output(inv);
+                out.replace_net_uses(net, inv_out);
+                // `replace_net_uses` would have rewired the inverter too
+                // if it read `net`; re-pin its input to be safe.
+                out.set_gate_inputs(inv, &[repl]);
+            }
+            None => {
+                let tie = out.const_net(inactive(net));
+                out.replace_net_uses(net, tie);
+            }
+        }
+    }
+    // Delete the protection gates and clean up. (Gates created during
+    // bypassing sit beyond the original capacity and are kept.)
+    let to_remove: Vec<GateId> = out
+        .gate_ids()
+        .filter(|g| is_protected(&protected, *g))
+        .collect();
+    for g in to_remove {
+        out.remove_gate(g);
+    }
+    constant_propagation(&mut out);
+    remove_buffers(&mut out);
+    sweep_dead(&mut out);
+    out.compact();
+    out.set_name(format!("{}_recovered", nl.name()));
+    out
+}
+
+/// Whether `g` is in the predicted protection set (gates created during
+/// recovery sit past the end and are never protected).
+fn is_protected(protected: &[bool], g: GateId) -> bool {
+    protected.get(g.index()).copied().unwrap_or(false)
+}
+
+/// Find the design-side signal behind a protection-driven net, walking
+/// through XOR/XNOR integration gates. Returns `(design_net, invert)`:
+/// the design-side signal and whether the caller must invert it.
+///
+/// With the protection side resting at its inactive value `p0`, an
+/// integration gate computes `design ⊕ p0` (XOR) or `!(design ⊕ p0)`
+/// (XNOR), so the inversion flag is `p0 ⊕ (gate is XNOR)` folded with any
+/// inversion picked up while resolving a chained design side.
+fn bypass(
+    nl: &Netlist,
+    protected: &[bool],
+    net: NetId,
+    inactive: &dyn Fn(NetId) -> bool,
+    depth: usize,
+) -> Option<(NetId, bool)> {
+    if depth > 8 {
+        return None;
+    }
+    let Driver::Gate(g) = nl.driver(net) else {
+        // Primary inputs and constants are design-side; key inputs are
+        // not a design signal and must never terminate a bypass.
+        if nl.input_kind(net) == Some(gnnunlock_netlist::InputKind::Key) {
+            return None;
+        }
+        return Some((net, false));
+    };
+    if !is_protected(protected, g) {
+        return Some((net, false));
+    }
+    let ty = nl.gate_type(g);
+    if !matches!(ty, GateType::Xor | GateType::Xnor) || nl.gate_inputs(g).len() != 2 {
+        return None;
+    }
+    let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+    // Prefer a directly-kept side: only protection signals may be folded
+    // into their inactive value, so a live design input must win over a
+    // deeper resolution through the other side.
+    let directly_kept = |input: NetId| match nl.driver(input) {
+        Driver::Gate(src) => !is_protected(protected, src),
+        _ => nl.input_kind(input) != Some(gnnunlock_netlist::InputKind::Key),
+    };
+    let mut order: Vec<usize> = vec![0, 1];
+    if !directly_kept(ins[0]) && directly_kept(ins[1]) {
+        order = vec![1, 0];
+    }
+    // Resolve one side as design (possibly through nested integration
+    // gates); the other side contributes its inactive value.
+    for &slot in &order {
+        if let Some((design_net, invert)) =
+            bypass(nl, protected, ins[slot], inactive, depth + 1)
+        {
+            let other = ins[1 - slot];
+            let p0 = inactive(other);
+            return Some((design_net, invert ^ p0 ^ (ty == GateType::Xnor)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_gnn::{netlist_to_graph, LabelScheme};
+    use gnnunlock_locking::{
+        lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig,
+    };
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+    use gnnunlock_netlist::CellLibrary;
+    use gnnunlock_sat::{check_equivalence, EquivOptions};
+
+    fn assert_recovered(original: &Netlist, recovered: &Netlist) {
+        let opts = EquivOptions {
+            key_b: Some(vec![false; recovered.key_inputs().len()]),
+            ..Default::default()
+        };
+        let r = check_equivalence(original, recovered, &opts);
+        assert!(
+            r.is_equivalent(),
+            "recovered design not equivalent: {r:?}"
+        );
+    }
+
+    #[test]
+    fn antisat_removal_with_true_labels() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(8, 1)).unwrap();
+        let graph =
+            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
+        // All Anti-SAT gates gone.
+        assert_eq!(recovered.role_histogram()[3], 0);
+        assert_recovered(&design, &recovered);
+    }
+
+    #[test]
+    fn ttlock_removal_with_true_labels() {
+        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let locked = lock_ttlock(&design, 10, 2).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
+        let roles = recovered.role_histogram();
+        assert_eq!(roles[1] + roles[2], 0, "protection gates remain");
+        assert_recovered(&design, &recovered);
+    }
+
+    #[test]
+    fn sfll_hd2_removal_with_true_labels() {
+        let design = BenchmarkSpec::named("c5315").unwrap().scaled(0.03).generate();
+        let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 3)).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
+        assert_recovered(&design, &recovered);
+    }
+
+    #[test]
+    fn removal_after_synthesis() {
+        use gnnunlock_synth::{synthesize, SynthesisConfig};
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let mut locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 4)).unwrap();
+        locked.netlist = synthesize(
+            &locked.netlist,
+            &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(5),
+        )
+        .unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
+        assert_recovered(&design, &recovered);
+    }
+
+    #[test]
+    fn removal_is_size_reducing() {
+        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_antisat(&design, &AntiSatConfig::new(16, 7)).unwrap();
+        let graph =
+            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
+        assert!(recovered.num_gates() <= design.num_gates() + 2);
+        assert!(recovered.num_gates() < locked.netlist.num_gates());
+    }
+}

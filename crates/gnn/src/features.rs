@@ -1,0 +1,332 @@
+//! Netlist-to-graph transformation and feature extraction (paper Section
+//! IV-B).
+//!
+//! Nodes are gates; edges are wires between gates (PIs, KIs and POs are
+//! *not* nodes). Each node's feature vector `f̂` contains:
+//!
+//! - one histogram bin per library gate class counting the gates within
+//!   two hops (the node itself included),
+//! - `IN` (fan-in count) and `OUT` (fan-out count),
+//! - 0/1 flags: connected to a PI, connected to a PO, connected to a KI.
+//!
+//! `|f̂|` therefore equals `library.num_classes() + 5`: 13 for `Bench8`,
+//! 34 for `Lpe65`, 18 for `Nangate45` — the paper's Table III values.
+
+use crate::graph::Csr;
+use gnnunlock_netlist::{CellLibrary, GateId, InputKind, Netlist, NodeRole};
+use gnnunlock_neural::Matrix;
+
+/// Which label set a graph uses (paper Table II: 2 classes for Anti-SAT,
+/// 3 for TTLock / SFLL-HD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelScheme {
+    /// `0 = design`, `1 = Anti-SAT block`.
+    AntiSat,
+    /// `0 = design`, `1 = perturb`, `2 = restore`.
+    Sfll,
+}
+
+impl LabelScheme {
+    /// Number of classes.
+    pub fn num_classes(self) -> usize {
+        match self {
+            LabelScheme::AntiSat => 2,
+            LabelScheme::Sfll => 3,
+        }
+    }
+
+    /// Class index of a role.
+    pub fn label_of(self, role: NodeRole) -> usize {
+        match (self, role) {
+            (LabelScheme::AntiSat, NodeRole::AntiSat) => 1,
+            (LabelScheme::AntiSat, _) => 0,
+            (LabelScheme::Sfll, NodeRole::Perturb) => 1,
+            (LabelScheme::Sfll, NodeRole::Restore) => 2,
+            (LabelScheme::Sfll, _) => 0,
+        }
+    }
+
+    /// Human-readable tag of a class (`DN`/`AN`/`PN`/`RN`).
+    pub fn class_tag(self, class: usize) -> &'static str {
+        match (self, class) {
+            (LabelScheme::AntiSat, 0) | (LabelScheme::Sfll, 0) => "DN",
+            (LabelScheme::AntiSat, 1) => "AN",
+            (LabelScheme::Sfll, 1) => "PN",
+            (LabelScheme::Sfll, 2) => "RN",
+            _ => "??",
+        }
+    }
+}
+
+/// A circuit converted to a labelled feature graph.
+#[derive(Debug, Clone)]
+pub struct CircuitGraph {
+    /// Node features, `N x |f̂|`.
+    pub features: Matrix,
+    /// Ground-truth class per node.
+    pub labels: Vec<usize>,
+    /// Undirected gate adjacency.
+    pub adj: Csr,
+    /// Gate behind each node (meaningless after [`merge_graphs`]).
+    pub gate_ids: Vec<GateId>,
+    /// Library defining the feature layout.
+    pub library: CellLibrary,
+    /// Labelling scheme.
+    pub scheme: LabelScheme,
+    /// Name of the source circuit (joined names after merging).
+    pub name: String,
+}
+
+impl CircuitGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Feature vector length `|f̂|`.
+    pub fn feature_len(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+/// Transform a netlist into a [`CircuitGraph`].
+///
+/// # Panics
+///
+/// Panics if a gate is not a legal cell of `library` (synthesize first) or
+/// the netlist is cyclic.
+pub fn netlist_to_graph(
+    nl: &Netlist,
+    library: CellLibrary,
+    scheme: LabelScheme,
+) -> CircuitGraph {
+    let gate_ids: Vec<GateId> = nl.gate_ids().collect();
+    let mut node_of = vec![usize::MAX; nl.gate_capacity()];
+    for (idx, &g) in gate_ids.iter().enumerate() {
+        node_of[g.index()] = idx;
+    }
+    let n = gate_ids.len();
+    let edges: Vec<(usize, usize)> = nl
+        .gate_edges()
+        .into_iter()
+        .map(|(a, b)| (node_of[a.index()], node_of[b.index()]))
+        .collect();
+    let adj = Csr::from_edges(n, &edges);
+    let fanout = nl.fanout_map();
+
+    let classes = library.num_classes();
+    let flen = library.feature_len();
+    let mut features = Matrix::zeros(n, flen);
+    // Per-node gate class (for histogram accumulation).
+    let class_of: Vec<usize> = gate_ids
+        .iter()
+        .map(|&g| {
+            library
+                .feature_class(nl.gate_type(g), nl.gate_inputs(g).len())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "gate {}{} not in library {library}",
+                        nl.gate_type(g),
+                        nl.gate_inputs(g).len()
+                    )
+                })
+        })
+        .collect();
+
+    // Generation-stamped visited set for deduplicating 2-hop neighborhoods
+    // without per-node allocation.
+    let mut stamp = vec![u32::MAX; n];
+    for (idx, &g) in gate_ids.iter().enumerate() {
+        let row = features.row_mut(idx);
+        // 2-hop gate-type histogram (self + 1-hop + 2-hop, deduplicated).
+        stamp[idx] = idx as u32;
+        row[class_of[idx]] += 1.0;
+        for &n1 in adj.neighbors(idx) {
+            if stamp[n1 as usize] != idx as u32 {
+                stamp[n1 as usize] = idx as u32;
+                row[class_of[n1 as usize]] += 1.0;
+            }
+            for &n2 in adj.neighbors(n1 as usize) {
+                if stamp[n2 as usize] != idx as u32 {
+                    stamp[n2 as usize] = idx as u32;
+                    row[class_of[n2 as usize]] += 1.0;
+                }
+            }
+        }
+        // IN, OUT.
+        row[classes] = nl.gate_inputs(g).len() as f32;
+        row[classes + 1] = fanout.fanout_count(nl.gate_output(g)) as f32;
+        // PI / PO / KI adjacency flags.
+        let mut pi = false;
+        let mut ki = false;
+        for &inp in nl.gate_inputs(g) {
+            match nl.input_kind(inp) {
+                Some(InputKind::Primary) => pi = true,
+                Some(InputKind::Key) => ki = true,
+                None => {}
+            }
+        }
+        let po = fanout.feeds_output(nl.gate_output(g));
+        row[classes + 2] = f32::from(u8::from(pi));
+        row[classes + 3] = f32::from(u8::from(po));
+        row[classes + 4] = f32::from(u8::from(ki));
+    }
+
+    let labels = gate_ids
+        .iter()
+        .map(|&g| scheme.label_of(nl.role(g)))
+        .collect();
+    CircuitGraph {
+        features,
+        labels,
+        adj,
+        gate_ids,
+        library,
+        scheme,
+        name: nl.name().to_string(),
+    }
+}
+
+/// Merge graphs into one block-diagonal graph (paper Section IV-B: "a
+/// block-diagonal matrix is created for each dataset").
+///
+/// # Panics
+///
+/// Panics if libraries or schemes differ, or `graphs` is empty.
+pub fn merge_graphs(graphs: &[CircuitGraph]) -> CircuitGraph {
+    assert!(!graphs.is_empty(), "cannot merge zero graphs");
+    let library = graphs[0].library;
+    let scheme = graphs[0].scheme;
+    let flen = graphs[0].feature_len();
+    let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+    let mut features = Matrix::zeros(total, flen);
+    let mut labels = Vec::with_capacity(total);
+    let mut edges = Vec::new();
+    let mut gate_ids = Vec::with_capacity(total);
+    let mut offset = 0usize;
+    let mut names = Vec::new();
+    for g in graphs {
+        assert_eq!(g.library, library, "library mismatch in merge");
+        assert_eq!(g.scheme, scheme, "scheme mismatch in merge");
+        for r in 0..g.num_nodes() {
+            features.row_mut(offset + r).copy_from_slice(g.features.row(r));
+        }
+        labels.extend_from_slice(&g.labels);
+        gate_ids.extend_from_slice(&g.gate_ids);
+        for v in 0..g.num_nodes() {
+            for &u in g.adj.neighbors(v) {
+                if v < u as usize {
+                    edges.push((offset + v, offset + u as usize));
+                }
+            }
+        }
+        names.push(g.name.clone());
+        offset += g.num_nodes();
+    }
+    CircuitGraph {
+        features,
+        labels,
+        adj: Csr::from_edges(total, &edges),
+        gate_ids,
+        library,
+        scheme,
+        name: names.join("+"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::GateType;
+
+    /// The paper's Fig. 3b-like toy: XOR tree behind a PO with a KI layer.
+    fn toy() -> Netlist {
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let k0 = nl.add_key_input("keyinput0");
+        let k1 = nl.add_key_input("keyinput1");
+        let x0 = nl.add_gate(GateType::Xor, &[a, k0]);
+        let x1 = nl.add_gate(GateType::Xnor, &[b, k1]);
+        let top =
+            nl.add_gate_with_role(GateType::Xor, &[nl.gate_output(x0), nl.gate_output(x1)], NodeRole::Restore);
+        nl.add_output("y", nl.gate_output(top));
+        nl
+    }
+
+    #[test]
+    fn feature_lengths_match_library() {
+        let nl = toy();
+        let g = netlist_to_graph(&nl, CellLibrary::Bench8, LabelScheme::Sfll);
+        assert_eq!(g.feature_len(), 13);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn feature_contents_of_root_node() {
+        let nl = toy();
+        let g = netlist_to_graph(&nl, CellLibrary::Bench8, LabelScheme::Sfll);
+        // Find the root XOR (feeds the PO).
+        let root = (0..3)
+            .find(|&i| {
+                let classes = CellLibrary::Bench8.num_classes();
+                g.features.get(i, classes + 3) == 1.0 // PO flag
+            })
+            .expect("root found");
+        let classes = CellLibrary::Bench8.num_classes();
+        let xor_class = CellLibrary::Bench8
+            .feature_class(GateType::Xor, 2)
+            .unwrap();
+        let xnor_class = CellLibrary::Bench8
+            .feature_class(GateType::Xnor, 2)
+            .unwrap();
+        // Neighborhood = {root, x0, x1}: 2 XORs + 1 XNOR.
+        assert_eq!(g.features.get(root, xor_class), 2.0);
+        assert_eq!(g.features.get(root, xnor_class), 1.0);
+        // IN = 2, OUT = 1 (feeds PO only).
+        assert_eq!(g.features.get(root, classes), 2.0);
+        assert_eq!(g.features.get(root, classes + 1), 1.0);
+        // Root reads gate outputs, not PIs/KIs.
+        assert_eq!(g.features.get(root, classes + 2), 0.0);
+        assert_eq!(g.features.get(root, classes + 4), 0.0);
+        // Label: Restore -> class 2.
+        assert_eq!(g.labels[root], 2);
+    }
+
+    #[test]
+    fn leaf_nodes_have_ki_flags() {
+        let nl = toy();
+        let g = netlist_to_graph(&nl, CellLibrary::Bench8, LabelScheme::Sfll);
+        let classes = CellLibrary::Bench8.num_classes();
+        let ki_nodes = (0..3)
+            .filter(|&i| g.features.get(i, classes + 4) == 1.0)
+            .count();
+        assert_eq!(ki_nodes, 2);
+    }
+
+    #[test]
+    fn merge_is_block_diagonal() {
+        let nl = toy();
+        let g1 = netlist_to_graph(&nl, CellLibrary::Bench8, LabelScheme::Sfll);
+        let g2 = g1.clone();
+        let merged = merge_graphs(&[g1.clone(), g2]);
+        assert_eq!(merged.num_nodes(), 6);
+        assert_eq!(merged.adj.num_edges(), 2 * g1.adj.num_edges());
+        // No cross-block edges.
+        for v in 0..3 {
+            for &u in merged.adj.neighbors(v) {
+                assert!((u as usize) < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn label_scheme_mapping() {
+        assert_eq!(LabelScheme::AntiSat.label_of(NodeRole::AntiSat), 1);
+        assert_eq!(LabelScheme::AntiSat.label_of(NodeRole::Design), 0);
+        assert_eq!(LabelScheme::Sfll.label_of(NodeRole::Perturb), 1);
+        assert_eq!(LabelScheme::Sfll.label_of(NodeRole::Restore), 2);
+        assert_eq!(LabelScheme::Sfll.class_tag(2), "RN");
+        assert_eq!(LabelScheme::AntiSat.class_tag(1), "AN");
+    }
+}

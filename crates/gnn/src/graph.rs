@@ -1,0 +1,255 @@
+//! CSR adjacency and mean aggregation (the GraphSAGE neighborhood
+//! operator), plus block-diagonal merging of multiple circuit graphs.
+
+use gnnunlock_neural::Matrix;
+
+/// Undirected graph in compressed-sparse-row form.
+///
+/// # Examples
+///
+/// ```
+/// use gnnunlock_gnn::Csr;
+/// let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from undirected edges (each pair stored in both directions;
+    /// duplicates and self-loops are dropped).
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbors of node `v` (sorted).
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let s = self.offsets[v];
+        let e = self.offsets[v + 1];
+        unsafe {
+            // SAFETY: offsets are monotone and bounded by targets.len() by
+            // construction.
+            self.targets.get_unchecked(s..e)
+        }
+    }
+
+    /// `y[i] = Σ_{j ∈ N(i)} x[j]` (sum aggregation), threaded over rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes`.
+    pub fn sum_aggregate(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.num_nodes(), "feature row mismatch");
+        let cols = x.cols();
+        let mut out = Matrix::zeros(self.num_nodes(), cols);
+        let n_threads = if self.num_nodes() >= 2048 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16)
+        } else {
+            1
+        };
+        let rows_per = self.num_nodes().div_ceil(n_threads.max(1)).max(1);
+        let out_data = out.data_mut();
+        std::thread::scope(|scope| {
+            for (t, chunk) in out_data.chunks_mut(rows_per * cols).enumerate() {
+                let start = t * rows_per;
+                scope.spawn(move || {
+                    for (local, row) in chunk.chunks_mut(cols).enumerate() {
+                        let v = start + local;
+                        for &n in self.neighbors(v) {
+                            let src = x.row(n as usize);
+                            for (o, &s) in row.iter_mut().zip(src) {
+                                *o += s;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Mean aggregation `y[i] = mean_{j ∈ N(i)} x[j]` (isolated nodes get a
+    /// zero row).
+    pub fn mean_aggregate(&self, x: &Matrix) -> Matrix {
+        let mut y = self.sum_aggregate(x);
+        for v in 0..self.num_nodes() {
+            let d = self.degree(v);
+            if d > 1 {
+                let inv = 1.0 / d as f32;
+                for e in y.row_mut(v) {
+                    *e *= inv;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward of [`Csr::mean_aggregate`] w.r.t. its input: for a
+    /// symmetric adjacency, `(D⁻¹A)ᵀ g = A D⁻¹ g`.
+    pub fn mean_aggregate_backward(&self, grad: &Matrix) -> Matrix {
+        let mut scaled = grad.clone();
+        for v in 0..self.num_nodes() {
+            let d = self.degree(v);
+            if d > 1 {
+                let inv = 1.0 / d as f32;
+                for e in scaled.row_mut(v) {
+                    *e *= inv;
+                }
+            }
+        }
+        self.sum_aggregate(&scaled)
+    }
+
+    /// Induced subgraph on `nodes` (order defines new ids). Returns the
+    /// sub-CSR.
+    pub fn induced(&self, nodes: &[usize]) -> Csr {
+        let mut map = vec![u32::MAX; self.num_nodes()];
+        for (new, &old) in nodes.iter().enumerate() {
+            map[old] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for (new, &old) in nodes.iter().enumerate() {
+            for &n in self.neighbors(old) {
+                let m = map[n as usize];
+                if m != u32::MAX && (new as u32) < m {
+                    edges.push((new, m as usize));
+                }
+            }
+        }
+        Csr::from_edges(nodes.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_dropped() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (2, 2), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn mean_aggregation_values() {
+        let g = path4();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = g.mean_aggregate(&x);
+        assert_eq!(y.get(0, 0), 2.0); // only neighbor 1
+        assert_eq!(y.get(1, 0), 2.0); // mean(1, 3)
+        assert_eq!(y.get(2, 0), 3.0); // mean(2, 4)
+        assert_eq!(y.get(3, 0), 3.0);
+    }
+
+    #[test]
+    fn isolated_node_aggregates_to_zero() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        let x = Matrix::from_rows(&[&[5.0], &[7.0], &[9.0]]);
+        let y = g.mean_aggregate(&x);
+        assert_eq!(y.get(2, 0), 0.0);
+    }
+
+    /// ⟨A x, g⟩ = ⟨x, Aᵀ g⟩ — the backward operator must be the true
+    /// adjoint of the forward one.
+    #[test]
+    fn mean_backward_is_adjoint() {
+        let g = Csr::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 4)],
+        );
+        let x = Matrix::xavier(5, 3, 1);
+        let grad = Matrix::xavier(5, 3, 2);
+        let forward = g.mean_aggregate(&x);
+        let backward = g.mean_aggregate_backward(&grad);
+        let dot = |a: &Matrix, b: &Matrix| -> f32 {
+            a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum()
+        };
+        assert!(
+            (dot(&forward, &grad) - dot(&x, &backward)).abs() < 1e-4,
+            "adjoint identity violated"
+        );
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = path4();
+        let sub = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.neighbors(0), &[1]); // old 1 — old 2
+    }
+
+    #[test]
+    fn large_aggregation_threads_match_serial() {
+        // > 2048 nodes exercises the threaded path.
+        let n = 3000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Csr::from_edges(n, &edges);
+        let x = Matrix::xavier(n, 4, 3);
+        let y = g.sum_aggregate(&x);
+        for v in [0usize, 1500, 2999] {
+            for c in 0..4 {
+                let expected: f32 = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| x.get(u as usize, c))
+                    .sum();
+                assert!((y.get(v, c) - expected).abs() < 1e-5);
+            }
+        }
+    }
+}

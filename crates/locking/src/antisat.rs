@@ -1,0 +1,265 @@
+//! Anti-SAT logic locking (Xie & Srivastava, CHES 2016).
+//!
+//! The Anti-SAT block taps `n = K/2` primary inputs `X`. Two complementary
+//! functions are built over key-mixed copies of `X`: `g` (an AND tree) and
+//! `ḡ` (a NAND tree). Their outputs feed an AND gate producing `Y`, which
+//! is XORed into an internal net of the design. With the correct key the
+//! two key-mixing layers cancel, `Y` is constantly 0, and the design is
+//! untouched; a wrong key makes `Y` fire for some input patterns.
+//!
+//! Key mixing uses XOR gates where the secret key bit is 0 and XNOR gates
+//! where it is 1, so the *structure* of the block depends on the key value
+//! — exactly the variability the GNN must learn (paper Section IV-A).
+
+use crate::key::Key;
+use crate::locked::{LockedCircuit, Scheme};
+use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`lock_antisat`].
+#[derive(Debug, Clone)]
+pub struct AntiSatConfig {
+    /// Total key bits `K` (must be even and ≥ 4); the block taps `K/2`
+    /// primary inputs.
+    pub key_bits: usize,
+    /// RNG seed controlling the key value, tapped inputs and insertion
+    /// point.
+    pub seed: u64,
+}
+
+impl AntiSatConfig {
+    /// Convenience constructor.
+    pub fn new(key_bits: usize, seed: u64) -> Self {
+        AntiSatConfig { key_bits, seed }
+    }
+}
+
+/// Lock `original` with an Anti-SAT block.
+///
+/// All block gates are labelled [`NodeRole::AntiSat`]; the XOR that mixes
+/// `Y` into the design keeps the design label (like SFLL's stripping XOR,
+/// it computes part of the locked design's function — removal ties `Y` to
+/// its inactive 0 and the XOR constant-propagates away).
+///
+/// # Errors
+///
+/// Returns an error message if the design has fewer than `K/2` primary
+/// inputs or no internal net to lock.
+pub fn lock_antisat(
+    original: &Netlist,
+    cfg: &AntiSatConfig,
+) -> Result<LockedCircuit, String> {
+    if !cfg.key_bits.is_multiple_of(2) || cfg.key_bits < 4 {
+        return Err(format!("key_bits must be even and ≥ 4, got {}", cfg.key_bits));
+    }
+    let n = cfg.key_bits / 2;
+    let pis = original.primary_inputs();
+    if pis.len() < n {
+        return Err(format!(
+            "design has {} primary inputs, Anti-SAT with K={} needs {}",
+            pis.len(),
+            cfg.key_bits,
+            n
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let key = Key::random(cfg.key_bits, rng.random());
+
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_antisat_k{}", original.name(), cfg.key_bits));
+
+    // Select n distinct PIs as X (indices into the PI list).
+    let mut indices: Vec<usize> = (0..pis.len()).collect();
+    for i in 0..n {
+        let j = rng.random_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(n);
+    let taps: Vec<NetId> = indices.iter().map(|&i| pis[i]).collect();
+    let tap_names: Vec<String> = taps
+        .iter()
+        .map(|&t| nl.net_name(t).to_string())
+        .collect();
+
+    // Key inputs: bits 0..n feed g, bits n..2n feed ḡ.
+    let kis: Vec<NetId> = (0..cfg.key_bits)
+        .map(|i| nl.add_key_input(format!("keyinput{i}")))
+        .collect();
+
+    // Key-mixing layer for one half; polarity chosen so that the correct
+    // key passes X through unchanged.
+    let mix = |nl: &mut Netlist, offset: usize| -> Vec<NetId> {
+        taps.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let ty = if key.bit(offset + i) {
+                    GateType::Xnor
+                } else {
+                    GateType::Xor
+                };
+                let g = nl.add_gate_with_role(ty, &[x, kis[offset + i]], NodeRole::AntiSat);
+                nl.gate_output(g)
+            })
+            .collect()
+    };
+    let g_leaves = mix(&mut nl, 0);
+    let gbar_leaves = mix(&mut nl, n);
+
+    // g: one wide AND; ḡ: one wide NAND — matching the bench-format
+    // netlists the authors' Anti-SAT binary emits (single n-input gates,
+    // not balanced trees). A later technology mapping decomposes them.
+    let g_out = reduce(&mut nl, &g_leaves, false);
+    let gbar_out = reduce(&mut nl, &gbar_leaves, true);
+    let y_gate = nl.add_gate_with_role(GateType::And, &[g_out, gbar_out], NodeRole::AntiSat);
+    let y = nl.gate_output(y_gate);
+
+    // Integrate: pick an internal net (gate-driven, feeding other design
+    // logic or an output) and XOR Y into it.
+    let fanout = nl.fanout_map();
+    let candidates: Vec<NetId> = original
+        .gate_ids()
+        .map(|g| original.gate_output(g))
+        .filter(|&net| fanout.fanout_count(net) > 0)
+        .collect();
+    if candidates.is_empty() {
+        return Err("design has no internal net to lock".into());
+    }
+    let victim = candidates[rng.random_range(0..candidates.len())];
+    let victim_name = nl.net_name(victim).to_string();
+    let xor = nl.add_gate(GateType::Xor, &[victim, y]);
+    let locked_net = nl.gate_output(xor);
+    // Readers of the victim net now read the locked net; the XOR itself
+    // keeps reading the victim.
+    nl.replace_net_uses(victim, locked_net);
+    nl.set_gate_inputs(xor, &[victim, y]);
+
+    Ok(LockedCircuit {
+        netlist: nl,
+        scheme: Scheme::AntiSat,
+        key,
+        protected_inputs: tap_names,
+        target: victim_name,
+    })
+}
+
+/// One wide AND (or NAND when `invert` is set) over `leaves`; a single
+/// leaf degenerates to a BUF/INV.
+fn reduce(nl: &mut Netlist, leaves: &[NetId], invert: bool) -> NetId {
+    assert!(!leaves.is_empty());
+    if leaves.len() == 1 {
+        let ty = if invert { GateType::Inv } else { GateType::Buf };
+        let g = nl.add_gate_with_role(ty, leaves, NodeRole::AntiSat);
+        return nl.gate_output(g);
+    }
+    let ty = if invert { GateType::Nand } else { GateType::And };
+    let g = nl.add_gate_with_role(ty, leaves, NodeRole::AntiSat);
+    nl.gate_output(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    fn small_design() -> Netlist {
+        BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate()
+    }
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let orig = small_design();
+        let locked = lock_antisat(&orig, &AntiSatConfig::new(8, 3)).unwrap();
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(
+                orig.eval_outputs(&pi, &[]).unwrap(),
+                locked.eval_with_correct_key(&pi).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_some_input() {
+        let orig = small_design();
+        let locked = lock_antisat(&orig, &AntiSatConfig::new(8, 3)).unwrap();
+        // Flipping one bit of one half makes Y fire when the mixed inputs
+        // align; search a few hundred random patterns for a corruption.
+        let bad_key = locked.key.with_flipped(0);
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut corrupted = false;
+        for _ in 0..2000 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            if orig.eval_outputs(&pi, &[]).unwrap()
+                != locked.netlist.eval_outputs(&pi, bad_key.bits()).unwrap()
+            {
+                corrupted = true;
+                break;
+            }
+        }
+        assert!(corrupted, "wrong key never corrupted the design");
+    }
+
+    #[test]
+    fn all_added_gates_are_labelled() {
+        let orig = small_design();
+        let locked = lock_antisat(&orig, &AntiSatConfig::new(16, 5)).unwrap();
+        let roles = locked.netlist.role_histogram();
+        // Design gains exactly the integration XOR.
+        assert_eq!(roles[0], orig.num_gates() + 1, "design gate count changed");
+        // 2n key XOR/XNORs + wide AND + wide NAND + Y AND.
+        assert_eq!(roles[3], 16 + 3, "unexpected Anti-SAT block size: {roles:?}");
+        assert_eq!(roles[1], 0);
+        assert_eq!(roles[2], 0);
+    }
+
+    #[test]
+    fn every_antisat_gate_has_key_in_cone_except_none() {
+        let orig = small_design();
+        let locked = lock_antisat(&orig, &AntiSatConfig::new(8, 7)).unwrap();
+        let nl = &locked.netlist;
+        for g in nl.gate_ids() {
+            if nl.role(g) == NodeRole::AntiSat {
+                assert!(
+                    nl.cone_has_key_input(g),
+                    "Anti-SAT gate without KI in cone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structure_depends_on_key_value() {
+        let orig = small_design();
+        let a = lock_antisat(&orig, &AntiSatConfig::new(16, 1)).unwrap();
+        let b = lock_antisat(&orig, &AntiSatConfig::new(16, 2)).unwrap();
+        assert_ne!(a.key, b.key);
+        // Different keys yield different XOR/XNOR mixes.
+        let count = |lc: &LockedCircuit, ty: GateType| {
+            lc.netlist
+                .gate_ids()
+                .filter(|&g| {
+                    lc.netlist.role(g) == NodeRole::AntiSat && lc.netlist.gate_type(g) == ty
+                })
+                .count()
+        };
+        assert_ne!(
+            count(&a, GateType::Xnor),
+            count(&b, GateType::Xnor),
+            "key-dependent structure expected"
+        );
+    }
+
+    #[test]
+    fn rejects_undersized_designs() {
+        let mut tiny = Netlist::new("tiny");
+        let a = tiny.add_primary_input("a");
+        let g = tiny.add_gate(GateType::Inv, &[a]);
+        tiny.add_output("y", tiny.gate_output(g));
+        assert!(lock_antisat(&tiny, &AntiSatConfig::new(8, 0)).is_err());
+        assert!(lock_antisat(&tiny, &AntiSatConfig::new(7, 0)).is_err());
+    }
+}

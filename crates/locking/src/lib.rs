@@ -1,0 +1,48 @@
+//! Provably secure logic locking (PSLL) schemes for the GNNUnlock
+//! reproduction.
+//!
+//! Implements the three schemes the paper attacks, plus the conventional
+//! random locking used by the SAT-attack demo:
+//!
+//! - [`antisat::lock_antisat`] — Anti-SAT (CHES 2016),
+//! - [`caslock::lock_caslock`] — CAS-Lock (CHES 2020; extension),
+//! - [`sfll::lock_ttlock`] — TTLock (GLSVLSI 2017),
+//! - [`sfll::lock_sfll_hd`] — SFLL-HD_h (CCS 2017),
+//! - [`rll::lock_rll`] — EPIC-style XOR/XNOR key gates.
+//!
+//! Every inserted gate carries a ground-truth
+//! [`gnnunlock_netlist::NodeRole`] label used for GNN training and
+//! attack-accuracy evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_locking::{lock_ttlock};
+//! use gnnunlock_netlist::generator::BenchmarkSpec;
+//!
+//! let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+//! let locked = lock_ttlock(&design, 8, 42).unwrap();
+//! assert_eq!(locked.netlist.key_inputs().len(), 8);
+//! // Correct key ⇒ original behaviour.
+//! let pi = vec![false; design.primary_inputs().len()];
+//! assert_eq!(
+//!     design.eval_outputs(&pi, &[]).unwrap(),
+//!     locked.eval_with_correct_key(&pi).unwrap()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod antisat;
+pub mod caslock;
+mod key;
+mod locked;
+pub mod rll;
+pub mod sfll;
+
+pub use antisat::{lock_antisat, AntiSatConfig};
+pub use caslock::{lock_caslock, CasLockConfig};
+pub use key::Key;
+pub use locked::{LockedCircuit, Scheme};
+pub use rll::lock_rll;
+pub use sfll::{lock_sfll_hd, lock_ttlock, SfllConfig};

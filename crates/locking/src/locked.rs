@@ -1,0 +1,88 @@
+//! Shared types describing a locked circuit instance.
+
+use crate::key::Key;
+use gnnunlock_netlist::Netlist;
+use std::fmt;
+
+/// Which locking scheme produced a [`LockedCircuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Anti-SAT (Xie & Srivastava, CHES 2016).
+    AntiSat,
+    /// TTLock (Yasin et al., GLSVLSI 2017) — equivalent to SFLL-HD₀.
+    TtLock,
+    /// SFLL-HD_h (Yasin et al., CCS 2017) with the given Hamming distance.
+    SfllHd(u32),
+    /// CAS-Lock (Shakya et al., CHES 2020): Anti-SAT with alternating
+    /// AND/OR cascades — implemented as an extension.
+    CasLock,
+    /// Random XOR/XNOR key-gate insertion (EPIC-style); the non-PSLL
+    /// baseline target used by the oracle-guided SAT attack demo.
+    Rll,
+}
+
+impl Scheme {
+    /// Number of node classes the GNN distinguishes for this scheme
+    /// (paper Table II: 3 for SFLL-HD/TTLock, 2 for Anti-SAT).
+    pub fn num_classes(self) -> usize {
+        match self {
+            Scheme::AntiSat | Scheme::CasLock => 2,
+            Scheme::TtLock | Scheme::SfllHd(_) => 3,
+            Scheme::Rll => 2,
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::AntiSat => write!(f, "Anti-SAT"),
+            Scheme::CasLock => write!(f, "CAS-Lock"),
+            Scheme::TtLock => write!(f, "TTLock"),
+            Scheme::SfllHd(h) => write!(f, "SFLL-HD{h}"),
+            Scheme::Rll => write!(f, "RLL"),
+        }
+    }
+}
+
+/// A locked netlist together with its ground-truth secret material.
+///
+/// The ground truth (`key`, `protected_inputs`) is used only for dataset
+/// labelling and end-of-attack verification — the attack itself never reads
+/// it (oracle-less setting).
+#[derive(Debug, Clone)]
+pub struct LockedCircuit {
+    /// The locked netlist; protection gates carry their
+    /// [`gnnunlock_netlist::NodeRole`] labels.
+    pub netlist: Netlist,
+    /// The locking scheme used.
+    pub scheme: Scheme,
+    /// The correct key (bit `i` drives `keyinput{i}`).
+    pub key: Key,
+    /// Names of the primary inputs selected as the protected set `X`
+    /// (SFLL/TTLock) or tapped by the Anti-SAT block. Empty for RLL.
+    pub protected_inputs: Vec<String>,
+    /// Name of the output (SFLL/TTLock) or internal net (Anti-SAT) whose
+    /// function the protection modifies.
+    pub target: String,
+}
+
+impl LockedCircuit {
+    /// Evaluate the locked circuit under its correct key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn eval_with_correct_key(
+        &self,
+        pi: &[bool],
+    ) -> gnnunlock_netlist::Result<Vec<bool>> {
+        self.netlist.eval_outputs(pi, self.key.bits())
+    }
+}
+
+impl fmt::Display for LockedCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} locked with {} (K={})", self.netlist, self.scheme, self.key.len())
+    }
+}

@@ -1,0 +1,112 @@
+//! Random logic locking (RLL / EPIC-style XOR key gates).
+//!
+//! Not a PSLL scheme — included as the background target for the
+//! oracle-guided SAT attack demo (paper Section I: pre-SAT-attack locking)
+//! and to exercise the framework on conventional key-gate insertion.
+
+use crate::key::Key;
+use crate::locked::{LockedCircuit, Scheme};
+use gnnunlock_netlist::{GateType, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Lock `original` by inserting `key_bits` XOR/XNOR key gates on random
+/// internal nets.
+///
+/// For key bit 0 an XOR gate is inserted (pass-through at `k=0`); for key
+/// bit 1 an XNOR gate (pass-through at `k=1`). Key gates keep the
+/// [`gnnunlock_netlist::NodeRole::Design`] label — RLL is not a target of
+/// the GNNUnlock classifier.
+///
+/// # Errors
+///
+/// Returns an error message if the design has fewer internal nets than
+/// `key_bits`.
+pub fn lock_rll(original: &Netlist, key_bits: usize, seed: u64) -> Result<LockedCircuit, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = Key::random(key_bits, rng.random());
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_rll_k{}", original.name(), key_bits));
+
+    let candidates: Vec<NetId> = original.gate_ids().map(|g| original.gate_output(g)).collect();
+    if candidates.len() < key_bits {
+        return Err(format!(
+            "design has {} internal nets, RLL with K={key_bits} needs {key_bits}",
+            candidates.len()
+        ));
+    }
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    for i in 0..key_bits {
+        let j = rng.random_range(i..order.len());
+        order.swap(i, j);
+    }
+    for (bit, &idx) in order.iter().take(key_bits).enumerate() {
+        let victim = candidates[idx];
+        let ki = nl.add_key_input(format!("keyinput{bit}"));
+        let ty = if key.bit(bit) {
+            GateType::Xnor
+        } else {
+            GateType::Xor
+        };
+        let g = nl.add_gate(ty, &[victim, ki]);
+        let locked_net = nl.gate_output(g);
+        nl.replace_net_uses(victim, locked_net);
+        nl.set_gate_inputs(g, &[victim, ki]);
+    }
+    Ok(LockedCircuit {
+        netlist: nl,
+        scheme: Scheme::Rll,
+        key,
+        protected_inputs: Vec::new(),
+        target: String::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_rll(&orig, 8, 4).unwrap();
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(
+                orig.eval_outputs(&pi, &[]).unwrap(),
+                locked.eval_with_correct_key(&pi).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts() {
+        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_rll(&orig, 8, 4).unwrap();
+        let bad = locked.key.with_flipped(3);
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut diff = false;
+        for _ in 0..500 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            if orig.eval_outputs(&pi, &[]).unwrap()
+                != locked.netlist.eval_outputs(&pi, bad.bits()).unwrap()
+            {
+                diff = true;
+                break;
+            }
+        }
+        assert!(diff, "flipped key bit never visible at outputs");
+    }
+
+    #[test]
+    fn key_gate_count_matches() {
+        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let locked = lock_rll(&orig, 16, 4).unwrap();
+        assert_eq!(locked.netlist.num_gates(), orig.num_gates() + 16);
+        assert_eq!(locked.netlist.key_inputs().len(), 16);
+    }
+}

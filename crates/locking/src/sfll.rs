@@ -1,0 +1,500 @@
+//! SFLL-HD and TTLock logic locking (Yasin et al., CCS 2017 / GLSVLSI
+//! 2017).
+//!
+//! SFLL-HD_h strips the functionality of one output for every input whose
+//! protected-bit pattern lies at Hamming distance `h` from the secret key:
+//!
+//! - the **perturb unit** computes `flip = (HD(X, K*) == h)` against the
+//!   *hard-coded* key — inverters stand where key bits are 1, wires where
+//!   they are 0, so its structure depends on the key value;
+//! - `flip` is XORed into the target output, producing the
+//!   functionality-stripped circuit (that XOR is part of the stripped
+//!   design, not the protection cone — it is the gate the paper's
+//!   post-processing walks through when checking "connected to RN");
+//! - the **restore unit** computes `restore = (HD(X, K) == h)` from the
+//!   key *inputs* and XORs it into the stripped output, cancelling the
+//!   perturbation exactly when `K = K*`.
+//!
+//! TTLock is the `h = 0` special case; both units degenerate to equality
+//! comparators (no adder trees), matching the paper's description.
+
+use crate::key::Key;
+use crate::locked::{LockedCircuit, Scheme};
+use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`lock_sfll_hd`].
+#[derive(Debug, Clone)]
+pub struct SfllConfig {
+    /// Key size `K` = number of protected primary inputs.
+    pub key_bits: usize,
+    /// Hamming distance `h` (0 = TTLock).
+    pub h: u32,
+    /// RNG seed controlling key value, protected-input choice and target
+    /// output.
+    pub seed: u64,
+}
+
+impl SfllConfig {
+    /// Convenience constructor.
+    pub fn new(key_bits: usize, h: u32, seed: u64) -> Self {
+        SfllConfig { key_bits, h, seed }
+    }
+}
+
+/// Lock `original` with SFLL-HD_h.
+///
+/// Perturb-unit gates are labelled [`NodeRole::Perturb`], restore-unit
+/// gates (including the final restore XOR) [`NodeRole::Restore`]; the
+/// stripping XOR stays [`NodeRole::Design`].
+///
+/// # Errors
+///
+/// Returns an error message if `K` exceeds the number of primary inputs,
+/// `h > K`, or the design has no outputs.
+pub fn lock_sfll_hd(original: &Netlist, cfg: &SfllConfig) -> Result<LockedCircuit, String> {
+    let k = cfg.key_bits;
+    if k == 0 {
+        return Err("key_bits must be positive".into());
+    }
+    if cfg.h as usize > k {
+        return Err(format!("h={} exceeds key size {}", cfg.h, k));
+    }
+    let pis = original.primary_inputs();
+    if pis.len() < k {
+        return Err(format!(
+            "design has {} primary inputs, SFLL with K={k} needs {k}",
+            pis.len()
+        ));
+    }
+    if original.num_outputs() == 0 {
+        return Err("design has no outputs".into());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let key = Key::random(k, rng.random());
+
+    let mut nl = original.clone();
+    let scheme_tag = if cfg.h == 0 { "ttlock".to_string() } else { format!("sfllhd{}", cfg.h) };
+    nl.set_name(format!("{}_{}_k{}", original.name(), scheme_tag, k));
+
+    // Protected inputs X: k distinct PIs.
+    let mut indices: Vec<usize> = (0..pis.len()).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(k);
+    let xsel: Vec<NetId> = indices.iter().map(|&i| pis[i]).collect();
+    let xsel_names: Vec<String> = xsel.iter().map(|&n| nl.net_name(n).to_string()).collect();
+
+    let kis: Vec<NetId> = (0..k)
+        .map(|i| nl.add_key_input(format!("keyinput{i}")))
+        .collect();
+
+    // ---- Perturb unit: flip = (HD(X, K*) == h), hard-coded key ----
+    let mut pb = UnitBuilder {
+        nl: &mut nl,
+        role: NodeRole::Perturb,
+    };
+    // d_i = x_i XOR k*_i: a wire for key bit 0, an inverter for key bit 1.
+    let diffs: Vec<NetId> = xsel
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            if key.bit(i) {
+                pb.gate(GateType::Inv, &[x])
+            } else {
+                x
+            }
+        })
+        .collect();
+    let flip = pb.hd_equals(&diffs, cfg.h as u64, k);
+
+    // ---- Restore unit: restore = (HD(X, K) == h), key inputs ----
+    let mut rb = UnitBuilder {
+        nl: &mut nl,
+        role: NodeRole::Restore,
+    };
+    let rdiffs: Vec<NetId> = xsel
+        .iter()
+        .zip(&kis)
+        .map(|(&x, &ki)| rb.gate(GateType::Xor, &[x, ki]))
+        .collect();
+    let restore = rb.hd_equals(&rdiffs, cfg.h as u64, k);
+
+    // ---- Integration at a randomly chosen primary output ----
+    let outputs: Vec<(String, NetId)> = nl
+        .outputs()
+        .map(|(n, net)| (n.to_string(), net))
+        .collect();
+    let (target_name, y) = outputs[rng.random_range(0..outputs.len())].clone();
+    // Stripping XOR is part of the (functionality-stripped) design.
+    let strip = nl.add_gate(GateType::Xor, &[y, flip]);
+    let y_stripped = nl.gate_output(strip);
+    let restore_xor =
+        nl.add_gate_with_role(GateType::Xor, &[y_stripped, restore], NodeRole::Restore);
+    let y_final = nl.gate_output(restore_xor);
+    // Only the chosen PO moves to the protected net; other readers of `y`
+    // (internal logic or same-net POs) are untouched.
+    retarget_output(&mut nl, &target_name, y_final);
+
+    let scheme = if cfg.h == 0 {
+        Scheme::TtLock
+    } else {
+        Scheme::SfllHd(cfg.h)
+    };
+    Ok(LockedCircuit {
+        netlist: nl,
+        scheme,
+        key,
+        protected_inputs: xsel_names,
+        target: target_name,
+    })
+}
+
+/// Lock with TTLock (= SFLL-HD₀).
+///
+/// # Errors
+///
+/// See [`lock_sfll_hd`].
+pub fn lock_ttlock(
+    original: &Netlist,
+    key_bits: usize,
+    seed: u64,
+) -> Result<LockedCircuit, String> {
+    lock_sfll_hd(original, &SfllConfig::new(key_bits, 0, seed))
+}
+
+/// Point the named primary output at `net`.
+fn retarget_output(nl: &mut Netlist, name: &str, net: NetId) {
+    let rebuilt: Vec<(String, NetId)> = nl
+        .outputs()
+        .map(|(n, old)| {
+            if n == name {
+                (n.to_string(), net)
+            } else {
+                (n.to_string(), old)
+            }
+        })
+        .collect();
+    // Netlist has no output-mutation API by design; rebuild the list.
+    nl.clear_outputs();
+    for (n, v) in rebuilt {
+        nl.add_output(n, v);
+    }
+}
+
+/// Builds protection-unit logic with a fixed role label.
+struct UnitBuilder<'a> {
+    nl: &'a mut Netlist,
+    role: NodeRole,
+}
+
+impl UnitBuilder<'_> {
+    fn gate(&mut self, ty: GateType, inputs: &[NetId]) -> NetId {
+        let g = self.nl.add_gate_with_role(ty, inputs, self.role);
+        self.nl.gate_output(g)
+    }
+
+    /// `(HD-vector d has exactly `h` ones)`, where `max` bounds the count.
+    ///
+    /// For `h == 0` this is a NOR/equality structure (TTLock's "basic
+    /// comparator"); otherwise a popcount adder tree plus an equality
+    /// comparator against the constant `h`.
+    fn hd_equals(&mut self, diffs: &[NetId], h: u64, max: usize) -> NetId {
+        if h == 0 {
+            // flip = AND over !d_i — built as a NOR tree over chunks.
+            let invs: Vec<NetId> = diffs
+                .iter()
+                .map(|&d| self.gate(GateType::Inv, &[d]))
+                .collect();
+            return self.and_tree(&invs);
+        }
+        let sum = self.popcount(diffs);
+        let width = (usize::BITS - max.leading_zeros()) as usize;
+        debug_assert!(sum.len() <= width.max(sum.len()));
+        self.equals_const(&sum, h)
+    }
+
+    /// Popcount of `bits`, LSB-first, via a divide-and-conquer adder tree.
+    fn popcount(&mut self, bits: &[NetId]) -> Vec<NetId> {
+        match bits.len() {
+            0 => Vec::new(),
+            1 => vec![bits[0]],
+            2 => {
+                let s = self.gate(GateType::Xor, &[bits[0], bits[1]]);
+                let c = self.gate(GateType::And, &[bits[0], bits[1]]);
+                vec![s, c]
+            }
+            3 => {
+                let (s, c) = self.full_adder(bits[0], bits[1], bits[2]);
+                vec![s, c]
+            }
+            n => {
+                let (lo, hi) = bits.split_at(n / 2);
+                let a = self.popcount(lo);
+                let b = self.popcount(hi);
+                self.ripple_add(&a, &b)
+            }
+        }
+    }
+
+    /// Full adder mapped onto arithmetic cells (`XOR3` sum, `MAJ3`
+    /// carry), as a commercial flow maps adder trees onto its FA/HA
+    /// cells; `legalize` re-expands them for libraries without such
+    /// cells (e.g. Nangate45).
+    fn full_adder(&mut self, a: NetId, b: NetId, c: NetId) -> (NetId, NetId) {
+        let s = self.gate(GateType::Xor, &[a, b, c]);
+        let carry = self.gate(GateType::Maj3, &[a, b, c]);
+        (s, carry)
+    }
+
+    /// Ripple-carry addition of two LSB-first vectors.
+    fn ripple_add(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let width = a.len().max(b.len());
+        let mut out = Vec::with_capacity(width + 1);
+        let mut carry: Option<NetId> = None;
+        for i in 0..width {
+            match (a.get(i).copied(), b.get(i).copied(), carry) {
+                (Some(x), Some(y), Some(c)) => {
+                    let (s, co) = self.full_adder(x, y, c);
+                    out.push(s);
+                    carry = Some(co);
+                }
+                (Some(x), Some(y), None) => {
+                    let s = self.gate(GateType::Xor, &[x, y]);
+                    let co = self.gate(GateType::And, &[x, y]);
+                    out.push(s);
+                    carry = Some(co);
+                }
+                (Some(x), None, Some(c)) | (None, Some(x), Some(c)) => {
+                    let s = self.gate(GateType::Xor, &[x, c]);
+                    let co = self.gate(GateType::And, &[x, c]);
+                    out.push(s);
+                    carry = Some(co);
+                }
+                (Some(x), None, None) | (None, Some(x), None) => {
+                    out.push(x);
+                    carry = None;
+                }
+                (None, None, _) => unreachable!("i < width"),
+            }
+        }
+        if let Some(c) = carry {
+            out.push(c);
+        }
+        out
+    }
+
+    /// `bits == value` (LSB-first): AND-tree over per-bit literals.
+    fn equals_const(&mut self, bits: &[NetId], value: u64) -> NetId {
+        let lits: Vec<NetId> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if (value >> i) & 1 == 1 {
+                    b
+                } else {
+                    self.gate(GateType::Inv, &[b])
+                }
+            })
+            .collect();
+        self.and_tree(&lits)
+    }
+
+    /// Balanced AND tree (chunked by 2–3 to vary the topology per key).
+    fn and_tree(&mut self, leaves: &[NetId]) -> NetId {
+        assert!(!leaves.is_empty());
+        let mut layer = leaves.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(GateType::And, pair));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+
+    fn small_design() -> Netlist {
+        BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate()
+    }
+
+    fn pattern_with_hd(locked: &LockedCircuit, orig: &Netlist, hd: usize) -> Vec<bool> {
+        // Build a PI pattern whose protected bits are at distance `hd`
+        // from the secret key (remaining PIs are 0).
+        let n_pi = orig.primary_inputs().len();
+        let names: Vec<String> = orig
+            .inputs()
+            .filter(|(_, kind, _)| *kind == gnnunlock_netlist::InputKind::Primary)
+            .map(|(n, _, _)| n.to_string())
+            .collect();
+        let mut pi = vec![false; n_pi];
+        for (i, pname) in locked.protected_inputs.iter().enumerate() {
+            let pos = names.iter().position(|n| n == pname).unwrap();
+            pi[pos] = if i < hd {
+                !locked.key.bit(i)
+            } else {
+                locked.key.bit(i)
+            };
+        }
+        pi
+    }
+
+    #[test]
+    fn ttlock_correct_key_preserves_function() {
+        let orig = small_design();
+        let locked = lock_ttlock(&orig, 8, 21).unwrap();
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(
+                orig.eval_outputs(&pi, &[]).unwrap(),
+                locked.eval_with_correct_key(&pi).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sfll_hd2_correct_key_preserves_function() {
+        let orig = small_design();
+        let locked = lock_sfll_hd(&orig, &SfllConfig::new(12, 2, 33)).unwrap();
+        let n_pi = orig.primary_inputs().len();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..40 {
+            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(
+                orig.eval_outputs(&pi, &[]).unwrap(),
+                locked.eval_with_correct_key(&pi).unwrap()
+            );
+        }
+        // Also exactly on protected patterns (HD == h).
+        let pi = pattern_with_hd(&locked, &orig, 2);
+        assert_eq!(
+            orig.eval_outputs(&pi, &[]).unwrap(),
+            locked.eval_with_correct_key(&pi).unwrap()
+        );
+    }
+
+    #[test]
+    fn stripped_circuit_flips_protected_patterns() {
+        // With restore forced to 0 (all-zero wrong key far from K*), the
+        // protected pattern must disagree with the original on the target
+        // output.
+        let orig = small_design();
+        let cfg = SfllConfig::new(10, 2, 77);
+        let locked = lock_sfll_hd(&orig, &cfg).unwrap();
+        let pi = pattern_with_hd(&locked, &orig, 2);
+        let target_idx = orig
+            .outputs()
+            .position(|(n, _)| n == locked.target)
+            .unwrap();
+        // Key at max distance: restore fires only when HD(X,K)==2, which
+        // this pattern does not satisfy unless keys collide; use the
+        // complement key (distance K from K*).
+        let far_key: Vec<bool> = locked.key.bits().iter().map(|&b| !b).collect();
+        let stripped_out = locked.netlist.eval_outputs(&pi, &far_key).unwrap();
+        let orig_out = orig.eval_outputs(&pi, &[]).unwrap();
+        assert_ne!(
+            stripped_out[target_idx], orig_out[target_idx],
+            "protected pattern was not stripped"
+        );
+    }
+
+    #[test]
+    fn unprotected_patterns_unaffected_by_stripping() {
+        let orig = small_design();
+        let locked = lock_sfll_hd(&orig, &SfllConfig::new(10, 2, 78)).unwrap();
+        // HD(X, K*) = 5 ≠ 2: no flip; restore with complement key fires
+        // only at HD(X,K)=2 i.e. HD(X,K*)=8 — also silent. Output intact.
+        let pi = pattern_with_hd(&locked, &orig, 5);
+        let far_key: Vec<bool> = locked.key.bits().iter().map(|&b| !b).collect();
+        assert_eq!(
+            orig.eval_outputs(&pi, &[]).unwrap(),
+            locked.netlist.eval_outputs(&pi, &far_key).unwrap()
+        );
+    }
+
+    #[test]
+    fn roles_partition_correctly() {
+        let orig = small_design();
+        let locked = lock_sfll_hd(&orig, &SfllConfig::new(16, 4, 9)).unwrap();
+        let [dn, pn, rn, an] = locked.netlist.role_histogram();
+        assert_eq!(an, 0);
+        assert!(pn > 16, "perturb unit too small: {pn}");
+        assert!(rn > pn, "restore unit should exceed perturb (key XOR layer): {rn} vs {pn}");
+        // Design gained exactly one gate: the stripping XOR.
+        assert_eq!(dn, orig.num_gates() + 1);
+    }
+
+    #[test]
+    fn perturb_unit_is_pure_function_of_protected_inputs() {
+        let orig = small_design();
+        let locked = lock_sfll_hd(&orig, &SfllConfig::new(12, 2, 13)).unwrap();
+        let nl = &locked.netlist;
+        for g in nl.gate_ids() {
+            if nl.role(g) == NodeRole::Perturb {
+                for inp in nl.cone_inputs(g) {
+                    let name = nl.net_name(inp);
+                    assert!(
+                        locked.protected_inputs.iter().any(|p| p == name),
+                        "perturb gate sees non-protected input {name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_nodes_have_keys_in_cone() {
+        let orig = small_design();
+        let locked = lock_ttlock(&orig, 12, 14).unwrap();
+        let nl = &locked.netlist;
+        for g in nl.gate_ids() {
+            if nl.role(g) == NodeRole::Restore {
+                assert!(nl.cone_has_key_input(g), "restore gate without KI");
+            }
+        }
+    }
+
+    #[test]
+    fn ttlock_has_no_adder_tree() {
+        let orig = small_design();
+        let tt = lock_ttlock(&orig, 16, 2).unwrap();
+        let hd2 = lock_sfll_hd(&orig, &SfllConfig::new(16, 2, 2)).unwrap();
+        let count_prot = |lc: &LockedCircuit| {
+            lc.netlist
+                .gate_ids()
+                .filter(|&g| lc.netlist.role(g).is_protection())
+                .count()
+        };
+        // With FA-cell mapping the HD checker is compact, but the adder
+        // tree still clearly exceeds TTLock's bare comparator.
+        assert!(
+            count_prot(&hd2) > count_prot(&tt) * 5 / 4,
+            "SFLL-HD2 should be larger than TTLock ({} vs {})",
+            count_prot(&hd2),
+            count_prot(&tt)
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let orig = small_design();
+        assert!(lock_sfll_hd(&orig, &SfllConfig::new(0, 0, 1)).is_err());
+        assert!(lock_sfll_hd(&orig, &SfllConfig::new(8, 9, 1)).is_err());
+        assert!(lock_sfll_hd(&orig, &SfllConfig::new(100_000, 2, 1)).is_err());
+    }
+}

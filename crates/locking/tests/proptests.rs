@@ -1,0 +1,146 @@
+//! Property-based tests of the locking schemes' security contracts.
+
+use gnnunlock_locking::{
+    lock_antisat, lock_caslock, lock_rll, lock_sfll_hd, AntiSatConfig, CasLockConfig,
+    SfllConfig,
+};
+use gnnunlock_netlist::{generator::BenchmarkSpec, Netlist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn design(seed: u64) -> Netlist {
+    let names = ["c2670", "c3540", "c5315", "c7552"];
+    let mut spec = BenchmarkSpec::named(names[(seed % 4) as usize])
+        .unwrap()
+        .scaled(0.02);
+    spec.seed = seed;
+    spec.generate()
+}
+
+fn patterns(nl: &Netlist, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let n = nl.primary_inputs().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.random_bool(0.5)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every scheme: correct key ⇒ original behaviour on random patterns.
+    #[test]
+    fn all_schemes_transparent_under_correct_key(seed in 0u64..2000) {
+        let nl = design(seed);
+        if nl.primary_inputs().len() < 12 {
+            return Ok(());
+        }
+        let locked = vec![
+            lock_antisat(&nl, &AntiSatConfig::new(8, seed)).unwrap(),
+            lock_caslock(&nl, &CasLockConfig::new(8, seed)).unwrap(),
+            lock_sfll_hd(&nl, &SfllConfig::new(10, 2, seed)).unwrap(),
+            lock_sfll_hd(&nl, &SfllConfig::new(10, 0, seed)).unwrap(),
+            lock_rll(&nl, 8, seed).unwrap(),
+        ];
+        for lc in &locked {
+            for p in patterns(&nl, 8, seed ^ 0x11) {
+                prop_assert_eq!(
+                    nl.eval_outputs(&p, &[]).unwrap(),
+                    lc.eval_with_correct_key(&p).unwrap(),
+                    "{:?} not transparent", lc.scheme
+                );
+            }
+        }
+    }
+
+    /// Key-size accounting: the locked circuit declares exactly K key
+    /// inputs, and the stored key has K bits.
+    #[test]
+    fn key_accounting(seed in 0u64..2000, k_exp in 2u32..5) {
+        let nl = design(seed);
+        let k = 1usize << k_exp; // 4..16
+        if nl.primary_inputs().len() < k {
+            return Ok(());
+        }
+        for lc in [
+            lock_antisat(&nl, &AntiSatConfig::new(k, seed)).unwrap(),
+            lock_sfll_hd(&nl, &SfllConfig::new(k, 2.min(k as u32), seed)).unwrap(),
+        ] {
+            prop_assert_eq!(lc.netlist.key_inputs().len(), k);
+            prop_assert_eq!(lc.key.len(), k);
+        }
+    }
+
+    /// SFLL protected-input bookkeeping: the recorded names are distinct
+    /// PIs of the original design, and exactly K of them.
+    #[test]
+    fn sfll_protected_inputs_valid(seed in 0u64..2000) {
+        let nl = design(seed);
+        if nl.primary_inputs().len() < 10 {
+            return Ok(());
+        }
+        let lc = lock_sfll_hd(&nl, &SfllConfig::new(10, 2, seed)).unwrap();
+        prop_assert_eq!(lc.protected_inputs.len(), 10);
+        let mut sorted = lc.protected_inputs.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 10, "duplicate protected inputs");
+        for name in &lc.protected_inputs {
+            prop_assert!(nl.net_by_name(name).is_some(), "unknown PI {}", name);
+        }
+    }
+
+    /// Role partitions: protection labels only on added gates; the
+    /// original design gates all stay `Design`.
+    #[test]
+    fn roles_only_on_added_gates(seed in 0u64..2000) {
+        let nl = design(seed);
+        if nl.primary_inputs().len() < 12 {
+            return Ok(());
+        }
+        let orig_gates = nl.num_gates();
+        for lc in [
+            lock_antisat(&nl, &AntiSatConfig::new(8, seed)).unwrap(),
+            lock_caslock(&nl, &CasLockConfig::new(8, seed)).unwrap(),
+            lock_sfll_hd(&nl, &SfllConfig::new(10, 2, seed)).unwrap(),
+        ] {
+            let [dn, pn, rn, an] = lc.netlist.role_histogram();
+            prop_assert!(dn >= orig_gates, "design gates lost");
+            prop_assert_eq!(
+                dn + pn + rn + an,
+                lc.netlist.num_gates(),
+                "role histogram inconsistent"
+            );
+            prop_assert!(pn + rn + an > 0, "no protection labels");
+        }
+    }
+
+    /// SFLL stripping property: under the all-wrong key (complement), the
+    /// target output differs from the original for at least one protected
+    /// pattern, and the circuit is otherwise mostly intact.
+    #[test]
+    fn sfll_strips_protected_patterns(seed in 0u64..500) {
+        let nl = design(seed);
+        if nl.primary_inputs().len() < 10 {
+            return Ok(());
+        }
+        let lc = lock_sfll_hd(&nl, &SfllConfig::new(10, 2, seed)).unwrap();
+        // Build a pattern at HD 2 from the key on the protected bits.
+        let pi_names: Vec<String> = nl
+            .inputs()
+            .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+            .map(|(n, _, _)| n.to_string())
+            .collect();
+        let mut pattern = vec![false; pi_names.len()];
+        for (i, pname) in lc.protected_inputs.iter().enumerate() {
+            let pos = pi_names.iter().position(|n| n == pname).unwrap();
+            pattern[pos] = if i < 2 { !lc.key.bit(i) } else { lc.key.bit(i) };
+        }
+        let far_key: Vec<bool> = lc.key.bits().iter().map(|b| !b).collect();
+        let orig = nl.eval_outputs(&pattern, &[]).unwrap();
+        let stripped = lc.netlist.eval_outputs(&pattern, &far_key).unwrap();
+        let target_idx = nl.outputs().position(|(n, _)| n == lc.target).unwrap();
+        prop_assert_ne!(orig[target_idx], stripped[target_idx]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Structural analysis: topological ordering, fan-out maps, fan-in/fan-out
+//! cones and levelization.
+
+use crate::error::{NetlistError, Result};
+use crate::netlist::{Driver, GateId, InputKind, NetId, Netlist};
+
+/// Net-indexed map from each net to the gates reading it.
+///
+/// Build once with [`Netlist::fanout_map`] and reuse; it is invalidated by
+/// any structural mutation.
+#[derive(Debug, Clone)]
+pub struct FanoutMap {
+    readers: Vec<Vec<GateId>>,
+    read_by_output: Vec<bool>,
+}
+
+impl FanoutMap {
+    /// Gates reading net `n`.
+    pub fn readers(&self, n: NetId) -> &[GateId] {
+        &self.readers[n.index()]
+    }
+
+    /// Whether net `n` feeds a primary output.
+    pub fn feeds_output(&self, n: NetId) -> bool {
+        self.read_by_output[n.index()]
+    }
+
+    /// Total number of gate-input endpoints attached to `n`.
+    pub fn fanout_count(&self, n: NetId) -> usize {
+        self.readers[n.index()].len() + usize::from(self.read_by_output[n.index()])
+    }
+}
+
+impl Netlist {
+    /// Gates in topological (fan-in before fan-out) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the gates form a
+    /// cycle.
+    pub fn topo_order(&self) -> Result<Vec<GateId>> {
+        let cap = self.gate_capacity();
+        let mut indegree = vec![0usize; cap];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); cap];
+        let mut live = 0usize;
+        for g in self.gate_ids() {
+            live += 1;
+            for &inp in self.gate_inputs(g) {
+                if let Driver::Gate(src) = self.driver(inp) {
+                    if self.is_alive(src) {
+                        indegree[g.index()] += 1;
+                        readers[src.index()].push(g.0);
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<GateId> = self
+            .gate_ids()
+            .filter(|g| indegree[g.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(live);
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            order.push(g);
+            for &r in &readers[g.index()] {
+                let r = GateId(r);
+                indegree[r.index()] -= 1;
+                if indegree[r.index()] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+        if order.len() != live {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Build the net → reader-gates map.
+    pub fn fanout_map(&self) -> FanoutMap {
+        let mut readers: Vec<Vec<GateId>> = vec![Vec::new(); self.num_nets()];
+        let mut read_by_output = vec![false; self.num_nets()];
+        for g in self.gate_ids() {
+            for &inp in self.gate_inputs(g) {
+                readers[inp.index()].push(g);
+            }
+        }
+        for (_, net) in self.outputs() {
+            read_by_output[net.index()] = true;
+        }
+        FanoutMap {
+            readers,
+            read_by_output,
+        }
+    }
+
+    /// All gates in the transitive fan-in cone of `root` (excluding `root`
+    /// itself), via backward BFS.
+    pub fn fanin_cone(&self, root: GateId) -> Vec<GateId> {
+        let mut seen = vec![false; self.gate_capacity()];
+        let mut queue = vec![root];
+        let mut cone = Vec::new();
+        seen[root.index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            for &inp in self.gate_inputs(g) {
+                if let Driver::Gate(src) = self.driver(inp) {
+                    if self.is_alive(src) && !seen[src.index()] {
+                        seen[src.index()] = true;
+                        cone.push(src);
+                        queue.push(src);
+                    }
+                }
+            }
+        }
+        cone
+    }
+
+    /// Top-level input nets (primary and key) in the transitive fan-in cone
+    /// of `root`, including direct connections.
+    pub fn cone_inputs(&self, root: GateId) -> Vec<NetId> {
+        let mut seen_gate = vec![false; self.gate_capacity()];
+        let mut seen_net: Vec<NetId> = Vec::new();
+        let mut queue = vec![root];
+        seen_gate[root.index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            for &inp in self.gate_inputs(g) {
+                match self.driver(inp) {
+                    Driver::Gate(src)
+                        if self.is_alive(src) && !seen_gate[src.index()] => {
+                            seen_gate[src.index()] = true;
+                            queue.push(src);
+                        }
+                    Driver::Input(_)
+                        if !seen_net.contains(&inp) => {
+                            seen_net.push(inp);
+                        }
+                    _ => {}
+                }
+            }
+        }
+        seen_net
+    }
+
+    /// Whether any key input lies in the fan-in cone of `root`.
+    pub fn cone_has_key_input(&self, root: GateId) -> bool {
+        self.cone_inputs(root)
+            .into_iter()
+            .any(|n| self.input_kind(n) == Some(InputKind::Key))
+    }
+
+    /// All gates in the transitive fan-out cone of `root` (excluding
+    /// `root`), via forward BFS over `fanout`.
+    pub fn fanout_cone(&self, root: GateId, fanout: &FanoutMap) -> Vec<GateId> {
+        let mut seen = vec![false; self.gate_capacity()];
+        let mut queue = vec![root];
+        let mut cone = Vec::new();
+        seen[root.index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            for &r in fanout.readers(self.gate_output(g)) {
+                if !seen[r.index()] {
+                    seen[r.index()] = true;
+                    cone.push(r);
+                    queue.push(r);
+                }
+            }
+        }
+        cone
+    }
+
+    /// Logic level (longest path from any top-level input, inputs at 0) per
+    /// gate, indexed by raw gate index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn levels(&self) -> Result<Vec<u32>> {
+        let order = self.topo_order()?;
+        let mut level = vec![0u32; self.gate_capacity()];
+        for g in order {
+            let mut best = 0u32;
+            for &inp in self.gate_inputs(g) {
+                if let Driver::Gate(src) = self.driver(inp) {
+                    if self.is_alive(src) {
+                        best = best.max(level[src.index()] + 1);
+                    }
+                }
+            }
+            level[g.index()] = best;
+        }
+        Ok(level)
+    }
+
+    /// Maximum logic depth of the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn depth(&self) -> Result<u32> {
+        Ok(self.levels()?.into_iter().max().unwrap_or(0))
+    }
+
+    /// Undirected gate-adjacency edges `(u, v)` with `u < v`: one edge per
+    /// wire between a driver gate and a reader gate (paper Section IV-B —
+    /// PIs, KIs and POs are not graph nodes).
+    pub fn gate_edges(&self) -> Vec<(GateId, GateId)> {
+        let mut edges = Vec::new();
+        for g in self.gate_ids() {
+            for &inp in self.gate_inputs(g) {
+                if let Driver::Gate(src) = self.driver(inp) {
+                    if self.is_alive(src) && src != g {
+                        let (a, b) = if src < g { (src, g) } else { (g, src) };
+                        edges.push((a, b));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateType;
+
+    /// Three-level chain with a side branch.
+    fn chain() -> (Netlist, Vec<GateId>) {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let k = nl.add_key_input("keyinput0");
+        let g0 = nl.add_gate(GateType::And, &[a, b]);
+        let g1 = nl.add_gate(GateType::Xor, &[nl.gate_output(g0), k]);
+        let g2 = nl.add_gate(GateType::Inv, &[nl.gate_output(g1)]);
+        let g3 = nl.add_gate(GateType::Or, &[nl.gate_output(g0), a]);
+        nl.add_output("y", nl.gate_output(g2));
+        nl.add_output("z", nl.gate_output(g3));
+        (nl, vec![g0, g1, g2, g3])
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (nl, gs) = chain();
+        let order = nl.topo_order().unwrap();
+        let pos = |g: GateId| order.iter().position(|&x| x == g).unwrap();
+        assert!(pos(gs[0]) < pos(gs[1]));
+        assert!(pos(gs[1]) < pos(gs[2]));
+        assert!(pos(gs[0]) < pos(gs[3]));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (nl, gs) = chain();
+        let levels = nl.levels().unwrap();
+        assert_eq!(levels[gs[0].index()], 0);
+        assert_eq!(levels[gs[1].index()], 1);
+        assert_eq!(levels[gs[2].index()], 2);
+        assert_eq!(levels[gs[3].index()], 1);
+        assert_eq!(nl.depth().unwrap(), 2);
+    }
+
+    #[test]
+    fn cones() {
+        let (nl, gs) = chain();
+        let cone = nl.fanin_cone(gs[2]);
+        assert!(cone.contains(&gs[0]));
+        assert!(cone.contains(&gs[1]));
+        assert!(!cone.contains(&gs[3]));
+        assert!(nl.cone_has_key_input(gs[2]));
+        assert!(!nl.cone_has_key_input(gs[3]));
+        let inputs = nl.cone_inputs(gs[3]);
+        assert_eq!(inputs.len(), 2); // a, b
+    }
+
+    #[test]
+    fn fanout_map_and_cone() {
+        let (nl, gs) = chain();
+        let fo = nl.fanout_map();
+        let g0_out = nl.gate_output(gs[0]);
+        assert_eq!(fo.readers(g0_out).len(), 2);
+        assert!(!fo.feeds_output(g0_out));
+        assert!(fo.feeds_output(nl.gate_output(gs[2])));
+        let cone = nl.fanout_cone(gs[0], &fo);
+        assert_eq!(cone.len(), 3);
+    }
+
+    #[test]
+    fn gate_edges_undirected_unique() {
+        let (nl, gs) = chain();
+        let edges = nl.gate_edges();
+        // g0-g1, g1-g2, g0-g3.
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+            assert!(gs.contains(&a) && gs.contains(&b));
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_primary_input("a");
+        let loop_net = nl.add_net("loop").unwrap();
+        let g0 = nl.add_gate(GateType::And, &[a, loop_net]);
+        let g1 = nl.add_gate_into(GateType::Inv, &[nl.gate_output(g0)], loop_net);
+        let _ = g1;
+        assert_eq!(nl.topo_order(), Err(NetlistError::CombinationalCycle));
+    }
+}

@@ -1,0 +1,311 @@
+//! ISCAS-style `.bench` format reader and writer.
+//!
+//! The bench format (used by the Anti-SAT datasets in the paper) declares
+//! inputs/outputs and one gate per line:
+//!
+//! ```text
+//! INPUT(a)
+//! INPUT(keyinput0)
+//! OUTPUT(y)
+//! n1 = NAND(a, keyinput0)
+//! y  = NOT(n1)
+//! ```
+//!
+//! Inputs whose names start with `keyinput` are parsed as key inputs,
+//! matching the attacker model's PI/KI distinction.
+
+use crate::error::{NetlistError, Result};
+use crate::gate::GateType;
+use crate::netlist::{Driver, Netlist};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Name prefix identifying key inputs in bench and Verilog files.
+pub const KEY_INPUT_PREFIX: &str = "keyinput";
+
+impl Netlist {
+    /// Parse a `.bench` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] on malformed lines and the usual
+    /// structural errors for inconsistent netlists.
+    pub fn from_bench(name: impl Into<String>, text: &str) -> Result<Self> {
+        let mut nl = Netlist::new(name);
+        let mut pending_gates: Vec<(usize, String, GateType, Vec<String>)> = Vec::new();
+        let mut output_names: Vec<(usize, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            if let Some(rest) = line.strip_prefix("INPUT") {
+                let inner = paren_arg(rest, lineno)?;
+                if inner.starts_with(KEY_INPUT_PREFIX) {
+                    nl.add_key_input(inner);
+                } else {
+                    nl.add_primary_input(inner);
+                }
+            } else if let Some(rest) = line.strip_prefix("OUTPUT") {
+                output_names.push((lineno, paren_arg(rest, lineno)?.to_string()));
+            } else if let Some(eq) = line.find('=') {
+                let lhs = line[..eq].trim().to_string();
+                let rhs = line[eq + 1..].trim();
+                let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                    line: lineno,
+                    msg: "expected `TYPE(args)` on right-hand side".into(),
+                })?;
+                let ty: GateType =
+                    rhs[..open]
+                        .trim()
+                        .parse()
+                        .map_err(|_| NetlistError::Parse {
+                            line: lineno,
+                            msg: format!("unknown gate type `{}`", rhs[..open].trim()),
+                        })?;
+                let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+                    line: lineno,
+                    msg: "missing closing parenthesis".into(),
+                })?;
+                let args: Vec<String> = rhs[open + 1..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                pending_gates.push((lineno, lhs, ty, args));
+            } else {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("unrecognized line `{line}`"),
+                });
+            }
+        }
+        // Declare every referenced net that is not yet known.
+        for (_, lhs, _, args) in &pending_gates {
+            for name in std::iter::once(lhs).chain(args.iter()) {
+                if nl.net_by_name(name).is_none() {
+                    nl.add_net(name.clone())?;
+                }
+            }
+        }
+        for (lineno, lhs, ty, args) in pending_gates {
+            if !ty.arity_ok(args.len()) {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("gate {ty} does not accept {} inputs", args.len()),
+                });
+            }
+            let out = nl.net_by_name(&lhs).expect("declared above");
+            if !matches!(nl.driver(out), Driver::Undriven) {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    msg: format!("net `{lhs}` driven twice"),
+                });
+            }
+            let inputs: Vec<_> = args
+                .iter()
+                .map(|a| nl.net_by_name(a).expect("declared above"))
+                .collect();
+            nl.add_gate_into(ty, &inputs, out);
+        }
+        for (lineno, name) in output_names {
+            let net = nl.net_by_name(&name).ok_or(NetlistError::Parse {
+                line: lineno,
+                msg: format!("OUTPUT references unknown net `{name}`"),
+            })?;
+            nl.add_output(name, net);
+        }
+        nl.validate(None)?;
+        Ok(nl)
+    }
+
+    /// Serialize to `.bench` text.
+    ///
+    /// Where possible, the net feeding a primary output is printed under the
+    /// output's name; when that is not possible (shared nets, input
+    /// feed-throughs) a `BUFF` gate is emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn to_bench(&self) -> Result<String> {
+        let rename = self.output_rename_map();
+        let name_of = |net| -> String {
+            rename
+                .get(&net)
+                .cloned()
+                .unwrap_or_else(|| self.net_name(net).to_string())
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.name());
+        for (name, _, _) in self.inputs() {
+            let _ = writeln!(out, "INPUT({name})");
+        }
+        for (name, _) in self.outputs() {
+            let _ = writeln!(out, "OUTPUT({name})");
+        }
+        for g in self.topo_order()? {
+            let args: Vec<String> = self.gate_inputs(g).iter().map(|&n| name_of(n)).collect();
+            let ty = self.gate_type(g);
+            let ty_name = if ty == GateType::Buf { "BUFF" } else { ty.name() };
+            let _ = writeln!(
+                out,
+                "{} = {}({})",
+                name_of(self.gate_output(g)),
+                ty_name,
+                args.join(", ")
+            );
+        }
+        // Outputs whose net could not be renamed need explicit buffers.
+        for (name, net) in self.outputs() {
+            if name_of(net) != name {
+                let _ = writeln!(out, "{} = BUFF({})", name, name_of(net));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Map from nets to the primary-output name they should be printed
+    /// under: applicable when a gate-driven net feeds exactly one output and
+    /// the output's name is not an unrelated existing net.
+    pub(crate) fn output_rename_map(&self) -> HashMap<crate::netlist::NetId, String> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for (name, _) in self.outputs() {
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let mut per_net: HashMap<crate::netlist::NetId, Vec<&str>> = HashMap::new();
+        for (name, net) in self.outputs() {
+            per_net.entry(net).or_default().push(name);
+        }
+        let mut rename = HashMap::new();
+        for (net, names) in per_net {
+            if names.len() != 1 {
+                continue;
+            }
+            let name = names[0];
+            if counts[name] != 1 {
+                continue;
+            }
+            if !matches!(self.driver(net), Driver::Gate(_)) {
+                continue; // input feed-through or constant: keep real name
+            }
+            if self.net_name(net) == name {
+                continue; // already aligned; no rename entry needed
+            }
+            if self.net_by_name(name).is_some() {
+                continue; // output name collides with another net
+            }
+            rename.insert(net, name.to_string());
+        }
+        rename
+    }
+}
+
+fn paren_arg(rest: &str, line: usize) -> Result<&str> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| NetlistError::Parse {
+            line,
+            msg: "expected `(name)`".into(),
+        })?;
+    Ok(inner.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateType;
+
+    const SAMPLE: &str = r"
+# toy circuit
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+OUTPUT(y)
+n1 = NAND(a, b)
+n2 = XOR(n1, keyinput0)
+y = NOT(n2)
+";
+
+    #[test]
+    fn parse_sample() {
+        let nl = Netlist::from_bench("toy", SAMPLE).unwrap();
+        assert_eq!(nl.num_gates(), 3);
+        assert_eq!(nl.primary_inputs().len(), 2);
+        assert_eq!(nl.key_inputs().len(), 1);
+        assert_eq!(nl.num_outputs(), 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_function_and_size() {
+        let nl = Netlist::from_bench("toy", SAMPLE).unwrap();
+        let text = nl.to_bench().unwrap();
+        let nl2 = Netlist::from_bench("toy", &text).unwrap();
+        assert_eq!(nl.num_gates(), nl2.num_gates());
+        for bits in 0..8u32 {
+            let pi = vec![bits & 1 == 1, bits & 2 == 2];
+            let ki = vec![bits & 4 == 4];
+            assert_eq!(
+                nl.eval_outputs(&pi, &ki).unwrap(),
+                nl2.eval_outputs(&pi, &ki).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn output_driven_by_gate_gets_renamed_not_buffered() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let g = nl.add_gate(GateType::Inv, &[a]);
+        nl.add_output("y", nl.gate_output(g));
+        let text = nl.to_bench().unwrap();
+        assert!(text.contains("y = NOT(a)"), "got:\n{text}");
+        assert!(!text.contains("BUFF"), "got:\n{text}");
+    }
+
+    #[test]
+    fn shared_output_net_gets_buffer() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let g = nl.add_gate(GateType::Inv, &[a]);
+        nl.add_output("y1", nl.gate_output(g));
+        nl.add_output("y2", nl.gate_output(g));
+        let text = nl.to_bench().unwrap();
+        let nl2 = Netlist::from_bench("t", &text).unwrap();
+        assert_eq!(nl2.num_outputs(), 2);
+        assert_eq!(
+            nl2.eval_outputs(&[true], &[]).unwrap(),
+            vec![false, false]
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let err = Netlist::from_bench("bad", "INPUT(a)\nz = FROB(a)\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        assert!(Netlist::from_bench("bad", text).is_err());
+    }
+
+    #[test]
+    fn wide_gates_parse() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = AND(a, b, c, d)\n";
+        let nl = Netlist::from_bench("wide", text).unwrap();
+        let g = nl.gate_ids().next().unwrap();
+        assert_eq!(nl.gate_inputs(g).len(), 4);
+        assert_eq!(
+            nl.eval_outputs(&[true, true, true, true], &[]).unwrap(),
+            vec![true]
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for netlist construction, validation and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was given an illegal number of inputs for its family.
+    BadArity {
+        /// Gate family name.
+        gate: String,
+        /// Offending input count.
+        arity: usize,
+    },
+    /// A `(family, arity)` pair is not present in the target library.
+    CellNotInLibrary {
+        /// Cell description, e.g. `NAND7`.
+        cell: String,
+        /// Library name.
+        library: String,
+    },
+    /// A net is read but never driven.
+    UndrivenNet(String),
+    /// A net name is declared twice.
+    DuplicateNet(String),
+    /// The combinational netlist contains a cycle.
+    CombinationalCycle,
+    /// Syntax error while parsing a netlist file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A referenced name does not exist.
+    UnknownName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { gate, arity } => {
+                write!(f, "gate {gate} does not accept {arity} inputs")
+            }
+            NetlistError::CellNotInLibrary { cell, library } => {
+                write!(f, "cell {cell} is not in library {library}")
+            }
+            NetlistError::UndrivenNet(name) => write!(f, "net `{name}` is read but undriven"),
+            NetlistError::DuplicateNet(name) => write!(f, "net `{name}` declared twice"),
+            NetlistError::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            NetlistError::UnknownName(name) => write!(f, "unknown name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Convenient result alias for netlist operations.
+pub type Result<T> = std::result::Result<T, NetlistError>;

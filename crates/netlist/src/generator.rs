@@ -1,0 +1,405 @@
+//! Synthetic benchmark generation.
+//!
+//! The paper evaluates on ISCAS-85 and ITC-99 circuits, which are not
+//! redistributable here. This module generates deterministic synthetic
+//! stand-ins with the same interface profile (PI/PO counts), comparable
+//! gate counts, and the design substructures that matter to the attack:
+//! arithmetic carry chains, comparator trees (structurally similar to the
+//! SFLL restore unit), wide NOR trees (the paper's reported source of
+//! design-node misclassifications) and random control logic.
+//!
+//! Circuits are emitted in the `Bench8` vocabulary; use the `synth` crate
+//! to map them into standard-cell libraries.
+
+use crate::gate::GateType;
+use crate::netlist::{NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a synthetic benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use gnnunlock_netlist::generator::BenchmarkSpec;
+/// let spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.2);
+/// let nl = spec.generate();
+/// assert!(nl.num_gates() > 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Circuit name (e.g. `c2670`, `b14_C`).
+    pub name: String,
+    /// Number of primary inputs.
+    pub n_pis: usize,
+    /// Number of primary outputs.
+    pub n_pos: usize,
+    /// Approximate number of gates (actual count is within ~10%).
+    pub n_gates: usize,
+    /// RNG seed; the same spec always generates the same netlist.
+    pub seed: u64,
+}
+
+/// `(name, PIs, POs, gates)` profiles of the ISCAS-85 circuits used in the
+/// paper.
+const ISCAS85: [(&str, usize, usize, usize); 4] = [
+    ("c2670", 233, 140, 1193),
+    ("c3540", 50, 22, 1669),
+    ("c5315", 178, 123, 2307),
+    ("c7552", 207, 108, 3512),
+];
+
+/// `(name, PIs, POs, gates)` profiles of the ITC-99 circuits used in the
+/// paper (combinational `_C` versions).
+const ITC99: [(&str, usize, usize, usize); 6] = [
+    ("b14_C", 277, 299, 9767),
+    ("b15_C", 485, 519, 8367),
+    ("b20_C", 522, 512, 19682),
+    ("b21_C", 522, 512, 20027),
+    ("b22_C", 767, 757, 29162),
+    ("b17_C", 1452, 1512, 30777),
+];
+
+impl BenchmarkSpec {
+    /// Look up a named profile from the ISCAS-85 / ITC-99 catalogues.
+    pub fn named(name: &str) -> Option<BenchmarkSpec> {
+        ISCAS85
+            .iter()
+            .chain(ITC99.iter())
+            .find(|&&(n, ..)| n == name)
+            .map(|&(n, pis, pos, gates)| BenchmarkSpec {
+                name: n.to_string(),
+                n_pis: pis,
+                n_pos: pos,
+                n_gates: gates,
+                seed: fnv(n),
+            })
+    }
+
+    /// Scale the gate count by `f` (interface scales with `sqrt(f)`, floored
+    /// to keep enough PIs for locking).
+    pub fn scaled(mut self, f: f64) -> BenchmarkSpec {
+        let f = f.max(0.01);
+        self.n_gates = ((self.n_gates as f64 * f) as usize).max(120);
+        let s = f.sqrt();
+        self.n_pis = ((self.n_pis as f64 * s) as usize).clamp(16, self.n_pis.max(16));
+        self.n_pos = ((self.n_pos as f64 * s) as usize).clamp(4, self.n_pos.max(4));
+        self
+    }
+
+    /// Generate the netlist for this spec.
+    pub fn generate(&self) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut nl = Netlist::new(self.name.clone());
+        let pis: Vec<NetId> = (0..self.n_pis)
+            .map(|i| nl.add_primary_input(format!("pi{i}")))
+            .collect();
+        let mut pool: Vec<NetId> = pis.clone();
+        let budget = self.n_gates;
+        let mut built = 0usize;
+
+        // Structured blocks consume roughly half the budget.
+        while built < budget / 2 {
+            let pick = rng.random_range(0..4u8);
+            built += match pick {
+                0 => add_carry_chain(&mut nl, &mut rng, &mut pool),
+                1 => add_comparator_tree(&mut nl, &mut rng, &mut pool),
+                2 => add_nor_tree(&mut nl, &mut rng, &mut pool),
+                _ => add_mux_cluster(&mut nl, &mut rng, &mut pool),
+            };
+        }
+        // Random glue logic for the rest.
+        while built < budget {
+            built += add_random_gate(&mut nl, &mut rng, &mut pool);
+        }
+
+        attach_outputs(&mut nl, &mut rng, self.n_pos);
+        nl
+    }
+}
+
+/// The four ISCAS-85 profiles used in the paper.
+pub fn iscas85_suite() -> Vec<BenchmarkSpec> {
+    ISCAS85
+        .iter()
+        .map(|&(n, ..)| BenchmarkSpec::named(n).expect("catalogued"))
+        .collect()
+}
+
+/// The six ITC-99 profiles used in the paper.
+pub fn itc99_suite() -> Vec<BenchmarkSpec> {
+    ITC99
+        .iter()
+        .map(|&(n, ..)| BenchmarkSpec::named(n).expect("catalogued"))
+        .collect()
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Pick a random driven signal, biased toward recently created ones so the
+/// circuit acquires depth.
+fn pick(rng: &mut StdRng, pool: &[NetId]) -> NetId {
+    let n = pool.len();
+    debug_assert!(n > 0);
+    // Mix uniform picks with picks from the most recent quarter.
+    if rng.random_bool(0.5) || n < 8 {
+        pool[rng.random_range(0..n)]
+    } else {
+        pool[rng.random_range(n - n / 4..n)]
+    }
+}
+
+fn pick_distinct(rng: &mut StdRng, pool: &[NetId], k: usize) -> Vec<NetId> {
+    let mut out: Vec<NetId> = Vec::with_capacity(k);
+    let mut guard = 0;
+    while out.len() < k {
+        let cand = pick(rng, pool);
+        if !out.contains(&cand) || guard > 20 {
+            out.push(cand);
+        }
+        guard += 1;
+    }
+    out
+}
+
+/// Ripple-carry adder segment: `width` full adders built from XOR/AND/OR.
+fn add_carry_chain(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) -> usize {
+    let width = rng.random_range(3..9usize);
+    let mut carry = pick(rng, pool);
+    let mut added = 0;
+    for _ in 0..width {
+        let ins = pick_distinct(rng, pool, 2);
+        let (a, b) = (ins[0], ins[1]);
+        let axb = nl.add_gate(GateType::Xor, &[a, b]);
+        let sum = nl.add_gate(GateType::Xor, &[nl.gate_output(axb), carry]);
+        let ab = nl.add_gate(GateType::And, &[a, b]);
+        let axb_c = nl.add_gate(GateType::And, &[nl.gate_output(axb), carry]);
+        let cout = nl.add_gate(
+            GateType::Or,
+            &[nl.gate_output(ab), nl.gate_output(axb_c)],
+        );
+        pool.push(nl.gate_output(sum));
+        carry = nl.gate_output(cout);
+        added += 5;
+    }
+    pool.push(carry);
+    added
+}
+
+/// Equality-comparator tree: XNOR leaves reduced by an AND tree. This is
+/// deliberately the same shape as a TTLock restore unit, giving the GNN a
+/// non-trivial discrimination task.
+fn add_comparator_tree(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) -> usize {
+    let width = rng.random_range(3..9usize);
+    let mut layer: Vec<NetId> = Vec::with_capacity(width);
+    let mut added = 0;
+    for _ in 0..width {
+        let ins = pick_distinct(rng, pool, 2);
+        let g = nl.add_gate(GateType::Xnor, &ins);
+        layer.push(nl.gate_output(g));
+        added += 1;
+    }
+    while layer.len() > 1 {
+        let take = layer.len().min(rng.random_range(2..5usize));
+        let group: Vec<NetId> = layer.drain(..take).collect();
+        let g = if group.len() == 1 {
+            nl.add_gate(GateType::Buf, &group)
+        } else {
+            nl.add_gate(GateType::And, &group)
+        };
+        layer.push(nl.gate_output(g));
+        added += 1;
+    }
+    pool.push(layer[0]);
+    added
+}
+
+/// Wide NOR-tree (address-decoder-like) structure; the paper reports these
+/// as the main source of design→perturb misclassifications.
+fn add_nor_tree(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) -> usize {
+    let width = rng.random_range(4..12usize);
+    let mut layer = pick_distinct(rng, pool, width);
+    let mut added = 0;
+    let mut invert = false;
+    while layer.len() > 1 {
+        let take = layer.len().min(rng.random_range(2..5usize));
+        let group: Vec<NetId> = layer.drain(..take).collect();
+        let ty = if group.len() == 1 {
+            GateType::Inv
+        } else if invert {
+            GateType::Nand
+        } else {
+            GateType::Nor
+        };
+        let g = nl.add_gate(ty, &group);
+        layer.push(nl.gate_output(g));
+        invert = !invert;
+        added += 1;
+    }
+    pool.push(layer[0]);
+    added
+}
+
+/// Small multiplexer cluster built from AND/OR/NOT.
+fn add_mux_cluster(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) -> usize {
+    let count = rng.random_range(2..5usize);
+    let sel = pick(rng, pool);
+    let nsel = nl.add_gate(GateType::Inv, &[sel]);
+    let mut added = 1;
+    for _ in 0..count {
+        let ins = pick_distinct(rng, pool, 2);
+        let a_side = nl.add_gate(GateType::And, &[ins[0], nl.gate_output(nsel)]);
+        let b_side = nl.add_gate(GateType::And, &[ins[1], sel]);
+        let y = nl.add_gate(
+            GateType::Or,
+            &[nl.gate_output(a_side), nl.gate_output(b_side)],
+        );
+        pool.push(nl.gate_output(y));
+        added += 3;
+    }
+    added
+}
+
+fn add_random_gate(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) -> usize {
+    // Weighted toward the inverting families that dominate real netlists.
+    const CHOICES: [(GateType, usize, u32); 10] = [
+        (GateType::Nand, 2, 20),
+        (GateType::Nand, 3, 8),
+        (GateType::Nor, 2, 16),
+        (GateType::Nor, 3, 6),
+        (GateType::And, 2, 10),
+        (GateType::Or, 2, 10),
+        (GateType::Inv, 1, 14),
+        (GateType::Xor, 2, 6),
+        (GateType::Xnor, 2, 5),
+        (GateType::Buf, 1, 2),
+    ];
+    let total: u32 = CHOICES.iter().map(|c| c.2).sum();
+    let mut roll = rng.random_range(0..total);
+    let mut choice = CHOICES[0];
+    for c in CHOICES {
+        if roll < c.2 {
+            choice = c;
+            break;
+        }
+        roll -= c.2;
+    }
+    let ins = pick_distinct(rng, pool, choice.1);
+    let g = nl.add_gate(choice.0, &ins);
+    pool.push(nl.gate_output(g));
+    1
+}
+
+/// Attach primary outputs so that every gate stays live: dangling nets are
+/// either promoted to POs or merged by combiner gates.
+fn attach_outputs(nl: &mut Netlist, rng: &mut StdRng, n_pos: usize) {
+    let fanout = nl.fanout_map();
+    let mut dangling: Vec<NetId> = nl
+        .gate_ids()
+        .map(|g| nl.gate_output(g))
+        .filter(|&n| fanout.readers(n).is_empty())
+        .collect();
+    // Merge the surplus so we end up with exactly n_pos outputs where
+    // possible.
+    while dangling.len() > n_pos {
+        let ty = *[GateType::Xor, GateType::Or, GateType::Nand]
+            .choose(rng)
+            .expect("non-empty");
+        // XOR cells cap at 3 inputs in the mapped libraries.
+        let max = if ty == GateType::Xor { 3 } else { 4 };
+        let take = dangling.len().min(rng.random_range(2..=max)).max(2);
+        let group: Vec<NetId> = dangling.drain(..take).collect();
+        let g = nl.add_gate(ty, &group);
+        dangling.push(nl.gate_output(g));
+    }
+    let mut pos = dangling;
+    // Top up with random internal nets if the circuit converged too much.
+    let all_nets: Vec<NetId> = nl.gate_ids().map(|g| nl.gate_output(g)).collect();
+    while pos.len() < n_pos && !all_nets.is_empty() {
+        let cand = all_nets[rng.random_range(0..all_nets.len())];
+        if !pos.contains(&cand) {
+            pos.push(cand);
+        }
+    }
+    for (i, net) in pos.into_iter().enumerate() {
+        nl.add_output(format!("po{i}"), net);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellLibrary;
+
+    #[test]
+    fn catalogues_complete() {
+        assert_eq!(iscas85_suite().len(), 4);
+        assert_eq!(itc99_suite().len(), 6);
+        assert!(BenchmarkSpec::named("c7552").is_some());
+        assert!(BenchmarkSpec::named("bogus").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.1);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.to_bench().unwrap(), b.to_bench().unwrap());
+    }
+
+    #[test]
+    fn generated_circuit_is_valid_and_sized() {
+        let spec = BenchmarkSpec::named("c3540").unwrap().scaled(0.2);
+        let nl = spec.generate();
+        nl.validate(Some(CellLibrary::Bench8)).unwrap();
+        let target = spec.n_gates;
+        assert!(
+            nl.num_gates() >= target * 9 / 10 && nl.num_gates() <= target * 13 / 10,
+            "gate count {} vs target {}",
+            nl.num_gates(),
+            target
+        );
+        assert_eq!(nl.primary_inputs().len(), spec.n_pis);
+    }
+
+    #[test]
+    fn every_gate_reaches_an_output() {
+        let spec = BenchmarkSpec::named("c5315").unwrap().scaled(0.05);
+        let nl = spec.generate();
+        let fanout = nl.fanout_map();
+        for g in nl.gate_ids() {
+            let out = nl.gate_output(g);
+            assert!(
+                !fanout.readers(out).is_empty() || fanout.feeds_output(out),
+                "gate {:?} is dead",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_interface_bounds() {
+        let spec = BenchmarkSpec::named("b17_C").unwrap().scaled(0.01);
+        assert!(spec.n_pis >= 16);
+        assert!(spec.n_pos >= 4);
+        assert!(spec.n_gates >= 120);
+    }
+
+    #[test]
+    fn bench_round_trip_of_generated() {
+        let spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.05);
+        let nl = spec.generate();
+        let text = nl.to_bench().unwrap();
+        let nl2 = Netlist::from_bench(spec.name.clone(), &text).unwrap();
+        assert_eq!(nl.num_gates(), nl2.num_gates());
+    }
+}

@@ -1,0 +1,50 @@
+//! Gate-level netlist substrate for the GNNUnlock reproduction.
+//!
+//! This crate provides everything the attack framework needs from an EDA
+//! front-end:
+//!
+//! - [`Netlist`]: a combinational gate-level netlist with primary/key
+//!   inputs, primary outputs and role-annotated gates ([`NodeRole`] is the
+//!   GNN ground-truth label).
+//! - [`GateType`] / [`CellLibrary`]: the gate vocabulary and the three cell
+//!   libraries used by the paper's datasets (`Bench8`, `Lpe65`,
+//!   `Nangate45`), sized so feature-vector lengths match the paper (13 /
+//!   34 / 18).
+//! - Bench-format and structural Verilog I/O (the two circuit formats in
+//!   the paper's Table III).
+//! - Structural analysis (topological order, fan-in/fan-out cones,
+//!   levelization) used by the post-processing algorithm.
+//! - 64-way bit-parallel simulation and signal-probability estimation
+//!   (used by equivalence checking and the SPS baseline).
+//! - A deterministic synthetic benchmark [`generator`] standing in for
+//!   ISCAS-85 / ITC-99 (see DESIGN.md for the substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary};
+//!
+//! let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+//! nl.validate(Some(CellLibrary::Bench8)).unwrap();
+//! let bench_text = nl.to_bench().unwrap();
+//! assert!(bench_text.contains("INPUT(pi0)"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod bench_io;
+mod error;
+mod gate;
+pub mod generator;
+mod library;
+mod netlist;
+mod sim;
+mod verilog_io;
+
+pub use analysis::FanoutMap;
+pub use bench_io::KEY_INPUT_PREFIX;
+pub use error::{NetlistError, Result};
+pub use gate::{GateType, ParseGateTypeError, ALL_GATE_TYPES};
+pub use library::{CellLibrary, ParseCellLibraryError, EXTRA_FEATURES};
+pub use netlist::{Driver, GateId, InputId, InputKind, NetId, NodeRole, Netlist};

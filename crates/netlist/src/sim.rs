@@ -1,0 +1,222 @@
+//! Bit-parallel logic simulation and signal-probability estimation.
+//!
+//! Simulation packs 64 test patterns into one `u64` per net, evaluating
+//! every gate once per word (the standard EDA trick for cheap random
+//! simulation).
+
+use crate::error::Result;
+use crate::netlist::{Driver, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+impl Netlist {
+    /// Simulate 64 parallel patterns; `input_words` supplies one word per
+    /// top-level input net (any missing input reads as 0). Returns a
+    /// net-indexed vector of words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::NetlistError::CombinationalCycle`].
+    pub fn simulate_words(&self, input_words: &dyn Fn(NetId) -> u64) -> Result<Vec<u64>> {
+        let order = self.topo_order()?;
+        let mut words = vec![0u64; self.num_nets()];
+        for (_, _, net) in self.inputs() {
+            words[net.index()] = input_words(net);
+        }
+        for net in self.net_ids() {
+            if let Driver::Const(v) = self.driver(net) {
+                words[net.index()] = if v { !0u64 } else { 0u64 };
+            }
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for g in order {
+            in_buf.clear();
+            in_buf.extend(self.gate_inputs(g).iter().map(|n| words[n.index()]));
+            words[self.gate_output(g).index()] = self.gate_type(g).eval_word(&in_buf);
+        }
+        Ok(words)
+    }
+
+    /// Evaluate the netlist on one Boolean pattern. `pi` follows
+    /// [`Netlist::primary_inputs`] order and `ki` follows
+    /// [`Netlist::key_inputs`] order. Returns output values in
+    /// [`Netlist::outputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi`/`ki` lengths do not match the input counts.
+    pub fn eval_outputs(&self, pi: &[bool], ki: &[bool]) -> Result<Vec<bool>> {
+        let pis = self.primary_inputs();
+        let kis = self.key_inputs();
+        assert_eq!(pi.len(), pis.len(), "primary input width mismatch");
+        assert_eq!(ki.len(), kis.len(), "key input width mismatch");
+        let mut lookup = vec![0u64; self.num_nets()];
+        for (net, &v) in pis.iter().zip(pi) {
+            lookup[net.index()] = if v { !0 } else { 0 };
+        }
+        for (net, &v) in kis.iter().zip(ki) {
+            lookup[net.index()] = if v { !0 } else { 0 };
+        }
+        let words = self.simulate_words(&|n| lookup[n.index()])?;
+        Ok(self
+            .output_nets()
+            .into_iter()
+            .map(|n| words[n.index()] & 1 == 1)
+            .collect())
+    }
+
+    /// Evaluate many Boolean patterns at once (64 per simulation pass).
+    /// Each row of `pi_patterns`/`ki_patterns` is one pattern. Returns one
+    /// output row per pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pattern widths are inconsistent with the input counts or
+    /// the two pattern lists have different lengths.
+    pub fn eval_many(
+        &self,
+        pi_patterns: &[Vec<bool>],
+        ki_patterns: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>> {
+        assert_eq!(pi_patterns.len(), ki_patterns.len());
+        let pis = self.primary_inputs();
+        let kis = self.key_inputs();
+        let outs = self.output_nets();
+        let mut results = Vec::with_capacity(pi_patterns.len());
+        for chunk_start in (0..pi_patterns.len()).step_by(64) {
+            let chunk = chunk_start..(chunk_start + 64).min(pi_patterns.len());
+            let mut lookup = vec![0u64; self.num_nets()];
+            for (bit, p) in chunk.clone().enumerate() {
+                assert_eq!(pi_patterns[p].len(), pis.len());
+                assert_eq!(ki_patterns[p].len(), kis.len());
+                for (net, &v) in pis.iter().zip(&pi_patterns[p]) {
+                    if v {
+                        lookup[net.index()] |= 1 << bit;
+                    }
+                }
+                for (net, &v) in kis.iter().zip(&ki_patterns[p]) {
+                    if v {
+                        lookup[net.index()] |= 1 << bit;
+                    }
+                }
+            }
+            let words = self.simulate_words(&|n| lookup[n.index()])?;
+            for (bit, _) in chunk.enumerate() {
+                results.push(
+                    outs.iter()
+                        .map(|n| (words[n.index()] >> bit) & 1 == 1)
+                        .collect(),
+                );
+            }
+        }
+        Ok(results)
+    }
+
+    /// Estimate per-net signal probabilities (fraction of 1s) from
+    /// `words * 64` uniformly random patterns over *all* top-level inputs.
+    /// Returns a net-indexed vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn signal_probabilities(&self, words: usize, seed: u64) -> Result<Vec<f64>> {
+        let mut counts = vec![0u64; self.num_nets()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..words.max(1) {
+            let mut lookup = vec![0u64; self.num_nets()];
+            for (_, _, net) in self.inputs() {
+                lookup[net.index()] = rng.random();
+            }
+            let sim = self.simulate_words(&|n| lookup[n.index()])?;
+            for (c, w) in counts.iter_mut().zip(&sim) {
+                *c += w.count_ones() as u64;
+            }
+        }
+        let total = (words.max(1) * 64) as f64;
+        Ok(counts.into_iter().map(|c| c as f64 / total).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateType;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let cin = nl.add_primary_input("cin");
+        let s = nl.add_gate(GateType::Xor, &[a, b, cin]);
+        let c = nl.add_gate(GateType::Maj3, &[a, b, cin]);
+        nl.add_output("sum", nl.gate_output(s));
+        nl.add_output("cout", nl.gate_output(c));
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                for cin in 0..2u8 {
+                    let out = nl
+                        .eval_outputs(&[a == 1, b == 1, cin == 1], &[])
+                        .unwrap();
+                    let total = a + b + cin;
+                    assert_eq!(out[0], total & 1 == 1, "sum a={a} b={b} c={cin}");
+                    assert_eq!(out[1], total >= 2, "cout a={a} b={b} c={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_matches_eval_outputs() {
+        let nl = full_adder();
+        let mut pis = Vec::new();
+        for i in 0..100u32 {
+            pis.push(vec![i & 1 == 1, i & 2 == 2, i & 4 == 4]);
+        }
+        let kis = vec![vec![]; pis.len()];
+        let batch = nl.eval_many(&pis, &kis).unwrap();
+        for (p, row) in pis.iter().zip(&batch) {
+            assert_eq!(row, &nl.eval_outputs(p, &[]).unwrap());
+        }
+    }
+
+    #[test]
+    fn signal_probability_of_and_tree() {
+        // A wide AND output should be strongly skewed toward 0.
+        let mut nl = Netlist::new("skew");
+        let ins: Vec<_> = (0..6)
+            .map(|i| nl.add_primary_input(format!("i{i}")))
+            .collect();
+        let g = nl.add_gate(GateType::And, &ins);
+        nl.add_output("y", nl.gate_output(g));
+        let probs = nl.signal_probabilities(64, 42).unwrap();
+        let p = probs[nl.gate_output(g).index()];
+        assert!(p < 0.05, "AND6 probability {p} not skewed");
+        let p_in = probs[ins[0].index()];
+        assert!((p_in - 0.5).abs() < 0.05, "input probability {p_in}");
+    }
+
+    #[test]
+    fn constants_simulate() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_primary_input("a");
+        let one = nl.const_net(true);
+        let g = nl.add_gate(GateType::And, &[a, one]);
+        nl.add_output("y", nl.gate_output(g));
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![true]);
+        assert_eq!(nl.eval_outputs(&[false], &[]).unwrap(), vec![false]);
+    }
+}

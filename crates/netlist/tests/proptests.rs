@@ -1,0 +1,121 @@
+//! Property-based tests of the netlist substrate.
+
+use gnnunlock_netlist::{
+    generator::BenchmarkSpec, CellLibrary, GateType, Netlist, ALL_GATE_TYPES,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn design(seed: u64) -> Netlist {
+    let names = ["c2670", "c3540", "c5315", "c7552"];
+    let mut spec = BenchmarkSpec::named(names[(seed % 4) as usize])
+        .unwrap()
+        .scaled(0.02);
+    spec.seed = seed;
+    spec.generate()
+}
+
+fn patterns(nl: &Netlist, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let n = nl.primary_inputs().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.random_bool(0.5)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Verilog round trip preserves function and size for any generated
+    /// circuit (after legalization into a mapped library).
+    #[test]
+    fn verilog_round_trip(seed in 0u64..2000) {
+        let nl = design(seed);
+        // Generated circuits are Lpe65-legal by construction.
+        let text = nl.to_verilog(CellLibrary::Lpe65).unwrap();
+        let back = Netlist::from_verilog(&text).unwrap();
+        prop_assert_eq!(nl.num_gates(), back.num_gates());
+        for p in patterns(&nl, 6, seed ^ 0xa) {
+            prop_assert_eq!(
+                nl.eval_outputs(&p, &[]).unwrap(),
+                back.eval_outputs(&p, &[]).unwrap()
+            );
+        }
+    }
+
+    /// `eval_many` agrees with one-at-a-time evaluation.
+    #[test]
+    fn batched_simulation_consistent(seed in 0u64..2000) {
+        let nl = design(seed);
+        let pis = patterns(&nl, 70, seed ^ 0xb); // crosses the 64-word edge
+        let kis = vec![vec![]; pis.len()];
+        let batch = nl.eval_many(&pis, &kis).unwrap();
+        for (p, row) in pis.iter().zip(&batch).take(10) {
+            prop_assert_eq!(row, &nl.eval_outputs(p, &[]).unwrap());
+        }
+    }
+
+    /// Word-parallel gate evaluation equals scalar evaluation for every
+    /// gate family and random words.
+    #[test]
+    fn gate_word_eval_matches_scalar(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &ty in ALL_GATE_TYPES.iter() {
+            let arity = ty.fixed_arity().unwrap_or(2 + (seed % 3) as usize);
+            let words: Vec<u64> = (0..arity).map(|_| rng.random()).collect();
+            let out = ty.eval_word(&words);
+            for bit in [0usize, 17, 63] {
+                let bits: Vec<bool> = words.iter().map(|w| (w >> bit) & 1 == 1).collect();
+                prop_assert_eq!((out >> bit) & 1 == 1, ty.eval(&bits));
+            }
+        }
+    }
+
+    /// Compaction never changes function.
+    #[test]
+    fn compaction_preserves_function(seed in 0u64..2000) {
+        let nl = design(seed);
+        let mut compacted = nl.clone();
+        // Remove a dangling-safe gate: add one, remove it, compact.
+        let a = compacted.primary_inputs()[0];
+        let g = compacted.add_gate(GateType::Inv, &[a]);
+        compacted.remove_gate(g);
+        compacted.compact();
+        for p in patterns(&nl, 6, seed ^ 0xc) {
+            prop_assert_eq!(
+                nl.eval_outputs(&p, &[]).unwrap(),
+                compacted.eval_outputs(&p, &[]).unwrap()
+            );
+        }
+    }
+
+    /// Levelization is consistent: every gate's level exceeds its
+    /// gate-driven inputs' levels.
+    #[test]
+    fn levels_are_monotone(seed in 0u64..2000) {
+        let nl = design(seed);
+        let levels = nl.levels().unwrap();
+        for g in nl.gate_ids() {
+            for &inp in nl.gate_inputs(g) {
+                if let gnnunlock_netlist::Driver::Gate(src) = nl.driver(inp) {
+                    prop_assert!(levels[g.index()] > levels[src.index()]);
+                }
+            }
+        }
+    }
+
+    /// Signal probabilities are proper probabilities and inputs hover
+    /// around 0.5.
+    #[test]
+    fn signal_probabilities_bounded(seed in 0u64..500) {
+        let nl = design(seed);
+        let probs = nl.signal_probabilities(16, seed).unwrap();
+        for p in &probs {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+        for pi in nl.primary_inputs() {
+            prop_assert!((probs[pi.index()] - 0.5).abs() < 0.15);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Neural-network layers: linear, ReLU, dropout.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, shape `in_dim x out_dim`.
+    pub weight: Matrix,
+    /// Bias, length `out_dim`.
+    pub bias: Vec<f32>,
+}
+
+/// Gradients of a [`Linear`] layer produced by [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the weights.
+    pub weight: Matrix,
+    /// Gradient w.r.t. the bias.
+    pub bias: Vec<f32>,
+    /// Gradient w.r.t. the layer input.
+    pub input: Matrix,
+}
+
+impl Linear {
+    /// He-initialized layer (suits the ReLU activations used by the GNN).
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Linear {
+            weight: Matrix::he(in_dim, out_dim, seed),
+            bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass: `x W + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight);
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass given upstream gradient `grad_y` and the saved input
+    /// `x`. Returns gradients for weights, bias and input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &Matrix, grad_y: &Matrix) -> LinearGrads {
+        let weight = x.transpose_matmul(grad_y);
+        let mut bias = vec![0.0f32; self.out_dim()];
+        for r in 0..grad_y.rows() {
+            for (b, &g) in bias.iter_mut().zip(grad_y.row(r)) {
+                *b += g;
+            }
+        }
+        let input = grad_y.matmul_transpose(&self.weight);
+        LinearGrads {
+            weight,
+            bias,
+            input,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+}
+
+/// ReLU forward: returns activations (the mask is recoverable from the
+/// output, see [`relu_backward`]).
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    y.map_inplace(|v| v.max(0.0));
+    y
+}
+
+/// ReLU backward: zero the upstream gradient where the activation was
+/// clamped.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward(activation: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(activation.rows(), grad.rows());
+    assert_eq!(activation.cols(), grad.cols());
+    let mut out = grad.clone();
+    for (o, &a) in out.data_mut().iter_mut().zip(activation.data()) {
+        if a <= 0.0 {
+            *o = 0.0;
+        }
+    }
+    out
+}
+
+/// Inverted-dropout mask: each element survives with probability
+/// `1 - p` and is scaled by `1 / (1 - p)`. Apply the same mask in the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    mask: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DropoutMask {
+    /// Sample a mask for a `rows x cols` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn sample(rows: usize, cols: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keep = 1.0 - p;
+        let scale = (1.0 / keep) as f32;
+        let mask = (0..rows * cols)
+            .map(|_| if rng.random_bool(keep) { scale } else { 0.0 })
+            .collect();
+        DropoutMask { mask, rows, cols }
+    }
+
+    /// Apply the mask in place (same for forward and backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply(&self, x: &mut Matrix) {
+        assert_eq!((x.rows(), x.cols()), (self.rows, self.cols));
+        for (v, &m) in x.data_mut().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut layer = Linear::new(3, 2, 1);
+        layer.bias = vec![0.5, -0.5];
+        let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.rows(), 1);
+        assert_eq!(y.cols(), 2);
+        assert!((y.get(0, 0) - (layer.weight.get(0, 0) + 0.5)).abs() < 1e-6);
+    }
+
+    /// Finite-difference check of the linear layer gradients.
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let layer = Linear::new(4, 3, 2);
+        let x = Matrix::xavier(5, 4, 3);
+        // Loss = sum(y); then dL/dy = ones.
+        let ones = Matrix::from_vec(5, 3, vec![1.0; 15]);
+        let grads = layer.backward(&x, &ones);
+        let loss = |l: &Linear, xx: &Matrix| -> f32 { l.forward(xx).data().iter().sum() };
+        let eps = 1e-3;
+        // Weight gradient.
+        for (r, c) in [(0, 0), (2, 1), (3, 2)] {
+            let mut plus = layer.clone();
+            plus.weight.set(r, c, plus.weight.get(r, c) + eps);
+            let mut minus = layer.clone();
+            minus.weight.set(r, c, minus.weight.get(r, c) - eps);
+            let numeric = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+            assert!(
+                (numeric - grads.weight.get(r, c)).abs() < 1e-2,
+                "dW[{r}][{c}] numeric {numeric} vs analytic {}",
+                grads.weight.get(r, c)
+            );
+        }
+        // Input gradient.
+        for (r, c) in [(0, 0), (4, 3)] {
+            let mut xp = x.clone();
+            xp.set(r, c, xp.get(r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(r, c, xm.get(r, c) - eps);
+            let numeric = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - grads.input.get(r, c)).abs() < 1e-2,
+                "dX[{r}][{c}]"
+            );
+        }
+        // Bias gradient = column sums of ones = 5.
+        assert!(grads.bias.iter().all(|&b| (b - 5.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]);
+        let a = relu(&x);
+        assert_eq!(a.row(0), &[0.0, 2.0]);
+        let g = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let gx = relu_backward(&a, &g);
+        assert_eq!(gx.row(0), &[0.0, 1.0]);
+        assert_eq!(gx.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mask = DropoutMask::sample(200, 10, 0.3, 7);
+        let mut x = Matrix::from_vec(200, 10, vec![1.0; 2000]);
+        mask.apply(&mut x);
+        let kept = x.data().iter().filter(|&&v| v > 0.0).count();
+        let frac = kept as f64 / 2000.0;
+        assert!((frac - 0.7).abs() < 0.06, "keep fraction {frac}");
+        // Survivors are scaled by 1/0.7.
+        let scale = 1.0f32 / 0.7;
+        assert!(x
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,433 @@
+//! Dense row-major `f32` matrices with multithreaded matrix products.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use gnnunlock_neural::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.get(1, 0), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Row-count threshold above which matmul splits across threads.
+const PARALLEL_THRESHOLD: usize = 128;
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization (for tanh/linear layers).
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// He-uniform initialization (for ReLU layers).
+    pub fn he(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / rows as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        parallel_rows(self.rows, out.data.chunks_mut(other.cols.max(1)), |r, out_row| {
+            let a_row = self.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
+        out
+    }
+
+    /// `selfᵀ * other` (used for weight gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        // out[i][j] = sum_r self[r][i] * other[r][j]; accumulate row-wise.
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` (used for input gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        parallel_rows(self.rows, out.data.chunks_mut(other.rows.max(1)), |r, out_row| {
+            let a_row = self.row(r);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        });
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hconcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Split columns at `at`: returns `(left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.cols`.
+    pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols);
+        let mut left = Matrix::zeros(self.rows, at);
+        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Gather rows by index into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows <= 8 && self.cols <= 8 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run `body(row_index, out_row)` over chunked output rows, threading when
+/// the row count is large enough.
+fn parallel_rows<'a, I>(rows: usize, chunks: I, body: impl Fn(usize, &mut [f32]) + Sync)
+where
+    I: Iterator<Item = &'a mut [f32]>,
+{
+    let chunks: Vec<(usize, &mut [f32])> = chunks.enumerate().collect();
+    if rows < PARALLEL_THRESHOLD {
+        for (r, chunk) in chunks {
+            body(r, chunk);
+        }
+        return;
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let per_thread = chunks.len().div_ceil(n_threads);
+    let mut slots: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
+    let mut iter = chunks.into_iter();
+    loop {
+        let batch: Vec<_> = iter.by_ref().take(per_thread).collect();
+        if batch.is_empty() {
+            break;
+        }
+        slots.push(batch);
+    }
+    std::thread::scope(|scope| {
+        for batch in slots {
+            scope.spawn(|| {
+                for (r, chunk) in batch {
+                    body(r, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit_transpose() {
+        let a = Matrix::xavier(13, 7, 1);
+        let b = Matrix::xavier(13, 5, 2);
+        // aᵀ b via transpose_matmul.
+        let atb = a.transpose_matmul(&b);
+        // Explicit transpose.
+        let mut at = Matrix::zeros(7, 13);
+        for r in 0..13 {
+            for c in 0..7 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let expected = at.matmul(&b);
+        for r in 0..7 {
+            for c in 0..5 {
+                assert!((atb.get(r, c) - expected.get(r, c)).abs() < 1e-5);
+            }
+        }
+        // a bᵀ via matmul_transpose.
+        let c2 = Matrix::xavier(9, 7, 3);
+        let abt = a.matmul_transpose(&c2);
+        let mut c2t = Matrix::zeros(7, 9);
+        for r in 0..9 {
+            for c in 0..7 {
+                c2t.set(c, r, c2.get(r, c));
+            }
+        }
+        let expected2 = a.matmul(&c2t);
+        for r in 0..13 {
+            for c in 0..9 {
+                assert!((abt.get(r, c) - expected2.get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn large_matmul_threads_match_serial() {
+        // Above PARALLEL_THRESHOLD rows to exercise the threaded path.
+        let a = Matrix::xavier(300, 40, 4);
+        let b = Matrix::xavier(40, 30, 5);
+        let c = a.matmul(&b);
+        for r in [0, 150, 299] {
+            for col in [0, 29] {
+                let mut acc = 0.0;
+                for k in 0..40 {
+                    acc += a.get(r, k) * b.get(k, col);
+                }
+                assert!((c.get(r, col) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_and_split_round_trip() {
+        let a = Matrix::xavier(6, 3, 7);
+        let b = Matrix::xavier(6, 4, 8);
+        let cat = a.hconcat(&b);
+        assert_eq!(cat.cols(), 7);
+        let (l, r) = cat.hsplit(3);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.row(0), &[3.0]);
+        assert_eq!(g.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn initializers_are_bounded_and_deterministic() {
+        let a = Matrix::he(50, 20, 9);
+        let b = Matrix::he(50, 20, 9);
+        assert_eq!(a, b);
+        let bound = (6.0 / 50.0f32).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+        assert!(a.norm() > 0.0);
+    }
+}

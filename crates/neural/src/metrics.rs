@@ -1,0 +1,169 @@
+//! Classification metrics: accuracy and per-class precision / recall /
+//! F1 (the paper reports all of these non-averaged per class).
+
+/// Confusion matrix and derived metrics for a multi-class problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    num_classes: usize,
+    /// `confusion[true][pred]`.
+    confusion: Vec<Vec<usize>>,
+}
+
+impl Metrics {
+    /// Build from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any value exceeds `num_classes`.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len());
+        let mut confusion = vec![vec![0usize; num_classes]; num_classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < num_classes && l < num_classes);
+            confusion[l][p] += 1;
+        }
+        Metrics {
+            num_classes,
+            confusion,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.confusion.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Count of `(true=l, pred=p)` pairs.
+    pub fn count(&self, l: usize, p: usize) -> usize {
+        self.confusion[l][p]
+    }
+
+    /// Overall accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.num_classes).map(|i| self.confusion[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of class `c` (1.0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.confusion[c][c];
+        let predicted: usize = (0..self.num_classes).map(|l| self.confusion[l][c]).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (1.0 when the class has no true members).
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.confusion[c][c];
+        let actual: usize = self.confusion[c].iter().sum();
+        if actual == 0 {
+            1.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged precision over classes that occur.
+    pub fn avg_precision(&self) -> f64 {
+        self.macro_avg(|c| self.precision(c))
+    }
+
+    /// Macro-averaged recall over classes that occur.
+    pub fn avg_recall(&self) -> f64 {
+        self.macro_avg(|c| self.recall(c))
+    }
+
+    /// Macro-averaged F1 over classes that occur.
+    pub fn avg_f1(&self) -> f64 {
+        self.macro_avg(|c| self.f1(c))
+    }
+
+    fn macro_avg(&self, f: impl Fn(usize) -> f64) -> f64 {
+        let present: Vec<usize> = (0..self.num_classes)
+            .filter(|&c| self.confusion[c].iter().sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 1.0;
+        }
+        present.iter().map(|&c| f(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Number of misclassified samples.
+    pub fn misclassified(&self) -> usize {
+        self.total()
+            - (0..self.num_classes)
+                .map(|i| self.confusion[i][i])
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let m = Metrics::from_predictions(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.misclassified(), 0);
+        for c in 0..3 {
+            assert_eq!(m.precision(c), 1.0);
+            assert_eq!(m.recall(c), 1.0);
+            assert_eq!(m.f1(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn known_confusion() {
+        // labels:  [0,0,0,1,1], preds: [0,0,1,1,0]
+        let m = Metrics::from_predictions(&[0, 0, 1, 1, 0], &[0, 0, 0, 1, 1], 2);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        // class 0: tp=2, predicted=3, actual=3.
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        // class 1: tp=1, predicted=2, actual=2.
+        assert!((m.precision(1) - 0.5).abs() < 1e-12);
+        assert!((m.recall(1) - 0.5).abs() < 1e-12);
+        assert_eq!(m.misclassified(), 2);
+    }
+
+    #[test]
+    fn absent_class_scores_one() {
+        let m = Metrics::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.precision(2), 1.0);
+        assert_eq!(m.recall(2), 1.0);
+        // Macro averages ignore absent classes.
+        assert_eq!(m.avg_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_vacuously_perfect() {
+        let m = Metrics::from_predictions(&[], &[], 2);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.total(), 0);
+    }
+}

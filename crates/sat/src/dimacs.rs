@@ -1,0 +1,152 @@
+//! DIMACS CNF import/export, for interoperability with external SAT
+//! solvers and for archiving the miters the attacks build.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use std::fmt::Write as _;
+
+/// A plain CNF formula (1-based DIMACS variable numbering).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses as non-zero DIMACS literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Serialize in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let _ = write!(out, "{lit} ");
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Parse DIMACS text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_dimacs(text: &str) -> Result<Cnf, String> {
+        let mut cnf = Cnf::default();
+        let mut declared: Option<(usize, usize)> = None;
+        let mut current: Vec<i32> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let mut parts = rest.split_whitespace();
+                let vars: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("line {}: bad var count", lineno + 1))?;
+                let clauses: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("line {}: bad clause count", lineno + 1))?;
+                declared = Some((vars, clauses));
+                cnf.num_vars = vars;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let lit: i32 = tok
+                    .parse()
+                    .map_err(|_| format!("line {}: bad literal `{tok}`", lineno + 1))?;
+                if lit == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    cnf.num_vars = cnf.num_vars.max(lit.unsigned_abs() as usize);
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        if let Some((_, clauses)) = declared {
+            if clauses != cnf.clauses.len() {
+                return Err(format!(
+                    "header declares {clauses} clauses, found {}",
+                    cnf.clauses.len()
+                ));
+            }
+        }
+        Ok(cnf)
+    }
+
+    /// Load the formula into a fresh [`Solver`], returning the solver and
+    /// the variable mapping (`vars[i]` is DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| {
+                    let v = vars[(l.unsigned_abs() - 1) as usize];
+                    Lit::with_polarity(v, l > 0)
+                })
+                .collect();
+            solver.add_clause(&lits);
+        }
+        (solver, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn round_trip() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![vec![1, -2], vec![2, 3], vec![-1, -3]],
+        };
+        let text = cnf.to_dimacs();
+        let back = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(cnf, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "c a comment\n\np cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let cnf = Cnf::from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn clause_count_mismatch_detected() {
+        let text = "p cnf 2 3\n1 0\n";
+        assert!(Cnf::from_dimacs(text).is_err());
+    }
+
+    #[test]
+    fn solves_loaded_formula() {
+        // (x1 | x2) & (!x1) & (!x2) is UNSAT.
+        let cnf = Cnf::from_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 0\n").unwrap();
+        let (mut solver, _) = cnf.into_solver();
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        // (x1 | x2) & (!x1) is SAT with x2 = true.
+        let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let (mut solver, vars) = cnf.into_solver();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn multiline_clauses_parse() {
+        let cnf = Cnf::from_dimacs("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![vec![1, 2, 3]]);
+    }
+}

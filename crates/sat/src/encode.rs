@@ -1,0 +1,303 @@
+//! Tseitin encoding of netlists into CNF.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use gnnunlock_netlist::{Driver, GateType, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Literals representing a netlist inside a [`Solver`].
+///
+/// Input/output literals are listed in the netlist's declaration order so
+/// callers can bind keys or compare outputs positionally.
+#[derive(Debug, Clone)]
+pub struct CircuitEncoding {
+    /// `(name, literal)` per primary input.
+    pub primary_inputs: Vec<(String, Lit)>,
+    /// `(name, literal)` per key input.
+    pub key_inputs: Vec<(String, Lit)>,
+    /// `(name, literal)` per primary output.
+    pub outputs: Vec<(String, Lit)>,
+    net_lits: HashMap<NetId, Lit>,
+}
+
+impl CircuitEncoding {
+    /// Literal of an arbitrary net, if it was encoded.
+    pub fn net_lit(&self, net: NetId) -> Option<Lit> {
+        self.net_lits.get(&net).copied()
+    }
+
+    /// Literal of a primary input by name.
+    pub fn pi_lit(&self, name: &str) -> Option<Lit> {
+        self.primary_inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, l)| l)
+    }
+}
+
+/// Encode `nl` into `solver`, optionally reusing existing literals for the
+/// primary inputs (`shared_pis`, keyed by input name). Key inputs always
+/// get fresh variables.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle (validate first).
+pub fn encode_netlist(
+    solver: &mut Solver,
+    nl: &Netlist,
+    shared_pis: Option<&HashMap<String, Lit>>,
+) -> CircuitEncoding {
+    let mut net_lits: HashMap<NetId, Lit> = HashMap::new();
+    let mut primary_inputs = Vec::new();
+    let mut key_inputs = Vec::new();
+    for (name, kind, net) in nl.inputs() {
+        let lit = match (kind, shared_pis) {
+            (gnnunlock_netlist::InputKind::Primary, Some(map)) if map.contains_key(name) => {
+                map[name]
+            }
+            _ => Lit::positive(solver.new_var()),
+        };
+        net_lits.insert(net, lit);
+        match kind {
+            gnnunlock_netlist::InputKind::Primary => {
+                primary_inputs.push((name.to_string(), lit))
+            }
+            gnnunlock_netlist::InputKind::Key => key_inputs.push((name.to_string(), lit)),
+        }
+    }
+    // Constants: a frozen true variable.
+    let mut const_lit: Option<Lit> = None;
+    for net in nl.net_ids() {
+        if let Driver::Const(v) = nl.driver(net) {
+            let t = *const_lit.get_or_insert_with(|| {
+                let l = Lit::positive(solver.new_var());
+                solver.add_clause(&[l]);
+                l
+            });
+            net_lits.insert(net, if v { t } else { !t });
+        }
+    }
+    for g in nl.topo_order().expect("acyclic netlist") {
+        let ins: Vec<Lit> = nl
+            .gate_inputs(g)
+            .iter()
+            .map(|n| net_lits[n])
+            .collect();
+        let out = encode_gate(solver, nl.gate_type(g), &ins);
+        net_lits.insert(nl.gate_output(g), out);
+    }
+    let outputs = nl
+        .outputs()
+        .map(|(name, net)| (name.to_string(), net_lits[&net]))
+        .collect();
+    CircuitEncoding {
+        primary_inputs,
+        key_inputs,
+        outputs,
+        net_lits,
+    }
+}
+
+/// Encode one gate, returning the output literal.
+fn encode_gate(solver: &mut Solver, ty: GateType, ins: &[Lit]) -> Lit {
+    use GateType::*;
+    match ty {
+        Buf => ins[0],
+        Inv => !ins[0],
+        And => encode_and(solver, ins),
+        Nand => !encode_and(solver, ins),
+        Or => !encode_and(solver, &negate_all(ins)),
+        Nor => encode_and(solver, &negate_all(ins)),
+        Xor => encode_xor(solver, ins),
+        Xnor => !encode_xor(solver, ins),
+        Aoi21 => {
+            let ab = encode_and(solver, &ins[0..2]);
+            encode_and(solver, &[!ab, !ins[2]])
+        }
+        Aoi22 => {
+            let ab = encode_and(solver, &ins[0..2]);
+            let cd = encode_and(solver, &ins[2..4]);
+            encode_and(solver, &[!ab, !cd])
+        }
+        Aoi211 => {
+            let ab = encode_and(solver, &ins[0..2]);
+            encode_and(solver, &[!ab, !ins[2], !ins[3]])
+        }
+        Aoi221 => {
+            let ab = encode_and(solver, &ins[0..2]);
+            let cd = encode_and(solver, &ins[2..4]);
+            encode_and(solver, &[!ab, !cd, !ins[4]])
+        }
+        Oai21 => {
+            let ab = encode_and(solver, &[!ins[0], !ins[1]]); // = !(a|b)
+            !encode_and(solver, &[!ab, ins[2]])
+        }
+        Oai22 => {
+            let ab = encode_and(solver, &[!ins[0], !ins[1]]);
+            let cd = encode_and(solver, &[!ins[2], !ins[3]]);
+            !encode_and(solver, &[!ab, !cd])
+        }
+        Oai211 => {
+            let ab = encode_and(solver, &[!ins[0], !ins[1]]);
+            !encode_and(solver, &[!ab, ins[2], ins[3]])
+        }
+        Oai221 => {
+            let ab = encode_and(solver, &[!ins[0], !ins[1]]);
+            let cd = encode_and(solver, &[!ins[2], !ins[3]]);
+            !encode_and(solver, &[!ab, !cd, ins[4]])
+        }
+        Mux2 => {
+            // y = (a & !s) | (b & s)
+            let y = Lit::positive(solver.new_var());
+            let (a, b, s) = (ins[0], ins[1], ins[2]);
+            solver.add_clause(&[s, !a, y]);
+            solver.add_clause(&[s, a, !y]);
+            solver.add_clause(&[!s, !b, y]);
+            solver.add_clause(&[!s, b, !y]);
+            y
+        }
+        Mxi2 => {
+            let y = Lit::positive(solver.new_var());
+            let (a, b, s) = (ins[0], ins[1], ins[2]);
+            solver.add_clause(&[s, !a, !y]);
+            solver.add_clause(&[s, a, y]);
+            solver.add_clause(&[!s, !b, !y]);
+            solver.add_clause(&[!s, b, y]);
+            y
+        }
+        Maj3 => {
+            let y = Lit::positive(solver.new_var());
+            let (a, b, c) = (ins[0], ins[1], ins[2]);
+            solver.add_clause(&[!a, !b, y]);
+            solver.add_clause(&[!a, !c, y]);
+            solver.add_clause(&[!b, !c, y]);
+            solver.add_clause(&[a, b, !y]);
+            solver.add_clause(&[a, c, !y]);
+            solver.add_clause(&[b, c, !y]);
+            y
+        }
+    }
+}
+
+fn negate_all(ins: &[Lit]) -> Vec<Lit> {
+    ins.iter().map(|&l| !l).collect()
+}
+
+/// `y ↔ AND(ins)` with a fresh `y`.
+fn encode_and(solver: &mut Solver, ins: &[Lit]) -> Lit {
+    debug_assert!(!ins.is_empty());
+    if ins.len() == 1 {
+        return ins[0];
+    }
+    let y = Lit::positive(solver.new_var());
+    let mut long: Vec<Lit> = vec![y];
+    for &l in ins {
+        solver.add_clause(&[!y, l]);
+        long.push(!l);
+    }
+    solver.add_clause(&long);
+    y
+}
+
+/// `y ↔ XOR(ins)` as a chain of 2-input XORs.
+fn encode_xor(solver: &mut Solver, ins: &[Lit]) -> Lit {
+    debug_assert!(!ins.is_empty());
+    let mut acc = ins[0];
+    for &l in &ins[1..] {
+        let y = Lit::positive(solver.new_var());
+        solver.add_clause(&[!acc, !l, !y]);
+        solver.add_clause(&[acc, l, !y]);
+        solver.add_clause(&[!acc, l, y]);
+        solver.add_clause(&[acc, !l, y]);
+        acc = y;
+    }
+    acc
+}
+
+/// Force literal `l` to equal `value` via a unit clause.
+pub fn assert_lit(solver: &mut Solver, l: Lit, value: bool) {
+    solver.add_clause(&[if value { l } else { !l }]);
+}
+
+/// Fresh literal constrained to `a XOR b` (used by miters).
+pub fn xor_lit(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    encode_xor(solver, &[a, b])
+}
+
+/// Fresh literal constrained to `OR(ins)` (used by miters).
+pub fn or_lit(solver: &mut Solver, ins: &[Lit]) -> Lit {
+    !encode_and(solver, &negate_all(ins))
+}
+
+/// Allocate a fresh free variable as a literal.
+pub fn fresh_lit(solver: &mut Solver) -> Lit {
+    Lit::positive(solver.new_var())
+}
+
+/// Suppress unused warning for Var re-export convenience.
+#[allow(dead_code)]
+fn _uses(_: Var) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+    use gnnunlock_netlist::ALL_GATE_TYPES;
+
+    /// Exhaustively check every gate encoding against `GateType::eval`.
+    #[test]
+    fn gate_encodings_match_semantics() {
+        for &ty in ALL_GATE_TYPES.iter() {
+            let arity = ty.fixed_arity().unwrap_or(3);
+            for pattern in 0..(1u32 << arity) {
+                let mut solver = Solver::new();
+                let ins: Vec<Lit> = (0..arity)
+                    .map(|_| Lit::positive(solver.new_var()))
+                    .collect();
+                let out = encode_gate(&mut solver, ty, &ins);
+                let bits: Vec<bool> =
+                    (0..arity).map(|i| (pattern >> i) & 1 == 1).collect();
+                for (l, &b) in ins.iter().zip(&bits) {
+                    assert_lit(&mut solver, *l, b);
+                }
+                let expected = ty.eval(&bits);
+                assert_eq!(solver.solve(), SolveResult::Sat, "{ty} inputs {bits:?}");
+                assert_eq!(
+                    solver.model_lit(out),
+                    Some(expected),
+                    "{ty} inputs {bits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_encoding_matches_simulation() {
+        use gnnunlock_netlist::generator::BenchmarkSpec;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let mut solver = Solver::new();
+        let enc = encode_netlist(&mut solver, &nl, None);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let pattern: Vec<bool> = (0..enc.primary_inputs.len())
+                .map(|_| rng.random_bool(0.5))
+                .collect();
+            let assumptions: Vec<Lit> = enc
+                .primary_inputs
+                .iter()
+                .zip(&pattern)
+                .map(|(&(_, l), &b)| if b { l } else { !l })
+                .collect();
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveResult::Sat
+            );
+            let expected = nl.eval_outputs(&pattern, &[]).unwrap();
+            for ((_, ol), &e) in enc.outputs.iter().zip(&expected) {
+                assert_eq!(solver.model_lit(*ol), Some(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Miter-based combinational equivalence checking — the stand-in for
+//! Synopsys Formality in the paper's evaluation flow (Fig. 4).
+//!
+//! Two netlists are compared over their shared primary inputs; key inputs
+//! of either side may be bound to constant values (checking a locked
+//! circuit under a specific key against the original). A fast 64-way
+//! random-simulation pass runs first; only if it finds no difference is
+//! the SAT miter solved.
+
+use crate::encode::{assert_lit, encode_netlist, or_lit, xor_lit};
+use crate::lit::Lit;
+use crate::solver::{SolveResult, Solver};
+use gnnunlock_netlist::Netlist;
+use std::collections::HashMap;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivResult {
+    /// The circuits agree on every input pattern.
+    Equivalent,
+    /// A distinguishing primary-input pattern (in `a`'s PI declaration
+    /// order) was found.
+    NotEquivalent(Vec<bool>),
+    /// The circuits' interfaces cannot be matched.
+    InterfaceMismatch(String),
+}
+
+impl EquivResult {
+    /// `true` when the result is [`EquivResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent)
+    }
+}
+
+/// Configuration for [`check_equivalence`].
+#[derive(Debug, Clone, Default)]
+pub struct EquivOptions {
+    /// Key values for `a`'s key inputs (`keyinput{i}` gets bit `i`).
+    pub key_a: Option<Vec<bool>>,
+    /// Key values for `b`'s key inputs.
+    pub key_b: Option<Vec<bool>>,
+    /// Number of 64-pattern random-simulation words to try before SAT
+    /// (default 32 → 2048 patterns).
+    pub sim_words: usize,
+    /// RNG seed for the simulation prefilter.
+    pub seed: u64,
+}
+
+/// Check combinational equivalence of `a` and `b`.
+///
+/// Primary inputs and outputs are matched by name; both sides must expose
+/// the same sets. Unbound key inputs are treated as free variables, i.e.
+/// the check asks whether the circuits agree for *every* key — bind keys
+/// via [`EquivOptions`] for the usual locked-vs-original comparison.
+pub fn check_equivalence(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> EquivResult {
+    // Interface matching.
+    let mut a_pis: Vec<String> = a
+        .inputs()
+        .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+        .map(|(n, _, _)| n.to_string())
+        .collect();
+    let mut b_pis: Vec<String> = b
+        .inputs()
+        .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+        .map(|(n, _, _)| n.to_string())
+        .collect();
+    a_pis.sort();
+    b_pis.sort();
+    if a_pis != b_pis {
+        return EquivResult::InterfaceMismatch(format!(
+            "primary inputs differ: {} vs {}",
+            a_pis.len(),
+            b_pis.len()
+        ));
+    }
+    let mut a_pos: Vec<String> = a.outputs().map(|(n, _)| n.to_string()).collect();
+    let mut b_pos: Vec<String> = b.outputs().map(|(n, _)| n.to_string()).collect();
+    a_pos.sort();
+    a_pos.dedup();
+    b_pos.sort();
+    b_pos.dedup();
+    if a_pos != b_pos {
+        return EquivResult::InterfaceMismatch(format!(
+            "primary outputs differ: {} vs {}",
+            a_pos.len(),
+            b_pos.len()
+        ));
+    }
+
+    if let Some(cex) = simulate_difference(a, b, opts) {
+        return EquivResult::NotEquivalent(cex);
+    }
+
+    // SAT miter.
+    let mut solver = Solver::new();
+    let enc_a = encode_netlist(&mut solver, a, None);
+    let shared: HashMap<String, Lit> = enc_a
+        .primary_inputs
+        .iter()
+        .map(|(n, l)| (n.clone(), *l))
+        .collect();
+    let enc_b = encode_netlist(&mut solver, b, Some(&shared));
+    if let Some(key) = &opts.key_a {
+        bind_key(&mut solver, &enc_a.key_inputs, key);
+    }
+    if let Some(key) = &opts.key_b {
+        bind_key(&mut solver, &enc_b.key_inputs, key);
+    }
+    let out_b: HashMap<&str, Lit> = enc_b
+        .outputs
+        .iter()
+        .map(|(n, l)| (n.as_str(), *l))
+        .collect();
+    let diffs: Vec<Lit> = enc_a
+        .outputs
+        .iter()
+        .map(|(n, la)| xor_lit(&mut solver, *la, out_b[n.as_str()]))
+        .collect();
+    let any_diff = or_lit(&mut solver, &diffs);
+    assert_lit(&mut solver, any_diff, true);
+    match solver.solve() {
+        SolveResult::Unsat => EquivResult::Equivalent,
+        SolveResult::Sat => {
+            let cex = a
+                .inputs()
+                .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+                .map(|(n, _, _)| {
+                    let lit = enc_a
+                        .primary_inputs
+                        .iter()
+                        .find(|(pn, _)| pn == n)
+                        .map(|&(_, l)| l)
+                        .expect("pi encoded");
+                    solver.model_lit(lit).unwrap_or(false)
+                })
+                .collect();
+            EquivResult::NotEquivalent(cex)
+        }
+    }
+}
+
+fn bind_key(solver: &mut Solver, kis: &[(String, Lit)], key: &[bool]) {
+    for (name, lit) in kis {
+        let idx: usize = name
+            .trim_start_matches(gnnunlock_netlist::KEY_INPUT_PREFIX)
+            .parse()
+            .unwrap_or(0);
+        let value = key.get(idx).copied().unwrap_or(false);
+        assert_lit(solver, *lit, value);
+    }
+}
+
+/// Random-simulation prefilter: returns a counterexample pattern if one is
+/// found. Only meaningful when both keys are bound (free keys require SAT).
+fn simulate_difference(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> Option<Vec<bool>> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let a_kis = a.key_inputs().len();
+    let b_kis = b.key_inputs().len();
+    if (a_kis > 0 && opts.key_a.is_none()) || (b_kis > 0 && opts.key_b.is_none()) {
+        return None; // cannot fix keys for simulation
+    }
+    let names: Vec<String> = a
+        .inputs()
+        .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+        .map(|(n, _, _)| n.to_string())
+        .collect();
+    let b_order: Vec<usize> = b
+        .inputs()
+        .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+        .map(|(n, _, _)| names.iter().position(|x| x == n).expect("matched"))
+        .collect();
+    let key_a = opts.key_a.clone().unwrap_or_default();
+    let key_b = opts.key_b.clone().unwrap_or_default();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let words = if opts.sim_words == 0 { 32 } else { opts.sim_words };
+    let n_patterns = words * 64;
+    let mut pi_a: Vec<Vec<bool>> = Vec::with_capacity(n_patterns);
+    for _ in 0..n_patterns {
+        pi_a.push((0..names.len()).map(|_| rng.random_bool(0.5)).collect());
+    }
+    let ki_a = vec![key_a.clone(); n_patterns];
+    let out_a = a.eval_many(&pi_a, &ki_a).ok()?;
+    let pi_b: Vec<Vec<bool>> = pi_a
+        .iter()
+        .map(|p| b_order.iter().map(|&i| p[i]).collect())
+        .collect();
+    let ki_b = vec![key_b.clone(); n_patterns];
+    let out_b = b.eval_many(&pi_b, &ki_b).ok()?;
+    // Compare by output name.
+    let a_out_names: Vec<&str> = a.outputs().map(|(n, _)| n).collect();
+    let b_out_names: Vec<&str> = b.outputs().map(|(n, _)| n).collect();
+    let b_pos: Vec<usize> = a_out_names
+        .iter()
+        .map(|n| b_out_names.iter().position(|x| x == n).expect("matched"))
+        .collect();
+    for (i, (ra, rb)) in out_a.iter().zip(&out_b).enumerate() {
+        for (j, &bj) in b_pos.iter().enumerate() {
+            if ra[j] != rb[bj] {
+                return Some(pi_a[i].clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+    use gnnunlock_netlist::GateType;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let r = check_equivalence(&nl, &nl.clone(), &EquivOptions::default());
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn single_gate_change_is_caught() {
+        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let mut other = nl.clone();
+        // Flip one gate type (And -> Nand preserves arity).
+        let victim = other
+            .gate_ids()
+            .find(|&g| other.gate_type(g) == GateType::And)
+            .expect("an AND exists");
+        other.set_gate_type(victim, GateType::Nand);
+        match check_equivalence(&nl, &other, &EquivOptions::default()) {
+            EquivResult::NotEquivalent(cex) => {
+                let out_a = nl.eval_outputs(&cex, &[]).unwrap();
+                let out_b = other.eval_outputs(&cex, &[]).unwrap();
+                assert_ne!(out_a, out_b, "counterexample does not distinguish");
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_different_but_equal_functions() {
+        // y = !(a & b) vs y = !a | !b (De Morgan).
+        let mut x = Netlist::new("x");
+        let a = x.add_primary_input("a");
+        let b = x.add_primary_input("b");
+        let g = x.add_gate(GateType::Nand, &[a, b]);
+        x.add_output("y", x.gate_output(g));
+
+        let mut y = Netlist::new("y");
+        let a2 = y.add_primary_input("a");
+        let b2 = y.add_primary_input("b");
+        let na = y.add_gate(GateType::Inv, &[a2]);
+        let nb = y.add_gate(GateType::Inv, &[b2]);
+        let o = y.add_gate(GateType::Or, &[y.gate_output(na), y.gate_output(nb)]);
+        y.add_output("y", y.gate_output(o));
+
+        assert!(check_equivalence(&x, &y, &EquivOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let mut x = Netlist::new("x");
+        let a = x.add_primary_input("a");
+        let g = x.add_gate(GateType::Inv, &[a]);
+        x.add_output("y", x.gate_output(g));
+        let mut y = Netlist::new("y");
+        let a2 = y.add_primary_input("different");
+        let g2 = y.add_gate(GateType::Inv, &[a2]);
+        y.add_output("y", y.gate_output(g2));
+        assert!(matches!(
+            check_equivalence(&x, &y, &EquivOptions::default()),
+            EquivResult::InterfaceMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn locked_circuit_equivalent_under_correct_key_only() {
+        
+        // Minimal inline "locking": y = a XOR k, correct key = 0.
+        let mut orig = Netlist::new("o");
+        let a = orig.add_primary_input("a");
+        let g = orig.add_gate(GateType::Buf, &[a]);
+        orig.add_output("y", orig.gate_output(g));
+
+        let mut locked = Netlist::new("l");
+        let a2 = locked.add_primary_input("a");
+        let k = locked.add_key_input("keyinput0");
+        let g2 = locked.add_gate(GateType::Xor, &[a2, k]);
+        locked.add_output("y", locked.gate_output(g2));
+
+        let good = EquivOptions {
+            key_b: Some(vec![false]),
+            ..Default::default()
+        };
+        assert!(check_equivalence(&orig, &locked, &good).is_equivalent());
+        let bad = EquivOptions {
+            key_b: Some(vec![true]),
+            ..Default::default()
+        };
+        assert!(!check_equivalence(&orig, &locked, &bad).is_equivalent());
+    }
+
+    // Placeholder module so the test above reads naturally without a
+    // dependency on the locking crate (which depends on us... it does not,
+    // but keep the layering clean).
+    mod gnnunlock_locking_like {}
+}

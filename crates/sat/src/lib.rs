@@ -1,0 +1,38 @@
+//! SAT solving and combinational equivalence checking.
+//!
+//! Three layers:
+//!
+//! - [`Solver`]: a CDCL SAT solver (two-watched literals, VSIDS, phase
+//!   saving, Luby restarts, learnt-clause DB reduction, assumptions,
+//!   conflict budgets);
+//! - [`encode_netlist`]: Tseitin encoding of a
+//!   [`gnnunlock_netlist::Netlist`] into CNF with shared-input support for
+//!   miter construction;
+//! - [`check_equivalence`]: the Formality stand-in — random-simulation
+//!   prefilter plus SAT miter, used to verify recovered designs and by the
+//!   FALL / SAT-attack baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_sat::{check_equivalence, EquivOptions};
+//! use gnnunlock_netlist::generator::BenchmarkSpec;
+//!
+//! let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+//! let r = check_equivalence(&nl, &nl.clone(), &EquivOptions::default());
+//! assert!(r.is_equivalent());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dimacs;
+mod encode;
+mod equiv;
+mod lit;
+mod solver;
+
+pub use dimacs::Cnf;
+pub use encode::{assert_lit, encode_netlist, fresh_lit, or_lit, xor_lit, CircuitEncoding};
+pub use equiv::{check_equivalence, EquivOptions, EquivResult};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

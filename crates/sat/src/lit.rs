@@ -1,0 +1,123 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` with `sign = 1` meaning negated.
+///
+/// # Examples
+///
+/// ```
+/// use gnnunlock_sat::{Lit, Solver};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// let l = Lit::positive(v);
+/// assert_eq!(!l, Lit::negative(v));
+/// assert_eq!((!l).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn positive(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn negative(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Raw code (used to index watch lists).
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    pub(crate) fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::with_polarity(v, false), n);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the SAT solver and equivalence checker.
+
+use gnnunlock_netlist::{generator::BenchmarkSpec, GateType};
+use gnnunlock_sat::{
+    check_equivalence, Cnf, EquivOptions, Lit, SolveResult, Solver,
+};
+use proptest::prelude::*;
+
+/// Random 3-CNF as (var, polarity) triples.
+fn random_cnf(n_vars: usize, clauses: Vec<Vec<(usize, bool)>>) -> (Solver, Vec<Lit>, bool) {
+    // Brute force reference.
+    let mut brute_sat = false;
+    'outer: for bits in 0..(1u32 << n_vars) {
+        for c in &clauses {
+            if !c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos) {
+                continue 'outer;
+            }
+        }
+        brute_sat = true;
+        break;
+    }
+    let mut solver = Solver::new();
+    let lits: Vec<Lit> = (0..n_vars)
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    for c in &clauses {
+        let cl: Vec<Lit> = c
+            .iter()
+            .map(|&(v, pos)| if pos { lits[v] } else { !lits[v] })
+            .collect();
+        solver.add_clause(&cl);
+    }
+    (solver, lits, brute_sat)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The solver agrees with brute force on random small formulas, and
+    /// SAT models satisfy every clause.
+    #[test]
+    fn solver_matches_brute_force(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..9, any::<bool>()), 1..4),
+            1..50
+        )
+    ) {
+        let (mut solver, lits, expected) = random_cnf(9, clauses.clone());
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            for c in &clauses {
+                let satisfied = c
+                    .iter()
+                    .any(|&(v, pos)| solver.model_lit(lits[v]) == Some(pos));
+                prop_assert!(satisfied, "model violates a clause");
+            }
+        }
+    }
+
+    /// Assumption-based solving is consistent with adding unit clauses.
+    #[test]
+    fn assumptions_equal_units(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..6, any::<bool>()), 1..4),
+            1..25
+        ),
+        assumed in prop::collection::vec((0usize..6, any::<bool>()), 0..3)
+    ) {
+        let (mut s1, lits1, _) = random_cnf(6, clauses.clone());
+        let assumptions: Vec<Lit> = assumed
+            .iter()
+            .map(|&(v, pos)| if pos { lits1[v] } else { !lits1[v] })
+            .collect();
+        let with_assumptions = s1.solve_with_assumptions(&assumptions);
+
+        let (mut s2, lits2, _) = random_cnf(6, clauses);
+        for &(v, pos) in &assumed {
+            let l = if pos { lits2[v] } else { !lits2[v] };
+            s2.add_clause(&[l]);
+        }
+        prop_assert_eq!(with_assumptions, s2.solve());
+    }
+
+    /// DIMACS round trip + solving through the loaded formula.
+    #[test]
+    fn dimacs_round_trip_preserves_satisfiability(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..7, any::<bool>()), 1..4),
+            1..30
+        )
+    ) {
+        let (mut direct, _, _) = random_cnf(7, clauses.clone());
+        let cnf = Cnf {
+            num_vars: 7,
+            clauses: clauses
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|&(v, pos)| if pos { v as i32 + 1 } else { -(v as i32 + 1) })
+                        .collect()
+                })
+                .collect(),
+        };
+        let reparsed = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
+        let (mut loaded, _) = reparsed.into_solver();
+        prop_assert_eq!(direct.solve(), loaded.solve());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A circuit is always equivalent to itself, and a single gate-type
+    /// flip is always caught (modulo logically-equal flips, excluded by
+    /// construction here).
+    #[test]
+    fn cec_detects_single_gate_flips(seed in 0u64..500) {
+        let mut spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.02);
+        spec.seed = seed;
+        let nl = spec.generate();
+        prop_assert!(
+            check_equivalence(&nl, &nl.clone(), &EquivOptions::default()).is_equivalent()
+        );
+        let mut other = nl.clone();
+        let victim = other
+            .gate_ids()
+            .find(|&g| other.gate_type(g) == GateType::And);
+        if let Some(victim) = victim {
+            other.set_gate_type(victim, GateType::Nand);
+            let r = check_equivalence(&nl, &other, &EquivOptions::default());
+            match r {
+                gnnunlock_sat::EquivResult::NotEquivalent(cex) => {
+                    prop_assert_ne!(
+                        nl.eval_outputs(&cex, &[]).unwrap(),
+                        other.eval_outputs(&cex, &[]).unwrap()
+                    );
+                }
+                other_result => {
+                    // A NAND flip is only undetectable if the gate is
+                    // functionally dead; our generator keeps all gates
+                    // live, so this must be NotEquivalent.
+                    prop_assert!(false, "expected NotEquivalent, got {:?}", other_result);
+                }
+            }
+        }
+    }
+
+    /// Key-bound equivalence: a hand-locked circuit equals the original
+    /// under the pass-through key and differs under the flipped key.
+    #[test]
+    fn key_binding_controls_equivalence(seed in 0u64..200) {
+        let mut spec = BenchmarkSpec::named("c3540").unwrap().scaled(0.02);
+        spec.seed = seed;
+        let nl = spec.generate();
+        // Insert one XOR key gate on the first internal net.
+        let mut locked = nl.clone();
+        let victim = locked.gate_ids().next().map(|g| locked.gate_output(g));
+        let Some(victim) = victim else { return Ok(()); };
+        let ki = locked.add_key_input("keyinput0");
+        let kg = locked.add_gate(GateType::Xor, &[victim, ki]);
+        let knet = locked.gate_output(kg);
+        locked.replace_net_uses(victim, knet);
+        locked.set_gate_inputs(kg, &[victim, ki]);
+        let good = EquivOptions { key_b: Some(vec![false]), ..Default::default() };
+        prop_assert!(check_equivalence(&nl, &locked, &good).is_equivalent());
+        let bad = EquivOptions { key_b: Some(vec![true]), ..Default::default() };
+        prop_assert!(!check_equivalence(&nl, &locked, &bad).is_equivalent());
+    }
+}

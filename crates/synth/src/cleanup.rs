@@ -1,0 +1,102 @@
+//! Structural cleanup: buffer removal and inverter-pair collapsing.
+
+use gnnunlock_netlist::{Driver, GateType, Netlist};
+
+/// Remove buffer gates by rewiring their readers to the buffer input.
+/// Returns the number of buffers removed.
+pub fn remove_buffers(nl: &mut Netlist) -> usize {
+    let mut removed = 0;
+    loop {
+        let Some(buf) = nl
+            .gate_ids()
+            .find(|&g| nl.gate_type(g) == GateType::Buf)
+        else {
+            return removed;
+        };
+        let src = nl.gate_inputs(buf)[0];
+        let out = nl.gate_output(buf);
+        nl.replace_net_uses(out, src);
+        nl.remove_gate(buf);
+        removed += 1;
+    }
+}
+
+/// Collapse `Inv(Inv(x))` chains: readers of the outer inverter are rewired
+/// to `x`. Inner inverters that become dead are swept by the caller.
+/// Returns the number of pairs collapsed.
+pub fn collapse_inverter_pairs(nl: &mut Netlist) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut found = None;
+        for g in nl.gate_ids() {
+            if nl.gate_type(g) != GateType::Inv {
+                continue;
+            }
+            let input = nl.gate_inputs(g)[0];
+            if let Driver::Gate(inner) = nl.driver(input) {
+                if nl.is_alive(inner) && nl.gate_type(inner) == GateType::Inv {
+                    found = Some((g, nl.gate_inputs(inner)[0]));
+                    break;
+                }
+            }
+        }
+        let Some((outer, origin)) = found else {
+            return removed;
+        };
+        let out = nl.gate_output(outer);
+        nl.replace_net_uses(out, origin);
+        nl.remove_gate(outer);
+        removed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::const_prop::sweep_dead;
+
+    #[test]
+    fn buffers_are_removed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b1 = nl.add_gate(GateType::Buf, &[a]);
+        let b2 = nl.add_gate(GateType::Buf, &[nl.gate_output(b1)]);
+        let inv = nl.add_gate(GateType::Inv, &[nl.gate_output(b2)]);
+        nl.add_output("y", nl.gate_output(inv));
+        assert_eq!(remove_buffers(&mut nl), 2);
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn inverter_pairs_collapse() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let i1 = nl.add_gate(GateType::Inv, &[a]);
+        let i2 = nl.add_gate(GateType::Inv, &[nl.gate_output(i1)]);
+        let g = nl.add_gate(GateType::And, &[nl.gate_output(i2), a]);
+        nl.add_output("y", nl.gate_output(g));
+        assert_eq!(collapse_inverter_pairs(&mut nl), 1);
+        sweep_dead(&mut nl);
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn shared_inner_inverter_survives() {
+        // Inner inverter also feeds an output: only the outer pair is
+        // bypassed; the inner stays live.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let i1 = nl.add_gate(GateType::Inv, &[a]);
+        let i2 = nl.add_gate(GateType::Inv, &[nl.gate_output(i1)]);
+        nl.add_output("na", nl.gate_output(i1));
+        nl.add_output("y", nl.gate_output(i2));
+        collapse_inverter_pairs(&mut nl);
+        sweep_dead(&mut nl);
+        assert_eq!(
+            nl.eval_outputs(&[true], &[]).unwrap(),
+            vec![false, true]
+        );
+    }
+}

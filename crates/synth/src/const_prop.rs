@@ -1,0 +1,260 @@
+//! Constant propagation and dead-logic sweeping.
+
+use crate::decompose::expand_complex;
+use gnnunlock_netlist::{Driver, GateType, NetId, Netlist};
+
+/// Propagate constants through the netlist to a fixpoint. Complex cells
+/// with constant inputs are first expanded into base gates. Returns the
+/// number of gates simplified.
+pub fn constant_propagation(nl: &mut Netlist) -> usize {
+    let mut total = 0;
+    loop {
+        let changed = const_prop_pass(nl);
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+fn const_value(nl: &Netlist, net: NetId) -> Option<bool> {
+    match nl.driver(net) {
+        Driver::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn const_prop_pass(nl: &mut Netlist) -> usize {
+    let Ok(order) = nl.topo_order() else {
+        return 0;
+    };
+    let mut changed = 0;
+    for g in order {
+        if !nl.is_alive(g) {
+            continue;
+        }
+        let inputs: Vec<NetId> = nl.gate_inputs(g).to_vec();
+        let consts: Vec<Option<bool>> = inputs.iter().map(|&n| const_value(nl, n)).collect();
+        if consts.iter().all(|c| c.is_none()) {
+            continue;
+        }
+        let ty = nl.gate_type(g);
+        let role = nl.role(g);
+        let out = nl.gate_output(g);
+        use GateType::*;
+        match ty {
+            Buf | Inv => {
+                let v = consts[0].expect("checked above");
+                nl.remove_gate(g);
+                nl.tie_const(out, if ty == Inv { !v } else { v });
+                changed += 1;
+            }
+            And | Nand | Or | Nor => {
+                // Normalize to AND logic: OR(x) = !AND(!x), etc.
+                let (and_like, inverted) = match ty {
+                    And => (true, false),
+                    Nand => (true, true),
+                    Or => (false, false),
+                    Nor => (false, true),
+                    _ => unreachable!(),
+                };
+                // In AND terms the controlling value is 0; for OR it is 1.
+                let controlling = !and_like;
+                if consts.iter().flatten().any(|&v| v == controlling) {
+                    let value = controlling ^ inverted;
+                    nl.remove_gate(g);
+                    nl.tie_const(out, value);
+                    changed += 1;
+                    continue;
+                }
+                // All constant inputs are non-controlling: drop them.
+                let kept: Vec<NetId> = inputs
+                    .iter()
+                    .zip(&consts)
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(&n, _)| n)
+                    .collect();
+                nl.remove_gate(g);
+                match kept.len() {
+                    0 => {
+                        // AND of nothing = 1, OR of nothing = 0.
+                        nl.tie_const(out, and_like ^ inverted);
+                    }
+                    1 => {
+                        let ty2 = if inverted { Inv } else { Buf };
+                        let ng = nl.add_gate_into(ty2, &kept, out);
+                        nl.set_role(ng, role);
+                    }
+                    _ => {
+                        let ng = nl.add_gate_into(ty, &kept, out);
+                        nl.set_role(ng, role);
+                    }
+                }
+                changed += 1;
+            }
+            Xor | Xnor => {
+                let mut parity = ty == Xnor;
+                let kept: Vec<NetId> = inputs
+                    .iter()
+                    .zip(&consts)
+                    .filter_map(|(&n, c)| match c {
+                        Some(true) => {
+                            parity = !parity;
+                            None
+                        }
+                        Some(false) => None,
+                        None => Some(n),
+                    })
+                    .collect();
+                nl.remove_gate(g);
+                match kept.len() {
+                    0 => nl.tie_const(out, parity),
+                    1 => {
+                        let ty2 = if parity { Inv } else { Buf };
+                        let ng = nl.add_gate_into(ty2, &kept, out);
+                        nl.set_role(ng, role);
+                    }
+                    _ => {
+                        let ty2 = if parity { Xnor } else { Xor };
+                        let ng = nl.add_gate_into(ty2, &kept, out);
+                        nl.set_role(ng, role);
+                    }
+                }
+                changed += 1;
+            }
+            // Complex cells: expand into base gates; the next pass
+            // simplifies the expansion.
+            _ => {
+                expand_complex(nl, g);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove every gate that cannot reach a primary output. Returns the
+/// number of gates removed.
+pub fn sweep_dead(nl: &mut Netlist) -> usize {
+    let mut live = vec![false; nl.gate_capacity()];
+    let mut queue: Vec<_> = Vec::new();
+    for (_, net) in nl.outputs() {
+        if let Driver::Gate(g) = nl.driver(net) {
+            if nl.is_alive(g) && !live[g.index()] {
+                live[g.index()] = true;
+                queue.push(g);
+            }
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        for &inp in nl.gate_inputs(g) {
+            if let Driver::Gate(src) = nl.driver(inp) {
+                if nl.is_alive(src) && !live[src.index()] {
+                    live[src.index()] = true;
+                    queue.push(src);
+                }
+            }
+        }
+    }
+    let dead: Vec<_> = nl.gate_ids().filter(|g| !live[g.index()]).collect();
+    let n = dead.len();
+    for g in dead {
+        nl.remove_gate(g);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::GateType;
+
+    #[test]
+    fn and_with_zero_becomes_constant() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let zero = nl.const_net(false);
+        let g = nl.add_gate(GateType::And, &[a, zero]);
+        nl.add_output("y", nl.gate_output(g));
+        constant_propagation(&mut nl);
+        assert_eq!(nl.num_gates(), 0);
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn xor_with_one_becomes_inverter() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let one = nl.const_net(true);
+        let g = nl.add_gate(GateType::Xor, &[a, one]);
+        nl.add_output("y", nl.gate_output(g));
+        constant_propagation(&mut nl);
+        let g = nl.gate_ids().next().unwrap();
+        assert_eq!(nl.gate_type(g), GateType::Inv);
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn nand_dropping_noncontrolling_constants() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let one = nl.const_net(true);
+        let g = nl.add_gate(GateType::Nand, &[a, one, b]);
+        nl.add_output("y", nl.gate_output(g));
+        constant_propagation(&mut nl);
+        let g = nl.gate_ids().next().unwrap();
+        assert_eq!(nl.gate_type(g), GateType::Nand);
+        assert_eq!(nl.gate_inputs(g).len(), 2);
+        assert_eq!(nl.eval_outputs(&[true, true], &[]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn cascading_constants_reach_fixpoint() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let zero = nl.const_net(false);
+        let g1 = nl.add_gate(GateType::Or, &[a, zero]); // = a
+        let g2 = nl.add_gate(GateType::And, &[nl.gate_output(g1), zero]); // = 0
+        let g3 = nl.add_gate(GateType::Xor, &[nl.gate_output(g2), a]); // = a
+        nl.add_output("y", nl.gate_output(g3));
+        constant_propagation(&mut nl);
+        sweep_dead(&mut nl);
+        nl.compact();
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![true]);
+        assert_eq!(nl.eval_outputs(&[false], &[]).unwrap(), vec![false]);
+        assert!(nl.num_gates() <= 1, "got {} gates", nl.num_gates());
+    }
+
+    #[test]
+    fn mux_with_constant_select_expands_and_simplifies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let one = nl.const_net(true);
+        let g = nl.add_gate(GateType::Mux2, &[a, b, one]);
+        nl.add_output("y", nl.gate_output(g));
+        constant_propagation(&mut nl);
+        sweep_dead(&mut nl);
+        // Mux with s=1 selects b.
+        assert_eq!(
+            nl.eval_outputs(&[true, false], &[]).unwrap(),
+            vec![false]
+        );
+        assert_eq!(nl.eval_outputs(&[false, true], &[]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn sweep_removes_unreachable_logic() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let g1 = nl.add_gate(GateType::Inv, &[a]);
+        let _dead = nl.add_gate(GateType::Inv, &[nl.gate_output(g1)]);
+        nl.add_output("y", nl.gate_output(g1));
+        assert_eq!(sweep_dead(&mut nl), 1);
+        assert_eq!(nl.num_gates(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Gate decomposition and library legalization.
+
+use crate::roles::merge_all;
+use gnnunlock_netlist::{CellLibrary, GateType, NetId, NodeRole, Netlist};
+
+/// Largest arity the library accepts for `family`, scanning up to 8.
+fn max_arity(lib: CellLibrary, family: GateType) -> usize {
+    if lib == CellLibrary::Bench8 && family.fixed_arity().is_none() {
+        return usize::MAX;
+    }
+    (2..=8)
+        .filter(|&n| lib.allows(family, n))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Expand a complex cell (`Aoi*`, `Oai*`, `Mux2`, `Mxi2`, `Maj3`) into base
+/// AND/OR/INV gates in place. The root of the expansion drives the gate's
+/// original output net; all new gates inherit the gate's role.
+///
+/// # Panics
+///
+/// Panics if `g` is a base-family gate.
+pub fn expand_complex(nl: &mut Netlist, g: gnnunlock_netlist::GateId) {
+    use GateType::*;
+    let ty = nl.gate_type(g);
+    let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+    let role = nl.role(g);
+    let out = nl.gate_output(g);
+    nl.remove_gate(g);
+    let gate = |nl: &mut Netlist, ty: GateType, inputs: &[NetId]| -> NetId {
+        let gg = nl.add_gate_with_role(ty, inputs, role);
+        nl.gate_output(gg)
+    };
+    let finish = |nl: &mut Netlist, ty: GateType, inputs: &[NetId], out: NetId| {
+        let gg = nl.add_gate_into(ty, inputs, out);
+        nl.set_role(gg, role);
+    };
+    match ty {
+        Aoi21 => {
+            let ab = gate(nl, And, &ins[0..2]);
+            finish(nl, Nor, &[ab, ins[2]], out);
+        }
+        Aoi22 => {
+            let ab = gate(nl, And, &ins[0..2]);
+            let cd = gate(nl, And, &ins[2..4]);
+            finish(nl, Nor, &[ab, cd], out);
+        }
+        Aoi211 => {
+            let ab = gate(nl, And, &ins[0..2]);
+            finish(nl, Nor, &[ab, ins[2], ins[3]], out);
+        }
+        Aoi221 => {
+            let ab = gate(nl, And, &ins[0..2]);
+            let cd = gate(nl, And, &ins[2..4]);
+            finish(nl, Nor, &[ab, cd, ins[4]], out);
+        }
+        Oai21 => {
+            let ab = gate(nl, Or, &ins[0..2]);
+            finish(nl, Nand, &[ab, ins[2]], out);
+        }
+        Oai22 => {
+            let ab = gate(nl, Or, &ins[0..2]);
+            let cd = gate(nl, Or, &ins[2..4]);
+            finish(nl, Nand, &[ab, cd], out);
+        }
+        Oai211 => {
+            let ab = gate(nl, Or, &ins[0..2]);
+            finish(nl, Nand, &[ab, ins[2], ins[3]], out);
+        }
+        Oai221 => {
+            let ab = gate(nl, Or, &ins[0..2]);
+            let cd = gate(nl, Or, &ins[2..4]);
+            finish(nl, Nand, &[ab, cd, ins[4]], out);
+        }
+        Mux2 => {
+            let ns = gate(nl, Inv, &[ins[2]]);
+            let a_side = gate(nl, And, &[ins[0], ns]);
+            let b_side = gate(nl, And, &[ins[1], ins[2]]);
+            finish(nl, Or, &[a_side, b_side], out);
+        }
+        Mxi2 => {
+            let ns = gate(nl, Inv, &[ins[2]]);
+            let a_side = gate(nl, And, &[ins[0], ns]);
+            let b_side = gate(nl, And, &[ins[1], ins[2]]);
+            finish(nl, Nor, &[a_side, b_side], out);
+        }
+        Maj3 => {
+            let ab = gate(nl, And, &ins[0..2]);
+            let axb = gate(nl, Xor, &ins[0..2]);
+            let c_axb = gate(nl, And, &[ins[2], axb]);
+            finish(nl, Or, &[ab, c_axb], out);
+        }
+        _ => panic!("expand_complex called on base gate {ty}"),
+    }
+}
+
+/// Rewrite every gate that is not a legal cell of `library` into legal
+/// gates, preserving function and role provenance.
+///
+/// Returns the number of gates rewritten.
+pub fn legalize(nl: &mut Netlist, library: CellLibrary) -> usize {
+    let mut rewritten = 0;
+    // Complex cells outside the library expand first.
+    loop {
+        let bad: Vec<_> = nl
+            .gate_ids()
+            .filter(|&g| {
+                let ty = nl.gate_type(g);
+                ty.fixed_arity().is_some()
+                    && !matches!(ty, GateType::Buf | GateType::Inv)
+                    && !library.allows(ty, nl.gate_inputs(g).len())
+            })
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        for g in bad {
+            expand_complex(nl, g);
+            rewritten += 1;
+        }
+    }
+    // Wide simple gates decompose into trees.
+    loop {
+        let bad: Vec<_> = nl
+            .gate_ids()
+            .filter(|&g| !library.allows(nl.gate_type(g), nl.gate_inputs(g).len()))
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        for g in bad {
+            decompose_simple(nl, g, library);
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
+/// Decompose one over-wide simple gate into a tree of legal cells.
+fn decompose_simple(nl: &mut Netlist, g: gnnunlock_netlist::GateId, library: CellLibrary) {
+    use GateType::*;
+    let ty = nl.gate_type(g);
+    let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+    let role = nl.role(g);
+    let out = nl.gate_output(g);
+    let (base, root): (GateType, GateType) = match ty {
+        And => (And, And),
+        Nand => (And, Nand),
+        Or => (Or, Or),
+        Nor => (Or, Nor),
+        Xor => (Xor, Xor),
+        Xnor => (Xor, Xnor),
+        other => panic!("decompose_simple on {other}"),
+    };
+    let base_max = max_arity(library, base).max(2);
+    let root_max = max_arity(library, root).max(2);
+    nl.remove_gate(g);
+    // Reduce the leaf layer until it fits under a single root gate.
+    let mut layer = ins;
+    while layer.len() > root_max {
+        let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+        let mut chunk_iter = layer.chunks(base_max.min(layer.len() - 1).max(2));
+        for chunk in &mut chunk_iter {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                let gg = nl.add_gate_with_role(base, chunk, role);
+                next.push(nl.gate_output(gg));
+            }
+        }
+        layer = next;
+    }
+    let gg = nl.add_gate_into(root, &layer, out);
+    nl.set_role(gg, role);
+}
+
+/// Check that every live gate is a legal library cell.
+pub fn is_legal(nl: &Netlist, library: CellLibrary) -> bool {
+    nl.gate_ids()
+        .all(|g| library.allows(nl.gate_type(g), nl.gate_inputs(g).len()))
+}
+
+/// Convenience used by pattern rewrites: role of a set of gates.
+pub fn roles_of(nl: &Netlist, gates: &[gnnunlock_netlist::GateId]) -> NodeRole {
+    let roles: Vec<NodeRole> = gates.iter().map(|&g| nl.role(g)).collect();
+    merge_all(&roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_netlist::generator::BenchmarkSpec;
+    use gnnunlock_netlist::ALL_GATE_TYPES;
+
+    #[test]
+    fn expansion_preserves_function() {
+        for &ty in ALL_GATE_TYPES.iter() {
+            if ty.fixed_arity().is_none() || matches!(ty, GateType::Buf | GateType::Inv) {
+                continue;
+            }
+            let arity = ty.fixed_arity().unwrap();
+            let mut nl = Netlist::new("t");
+            let ins: Vec<NetId> = (0..arity)
+                .map(|i| nl.add_primary_input(format!("i{i}")))
+                .collect();
+            let g = nl.add_gate(ty, &ins);
+            nl.add_output("y", nl.gate_output(g));
+            let mut expanded = nl.clone();
+            let g2 = expanded.gate_ids().next().unwrap();
+            expand_complex(&mut expanded, g2);
+            for bits in 0..(1u32 << arity) {
+                let pattern: Vec<bool> = (0..arity).map(|i| (bits >> i) & 1 == 1).collect();
+                assert_eq!(
+                    nl.eval_outputs(&pattern, &[]).unwrap(),
+                    expanded.eval_outputs(&pattern, &[]).unwrap(),
+                    "{ty} mismatch at {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_gate_decomposition_preserves_function() {
+        for ty in [GateType::And, GateType::Nand, GateType::Xor, GateType::Xnor] {
+            let mut nl = Netlist::new("t");
+            let ins: Vec<NetId> = (0..7)
+                .map(|i| nl.add_primary_input(format!("i{i}")))
+                .collect();
+            let g = nl.add_gate(ty, &ins);
+            nl.add_output("y", nl.gate_output(g));
+            let mut mapped = nl.clone();
+            legalize(&mut mapped, CellLibrary::Nangate45);
+            assert!(is_legal(&mapped, CellLibrary::Nangate45), "{ty} not legal");
+            for bits in 0..128u32 {
+                let pattern: Vec<bool> = (0..7).map(|i| (bits >> i) & 1 == 1).collect();
+                assert_eq!(
+                    nl.eval_outputs(&pattern, &[]).unwrap(),
+                    mapped.eval_outputs(&pattern, &[]).unwrap(),
+                    "{ty} mismatch at {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roles_inherited_through_decomposition() {
+        let mut nl = Netlist::new("t");
+        let ins: Vec<NetId> = (0..6)
+            .map(|i| nl.add_primary_input(format!("i{i}")))
+            .collect();
+        let g = nl.add_gate_with_role(GateType::And, &ins, NodeRole::Perturb);
+        nl.add_output("y", nl.gate_output(g));
+        legalize(&mut nl, CellLibrary::Lpe65);
+        assert!(nl.num_gates() > 1);
+        for g in nl.gate_ids() {
+            assert_eq!(nl.role(g), NodeRole::Perturb);
+        }
+    }
+
+    #[test]
+    fn legalize_full_benchmark() {
+        let nl = BenchmarkSpec::named("c3540").unwrap().scaled(0.05).generate();
+        let mut mapped = nl.clone();
+        legalize(&mut mapped, CellLibrary::Nangate45);
+        assert!(is_legal(&mapped, CellLibrary::Nangate45));
+        mapped.validate(Some(CellLibrary::Nangate45)).unwrap();
+    }
+}

@@ -1,0 +1,410 @@
+//! Structure-diversifying rewrites: randomized De Morgan transformations
+//! and complex-cell (AOI/OAI/MUX) extraction.
+//!
+//! These are the passes that make two synthesis runs of the same locked
+//! RTL structurally different — the variability the paper attributes to
+//! "different synthesis settings" and that the GNN must generalize over.
+
+use crate::decompose::roles_of;
+use gnnunlock_netlist::{CellLibrary, Driver, GateId, GateType, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Apply randomized De Morgan rewrites with probability `p` per candidate.
+/// Returns the number of rewrites applied.
+///
+/// Two directions are used:
+/// - `AND(a,b)` → `INV(NAND(a,b))` / `OR(a,b)` → `INV(NOR(a,b))` (split);
+/// - `INV(NAND(a,b))` → `AND(a,b)` / `INV(NOR(a,b))` → `OR(a,b)` (fuse,
+///   when the inner gate has a single reader).
+pub fn demorgan(nl: &mut Netlist, rng: &mut StdRng, library: CellLibrary, p: f64) -> usize {
+    let mut rewrites = 0;
+    let counts = ReaderCounts::build(nl);
+    let gates: Vec<GateId> = nl.gate_ids().collect();
+    for g in gates {
+        if !nl.is_alive(g) || !rng.random_bool(p) {
+            continue;
+        }
+        let ty = nl.gate_type(g);
+        let arity = nl.gate_inputs(g).len();
+        match ty {
+            GateType::And | GateType::Or => {
+                let dual = if ty == GateType::And {
+                    GateType::Nand
+                } else {
+                    GateType::Nor
+                };
+                if !library.allows(dual, arity) || !library.allows(GateType::Inv, 1) {
+                    continue;
+                }
+                let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+                let role = nl.role(g);
+                let out = nl.gate_output(g);
+                nl.remove_gate(g);
+                let inner = nl.add_gate_with_role(dual, &ins, role);
+                let inner_out = nl.gate_output(inner);
+                let outer = nl.add_gate_into(GateType::Inv, &[inner_out], out);
+                nl.set_role(outer, role);
+                rewrites += 1;
+            }
+            GateType::Inv => {
+                let input = nl.gate_inputs(g)[0];
+                let Driver::Gate(inner) = nl.driver(input) else {
+                    continue;
+                };
+                if !nl.is_alive(inner) {
+                    continue;
+                }
+                let inner_ty = nl.gate_type(inner);
+                let fused = match inner_ty {
+                    GateType::Nand => GateType::And,
+                    GateType::Nor => GateType::Or,
+                    GateType::And => GateType::Nand,
+                    GateType::Or => GateType::Nor,
+                    _ => continue,
+                };
+                let inner_arity = nl.gate_inputs(inner).len();
+                if !library.allows(fused, inner_arity) {
+                    continue;
+                }
+                // The inner gate must have no other reader.
+                if counts.get(input) != 1 || nl.is_output_net(input) {
+                    continue;
+                }
+                let ins: Vec<NetId> = nl.gate_inputs(inner).to_vec();
+                let role = roles_of(nl, &[g, inner]);
+                let out = nl.gate_output(g);
+                nl.remove_gate(g);
+                nl.remove_gate(inner);
+                let ng = nl.add_gate_into(fused, &ins, out);
+                nl.set_role(ng, role);
+                rewrites += 1;
+            }
+            _ => {}
+        }
+    }
+    rewrites
+}
+
+/// Absorb inverters into XOR/XNOR gates with probability `p` per match
+/// (`XOR(INV(x), b)` → `XNOR(x, b)`, `INV(XOR(a, b))` → `XNOR(a, b)` and
+/// their duals). Returns the number of rewrites.
+///
+/// This is the polarity optimization every synthesis tool performs; it is
+/// what folds SFLL's hard-coded-key inverter layer into the perturb
+/// unit's first adder stage, making the perturb structure key-dependent
+/// deep into the tree (paper Section II-A.2).
+pub fn absorb_inverters(
+    nl: &mut Netlist,
+    rng: &mut StdRng,
+    library: CellLibrary,
+    p: f64,
+) -> usize {
+    let mut rewrites = 0;
+    let counts = ReaderCounts::build(nl);
+    let gates: Vec<GateId> = nl.gate_ids().collect();
+    for g in gates {
+        if !nl.is_alive(g) || !rng.random_bool(p) {
+            continue;
+        }
+        let ty = nl.gate_type(g);
+        match ty {
+            GateType::Xor | GateType::Xnor if nl.gate_inputs(g).len() == 2 => {
+                let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+                let dual = if ty == GateType::Xor {
+                    GateType::Xnor
+                } else {
+                    GateType::Xor
+                };
+                if !library.allows(dual, 2) {
+                    continue;
+                }
+                for (slot, &input) in ins.iter().enumerate() {
+                    let Some(inv) = single_driver(nl, input, GateType::Inv, 1, &counts)
+                    else {
+                        continue;
+                    };
+                    let origin = nl.gate_inputs(inv)[0];
+                    let role = roles_of(nl, &[g, inv]);
+                    let mut new_ins = ins.clone();
+                    new_ins[slot] = origin;
+                    nl.set_gate_inputs(g, &new_ins);
+                    nl.set_gate_type(g, dual);
+                    nl.set_role(g, role);
+                    nl.remove_gate(inv);
+                    rewrites += 1;
+                    break; // one absorption per gate per pass
+                }
+            }
+            GateType::Inv => {
+                let input = nl.gate_inputs(g)[0];
+                let (inner, fused) = match single_driver(nl, input, GateType::Xor, 2, &counts)
+                {
+                    Some(x) => (x, GateType::Xnor),
+                    None => match single_driver(nl, input, GateType::Xnor, 2, &counts) {
+                        Some(x) => (x, GateType::Xor),
+                        None => continue,
+                    },
+                };
+                if !library.allows(fused, 2) {
+                    continue;
+                }
+                let ins: Vec<NetId> = nl.gate_inputs(inner).to_vec();
+                let role = roles_of(nl, &[g, inner]);
+                let out = nl.gate_output(g);
+                nl.remove_gate(g);
+                nl.remove_gate(inner);
+                let ng = nl.add_gate_into(fused, &ins, out);
+                nl.set_role(ng, role);
+                rewrites += 1;
+            }
+            _ => {}
+        }
+    }
+    rewrites
+}
+
+/// Extract AOI/OAI/MUX complex cells from base-gate patterns with
+/// probability `p` per match. Returns the number of cells extracted.
+pub fn map_complex_cells(
+    nl: &mut Netlist,
+    rng: &mut StdRng,
+    library: CellLibrary,
+    p: f64,
+) -> usize {
+    let mut mapped = 0;
+    let counts = ReaderCounts::build(nl);
+    let gates: Vec<GateId> = nl.gate_ids().collect();
+    for g in gates {
+        if !nl.is_alive(g) || !rng.random_bool(p) {
+            continue;
+        }
+        if try_aoi_oai(nl, g, library, &counts) || try_mux(nl, g, library, &counts) {
+            mapped += 1;
+        }
+    }
+    mapped
+}
+
+/// Gate-input reader counts snapshotted at pass entry.
+///
+/// Every rewrite in this module preserves the reader counts of surviving
+/// pre-existing nets (removed consumers are replaced one-for-one by the
+/// new cell), so a snapshot stays valid for the whole pass. Nets created
+/// during the pass are unknown and report `usize::MAX`, which makes the
+/// single-reader checks conservatively skip them.
+struct ReaderCounts(Vec<usize>);
+
+impl ReaderCounts {
+    fn build(nl: &Netlist) -> Self {
+        let mut counts = vec![0usize; nl.num_nets()];
+        for g in nl.gate_ids() {
+            for &n in nl.gate_inputs(g) {
+                counts[n.index()] += 1;
+            }
+        }
+        ReaderCounts(counts)
+    }
+
+    fn get(&self, net: NetId) -> usize {
+        self.0.get(net.index()).copied().unwrap_or(usize::MAX)
+    }
+}
+
+/// Single-reader, non-output, gate-driven net whose driver is `want`.
+fn single_driver(
+    nl: &Netlist,
+    net: NetId,
+    want: GateType,
+    arity: usize,
+    counts: &ReaderCounts,
+) -> Option<GateId> {
+    let Driver::Gate(g) = nl.driver(net) else {
+        return None;
+    };
+    if !nl.is_alive(g)
+        || nl.gate_type(g) != want
+        || nl.gate_inputs(g).len() != arity
+        || nl.is_output_net(net)
+        || counts.get(net) != 1
+    {
+        return None;
+    }
+    Some(g)
+}
+
+/// `NOR(AND(a,b), c)` → `AOI21` and friends; `NAND(OR(a,b), c)` → `OAI21`
+/// and friends.
+fn try_aoi_oai(nl: &mut Netlist, g: GateId, library: CellLibrary, counts: &ReaderCounts) -> bool {
+    let ty = nl.gate_type(g);
+    let (inner_ty, family21, family22) = match ty {
+        GateType::Nor => (GateType::And, GateType::Aoi21, GateType::Aoi22),
+        GateType::Nand => (GateType::Or, GateType::Oai21, GateType::Oai22),
+        _ => return false,
+    };
+    let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+    if ins.len() != 2 {
+        return false;
+    }
+    let d0 = single_driver(nl, ins[0], inner_ty, 2, counts);
+    let d1 = single_driver(nl, ins[1], inner_ty, 2, counts);
+    let out = nl.gate_output(g);
+    match (d0, d1) {
+        (Some(a), Some(b)) if library.allows(family22, 4) => {
+            let mut new_ins = nl.gate_inputs(a).to_vec();
+            new_ins.extend_from_slice(nl.gate_inputs(b));
+            let role = roles_of(nl, &[g, a, b]);
+            nl.remove_gate(g);
+            nl.remove_gate(a);
+            nl.remove_gate(b);
+            let ng = nl.add_gate_into(family22, &new_ins, out);
+            nl.set_role(ng, role);
+            true
+        }
+        (Some(inner), None) | (None, Some(inner)) if library.allows(family21, 3) => {
+            let other = if d0.is_some() { ins[1] } else { ins[0] };
+            let mut new_ins = nl.gate_inputs(inner).to_vec();
+            new_ins.push(other);
+            let role = roles_of(nl, &[g, inner]);
+            nl.remove_gate(g);
+            nl.remove_gate(inner);
+            let ng = nl.add_gate_into(family21, &new_ins, out);
+            nl.set_role(ng, role);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// `OR(AND(a, INV(s)), AND(b, s))` → `MUX2(a, b, s)`.
+fn try_mux(nl: &mut Netlist, g: GateId, library: CellLibrary, counts: &ReaderCounts) -> bool {
+    if nl.gate_type(g) != GateType::Or
+        || nl.gate_inputs(g).len() != 2
+        || !library.allows(GateType::Mux2, 3)
+    {
+        return false;
+    }
+    let ins: Vec<NetId> = nl.gate_inputs(g).to_vec();
+    let Some(x) = single_driver(nl, ins[0], GateType::And, 2, counts) else {
+        return false;
+    };
+    let Some(y) = single_driver(nl, ins[1], GateType::And, 2, counts) else {
+        return false;
+    };
+    // Find (data, select) split: one AND input must be INV(sel) where sel
+    // is an input of the other AND.
+    let x_ins: Vec<NetId> = nl.gate_inputs(x).to_vec();
+    let y_ins: Vec<NetId> = nl.gate_inputs(y).to_vec();
+    for (ni, &maybe_nsel) in x_ins.iter().enumerate() {
+        let Driver::Gate(invg) = nl.driver(maybe_nsel) else {
+            continue;
+        };
+        if !nl.is_alive(invg) || nl.gate_type(invg) != GateType::Inv {
+            continue;
+        }
+        let sel = nl.gate_inputs(invg)[0];
+        for (pi, &cand) in y_ins.iter().enumerate() {
+            if cand == sel {
+                let a = x_ins[1 - ni];
+                let b = y_ins[1 - pi];
+                let role = roles_of(nl, &[g, x, y]);
+                let out = nl.gate_output(g);
+                nl.remove_gate(g);
+                nl.remove_gate(x);
+                nl.remove_gate(y);
+                // The inverter may have other readers; leave it for the
+                // dead sweep.
+                let ng = nl.add_gate_into(GateType::Mux2, &[a, b, sel], out);
+                nl.set_role(ng, role);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::const_prop::sweep_dead;
+    use rand::SeedableRng;
+
+    #[test]
+    fn demorgan_preserves_function() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let c = nl.add_primary_input("c");
+        let g1 = nl.add_gate(GateType::And, &[a, b]);
+        let g2 = nl.add_gate(GateType::Or, &[nl.gate_output(g1), c]);
+        nl.add_output("y", nl.gate_output(g2));
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = demorgan(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0);
+        assert!(n >= 2, "expected rewrites, got {n}");
+        for bits in 0..8u32 {
+            let p: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected = (p[0] & p[1]) | p[2];
+            assert_eq!(nl.eval_outputs(&p, &[]).unwrap(), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn aoi21_extraction() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let c = nl.add_primary_input("c");
+        let and = nl.add_gate(GateType::And, &[a, b]);
+        let nor = nl.add_gate(GateType::Nor, &[nl.gate_output(and), c]);
+        nl.add_output("y", nl.gate_output(nor));
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = map_complex_cells(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0);
+        assert_eq!(n, 1);
+        sweep_dead(&mut nl);
+        let g = nl.gate_ids().next().unwrap();
+        assert_eq!(nl.gate_type(g), GateType::Aoi21);
+        for bits in 0..8u32 {
+            let p: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected = !((p[0] & p[1]) | p[2]);
+            assert_eq!(nl.eval_outputs(&p, &[]).unwrap(), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn mux_extraction() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let s = nl.add_primary_input("s");
+        let ns = nl.add_gate(GateType::Inv, &[s]);
+        let x = nl.add_gate(GateType::And, &[a, nl.gate_output(ns)]);
+        let y = nl.add_gate(GateType::And, &[b, s]);
+        let or = nl.add_gate(GateType::Or, &[nl.gate_output(x), nl.gate_output(y)]);
+        nl.add_output("y", nl.gate_output(or));
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = map_complex_cells(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0);
+        assert_eq!(n, 1);
+        sweep_dead(&mut nl);
+        assert!(nl.gate_ids().any(|g| nl.gate_type(g) == GateType::Mux2));
+        for bits in 0..8u32 {
+            let p: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected = if p[2] { p[1] } else { p[0] };
+            assert_eq!(nl.eval_outputs(&p, &[]).unwrap(), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn shared_inner_gate_blocks_extraction() {
+        // The AND feeds two readers; AOI extraction must not fire.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let c = nl.add_primary_input("c");
+        let and = nl.add_gate(GateType::And, &[a, b]);
+        let nor = nl.add_gate(GateType::Nor, &[nl.gate_output(and), c]);
+        nl.add_output("y", nl.gate_output(nor));
+        nl.add_output("z", nl.gate_output(and));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(map_complex_cells(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Label provenance through rewrites.
+
+use gnnunlock_netlist::NodeRole;
+
+/// Role of a gate produced by consuming gates with roles `a` and `b`.
+///
+/// Protection roles are sticky: merging design logic with protection logic
+/// yields the protection role, so rewrites can never silently launder
+/// protection gates into the design class. When two *different* protection
+/// roles meet (which the constructions never arrange, but a rewrite across
+/// the restore/perturb boundary could), the first operand wins.
+pub fn merge_roles(a: NodeRole, b: NodeRole) -> NodeRole {
+    match (a.is_protection(), b.is_protection()) {
+        (true, _) => a,
+        (false, true) => b,
+        (false, false) => NodeRole::Design,
+    }
+}
+
+/// Fold [`merge_roles`] over a list.
+pub fn merge_all(roles: &[NodeRole]) -> NodeRole {
+    roles
+        .iter()
+        .copied()
+        .fold(NodeRole::Design, merge_roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_is_sticky() {
+        assert_eq!(
+            merge_roles(NodeRole::Design, NodeRole::Perturb),
+            NodeRole::Perturb
+        );
+        assert_eq!(
+            merge_roles(NodeRole::Restore, NodeRole::Design),
+            NodeRole::Restore
+        );
+        assert_eq!(
+            merge_roles(NodeRole::Design, NodeRole::Design),
+            NodeRole::Design
+        );
+    }
+
+    #[test]
+    fn first_protection_role_wins() {
+        assert_eq!(
+            merge_roles(NodeRole::Perturb, NodeRole::Restore),
+            NodeRole::Perturb
+        );
+        assert_eq!(
+            merge_all(&[NodeRole::Design, NodeRole::AntiSat, NodeRole::Design]),
+            NodeRole::AntiSat
+        );
+    }
+}

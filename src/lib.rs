@@ -1,0 +1,72 @@
+//! # GNNUnlock — oracle-less GNN-based unlocking of provably secure logic locking
+//!
+//! A full-system Rust reproduction of *"GNNUnlock: Graph Neural
+//! Networks-based Oracle-less Unlocking Scheme for Provably Secure Logic
+//! Locking"* (Alrahis et al., DATE 2021).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`netlist`] | `gnnunlock-netlist` | gate-level netlists, bench/Verilog I/O, simulation, synthetic benchmarks |
+//! | [`locking`] | `gnnunlock-locking` | Anti-SAT, TTLock, SFLL-HD, RLL |
+//! | [`synth`] | `gnnunlock-synth` | synthesis simulator with label provenance |
+//! | [`sat`] | `gnnunlock-sat` | CDCL SAT solver + equivalence checking |
+//! | [`neural`] | `gnnunlock-neural` | dense NN substrate (matrices, Adam, metrics) |
+//! | [`gnn`] | `gnnunlock-gnn` | GraphSAGE + GraphSAINT node classification |
+//! | [`core`] | `gnnunlock-core` | datasets, attack pipeline, post-processing, removal |
+//! | [`baselines`] | `gnnunlock-baselines` | SPS, FALL, SFLL-HD-Unlocked, SAT attack |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gnnunlock::prelude::*;
+//!
+//! // 1. A design and a locked version of it.
+//! let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+//! let locked = lock_antisat(&design, &AntiSatConfig::new(8, 42)).unwrap();
+//!
+//! // 2. The correct key preserves functionality.
+//! let pi = vec![false; design.primary_inputs().len()];
+//! assert_eq!(
+//!     design.eval_outputs(&pi, &[]).unwrap(),
+//!     locked.eval_with_correct_key(&pi).unwrap(),
+//! );
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full attack loop and the
+//! `gnnunlock-bench` binaries for the paper's tables.
+
+pub use gnnunlock_baselines as baselines;
+pub use gnnunlock_core as core;
+pub use gnnunlock_gnn as gnn;
+pub use gnnunlock_locking as locking;
+pub use gnnunlock_netlist as netlist;
+pub use gnnunlock_neural as neural;
+pub use gnnunlock_sat as sat;
+pub use gnnunlock_synth as synth;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use gnnunlock_baselines::{
+        fall_attack, hd_unlocked_attack, sat_attack, sps_attack, FallStatus, HdUnlockedStatus,
+    };
+    pub use gnnunlock_core::{
+        aggregate, attack_all, attack_benchmark, attack_instance, postprocess,
+        remove_protection, AttackConfig, AttackOutcome, Dataset, DatasetConfig, DatasetScheme,
+        Suite,
+    };
+    pub use gnnunlock_gnn::{
+        evaluate, merge_graphs, netlist_to_graph, predict, train, CircuitGraph, LabelScheme,
+        SageModel, SaintConfig, TrainConfig,
+    };
+    pub use gnnunlock_locking::{
+        lock_antisat, lock_rll, lock_sfll_hd, lock_ttlock, AntiSatConfig, Key, LockedCircuit,
+        Scheme, SfllConfig,
+    };
+    pub use gnnunlock_netlist::{
+        generator::BenchmarkSpec, CellLibrary, GateType, Netlist, NodeRole,
+    };
+    pub use gnnunlock_sat::{check_equivalence, EquivOptions, EquivResult, Solver};
+    pub use gnnunlock_synth::{synthesize, SynthesisConfig};
+}

@@ -1,0 +1,137 @@
+//! Property-based integration tests over randomly generated circuits and
+//! locking configurations.
+
+use gnnunlock::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A small random design drawn from the benchmark generator.
+fn small_design(seed: u64) -> Netlist {
+    let names = ["c2670", "c3540", "c5315", "c7552"];
+    let mut spec = BenchmarkSpec::named(names[(seed % 4) as usize])
+        .unwrap()
+        .scaled(0.02);
+    spec.seed = seed;
+    spec.generate()
+}
+
+fn random_patterns(nl: &Netlist, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let n = nl.primary_inputs().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.random_bool(0.5)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated circuit is structurally valid and round-trips
+    /// through the bench format with identical semantics.
+    #[test]
+    fn generated_circuits_round_trip(seed in 0u64..1000) {
+        let nl = small_design(seed);
+        nl.validate(Some(CellLibrary::Bench8)).unwrap();
+        let text = nl.to_bench().unwrap();
+        let back = Netlist::from_bench(nl.name(), &text).unwrap();
+        for p in random_patterns(&nl, 8, seed ^ 1) {
+            prop_assert_eq!(
+                nl.eval_outputs(&p, &[]).unwrap(),
+                back.eval_outputs(&p, &[]).unwrap()
+            );
+        }
+    }
+
+    /// Locking with the correct key never changes functionality, for all
+    /// three schemes.
+    #[test]
+    fn correct_key_is_transparent(seed in 0u64..1000, k in 3u32..6) {
+        let nl = small_design(seed);
+        let key_bits = 1usize << k; // 8..32
+        if nl.primary_inputs().len() < key_bits {
+            return Ok(());
+        }
+        let locked = [
+            lock_antisat(&nl, &AntiSatConfig::new(key_bits, seed)).unwrap(),
+            lock_ttlock(&nl, key_bits, seed).unwrap(),
+            lock_sfll_hd(&nl, &SfllConfig::new(key_bits, 2, seed)).unwrap(),
+        ];
+        for lc in &locked {
+            for p in random_patterns(&nl, 6, seed ^ 2) {
+                prop_assert_eq!(
+                    nl.eval_outputs(&p, &[]).unwrap(),
+                    lc.eval_with_correct_key(&p).unwrap()
+                );
+            }
+        }
+    }
+
+    /// Synthesis preserves functionality across libraries and seeds.
+    #[test]
+    fn synthesis_is_equivalence_preserving(seed in 0u64..500, effort in 0u8..3) {
+        let nl = small_design(seed);
+        let lib = if seed % 2 == 0 { CellLibrary::Lpe65 } else { CellLibrary::Nangate45 };
+        let cfg = SynthesisConfig { effort, ..SynthesisConfig::new(lib).with_seed(seed) };
+        let mapped = synthesize(&nl, &cfg).unwrap();
+        mapped.validate(Some(lib)).unwrap();
+        for p in random_patterns(&nl, 6, seed ^ 3) {
+            prop_assert_eq!(
+                nl.eval_outputs(&p, &[]).unwrap(),
+                mapped.eval_outputs(&p, &[]).unwrap()
+            );
+        }
+    }
+
+    /// Removal with ground-truth labels always recovers the original
+    /// design, for every scheme, with and without synthesis.
+    #[test]
+    fn true_label_removal_recovers(seed in 0u64..500) {
+        let nl = small_design(seed);
+        if nl.primary_inputs().len() < 10 {
+            return Ok(());
+        }
+        let mut locked = lock_sfll_hd(&nl, &SfllConfig::new(10, 2, seed)).unwrap();
+        let (lib, scheme) = (CellLibrary::Lpe65, LabelScheme::Sfll);
+        locked.netlist = synthesize(
+            &locked.netlist,
+            &SynthesisConfig::new(lib).with_seed(seed ^ 5),
+        ).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, lib, scheme);
+        let recovered =
+            gnnunlock::core::remove_protection(&locked.netlist, &graph, &graph.labels);
+        let opts = EquivOptions {
+            key_b: Some(vec![false; recovered.key_inputs().len()]),
+            ..Default::default()
+        };
+        prop_assert!(check_equivalence(&nl, &recovered, &opts).is_equivalent());
+    }
+
+    /// Post-processing ground-truth labels never breaks removal: rules
+    /// may relabel boundary gates (e.g. a stripping XOR whose design cone
+    /// lies inside X), but the recovered design must stay equivalent.
+    #[test]
+    fn post_processing_truth_still_removes(seed in 0u64..500) {
+        let nl = small_design(seed);
+        if nl.primary_inputs().len() < 8 {
+            return Ok(());
+        }
+        let locked = lock_ttlock(&nl, 8, seed).unwrap();
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
+        let mut preds = graph.labels.clone();
+        gnnunlock::core::postprocess(&locked.netlist, &graph, &mut preds);
+        // No protection gate may be relabelled design.
+        for (p, l) in preds.iter().zip(&graph.labels) {
+            if *l != 0 {
+                prop_assert_ne!(*p, 0, "protection node demoted on ground truth");
+            }
+        }
+        let recovered =
+            gnnunlock::core::remove_protection(&locked.netlist, &graph, &preds);
+        let opts = EquivOptions {
+            key_b: Some(vec![false; recovered.key_inputs().len()]),
+            ..Default::default()
+        };
+        prop_assert!(check_equivalence(&nl, &recovered, &opts).is_equivalent());
+    }
+}
