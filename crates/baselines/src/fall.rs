@@ -157,7 +157,9 @@ fn enumerate_onset(
                     .collect();
                 minterms.push(m);
                 if minterms.len() > ENUM_LIMIT {
-                    return Err(format!("onset larger than {ENUM_LIMIT}: enumeration aborted"));
+                    return Err(format!(
+                        "onset larger than {ENUM_LIMIT}: enumeration aborted"
+                    ));
                 }
                 solver.add_clause(&block);
             }
@@ -220,7 +222,10 @@ mod tests {
 
     #[test]
     fn breaks_ttlock() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_ttlock(&design, 10, 11).unwrap();
         let out = fall_attack(&locked.netlist, 0);
         assert_eq!(out.status, FallStatus::KeyFound, "{:?}", out.status);
@@ -229,7 +234,10 @@ mod tests {
 
     #[test]
     fn breaks_sfll_hd2_small_h() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 12)).unwrap();
         let out = fall_attack(&locked.netlist, 2);
         assert_eq!(out.status, FallStatus::KeyFound, "{:?}", out.status);
@@ -240,7 +248,10 @@ mod tests {
     #[test]
     fn reports_zero_keys_at_k_over_h_2() {
         // The paper's corner case: K/h = 2 defeats FALL.
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 8, 13)).unwrap();
         let out = fall_attack(&locked.netlist, 8);
         assert!(matches!(out.status, FallStatus::NoKeys(_)));
@@ -249,7 +260,10 @@ mod tests {
 
     #[test]
     fn fails_gracefully_on_unlocked_design() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let out = fall_attack(&design, 2);
         assert!(matches!(out.status, FallStatus::NoKeys(_)));
     }

@@ -74,7 +74,12 @@ pub fn hd_unlocked_attack(nl: &Netlist, h: u32, seed: u64) -> HdUnlockedOutcome 
         let assignments: Vec<Vec<bool>> = (0..batch)
             .map(|_| (0..k).map(|_| rng.random_bool(0.5)).collect())
             .collect();
-        let outs = eval_cone_batch(nl, structure.perturb_root, &structure.protected, &assignments);
+        let outs = eval_cone_batch(
+            nl,
+            structure.perturb_root,
+            &structure.protected,
+            &assignments,
+        );
         for (row, hit) in assignments.into_iter().zip(outs) {
             if hit {
                 hits.push(row);
@@ -154,7 +159,10 @@ mod tests {
     #[test]
     fn succeeds_for_mid_range_h() {
         // K=24, h=6: h > 4 and h/K = 0.25 < 0.5 — the attack's sweet spot.
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(24, 6, 21)).unwrap();
         let out = hd_unlocked_attack(&locked.netlist, 6, 1);
         assert_eq!(out.status, HdUnlockedStatus::Success);
@@ -163,7 +171,10 @@ mod tests {
 
     #[test]
     fn singular_matrices_for_small_h() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 22)).unwrap();
         let out = hd_unlocked_attack(&locked.netlist, 2, 2);
         assert_eq!(out.status, HdUnlockedStatus::SingularMatrix);
@@ -177,7 +188,10 @@ mod tests {
     fn fails_at_k_over_h_2() {
         // K=16, h=8: the majority signal is zero — perturb signals cannot
         // be identified (paper Section V-D).
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 8, 24)).unwrap();
         let out = hd_unlocked_attack(&locked.netlist, 8, 4);
         assert_eq!(out.status, HdUnlockedStatus::PerturbNotIdentified);
@@ -186,7 +200,10 @@ mod tests {
 
     #[test]
     fn structure_not_found_on_clean_design() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let out = hd_unlocked_attack(&design, 6, 5);
         assert_eq!(out.status, HdUnlockedStatus::StructureNotFound);
     }

@@ -9,9 +9,7 @@
 
 use gnnunlock_locking::Key;
 use gnnunlock_netlist::Netlist;
-use gnnunlock_sat::{
-    assert_lit, encode_netlist, or_lit, xor_lit, Lit, SolveResult, Solver,
-};
+use gnnunlock_sat::{assert_lit, encode_netlist, or_lit, xor_lit, Lit, SolveResult, Solver};
 use std::collections::HashMap;
 
 /// Result of a SAT attack run.
@@ -86,8 +84,7 @@ pub fn sat_attack(
                 // Constrain both key copies to agree with the oracle on
                 // the DIP: add fresh circuit copies with inputs fixed.
                 for key_enc in [&enc_a, &enc_b] {
-                    let keys: Vec<Lit> =
-                        key_enc.key_inputs.iter().map(|&(_, l)| l).collect();
+                    let keys: Vec<Lit> = key_enc.key_inputs.iter().map(|&(_, l)| l).collect();
                     add_io_constraint(&mut solver, locked, &keys, &dip, &response);
                 }
                 add_io_constraint(&mut key_solver, locked, &key_vars, &dip, &response);
@@ -143,7 +140,10 @@ mod tests {
 
     #[test]
     fn breaks_rll_quickly() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_rll(&design, 8, 5).unwrap();
         let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
         let out = sat_attack(&locked.netlist, &oracle, 200);
@@ -174,7 +174,10 @@ mod tests {
     fn antisat_resists_within_budget() {
         // K=16 Anti-SAT needs ~2^8 DIPs; a budget of 40 must be exhausted,
         // demonstrating provable resilience.
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(16, 6)).unwrap();
         let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
         let out = sat_attack(&locked.netlist, &oracle, 40);
@@ -184,7 +187,10 @@ mod tests {
 
     #[test]
     fn rll_needs_more_dips_than_trivial_lock() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let small = lock_rll(&design, 2, 1).unwrap();
         let oracle = |pi: &[bool]| design.eval_outputs(pi, &[]).unwrap();
         let out_small = sat_attack(&small.netlist, &oracle, 100);

@@ -57,8 +57,7 @@ pub fn sps_attack(nl: &Netlist, sim_words: usize, seed: u64) -> SpsOutcome {
     // Require the near-complementary skew profile of Anti-SAT; ordinary
     // design gates rarely exceed this.
     let identified = best.filter(|&(_, ads)| ads > 0.8);
-    let hit_protection =
-        identified.is_some_and(|(g, _)| nl.role(g) == NodeRole::AntiSat);
+    let hit_protection = identified.is_some_and(|(g, _)| nl.role(g) == NodeRole::AntiSat);
     let recovered = identified.map(|(g, _)| {
         let mut out = nl.clone();
         let y = out.gate_output(g);
@@ -87,7 +86,10 @@ mod tests {
 
     #[test]
     fn sps_finds_antisat_y_gate() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(16, 3)).unwrap();
         let out = sps_attack(&locked.netlist, 64, 1);
         assert!(out.identified.is_some(), "no skewed AND found");
@@ -107,7 +109,10 @@ mod tests {
         // TTLock has no Y-style AND of complementary functions; the attack
         // must either find nothing or hit a design gate (scheme-specific
         // failure, paper Table I).
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_ttlock(&design, 12, 4).unwrap();
         let out = sps_attack(&locked.netlist, 64, 2);
         assert!(
@@ -118,7 +123,10 @@ mod tests {
 
     #[test]
     fn sps_finds_nothing_in_clean_design() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let out = sps_attack(&design, 64, 3);
         assert!(!out.hit_protection);
     }

@@ -70,15 +70,14 @@ pub fn trace_sfll_structure(nl: &Netlist) -> Option<SfllStructure> {
                 match nl.driver(inp) {
                     Driver::Input(_)
                         if nl.input_kind(inp) == Some(InputKind::Primary)
-                            && !protected.contains(&inp)
-                        => {
-                            protected.push(inp);
-                        }
-                    Driver::Gate(src)
-                        if nl.is_alive(src) && !seen[src.index()] => {
-                            seen[src.index()] = true;
-                            stack.push(src);
-                        }
+                            && !protected.contains(&inp) =>
+                    {
+                        protected.push(inp);
+                    }
+                    Driver::Gate(src) if nl.is_alive(src) && !seen[src.index()] => {
+                        seen[src.index()] = true;
+                        stack.push(src);
+                    }
                     _ => {}
                 }
             }
@@ -201,7 +200,10 @@ mod tests {
 
     #[test]
     fn traces_sfll_structure() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 1)).unwrap();
         let s = trace_sfll_structure(&locked.netlist).expect("structure found");
         assert_eq!(s.protected.len(), 10);
@@ -217,14 +219,20 @@ mod tests {
 
     #[test]
     fn no_structure_in_antisat() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(8, 2)).unwrap();
         assert!(trace_sfll_structure(&locked.netlist).is_none());
     }
 
     #[test]
     fn no_structure_in_clean_design() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         assert!(trace_sfll_structure(&design).is_none());
     }
 }

@@ -14,7 +14,10 @@ use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary};
 fn bench_postprocess_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/postprocess_vs_size");
     for scale in [0.03f64, 0.06, 0.12] {
-        let design = BenchmarkSpec::named("c7552").unwrap().scaled(scale).generate();
+        let design = BenchmarkSpec::named("c7552")
+            .unwrap()
+            .scaled(scale)
+            .generate();
         let k = 16.min(design.primary_inputs().len());
         let locked = lock_sfll_hd(&design, &SfllConfig::new(k, 2, 1)).unwrap();
         let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
@@ -36,7 +39,10 @@ fn bench_feature_depth(c: &mut Criterion) {
     // The 2-hop histogram is the dominant feature cost; compare against a
     // graph-build that skips it by zeroing afterwards (upper bound on the
     // possible saving).
-    let design = BenchmarkSpec::named("c7552").unwrap().scaled(0.1).generate();
+    let design = BenchmarkSpec::named("c7552")
+        .unwrap()
+        .scaled(0.1)
+        .generate();
     let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 2, 2)).unwrap();
     c.bench_function("ablation/features_full", |b| {
         b.iter(|| netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll))

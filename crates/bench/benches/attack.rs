@@ -12,7 +12,10 @@ use gnnunlock_sat::{check_equivalence, EquivOptions};
 use gnnunlock_synth::{synthesize, SynthesisConfig};
 
 fn design() -> Netlist {
-    BenchmarkSpec::named("c5315").unwrap().scaled(0.05).generate()
+    BenchmarkSpec::named("c5315")
+        .unwrap()
+        .scaled(0.05)
+        .generate()
 }
 
 fn bench_locking(c: &mut Criterion) {

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnnunlock_gnn::{
-    merge_graphs, netlist_to_graph, LabelScheme, ModelConfig, SageModel, SaintConfig,
-    SaintSampler,
+    merge_graphs, netlist_to_graph, LabelScheme, ModelConfig, SageModel, SaintConfig, SaintSampler,
 };
 use gnnunlock_locking::{lock_antisat, AntiSatConfig};
 use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
@@ -14,7 +13,10 @@ use gnnunlock_sat::{check_equivalence, EquivOptions};
 use std::hint::black_box;
 
 fn locked_graph() -> (Netlist, gnnunlock_gnn::CircuitGraph) {
-    let design = BenchmarkSpec::named("c7552").unwrap().scaled(0.1).generate();
+    let design = BenchmarkSpec::named("c7552")
+        .unwrap()
+        .scaled(0.1)
+        .generate();
     let locked = lock_antisat(&design, &AntiSatConfig::new(32, 1)).unwrap();
     let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
     (locked.netlist, graph)
@@ -84,7 +86,10 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_cec(c: &mut Criterion) {
-    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+    let design = BenchmarkSpec::named("c2670")
+        .unwrap()
+        .scaled(0.05)
+        .generate();
     let copy = design.clone();
     c.bench_function("sat/cec_identical_c2670", |b| {
         b.iter(|| check_equivalence(&design, &copy, &EquivOptions::default()))

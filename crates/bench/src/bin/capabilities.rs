@@ -4,7 +4,9 @@
 //! each attack is launched against each scheme/format and the cell
 //! reports whether it succeeded.
 
-use gnnunlock_baselines::{fall_attack, hd_unlocked_attack, sps_attack, FallStatus, HdUnlockedStatus};
+use gnnunlock_baselines::{
+    fall_attack, hd_unlocked_attack, sps_attack, FallStatus, HdUnlockedStatus,
+};
 use gnnunlock_bench::{rule, scale};
 use gnnunlock_core::remove_protection;
 use gnnunlock_gnn::{netlist_to_graph, LabelScheme};
@@ -43,14 +45,13 @@ fn main() {
     let sps_schemes = sps_attack(&antisat.netlist, 64, 1).hit_protection
         && !sps_attack(&ttlock.netlist, 64, 2).hit_protection;
     let fall_tt = matches!(fall_attack(&ttlock.netlist, 0).status, FallStatus::KeyFound);
-    let fall_corner =
-        matches!(fall_attack(&corner.netlist, 8).status, FallStatus::KeyFound);
-    let fall_verilog =
-        matches!(fall_attack(&sfll2_verilog.netlist, 2).status, FallStatus::KeyFound);
-    let hd_corner =
-        hd_unlocked_attack(&corner.netlist, 8, 1).status == HdUnlockedStatus::Success;
-    let hd_small_h =
-        hd_unlocked_attack(&sfll2.netlist, 2, 2).status == HdUnlockedStatus::Success;
+    let fall_corner = matches!(fall_attack(&corner.netlist, 8).status, FallStatus::KeyFound);
+    let fall_verilog = matches!(
+        fall_attack(&sfll2_verilog.netlist, 2).status,
+        FallStatus::KeyFound
+    );
+    let hd_corner = hd_unlocked_attack(&corner.netlist, 8, 1).status == HdUnlockedStatus::Success;
+    let hd_small_h = hd_unlocked_attack(&sfll2.netlist, 2, 2).status == HdUnlockedStatus::Success;
 
     // GNNUnlock capability probes use ground-truth-rectified removal (the
     // trained-GNN path is exercised by table4/table5/table6).
@@ -63,15 +64,31 @@ fn main() {
         };
         check_equivalence(orig, &recovered, &opts).is_equivalent()
     };
-    let gnn_bench = gnn_ok(&antisat.netlist, &design, CellLibrary::Bench8, LabelScheme::AntiSat);
+    let gnn_bench = gnn_ok(
+        &antisat.netlist,
+        &design,
+        CellLibrary::Bench8,
+        LabelScheme::AntiSat,
+    );
     let gnn_verilog = gnn_ok(
         &sfll2_verilog.netlist,
         &design,
         CellLibrary::Lpe65,
         LabelScheme::Sfll,
     );
-    let gnn_corner = gnn_ok(&corner.netlist, &design, CellLibrary::Lpe65, LabelScheme::Sfll);
-    let gnn_schemes = gnn_bench && gnn_ok(&ttlock.netlist, &design, CellLibrary::Lpe65, LabelScheme::Sfll);
+    let gnn_corner = gnn_ok(
+        &corner.netlist,
+        &design,
+        CellLibrary::Lpe65,
+        LabelScheme::Sfll,
+    );
+    let gnn_schemes = gnn_bench
+        && gnn_ok(
+            &ttlock.netlist,
+            &design,
+            CellLibrary::Lpe65,
+            LabelScheme::Sfll,
+        );
 
     println!(
         "{:<22} {:>16} {:>17} {:>19}",
@@ -111,8 +128,14 @@ fn main() {
     );
     rule(78);
     println!("measured evidence:");
-    println!("  SPS finds Anti-SAT Y gate: {}", sps_attack(&antisat.netlist, 64, 1).hit_protection);
-    println!("  SPS on TTLock: {}", sps_attack(&ttlock.netlist, 64, 2).hit_protection);
+    println!(
+        "  SPS finds Anti-SAT Y gate: {}",
+        sps_attack(&antisat.netlist, 64, 1).hit_protection
+    );
+    println!(
+        "  SPS on TTLock: {}",
+        sps_attack(&ttlock.netlist, 64, 2).hit_protection
+    );
     println!("  FALL on TTLock (h=0): {fall_tt}");
     println!("  FALL on K/h=2: {fall_corner}");
     println!("  FALL on synthesized 65nm Verilog: {fall_verilog}");

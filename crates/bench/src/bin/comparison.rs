@@ -6,8 +6,8 @@
 //! same instances end-to-end.
 
 use gnnunlock_baselines::{fall_attack, hd_unlocked_attack, FallStatus, HdUnlockedStatus};
-use gnnunlock_bench::{attack_config, pct, rule, scale};
-use gnnunlock_core::{attack_benchmark, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, pct, rule, scale, workers};
+use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
@@ -16,10 +16,7 @@ fn main() {
     println!("corner-case datasets: SFLL-HD with K/h = 2\n");
 
     // Pick the largest feasible K/h=2 setting per suite at this scale.
-    let settings: Vec<(Suite, usize, u32)> = vec![
-        (Suite::Iscas85, 16, 8),
-        (Suite::Itc99, 32, 16),
-    ];
+    let settings: Vec<(Suite, usize, u32)> = vec![(Suite::Iscas85, 16, 8), (Suite::Itc99, 32, 16)];
 
     for (suite, k, h) in settings {
         let mut cfg = DatasetConfig::sfll(suite, h, CellLibrary::Lpe65, s);
@@ -27,7 +24,10 @@ fn main() {
         cfg.locks_per_config = 2;
         let dataset = Dataset::generate(&cfg);
         if dataset.instances.is_empty() || dataset.benchmarks().len() < 3 {
-            println!("{}: skipped (K={k} infeasible at scale {s})\n", suite.name());
+            println!(
+                "{}: skipped (K={k} infeasible at scale {s})\n",
+                suite.name()
+            );
             continue;
         }
         println!(
@@ -37,18 +37,26 @@ fn main() {
         );
         rule(72);
 
-        // Baselines on every instance.
-        let mut fall_keys = 0usize;
-        let mut hd_keys = 0usize;
-        for inst in &dataset.instances {
-            if matches!(fall_attack(&inst.locked.netlist, h).status, FallStatus::KeyFound) {
-                fall_keys += 1;
-            }
-            if hd_unlocked_attack(&inst.locked.netlist, h, 7).status == HdUnlockedStatus::Success
-            {
-                hd_keys += 1;
-            }
-        }
+        // Baselines on every instance, fanned out on the engine pool
+        // (order-preserving, so the counts are worker-count-independent).
+        let baseline_tasks: Vec<_> = dataset
+            .instances
+            .iter()
+            .map(|inst| {
+                move || {
+                    let fall = matches!(
+                        fall_attack(&inst.locked.netlist, h).status,
+                        FallStatus::KeyFound
+                    );
+                    let hd = hd_unlocked_attack(&inst.locked.netlist, h, 7).status
+                        == HdUnlockedStatus::Success;
+                    (fall, hd)
+                }
+            })
+            .collect();
+        let baseline_hits = gnnunlock_engine::run_ordered(workers(), baseline_tasks);
+        let fall_keys = baseline_hits.iter().filter(|(f, _)| *f).count();
+        let hd_keys = baseline_hits.iter().filter(|(_, h)| *h).count();
         println!(
             "FALL [5]:              {fall_keys} / {} keys reported",
             dataset.instances.len()
@@ -58,9 +66,15 @@ fn main() {
             dataset.instances.len()
         );
 
-        // GNNUnlock on one leave-one-out target.
+        // GNNUnlock on one leave-one-out target, as an engine job.
         let target = dataset.benchmarks()[0].clone();
-        let outcome = attack_benchmark(&dataset, &target, &attack_config());
+        let outcome = attack_targets(
+            &dataset,
+            std::slice::from_ref(&target),
+            &attack_config(),
+            workers(),
+        )
+        .remove(0);
         println!(
             "GNNUnlock:             {} removal success on {} ({} instances, GNN acc {}, post acc {})",
             pct(outcome.removal_success_rate()),

@@ -33,9 +33,17 @@ fn main() {
     println!("  {:<16} {:>12}", "Learning Rate", format!("{}", train.lr));
     println!("  {:<16} {:>12}", "Dropout", format!("{}", train.dropout));
     println!("  {:<16} {:>12}", "Sampler", "Random Walk");
-    println!("  {:<16} {:>12}", "Walk Length", format!("{}", saint.walk_length));
+    println!(
+        "  {:<16} {:>12}",
+        "Walk Length",
+        format!("{}", saint.walk_length)
+    );
     println!("  {:<16} {:>12}", "Root Nodes", format!("{}", saint.roots));
-    println!("  {:<16} {:>12}", "Max # Epochs", format!("{}", train.epochs));
+    println!(
+        "  {:<16} {:>12}",
+        "Max # Epochs",
+        format!("{}", train.epochs)
+    );
 
     // Shape self-check against the paper's table.
     let m = SageModel::new(ModelConfig::paper(34, 3));

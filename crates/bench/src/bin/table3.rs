@@ -5,7 +5,7 @@
 //! infeasible at the current scale are skipped exactly as the paper skips
 //! c3540/K=64.
 
-use gnnunlock_bench::{rule, scale};
+use gnnunlock_bench::{rule, scale, workers};
 use gnnunlock_core::{Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
@@ -18,7 +18,7 @@ fn main() {
     );
     rule(80);
 
-    let mut configs: Vec<DatasetConfig> = vec![
+    let configs: Vec<DatasetConfig> = vec![
         DatasetConfig::antisat(Suite::Iscas85, s),
         DatasetConfig::antisat(Suite::Itc99, s),
         DatasetConfig::sfll(Suite::Iscas85, 0, CellLibrary::Lpe65, s),
@@ -33,10 +33,22 @@ fn main() {
         corner(Suite::Itc99, 128, 64, s),
     ];
     // At small scales the SFLL-HD16/32/64 datasets need large-K circuits;
-    // generation silently skips infeasible benchmarks.
-    for cfg in &mut configs {
-        let ds = Dataset::generate(cfg);
-        let sum = ds.summary();
+    // generation silently skips infeasible benchmarks. All eleven
+    // datasets are generated concurrently on the engine's worker pool
+    // (each `Dataset::generate` additionally fans out per instance);
+    // results come back in submission order, so the table is identical
+    // for every worker count.
+    let tasks: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            move || {
+                let ds = Dataset::generate_with(cfg, 1);
+                ds.summary()
+            }
+        })
+        .collect();
+    let summaries = gnnunlock_engine::run_ordered(workers(), tasks);
+    for (cfg, sum) in configs.iter().zip(summaries) {
         let name = match cfg.scheme {
             gnnunlock_core::DatasetScheme::SfllHd(h) if h >= 16 => {
                 format!("SFLL-HD{h}")
@@ -45,13 +57,7 @@ fn main() {
         };
         println!(
             "{:<12} {:<10} {:<22} {:>8} {:>5} {:>9} {:>9}",
-            name,
-            sum.benchmarks,
-            sum.format,
-            sum.classes,
-            sum.feature_len,
-            sum.nodes,
-            sum.circuits
+            name, sum.benchmarks, sum.format, sum.classes, sum.feature_len, sum.nodes, sum.circuits
         );
     }
     rule(80);

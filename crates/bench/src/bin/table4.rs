@@ -5,8 +5,8 @@
 //! recall / F1 (AN and DN), misclassified-node count and removal success.
 //! Set `GNNUNLOCK_FULL=1` to attack all benchmarks (one training each).
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale};
-use gnnunlock_core::{attack_benchmark, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
+use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
 
 fn main() {
     let s = scale();
@@ -14,8 +14,17 @@ fn main() {
     println!("TABLE IV. RESULTS OF GNNUNLOCK ON ANTI-SAT (scale = {s})\n");
     println!(
         "{:<8} {:>7} {:>8} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>4} {:>8}",
-        "Test", "#Graphs", "GNN Acc",
-        "P(AN)", "P(DN)", "R(AN)", "R(DN)", "F1(AN)", "F1(DN)", "#MN", "Removal"
+        "Test",
+        "#Graphs",
+        "GNN Acc",
+        "P(AN)",
+        "P(DN)",
+        "R(AN)",
+        "R(DN)",
+        "F1(AN)",
+        "F1(DN)",
+        "#MN",
+        "Removal"
     );
     rule(100);
 
@@ -26,10 +35,15 @@ fn main() {
             benchmarks
         } else {
             // Representative subset: first and last of the suite.
-            vec![benchmarks[0].clone(), benchmarks[benchmarks.len() - 1].clone()]
+            vec![
+                benchmarks[0].clone(),
+                benchmarks[benchmarks.len() - 1].clone(),
+            ]
         };
-        for target in targets {
-            let outcome = attack_benchmark(&dataset, &target, &cfg);
+        // One leave-one-out training per target, run as parallel engine
+        // jobs (deterministic: results arrive in target order).
+        for outcome in attack_targets(&dataset, &targets, &cfg, workers()) {
+            let target = outcome.benchmark.clone();
             // Pool the per-instance confusion counts (paper reports
             // per-benchmark aggregates over its locked graphs).
             let inst = &outcome.instances;

@@ -5,8 +5,8 @@
 //!
 //! Set `GNNUNLOCK_FULL=1` to attack all benchmarks.
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale};
-use gnnunlock_core::{attack_benchmark, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
+use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
@@ -15,10 +15,19 @@ fn main() {
     println!("TABLE V. RESULTS OF GNNUNLOCK ON SFLL-HD2 (65nm, scale = {s})\n");
     println!(
         "{:<8} {:>7} {:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>8}",
-        "Test", "#Graphs", "GNN Acc",
-        "P(RN)", "P(PN)", "P(DN)",
-        "R(RN)", "R(PN)", "R(DN)",
-        "F(RN)", "F(PN)", "F(DN)", "Removal"
+        "Test",
+        "#Graphs",
+        "GNN Acc",
+        "P(RN)",
+        "P(PN)",
+        "P(DN)",
+        "R(RN)",
+        "R(PN)",
+        "R(DN)",
+        "F(RN)",
+        "F(PN)",
+        "F(DN)",
+        "Removal"
     );
     rule(112);
 
@@ -31,10 +40,14 @@ fn main() {
         let targets: Vec<String> = if full_sweep() {
             benchmarks
         } else {
-            vec![benchmarks[0].clone(), benchmarks[benchmarks.len() - 1].clone()]
+            vec![
+                benchmarks[0].clone(),
+                benchmarks[benchmarks.len() - 1].clone(),
+            ]
         };
-        for target in targets {
-            let outcome = attack_benchmark(&dataset, &target, &cfg);
+        // Engine-parallel leave-one-out attacks, one job per target.
+        for outcome in attack_targets(&dataset, &targets, &cfg, workers()) {
+            let target = outcome.benchmark.clone();
             let inst = &outcome.instances;
             let avg = |f: &dyn Fn(&gnnunlock_neural::Metrics) -> f64| -> f64 {
                 inst.iter().map(|i| f(&i.gnn)).sum::<f64>() / inst.len().max(1) as f64

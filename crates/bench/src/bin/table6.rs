@@ -5,10 +5,8 @@
 //! Default: one leave-one-out target per dataset; `GNNUNLOCK_FULL=1`
 //! attacks every benchmark of every dataset (the paper's full protocol).
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale};
-use gnnunlock_core::{
-    aggregate, attack_all, attack_benchmark, Dataset, DatasetConfig, Suite,
-};
+use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
+use gnnunlock_core::{aggregate, attack_targets, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
@@ -17,7 +15,15 @@ fn main() {
     println!("TABLE VI. EFFECT OF h VALUE AND TECHNOLOGY NODE (scale = {s})\n");
     println!(
         "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>10}",
-        "Dataset", "Benchmarks", "Tech", "GNN Acc", "AvgPrec", "AvgRec", "AvgF1", "Removal", "TR Time"
+        "Dataset",
+        "Benchmarks",
+        "Tech",
+        "GNN Acc",
+        "AvgPrec",
+        "AvgRec",
+        "AvgF1",
+        "Removal",
+        "TR Time"
     );
     rule(92);
 
@@ -28,7 +34,13 @@ fn main() {
         ("SFLL-HD2", Suite::Itc99, CellLibrary::Lpe65, 2, None),
         ("SFLL-HD4", Suite::Itc99, CellLibrary::Lpe65, 4, None),
         // Corner cases (K/h = 2), paper Section V-D datasets.
-        ("SFLL-HD16", Suite::Iscas85, CellLibrary::Lpe65, 16, Some(32)),
+        (
+            "SFLL-HD16",
+            Suite::Iscas85,
+            CellLibrary::Lpe65,
+            16,
+            Some(32),
+        ),
         ("SFLL-HD32", Suite::Itc99, CellLibrary::Lpe65, 32, Some(64)),
         ("SFLL-HD64", Suite::Itc99, CellLibrary::Lpe65, 64, Some(128)),
     ];
@@ -49,12 +61,13 @@ fn main() {
             );
             continue;
         }
-        let outcomes = if full_sweep() {
-            attack_all(&dataset, &cfg)
+        // Targets run as parallel engine jobs in both modes.
+        let targets: Vec<String> = if full_sweep() {
+            dataset.benchmarks()
         } else {
-            let target = dataset.benchmarks()[0].clone();
-            vec![attack_benchmark(&dataset, &target, &cfg)]
+            vec![dataset.benchmarks()[0].clone()]
         };
+        let outcomes = attack_targets(&dataset, &targets, &cfg, workers());
         let row = aggregate(name, &outcomes);
         println!(
             "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9.1}s",

@@ -10,6 +10,7 @@
 //! | `GNNUNLOCK_HIDDEN` | `96` | GraphSAGE hidden width (paper: 512) |
 //! | `GNNUNLOCK_ROOTS` | `1000` | GraphSAINT walk roots (paper: 3000) |
 //! | `GNNUNLOCK_FULL` | unset | set to `1` to attack every benchmark instead of a representative subset |
+//! | `GNNUNLOCK_WORKERS` | #cpus | engine worker threads (affects wall-clock only, never results) |
 
 use gnnunlock_core::{AttackConfig, AttackOutcome};
 use gnnunlock_gnn::{SaintConfig, TrainConfig};
@@ -21,7 +22,15 @@ pub fn scale() -> f64 {
 
 /// Whether to run the full (every-benchmark) sweep.
 pub fn full_sweep() -> bool {
-    std::env::var("GNNUNLOCK_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GNNUNLOCK_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Engine worker count (`GNNUNLOCK_WORKERS`, default: available
+/// parallelism). Parallelism never changes results — only wall-clock.
+pub fn workers() -> usize {
+    gnnunlock_engine::default_workers()
 }
 
 /// Attack configuration from the environment knobs.

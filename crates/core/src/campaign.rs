@@ -1,0 +1,390 @@
+//! GNNUnlock semantics for engine campaigns.
+//!
+//! [`gnnunlock_engine::Campaign`] expands {benchmark × scheme × key size
+//! × seed} matrices into lock → synth → dataset → train → attack →
+//! verify → aggregate job graphs; this module supplies the stage bodies
+//! ([`AttackCampaignRunner`]) and a convenience entry point
+//! ([`run_campaign`]) that executes one dataset configuration end-to-end
+//! on the parallel executor.
+//!
+//! Determinism: every stage derives its randomness from the dataset
+//! config's seeds, so a campaign produces byte-identical results — and a
+//! byte-identical JSON [`gnnunlock_engine::RunReport`] — for every
+//! worker count. Fingerprints cover the full dataset + attack
+//! configuration, so repeated runs against a shared
+//! [`gnnunlock_engine::ResultCache`] skip all redundant work (visible as
+//! `cache_hits` in the report counters).
+
+use crate::dataset::{finish_instance, lock_instance, Dataset, DatasetConfig, LockedInstance};
+use crate::pipeline::{
+    classify_instance, verify_instance, AttackConfig, AttackOutcome, InstanceOutcome,
+};
+use gnnunlock_engine::{
+    fingerprint_fields, Campaign, CampaignRun, CampaignRunner, ExecConfig, Executor, JobCtx,
+    JobKind, JobOutput, JobValue, StageJob,
+};
+use gnnunlock_gnn::{train, SageModel, TrainReport};
+use gnnunlock_locking::LockedCircuit;
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
+use std::sync::Arc;
+
+/// Output of the lock / synth stages: one (possibly infeasible) shard of
+/// the dataset.
+enum Shard {
+    /// Locking (or synthesis) rejected the configuration — mirrors the
+    /// silent skips of [`Dataset::generate`].
+    Missing,
+    /// Locked, synthesis still pending (Verilog flows).
+    Locked(Box<(Netlist, LockedCircuit)>),
+    /// Fully assembled instance.
+    Done(Box<LockedInstance>),
+}
+
+/// A trained model for one leave-one-out target (`None` when the target
+/// has no feasible instances or the split would be degenerate).
+type TrainValue = Option<(SageModel, TrainReport)>;
+
+/// Attack-stage artifact: the classification outcome plus what the
+/// verify stage needs.
+struct AttackArtifact {
+    outcome: InstanceOutcome,
+    preds: Vec<usize>,
+    dataset: Arc<Dataset>,
+    instance_idx: usize,
+}
+
+/// Stage semantics of a GNNUnlock attack campaign over one dataset
+/// configuration.
+pub struct AttackCampaignRunner<'a> {
+    dataset: &'a DatasetConfig,
+    attack: &'a AttackConfig,
+}
+
+impl<'a> AttackCampaignRunner<'a> {
+    /// A runner attacking `dataset`-shaped instances with `attack`.
+    pub fn new(dataset: &'a DatasetConfig, attack: &'a AttackConfig) -> Self {
+        AttackCampaignRunner { dataset, attack }
+    }
+
+    fn original_of(&self, benchmark: &str) -> Option<Netlist> {
+        let spec = BenchmarkSpec::named(benchmark)?;
+        Some(spec.scaled(self.dataset.scale).generate())
+    }
+
+    fn run_lock(&self, job: &StageJob) -> Shard {
+        let (Some(b), Some(k), Some(s)) = (&job.benchmark, job.key_bits, job.seed) else {
+            return Shard::Missing;
+        };
+        let Some(original) = self.original_of(b) else {
+            return Shard::Missing;
+        };
+        let Some(locked) = lock_instance(self.dataset, b, &original, k, s as usize) else {
+            return Shard::Missing;
+        };
+        if self.dataset.library == CellLibrary::Bench8 {
+            // No synth stage planned: assemble the instance here.
+            match finish_instance(self.dataset, b, &original, locked, k, s as usize) {
+                Some(inst) => Shard::Done(Box::new(inst)),
+                None => Shard::Missing,
+            }
+        } else {
+            Shard::Locked(Box::new((original, locked)))
+        }
+    }
+
+    fn run_synth(&self, job: &StageJob, ctx: &JobCtx<'_>) -> Shard {
+        let (Some(b), Some(k), Some(s)) = (&job.benchmark, job.key_bits, job.seed) else {
+            return Shard::Missing;
+        };
+        match &*ctx.dep::<Shard>(0) {
+            Shard::Locked(pair) => {
+                let (original, locked) = &**pair;
+                match finish_instance(self.dataset, b, original, locked.clone(), k, s as usize) {
+                    Some(inst) => Shard::Done(Box::new(inst)),
+                    None => Shard::Missing,
+                }
+            }
+            // Already assembled (bench flow) or infeasible: pass through.
+            Shard::Done(inst) => Shard::Done(inst.clone()),
+            Shard::Missing => Shard::Missing,
+        }
+    }
+
+    fn run_dataset(&self, ctx: &JobCtx<'_>) -> Dataset {
+        let mut instances = Vec::new();
+        for i in 0..ctx.deps.len() {
+            if let Shard::Done(inst) = &*ctx.dep::<Shard>(i) {
+                instances.push((**inst).clone());
+            }
+        }
+        Dataset {
+            config: self.dataset.clone(),
+            instances,
+        }
+    }
+
+    fn run_train(&self, job: &StageJob, ctx: &JobCtx<'_>) -> TrainValue {
+        let b = job.benchmark.as_deref()?;
+        let dataset = ctx.dep::<Dataset>(0);
+        if dataset.of_benchmark(b).is_empty() {
+            return None;
+        }
+        let val = dataset.default_val_for(b);
+        // Guard the degenerate splits `leave_one_out` panics on.
+        if val == b
+            || dataset.of_benchmark(&val).is_empty()
+            || !dataset
+                .instances
+                .iter()
+                .any(|i| i.benchmark != b && i.benchmark != val)
+        {
+            return None;
+        }
+        let (train_graph, val_graph, _) = dataset.leave_one_out(b, &val);
+        Some(train(&train_graph, &val_graph, &self.attack.train))
+    }
+
+    fn run_attack(&self, job: &StageJob, ctx: &JobCtx<'_>) -> Option<AttackArtifact> {
+        let (b, k, s) = (job.benchmark.as_deref()?, job.key_bits?, job.seed?);
+        let model = match &*ctx.dep::<TrainValue>(0) {
+            Some((model, _)) => model.clone(),
+            None => return None,
+        };
+        let dataset = ctx.dep::<Dataset>(1);
+        let instance_idx = dataset
+            .instances
+            .iter()
+            .position(|i| i.benchmark == b && i.key_bits == k && i.copy == s as usize)?;
+        let (outcome, preds) =
+            classify_instance(&model, &dataset.instances[instance_idx], self.attack);
+        Some(AttackArtifact {
+            outcome,
+            preds,
+            dataset,
+            instance_idx,
+        })
+    }
+
+    fn run_verify(&self, ctx: &JobCtx<'_>) -> Option<InstanceOutcome> {
+        let artifact = ctx.dep::<Option<AttackArtifact>>(0);
+        let artifact = artifact.as_ref().as_ref()?;
+        let inst = &artifact.dataset.instances[artifact.instance_idx];
+        let mut outcome = artifact.outcome.clone();
+        outcome.removal_success = Some(verify_instance(inst, &artifact.preds));
+        Some(outcome)
+    }
+
+    /// Reassemble per-benchmark [`AttackOutcome`]s from the train and
+    /// attack/verify stage outputs (deps: all trains, then all tails, in
+    /// campaign order).
+    fn run_aggregate(&self, ctx: &JobCtx<'_>) -> Vec<AttackOutcome> {
+        let benchmarks: Vec<String> = self
+            .dataset
+            .suite
+            .specs()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        let n_b = benchmarks.len();
+        let per_target = self.dataset.key_sizes.len() * self.dataset.locks_per_config;
+        let mut out = Vec::new();
+        for (bi, benchmark) in benchmarks.iter().enumerate() {
+            let report = match &*ctx.dep::<TrainValue>(bi) {
+                Some((_, report)) => report.clone(),
+                None => continue,
+            };
+            let mut instances = Vec::new();
+            for t in 0..per_target {
+                let dep = n_b + bi * per_target + t;
+                // Tails are verify outputs when verification is on,
+                // attack artifacts otherwise.
+                if self.attack.verify {
+                    if let Some(o) = ctx.dep::<Option<InstanceOutcome>>(dep).as_ref() {
+                        instances.push(o.clone());
+                    }
+                } else if let Some(a) = ctx.dep::<Option<AttackArtifact>>(dep).as_ref() {
+                    instances.push(a.outcome.clone());
+                }
+            }
+            out.push(AttackOutcome {
+                benchmark: benchmark.clone(),
+                instances,
+                train_report: report,
+            });
+        }
+        out
+    }
+}
+
+impl CampaignRunner for AttackCampaignRunner<'_> {
+    fn config_salt(&self) -> u64 {
+        // Debug formatting covers every field of both configs; stable
+        // within a process, which matches the in-memory cache lifetime.
+        fingerprint_fields(&[
+            &format!("{:?}", self.dataset),
+            &format!("{:?}", self.attack.train),
+            &format!("{}{}", self.attack.postprocess, self.attack.verify),
+        ])
+    }
+
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+        let value: JobValue = match job.kind {
+            JobKind::Lock => Arc::new(self.run_lock(job)),
+            JobKind::Synth => Arc::new(self.run_synth(job, ctx)),
+            JobKind::Dataset => Arc::new(self.run_dataset(ctx)),
+            JobKind::Train => Arc::new(self.run_train(job, ctx)),
+            JobKind::Attack => Arc::new(self.run_attack(job, ctx)),
+            JobKind::Verify => Arc::new(self.run_verify(ctx)),
+            JobKind::Aggregate => {
+                // This runner derives aggregate dep indices from its
+                // DatasetConfig, so the campaign must have the exact
+                // shape `campaign_for` produces — fail loudly on any
+                // other plan instead of misindexing the deps.
+                let n_b = self.dataset.suite.specs().len();
+                let per_target = self.dataset.key_sizes.len() * self.dataset.locks_per_config;
+                let expected = n_b * (1 + per_target);
+                if ctx.deps.len() != expected {
+                    return Err(format!(
+                        "campaign shape mismatch: aggregate got {} deps, the runner's \
+                         dataset config implies {expected}; build the campaign with \
+                         `campaign_for` for this runner",
+                        ctx.deps.len()
+                    ));
+                }
+                Arc::new(self.run_aggregate(ctx))
+            }
+            JobKind::Custom(tag) => return Err(format!("unknown stage '{tag}'")),
+        };
+        Ok(value)
+    }
+}
+
+/// Scheme axis tag of a dataset configuration, e.g. `Anti-SAT/ISCAS-85`.
+pub fn campaign_scheme_tag(cfg: &DatasetConfig) -> String {
+    format!("{}/{}", cfg.scheme.name(), cfg.suite.name())
+}
+
+/// Expand one dataset configuration into an engine [`Campaign`] covering
+/// every benchmark of the suite, every key size and every lock copy.
+pub fn campaign_for(name: &str, dataset: &DatasetConfig, attack: &AttackConfig) -> Campaign {
+    let benchmarks: Vec<String> = dataset
+        .suite
+        .specs()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    Campaign::builder(name)
+        .scheme(campaign_scheme_tag(dataset))
+        .benchmarks(benchmarks)
+        .key_sizes(dataset.key_sizes.iter().copied())
+        .seeds(0..dataset.locks_per_config as u64)
+        .with_synthesis(dataset.library != CellLibrary::Bench8)
+        .with_verification(attack.verify)
+        .build()
+}
+
+/// Result of [`run_campaign`]: the paper-style per-benchmark outcomes
+/// plus the engine's run record.
+pub struct CampaignResult {
+    /// Leave-one-out outcomes, in suite order (benchmarks whose
+    /// training was infeasible are absent, as in [`crate::attack_all`]).
+    pub outcomes: Vec<AttackOutcome>,
+    /// The engine run: job records, counters, report builder.
+    pub run: CampaignRun,
+}
+
+/// Execute a full attack campaign for one dataset configuration on
+/// `executor`. Reusing the same executor (or its
+/// [`gnnunlock_engine::ResultCache`]) across calls lets repeated
+/// campaigns skip all completed stages.
+pub fn run_campaign(
+    name: &str,
+    dataset: &DatasetConfig,
+    attack: &AttackConfig,
+    executor: &Executor,
+) -> CampaignResult {
+    let campaign = campaign_for(name, dataset, attack);
+    let runner = AttackCampaignRunner::new(dataset, attack);
+    let run = campaign.execute(&runner, executor);
+    let outcomes = run
+        .aggregate::<Vec<AttackOutcome>>(&campaign_scheme_tag(dataset))
+        .map(|a| a.as_ref().clone())
+        .unwrap_or_default();
+    CampaignResult { outcomes, run }
+}
+
+/// [`run_campaign`] on a fresh executor with `workers` threads.
+pub fn run_campaign_with_workers(
+    name: &str,
+    dataset: &DatasetConfig,
+    attack: &AttackConfig,
+    workers: usize,
+) -> CampaignResult {
+    run_campaign(
+        name,
+        dataset,
+        attack,
+        &Executor::new(ExecConfig::with_workers(workers)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Suite;
+    use crate::pipeline::attack_benchmark;
+    use gnnunlock_gnn::{SaintConfig, TrainConfig};
+
+    fn tiny_cfgs() -> (DatasetConfig, AttackConfig) {
+        let ds = DatasetConfig {
+            key_sizes: vec![8],
+            locks_per_config: 1,
+            scale: 0.02,
+            ..DatasetConfig::antisat(Suite::Iscas85, 0.02)
+        };
+        let attack = AttackConfig {
+            train: TrainConfig {
+                epochs: 40,
+                hidden: 24,
+                eval_every: 10,
+                patience: 0,
+                saint: SaintConfig {
+                    roots: 200,
+                    walk_length: 2,
+                    estimation_rounds: 3,
+                    seed: 7,
+                },
+                class_weighting: false,
+                ..TrainConfig::default()
+            },
+            ..AttackConfig::default()
+        };
+        (ds, attack)
+    }
+
+    #[test]
+    fn campaign_matches_direct_pipeline() {
+        let (ds, attack) = tiny_cfgs();
+        let result = run_campaign_with_workers("t", &ds, &attack, 2);
+        assert!(result.run.outcome.all_succeeded());
+        let dataset = Dataset::generate(&ds);
+        let benchmarks = dataset.benchmarks();
+        assert_eq!(
+            result
+                .outcomes
+                .iter()
+                .map(|o| &o.benchmark)
+                .collect::<Vec<_>>(),
+            benchmarks.iter().collect::<Vec<_>>()
+        );
+        // Spot-check one target against the classic sequential path.
+        let direct = attack_benchmark(&dataset, &benchmarks[0], &attack);
+        let via_engine = &result.outcomes[0];
+        assert_eq!(direct.instances.len(), via_engine.instances.len());
+        for (a, b) in direct.instances.iter().zip(&via_engine.instances) {
+            assert_eq!(a.gnn.accuracy(), b.gnn.accuracy());
+            assert_eq!(a.post.accuracy(), b.post.accuracy());
+            assert_eq!(a.removal_success, b.removal_success);
+        }
+    }
+}

@@ -160,6 +160,10 @@ pub struct LockedInstance {
     pub benchmark: String,
     /// Key size used.
     pub key_bits: usize,
+    /// Which lock copy of `(benchmark, key_bits)` this is
+    /// (`0..locks_per_config`; feasible copies only, so the sequence may
+    /// have holes).
+    pub copy: usize,
     /// The original (pre-locking) design.
     pub original: Netlist,
     /// The locked circuit (post-synthesis for Verilog flows), with ground
@@ -197,67 +201,124 @@ pub struct DatasetSummary {
     pub circuits: usize,
 }
 
+impl DatasetConfig {
+    /// Deterministic lock seed of one `(benchmark, key size, copy)`
+    /// instance — shared by [`Dataset::generate`] and the campaign
+    /// engine so both produce identical circuits.
+    pub(crate) fn instance_seed(&self, benchmark: &str, key_bits: usize, copy: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(fnv(benchmark) ^ ((key_bits as u64) << 32) ^ copy as u64)
+    }
+
+    /// Feasibility mirrors the paper's exclusions: SFLL needs K protected
+    /// PIs, Anti-SAT needs K/2 taps.
+    pub(crate) fn feasible(&self, n_pis: usize, key_bits: usize) -> bool {
+        let needed = match self.scheme {
+            DatasetScheme::AntiSat | DatasetScheme::CasLock => key_bits / 2,
+            DatasetScheme::SfllHd(_) => key_bits,
+        };
+        n_pis >= needed
+    }
+}
+
+/// Lock one instance (pre-synthesis). `None` when the scheme rejects the
+/// configuration.
+pub(crate) fn lock_instance(
+    config: &DatasetConfig,
+    benchmark: &str,
+    original: &Netlist,
+    key_bits: usize,
+    copy: usize,
+) -> Option<LockedCircuit> {
+    if !config.feasible(original.primary_inputs().len(), key_bits) {
+        return None;
+    }
+    let seed = config.instance_seed(benchmark, key_bits, copy);
+    match config.scheme {
+        DatasetScheme::AntiSat => lock_antisat(original, &AntiSatConfig::new(key_bits, seed)),
+        DatasetScheme::CasLock => lock_caslock(original, &CasLockConfig::new(key_bits, seed)),
+        DatasetScheme::SfllHd(h) => lock_sfll_hd(original, &SfllConfig::new(key_bits, h, seed)),
+    }
+    .ok()
+}
+
+/// Synthesize (for Verilog flows), build the labelled graph, and wrap up
+/// a [`LockedInstance`]. `None` when synthesis rejects the netlist.
+pub(crate) fn finish_instance(
+    config: &DatasetConfig,
+    benchmark: &str,
+    original: &Netlist,
+    mut locked: LockedCircuit,
+    key_bits: usize,
+    copy: usize,
+) -> Option<LockedInstance> {
+    if config.library != CellLibrary::Bench8 {
+        let seed = config.instance_seed(benchmark, key_bits, copy);
+        let synth_cfg = SynthesisConfig {
+            effort: config.synth_effort,
+            seed: seed ^ 0xabcdef,
+            ..SynthesisConfig::new(config.library)
+        };
+        match synthesize(&locked.netlist, &synth_cfg) {
+            Ok(mapped) => locked.netlist = mapped,
+            Err(_) => return None,
+        }
+    }
+    let graph = netlist_to_graph(
+        &locked.netlist,
+        config.library,
+        config.scheme.label_scheme(),
+    );
+    Some(LockedInstance {
+        benchmark: benchmark.to_string(),
+        key_bits,
+        copy,
+        original: original.clone(),
+        locked,
+        graph,
+    })
+}
+
 impl Dataset {
-    /// Generate the dataset.
+    /// Generate the dataset, fanning per-instance locking/synthesis work
+    /// out on the engine's worker pool ([`gnnunlock_engine::run_ordered`]
+    /// with [`gnnunlock_engine::default_workers`]).
+    ///
+    /// Results are collected in submission order, so the output is
+    /// bit-identical to a single-threaded run for every worker count.
     pub fn generate(config: &DatasetConfig) -> Dataset {
-        let mut instances = Vec::new();
-        for spec in config.suite.specs() {
-            let spec = spec.scaled(config.scale);
-            let original = spec.generate();
-            let n_pis = original.primary_inputs().len();
+        Dataset::generate_with(config, gnnunlock_engine::default_workers())
+    }
+
+    /// [`Dataset::generate`] with an explicit worker count (1 = inline).
+    pub fn generate_with(config: &DatasetConfig, workers: usize) -> Dataset {
+        // Originals are cheap and shared across instances: generate them
+        // serially, then fan out the expensive lock + synth + graph work.
+        let originals: Vec<(String, Netlist)> = config
+            .suite
+            .specs()
+            .into_iter()
+            .map(|spec| {
+                let spec = spec.scaled(config.scale);
+                (spec.name.clone(), spec.generate())
+            })
+            .collect();
+        let mut tasks: Vec<Box<dyn FnOnce() -> Option<LockedInstance> + Send + '_>> = Vec::new();
+        for (name, original) in &originals {
             for &k in &config.key_sizes {
-                // Feasibility mirrors the paper's exclusions: SFLL needs
-                // K protected PIs, Anti-SAT needs K/2 taps.
-                let needed = match config.scheme {
-                    DatasetScheme::AntiSat | DatasetScheme::CasLock => k / 2,
-                    DatasetScheme::SfllHd(_) => k,
-                };
-                if n_pis < needed {
-                    continue;
-                }
                 for copy in 0..config.locks_per_config {
-                    let seed = config
-                        .seed
-                        .wrapping_mul(0x9e3779b97f4a7c15)
-                        .wrapping_add(fnv(&spec.name) ^ ((k as u64) << 32) ^ copy as u64);
-                    let locked = match config.scheme {
-                        DatasetScheme::AntiSat => {
-                            lock_antisat(&original, &AntiSatConfig::new(k, seed))
-                        }
-                        DatasetScheme::CasLock => {
-                            lock_caslock(&original, &CasLockConfig::new(k, seed))
-                        }
-                        DatasetScheme::SfllHd(h) => {
-                            lock_sfll_hd(&original, &SfllConfig::new(k, h, seed))
-                        }
-                    };
-                    let Ok(mut locked) = locked else { continue };
-                    if config.library != CellLibrary::Bench8 {
-                        let synth_cfg = SynthesisConfig {
-                            effort: config.synth_effort,
-                            seed: seed ^ 0xabcdef,
-                            ..SynthesisConfig::new(config.library)
-                        };
-                        match synthesize(&locked.netlist, &synth_cfg) {
-                            Ok(mapped) => locked.netlist = mapped,
-                            Err(_) => continue,
-                        }
-                    }
-                    let graph = netlist_to_graph(
-                        &locked.netlist,
-                        config.library,
-                        config.scheme.label_scheme(),
-                    );
-                    instances.push(LockedInstance {
-                        benchmark: spec.name.clone(),
-                        key_bits: k,
-                        original: original.clone(),
-                        locked,
-                        graph,
-                    });
+                    tasks.push(Box::new(move || {
+                        let locked = lock_instance(config, name, original, k, copy)?;
+                        finish_instance(config, name, original, locked, k, copy)
+                    }));
                 }
             }
         }
+        let instances = gnnunlock_engine::run_ordered(workers, tasks)
+            .into_iter()
+            .flatten()
+            .collect();
         Dataset {
             config: config.clone(),
             instances,
@@ -322,10 +383,7 @@ impl Dataset {
     /// attacking b17_C).
     pub fn default_val_for(&self, test_benchmark: &str) -> String {
         let names = self.benchmarks();
-        let pos = names
-            .iter()
-            .position(|n| n == test_benchmark)
-            .unwrap_or(0);
+        let pos = names.iter().position(|n| n == test_benchmark).unwrap_or(0);
         names[(pos + 1) % names.len()].clone()
     }
 
@@ -412,7 +470,10 @@ mod tests {
             ..DatasetConfig::sfll(Suite::Iscas85, 0, CellLibrary::Lpe65, 0.02)
         };
         let ds = Dataset::generate(&cfg);
-        assert!(ds.instances.iter().all(|i| i.key_bits == 8 || i.key_bits == 64));
+        assert!(ds
+            .instances
+            .iter()
+            .all(|i| i.key_bits == 8 || i.key_bits == 64));
         let c3540_keys: Vec<usize> = ds
             .of_benchmark("c3540")
             .iter()

@@ -28,17 +28,20 @@
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod dataset;
 mod pipeline;
 mod postprocess;
 mod removal;
 
-pub use dataset::{
-    Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite,
+pub use campaign::{
+    campaign_for, campaign_scheme_tag, run_campaign, run_campaign_with_workers,
+    AttackCampaignRunner, CampaignResult,
 };
+pub use dataset::{Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite};
 pub use pipeline::{
-    aggregate, attack_all, attack_benchmark, attack_instance, AggregateRow, AttackConfig,
-    AttackOutcome, InstanceOutcome,
+    aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, classify_instance,
+    verify_instance, AggregateRow, AttackConfig, AttackOutcome, InstanceOutcome,
 };
 pub use postprocess::{postprocess, postprocess_antisat, postprocess_sfll};
 pub use removal::remove_protection;

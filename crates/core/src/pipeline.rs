@@ -115,8 +115,7 @@ pub fn attack_benchmark(
     cfg: &AttackConfig,
 ) -> AttackOutcome {
     let val = dataset.default_val_for(test_benchmark);
-    let (train_graph, val_graph, test_instances) =
-        dataset.leave_one_out(test_benchmark, &val);
+    let (train_graph, val_graph, test_instances) = dataset.leave_one_out(test_benchmark, &val);
     let (model, report) = train(&train_graph, &val_graph, &cfg.train);
     let instances = test_instances
         .iter()
@@ -129,12 +128,16 @@ pub fn attack_benchmark(
     }
 }
 
-/// Attack a single locked instance with a trained model.
-pub fn attack_instance(
+/// Classify + post-process a single locked instance with a trained
+/// model, **without** the SAT-verification stage. Returns the outcome
+/// (with `removal_success: None`) and the final predictions, so the
+/// verification can run as its own pipeline stage (see
+/// [`verify_instance`] and the campaign engine).
+pub fn classify_instance(
     model: &SageModel,
     inst: &LockedInstance,
     cfg: &AttackConfig,
-) -> InstanceOutcome {
+) -> (InstanceOutcome, Vec<usize>) {
     let graph = &inst.graph;
     let raw_preds = predict(model, graph);
     let classes = graph.scheme.num_classes();
@@ -145,25 +148,42 @@ pub fn attack_instance(
         postprocess(&inst.locked.netlist, graph, &mut preds);
     }
     let post = Metrics::from_predictions(&preds, &graph.labels, classes);
-    let removal_success = cfg.verify.then(|| {
-        let recovered = remove_protection(&inst.locked.netlist, graph, &preds);
-        let opts = EquivOptions {
-            key_b: Some(vec![false; recovered.key_inputs().len()]),
-            ..Default::default()
-        };
-        matches!(
-            check_equivalence(&inst.original, &recovered, &opts),
-            EquivResult::Equivalent
-        )
-    });
-    InstanceOutcome {
+    let outcome = InstanceOutcome {
         benchmark: inst.benchmark.clone(),
         key_bits: inst.key_bits,
         gnn,
         post,
-        removal_success,
+        removal_success: None,
         misclassifications,
-    }
+    };
+    (outcome, preds)
+}
+
+/// The removal + SAT-verification stage: delete the predicted protection
+/// logic and check the recovered design against the original (the
+/// paper's "removal success" column).
+pub fn verify_instance(inst: &LockedInstance, preds: &[usize]) -> bool {
+    let recovered = remove_protection(&inst.locked.netlist, &inst.graph, preds);
+    let opts = EquivOptions {
+        key_b: Some(vec![false; recovered.key_inputs().len()]),
+        ..Default::default()
+    };
+    matches!(
+        check_equivalence(&inst.original, &recovered, &opts),
+        EquivResult::Equivalent
+    )
+}
+
+/// Attack a single locked instance with a trained model
+/// ([`classify_instance`] + [`verify_instance`] when enabled).
+pub fn attack_instance(
+    model: &SageModel,
+    inst: &LockedInstance,
+    cfg: &AttackConfig,
+) -> InstanceOutcome {
+    let (mut outcome, preds) = classify_instance(model, inst, cfg);
+    outcome.removal_success = cfg.verify.then(|| verify_instance(inst, &preds));
+    outcome
 }
 
 /// Paper-style misclassification strings, e.g. `3 DN as PN`.
@@ -191,14 +211,64 @@ fn taxonomy(preds: &[usize], graph: &gnnunlock_gnn::CircuitGraph) -> Vec<String>
     out
 }
 
-/// Convenience: run [`attack_benchmark`] over every benchmark of a
-/// dataset (one training per target, as in the paper's tables).
-pub fn attack_all(dataset: &Dataset, cfg: &AttackConfig) -> Vec<AttackOutcome> {
-    dataset
-        .benchmarks()
+/// Run [`attack_benchmark`] for each of `targets` as jobs on the engine
+/// executor — one leave-one-out training per target, up to `workers` in
+/// flight. Results come back in `targets` order and are identical for
+/// every worker count (training, post-processing and SAT verification
+/// are all deterministic per seed).
+///
+/// # Panics
+///
+/// Panics (with the underlying job's failure message — e.g.
+/// `attack_benchmark`'s "empty training set" on a dataset with fewer
+/// than three feasible benchmarks) if any target's attack fails.
+pub fn attack_targets(
+    dataset: &Dataset,
+    targets: &[String],
+    cfg: &AttackConfig,
+    workers: usize,
+) -> Vec<AttackOutcome> {
+    use gnnunlock_engine::{ExecConfig, Executor, JobGraph, JobKind, JobValue};
+    use std::sync::Arc;
+
+    let mut graph = JobGraph::new();
+    let ids: Vec<_> = targets
         .iter()
-        .map(|b| attack_benchmark(dataset, b, cfg))
+        .map(|b| {
+            graph.add(
+                format!("attack/{}/{b}", dataset.config.scheme.name()),
+                JobKind::Attack,
+                None,
+                vec![],
+                move |_ctx| Ok(Arc::new(attack_benchmark(dataset, b, cfg)) as JobValue),
+            )
+        })
+        .collect();
+    let out = Executor::new(ExecConfig::with_workers(workers)).run(graph);
+    ids.iter()
+        .map(|&id| match out.value::<AttackOutcome>(id) {
+            Some(v) => v.as_ref().clone(),
+            None => {
+                let rec = &out.records[id.index()];
+                panic!(
+                    "attack job '{}' did not succeed: {:?}",
+                    rec.label, rec.status
+                );
+            }
+        })
         .collect()
+}
+
+/// Convenience: run [`attack_benchmark`] over every benchmark of a
+/// dataset (one training per target, as in the paper's tables), routed
+/// through the engine executor with the default worker count.
+pub fn attack_all(dataset: &Dataset, cfg: &AttackConfig) -> Vec<AttackOutcome> {
+    attack_targets(
+        dataset,
+        &dataset.benchmarks(),
+        cfg,
+        gnnunlock_engine::default_workers(),
+    )
 }
 
 /// Aggregate row for Table VI-style reporting.
@@ -222,8 +292,7 @@ pub struct AggregateRow {
 
 /// Collapse per-benchmark outcomes into one Table VI row.
 pub fn aggregate(dataset_name: &str, outcomes: &[AttackOutcome]) -> AggregateRow {
-    let all: Vec<&InstanceOutcome> =
-        outcomes.iter().flat_map(|o| o.instances.iter()).collect();
+    let all: Vec<&InstanceOutcome> = outcomes.iter().flat_map(|o| o.instances.iter()).collect();
     let n = all.len().max(1) as f64;
     AggregateRow {
         dataset: dataset_name.to_string(),

@@ -48,11 +48,7 @@ pub fn postprocess(nl: &Netlist, graph: &CircuitGraph, predictions: &mut [usize]
 
 /// Anti-SAT rectification (paper Fig. 3c). Returns changed-prediction
 /// count.
-pub fn postprocess_antisat(
-    nl: &Netlist,
-    graph: &CircuitGraph,
-    predictions: &mut [usize],
-) -> usize {
+pub fn postprocess_antisat(nl: &Netlist, graph: &CircuitGraph, predictions: &mut [usize]) -> usize {
     let mut changed = 0;
     // Rule 1: AN without KIs in fan-in cone -> DN.
     for (idx, &g) in graph.gate_ids.iter().enumerate() {
@@ -179,13 +175,11 @@ pub fn postprocess_sfll(nl: &Netlist, graph: &CircuitGraph, predictions: &mut [u
             if predictions[idx] != DESIGN {
                 continue;
             }
-            let has_pn_in_fanin = nl.gate_inputs(g).iter().any(|&inp| {
-                match nl.driver(inp) {
-                    gnnunlock_netlist::Driver::Gate(src) if nl.is_alive(src) => {
-                        predictions[node_of[src.index()]] == PERTURB
-                    }
-                    _ => false,
+            let has_pn_in_fanin = nl.gate_inputs(g).iter().any(|&inp| match nl.driver(inp) {
+                gnnunlock_netlist::Driver::Gate(src) if nl.is_alive(src) => {
+                    predictions[node_of[src.index()]] == PERTURB
                 }
+                _ => false,
             });
             if has_pn_in_fanin && controlled_solely_by(nl, g, &protected) {
                 predictions[idx] = PERTURB;
@@ -214,11 +208,7 @@ fn node_index_map(nl: &Netlist, graph: &CircuitGraph) -> Vec<usize> {
 /// protected input with its key input, so direct connections identify
 /// exactly the protected set; full cones would drag in the whole design
 /// cone through the restore XOR.)
-fn protected_inputs(
-    nl: &Netlist,
-    graph: &CircuitGraph,
-    confirmed_rn: &[bool],
-) -> HashSet<NetId> {
+fn protected_inputs(nl: &Netlist, graph: &CircuitGraph, confirmed_rn: &[bool]) -> HashSet<NetId> {
     let mut x = HashSet::new();
     for (idx, &g) in graph.gate_ids.iter().enumerate() {
         if !confirmed_rn[idx] {
@@ -280,9 +270,7 @@ fn controlled_solely_by(nl: &Netlist, g: GateId, x: &HashSet<NetId>) -> bool {
 mod tests {
     use super::*;
     use gnnunlock_gnn::netlist_to_graph;
-    use gnnunlock_locking::{
-        lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig,
-    };
+    use gnnunlock_locking::{lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig};
     use gnnunlock_netlist::generator::BenchmarkSpec;
     use gnnunlock_netlist::{CellLibrary, NodeRole};
 
@@ -292,10 +280,12 @@ mod tests {
 
     #[test]
     fn perfect_predictions_untouched_antisat() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(8, 1)).unwrap();
-        let graph =
-            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
         let mut preds = truth(&graph);
         let changed = postprocess(&locked.netlist, &graph, &mut preds);
         assert_eq!(changed, 0);
@@ -305,7 +295,10 @@ mod tests {
     #[test]
     fn design_node_misclassified_as_antisat_is_rectified() {
         // Flip a design node with no KI in its cone to AN; rule 1 fixes it.
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(8, 2)).unwrap();
         let nl = &locked.netlist;
         let graph = netlist_to_graph(nl, CellLibrary::Bench8, LabelScheme::AntiSat);
@@ -324,7 +317,10 @@ mod tests {
     fn antisat_node_misclassified_as_design_is_rectified() {
         // An interior Anti-SAT tree node flipped to DN has an all-AN cone,
         // so rule 2 promotes it back.
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(8, 3)).unwrap();
         let nl = &locked.netlist;
         let graph = netlist_to_graph(nl, CellLibrary::Bench8, LabelScheme::AntiSat);
@@ -337,10 +333,7 @@ mod tests {
             .position(|&g| {
                 nl.role(g) == NodeRole::AntiSat && {
                     let cone = nl.fanin_cone(g);
-                    !cone.is_empty()
-                        && cone.iter().all(|c| {
-                            graph.labels[node_of[c.index()]] == 1
-                        })
+                    !cone.is_empty() && cone.iter().all(|c| graph.labels[node_of[c.index()]] == 1)
                 }
             })
             .expect("interior AN node");
@@ -351,7 +344,10 @@ mod tests {
 
     #[test]
     fn perfect_predictions_untouched_sfll() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 4)).unwrap();
         let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
         let mut preds = truth(&graph);
@@ -361,7 +357,10 @@ mod tests {
 
     #[test]
     fn perturb_misclassified_as_design_is_rectified() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_ttlock(&design, 10, 5).unwrap();
         let nl = &locked.netlist;
         let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);
@@ -388,7 +387,10 @@ mod tests {
     fn design_misclassified_as_perturb_is_rectified() {
         // A design node fed by non-protected PIs predicted as PN must be
         // dropped (the paper's NOR-tree false-positive case).
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 6)).unwrap();
         let nl = &locked.netlist;
         let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);
@@ -414,7 +416,10 @@ mod tests {
 
     #[test]
     fn restore_without_keys_is_demoted() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_ttlock(&design, 8, 7).unwrap();
         let nl = &locked.netlist;
         let graph = netlist_to_graph(nl, CellLibrary::Lpe65, LabelScheme::Sfll);

@@ -28,11 +28,7 @@ use gnnunlock_synth::{constant_propagation, remove_buffers, sweep_dead};
 /// # Panics
 ///
 /// Panics if `predictions.len() != graph.num_nodes()`.
-pub fn remove_protection(
-    nl: &Netlist,
-    graph: &CircuitGraph,
-    predictions: &[usize],
-) -> Netlist {
+pub fn remove_protection(nl: &Netlist, graph: &CircuitGraph, predictions: &[usize]) -> Netlist {
     assert_eq!(predictions.len(), graph.num_nodes());
     let mut out = nl.clone();
     let mut protected = vec![false; nl.gate_capacity()];
@@ -49,11 +45,8 @@ pub fn remove_protection(
             continue;
         }
         let net = out.gate_output(g);
-        let read_by_kept = fanout
-            .readers(net)
-            .iter()
-            .any(|r| !protected[r.index()])
-            || fanout.feeds_output(net);
+        let read_by_kept =
+            fanout.readers(net).iter().any(|r| !protected[r.index()]) || fanout.feeds_output(net);
         if read_by_kept {
             boundary.push(net);
         }
@@ -154,9 +147,7 @@ fn bypass(
     // Resolve one side as design (possibly through nested integration
     // gates); the other side contributes its inactive value.
     for &slot in &order {
-        if let Some((design_net, invert)) =
-            bypass(nl, protected, ins[slot], inactive, depth + 1)
-        {
+        if let Some((design_net, invert)) = bypass(nl, protected, ins[slot], inactive, depth + 1) {
             let other = ins[1 - slot];
             let p0 = inactive(other);
             return Some((design_net, invert ^ p0 ^ (ty == GateType::Xnor)));
@@ -169,9 +160,7 @@ fn bypass(
 mod tests {
     use super::*;
     use gnnunlock_gnn::{netlist_to_graph, LabelScheme};
-    use gnnunlock_locking::{
-        lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig,
-    };
+    use gnnunlock_locking::{lock_antisat, lock_sfll_hd, lock_ttlock, AntiSatConfig, SfllConfig};
     use gnnunlock_netlist::generator::BenchmarkSpec;
     use gnnunlock_netlist::CellLibrary;
     use gnnunlock_sat::{check_equivalence, EquivOptions};
@@ -182,18 +171,17 @@ mod tests {
             ..Default::default()
         };
         let r = check_equivalence(original, recovered, &opts);
-        assert!(
-            r.is_equivalent(),
-            "recovered design not equivalent: {r:?}"
-        );
+        assert!(r.is_equivalent(), "recovered design not equivalent: {r:?}");
     }
 
     #[test]
     fn antisat_removal_with_true_labels() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(8, 1)).unwrap();
-        let graph =
-            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
         let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
         // All Anti-SAT gates gone.
         assert_eq!(recovered.role_histogram()[3], 0);
@@ -202,7 +190,10 @@ mod tests {
 
     #[test]
     fn ttlock_removal_with_true_labels() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_ttlock(&design, 10, 2).unwrap();
         let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
         let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
@@ -213,7 +204,10 @@ mod tests {
 
     #[test]
     fn sfll_hd2_removal_with_true_labels() {
-        let design = BenchmarkSpec::named("c5315").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c5315")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 3)).unwrap();
         let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
         let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
@@ -223,7 +217,10 @@ mod tests {
     #[test]
     fn removal_after_synthesis() {
         use gnnunlock_synth::{synthesize, SynthesisConfig};
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let mut locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 4)).unwrap();
         locked.netlist = synthesize(
             &locked.netlist,
@@ -237,10 +234,12 @@ mod tests {
 
     #[test]
     fn removal_is_size_reducing() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(16, 7)).unwrap();
-        let graph =
-            netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
+        let graph = netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat);
         let recovered = remove_protection(&locked.netlist, &graph, &graph.labels);
         assert!(recovered.num_gates() <= design.num_gates() + 2);
         assert!(recovered.num_gates() < locked.netlist.num_gates());

@@ -1,0 +1,107 @@
+//! Content-addressed in-memory result cache.
+//!
+//! Results are keyed on `(JobKind, fingerprint)` where the fingerprint is
+//! a content hash of everything that determines the job's output (scheme,
+//! benchmark, key size, seed, scale, hyperparameters…). Sharing one cache
+//! across [`crate::Executor`] runs lets repeated campaigns skip redundant
+//! locking / synthesis / dataset / training work entirely.
+
+use crate::graph::{JobKind, JobValue};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Values stored.
+    pub insertions: usize,
+}
+
+/// Thread-safe content-addressed cache of job results.
+#[derive(Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<(JobKind, u64), JobValue>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    insertions: AtomicUsize,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Look up a result, counting a hit or miss.
+    pub fn get(&self, kind: JobKind, fingerprint: u64) -> Option<JobValue> {
+        let found = self.map.lock().unwrap().get(&(kind, fingerprint)).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a result (last writer wins; values are cheap `Arc` clones).
+    pub fn put(&self, kind: JobKind, fingerprint: u64, value: JobValue) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert((kind, fingerprint), value);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all entries (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_miss_and_insert_counters() {
+        let cache = ResultCache::new();
+        assert!(cache.get(JobKind::Lock, 1).is_none());
+        cache.put(JobKind::Lock, 1, Arc::new(42u64));
+        let v = cache.get(JobKind::Lock, 1).expect("hit");
+        assert_eq!(*v.downcast::<u64>().unwrap(), 42);
+        // Same fingerprint under a different kind is a different entry.
+        assert!(cache.get(JobKind::Train, 1).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                insertions: 1
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

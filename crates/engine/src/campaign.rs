@@ -1,0 +1,442 @@
+//! Campaigns: declarative {benchmark × scheme × key size × seed}
+//! matrices expanded into job graphs.
+//!
+//! A [`Campaign`] captures the *shape* of an experiment — which
+//! benchmarks, locking schemes, key sizes and lock seeds, and which
+//! pipeline stages (lock → synth → dataset → train → attack → verify →
+//! aggregate) apply — without knowing anything about netlists or GNNs.
+//! A [`CampaignRunner`] supplies the semantics of each stage; the
+//! GNNUnlock implementation lives in `gnnunlock-core::campaign`, keeping
+//! this crate std-only and dependency-free.
+//!
+//! The expansion is deterministic: job ids, labels and dependency lists
+//! depend only on the campaign spec, so one campaign run on 1 worker and
+//! one on 16 produce byte-identical [`crate::RunReport`]s.
+
+use crate::exec::{Executor, RunOutcome};
+use crate::graph::{fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput};
+use crate::report::{ReportOptions, RunReport};
+use std::sync::Arc;
+
+/// One planned unit of campaign work, interpreted by a
+/// [`CampaignRunner`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StageJob {
+    /// Pipeline stage.
+    pub kind: JobKind,
+    /// Locking scheme tag (runner-defined vocabulary, e.g. `antisat`).
+    pub scheme: String,
+    /// Benchmark name, for per-benchmark stages.
+    pub benchmark: Option<String>,
+    /// Key size, for per-instance stages.
+    pub key_bits: Option<usize>,
+    /// Lock-seed index, for per-instance stages.
+    pub seed: Option<u64>,
+}
+
+impl StageJob {
+    /// Stable human-readable label, e.g. `attack/antisat/c7552/k16/s1`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}/{}", self.kind.tag(), self.scheme);
+        if let Some(b) = &self.benchmark {
+            s.push('/');
+            s.push_str(b);
+        }
+        if let Some(k) = self.key_bits {
+            s.push_str(&format!("/k{k}"));
+        }
+        if let Some(seed) = self.seed {
+            s.push_str(&format!("/s{seed}"));
+        }
+        s
+    }
+
+    /// Content fingerprint of this job under `salt` (the runner's
+    /// configuration identity).
+    pub fn fingerprint(&self, salt: u64) -> u64 {
+        fingerprint_fields(&[
+            self.kind.tag(),
+            &self.scheme,
+            self.benchmark.as_deref().unwrap_or(""),
+            &self.key_bits.map(|k| k.to_string()).unwrap_or_default(),
+            &self.seed.map(|s| s.to_string()).unwrap_or_default(),
+            &salt.to_string(),
+        ])
+    }
+}
+
+/// Stage semantics for a campaign.
+///
+/// Implementations receive each [`StageJob`] together with its
+/// dependencies' outputs (in the order listed by the plan) and return the
+/// stage's output. They must be deterministic for cache correctness: the
+/// output may be served from the result cache whenever `(stage kind,
+/// fingerprint)` matches, and [`CampaignRunner::config_salt`] is the
+/// place to fold in every configuration bit that affects outputs (scale,
+/// library, training hyperparameters…).
+pub trait CampaignRunner: Sync {
+    /// Configuration identity mixed into every job fingerprint.
+    fn config_salt(&self) -> u64 {
+        0
+    }
+
+    /// Execute one stage job.
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput;
+}
+
+/// Builder for [`Campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    name: String,
+    schemes: Vec<String>,
+    benchmarks: Vec<String>,
+    key_sizes: Vec<usize>,
+    seeds: Vec<u64>,
+    synth: bool,
+    verify: bool,
+}
+
+impl CampaignBuilder {
+    /// Start a campaign named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignBuilder {
+            name: name.into(),
+            schemes: Vec::new(),
+            benchmarks: Vec::new(),
+            key_sizes: Vec::new(),
+            seeds: vec![0],
+            synth: false,
+            verify: true,
+        }
+    }
+
+    /// Add a locking-scheme axis value (runner vocabulary).
+    pub fn scheme(mut self, tag: impl Into<String>) -> Self {
+        self.schemes.push(tag.into());
+        self
+    }
+
+    /// Add benchmark axis values.
+    pub fn benchmarks<I: IntoIterator<Item = S>, S: Into<String>>(mut self, names: I) -> Self {
+        self.benchmarks.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Add key-size axis values.
+    pub fn key_sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.key_sizes.extend(sizes);
+        self
+    }
+
+    /// Lock-seed indices (default: the single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Include the synthesis stage between lock and dataset (Verilog
+    /// flows). Off by default.
+    pub fn with_synthesis(mut self, yes: bool) -> Self {
+        self.synth = yes;
+        self
+    }
+
+    /// Include the SAT-verification stage after each attack. On by
+    /// default.
+    pub fn with_verification(mut self, yes: bool) -> Self {
+        self.verify = yes;
+        self
+    }
+
+    /// Expand the matrix into a [`Campaign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty — an empty campaign is always a
+    /// caller bug.
+    pub fn build(self) -> Campaign {
+        assert!(!self.schemes.is_empty(), "campaign has no schemes");
+        assert!(!self.benchmarks.is_empty(), "campaign has no benchmarks");
+        assert!(!self.key_sizes.is_empty(), "campaign has no key sizes");
+        assert!(!self.seeds.is_empty(), "campaign has no seeds");
+        let mut plan: Vec<(StageJob, Vec<usize>)> = Vec::new();
+        let mut push = |job: StageJob, deps: Vec<usize>| -> usize {
+            plan.push((job, deps));
+            plan.len() - 1
+        };
+        let job =
+            |kind, scheme: &str, benchmark: Option<&str>, k: Option<usize>, s: Option<u64>| {
+                StageJob {
+                    kind,
+                    scheme: scheme.to_string(),
+                    benchmark: benchmark.map(str::to_string),
+                    key_bits: k,
+                    seed: s,
+                }
+            };
+
+        for scheme in &self.schemes {
+            // Per-instance lock (and optional synth) jobs.
+            let mut shard_ids = Vec::new();
+            for b in &self.benchmarks {
+                for &k in &self.key_sizes {
+                    for &s in &self.seeds {
+                        let lock = push(
+                            job(JobKind::Lock, scheme, Some(b), Some(k), Some(s)),
+                            vec![],
+                        );
+                        let tail = if self.synth {
+                            push(
+                                job(JobKind::Synth, scheme, Some(b), Some(k), Some(s)),
+                                vec![lock],
+                            )
+                        } else {
+                            lock
+                        };
+                        shard_ids.push(tail);
+                    }
+                }
+            }
+            // One dataset-assembly job per scheme.
+            let dataset = push(job(JobKind::Dataset, scheme, None, None, None), shard_ids);
+            // Leave-one-out: train per target benchmark, then attack (and
+            // optionally verify) each of the target's instances.
+            let mut tails = Vec::new();
+            let mut trains = Vec::new();
+            for b in &self.benchmarks {
+                let train = push(
+                    job(JobKind::Train, scheme, Some(b), None, None),
+                    vec![dataset],
+                );
+                trains.push(train);
+                for &k in &self.key_sizes {
+                    for &s in &self.seeds {
+                        let attack = push(
+                            job(JobKind::Attack, scheme, Some(b), Some(k), Some(s)),
+                            vec![train, dataset],
+                        );
+                        let tail = if self.verify {
+                            push(
+                                job(JobKind::Verify, scheme, Some(b), Some(k), Some(s)),
+                                vec![attack],
+                            )
+                        } else {
+                            attack
+                        };
+                        tails.push(tail);
+                    }
+                }
+            }
+            // Per-scheme aggregation over train reports + attack/verify
+            // outcomes.
+            let mut agg_deps = trains;
+            agg_deps.extend(tails);
+            push(job(JobKind::Aggregate, scheme, None, None, None), agg_deps);
+        }
+        Campaign {
+            name: self.name,
+            schemes: self.schemes,
+            plan,
+        }
+    }
+}
+
+/// A fully expanded campaign: a deterministic list of stage jobs with
+/// explicit dependencies, ready to execute against any runner.
+pub struct Campaign {
+    /// Campaign name (report header).
+    pub name: String,
+    schemes: Vec<String>,
+    plan: Vec<(StageJob, Vec<usize>)>,
+}
+
+impl Campaign {
+    /// Start building a campaign.
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder::new(name)
+    }
+
+    /// The planned jobs and their dependency indices.
+    pub fn plan(&self) -> &[(StageJob, Vec<usize>)] {
+        &self.plan
+    }
+
+    /// Content hash of the campaign's *shape*: every planned label and
+    /// dependency list. Mixed into job fingerprints so two
+    /// differently-shaped campaigns sharing one runner and cache never
+    /// collide (a dataset job's own fields don't mention the axis sets
+    /// that feed it).
+    fn shape_fingerprint(&self) -> u64 {
+        let fields: Vec<String> = self
+            .plan
+            .iter()
+            .map(|(job, deps)| format!("{}:{deps:?}", job.label()))
+            .collect();
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        fingerprint_fields(&refs)
+    }
+
+    /// Execute the campaign on `executor` with `runner` semantics.
+    pub fn execute<R: CampaignRunner>(&self, runner: &R, executor: &Executor) -> CampaignRun {
+        let salt = fingerprint_fields(&[
+            &runner.config_salt().to_string(),
+            &self.shape_fingerprint().to_string(),
+        ]);
+        let mut graph = JobGraph::new();
+        for (stage_job, deps) in &self.plan {
+            let dep_ids: Vec<JobId> = deps.iter().map(|&d| JobId(d)).collect();
+            graph.add(
+                stage_job.label(),
+                stage_job.kind,
+                Some(stage_job.fingerprint(salt)),
+                dep_ids,
+                move |ctx| runner.run(stage_job, ctx),
+            );
+        }
+        let outcome = executor.run(graph);
+        let aggregates = self
+            .plan
+            .iter()
+            .enumerate()
+            .filter(|(_, (j, _))| j.kind == JobKind::Aggregate)
+            .map(|(i, (j, _))| (j.scheme.clone(), JobId(i)))
+            .collect();
+        CampaignRun {
+            name: self.name.clone(),
+            schemes: self.schemes.clone(),
+            aggregates,
+            outcome,
+        }
+    }
+}
+
+/// The result of executing a [`Campaign`].
+pub struct CampaignRun {
+    /// Campaign name.
+    pub name: String,
+    /// Scheme tags, in campaign order.
+    pub schemes: Vec<String>,
+    /// `(scheme, aggregate job id)` pairs, in campaign order.
+    pub aggregates: Vec<(String, JobId)>,
+    /// Raw executor outcome (records, values, counters).
+    pub outcome: RunOutcome,
+}
+
+impl CampaignRun {
+    /// The aggregate output of `scheme`, downcast to the runner's
+    /// aggregate type. `None` if the scheme is unknown or its aggregation
+    /// did not succeed.
+    pub fn aggregate<T: Send + Sync + 'static>(&self, scheme: &str) -> Option<Arc<T>> {
+        let (_, id) = self.aggregates.iter().find(|(s, _)| s == scheme)?;
+        self.outcome.value::<T>(*id)
+    }
+
+    /// Build the run report (deterministic unless timings are enabled).
+    pub fn report(&self, opts: ReportOptions) -> RunReport {
+        RunReport::from_outcome(&self.name, &self.outcome, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecConfig;
+    use crate::graph::JobValue;
+
+    /// Toy runner: every stage emits a string describing itself and its
+    /// inputs, so aggregate values encode the whole dependency story.
+    struct EchoRunner;
+
+    impl CampaignRunner for EchoRunner {
+        fn config_salt(&self) -> u64 {
+            7
+        }
+
+        fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+            let inputs: Vec<String> = (0..ctx.deps.len())
+                .map(|i| ctx.dep::<String>(i).as_ref().clone())
+                .collect();
+            Ok(Arc::new(format!("{}<-[{}]", job.label(), inputs.join(";"))) as JobValue)
+        }
+    }
+
+    fn tiny() -> Campaign {
+        Campaign::builder("tiny")
+            .scheme("antisat")
+            .benchmarks(["c1", "c2"])
+            .key_sizes([8])
+            .seeds([0, 1])
+            .build()
+    }
+
+    #[test]
+    fn plan_has_expected_shape() {
+        let c = tiny();
+        // 4 locks + 1 dataset + 2 trains + 4 attacks + 4 verifies + 1 agg.
+        assert_eq!(c.plan().len(), 16);
+        let (agg, agg_deps) = c.plan().last().unwrap();
+        assert_eq!(agg.kind, JobKind::Aggregate);
+        // 2 trains + 4 verify tails.
+        assert_eq!(agg_deps.len(), 6);
+        // Synthesis off: no synth jobs.
+        assert!(c.plan().iter().all(|(j, _)| j.kind != JobKind::Synth));
+        // With synthesis: one synth per lock.
+        let c_synth = Campaign::builder("s")
+            .scheme("sfll")
+            .benchmarks(["c1"])
+            .key_sizes([8])
+            .with_synthesis(true)
+            .build();
+        assert_eq!(
+            c_synth
+                .plan()
+                .iter()
+                .filter(|(j, _)| j.kind == JobKind::Synth)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let c = tiny();
+        let run1 = c.execute(&EchoRunner, &Executor::new(ExecConfig::with_workers(1)));
+        let run4 = c.execute(&EchoRunner, &Executor::new(ExecConfig::with_workers(4)));
+        assert_eq!(
+            run1.report(ReportOptions::default()).to_json(),
+            run4.report(ReportOptions::default()).to_json()
+        );
+        let a1 = run1.aggregate::<String>("antisat").unwrap();
+        let a4 = run4.aggregate::<String>("antisat").unwrap();
+        assert_eq!(a1, a4);
+    }
+
+    #[test]
+    fn repeated_execution_hits_the_cache() {
+        let c = tiny();
+        let exec = Executor::new(ExecConfig::with_workers(4));
+        let first = c.execute(&EchoRunner, &exec);
+        assert_eq!(first.outcome.stats.cache_hits, 0);
+        let second = c.execute(&EchoRunner, &exec);
+        assert_eq!(second.outcome.stats.cache_hits, c.plan().len());
+        assert_eq!(second.outcome.stats.executed, 0);
+        assert_eq!(
+            second.aggregate::<String>("antisat"),
+            first.aggregate::<String>("antisat")
+        );
+    }
+
+    #[test]
+    fn labels_and_fingerprints_are_stable() {
+        let j = StageJob {
+            kind: JobKind::Attack,
+            scheme: "antisat".into(),
+            benchmark: Some("c7552".into()),
+            key_bits: Some(16),
+            seed: Some(1),
+        };
+        assert_eq!(j.label(), "attack/antisat/c7552/k16/s1");
+        assert_eq!(j.fingerprint(3), j.fingerprint(3));
+        assert_ne!(j.fingerprint(3), j.fingerprint(4));
+    }
+}

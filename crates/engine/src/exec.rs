@@ -1,0 +1,530 @@
+//! The dependency-aware parallel executor.
+//!
+//! Workers claim ready jobs (lowest [`JobId`] first) from a shared queue,
+//! execute them outside the lock, then release dependents. Results and
+//! job records are indexed by `JobId`, so the outcome — and any report
+//! derived from it — is identical for every worker count: parallelism
+//! changes only wall-clock time, never content.
+
+use crate::cache::ResultCache;
+use crate::cancel::CancelToken;
+use crate::graph::{JobCtx, JobGraph, JobId, JobKind, JobValue};
+use crate::pool::default_workers;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads (1 = run inline-style, still through the same
+    /// scheduler, guaranteeing identical results).
+    pub workers: usize,
+    /// Cancellation token shared with job bodies.
+    pub cancel: CancelToken,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: default_workers(),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A config with `workers` threads and a fresh cancel token.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecConfig {
+            workers: workers.max(1),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran (or was cache-served) to completion.
+    Succeeded,
+    /// The body returned an error.
+    Failed(String),
+    /// Not run because a dependency did not succeed.
+    Skipped(String),
+    /// Not run because the run was cancelled first.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Stable lowercase tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Succeeded => "ok",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Skipped(_) => "skipped",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Per-job record of one run.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's label.
+    pub label: String,
+    /// Pipeline stage.
+    pub kind: JobKind,
+    /// Dependency indices.
+    pub deps: Vec<usize>,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Wall-clock execution time (≈0 for cache hits; volatile — excluded
+    /// from deterministic reports).
+    pub duration: Duration,
+}
+
+/// Aggregate counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Jobs in the graph.
+    pub total: usize,
+    /// Jobs whose bodies actually ran.
+    pub executed: usize,
+    /// Jobs served from the result cache (the report's job-skip counter).
+    pub cache_hits: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs skipped because a dependency did not succeed.
+    pub skipped: usize,
+    /// Jobs cancelled before they could run.
+    pub cancelled: usize,
+}
+
+/// Everything a run produced: records, values and counters.
+pub struct RunOutcome {
+    /// One record per job, indexed by [`JobId`] — deterministic order.
+    pub records: Vec<JobRecord>,
+    /// Aggregate counters.
+    pub stats: RunStats,
+    /// Total wall-clock time (volatile).
+    pub wall_time: Duration,
+    values: Vec<Option<JobValue>>,
+}
+
+impl RunOutcome {
+    /// The output of a succeeded job, downcast to its concrete type.
+    /// `None` if the job did not succeed; panics on a type mismatch
+    /// (a graph-construction bug).
+    pub fn value<T: Send + Sync + 'static>(&self, id: JobId) -> Option<Arc<T>> {
+        self.values[id.index()].as_ref().map(|v| {
+            v.clone()
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("job {} has unexpected output type", id.index()))
+        })
+    }
+
+    /// Whether every job succeeded.
+    pub fn all_succeeded(&self) -> bool {
+        self.stats.failed == 0 && self.stats.skipped == 0 && self.stats.cancelled == 0
+    }
+}
+
+/// Best-effort text of a panic payload (what `panic!` carries).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// The parallel job-graph executor.
+///
+/// Holds the [`ResultCache`]; reusing one executor (or one cache via
+/// [`Executor::with_cache`]) across runs lets later campaigns skip work
+/// already done.
+pub struct Executor {
+    cfg: ExecConfig,
+    cache: Arc<ResultCache>,
+}
+
+struct Sched<'a> {
+    nodes: Vec<crate::graph::JobNode<'a>>,
+    remaining: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    /// Why a job must be skipped (first failing dependency), if any.
+    poison: Vec<Option<String>>,
+    ready: BTreeSet<usize>,
+    values: Vec<Option<JobValue>>,
+    records: Vec<Option<(JobStatus, bool, Duration)>>,
+    pending: usize,
+}
+
+impl Executor {
+    /// An executor with its own empty cache.
+    pub fn new(cfg: ExecConfig) -> Self {
+        Executor {
+            cfg,
+            cache: Arc::new(ResultCache::new()),
+        }
+    }
+
+    /// Share an existing cache (e.g. across repeated campaigns).
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The executor's cache.
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The executor's cancel token (clone it to cancel from elsewhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cfg.cancel.clone()
+    }
+
+    /// Execute `graph` and return records, values and counters.
+    pub fn run(&self, graph: JobGraph<'_>) -> RunOutcome {
+        let start = Instant::now();
+        let n = graph.len();
+        let mut dependents = vec![Vec::new(); n];
+        let mut remaining = vec![0usize; n];
+        for (i, node) in graph.jobs.iter().enumerate() {
+            remaining[i] = node.deps.len();
+            for d in &node.deps {
+                dependents[d.index()].push(i);
+            }
+        }
+        let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let sched = Mutex::new(Sched {
+            nodes: graph.jobs,
+            remaining,
+            dependents,
+            poison: vec![None; n],
+            ready,
+            values: vec![None; n],
+            records: vec![None; n],
+            pending: n,
+        });
+        let work_available = Condvar::new();
+        let workers = self.cfg.workers.max(1).min(n.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&sched, &work_available));
+            }
+        });
+
+        let sched = sched.into_inner().unwrap();
+        let mut records = Vec::with_capacity(n);
+        let mut stats = RunStats {
+            total: n,
+            ..RunStats::default()
+        };
+        for (node, rec) in sched.nodes.iter().zip(sched.records) {
+            let (status, cached, duration) =
+                rec.expect("scheduler finished with an unresolved job");
+            match &status {
+                JobStatus::Succeeded if cached => stats.cache_hits += 1,
+                JobStatus::Succeeded => stats.executed += 1,
+                JobStatus::Failed(_) => stats.failed += 1,
+                JobStatus::Skipped(_) => stats.skipped += 1,
+                JobStatus::Cancelled => stats.cancelled += 1,
+            }
+            records.push(JobRecord {
+                label: node.label.clone(),
+                kind: node.kind,
+                deps: node.deps.iter().map(|d| d.index()).collect(),
+                status,
+                cached,
+                duration,
+            });
+        }
+        RunOutcome {
+            records,
+            stats,
+            wall_time: start.elapsed(),
+            values: sched.values,
+        }
+    }
+
+    fn worker_loop(&self, sched: &Mutex<Sched<'_>>, work_available: &Condvar) {
+        let mut guard = sched.lock().unwrap();
+        loop {
+            if guard.pending == 0 {
+                work_available.notify_all();
+                return;
+            }
+            let Some(&i) = guard.ready.iter().next() else {
+                guard = work_available.wait(guard).unwrap();
+                continue;
+            };
+            guard.ready.remove(&i);
+
+            // Resolve without running when cancelled or poisoned
+            // (cancellation wins so a cancelled run reads uniformly).
+            if self.cfg.cancel.is_cancelled() {
+                Self::finish(&mut guard, i, JobStatus::Cancelled, false, Duration::ZERO);
+                work_available.notify_all();
+                continue;
+            }
+            if let Some(why) = guard.poison[i].clone() {
+                Self::finish(
+                    &mut guard,
+                    i,
+                    JobStatus::Skipped(why),
+                    false,
+                    Duration::ZERO,
+                );
+                work_available.notify_all();
+                continue;
+            }
+
+            let node = &mut guard.nodes[i];
+            let kind = node.kind;
+            let fingerprint = node.fingerprint;
+            let run = node.run.take().expect("job claimed twice");
+            let dep_ids = node.deps.clone();
+
+            // Cache lookup (still under the lock: it's a HashMap probe).
+            if let Some(fp) = fingerprint {
+                if let Some(value) = self.cache.get(kind, fp) {
+                    guard.values[i] = Some(value);
+                    Self::finish(&mut guard, i, JobStatus::Succeeded, true, Duration::ZERO);
+                    work_available.notify_all();
+                    continue;
+                }
+            }
+
+            let dep_values: Vec<JobValue> = dep_ids
+                .iter()
+                .map(|d| guard.values[d.index()].clone().expect("dep value missing"))
+                .collect();
+            drop(guard);
+
+            let t0 = Instant::now();
+            let ctx = JobCtx {
+                deps: &dep_values,
+                cancel: &self.cfg.cancel,
+            };
+            // A body that panics must become a Failed job, not a dead
+            // worker: an unwinding worker would leave `pending` stuck
+            // above zero and deadlock its siblings on the condvar.
+            let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&ctx)))
+                .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_text(payload))));
+            let elapsed = t0.elapsed();
+
+            guard = sched.lock().unwrap();
+            match output {
+                Ok(value) => {
+                    if let Some(fp) = fingerprint {
+                        self.cache.put(kind, fp, value.clone());
+                    }
+                    guard.values[i] = Some(value);
+                    Self::finish(&mut guard, i, JobStatus::Succeeded, false, elapsed);
+                }
+                Err(msg) => {
+                    Self::finish(&mut guard, i, JobStatus::Failed(msg), false, elapsed);
+                }
+            }
+            work_available.notify_all();
+        }
+    }
+
+    /// Record job `i`'s terminal status and release its dependents.
+    fn finish(sched: &mut Sched<'_>, i: usize, status: JobStatus, cached: bool, dur: Duration) {
+        let failed_reason = match &status {
+            JobStatus::Failed(m) => {
+                Some(format!("dependency '{}' failed: {m}", sched.nodes[i].label))
+            }
+            JobStatus::Skipped(_) => {
+                Some(format!("dependency '{}' was skipped", sched.nodes[i].label))
+            }
+            // Dependents of a cancelled job are claimed normally and hit
+            // the cancel check themselves, so the whole tail of a
+            // cancelled run reads `cancelled`, not `skipped`.
+            JobStatus::Cancelled | JobStatus::Succeeded => None,
+        };
+        sched.records[i] = Some((status, cached, dur));
+        sched.pending -= 1;
+        let dependents = sched.dependents[i].clone();
+        for d in dependents {
+            if let Some(reason) = &failed_reason {
+                sched.poison[d].get_or_insert_with(|| reason.clone());
+            }
+            sched.remaining[d] -= 1;
+            if sched.remaining[d] == 0 {
+                sched.ready.insert(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::JobValue;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn val(x: u64) -> JobValue {
+        Arc::new(x)
+    }
+
+    fn diamond(counter: Option<&AtomicUsize>) -> JobGraph<'_> {
+        // a → (b, c) → d, summing values.
+        let mut g = JobGraph::new();
+        let bump = move || {
+            if let Some(c) = counter {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let a = g.add("a", JobKind::Lock, Some(1), vec![], move |_| {
+            bump();
+            Ok(val(1))
+        });
+        let b = g.add("b", JobKind::Train, Some(2), vec![a], move |ctx| {
+            bump();
+            Ok(val(*ctx.dep::<u64>(0) + 10))
+        });
+        let c = g.add("c", JobKind::Train, Some(3), vec![a], move |ctx| {
+            bump();
+            Ok(val(*ctx.dep::<u64>(0) + 20))
+        });
+        g.add("d", JobKind::Aggregate, Some(4), vec![b, c], move |ctx| {
+            bump();
+            Ok(val(*ctx.dep::<u64>(0) + *ctx.dep::<u64>(1)))
+        });
+        g
+    }
+
+    #[test]
+    fn diamond_runs_in_dependency_order() {
+        for workers in [1, 4] {
+            let exec = Executor::new(ExecConfig::with_workers(workers));
+            let out = exec.run(diamond(None));
+            assert!(out.all_succeeded());
+            assert_eq!(*out.value::<u64>(JobId(3)).unwrap(), 32);
+            assert_eq!(out.stats.executed, 4);
+        }
+    }
+
+    #[test]
+    fn cache_skips_repeated_work() {
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        let ran = AtomicUsize::new(0);
+        let first = exec.run(diamond(Some(&ran)));
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+        // Second run with the same executor: everything is cache-served.
+        let second = exec.run(diamond(Some(&ran)));
+        assert!(second.all_succeeded());
+        assert_eq!(second.stats.cache_hits, 4);
+        assert_eq!(second.stats.executed, 0);
+        assert_eq!(ran.load(Ordering::Relaxed), 4, "no body re-ran");
+        assert_eq!(*second.value::<u64>(JobId(3)).unwrap(), 32);
+        assert!(second.records.iter().all(|r| r.cached));
+    }
+
+    #[test]
+    fn failure_poisons_dependents_transitively() {
+        let mut g = JobGraph::new();
+        let a = g.add("a", JobKind::Lock, None, vec![], |_| Err("boom".into()));
+        let b = g.add("b", JobKind::Train, None, vec![a], |_| Ok(val(1)));
+        let c = g.add("c", JobKind::Attack, None, vec![b], |_| Ok(val(2)));
+        let ok = g.add("ok", JobKind::Lock, None, vec![], |_| Ok(val(3)));
+        let exec = Executor::new(ExecConfig::with_workers(4));
+        let out = exec.run(g);
+        assert_eq!(out.stats.failed, 1);
+        assert_eq!(out.stats.skipped, 2);
+        assert_eq!(out.stats.executed, 1);
+        assert!(matches!(
+            out.records[a.index()].status,
+            JobStatus::Failed(_)
+        ));
+        assert!(matches!(
+            out.records[b.index()].status,
+            JobStatus::Skipped(_)
+        ));
+        assert!(matches!(
+            out.records[c.index()].status,
+            JobStatus::Skipped(_)
+        ));
+        assert_eq!(*out.value::<u64>(ok).unwrap(), 3);
+    }
+
+    #[test]
+    fn cancellation_stops_unclaimed_jobs() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let token = exec.cancel_token();
+        let mut g = JobGraph::new();
+        let t = token.clone();
+        let a = g.add("a", JobKind::Lock, None, vec![], move |_| {
+            // First job cancels the run; everything after it is dropped.
+            t.cancel();
+            Ok(val(1))
+        });
+        let b = g.add("b", JobKind::Train, None, vec![a], |_| Ok(val(2)));
+        let c = g.add("c", JobKind::Attack, None, vec![b], |_| Ok(val(3)));
+        let out = exec.run(g);
+        assert_eq!(out.stats.executed, 1);
+        assert_eq!(out.stats.cancelled, 2);
+        assert_eq!(out.records[b.index()].status, JobStatus::Cancelled);
+        assert_eq!(out.records[c.index()].status, JobStatus::Cancelled);
+        assert!(out.value::<u64>(b).is_none());
+    }
+
+    #[test]
+    fn job_bodies_can_poll_the_token() {
+        let exec = Executor::new(ExecConfig::with_workers(2));
+        let token = exec.cancel_token();
+        let mut g = JobGraph::new();
+        g.add("long", JobKind::Train, None, vec![], move |ctx| {
+            token.cancel();
+            if ctx.cancel.is_cancelled() {
+                return Err("cooperatively aborted".into());
+            }
+            Ok(val(0))
+        });
+        let out = exec.run(g);
+        assert_eq!(out.stats.failed, 1);
+    }
+
+    #[test]
+    fn panicking_job_fails_without_deadlocking_workers() {
+        // A panic in one body must become a Failed record — not a dead
+        // worker thread leaving siblings waiting forever.
+        for workers in [1, 4] {
+            let mut g = JobGraph::new();
+            let boom = g.add("boom", JobKind::Train, None, vec![], |_| {
+                panic!("kaboom {}", 42);
+            });
+            let child = g.add("child", JobKind::Attack, None, vec![boom], |_| Ok(val(1)));
+            let ok = g.add("ok", JobKind::Lock, None, vec![], |_| Ok(val(2)));
+            let out = Executor::new(ExecConfig::with_workers(workers)).run(g);
+            match &out.records[boom.index()].status {
+                JobStatus::Failed(msg) => assert!(msg.contains("kaboom 42"), "{msg}"),
+                other => panic!("expected Failed, got {other:?}"),
+            }
+            assert!(matches!(
+                out.records[child.index()].status,
+                JobStatus::Skipped(_)
+            ));
+            assert_eq!(*out.value::<u64>(ok).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let exec = Executor::new(ExecConfig::default());
+        let out = exec.run(JobGraph::new());
+        assert_eq!(out.stats.total, 0);
+        assert!(out.all_succeeded());
+    }
+}

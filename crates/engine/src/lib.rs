@@ -1,0 +1,61 @@
+//! Parallel attack-campaign orchestration for the GNNUnlock
+//! reproduction.
+//!
+//! The paper evaluates its oracle-less attack as leave-one-benchmark-out
+//! *campaigns* over suites of locked circuits. This crate turns that
+//! end-to-end flow into a job graph executed on a std-only worker pool —
+//! no dependencies, threads + channels only:
+//!
+//! - [`JobGraph`] / [`Executor`]: dependency-aware parallel execution
+//!   with per-job timing, cooperative cancellation ([`CancelToken`]) and
+//!   **deterministic results** — the same seed produces a byte-identical
+//!   report on any worker count;
+//! - [`ResultCache`]: a content-addressed in-memory cache keyed on
+//!   `(job kind, config fingerprint)`, so repeated campaigns skip
+//!   redundant locking / synthesis / dataset / training work;
+//! - [`Campaign`]: a builder expanding {benchmark × locking scheme ×
+//!   key size × seed} matrices into lock → synth → dataset → train →
+//!   attack → verify → aggregate jobs with explicit dependencies,
+//!   interpreted by a [`CampaignRunner`] (the GNNUnlock semantics live in
+//!   `gnnunlock-core::campaign`);
+//! - [`RunReport`]: a structured JSON run report, deterministic by
+//!   default (timings are opt-in via [`ReportOptions`]);
+//! - [`run_ordered`]: order-preserving batch fan-out used by dataset
+//!   generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_engine::{ExecConfig, Executor, JobGraph, JobKind, JobValue};
+//! use std::sync::Arc;
+//!
+//! let mut graph = JobGraph::new();
+//! let lock = graph.add("lock/demo", JobKind::Lock, Some(1), vec![], |_| {
+//!     Ok(Arc::new(21u64) as JobValue)
+//! });
+//! let train = graph.add("train/demo", JobKind::Train, Some(2), vec![lock], |ctx| {
+//!     Ok(Arc::new(*ctx.dep::<u64>(0) * 2) as JobValue)
+//! });
+//! let out = Executor::new(ExecConfig::with_workers(4)).run(graph);
+//! assert_eq!(*out.value::<u64>(train).unwrap(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod campaign;
+mod cancel;
+mod exec;
+mod graph;
+mod pool;
+mod report;
+
+pub use cache::{CacheStats, ResultCache};
+pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, StageJob};
+pub use cancel::CancelToken;
+pub use exec::{ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats};
+pub use graph::{
+    fingerprint, fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput, JobValue,
+};
+pub use pool::{default_workers, run_ordered, WORKERS_ENV};
+pub use report::{Json, ReportOptions, RunReport};

@@ -95,11 +95,7 @@ impl CircuitGraph {
 ///
 /// Panics if a gate is not a legal cell of `library` (synthesize first) or
 /// the netlist is cyclic.
-pub fn netlist_to_graph(
-    nl: &Netlist,
-    library: CellLibrary,
-    scheme: LabelScheme,
-) -> CircuitGraph {
+pub fn netlist_to_graph(nl: &Netlist, library: CellLibrary, scheme: LabelScheme) -> CircuitGraph {
     let gate_ids: Vec<GateId> = nl.gate_ids().collect();
     let mut node_of = vec![usize::MAX; nl.gate_capacity()];
     for (idx, &g) in gate_ids.iter().enumerate() {
@@ -209,7 +205,9 @@ pub fn merge_graphs(graphs: &[CircuitGraph]) -> CircuitGraph {
         assert_eq!(g.library, library, "library mismatch in merge");
         assert_eq!(g.scheme, scheme, "scheme mismatch in merge");
         for r in 0..g.num_nodes() {
-            features.row_mut(offset + r).copy_from_slice(g.features.row(r));
+            features
+                .row_mut(offset + r)
+                .copy_from_slice(g.features.row(r));
         }
         labels.extend_from_slice(&g.labels);
         gate_ids.extend_from_slice(&g.gate_ids);
@@ -248,8 +246,11 @@ mod tests {
         let k1 = nl.add_key_input("keyinput1");
         let x0 = nl.add_gate(GateType::Xor, &[a, k0]);
         let x1 = nl.add_gate(GateType::Xnor, &[b, k1]);
-        let top =
-            nl.add_gate_with_role(GateType::Xor, &[nl.gate_output(x0), nl.gate_output(x1)], NodeRole::Restore);
+        let top = nl.add_gate_with_role(
+            GateType::Xor,
+            &[nl.gate_output(x0), nl.gate_output(x1)],
+            NodeRole::Restore,
+        );
         nl.add_output("y", nl.gate_output(top));
         nl
     }
@@ -274,9 +275,7 @@ mod tests {
             })
             .expect("root found");
         let classes = CellLibrary::Bench8.num_classes();
-        let xor_class = CellLibrary::Bench8
-            .feature_class(GateType::Xor, 2)
-            .unwrap();
+        let xor_class = CellLibrary::Bench8.feature_class(GateType::Xor, 2).unwrap();
         let xnor_class = CellLibrary::Bench8
             .feature_class(GateType::Xnor, 2)
             .unwrap();

@@ -207,10 +207,7 @@ mod tests {
     /// adjoint of the forward one.
     #[test]
     fn mean_backward_is_adjoint() {
-        let g = Csr::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 4)],
-        );
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 4)]);
         let x = Matrix::xavier(5, 3, 1);
         let grad = Matrix::xavier(5, 3, 2);
         let forward = g.mean_aggregate(&x);
@@ -243,11 +240,7 @@ mod tests {
         let y = g.sum_aggregate(&x);
         for v in [0usize, 1500, 2999] {
             for c in 0..4 {
-                let expected: f32 = g
-                    .neighbors(v)
-                    .iter()
-                    .map(|&u| x.get(u as usize, c))
-                    .sum();
+                let expected: f32 = g.neighbors(v).iter().map(|&u| x.get(u as usize, c)).sum();
                 assert!((y.get(v, c) - expected).abs() < 1e-5);
             }
         }

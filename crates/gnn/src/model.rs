@@ -14,9 +14,7 @@
 //! configurable so CI-scale experiments stay fast.
 
 use crate::graph::Csr;
-use gnnunlock_neural::{
-    relu, relu_backward, AdamConfig, AdamState, DropoutMask, Linear, Matrix,
-};
+use gnnunlock_neural::{relu, relu_backward, AdamConfig, AdamState, DropoutMask, Linear, Matrix};
 
 /// Hyperparameters of a [`SageModel`].
 #[derive(Debug, Clone)]
@@ -290,10 +288,7 @@ mod tests {
 
     fn tiny_graph() -> (Csr, Matrix, Vec<usize>) {
         // Two triangles joined by an edge; labels by triangle.
-        let adj = Csr::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let adj = Csr::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let mut x = Matrix::zeros(6, 4);
         for v in 0..6 {
             x.set(v, v % 4, 1.0);
@@ -394,11 +389,7 @@ mod tests {
             mp.head.bias[0] += eps;
             let mut mm = model.clone();
             mm.head.bias[0] -= eps;
-            checks.push((
-                "head_b",
-                (f(&mp) - f(&mm)) / (2.0 * eps),
-                grads.head_b[0],
-            ));
+            checks.push(("head_b", (f(&mp) - f(&mm)) / (2.0 * eps), grads.head_b[0]));
         }
         for (name, numeric, analytic) in checks {
             assert!(

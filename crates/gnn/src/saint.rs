@@ -195,8 +195,7 @@ mod tests {
             },
         );
         let sub = sampler.sample(&g);
-        let mean: f32 =
-            sub.loss_weights.iter().sum::<f32>() / sub.loss_weights.len() as f32;
+        let mean: f32 = sub.loss_weights.iter().sum::<f32>() / sub.loss_weights.len() as f32;
         assert!((mean - 1.0).abs() < 1e-3, "mean weight {mean}");
         assert!(sub.loss_weights.iter().all(|&w| w > 0.0));
     }

@@ -5,9 +5,7 @@
 use crate::features::CircuitGraph;
 use crate::model::{ModelConfig, SageModel};
 use crate::saint::{SaintConfig, SaintSampler};
-use gnnunlock_neural::{
-    inverse_frequency_weights, softmax_cross_entropy, AdamConfig, Metrics,
-};
+use gnnunlock_neural::{inverse_frequency_weights, softmax_cross_entropy, AdamConfig, Metrics};
 use std::time::{Duration, Instant};
 
 /// Training hyperparameters.
@@ -89,7 +87,11 @@ pub struct TrainReport {
 /// # Panics
 ///
 /// Panics if the graphs disagree on feature length or class count.
-pub fn train(train: &CircuitGraph, val: &CircuitGraph, cfg: &TrainConfig) -> (SageModel, TrainReport) {
+pub fn train(
+    train: &CircuitGraph,
+    val: &CircuitGraph,
+    cfg: &TrainConfig,
+) -> (SageModel, TrainReport) {
     assert_eq!(
         train.feature_len(),
         val.feature_len(),
@@ -190,7 +192,10 @@ mod tests {
     use gnnunlock_netlist::CellLibrary;
 
     fn antisat_graph(bench: &str, scale: f64, key: usize, seed: u64) -> CircuitGraph {
-        let design = BenchmarkSpec::named(bench).unwrap().scaled(scale).generate();
+        let design = BenchmarkSpec::named(bench)
+            .unwrap()
+            .scaled(scale)
+            .generate();
         let locked = lock_antisat(&design, &AntiSatConfig::new(key, seed)).unwrap();
         netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat)
     }

@@ -13,7 +13,7 @@
 
 use crate::key::Key;
 use crate::locked::{LockedCircuit, Scheme};
-use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use gnnunlock_netlist::{GateType, NetId, Netlist, NodeRole};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -46,12 +46,12 @@ impl AntiSatConfig {
 ///
 /// Returns an error message if the design has fewer than `K/2` primary
 /// inputs or no internal net to lock.
-pub fn lock_antisat(
-    original: &Netlist,
-    cfg: &AntiSatConfig,
-) -> Result<LockedCircuit, String> {
+pub fn lock_antisat(original: &Netlist, cfg: &AntiSatConfig) -> Result<LockedCircuit, String> {
     if !cfg.key_bits.is_multiple_of(2) || cfg.key_bits < 4 {
-        return Err(format!("key_bits must be even and ≥ 4, got {}", cfg.key_bits));
+        return Err(format!(
+            "key_bits must be even and ≥ 4, got {}",
+            cfg.key_bits
+        ));
     }
     let n = cfg.key_bits / 2;
     let pis = original.primary_inputs();
@@ -77,10 +77,7 @@ pub fn lock_antisat(
     }
     indices.truncate(n);
     let taps: Vec<NetId> = indices.iter().map(|&i| pis[i]).collect();
-    let tap_names: Vec<String> = taps
-        .iter()
-        .map(|&t| nl.net_name(t).to_string())
-        .collect();
+    let tap_names: Vec<String> = taps.iter().map(|&t| nl.net_name(t).to_string()).collect();
 
     // Key inputs: bits 0..n feed g, bits n..2n feed ḡ.
     let kis: Vec<NetId> = (0..cfg.key_bits)
@@ -152,7 +149,11 @@ fn reduce(nl: &mut Netlist, leaves: &[NetId], invert: bool) -> NetId {
         let g = nl.add_gate_with_role(ty, leaves, NodeRole::AntiSat);
         return nl.gate_output(g);
     }
-    let ty = if invert { GateType::Nand } else { GateType::And };
+    let ty = if invert {
+        GateType::Nand
+    } else {
+        GateType::And
+    };
     let g = nl.add_gate_with_role(ty, leaves, NodeRole::AntiSat);
     nl.gate_output(g)
 }
@@ -163,7 +164,10 @@ mod tests {
     use gnnunlock_netlist::generator::BenchmarkSpec;
 
     fn small_design() -> Netlist {
-        BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate()
+        BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate()
     }
 
     #[test]
@@ -211,7 +215,11 @@ mod tests {
         // Design gains exactly the integration XOR.
         assert_eq!(roles[0], orig.num_gates() + 1, "design gate count changed");
         // 2n key XOR/XNORs + wide AND + wide NAND + Y AND.
-        assert_eq!(roles[3], 16 + 3, "unexpected Anti-SAT block size: {roles:?}");
+        assert_eq!(
+            roles[3],
+            16 + 3,
+            "unexpected Anti-SAT block size: {roles:?}"
+        );
         assert_eq!(roles[1], 0);
         assert_eq!(roles[2], 0);
     }
@@ -223,10 +231,7 @@ mod tests {
         let nl = &locked.netlist;
         for g in nl.gate_ids() {
             if nl.role(g) == NodeRole::AntiSat {
-                assert!(
-                    nl.cone_has_key_input(g),
-                    "Anti-SAT gate without KI in cone"
-                );
+                assert!(nl.cone_has_key_input(g), "Anti-SAT gate without KI in cone");
             }
         }
     }

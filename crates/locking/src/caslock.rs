@@ -10,7 +10,7 @@
 
 use crate::key::Key;
 use crate::locked::{LockedCircuit, Scheme};
-use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use gnnunlock_netlist::{GateType, NetId, Netlist, NodeRole};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -37,12 +37,12 @@ impl CasLockConfig {
 /// # Errors
 ///
 /// Returns an error message if the design is too small.
-pub fn lock_caslock(
-    original: &Netlist,
-    cfg: &CasLockConfig,
-) -> Result<LockedCircuit, String> {
+pub fn lock_caslock(original: &Netlist, cfg: &CasLockConfig) -> Result<LockedCircuit, String> {
     if !cfg.key_bits.is_multiple_of(2) || cfg.key_bits < 4 {
-        return Err(format!("key_bits must be even and ≥ 4, got {}", cfg.key_bits));
+        return Err(format!(
+            "key_bits must be even and ≥ 4, got {}",
+            cfg.key_bits
+        ));
     }
     let n = cfg.key_bits / 2;
     let pis = original.primary_inputs();
@@ -74,8 +74,7 @@ pub fn lock_caslock(
     }
     indices.truncate(n);
     let taps: Vec<NetId> = indices.iter().map(|&i| pis[i]).collect();
-    let tap_names: Vec<String> =
-        taps.iter().map(|&t| nl.net_name(t).to_string()).collect();
+    let tap_names: Vec<String> = taps.iter().map(|&t| nl.net_name(t).to_string()).collect();
     let kis: Vec<NetId> = (0..cfg.key_bits)
         .map(|i| nl.add_key_input(format!("keyinput{i}")))
         .collect();
@@ -117,8 +116,7 @@ pub fn lock_caslock(
     };
     let g_out = build_half(&mut nl, 0, false);
     let gbar_out = build_half(&mut nl, n, true);
-    let y_gate =
-        nl.add_gate_with_role(GateType::And, &[g_out, gbar_out], NodeRole::AntiSat);
+    let y_gate = nl.add_gate_with_role(GateType::And, &[g_out, gbar_out], NodeRole::AntiSat);
     let y = nl.gate_output(y_gate);
 
     // Integration (same as Anti-SAT: design-labelled XOR).
@@ -153,7 +151,10 @@ mod tests {
     use gnnunlock_netlist::generator::BenchmarkSpec;
 
     fn small_design() -> Netlist {
-        BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate()
+        BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate()
     }
 
     #[test]

@@ -73,16 +73,19 @@ impl LockedCircuit {
     /// # Errors
     ///
     /// Propagates simulation errors.
-    pub fn eval_with_correct_key(
-        &self,
-        pi: &[bool],
-    ) -> gnnunlock_netlist::Result<Vec<bool>> {
+    pub fn eval_with_correct_key(&self, pi: &[bool]) -> gnnunlock_netlist::Result<Vec<bool>> {
         self.netlist.eval_outputs(pi, self.key.bits())
     }
 }
 
 impl fmt::Display for LockedCircuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} locked with {} (K={})", self.netlist, self.scheme, self.key.len())
+        write!(
+            f,
+            "{} locked with {} (K={})",
+            self.netlist,
+            self.scheme,
+            self.key.len()
+        )
     }
 }

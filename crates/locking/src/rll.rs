@@ -28,7 +28,10 @@ pub fn lock_rll(original: &Netlist, key_bits: usize, seed: u64) -> Result<Locked
     let mut nl = original.clone();
     nl.set_name(format!("{}_rll_k{}", original.name(), key_bits));
 
-    let candidates: Vec<NetId> = original.gate_ids().map(|g| original.gate_output(g)).collect();
+    let candidates: Vec<NetId> = original
+        .gate_ids()
+        .map(|g| original.gate_output(g))
+        .collect();
     if candidates.len() < key_bits {
         return Err(format!(
             "design has {} internal nets, RLL with K={key_bits} needs {key_bits}",
@@ -69,7 +72,10 @@ mod tests {
 
     #[test]
     fn correct_key_preserves_function() {
-        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let orig = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_rll(&orig, 8, 4).unwrap();
         let n_pi = orig.primary_inputs().len();
         let mut rng = StdRng::seed_from_u64(1);
@@ -84,27 +90,40 @@ mod tests {
 
     #[test]
     fn wrong_key_corrupts() {
-        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let orig = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_rll(&orig, 8, 4).unwrap();
-        let bad = locked.key.with_flipped(3);
         let n_pi = orig.primary_inputs().len();
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut diff = false;
-        for _ in 0..500 {
-            let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
-            if orig.eval_outputs(&pi, &[]).unwrap()
-                != locked.netlist.eval_outputs(&pi, bad.bits()).unwrap()
-            {
-                diff = true;
-                break;
-            }
+        let visible = |bad: &Key| {
+            let mut rng = StdRng::seed_from_u64(2);
+            (0..500).any(|_| {
+                let pi: Vec<bool> = (0..n_pi).map(|_| rng.random_bool(0.5)).collect();
+                orig.eval_outputs(&pi, &[]).unwrap()
+                    != locked.netlist.eval_outputs(&pi, bad.bits()).unwrap()
+            })
+        };
+        // An individual key gate can sit behind logic that masks it for
+        // any given pattern budget, so require most single-bit flips (not
+        // all) to be visible, plus the fully wrong key.
+        let single_visible = (0..8)
+            .filter(|&bit| visible(&locked.key.with_flipped(bit)))
+            .count();
+        assert!(single_visible >= 6, "only {single_visible}/8 flips visible");
+        let mut all_wrong = locked.key.clone();
+        for bit in 0..8 {
+            all_wrong = all_wrong.with_flipped(bit);
         }
-        assert!(diff, "flipped key bit never visible at outputs");
+        assert!(visible(&all_wrong), "fully wrong key never visible");
     }
 
     #[test]
     fn key_gate_count_matches() {
-        let orig = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let orig = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let locked = lock_rll(&orig, 16, 4).unwrap();
         assert_eq!(locked.netlist.num_gates(), orig.num_gates() + 16);
         assert_eq!(locked.netlist.key_inputs().len(), 16);

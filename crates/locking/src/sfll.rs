@@ -20,7 +20,7 @@
 
 use crate::key::Key;
 use crate::locked::{LockedCircuit, Scheme};
-use gnnunlock_netlist::{GateType, NetId, NodeRole, Netlist};
+use gnnunlock_netlist::{GateType, NetId, Netlist, NodeRole};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -75,7 +75,11 @@ pub fn lock_sfll_hd(original: &Netlist, cfg: &SfllConfig) -> Result<LockedCircui
     let key = Key::random(k, rng.random());
 
     let mut nl = original.clone();
-    let scheme_tag = if cfg.h == 0 { "ttlock".to_string() } else { format!("sfllhd{}", cfg.h) };
+    let scheme_tag = if cfg.h == 0 {
+        "ttlock".to_string()
+    } else {
+        format!("sfllhd{}", cfg.h)
+    };
     nl.set_name(format!("{}_{}_k{}", original.name(), scheme_tag, k));
 
     // Protected inputs X: k distinct PIs.
@@ -124,10 +128,7 @@ pub fn lock_sfll_hd(original: &Netlist, cfg: &SfllConfig) -> Result<LockedCircui
     let restore = rb.hd_equals(&rdiffs, cfg.h as u64, k);
 
     // ---- Integration at a randomly chosen primary output ----
-    let outputs: Vec<(String, NetId)> = nl
-        .outputs()
-        .map(|(n, net)| (n.to_string(), net))
-        .collect();
+    let outputs: Vec<(String, NetId)> = nl.outputs().map(|(n, net)| (n.to_string(), net)).collect();
     let (target_name, y) = outputs[rng.random_range(0..outputs.len())].clone();
     // Stripping XOR is part of the (functionality-stripped) design.
     let strip = nl.add_gate(GateType::Xor, &[y, flip]);
@@ -328,7 +329,10 @@ mod tests {
     use gnnunlock_netlist::generator::BenchmarkSpec;
 
     fn small_design() -> Netlist {
-        BenchmarkSpec::named("c3540").unwrap().scaled(0.03).generate()
+        BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.03)
+            .generate()
     }
 
     fn pattern_with_hd(locked: &LockedCircuit, orig: &Netlist, hd: usize) -> Vec<bool> {
@@ -434,7 +438,10 @@ mod tests {
         let [dn, pn, rn, an] = locked.netlist.role_histogram();
         assert_eq!(an, 0);
         assert!(pn > 16, "perturb unit too small: {pn}");
-        assert!(rn > pn, "restore unit should exceed perturb (key XOR layer): {rn} vs {pn}");
+        assert!(
+            rn > pn,
+            "restore unit should exceed perturb (key XOR layer): {rn} vs {pn}"
+        );
         // Design gained exactly one gate: the stripping XOR.
         assert_eq!(dn, orig.num_gates() + 1);
     }

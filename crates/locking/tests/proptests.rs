@@ -1,8 +1,7 @@
 //! Property-based tests of the locking schemes' security contracts.
 
 use gnnunlock_locking::{
-    lock_antisat, lock_caslock, lock_rll, lock_sfll_hd, AntiSatConfig, CasLockConfig,
-    SfllConfig,
+    lock_antisat, lock_caslock, lock_rll, lock_sfll_hd, AntiSatConfig, CasLockConfig, SfllConfig,
 };
 use gnnunlock_netlist::{generator::BenchmarkSpec, Netlist};
 use proptest::prelude::*;

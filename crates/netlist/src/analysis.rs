@@ -133,15 +133,13 @@ impl Netlist {
             head += 1;
             for &inp in self.gate_inputs(g) {
                 match self.driver(inp) {
-                    Driver::Gate(src)
-                        if self.is_alive(src) && !seen_gate[src.index()] => {
-                            seen_gate[src.index()] = true;
-                            queue.push(src);
-                        }
-                    Driver::Input(_)
-                        if !seen_net.contains(&inp) => {
-                            seen_net.push(inp);
-                        }
+                    Driver::Gate(src) if self.is_alive(src) && !seen_gate[src.index()] => {
+                        seen_gate[src.index()] = true;
+                        queue.push(src);
+                    }
+                    Driver::Input(_) if !seen_net.contains(&inp) => {
+                        seen_net.push(inp);
+                    }
                     _ => {}
                 }
             }

@@ -56,14 +56,13 @@ impl Netlist {
                     line: lineno,
                     msg: "expected `TYPE(args)` on right-hand side".into(),
                 })?;
-                let ty: GateType =
-                    rhs[..open]
-                        .trim()
-                        .parse()
-                        .map_err(|_| NetlistError::Parse {
-                            line: lineno,
-                            msg: format!("unknown gate type `{}`", rhs[..open].trim()),
-                        })?;
+                let ty: GateType = rhs[..open]
+                    .trim()
+                    .parse()
+                    .map_err(|_| NetlistError::Parse {
+                        line: lineno,
+                        msg: format!("unknown gate type `{}`", rhs[..open].trim()),
+                    })?;
                 let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
                     line: lineno,
                     msg: "missing closing parenthesis".into(),
@@ -148,7 +147,11 @@ impl Netlist {
         for g in self.topo_order()? {
             let args: Vec<String> = self.gate_inputs(g).iter().map(|&n| name_of(n)).collect();
             let ty = self.gate_type(g);
-            let ty_name = if ty == GateType::Buf { "BUFF" } else { ty.name() };
+            let ty_name = if ty == GateType::Buf {
+                "BUFF"
+            } else {
+                ty.name()
+            };
             let _ = writeln!(
                 out,
                 "{} = {}({})",
@@ -276,10 +279,7 @@ y = NOT(n2)
         let text = nl.to_bench().unwrap();
         let nl2 = Netlist::from_bench("t", &text).unwrap();
         assert_eq!(nl2.num_outputs(), 2);
-        assert_eq!(
-            nl2.eval_outputs(&[true], &[]).unwrap(),
-            vec![false, false]
-        );
+        assert_eq!(nl2.eval_outputs(&[true], &[]).unwrap(), vec![false, false]);
     }
 
     #[test]

@@ -116,7 +116,16 @@ impl GateType {
         use GateType::*;
         matches!(
             self,
-            Inv | Nand | Nor | Xnor | Aoi21 | Aoi22 | Aoi211 | Aoi221 | Oai21 | Oai22 | Oai211
+            Inv | Nand
+                | Nor
+                | Xnor
+                | Aoi21
+                | Aoi22
+                | Aoi211
+                | Aoi221
+                | Oai21
+                | Oai22
+                | Oai211
                 | Oai221
                 | Mxi2
         )
@@ -158,12 +167,8 @@ impl GateType {
                     inputs[0]
                 }
             }
-            Mxi2 => {
-                !(if inputs[2] { inputs[1] } else { inputs[0] })
-            }
-            Maj3 => {
-                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
-            }
+            Mxi2 => !(if inputs[2] { inputs[1] } else { inputs[0] }),
+            Maj3 => (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2]),
         }
     }
 
@@ -196,9 +201,7 @@ impl GateType {
             Oai221 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3]) & inputs[4]),
             Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
             Mxi2 => !((inputs[0] & !inputs[2]) | (inputs[1] & inputs[2])),
-            Maj3 => {
-                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
-            }
+            Maj3 => (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2]),
         }
     }
 
@@ -256,10 +259,7 @@ impl FromStr for GateType {
         let up = s.to_ascii_uppercase();
         // Strip a standard-cell arity+drive suffix such as `NAND2_X1` or
         // `NAND2X2` down to the family stem.
-        let stem: &str = up
-            .split('_')
-            .next()
-            .unwrap_or(&up);
+        let stem: &str = up.split('_').next().unwrap_or(&up);
         let family = stem.trim_end_matches(|c: char| c.is_ascii_digit() || c == 'X');
         let lookup = |name: &str| -> Option<GateType> {
             match name {
@@ -326,27 +326,12 @@ mod tests {
                     assert_eq!(GateType::Oai21.eval(&[a, b, c]), !((a | b) & c));
                     assert_eq!(GateType::Mux2.eval(&[a, b, c]), if c { b } else { a });
                     assert_eq!(GateType::Mxi2.eval(&[a, b, c]), !if c { b } else { a });
-                    assert_eq!(
-                        GateType::Maj3.eval(&[a, b, c]),
-                        (a & b) | (a & c) | (b & c)
-                    );
+                    assert_eq!(GateType::Maj3.eval(&[a, b, c]), (a & b) | (a & c) | (b & c));
                     for d in [false, true] {
-                        assert_eq!(
-                            GateType::Aoi22.eval(&[a, b, c, d]),
-                            !((a & b) | (c & d))
-                        );
-                        assert_eq!(
-                            GateType::Oai22.eval(&[a, b, c, d]),
-                            !((a | b) & (c | d))
-                        );
-                        assert_eq!(
-                            GateType::Aoi211.eval(&[a, b, c, d]),
-                            !((a & b) | c | d)
-                        );
-                        assert_eq!(
-                            GateType::Oai211.eval(&[a, b, c, d]),
-                            !((a | b) & c & d)
-                        );
+                        assert_eq!(GateType::Aoi22.eval(&[a, b, c, d]), !((a & b) | (c & d)));
+                        assert_eq!(GateType::Oai22.eval(&[a, b, c, d]), !((a | b) & (c | d)));
+                        assert_eq!(GateType::Aoi211.eval(&[a, b, c, d]), !((a & b) | c | d));
+                        assert_eq!(GateType::Oai211.eval(&[a, b, c, d]), !((a | b) & c & d));
                         for e in [false, true] {
                             assert_eq!(
                                 GateType::Aoi221.eval(&[a, b, c, d, e]),

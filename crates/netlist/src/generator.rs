@@ -182,10 +182,7 @@ fn add_carry_chain(nl: &mut Netlist, rng: &mut StdRng, pool: &mut Vec<NetId>) ->
         let sum = nl.add_gate(GateType::Xor, &[nl.gate_output(axb), carry]);
         let ab = nl.add_gate(GateType::And, &[a, b]);
         let axb_c = nl.add_gate(GateType::And, &[nl.gate_output(axb), carry]);
-        let cout = nl.add_gate(
-            GateType::Or,
-            &[nl.gate_output(ab), nl.gate_output(axb_c)],
-        );
+        let cout = nl.add_gate(GateType::Or, &[nl.gate_output(ab), nl.gate_output(axb_c)]);
         pool.push(nl.gate_output(sum));
         carry = nl.gate_output(cout);
         added += 5;

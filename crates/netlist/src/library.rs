@@ -137,9 +137,7 @@ impl CellLibrary {
                 }
                 BENCH8.iter().position(|&t| t == family)
             }
-            CellLibrary::Lpe65 => LPE65
-                .iter()
-                .position(|&(t, a)| t == family && a == arity),
+            CellLibrary::Lpe65 => LPE65.iter().position(|&(t, a)| t == family && a == arity),
             CellLibrary::Nangate45 => NANGATE45
                 .iter()
                 .position(|&(t, a)| t == family && a == arity),
@@ -290,7 +288,11 @@ mod tests {
 
     #[test]
     fn feature_classes_are_dense_and_unique() {
-        for lib in [CellLibrary::Bench8, CellLibrary::Lpe65, CellLibrary::Nangate45] {
+        for lib in [
+            CellLibrary::Bench8,
+            CellLibrary::Lpe65,
+            CellLibrary::Nangate45,
+        ] {
             let mut seen = vec![false; lib.num_classes()];
             for (family, arity) in lib.cells() {
                 let idx = lib.feature_class(family, arity).unwrap();

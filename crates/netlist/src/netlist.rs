@@ -432,9 +432,7 @@ impl Netlist {
 
     /// All top-level inputs as `(name, kind, net)`.
     pub fn inputs(&self) -> impl Iterator<Item = (&str, InputKind, NetId)> + '_ {
-        self.inputs
-            .iter()
-            .map(|i| (i.name.as_str(), i.kind, i.net))
+        self.inputs.iter().map(|i| (i.name.as_str(), i.kind, i.net))
     }
 
     /// Nets driven by primary inputs, in declaration order.
@@ -630,9 +628,7 @@ impl Netlist {
             }
             for &i in &gate.inputs {
                 if matches!(self.nets[i.index()].driver, Driver::Undriven) {
-                    return Err(NetlistError::UndrivenNet(
-                        self.nets[i.index()].name.clone(),
-                    ));
+                    return Err(NetlistError::UndrivenNet(self.nets[i.index()].name.clone()));
                 }
             }
         }
@@ -718,10 +714,7 @@ mod tests {
     fn duplicate_net_rejected() {
         let mut nl = Netlist::new("t");
         nl.add_net("x").unwrap();
-        assert_eq!(
-            nl.add_net("x"),
-            Err(NetlistError::DuplicateNet("x".into()))
-        );
+        assert_eq!(nl.add_net("x"), Err(NetlistError::DuplicateNet("x".into())));
     }
 
     #[test]
@@ -750,9 +743,7 @@ mod tests {
         nl.validate(None).unwrap();
         // `a` now feeds the XOR.
         let g = nl.gate_ids().next().unwrap();
-        assert!(nl
-            .gate_inputs(g)
-            .contains(&nl.net_by_name("a").unwrap()));
+        assert!(nl.gate_inputs(g).contains(&nl.net_by_name("a").unwrap()));
     }
 
     #[test]

@@ -168,9 +168,7 @@ mod tests {
         for a in 0..2u8 {
             for b in 0..2u8 {
                 for cin in 0..2u8 {
-                    let out = nl
-                        .eval_outputs(&[a == 1, b == 1, cin == 1], &[])
-                        .unwrap();
+                    let out = nl.eval_outputs(&[a == 1, b == 1, cin == 1], &[]).unwrap();
                     let total = a + b + cin;
                     assert_eq!(out[0], total & 1 == 1, "sum a={a} b={b} c={cin}");
                     assert_eq!(out[1], total >= 2, "cout a={a} b={b} c={cin}");

@@ -1,8 +1,6 @@
 //! Property-based tests of the netlist substrate.
 
-use gnnunlock_netlist::{
-    generator::BenchmarkSpec, CellLibrary, GateType, Netlist, ALL_GATE_TYPES,
-};
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, GateType, Netlist, ALL_GATE_TYPES};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

@@ -54,8 +54,7 @@ pub fn softmax_cross_entropy(
             }
         }
         predictions.push(best);
-        let w = row_weight.map_or(1.0, |rw| rw[r])
-            * class_weight.map_or(1.0, |cw| cw[label]);
+        let w = row_weight.map_or(1.0, |rw| rw[r]) * class_weight.map_or(1.0, |cw| cw[label]);
         let p_label = (exps[label] / sum).max(1e-12);
         total += f64::from(w) * f64::from(-p_label.ln());
         total_weight += f64::from(w);
@@ -65,7 +64,11 @@ pub fn softmax_cross_entropy(
             grow[j] = w * (p - f32::from(u8::from(j == label)));
         }
     }
-    let denom = if total_weight > 0.0 { total_weight } else { 1.0 };
+    let denom = if total_weight > 0.0 {
+        total_weight
+    } else {
+        1.0
+    };
     // Normalize gradient by the same denominator as the loss.
     grad.scale((1.0 / denom) as f32);
     LossOutput {
@@ -89,7 +92,13 @@ pub fn inverse_frequency_weights(labels: &[usize], num_classes: usize) -> Vec<f3
     let n = labels.len().max(1) as f32;
     let mut weights: Vec<f32> = counts
         .iter()
-        .map(|&c| if c == 0 { 0.0 } else { n / (num_classes as f32 * c as f32) })
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                n / (num_classes as f32 * c as f32)
+            }
+        })
         .collect();
     let present = weights.iter().filter(|&&w| w > 0.0).count().max(1) as f32;
     let mean: f32 = weights.iter().sum::<f32>() / present;
@@ -140,8 +149,7 @@ mod tests {
         let labels = [1usize, 0];
         let unweighted = softmax_cross_entropy(&logits, &labels, None, None);
         // Class 1 (mispredicted) weighted 10x.
-        let weighted =
-            softmax_cross_entropy(&logits, &labels, None, Some(&[0.1, 10.0]));
+        let weighted = softmax_cross_entropy(&logits, &labels, None, Some(&[0.1, 10.0]));
         assert!(weighted.loss > unweighted.loss);
     }
 

@@ -57,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -148,18 +152,22 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        parallel_rows(self.rows, out.data.chunks_mut(other.cols.max(1)), |r, out_row| {
-            let a_row = self.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        parallel_rows(
+            self.rows,
+            out.data.chunks_mut(other.cols.max(1)),
+            |r, out_row| {
+                let a_row = self.row(r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        });
+            },
+        );
         out
     }
 
@@ -196,17 +204,21 @@ impl Matrix {
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        parallel_rows(self.rows, out.data.chunks_mut(other.rows.max(1)), |r, out_row| {
-            let a_row = self.row(r);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        parallel_rows(
+            self.rows,
+            out.data.chunks_mut(other.rows.max(1)),
+            |r, out_row| {
+                let a_row = self.row(r);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
-            }
-        });
+            },
+        );
         out
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests of the dense NN substrate.
 
 use gnnunlock_neural::{
-    inverse_frequency_weights, relu, relu_backward, softmax_cross_entropy, AdamConfig,
-    AdamState, Linear, Matrix, Metrics,
+    inverse_frequency_weights, relu, relu_backward, softmax_cross_entropy, AdamConfig, AdamState,
+    Linear, Matrix, Metrics,
 };
 use proptest::prelude::*;
 

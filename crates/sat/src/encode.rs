@@ -59,9 +59,7 @@ pub fn encode_netlist(
         };
         net_lits.insert(net, lit);
         match kind {
-            gnnunlock_netlist::InputKind::Primary => {
-                primary_inputs.push((name.to_string(), lit))
-            }
+            gnnunlock_netlist::InputKind::Primary => primary_inputs.push((name.to_string(), lit)),
             gnnunlock_netlist::InputKind::Key => key_inputs.push((name.to_string(), lit)),
         }
     }
@@ -78,11 +76,7 @@ pub fn encode_netlist(
         }
     }
     for g in nl.topo_order().expect("acyclic netlist") {
-        let ins: Vec<Lit> = nl
-            .gate_inputs(g)
-            .iter()
-            .map(|n| net_lits[n])
-            .collect();
+        let ins: Vec<Lit> = nl.gate_inputs(g).iter().map(|n| net_lits[n]).collect();
         let out = encode_gate(solver, nl.gate_type(g), &ins);
         net_lits.insert(nl.gate_output(g), out);
     }
@@ -255,8 +249,7 @@ mod tests {
                     .map(|_| Lit::positive(solver.new_var()))
                     .collect();
                 let out = encode_gate(&mut solver, ty, &ins);
-                let bits: Vec<bool> =
-                    (0..arity).map(|i| (pattern >> i) & 1 == 1).collect();
+                let bits: Vec<bool> = (0..arity).map(|i| (pattern >> i) & 1 == 1).collect();
                 for (l, &b) in ins.iter().zip(&bits) {
                     assert_lit(&mut solver, *l, b);
                 }
@@ -276,7 +269,10 @@ mod tests {
         use gnnunlock_netlist::generator::BenchmarkSpec;
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let mut solver = Solver::new();
         let enc = encode_netlist(&mut solver, &nl, None);
         let mut rng = StdRng::seed_from_u64(17);

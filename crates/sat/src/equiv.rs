@@ -173,7 +173,11 @@ fn simulate_difference(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> Option<
     let key_a = opts.key_a.clone().unwrap_or_default();
     let key_b = opts.key_b.clone().unwrap_or_default();
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let words = if opts.sim_words == 0 { 32 } else { opts.sim_words };
+    let words = if opts.sim_words == 0 {
+        32
+    } else {
+        opts.sim_words
+    };
     let n_patterns = words * 64;
     let mut pi_a: Vec<Vec<bool>> = Vec::with_capacity(n_patterns);
     for _ in 0..n_patterns {
@@ -212,14 +216,20 @@ mod tests {
 
     #[test]
     fn identical_circuits_are_equivalent() {
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let r = check_equivalence(&nl, &nl.clone(), &EquivOptions::default());
         assert!(r.is_equivalent());
     }
 
     #[test]
     fn single_gate_change_is_caught() {
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.02).generate();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
         let mut other = nl.clone();
         // Flip one gate type (And -> Nand preserves arity).
         let victim = other
@@ -275,7 +285,6 @@ mod tests {
 
     #[test]
     fn locked_circuit_equivalent_under_correct_key_only() {
-        
         // Minimal inline "locking": y = a XOR k, correct key = 0.
         let mut orig = Netlist::new("o");
         let a = orig.add_primary_input("a");

@@ -756,6 +756,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0], row[1]]);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes columns of `p`
         for j in 0..2 {
             for i in 0..3 {
                 for k in (i + 1)..3 {
@@ -825,10 +826,7 @@ mod tests {
             let mut brute_sat = false;
             'outer: for bits in 0..(1u32 << n) {
                 for c in &clauses {
-                    if !c
-                        .iter()
-                        .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
-                    {
+                    if !c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos) {
                         continue 'outer;
                     }
                 }
@@ -850,9 +848,9 @@ mod tests {
             if got {
                 // Verify the model satisfies every clause.
                 for c in &clauses {
-                    assert!(c.iter().any(|&(v, pos)| {
-                        s.model_value(vars[v]).expect("assigned") == pos
-                    }));
+                    assert!(c
+                        .iter()
+                        .any(|&(v, pos)| { s.model_value(vars[v]).expect("assigned") == pos }));
                 }
             }
         }

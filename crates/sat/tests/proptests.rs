@@ -1,9 +1,7 @@
 //! Property-based tests of the SAT solver and equivalence checker.
 
 use gnnunlock_netlist::{generator::BenchmarkSpec, GateType};
-use gnnunlock_sat::{
-    check_equivalence, Cnf, EquivOptions, Lit, SolveResult, Solver,
-};
+use gnnunlock_sat::{check_equivalence, Cnf, EquivOptions, Lit, SolveResult, Solver};
 use proptest::prelude::*;
 
 /// Random 3-CNF as (var, polarity) triples.

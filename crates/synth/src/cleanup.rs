@@ -7,10 +7,7 @@ use gnnunlock_netlist::{Driver, GateType, Netlist};
 pub fn remove_buffers(nl: &mut Netlist) -> usize {
     let mut removed = 0;
     loop {
-        let Some(buf) = nl
-            .gate_ids()
-            .find(|&g| nl.gate_type(g) == GateType::Buf)
-        else {
+        let Some(buf) = nl.gate_ids().find(|&g| nl.gate_type(g) == GateType::Buf) else {
             return removed;
         };
         let src = nl.gate_inputs(buf)[0];
@@ -94,9 +91,6 @@ mod tests {
         nl.add_output("y", nl.gate_output(i2));
         collapse_inverter_pairs(&mut nl);
         sweep_dead(&mut nl);
-        assert_eq!(
-            nl.eval_outputs(&[true], &[]).unwrap(),
-            vec![false, true]
-        );
+        assert_eq!(nl.eval_outputs(&[true], &[]).unwrap(), vec![false, true]);
     }
 }

@@ -240,10 +240,7 @@ mod tests {
         constant_propagation(&mut nl);
         sweep_dead(&mut nl);
         // Mux with s=1 selects b.
-        assert_eq!(
-            nl.eval_outputs(&[true, false], &[]).unwrap(),
-            vec![false]
-        );
+        assert_eq!(nl.eval_outputs(&[true, false], &[]).unwrap(), vec![false]);
         assert_eq!(nl.eval_outputs(&[false, true], &[]).unwrap(), vec![true]);
     }
 

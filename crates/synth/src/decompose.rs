@@ -1,7 +1,7 @@
 //! Gate decomposition and library legalization.
 
 use crate::roles::merge_all;
-use gnnunlock_netlist::{CellLibrary, GateType, NetId, NodeRole, Netlist};
+use gnnunlock_netlist::{CellLibrary, GateType, NetId, Netlist, NodeRole};
 
 /// Largest arity the library accepts for `family`, scanning up to 8.
 fn max_arity(lib: CellLibrary, family: GateType) -> usize {
@@ -260,7 +260,10 @@ mod tests {
 
     #[test]
     fn legalize_full_benchmark() {
-        let nl = BenchmarkSpec::named("c3540").unwrap().scaled(0.05).generate();
+        let nl = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
         let mut mapped = nl.clone();
         legalize(&mut mapped, CellLibrary::Nangate45);
         assert!(is_legal(&mapped, CellLibrary::Nangate45));

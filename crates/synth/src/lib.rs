@@ -129,7 +129,7 @@ mod tests {
     use super::*;
     use gnnunlock_locking::{lock_sfll_hd, SfllConfig};
     use gnnunlock_netlist::generator::BenchmarkSpec;
-    
+
     use rand::RngExt;
 
     fn check_equiv_random(a: &Netlist, b: &Netlist, kis: usize, seed: u64) {
@@ -148,25 +148,37 @@ mod tests {
 
     #[test]
     fn synthesis_preserves_function_lpe65() {
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
-        let mapped = synthesize(&nl, &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(11))
-            .unwrap();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
+        let mapped =
+            synthesize(&nl, &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(11)).unwrap();
         mapped.validate(Some(CellLibrary::Lpe65)).unwrap();
         check_equiv_random(&nl, &mapped, 0, 1);
     }
 
     #[test]
     fn synthesis_preserves_function_nangate45() {
-        let nl = BenchmarkSpec::named("c3540").unwrap().scaled(0.05).generate();
-        let mapped = synthesize(&nl, &SynthesisConfig::new(CellLibrary::Nangate45).with_seed(3))
-            .unwrap();
+        let nl = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
+        let mapped = synthesize(
+            &nl,
+            &SynthesisConfig::new(CellLibrary::Nangate45).with_seed(3),
+        )
+        .unwrap();
         mapped.validate(Some(CellLibrary::Nangate45)).unwrap();
         check_equiv_random(&nl, &mapped, 0, 2);
     }
 
     #[test]
     fn different_seeds_give_different_structures() {
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.05).generate();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.05)
+            .generate();
         let a = synthesize(&nl, &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(1)).unwrap();
         let b = synthesize(&nl, &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(2)).unwrap();
         let ha = a.cell_histogram();
@@ -177,7 +189,10 @@ mod tests {
 
     #[test]
     fn locked_circuit_roles_survive_synthesis() {
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.04).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.04)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 5)).unwrap();
         let mapped = synthesize(
             &locked.netlist,
@@ -192,7 +207,10 @@ mod tests {
 
     #[test]
     fn keys_still_unlock_after_synthesis() {
-        let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.04).generate();
+        let design = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.04)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 6)).unwrap();
         let mapped = synthesize(
             &locked.netlist,
@@ -212,7 +230,10 @@ mod tests {
 
     #[test]
     fn effort_zero_is_pure_mapping() {
-        let nl = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.03)
+            .generate();
         let cfg = SynthesisConfig {
             effort: 0,
             ..SynthesisConfig::new(CellLibrary::Lpe65)
@@ -231,7 +252,10 @@ mod tests {
         // Count protection gates before and after: rewrites may merge or
         // split them, but the boundary rule keeps protection sticky, so
         // the protected cone cannot vanish while its logic remains.
-        let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.04).generate();
+        let design = BenchmarkSpec::named("c3540")
+            .unwrap()
+            .scaled(0.04)
+            .generate();
         let locked = lock_sfll_hd(&design, &SfllConfig::new(16, 4, 3)).unwrap();
         let mapped = synthesize(
             &locked.netlist,

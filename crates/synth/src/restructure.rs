@@ -94,12 +94,7 @@ pub fn demorgan(nl: &mut Netlist, rng: &mut StdRng, library: CellLibrary, p: f64
 /// what folds SFLL's hard-coded-key inverter layer into the perturb
 /// unit's first adder stage, making the perturb structure key-dependent
 /// deep into the tree (paper Section II-A.2).
-pub fn absorb_inverters(
-    nl: &mut Netlist,
-    rng: &mut StdRng,
-    library: CellLibrary,
-    p: f64,
-) -> usize {
+pub fn absorb_inverters(nl: &mut Netlist, rng: &mut StdRng, library: CellLibrary, p: f64) -> usize {
     let mut rewrites = 0;
     let counts = ReaderCounts::build(nl);
     let gates: Vec<GateId> = nl.gate_ids().collect();
@@ -120,8 +115,7 @@ pub fn absorb_inverters(
                     continue;
                 }
                 for (slot, &input) in ins.iter().enumerate() {
-                    let Some(inv) = single_driver(nl, input, GateType::Inv, 1, &counts)
-                    else {
+                    let Some(inv) = single_driver(nl, input, GateType::Inv, 1, &counts) else {
                         continue;
                     };
                     let origin = nl.gate_inputs(inv)[0];
@@ -138,8 +132,7 @@ pub fn absorb_inverters(
             }
             GateType::Inv => {
                 let input = nl.gate_inputs(g)[0];
-                let (inner, fused) = match single_driver(nl, input, GateType::Xor, 2, &counts)
-                {
+                let (inner, fused) = match single_driver(nl, input, GateType::Xor, 2, &counts) {
                     Some(x) => (x, GateType::Xnor),
                     None => match single_driver(nl, input, GateType::Xnor, 2, &counts) {
                         Some(x) => (x, GateType::Xor),
@@ -405,6 +398,9 @@ mod tests {
         nl.add_output("y", nl.gate_output(nor));
         nl.add_output("z", nl.gate_output(and));
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(map_complex_cells(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0), 0);
+        assert_eq!(
+            map_complex_cells(&mut nl, &mut rng, CellLibrary::Lpe65, 1.0),
+            0
+        );
     }
 }

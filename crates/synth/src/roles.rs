@@ -19,10 +19,7 @@ pub fn merge_roles(a: NodeRole, b: NodeRole) -> NodeRole {
 
 /// Fold [`merge_roles`] over a list.
 pub fn merge_all(roles: &[NodeRole]) -> NodeRole {
-    roles
-        .iter()
-        .copied()
-        .fold(NodeRole::Design, merge_roles)
+    roles.iter().copied().fold(NodeRole::Design, merge_roles)
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@ use gnnunlock::core::remove_protection;
 use gnnunlock::prelude::*;
 
 fn main() {
-    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.06).generate();
+    let design = BenchmarkSpec::named("c2670")
+        .unwrap()
+        .scaled(0.06)
+        .generate();
     println!("design under test: {design}\n");
 
     // ---- Corner case: SFLL-HD with K/h = 2 (K = 16, h = 8) ----

@@ -1,0 +1,74 @@
+//! The orchestration engine end-to-end: run an Anti-SAT attack campaign
+//! as a parallel job graph, print the deterministic JSON run report,
+//! then re-run it to show the content-addressed cache at work.
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+
+use gnnunlock::gnn::{SaintConfig, TrainConfig};
+use gnnunlock::prelude::*;
+
+fn main() {
+    // A small campaign: every ISCAS-85 benchmark, Anti-SAT with two key
+    // sizes, one lock copy each.
+    let mut dataset_cfg = DatasetConfig::antisat(Suite::Iscas85, 0.03);
+    dataset_cfg.key_sizes = vec![8, 16];
+    dataset_cfg.locks_per_config = 1;
+    let attack_cfg = AttackConfig {
+        train: TrainConfig {
+            epochs: 120,
+            hidden: 48,
+            eval_every: 10,
+            patience: 0,
+            saint: SaintConfig {
+                roots: 500,
+                walk_length: 2,
+                estimation_rounds: 5,
+                seed: 7,
+            },
+            class_weighting: false,
+            ..TrainConfig::default()
+        },
+        ..AttackConfig::default()
+    };
+
+    let workers = gnnunlock::engine::default_workers();
+    println!("running campaign on {workers} workers...\n");
+    let executor = Executor::new(ExecConfig::with_workers(workers));
+    let result = run_campaign("antisat-iscas85", &dataset_cfg, &attack_cfg, &executor);
+
+    for outcome in &result.outcomes {
+        println!(
+            "{:<8} GNN acc {:.4}  post {:.4}  removal {:.0}%",
+            outcome.benchmark,
+            outcome.avg_gnn_accuracy(),
+            outcome.avg_post_accuracy(),
+            outcome.removal_success_rate() * 100.0,
+        );
+    }
+    let stats = result.run.outcome.stats;
+    println!(
+        "\njobs: {} total, {} executed, {} cache hits",
+        stats.total, stats.executed, stats.cache_hits
+    );
+
+    // The report is deterministic: same seed => byte-identical JSON on
+    // any worker count (timings are opt-in via ReportOptions).
+    let report = result.run.report(ReportOptions::default());
+    println!("\nreport excerpt:");
+    for line in report.to_json().lines().take(12) {
+        println!("  {line}");
+    }
+
+    // Re-running the identical campaign on the same executor skips every
+    // stage via the content-addressed result cache.
+    let again = run_campaign("antisat-iscas85", &dataset_cfg, &attack_cfg, &executor);
+    let stats = again.run.outcome.stats;
+    println!(
+        "\nre-run: {} executed, {} cache hits (cache stats: {:?})",
+        stats.executed,
+        stats.cache_hits,
+        executor.cache().stats()
+    );
+}

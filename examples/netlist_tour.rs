@@ -37,11 +37,17 @@ fn main() {
     // 3. Both circuit formats.
     println!("\n--- bench format ---\n{}", nl.to_bench().unwrap());
     let mapped65 = synthesize(&nl, &SynthesisConfig::new(CellLibrary::Lpe65).with_seed(1)).unwrap();
-    println!("--- structural Verilog (65nm cells) ---\n{}", mapped65.to_verilog(CellLibrary::Lpe65).unwrap());
+    println!(
+        "--- structural Verilog (65nm cells) ---\n{}",
+        mapped65.to_verilog(CellLibrary::Lpe65).unwrap()
+    );
 
     // 4. Two libraries, same function — proven by the SAT checker.
-    let mapped45 =
-        synthesize(&nl, &SynthesisConfig::new(CellLibrary::Nangate45).with_seed(2)).unwrap();
+    let mapped45 = synthesize(
+        &nl,
+        &SynthesisConfig::new(CellLibrary::Nangate45).with_seed(2),
+    )
+    .unwrap();
     println!(
         "65nm: {} gates | 45nm: {} gates",
         mapped65.num_gates(),

@@ -52,7 +52,10 @@ fn main() {
     );
 
     // 3. Per-instance results.
-    println!("\n{:<10} {:>4} {:>10} {:>10} {:>8}", "bench", "K", "GNN acc", "post acc", "removal");
+    println!(
+        "\n{:<10} {:>4} {:>10} {:>10} {:>8}",
+        "bench", "K", "GNN acc", "post acc", "removal"
+    );
     for inst in &outcome.instances {
         println!(
             "{:<10} {:>4} {:>10.4} {:>10.4} {:>8}",
@@ -67,7 +70,10 @@ fn main() {
             }
         );
         if !inst.misclassifications.is_empty() {
-            println!("           GNN misclassifications: {}", inst.misclassifications.join(", "));
+            println!(
+                "           GNN misclassifications: {}",
+                inst.misclassifications.join(", ")
+            );
         }
     }
     println!(

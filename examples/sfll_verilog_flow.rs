@@ -15,7 +15,10 @@ fn main() {
     println!("== SFLL-HD2 Verilog (65nm) flow ==\n");
 
     // 1. Lock c5315 with SFLL-HD2 and synthesize.
-    let design = BenchmarkSpec::named("c5315").unwrap().scaled(0.05).generate();
+    let design = BenchmarkSpec::named("c5315")
+        .unwrap()
+        .scaled(0.05)
+        .generate();
     println!("original: {design}");
     let mut locked = lock_sfll_hd(&design, &SfllConfig::new(12, 2, 2024)).unwrap();
     println!("locked:   {} (key = {})", locked.netlist, locked.key);
@@ -33,7 +36,10 @@ fn main() {
         "\nVerilog export: {} lines, first instance line:",
         verilog.lines().count()
     );
-    if let Some(line) = verilog.lines().find(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())) {
+    if let Some(line) = verilog
+        .lines()
+        .find(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase()))
+    {
         println!("  {}", line.trim());
     }
     let reparsed = Netlist::from_verilog(&verilog).unwrap();
@@ -69,6 +75,7 @@ fn main() {
     let inst = gnnunlock::core::LockedInstance {
         benchmark: "c5315".into(),
         key_bits: 12,
+        copy: 0,
         original: design.clone(),
         graph: netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll),
         locked,

@@ -14,7 +14,8 @@
 //! | [`sat`] | `gnnunlock-sat` | CDCL SAT solver + equivalence checking |
 //! | [`neural`] | `gnnunlock-neural` | dense NN substrate (matrices, Adam, metrics) |
 //! | [`gnn`] | `gnnunlock-gnn` | GraphSAGE + GraphSAINT node classification |
-//! | [`core`] | `gnnunlock-core` | datasets, attack pipeline, post-processing, removal |
+//! | [`engine`] | `gnnunlock-engine` | parallel campaign orchestration: job graphs, worker pool, result cache, JSON run reports |
+//! | [`core`] | `gnnunlock-core` | datasets, attack pipeline, post-processing, removal, campaign semantics |
 //! | [`baselines`] | `gnnunlock-baselines` | SPS, FALL, SFLL-HD-Unlocked, SAT attack |
 //!
 //! ## Quickstart
@@ -34,11 +35,32 @@
 //! );
 //! ```
 //!
-//! See `examples/quickstart.rs` for the full attack loop and the
-//! `gnnunlock-bench` binaries for the paper's tables.
+//! ## Campaigns
+//!
+//! Whole evaluation matrices run as parallel job graphs on the
+//! orchestration engine — same seed, byte-identical JSON report on any
+//! worker count, and a content-addressed cache that makes repeated runs
+//! skip completed stages:
+//!
+//! ```no_run
+//! use gnnunlock::prelude::*;
+//!
+//! let dataset_cfg = DatasetConfig::antisat(Suite::Iscas85, 0.05);
+//! let executor = Executor::new(ExecConfig::with_workers(4));
+//! let result = run_campaign("antisat-sweep", &dataset_cfg, &AttackConfig::default(), &executor);
+//! println!("{}", result.run.report(ReportOptions::default()).to_json());
+//! // Re-running on the same executor is ~free: every stage cache-hits.
+//! let again = run_campaign("antisat-sweep", &dataset_cfg, &AttackConfig::default(), &executor);
+//! assert_eq!(again.run.outcome.stats.executed, 0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full attack loop,
+//! `examples/campaign.rs` for the engine, and the `gnnunlock-bench`
+//! binaries for the paper's tables.
 
 pub use gnnunlock_baselines as baselines;
 pub use gnnunlock_core as core;
+pub use gnnunlock_engine as engine;
 pub use gnnunlock_gnn as gnn;
 pub use gnnunlock_locking as locking;
 pub use gnnunlock_netlist as netlist;
@@ -52,9 +74,12 @@ pub mod prelude {
         fall_attack, hd_unlocked_attack, sat_attack, sps_attack, FallStatus, HdUnlockedStatus,
     };
     pub use gnnunlock_core::{
-        aggregate, attack_all, attack_benchmark, attack_instance, postprocess,
-        remove_protection, AttackConfig, AttackOutcome, Dataset, DatasetConfig, DatasetScheme,
-        Suite,
+        aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, postprocess,
+        remove_protection, run_campaign, run_campaign_with_workers, AttackConfig, AttackOutcome,
+        CampaignResult, Dataset, DatasetConfig, DatasetScheme, Suite,
+    };
+    pub use gnnunlock_engine::{
+        CancelToken, ExecConfig, Executor, JobGraph, JobKind, ReportOptions, ResultCache, RunReport,
     };
     pub use gnnunlock_gnn::{
         evaluate, merge_graphs, netlist_to_graph, predict, train, CircuitGraph, LabelScheme,

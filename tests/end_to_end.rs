@@ -68,15 +68,25 @@ fn sfll_hd2_corner_case_end_to_end() {
     cfg.key_sizes = vec![16];
     cfg.locks_per_config = 1;
     let dataset = Dataset::generate(&cfg);
-    assert!(dataset.benchmarks().len() >= 3, "not enough feasible benchmarks");
+    assert!(
+        dataset.benchmarks().len() >= 3,
+        "not enough feasible benchmarks"
+    );
     let target = dataset.benchmarks()[0].clone();
 
     // Baselines fail.
     for inst in dataset.of_benchmark(&target) {
         let fall = fall_attack(&inst.locked.netlist, 8);
-        assert!(matches!(fall.status, FallStatus::NoKeys(_)), "FALL should fail");
+        assert!(
+            matches!(fall.status, FallStatus::NoKeys(_)),
+            "FALL should fail"
+        );
         let hd = hd_unlocked_attack(&inst.locked.netlist, 8, 3);
-        assert_ne!(hd.status, HdUnlockedStatus::Success, "HD-Unlocked should fail");
+        assert_ne!(
+            hd.status,
+            HdUnlockedStatus::Success,
+            "HD-Unlocked should fail"
+        );
     }
 
     // GNNUnlock succeeds.
@@ -93,11 +103,13 @@ fn sfll_hd2_corner_case_end_to_end() {
 #[test]
 fn recovered_design_matches_via_full_sat_cec() {
     // One instance, hand-checked end to end with the equivalence checker.
-    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+    let design = BenchmarkSpec::named("c2670")
+        .unwrap()
+        .scaled(0.03)
+        .generate();
     let locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, 99)).unwrap();
     let graph = netlist_to_graph(&locked.netlist, CellLibrary::Lpe65, LabelScheme::Sfll);
-    let recovered =
-        gnnunlock::core::remove_protection(&locked.netlist, &graph, &graph.labels);
+    let recovered = gnnunlock::core::remove_protection(&locked.netlist, &graph, &graph.labels);
     let opts = EquivOptions {
         key_b: Some(vec![false; recovered.key_inputs().len()]),
         ..Default::default()
@@ -120,7 +132,14 @@ fn caslock_extension_pipeline() {
     cfg.key_sizes = vec![8, 16];
     cfg.locks_per_config = 1;
     let dataset = Dataset::generate(&cfg);
-    let outcome = attack_benchmark(&dataset, "c7552", &fast_attack_config());
+    // The cascade blends into design logic more than Anti-SAT's wide
+    // gates; give the classifier a little more budget than the other
+    // pipeline tests so post-processing starts from fewer raw misses.
+    let mut attack_cfg = fast_attack_config();
+    attack_cfg.train.epochs = 240;
+    attack_cfg.train.hidden = 64;
+    attack_cfg.train.saint.roots = 800;
+    let outcome = attack_benchmark(&dataset, "c7552", &attack_cfg);
     // The cascade blends into design logic more than Anti-SAT's wide
     // gates, so the raw/post accuracy bar is lower; removal must still
     // verify.

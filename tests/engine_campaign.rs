@@ -1,0 +1,104 @@
+//! Integration tests of the orchestration engine against the real
+//! attack pipeline: determinism across worker counts, cache reuse across
+//! repeated campaigns, and cooperative cancellation.
+
+use gnnunlock::gnn::{SaintConfig, TrainConfig};
+use gnnunlock::prelude::*;
+
+/// A 4-benchmark Anti-SAT campaign small enough for CI.
+fn campaign_dataset_cfg() -> DatasetConfig {
+    let mut cfg = DatasetConfig::antisat(Suite::Iscas85, 0.03);
+    cfg.key_sizes = vec![8];
+    cfg.locks_per_config = 1;
+    cfg
+}
+
+fn campaign_attack_cfg() -> AttackConfig {
+    AttackConfig {
+        train: TrainConfig {
+            epochs: 60,
+            hidden: 32,
+            eval_every: 10,
+            patience: 0,
+            saint: SaintConfig {
+                roots: 300,
+                walk_length: 2,
+                estimation_rounds: 3,
+                seed: 7,
+            },
+            class_weighting: false,
+            ..TrainConfig::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+#[test]
+fn campaign_report_identical_on_1_and_4_workers() {
+    let ds = campaign_dataset_cfg();
+    let attack = campaign_attack_cfg();
+    let run1 = run_campaign_with_workers("det", &ds, &attack, 1);
+    let run4 = run_campaign_with_workers("det", &ds, &attack, 4);
+
+    // Byte-identical JSON reports: parallelism changes wall-clock only.
+    let json1 = run1.run.report(ReportOptions::default()).to_json();
+    let json4 = run4.run.report(ReportOptions::default()).to_json();
+    assert_eq!(json1, json4);
+
+    // And identical numeric outcomes across >= 3 benchmarks.
+    assert!(run1.outcomes.len() >= 3, "campaign too small");
+    assert_eq!(run1.outcomes.len(), run4.outcomes.len());
+    for (a, b) in run1.outcomes.iter().zip(&run4.outcomes) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.instances.len(), b.instances.len());
+        for (x, y) in a.instances.iter().zip(&b.instances) {
+            assert_eq!(x.gnn.accuracy(), y.gnn.accuracy());
+            assert_eq!(x.post.accuracy(), y.post.accuracy());
+            assert_eq!(x.removal_success, y.removal_success);
+        }
+    }
+}
+
+#[test]
+fn repeated_campaign_hits_the_result_cache() {
+    let ds = campaign_dataset_cfg();
+    let attack = campaign_attack_cfg();
+    let executor = Executor::new(ExecConfig::with_workers(4));
+
+    let first = run_campaign("cache", &ds, &attack, &executor);
+    assert!(first.run.outcome.all_succeeded());
+    assert_eq!(first.run.outcome.stats.cache_hits, 0);
+    assert!(first.run.outcome.stats.executed > 0);
+
+    // The repeated run skips every job; the report counters prove it.
+    let second = run_campaign("cache", &ds, &attack, &executor);
+    assert_eq!(second.run.outcome.stats.executed, 0);
+    assert_eq!(
+        second.run.outcome.stats.cache_hits,
+        second.run.outcome.stats.total
+    );
+    let report = second.run.report(ReportOptions::default()).to_json();
+    assert!(report.contains("\"cache_hits\": ") && report.contains("\"executed\": 0"));
+
+    // Same numbers out of the cache as out of the real run.
+    assert_eq!(first.outcomes.len(), second.outcomes.len());
+    for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+        assert_eq!(a.avg_gnn_accuracy(), b.avg_gnn_accuracy());
+        assert_eq!(a.removal_success_rate(), b.removal_success_rate());
+    }
+}
+
+#[test]
+fn campaign_cancellation_drains_cleanly() {
+    let ds = campaign_dataset_cfg();
+    let attack = campaign_attack_cfg();
+    let executor = Executor::new(ExecConfig::with_workers(2));
+    // Cancel before the run starts: everything must drain as cancelled,
+    // nothing may execute.
+    executor.cancel_token().cancel();
+    let result = run_campaign("cancelled", &ds, &attack, &executor);
+    let stats = result.run.outcome.stats;
+    assert_eq!(stats.executed, 0);
+    assert_eq!(stats.cancelled, stats.total);
+    assert!(result.outcomes.is_empty());
+}

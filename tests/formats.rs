@@ -6,7 +6,10 @@ use gnnunlock::prelude::*;
 
 #[test]
 fn antisat_bench_round_trip_preserves_attack_view() {
-    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+    let design = BenchmarkSpec::named("c2670")
+        .unwrap()
+        .scaled(0.03)
+        .generate();
     let locked = lock_antisat(&design, &AntiSatConfig::new(16, 5)).unwrap();
     let text = locked.netlist.to_bench().unwrap();
     let reparsed = Netlist::from_bench(locked.netlist.name(), &text).unwrap();
@@ -22,7 +25,10 @@ fn antisat_bench_round_trip_preserves_attack_view() {
 
 #[test]
 fn sfll_verilog_round_trip_on_both_libraries() {
-    let design = BenchmarkSpec::named("c3540").unwrap().scaled(0.04).generate();
+    let design = BenchmarkSpec::named("c3540")
+        .unwrap()
+        .scaled(0.04)
+        .generate();
     for (lib, seed) in [(CellLibrary::Lpe65, 1u64), (CellLibrary::Nangate45, 2u64)] {
         let mut locked = lock_sfll_hd(&design, &SfllConfig::new(10, 2, seed)).unwrap();
         locked.netlist =
@@ -51,7 +57,10 @@ fn removal_works_on_reparsed_verilog_with_transferred_labels() {
     // Parse a locked Verilog netlist (labels lost), transfer ground truth
     // by net-name matching, then remove: proves the removal path operates
     // on industry-format inputs.
-    let design = BenchmarkSpec::named("c2670").unwrap().scaled(0.03).generate();
+    let design = BenchmarkSpec::named("c2670")
+        .unwrap()
+        .scaled(0.03)
+        .generate();
     let mut locked = lock_sfll_hd(&design, &SfllConfig::new(8, 2, 11)).unwrap();
     locked.netlist = synthesize(
         &locked.netlist,
@@ -62,17 +71,18 @@ fn removal_works_on_reparsed_verilog_with_transferred_labels() {
     let mut reparsed = Netlist::from_verilog(&text).unwrap();
     // Transfer roles by driven-net name.
     for g in locked.netlist.gate_ids() {
-        let name = locked.netlist.net_name(locked.netlist.gate_output(g)).to_string();
+        let name = locked
+            .netlist
+            .net_name(locked.netlist.gate_output(g))
+            .to_string();
         // Output-renamed nets take the PO name on export.
-        let target = reparsed
-            .net_by_name(&name)
-            .or_else(|| {
-                locked
-                    .netlist
-                    .outputs()
-                    .find(|&(_, net)| net == locked.netlist.gate_output(g))
-                    .and_then(|(po, _)| reparsed.net_by_name(po))
-            });
+        let target = reparsed.net_by_name(&name).or_else(|| {
+            locked
+                .netlist
+                .outputs()
+                .find(|&(_, net)| net == locked.netlist.gate_output(g))
+                .and_then(|(po, _)| reparsed.net_by_name(po))
+        });
         if let Some(net) = target {
             if let gnnunlock::netlist::Driver::Gate(rg) = reparsed.driver(net) {
                 reparsed.set_role(rg, locked.netlist.role(g));
