@@ -6,12 +6,13 @@
 //! same instances end-to-end.
 
 use gnnunlock_baselines::{fall_attack, hd_unlocked_attack, FallStatus, HdUnlockedStatus};
-use gnnunlock_bench::{attack_config, pct, rule, scale, workers};
-use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, executor, pct, print_cache_summary, rule, scale, workers};
+use gnnunlock_core::{attack_targets_on, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
     let s = scale();
+    let exec = executor();
     println!("SECTION V-D: COMPARISON WITH STATE-OF-THE-ART ATTACKS (scale = {s})");
     println!("corner-case datasets: SFLL-HD with K/h = 2\n");
 
@@ -68,11 +69,11 @@ fn main() {
 
         // GNNUnlock on one leave-one-out target, as an engine job.
         let target = dataset.benchmarks()[0].clone();
-        let outcome = attack_targets(
+        let outcome = attack_targets_on(
             &dataset,
             std::slice::from_ref(&target),
             &attack_config(),
-            workers(),
+            &exec,
         )
         .remove(0);
         println!(
@@ -86,6 +87,7 @@ fn main() {
         rule(72);
         println!();
     }
+    print_cache_summary(&exec);
     println!("paper: FALL reported 0 keys, SFLL-HD-Unlocked failed to identify the");
     println!("perturb signals, GNNUnlock was 100% successful on all corner cases.");
 }

@@ -5,9 +5,11 @@
 //! infeasible at the current scale are skipped exactly as the paper skips
 //! c3540/K=64.
 
-use gnnunlock_bench::{rule, scale, workers};
-use gnnunlock_core::{Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{executor, print_cache_summary, rule, scale};
+use gnnunlock_core::{Dataset, DatasetConfig, DatasetSummary, Suite};
+use gnnunlock_engine::{fingerprint_fields, JobGraph, JobKind, JobValue};
 use gnnunlock_netlist::CellLibrary;
+use std::sync::Arc;
 
 fn main() {
     let s = scale();
@@ -34,20 +36,40 @@ fn main() {
     ];
     // At small scales the SFLL-HD16/32/64 datasets need large-K circuits;
     // generation silently skips infeasible benchmarks. All eleven
-    // datasets are generated concurrently on the engine's worker pool
-    // (each `Dataset::generate` additionally fans out per instance);
-    // results come back in submission order, so the table is identical
-    // for every worker count.
-    let tasks: Vec<_> = configs
+    // datasets are generated concurrently as fingerprinted engine jobs
+    // (results are indexed by job id, so the table is identical for
+    // every worker count), and with `GNNUNLOCK_CACHE_DIR` set the
+    // summaries persist — re-running the table is then a pure
+    // disk-cache read.
+    let exec = executor();
+    let mut graph = JobGraph::new();
+    let ids: Vec<_> = configs
         .iter()
         .map(|cfg| {
-            move || {
-                let ds = Dataset::generate_with(cfg, 1);
-                ds.summary()
+            let fp = fingerprint_fields(&["dataset-summary", &format!("{cfg:?}")]);
+            graph.add(
+                format!("summary/{}/{}", cfg.scheme.name(), cfg.suite.name()),
+                JobKind::Custom("summary"),
+                Some(fp),
+                vec![],
+                move |_| Ok(Arc::new(Dataset::generate_with(cfg, 1).summary()) as JobValue),
+            )
+        })
+        .collect();
+    let out = exec.run(graph);
+    let summaries: Vec<DatasetSummary> = ids
+        .iter()
+        .map(|&id| match out.value::<DatasetSummary>(id) {
+            Some(summary) => summary.as_ref().clone(),
+            None => {
+                let rec = &out.records[id.index()];
+                panic!(
+                    "summary job '{}' did not succeed: {:?}",
+                    rec.label, rec.status
+                );
             }
         })
         .collect();
-    let summaries = gnnunlock_engine::run_ordered(workers(), tasks);
     for (cfg, sum) in configs.iter().zip(summaries) {
         let name = match cfg.scheme {
             gnnunlock_core::DatasetScheme::SfllHd(h) if h >= 16 => {
@@ -61,6 +83,7 @@ fn main() {
         );
     }
     rule(80);
+    print_cache_summary(&exec);
     println!("paper reference shapes: |f| = 13 (bench), 34 (65nm), 18 (45nm);");
     println!("#classes = 2 (Anti-SAT), 3 (TTLock / SFLL-HD).");
 }

@@ -5,12 +5,13 @@
 //! recall / F1 (AN and DN), misclassified-node count and removal success.
 //! Set `GNNUNLOCK_FULL=1` to attack all benchmarks (one training each).
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
-use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, executor, full_sweep, pct, print_cache_summary, rule, scale};
+use gnnunlock_core::{attack_targets_on, Dataset, DatasetConfig, Suite};
 
 fn main() {
     let s = scale();
     let cfg = attack_config();
+    let exec = executor();
     println!("TABLE IV. RESULTS OF GNNUNLOCK ON ANTI-SAT (scale = {s})\n");
     println!(
         "{:<8} {:>7} {:>8} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>4} {:>8}",
@@ -42,7 +43,7 @@ fn main() {
         };
         // One leave-one-out training per target, run as parallel engine
         // jobs (deterministic: results arrive in target order).
-        for outcome in attack_targets(&dataset, &targets, &cfg, workers()) {
+        for outcome in attack_targets_on(&dataset, &targets, &cfg, &exec) {
             let target = outcome.benchmark.clone();
             // Pool the per-instance confusion counts (paper reports
             // per-benchmark aggregates over its locked graphs).
@@ -74,6 +75,7 @@ fn main() {
         }
         rule(100);
     }
+    print_cache_summary(&exec);
     println!("paper shape: GNN accuracy 99.98–100%, ≤3 misclassified nodes per");
     println!("benchmark, 100% removal success after post-processing.");
     if !full_sweep() {

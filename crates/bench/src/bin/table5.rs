@@ -5,13 +5,14 @@
 //!
 //! Set `GNNUNLOCK_FULL=1` to attack all benchmarks.
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
-use gnnunlock_core::{attack_targets, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, executor, full_sweep, pct, print_cache_summary, rule, scale};
+use gnnunlock_core::{attack_targets_on, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
     let s = scale();
     let cfg = attack_config();
+    let exec = executor();
     println!("TABLE V. RESULTS OF GNNUNLOCK ON SFLL-HD2 (65nm, scale = {s})\n");
     println!(
         "{:<8} {:>7} {:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>8}",
@@ -46,7 +47,7 @@ fn main() {
             ]
         };
         // Engine-parallel leave-one-out attacks, one job per target.
-        for outcome in attack_targets(&dataset, &targets, &cfg, workers()) {
+        for outcome in attack_targets_on(&dataset, &targets, &cfg, &exec) {
             let target = outcome.benchmark.clone();
             let inst = &outcome.instances;
             let avg = |f: &dyn Fn(&gnnunlock_neural::Metrics) -> f64| -> f64 {
@@ -78,6 +79,7 @@ fn main() {
         }
         rule(112);
     }
+    print_cache_summary(&exec);
     println!("paper shape: GNN accuracy 99.53–100%, restore predictor strongest,");
     println!("PN/DN separation hardest, 100% removal after post-processing.");
     if !full_sweep() {

@@ -5,13 +5,14 @@
 //! Default: one leave-one-out target per dataset; `GNNUNLOCK_FULL=1`
 //! attacks every benchmark of every dataset (the paper's full protocol).
 
-use gnnunlock_bench::{attack_config, full_sweep, pct, rule, scale, workers};
-use gnnunlock_core::{aggregate, attack_targets, Dataset, DatasetConfig, Suite};
+use gnnunlock_bench::{attack_config, executor, full_sweep, pct, print_cache_summary, rule, scale};
+use gnnunlock_core::{aggregate, attack_targets_on, Dataset, DatasetConfig, Suite};
 use gnnunlock_netlist::CellLibrary;
 
 fn main() {
     let s = scale();
     let cfg = attack_config();
+    let exec = executor();
     println!("TABLE VI. EFFECT OF h VALUE AND TECHNOLOGY NODE (scale = {s})\n");
     println!(
         "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>10}",
@@ -67,7 +68,7 @@ fn main() {
         } else {
             vec![dataset.benchmarks()[0].clone()]
         };
-        let outcomes = attack_targets(&dataset, &targets, &cfg, workers());
+        let outcomes = attack_targets_on(&dataset, &targets, &cfg, &exec);
         let row = aggregate(name, &outcomes);
         println!(
             "{:<12} {:<10} {:>5} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9.1}s",
@@ -83,6 +84,7 @@ fn main() {
         );
     }
     rule(92);
+    print_cache_summary(&exec);
     println!("paper shape: 99.24–99.97% GNN accuracy across h and libraries,");
     println!("100% removal everywhere, including the K/h = 2 corner cases that");
     println!("defeat FALL and SFLL-HD-Unlocked.");

@@ -11,8 +11,11 @@
 //! | `GNNUNLOCK_ROOTS` | `1000` | GraphSAINT walk roots (paper: 3000) |
 //! | `GNNUNLOCK_FULL` | unset | set to `1` to attack every benchmark instead of a representative subset |
 //! | `GNNUNLOCK_WORKERS` | #cpus | engine worker threads (affects wall-clock only, never results) |
+//! | `GNNUNLOCK_CACHE_DIR` | unset | persistent result-cache directory; repeated/parallel invocations skip completed work (never changes results) |
+//! | `GNNUNLOCK_EVENTS` | unset | stream per-job JSONL events to this file while the binary runs |
 
 use gnnunlock_core::{AttackConfig, AttackOutcome};
+use gnnunlock_engine::{ExecConfig, Executor};
 use gnnunlock_gnn::{SaintConfig, TrainConfig};
 
 /// Benchmark scale factor from the environment.
@@ -31,6 +34,45 @@ pub fn full_sweep() -> bool {
 /// parallelism). Parallelism never changes results — only wall-clock.
 pub fn workers() -> usize {
     gnnunlock_engine::default_workers()
+}
+
+/// The executor every table binary routes its engine jobs through:
+/// [`workers()`] threads, plus — when `GNNUNLOCK_CACHE_DIR` /
+/// `GNNUNLOCK_EVENTS` are set — a disk-backed result cache shared
+/// across invocations and a streaming JSONL event log. Neither knob
+/// ever changes results, only where they come from and what is
+/// observable while they compute.
+///
+/// Misconfigured persistence (unwritable directory, schema-version
+/// mismatch) aborts with the underlying error rather than silently
+/// running uncached.
+pub fn executor() -> Executor {
+    match gnnunlock_core::executor_from_env(ExecConfig::with_workers(workers())) {
+        Ok(executor) => {
+            if let Some(dir) = gnnunlock_core::cache_dir_from_env() {
+                eprintln!("[gnnunlock] result cache: {}", dir.display());
+            }
+            if let Some(path) = gnnunlock_core::events_path_from_env() {
+                eprintln!("[gnnunlock] event log:    {}", path.display());
+            }
+            executor
+        }
+        Err(e) => panic!("persistence knobs misconfigured: {e}"),
+    }
+}
+
+/// Print a one-line cache summary after a run when a persistent cache
+/// is active (how much work the shared directory saved).
+pub fn print_cache_summary(executor: &Executor) {
+    if let Some(store) = executor.cache().store() {
+        let cache = executor.cache().stats();
+        let disk = store.stats();
+        eprintln!(
+            "[gnnunlock] cache: {} memory hits, {} disk hits, {} misses; \
+             store: {} saved, {} evicted-corrupt",
+            cache.hits, cache.disk_hits, cache.misses, disk.saves, disk.evictions
+        );
+    }
 }
 
 /// Attack configuration from the environment knobs.

@@ -16,16 +16,20 @@
 //! `cache_hits` in the report counters).
 
 use crate::dataset::{finish_instance, lock_instance, Dataset, DatasetConfig, LockedInstance};
+use crate::persist::{PipelineCodec, TrainValue};
 use crate::pipeline::{
     classify_instance, verify_instance, AttackConfig, AttackOutcome, InstanceOutcome,
 };
 use gnnunlock_engine::{
-    fingerprint_fields, Campaign, CampaignRun, CampaignRunner, ExecConfig, Executor, JobCtx,
-    JobKind, JobOutput, JobValue, StageJob,
+    fingerprint_fields, Campaign, CampaignRun, CampaignRunner, DiskStore, EventLog, ExecConfig,
+    Executor, JobCtx, JobKind, JobOutput, JobValue, ResultCache, ResumeInfo, StageJob, ValueCodec,
+    CACHE_DIR_ENV, EVENTS_ENV,
 };
-use gnnunlock_gnn::{train, SageModel, TrainReport};
+use gnnunlock_gnn::train;
 use gnnunlock_locking::LockedCircuit;
 use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Output of the lock / synth stages: one (possibly infeasible) shard of
@@ -39,10 +43,6 @@ enum Shard {
     /// Fully assembled instance.
     Done(Box<LockedInstance>),
 }
-
-/// A trained model for one leave-one-out target (`None` when the target
-/// has no feasible instances or the split would be degenerate).
-type TrainValue = Option<(SageModel, TrainReport)>;
 
 /// Attack-stage artifact: the classification outcome plus what the
 /// verify stage needs.
@@ -218,13 +218,20 @@ impl<'a> AttackCampaignRunner<'a> {
 
 impl CampaignRunner for AttackCampaignRunner<'_> {
     fn config_salt(&self) -> u64 {
-        // Debug formatting covers every field of both configs; stable
-        // within a process, which matches the in-memory cache lifetime.
+        // Debug formatting covers every field of both configs and is a
+        // pure function of the values, so the salt — and therefore every
+        // cache key — is stable across processes sharing a cache
+        // directory. (A rustc change to derived Debug output would only
+        // cost a cache miss, never a false hit.)
         fingerprint_fields(&[
             &format!("{:?}", self.dataset),
             &format!("{:?}", self.attack.train),
             &format!("{}{}", self.attack.postprocess, self.attack.verify),
         ])
+    }
+
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        Some(Arc::new(PipelineCodec))
     }
 
     fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
@@ -326,6 +333,99 @@ pub fn run_campaign_with_workers(
         attack,
         &Executor::new(ExecConfig::with_workers(workers)),
     )
+}
+
+fn collect_outcomes(dataset: &DatasetConfig, run: CampaignRun) -> CampaignResult {
+    let outcomes = run
+        .aggregate::<Vec<AttackOutcome>>(&campaign_scheme_tag(dataset))
+        .map(|a| a.as_ref().clone())
+        .unwrap_or_default();
+    CampaignResult { outcomes, run }
+}
+
+/// [`run_campaign`] with persistence rooted at `dir`: trained models
+/// and attack outcomes are written to the engine's versioned
+/// content-addressed store (via [`PipelineCodec`]) and every job
+/// transition streams to `dir/events.jsonl`. A later process pointed at
+/// the same directory — or the same process after a crash, via
+/// [`resume_campaign`] — skips all persisted stages and produces a
+/// byte-identical default report.
+///
+/// # Errors
+///
+/// Fails when the store cannot be opened (including a schema-version
+/// mismatch) or the event log cannot be created.
+pub fn run_campaign_persistent(
+    name: &str,
+    dataset: &DatasetConfig,
+    attack: &AttackConfig,
+    cfg: ExecConfig,
+    dir: &Path,
+) -> io::Result<CampaignResult> {
+    let campaign = campaign_for(name, dataset, attack);
+    let runner = AttackCampaignRunner::new(dataset, attack);
+    let run = campaign.execute_persistent(&runner, cfg, dir)?;
+    Ok(collect_outcomes(dataset, run))
+}
+
+/// Resume an interrupted [`run_campaign_persistent`] from `dir`:
+/// replays the event log (validating it belongs to this campaign
+/// shape), serves persisted stages from the store, recomputes the rest
+/// deterministically, and appends to the event log.
+///
+/// # Errors
+///
+/// Fails when the event log was written by a differently-shaped
+/// campaign, or on store/log I/O errors.
+pub fn resume_campaign(
+    name: &str,
+    dataset: &DatasetConfig,
+    attack: &AttackConfig,
+    cfg: ExecConfig,
+    dir: &Path,
+) -> io::Result<(CampaignResult, ResumeInfo)> {
+    let campaign = campaign_for(name, dataset, attack);
+    let runner = AttackCampaignRunner::new(dataset, attack);
+    let (run, info) = campaign.resume(&runner, cfg, dir)?;
+    Ok((collect_outcomes(dataset, run), info))
+}
+
+/// The shared cache directory named by `GNNUNLOCK_CACHE_DIR`, if set.
+pub fn cache_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os(CACHE_DIR_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// The event-log path named by `GNNUNLOCK_EVENTS`, if set.
+pub fn events_path_from_env() -> Option<PathBuf> {
+    std::env::var_os(EVENTS_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// An executor honoring the persistence environment knobs: with
+/// `GNNUNLOCK_CACHE_DIR` set, its result cache is backed by the on-disk
+/// store in that directory (encoded via [`PipelineCodec`], shared
+/// across processes); with `GNNUNLOCK_EVENTS` set, job events stream to
+/// that JSONL file (truncating a previous log). The bench binaries
+/// route every engine run through this.
+///
+/// # Errors
+///
+/// Fails when the store cannot be opened or the event log cannot be
+/// created.
+pub fn executor_from_env(cfg: ExecConfig) -> io::Result<Executor> {
+    let mut executor = Executor::new(cfg);
+    if let Some(dir) = cache_dir_from_env() {
+        let store = Arc::new(DiskStore::open(&dir)?);
+        let cache = ResultCache::with_disk(store, Arc::new(PipelineCodec));
+        executor = executor.with_cache(Arc::new(cache));
+    }
+    if let Some(path) = events_path_from_env() {
+        executor = executor.with_events(Arc::new(EventLog::create(&path)?));
+    }
+    Ok(executor)
 }
 
 #[cfg(test)]

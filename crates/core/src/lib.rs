@@ -30,18 +30,21 @@
 
 mod campaign;
 mod dataset;
+mod persist;
 mod pipeline;
 mod postprocess;
 mod removal;
 
 pub use campaign::{
-    campaign_for, campaign_scheme_tag, run_campaign, run_campaign_with_workers,
+    cache_dir_from_env, campaign_for, campaign_scheme_tag, events_path_from_env, executor_from_env,
+    resume_campaign, run_campaign, run_campaign_persistent, run_campaign_with_workers,
     AttackCampaignRunner, CampaignResult,
 };
 pub use dataset::{Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite};
+pub use persist::{PipelineCodec, TrainValue};
 pub use pipeline::{
-    aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, classify_instance,
-    verify_instance, AggregateRow, AttackConfig, AttackOutcome, InstanceOutcome,
+    aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, attack_targets_on,
+    classify_instance, verify_instance, AggregateRow, AttackConfig, AttackOutcome, InstanceOutcome,
 };
 pub use postprocess::{postprocess, postprocess_antisat, postprocess_sfll};
 pub use removal::remove_protection;

@@ -1,0 +1,446 @@
+//! On-disk serialization of pipeline artifacts.
+//!
+//! [`PipelineCodec`] is the [`ValueCodec`] GNNUnlock campaigns hand to
+//! the engine's persistence layer. It covers the stages whose outputs
+//! are self-contained and expensive to recompute:
+//!
+//! | job kind | concrete value | payload tag |
+//! |---|---|---|
+//! | `Train` | `Option<(SageModel, TrainReport)>` | `train-v1` |
+//! | `Verify` | `Option<InstanceOutcome>` | `verify-v1` |
+//! | `Aggregate` | `Vec<AttackOutcome>` | `aggregate-v1` |
+//! | `Attack` (whole-benchmark jobs) | `AttackOutcome` | `attack-outcome-v1` |
+//! | `Custom("summary")` | `DatasetSummary` | `summary-v1` |
+//!
+//! Lock / synth / dataset shards and per-instance attack artifacts hold
+//! whole netlists and graphs; they are cheap to regenerate
+//! deterministically and are deliberately *not* persisted — the codec
+//! declines them, and cold processes recompute those stages while
+//! loading trained models and outcomes from the store.
+//!
+//! Every payload starts with a type tag, so one cache directory can be
+//! shared by different pipelines routing different value types through
+//! the same `JobKind` (campaign attack artifacts vs. whole-benchmark
+//! attack outcomes): `decode` dispatches on the tag and treats anything
+//! unrecognized as a miss. Floats are serialized as raw bits, so a
+//! decoded value is bit-exact — warm runs reproduce cold-run reports
+//! byte for byte.
+
+use crate::dataset::DatasetSummary;
+use crate::pipeline::{AttackOutcome, InstanceOutcome};
+use gnnunlock_engine::{ByteReader, ByteWriter, JobKind, JobValue, ValueCodec};
+use gnnunlock_gnn::{ModelConfig, SageModel, TrainReport};
+use gnnunlock_neural::{Linear, Matrix, Metrics};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A trained model for one leave-one-out target (`None` when the target
+/// has no feasible instances or the split would be degenerate). This is
+/// the campaign train stage's value type.
+pub type TrainValue = Option<(SageModel, TrainReport)>;
+
+const TAG_TRAIN: &str = "train-v1";
+const TAG_VERIFY: &str = "verify-v1";
+const TAG_AGGREGATE: &str = "aggregate-v1";
+const TAG_ATTACK_OUTCOME: &str = "attack-outcome-v1";
+const TAG_SUMMARY: &str = "summary-v1";
+
+/// Serialization of GNNUnlock pipeline artifacts for the engine's
+/// on-disk result store.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PipelineCodec;
+
+impl ValueCodec for PipelineCodec {
+    fn encode(&self, kind: JobKind, value: &JobValue) -> Option<Vec<u8>> {
+        let mut w = ByteWriter::new();
+        match kind {
+            JobKind::Train => {
+                let v = value.downcast_ref::<TrainValue>()?;
+                w.str(TAG_TRAIN);
+                match v {
+                    None => w.bool(false),
+                    Some((model, report)) => {
+                        w.bool(true);
+                        write_model(&mut w, model);
+                        write_train_report(&mut w, report);
+                    }
+                }
+            }
+            JobKind::Verify => {
+                let v = value.downcast_ref::<Option<InstanceOutcome>>()?;
+                w.str(TAG_VERIFY);
+                match v {
+                    None => w.bool(false),
+                    Some(outcome) => {
+                        w.bool(true);
+                        write_instance_outcome(&mut w, outcome);
+                    }
+                }
+            }
+            JobKind::Aggregate => {
+                let v = value.downcast_ref::<Vec<AttackOutcome>>()?;
+                w.str(TAG_AGGREGATE);
+                w.usize(v.len());
+                for outcome in v {
+                    write_attack_outcome(&mut w, outcome);
+                }
+            }
+            JobKind::Attack => {
+                // Whole-benchmark attack jobs (attack_targets) carry an
+                // AttackOutcome; campaign per-instance artifacts hold an
+                // Arc to the full dataset and are declined.
+                let v = value.downcast_ref::<AttackOutcome>()?;
+                w.str(TAG_ATTACK_OUTCOME);
+                write_attack_outcome(&mut w, v);
+            }
+            JobKind::Custom("summary") => {
+                let v = value.downcast_ref::<DatasetSummary>()?;
+                w.str(TAG_SUMMARY);
+                write_summary(&mut w, v);
+            }
+            _ => return None,
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode(&self, kind: JobKind, bytes: &[u8]) -> Option<JobValue> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.str()?;
+        let value: JobValue = match (kind, tag.as_str()) {
+            (JobKind::Train, TAG_TRAIN) => {
+                let v: TrainValue = if r.bool()? {
+                    Some((read_model(&mut r)?, read_train_report(&mut r)?))
+                } else {
+                    None
+                };
+                Arc::new(v)
+            }
+            (JobKind::Verify, TAG_VERIFY) => {
+                let v: Option<InstanceOutcome> = if r.bool()? {
+                    Some(read_instance_outcome(&mut r)?)
+                } else {
+                    None
+                };
+                Arc::new(v)
+            }
+            (JobKind::Aggregate, TAG_AGGREGATE) => {
+                let n = r.usize()?;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(read_attack_outcome(&mut r)?);
+                }
+                Arc::new(v)
+            }
+            (JobKind::Attack, TAG_ATTACK_OUTCOME) => Arc::new(read_attack_outcome(&mut r)?),
+            (JobKind::Custom("summary"), TAG_SUMMARY) => Arc::new(read_summary(&mut r)?),
+            _ => return None,
+        };
+        r.is_exhausted().then_some(value)
+    }
+}
+
+fn write_matrix(w: &mut ByteWriter, m: &Matrix) {
+    w.usize(m.rows());
+    w.usize(m.cols());
+    for &x in m.data() {
+        w.f32(x);
+    }
+}
+
+fn read_matrix(r: &mut ByteReader<'_>) -> Option<Matrix> {
+    let rows = r.usize()?;
+    let cols = r.usize()?;
+    let n = rows.checked_mul(cols)?;
+    let mut data = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        data.push(r.f32()?);
+    }
+    Some(Matrix::from_vec(rows, cols, data))
+}
+
+fn write_linear(w: &mut ByteWriter, l: &Linear) {
+    write_matrix(w, &l.weight);
+    w.usize(l.bias.len());
+    for &b in &l.bias {
+        w.f32(b);
+    }
+}
+
+fn read_linear(r: &mut ByteReader<'_>) -> Option<Linear> {
+    let weight = read_matrix(r)?;
+    let n = r.usize()?;
+    let mut bias = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        bias.push(r.f32()?);
+    }
+    Some(Linear { weight, bias })
+}
+
+fn write_model(w: &mut ByteWriter, m: &SageModel) {
+    w.usize(m.config.feature_len);
+    w.usize(m.config.hidden);
+    w.usize(m.config.classes);
+    w.f64(m.config.dropout);
+    w.u64(m.config.seed);
+    for layer in m.parts() {
+        write_linear(w, layer);
+    }
+}
+
+fn read_model(r: &mut ByteReader<'_>) -> Option<SageModel> {
+    let config = ModelConfig {
+        feature_len: r.usize()?,
+        hidden: r.usize()?,
+        classes: r.usize()?,
+        dropout: r.f64()?,
+        seed: r.u64()?,
+    };
+    let encoder = read_linear(r)?;
+    let layer1 = read_linear(r)?;
+    let layer2 = read_linear(r)?;
+    let head = read_linear(r)?;
+    // Shape-check before from_parts so a corrupt payload decodes to a
+    // miss instead of panicking inside the assertion.
+    let h = config.hidden;
+    let shapes_ok = encoder.in_dim() == config.feature_len
+        && encoder.out_dim() == h
+        && layer1.in_dim() == 2 * h
+        && layer1.out_dim() == h
+        && layer2.in_dim() == 2 * h
+        && layer2.out_dim() == h
+        && head.in_dim() == h
+        && head.out_dim() == config.classes;
+    shapes_ok.then(|| SageModel::from_parts(config, encoder, layer1, layer2, head))
+}
+
+fn write_train_report(w: &mut ByteWriter, r: &TrainReport) {
+    w.f64(r.best_val_accuracy);
+    w.usize(r.epochs_run);
+    w.f64(r.train_time.as_secs_f64());
+    w.usize(r.history.len());
+    for &(epoch, loss, acc) in &r.history {
+        w.usize(epoch);
+        w.f32(loss);
+        w.f64(acc);
+    }
+}
+
+fn read_train_report(r: &mut ByteReader<'_>) -> Option<TrainReport> {
+    let best_val_accuracy = r.f64()?;
+    let epochs_run = r.usize()?;
+    // try_from_secs_f64 rejects NaN, infinities, negatives AND
+    // over-range finite values — a malformed duration field must decode
+    // to a miss, never panic.
+    let train_time = Duration::try_from_secs_f64(r.f64()?).ok()?;
+    let n = r.usize()?;
+    let mut history = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        history.push((r.usize()?, r.f32()?, r.f64()?));
+    }
+    Some(TrainReport {
+        best_val_accuracy,
+        epochs_run,
+        train_time,
+        history,
+    })
+}
+
+fn write_metrics(w: &mut ByteWriter, m: &Metrics) {
+    let k = m.num_classes();
+    w.usize(k);
+    for l in 0..k {
+        for p in 0..k {
+            w.usize(m.count(l, p));
+        }
+    }
+}
+
+fn read_metrics(r: &mut ByteReader<'_>) -> Option<Metrics> {
+    let k = r.usize()?;
+    if k > 64 {
+        return None;
+    }
+    let mut confusion = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut row = Vec::with_capacity(k);
+        for _ in 0..k {
+            row.push(r.usize()?);
+        }
+        confusion.push(row);
+    }
+    Some(Metrics::from_confusion(confusion))
+}
+
+fn write_instance_outcome(w: &mut ByteWriter, o: &InstanceOutcome) {
+    w.str(&o.benchmark);
+    w.usize(o.key_bits);
+    write_metrics(w, &o.gnn);
+    write_metrics(w, &o.post);
+    match o.removal_success {
+        None => w.u8(2),
+        Some(false) => w.u8(0),
+        Some(true) => w.u8(1),
+    }
+    w.usize(o.misclassifications.len());
+    for s in &o.misclassifications {
+        w.str(s);
+    }
+}
+
+fn read_instance_outcome(r: &mut ByteReader<'_>) -> Option<InstanceOutcome> {
+    let benchmark = r.str()?;
+    let key_bits = r.usize()?;
+    let gnn = read_metrics(r)?;
+    let post = read_metrics(r)?;
+    let removal_success = match r.u8()? {
+        0 => Some(false),
+        1 => Some(true),
+        2 => None,
+        _ => return None,
+    };
+    let n = r.usize()?;
+    let mut misclassifications = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        misclassifications.push(r.str()?);
+    }
+    Some(InstanceOutcome {
+        benchmark,
+        key_bits,
+        gnn,
+        post,
+        removal_success,
+        misclassifications,
+    })
+}
+
+fn write_attack_outcome(w: &mut ByteWriter, o: &AttackOutcome) {
+    w.str(&o.benchmark);
+    w.usize(o.instances.len());
+    for inst in &o.instances {
+        write_instance_outcome(w, inst);
+    }
+    write_train_report(w, &o.train_report);
+}
+
+fn read_attack_outcome(r: &mut ByteReader<'_>) -> Option<AttackOutcome> {
+    let benchmark = r.str()?;
+    let n = r.usize()?;
+    let mut instances = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        instances.push(read_instance_outcome(r)?);
+    }
+    let train_report = read_train_report(r)?;
+    Some(AttackOutcome {
+        benchmark,
+        instances,
+        train_report,
+    })
+}
+
+fn write_summary(w: &mut ByteWriter, s: &DatasetSummary) {
+    w.str(&s.name);
+    w.str(&s.benchmarks);
+    w.str(&s.format);
+    w.usize(s.classes);
+    w.usize(s.feature_len);
+    w.usize(s.nodes);
+    w.usize(s.circuits);
+}
+
+fn read_summary(r: &mut ByteReader<'_>) -> Option<DatasetSummary> {
+    Some(DatasetSummary {
+        name: r.str()?,
+        benchmarks: r.str()?,
+        format: r.str()?,
+        classes: r.usize()?,
+        feature_len: r.usize()?,
+        nodes: r.usize()?,
+        circuits: r.usize()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_neural::Metrics;
+
+    fn sample_outcome() -> AttackOutcome {
+        let gnn = Metrics::from_predictions(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        let post = Metrics::from_predictions(&[0, 1, 2, 2], &[0, 1, 2, 2], 3);
+        AttackOutcome {
+            benchmark: "c7552".into(),
+            instances: vec![InstanceOutcome {
+                benchmark: "c7552".into(),
+                key_bits: 16,
+                gnn,
+                post,
+                removal_success: Some(true),
+                misclassifications: vec!["1 DN as PN".into()],
+            }],
+            train_report: TrainReport {
+                best_val_accuracy: 0.9875,
+                epochs_run: 120,
+                train_time: Duration::from_secs_f64(1.25),
+                history: vec![(10, 0.5, 0.9), (20, 0.25, 0.9875)],
+            },
+        }
+    }
+
+    #[test]
+    fn attack_outcome_round_trips() {
+        let codec = PipelineCodec;
+        let value: JobValue = Arc::new(sample_outcome());
+        let bytes = codec.encode(JobKind::Attack, &value).expect("encodable");
+        let back = codec.decode(JobKind::Attack, &bytes).expect("decodable");
+        let back = back.downcast_ref::<AttackOutcome>().unwrap();
+        let orig = sample_outcome();
+        assert_eq!(back.benchmark, orig.benchmark);
+        assert_eq!(back.instances.len(), 1);
+        assert_eq!(back.instances[0].gnn, orig.instances[0].gnn);
+        assert_eq!(back.instances[0].removal_success, Some(true));
+        assert_eq!(back.train_report.history, orig.train_report.history);
+        assert_eq!(back.train_report.train_time, orig.train_report.train_time);
+    }
+
+    #[test]
+    fn trained_model_round_trips_bit_exact() {
+        let codec = PipelineCodec;
+        let model = SageModel::new(ModelConfig::new(13, 8, 3));
+        let report = sample_outcome().train_report;
+        let value: JobValue = Arc::new(Some((model.clone(), report)) as TrainValue);
+        let bytes = codec.encode(JobKind::Train, &value).expect("encodable");
+        let back = codec.decode(JobKind::Train, &bytes).expect("decodable");
+        let back = back.downcast_ref::<TrainValue>().unwrap().as_ref().unwrap();
+        for (a, b) in model.parts().iter().zip(back.0.parts()) {
+            assert_eq!(a.weight.data(), b.weight.data());
+            assert_eq!(a.bias, b.bias);
+        }
+        assert_eq!(back.0.config.seed, model.config.seed);
+        // The infeasible-target case round-trips too.
+        let none: JobValue = Arc::new(None as TrainValue);
+        let bytes = codec.encode(JobKind::Train, &none).unwrap();
+        let back = codec.decode(JobKind::Train, &bytes).unwrap();
+        assert!(back.downcast_ref::<TrainValue>().unwrap().is_none());
+    }
+
+    #[test]
+    fn alien_payloads_decode_to_none() {
+        let codec = PipelineCodec;
+        // Wrong kind for the tag.
+        let value: JobValue = Arc::new(sample_outcome());
+        let bytes = codec.encode(JobKind::Attack, &value).unwrap();
+        assert!(codec.decode(JobKind::Train, &bytes).is_none());
+        // Truncated payload.
+        assert!(codec
+            .decode(JobKind::Attack, &bytes[..bytes.len() - 3])
+            .is_none());
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(codec.decode(JobKind::Attack, &extended).is_none());
+        // Values the codec does not cover are declined on encode.
+        let shard: JobValue = Arc::new(42u64);
+        assert!(codec.encode(JobKind::Lock, &shard).is_none());
+        assert!(codec.encode(JobKind::Attack, &shard).is_none());
+    }
+}

@@ -211,40 +211,56 @@ fn taxonomy(preds: &[usize], graph: &gnnunlock_gnn::CircuitGraph) -> Vec<String>
     out
 }
 
-/// Run [`attack_benchmark`] for each of `targets` as jobs on the engine
-/// executor — one leave-one-out training per target, up to `workers` in
-/// flight. Results come back in `targets` order and are identical for
-/// every worker count (training, post-processing and SAT verification
-/// are all deterministic per seed).
+/// Run [`attack_benchmark`] for each of `targets` as jobs on `executor`
+/// — one leave-one-out training per target. Results come back in
+/// `targets` order and are identical for every worker count (training,
+/// post-processing and SAT verification are all deterministic per
+/// seed).
+///
+/// Each job is fingerprinted over the full dataset + attack
+/// configuration and the target name, so an executor whose cache is
+/// shared — in-process, or across processes via a disk-backed cache
+/// (see [`crate::executor_from_env`]) — skips targets that were already
+/// attacked anywhere with the identical configuration. (The
+/// fingerprint derives from `dataset.config`, which fully determines
+/// the instances when the dataset came from [`Dataset::generate`] —
+/// hand-modified instance lists would alias, so don't cache those.)
 ///
 /// # Panics
 ///
 /// Panics (with the underlying job's failure message — e.g.
 /// `attack_benchmark`'s "empty training set" on a dataset with fewer
 /// than three feasible benchmarks) if any target's attack fails.
-pub fn attack_targets(
+pub fn attack_targets_on(
     dataset: &Dataset,
     targets: &[String],
     cfg: &AttackConfig,
-    workers: usize,
+    executor: &gnnunlock_engine::Executor,
 ) -> Vec<AttackOutcome> {
-    use gnnunlock_engine::{ExecConfig, Executor, JobGraph, JobKind, JobValue};
+    use gnnunlock_engine::{fingerprint_fields, JobGraph, JobKind, JobValue};
     use std::sync::Arc;
 
     let mut graph = JobGraph::new();
     let ids: Vec<_> = targets
         .iter()
         .map(|b| {
+            let fp = fingerprint_fields(&[
+                "attack-benchmark",
+                &format!("{:?}", dataset.config),
+                &format!("{:?}", cfg.train),
+                &format!("{}{}", cfg.postprocess, cfg.verify),
+                b,
+            ]);
             graph.add(
                 format!("attack/{}/{b}", dataset.config.scheme.name()),
                 JobKind::Attack,
-                None,
+                Some(fp),
                 vec![],
                 move |_ctx| Ok(Arc::new(attack_benchmark(dataset, b, cfg)) as JobValue),
             )
         })
         .collect();
-    let out = Executor::new(ExecConfig::with_workers(workers)).run(graph);
+    let out = executor.run(graph);
     ids.iter()
         .map(|&id| match out.value::<AttackOutcome>(id) {
             Some(v) => v.as_ref().clone(),
@@ -257,6 +273,22 @@ pub fn attack_targets(
             }
         })
         .collect()
+}
+
+/// [`attack_targets_on`] on a fresh executor with `workers` threads.
+pub fn attack_targets(
+    dataset: &Dataset,
+    targets: &[String],
+    cfg: &AttackConfig,
+    workers: usize,
+) -> Vec<AttackOutcome> {
+    use gnnunlock_engine::{ExecConfig, Executor};
+    attack_targets_on(
+        dataset,
+        targets,
+        cfg,
+        &Executor::new(ExecConfig::with_workers(workers)),
+    )
 }
 
 /// Convenience: run [`attack_benchmark`] over every benchmark of a

@@ -13,9 +13,15 @@
 //! depend only on the campaign spec, so one campaign run on 1 worker and
 //! one on 16 produce byte-identical [`crate::RunReport`]s.
 
-use crate::exec::{Executor, RunOutcome};
+use crate::cache::ResultCache;
+use crate::codec::ValueCodec;
+use crate::events::{Event, EventLog, EVENTS_FILE};
+use crate::exec::{ExecConfig, Executor, RunOutcome};
 use crate::graph::{fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput};
 use crate::report::{ReportOptions, RunReport};
+use crate::store::DiskStore;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One planned unit of campaign work, interpreted by a
@@ -78,6 +84,15 @@ pub trait CampaignRunner: Sync {
     /// Configuration identity mixed into every job fingerprint.
     fn config_salt(&self) -> u64 {
         0
+    }
+
+    /// The codec used to persist this runner's stage outputs on disk
+    /// ([`Campaign::execute_persistent`] / [`Campaign::resume`]).
+    /// `None` (the default) keeps results in memory only; persistent
+    /// runs still stream events and write the version-gated store
+    /// directory, but every job recomputes in a fresh process.
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        None
     }
 
     /// Execute one stage job.
@@ -265,8 +280,10 @@ impl Campaign {
     /// dependency list. Mixed into job fingerprints so two
     /// differently-shaped campaigns sharing one runner and cache never
     /// collide (a dataset job's own fields don't mention the axis sets
-    /// that feed it).
-    fn shape_fingerprint(&self) -> u64 {
+    /// that feed it). Also recorded in the event log's `run-started`
+    /// record, so [`Campaign::resume`] can refuse to continue a log
+    /// written by a differently-shaped campaign.
+    pub fn shape_fingerprint(&self) -> u64 {
         let fields: Vec<String> = self
             .plan
             .iter()
@@ -308,6 +325,135 @@ impl Campaign {
             outcome,
         }
     }
+
+    /// Build the executor + event log a persistent run uses: a
+    /// [`DiskStore`] rooted at `dir` behind the result cache (when the
+    /// runner supplies a codec) and the campaign event log at
+    /// `dir/events.jsonl`.
+    fn persistent_executor<R: CampaignRunner>(
+        &self,
+        runner: &R,
+        cfg: ExecConfig,
+        dir: &Path,
+        append_events: bool,
+    ) -> io::Result<(Executor, Arc<EventLog>)> {
+        let store = Arc::new(DiskStore::open(dir)?);
+        let cache = match runner.codec() {
+            Some(codec) => ResultCache::with_disk(store, codec),
+            None => ResultCache::new(),
+        };
+        let events_path = dir.join(EVENTS_FILE);
+        let log = Arc::new(if append_events {
+            EventLog::open_append(&events_path)?
+        } else {
+            EventLog::create(&events_path)?
+        });
+        let executor = Executor::new(cfg)
+            .with_cache(Arc::new(cache))
+            .with_events(log.clone());
+        Ok((executor, log))
+    }
+
+    fn execute_logged<R: CampaignRunner>(
+        &self,
+        runner: &R,
+        executor: &Executor,
+        log: &EventLog,
+        resumed: bool,
+    ) -> CampaignRun {
+        log.append(&Event::RunStarted {
+            campaign: self.name.clone(),
+            jobs: self.plan.len(),
+            shape: self.shape_fingerprint(),
+            resumed,
+        });
+        let run = self.execute(runner, executor);
+        let stats = run.outcome.stats;
+        log.append(&Event::RunFinished {
+            succeeded: stats.succeeded(),
+            failed: stats.failed,
+            skipped: stats.skipped,
+            cancelled: stats.cancelled,
+        });
+        run
+    }
+
+    /// Execute the campaign with persistence rooted at `dir`: results
+    /// the runner's [`ValueCodec`] can encode are written to the
+    /// content-addressed [`DiskStore`] (shareable across processes via
+    /// `GNNUNLOCK_CACHE_DIR`), and every job transition streams to
+    /// `dir/events.jsonl`, truncating any previous log.
+    ///
+    /// Determinism: the default [`RunReport`] of a persistent run is
+    /// byte-identical to an in-memory run of the same campaign — cold,
+    /// warm-from-disk, or resumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store cannot be opened (including a schema-version
+    /// mismatch) or the event log cannot be created.
+    pub fn execute_persistent<R: CampaignRunner>(
+        &self,
+        runner: &R,
+        cfg: ExecConfig,
+        dir: &Path,
+    ) -> io::Result<CampaignRun> {
+        let (executor, log) = self.persistent_executor(runner, cfg, dir, false)?;
+        Ok(self.execute_logged(runner, &executor, &log, false))
+    }
+
+    /// Resume an interrupted persistent campaign from `dir`: replay the
+    /// event log to validate that it belongs to this campaign shape and
+    /// count the jobs the crashed run already finished, then re-execute
+    /// against the store — persisted results are served from disk, the
+    /// rest recompute deterministically. The event log is appended to,
+    /// starting with a `run-started` record marked `resumed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the log's recorded shape fingerprint does not match
+    /// this campaign (resuming the wrong directory), or on store/log
+    /// I/O errors.
+    pub fn resume<R: CampaignRunner>(
+        &self,
+        runner: &R,
+        cfg: ExecConfig,
+        dir: &Path,
+    ) -> io::Result<(CampaignRun, ResumeInfo)> {
+        let replay = EventLog::replay(&dir.join(EVENTS_FILE))?;
+        if let Some(shape) = replay.last_shape() {
+            if shape != self.shape_fingerprint() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "event log in {} was written by a different campaign \
+                         (shape {:016x}, expected {:016x})",
+                        dir.display(),
+                        shape,
+                        self.shape_fingerprint()
+                    ),
+                ));
+            }
+        }
+        let info = ResumeInfo {
+            prior_completed: replay.completed_ids().len(),
+            log_truncated: replay.truncated,
+        };
+        let (executor, log) = self.persistent_executor(runner, cfg, dir, true)?;
+        let run = self.execute_logged(runner, &executor, &log, true);
+        Ok((run, info))
+    }
+}
+
+/// What [`Campaign::resume`] recovered from the interrupted run's event
+/// log before re-executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Jobs the prior run(s) completed (executed ok or cache-served).
+    pub prior_completed: usize,
+    /// Whether the log ended in a torn record — the signature of a
+    /// writer killed mid-event. The consistent prefix was still used.
+    pub log_truncated: bool,
 }
 
 /// The result of executing a [`Campaign`].
@@ -416,14 +562,95 @@ mod tests {
         let c = tiny();
         let exec = Executor::new(ExecConfig::with_workers(4));
         let first = c.execute(&EchoRunner, &exec);
-        assert_eq!(first.outcome.stats.cache_hits, 0);
+        assert_eq!(first.outcome.stats.cache_hits(), 0);
         let second = c.execute(&EchoRunner, &exec);
-        assert_eq!(second.outcome.stats.cache_hits, c.plan().len());
+        assert_eq!(second.outcome.stats.cache_hits(), c.plan().len());
         assert_eq!(second.outcome.stats.executed, 0);
         assert_eq!(
             second.aggregate::<String>("antisat"),
             first.aggregate::<String>("antisat")
         );
+    }
+
+    /// Codec persisting the echo runner's `String` stage values.
+    struct EchoCodec;
+
+    impl ValueCodec for EchoCodec {
+        fn encode(&self, _kind: JobKind, value: &crate::JobValue) -> Option<Vec<u8>> {
+            value
+                .downcast_ref::<String>()
+                .map(|s| s.as_bytes().to_vec())
+        }
+
+        fn decode(&self, _kind: JobKind, bytes: &[u8]) -> Option<crate::JobValue> {
+            Some(Arc::new(String::from_utf8(bytes.to_vec()).ok()?) as crate::JobValue)
+        }
+    }
+
+    /// EchoRunner with on-disk persistence.
+    struct PersistentEcho;
+
+    impl CampaignRunner for PersistentEcho {
+        fn config_salt(&self) -> u64 {
+            7
+        }
+
+        fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+            Some(Arc::new(EchoCodec))
+        }
+
+        fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+            EchoRunner.run(job, ctx)
+        }
+    }
+
+    #[test]
+    fn persistent_execution_reuses_the_store_across_executors() {
+        let dir =
+            std::env::temp_dir().join(format!("gnnunlock-campaign-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = tiny();
+
+        let cold = c
+            .execute_persistent(&PersistentEcho, ExecConfig::with_workers(2), &dir)
+            .unwrap();
+        assert!(cold.outcome.all_succeeded());
+        assert_eq!(cold.outcome.stats.executed, c.plan().len());
+
+        // A fresh executor (≈ a fresh process) is served from disk.
+        let warm = c
+            .execute_persistent(&PersistentEcho, ExecConfig::with_workers(2), &dir)
+            .unwrap();
+        assert_eq!(warm.outcome.stats.disk_hits, c.plan().len());
+        assert_eq!(warm.outcome.stats.executed, 0);
+        assert_eq!(
+            cold.report(ReportOptions::default()).to_json(),
+            warm.report(ReportOptions::default()).to_json(),
+            "cold and warm default reports must be byte-identical"
+        );
+
+        // Resume validates the shape and reports prior completions.
+        let (resumed, info) = c
+            .resume(&PersistentEcho, ExecConfig::with_workers(2), &dir)
+            .unwrap();
+        assert!(info.prior_completed >= c.plan().len());
+        assert!(!info.log_truncated);
+        assert_eq!(
+            resumed.report(ReportOptions::default()).to_json(),
+            cold.report(ReportOptions::default()).to_json(),
+        );
+        // A differently-shaped campaign refuses the directory.
+        let other = Campaign::builder("other")
+            .scheme("sfll")
+            .benchmarks(["x"])
+            .key_sizes([4])
+            .build();
+        let err = match other.resume(&PersistentEcho, ExecConfig::with_workers(1), &dir) {
+            Err(e) => e,
+            Ok(_) => panic!("resuming a foreign log must fail"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

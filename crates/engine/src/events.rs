@@ -1,0 +1,486 @@
+//! Streaming JSONL event logs for long campaigns.
+//!
+//! Long campaigns used to be silent until the final report; the
+//! [`EventLog`] streams one JSON record per line as jobs start, finish,
+//! cache-hit or fail, flushed per event so `tail -f` (and a post-crash
+//! reader) always sees a consistent prefix. The same log is what
+//! [`crate::Campaign::resume`] replays to know how far a crashed run
+//! got.
+//!
+//! Schema (one object per line, `ev` discriminates — see
+//! `tests/golden/events.jsonl` for the pinned golden examples):
+//!
+//! ```text
+//! {"ev":"run-started","campaign":..,"jobs":N,"shape":"<hex>","resumed":bool}
+//! {"ev":"job-started","id":N,"label":..}
+//! {"ev":"cache-hit","id":N,"label":..,"source":"memory"|"disk"}
+//! {"ev":"job-finished","id":N,"label":..,"status":"ok"|"failed"|"skipped"|"cancelled","ms":F}
+//! {"ev":"stage-error","id":N,"label":..,"error":..}
+//! {"ev":"run-finished","succeeded":N,"failed":N,"skipped":N,"cancelled":N}
+//! ```
+//!
+//! `stage-error` accompanies every `job-finished` with status `failed`,
+//! carrying the job id and the failure text — including the payload of a
+//! panicking job body, so a crash inside one stage is visible in the
+//! stream, not only in the final report. Timestamps/durations (`ms`) are
+//! wall-clock and therefore volatile; everything else is deterministic
+//! content.
+
+use crate::json::Json;
+use std::fs;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Environment variable naming the event-log path for the bench
+/// binaries.
+pub const EVENTS_ENV: &str = "GNNUNLOCK_EVENTS";
+
+/// File name of the event log inside a campaign cache directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// One record of a campaign event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A run began (`resumed` when continuing an interrupted campaign).
+    RunStarted {
+        /// Campaign name.
+        campaign: String,
+        /// Number of planned jobs.
+        jobs: usize,
+        /// Campaign shape fingerprint (hex) — resume validates it.
+        shape: u64,
+        /// Whether this run resumes an earlier log.
+        resumed: bool,
+    },
+    /// A job body is about to execute.
+    JobStarted {
+        /// Job id (graph index).
+        id: usize,
+        /// Job label.
+        label: String,
+    },
+    /// A job was served from the result cache without executing.
+    CacheHit {
+        /// Job id.
+        id: usize,
+        /// Job label.
+        label: String,
+        /// `"memory"` or `"disk"`.
+        source: String,
+    },
+    /// A job reached a terminal status.
+    JobFinished {
+        /// Job id.
+        id: usize,
+        /// Job label.
+        label: String,
+        /// Status tag (`ok` / `failed` / `skipped` / `cancelled`).
+        status: String,
+        /// Wall-clock execution milliseconds (volatile).
+        ms: f64,
+    },
+    /// A job failed; carries the error (or panic) text.
+    StageError {
+        /// Job id.
+        id: usize,
+        /// Job label.
+        label: String,
+        /// Failure text.
+        error: String,
+    },
+    /// The run drained; terminal counters.
+    RunFinished {
+        /// Jobs that succeeded (executed or cache-served).
+        succeeded: usize,
+        /// Jobs that failed.
+        failed: usize,
+        /// Jobs skipped due to failed dependencies.
+        skipped: usize,
+        /// Jobs cancelled.
+        cancelled: usize,
+    },
+}
+
+impl Event {
+    /// The JSON document of this event.
+    pub fn to_json(&self) -> Json {
+        let num = |n: usize| Json::Num(n as f64);
+        match self {
+            Event::RunStarted {
+                campaign,
+                jobs,
+                shape,
+                resumed,
+            } => Json::obj(vec![
+                ("ev", Json::Str("run-started".into())),
+                ("campaign", Json::Str(campaign.clone())),
+                ("jobs", num(*jobs)),
+                ("shape", Json::Str(format!("{shape:016x}"))),
+                ("resumed", Json::Bool(*resumed)),
+            ]),
+            Event::JobStarted { id, label } => Json::obj(vec![
+                ("ev", Json::Str("job-started".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+            ]),
+            Event::CacheHit { id, label, source } => Json::obj(vec![
+                ("ev", Json::Str("cache-hit".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+                ("source", Json::Str(source.clone())),
+            ]),
+            Event::JobFinished {
+                id,
+                label,
+                status,
+                ms,
+            } => Json::obj(vec![
+                ("ev", Json::Str("job-finished".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+                ("status", Json::Str(status.clone())),
+                ("ms", Json::Num(*ms)),
+            ]),
+            Event::StageError { id, label, error } => Json::obj(vec![
+                ("ev", Json::Str("stage-error".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+                ("error", Json::Str(error.clone())),
+            ]),
+            Event::RunFinished {
+                succeeded,
+                failed,
+                skipped,
+                cancelled,
+            } => Json::obj(vec![
+                ("ev", Json::Str("run-finished".into())),
+                ("succeeded", num(*succeeded)),
+                ("failed", num(*failed)),
+                ("skipped", num(*skipped)),
+                ("cancelled", num(*cancelled)),
+            ]),
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    /// Parse one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not valid JSON or not a known
+    /// event shape.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let doc = Json::parse(line)?;
+        let str_field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{k}'"))
+        };
+        let num_field = |k: &str| -> Result<usize, String> {
+            doc.get(k)
+                .and_then(Json::as_num)
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("missing numeric field '{k}'"))
+        };
+        let ev = str_field("ev")?;
+        match ev.as_str() {
+            "run-started" => Ok(Event::RunStarted {
+                campaign: str_field("campaign")?,
+                jobs: num_field("jobs")?,
+                shape: u64::from_str_radix(&str_field("shape")?, 16)
+                    .map_err(|_| "bad shape hex".to_string())?,
+                resumed: matches!(doc.get("resumed"), Some(Json::Bool(true))),
+            }),
+            "job-started" => Ok(Event::JobStarted {
+                id: num_field("id")?,
+                label: str_field("label")?,
+            }),
+            "cache-hit" => Ok(Event::CacheHit {
+                id: num_field("id")?,
+                label: str_field("label")?,
+                source: str_field("source")?,
+            }),
+            "job-finished" => Ok(Event::JobFinished {
+                id: num_field("id")?,
+                label: str_field("label")?,
+                status: str_field("status")?,
+                ms: doc
+                    .get("ms")
+                    .and_then(Json::as_num)
+                    .ok_or("missing field 'ms'")?,
+            }),
+            "stage-error" => Ok(Event::StageError {
+                id: num_field("id")?,
+                label: str_field("label")?,
+                error: str_field("error")?,
+            }),
+            "run-finished" => Ok(Event::RunFinished {
+                succeeded: num_field("succeeded")?,
+                failed: num_field("failed")?,
+                skipped: num_field("skipped")?,
+                cancelled: num_field("cancelled")?,
+            }),
+            other => Err(format!("unknown event '{other}'")),
+        }
+    }
+}
+
+/// What an event-log replay recovered.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Every event that parsed, in file order.
+    pub events: Vec<Event>,
+    /// Whether the file ended in an unparsable line — the signature of a
+    /// writer killed mid-record. The consistent prefix is still usable.
+    pub truncated: bool,
+}
+
+impl Replay {
+    /// Ids of jobs that reached success in this log (executed `ok` or
+    /// cache-served) — the set a resumed run may skip.
+    pub fn completed_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::JobFinished { id, status, .. } if status == "ok" => Some(*id),
+                Event::CacheHit { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The shape fingerprint of the last `run-started` record, if any.
+    pub fn last_shape(&self) -> Option<u64> {
+        self.events.iter().rev().find_map(|e| match e {
+            Event::RunStarted { shape, .. } => Some(*shape),
+            _ => None,
+        })
+    }
+}
+
+/// An append-only JSONL event sink, flushed per event.
+pub struct EventLog {
+    writer: Mutex<BufWriter<fs::File>>,
+}
+
+impl EventLog {
+    /// Create (truncating) a log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> io::Result<EventLog> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(EventLog {
+            writer: Mutex::new(BufWriter::new(fs::File::create(path)?)),
+        })
+    }
+
+    /// Open a log at `path` for appending (resume flows). A file whose
+    /// last record was torn by a crash (no trailing newline) is
+    /// repaired with a newline first, so appended records never merge
+    /// into the torn line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn open_append(path: &Path) -> io::Result<EventLog> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if !ends_with_newline(path).unwrap_or(true) {
+            file.write_all(b"\n")?;
+        }
+        Ok(EventLog {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Append one event and flush it to the OS, so readers (and crash
+    /// forensics) always see whole records.
+    pub fn append(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap();
+        // Event emission is observability: an unwritable log must not
+        // fail the campaign, so errors are swallowed here (the campaign
+        // entry points surface creation errors, which catch the common
+        // misconfigurations).
+        let _ = writeln!(w, "{}", event.to_jsonl());
+        let _ = w.flush();
+    }
+
+    /// Replay a log file: parse every line, skipping (and flagging via
+    /// `truncated = true`) any malformed record — the signature of a
+    /// writer killed mid-write. Records appended after a torn line
+    /// (e.g. by a resumed run) are still recovered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a missing file is an empty replay.
+    pub fn replay(path: &Path) -> io::Result<Replay> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+            Err(e) => return Err(e),
+        };
+        let mut replay = Replay::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::parse(line) {
+                Ok(ev) => replay.events.push(ev),
+                Err(_) => replay.truncated = true,
+            }
+        }
+        Ok(replay)
+    }
+}
+
+/// Whether the file's final byte is a newline — O(1): seek to the end
+/// and read one byte (event logs can be large; never slurp them here).
+/// An empty file counts as newline-terminated.
+fn ends_with_newline(path: &Path) -> io::Result<bool> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let mut f = fs::File::open(path)?;
+    if f.metadata()?.len() == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] == b'\n')
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStarted {
+                campaign: "demo".into(),
+                jobs: 3,
+                shape: 0xabcdef,
+                resumed: false,
+            },
+            Event::JobStarted {
+                id: 0,
+                label: "lock/a".into(),
+            },
+            Event::JobFinished {
+                id: 0,
+                label: "lock/a".into(),
+                status: "ok".into(),
+                ms: 1.5,
+            },
+            Event::CacheHit {
+                id: 1,
+                label: "train/a".into(),
+                source: "disk".into(),
+            },
+            Event::StageError {
+                id: 2,
+                label: "attack/a".into(),
+                error: "job panicked: \"boom\"".into(),
+            },
+            Event::JobFinished {
+                id: 2,
+                label: "attack/a".into(),
+                status: "failed".into(),
+                ms: 0.25,
+            },
+            Event::RunFinished {
+                succeeded: 2,
+                failed: 1,
+                skipped: 0,
+                cancelled: 0,
+            },
+        ]
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "gnnunlock-events-test-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        for ev in sample_events() {
+            let line = ev.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL records are single lines");
+            assert_eq!(Event::parse(&line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn log_write_and_replay() {
+        let path = tmp_path("replay");
+        let log = EventLog::create(&path).unwrap();
+        for ev in sample_events() {
+            log.append(&ev);
+        }
+        drop(log);
+        let replay = EventLog::replay(&path).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.events, sample_events());
+        assert_eq!(replay.completed_ids(), vec![0, 1]);
+        assert_eq!(replay.last_shape(), Some(0xabcdef));
+        // Appending continues the stream.
+        let log = EventLog::open_append(&path).unwrap();
+        log.append(&Event::JobStarted {
+            id: 9,
+            label: "late".into(),
+        });
+        drop(log);
+        assert_eq!(EventLog::replay(&path).unwrap().events.len(), 8);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_tolerates_a_torn_tail() {
+        let path = tmp_path("torn");
+        let log = EventLog::create(&path).unwrap();
+        log.append(&sample_events()[0]);
+        drop(log);
+        // Simulate a writer killed mid-record.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"ev\":\"job-fin");
+        fs::write(&path, text).unwrap();
+        let replay = EventLog::replay(&path).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.events.len(), 1);
+        // A missing file is just an empty replay.
+        let replay = EventLog::replay(&tmp_path("nonexistent")).unwrap();
+        assert!(replay.events.is_empty() && !replay.truncated);
+        let _ = fs::remove_file(&path);
+    }
+}

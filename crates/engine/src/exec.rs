@@ -5,9 +5,17 @@
 //! job records are indexed by `JobId`, so the outcome — and any report
 //! derived from it — is identical for every worker count: parallelism
 //! changes only wall-clock time, never content.
+//!
+//! With an [`EventLog`] attached ([`Executor::with_events`]) the
+//! executor streams one JSONL record per job transition — started,
+//! finished, cache-hit, and a `stage-error` record carrying the job id
+//! and failure text for every failed job (including panicking bodies) —
+//! flushed per event, so long campaigns are observable and a crashed
+//! run's progress is replayable.
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheSource, ResultCache};
 use crate::cancel::CancelToken;
+use crate::events::{Event, EventLog};
 use crate::graph::{JobCtx, JobGraph, JobId, JobKind, JobValue};
 use crate::pool::default_workers;
 use std::collections::BTreeSet;
@@ -79,11 +87,19 @@ pub struct JobRecord {
     pub deps: Vec<usize>,
     /// Terminal status.
     pub status: JobStatus,
-    /// Whether the result came from the cache.
-    pub cached: bool,
+    /// Which cache tier served the result, if any (provenance — volatile
+    /// across cold/warm runs, so excluded from deterministic reports).
+    pub cache: CacheSource,
     /// Wall-clock execution time (≈0 for cache hits; volatile — excluded
     /// from deterministic reports).
     pub duration: Duration,
+}
+
+impl JobRecord {
+    /// Whether the result came from any cache tier.
+    pub fn cached(&self) -> bool {
+        self.cache.is_hit()
+    }
 }
 
 /// Aggregate counters of one run.
@@ -93,14 +109,28 @@ pub struct RunStats {
     pub total: usize,
     /// Jobs whose bodies actually ran.
     pub executed: usize,
-    /// Jobs served from the result cache (the report's job-skip counter).
-    pub cache_hits: usize,
+    /// Jobs served from the in-memory cache tier.
+    pub memory_hits: usize,
+    /// Jobs served from the on-disk cache tier.
+    pub disk_hits: usize,
     /// Jobs that failed.
     pub failed: usize,
     /// Jobs skipped because a dependency did not succeed.
     pub skipped: usize,
     /// Jobs cancelled before they could run.
     pub cancelled: usize,
+}
+
+impl RunStats {
+    /// Jobs served from any cache tier.
+    pub fn cache_hits(&self) -> usize {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Jobs that reached success (executed or cache-served).
+    pub fn succeeded(&self) -> usize {
+        self.executed + self.cache_hits()
+    }
 }
 
 /// Everything a run produced: records, values and counters.
@@ -147,10 +177,12 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// Holds the [`ResultCache`]; reusing one executor (or one cache via
 /// [`Executor::with_cache`]) across runs lets later campaigns skip work
-/// already done.
+/// already done — and with a disk-backed cache
+/// ([`ResultCache::with_disk`]), lets later *processes* skip it too.
 pub struct Executor {
     cfg: ExecConfig,
     cache: Arc<ResultCache>,
+    events: Option<Arc<EventLog>>,
 }
 
 struct Sched<'a> {
@@ -161,7 +193,7 @@ struct Sched<'a> {
     poison: Vec<Option<String>>,
     ready: BTreeSet<usize>,
     values: Vec<Option<JobValue>>,
-    records: Vec<Option<(JobStatus, bool, Duration)>>,
+    records: Vec<Option<(JobStatus, CacheSource, Duration)>>,
     pending: usize,
 }
 
@@ -171,12 +203,20 @@ impl Executor {
         Executor {
             cfg,
             cache: Arc::new(ResultCache::new()),
+            events: None,
         }
     }
 
-    /// Share an existing cache (e.g. across repeated campaigns).
+    /// Share an existing cache (e.g. across repeated campaigns, or a
+    /// disk-backed cache shared across processes).
     pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Stream job events to `log` (flushed per event).
+    pub fn with_events(mut self, log: Arc<EventLog>) -> Self {
+        self.events = Some(log);
         self
     }
 
@@ -185,9 +225,20 @@ impl Executor {
         &self.cache
     }
 
+    /// The attached event log, if any.
+    pub fn events(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
+    }
+
     /// The executor's cancel token (clone it to cancel from elsewhere).
     pub fn cancel_token(&self) -> CancelToken {
         self.cfg.cancel.clone()
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(log) = &self.events {
+            log.append(&event);
+        }
     }
 
     /// Execute `graph` and return records, values and counters.
@@ -229,21 +280,21 @@ impl Executor {
             ..RunStats::default()
         };
         for (node, rec) in sched.nodes.iter().zip(sched.records) {
-            let (status, cached, duration) =
-                rec.expect("scheduler finished with an unresolved job");
-            match &status {
-                JobStatus::Succeeded if cached => stats.cache_hits += 1,
-                JobStatus::Succeeded => stats.executed += 1,
-                JobStatus::Failed(_) => stats.failed += 1,
-                JobStatus::Skipped(_) => stats.skipped += 1,
-                JobStatus::Cancelled => stats.cancelled += 1,
+            let (status, cache, duration) = rec.expect("scheduler finished with an unresolved job");
+            match (&status, cache) {
+                (JobStatus::Succeeded, CacheSource::Memory) => stats.memory_hits += 1,
+                (JobStatus::Succeeded, CacheSource::Disk) => stats.disk_hits += 1,
+                (JobStatus::Succeeded, CacheSource::None) => stats.executed += 1,
+                (JobStatus::Failed(_), _) => stats.failed += 1,
+                (JobStatus::Skipped(_), _) => stats.skipped += 1,
+                (JobStatus::Cancelled, _) => stats.cancelled += 1,
             }
             records.push(JobRecord {
                 label: node.label.clone(),
                 kind: node.kind,
                 deps: node.deps.iter().map(|d| d.index()).collect(),
                 status,
-                cached,
+                cache,
                 duration,
             });
         }
@@ -271,33 +322,70 @@ impl Executor {
             // Resolve without running when cancelled or poisoned
             // (cancellation wins so a cancelled run reads uniformly).
             if self.cfg.cancel.is_cancelled() {
-                Self::finish(&mut guard, i, JobStatus::Cancelled, false, Duration::ZERO);
+                let label = guard.nodes[i].label.clone();
+                Self::finish(
+                    &mut guard,
+                    i,
+                    JobStatus::Cancelled,
+                    CacheSource::None,
+                    Duration::ZERO,
+                );
+                drop(guard);
+                self.emit(Event::JobFinished {
+                    id: i,
+                    label,
+                    status: "cancelled".into(),
+                    ms: 0.0,
+                });
+                guard = sched.lock().unwrap();
                 work_available.notify_all();
                 continue;
             }
             if let Some(why) = guard.poison[i].clone() {
+                let label = guard.nodes[i].label.clone();
                 Self::finish(
                     &mut guard,
                     i,
                     JobStatus::Skipped(why),
-                    false,
+                    CacheSource::None,
                     Duration::ZERO,
                 );
+                drop(guard);
+                self.emit(Event::JobFinished {
+                    id: i,
+                    label,
+                    status: "skipped".into(),
+                    ms: 0.0,
+                });
+                guard = sched.lock().unwrap();
                 work_available.notify_all();
                 continue;
             }
 
             let node = &mut guard.nodes[i];
+            let label = node.label.clone();
             let kind = node.kind;
             let fingerprint = node.fingerprint;
             let run = node.run.take().expect("job claimed twice");
             let dep_ids = node.deps.clone();
 
-            // Cache lookup (still under the lock: it's a HashMap probe).
+            // Cache probe. The memory tier is a HashMap lookup, but the
+            // disk tier does file I/O, so probe outside the lock: claim
+            // the job, release the scheduler, then look up.
             if let Some(fp) = fingerprint {
-                if let Some(value) = self.cache.get(kind, fp) {
+                drop(guard);
+                let found = self.cache.lookup(kind, fp);
+                guard = sched.lock().unwrap();
+                if let Some((value, source)) = found {
                     guard.values[i] = Some(value);
-                    Self::finish(&mut guard, i, JobStatus::Succeeded, true, Duration::ZERO);
+                    Self::finish(&mut guard, i, JobStatus::Succeeded, source, Duration::ZERO);
+                    drop(guard);
+                    self.emit(Event::CacheHit {
+                        id: i,
+                        label,
+                        source: source.tag().into(),
+                    });
+                    guard = sched.lock().unwrap();
                     work_available.notify_all();
                     continue;
                 }
@@ -309,6 +397,10 @@ impl Executor {
                 .collect();
             drop(guard);
 
+            self.emit(Event::JobStarted {
+                id: i,
+                label: label.clone(),
+            });
             let t0 = Instant::now();
             let ctx = JobCtx {
                 deps: &dep_values,
@@ -320,18 +412,59 @@ impl Executor {
             let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&ctx)))
                 .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_text(payload))));
             let elapsed = t0.elapsed();
+            let ms = elapsed.as_secs_f64() * 1e3;
+
+            match &output {
+                Ok(_) => self.emit(Event::JobFinished {
+                    id: i,
+                    label: label.clone(),
+                    status: "ok".into(),
+                    ms,
+                }),
+                Err(msg) => {
+                    // Surface the failure — panic text included — in the
+                    // event stream with the job id, not only in the
+                    // final report.
+                    self.emit(Event::StageError {
+                        id: i,
+                        label: label.clone(),
+                        error: msg.clone(),
+                    });
+                    self.emit(Event::JobFinished {
+                        id: i,
+                        label: label.clone(),
+                        status: "failed".into(),
+                        ms,
+                    });
+                }
+            }
+
+            // Persist before re-locking: `put` may encode + write to
+            // disk, which must not serialize the scheduler.
+            if let (Ok(value), Some(fp)) = (&output, fingerprint) {
+                self.cache.put(kind, fp, value.clone());
+            }
 
             guard = sched.lock().unwrap();
             match output {
                 Ok(value) => {
-                    if let Some(fp) = fingerprint {
-                        self.cache.put(kind, fp, value.clone());
-                    }
                     guard.values[i] = Some(value);
-                    Self::finish(&mut guard, i, JobStatus::Succeeded, false, elapsed);
+                    Self::finish(
+                        &mut guard,
+                        i,
+                        JobStatus::Succeeded,
+                        CacheSource::None,
+                        elapsed,
+                    );
                 }
                 Err(msg) => {
-                    Self::finish(&mut guard, i, JobStatus::Failed(msg), false, elapsed);
+                    Self::finish(
+                        &mut guard,
+                        i,
+                        JobStatus::Failed(msg),
+                        CacheSource::None,
+                        elapsed,
+                    );
                 }
             }
             work_available.notify_all();
@@ -339,7 +472,13 @@ impl Executor {
     }
 
     /// Record job `i`'s terminal status and release its dependents.
-    fn finish(sched: &mut Sched<'_>, i: usize, status: JobStatus, cached: bool, dur: Duration) {
+    fn finish(
+        sched: &mut Sched<'_>,
+        i: usize,
+        status: JobStatus,
+        cache: CacheSource,
+        dur: Duration,
+    ) {
         let failed_reason = match &status {
             JobStatus::Failed(m) => {
                 Some(format!("dependency '{}' failed: {m}", sched.nodes[i].label))
@@ -352,7 +491,7 @@ impl Executor {
             // cancelled run reads `cancelled`, not `skipped`.
             JobStatus::Cancelled | JobStatus::Succeeded => None,
         };
-        sched.records[i] = Some((status, cached, dur));
+        sched.records[i] = Some((status, cache, dur));
         sched.pending -= 1;
         let dependents = sched.dependents[i].clone();
         for d in dependents {
@@ -420,16 +559,20 @@ mod tests {
         let exec = Executor::new(ExecConfig::with_workers(2));
         let ran = AtomicUsize::new(0);
         let first = exec.run(diamond(Some(&ran)));
-        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_hits(), 0);
         assert_eq!(ran.load(Ordering::Relaxed), 4);
         // Second run with the same executor: everything is cache-served.
         let second = exec.run(diamond(Some(&ran)));
         assert!(second.all_succeeded());
-        assert_eq!(second.stats.cache_hits, 4);
+        assert_eq!(second.stats.memory_hits, 4);
+        assert_eq!(second.stats.cache_hits(), 4);
         assert_eq!(second.stats.executed, 0);
         assert_eq!(ran.load(Ordering::Relaxed), 4, "no body re-ran");
         assert_eq!(*second.value::<u64>(JobId(3)).unwrap(), 32);
-        assert!(second.records.iter().all(|r| r.cached));
+        assert!(second
+            .records
+            .iter()
+            .all(|r| r.cache == CacheSource::Memory));
     }
 
     #[test]
@@ -518,6 +661,60 @@ mod tests {
             ));
             assert_eq!(*out.value::<u64>(ok).unwrap(), 2);
         }
+    }
+
+    #[test]
+    fn events_stream_job_lifecycle_and_panics() {
+        let path = std::env::temp_dir().join(format!(
+            "gnnunlock-exec-events-{}.jsonl",
+            std::process::id()
+        ));
+        let log = Arc::new(EventLog::create(&path).unwrap());
+        let exec = Executor::new(ExecConfig::with_workers(1)).with_events(log);
+        let mut g = JobGraph::new();
+        let ok = g.add("fine", JobKind::Lock, Some(1), vec![], |_| Ok(val(1)));
+        let boom = g.add("boom", JobKind::Train, None, vec![ok], |_| {
+            panic!("exploded in flight");
+        });
+        g.add("child", JobKind::Attack, None, vec![boom], |_| Ok(val(2)));
+        let out = exec.run(g);
+        assert_eq!(out.stats.failed, 1);
+
+        let replay = EventLog::replay(&path).unwrap();
+        assert!(!replay.truncated);
+        // The panic is surfaced as a stage-error carrying the job id.
+        let stage_error = replay
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::StageError { id, error, .. } => Some((*id, error.clone())),
+                _ => None,
+            })
+            .expect("panic must appear in the event log");
+        assert_eq!(stage_error.0, boom.index());
+        assert!(stage_error.1.contains("exploded in flight"));
+        // Lifecycle: started + finished for the ok job, skip record for
+        // the poisoned child.
+        assert!(replay.events.contains(&Event::JobStarted {
+            id: 0,
+            label: "fine".into()
+        }));
+        assert!(replay.events.iter().any(|e| matches!(
+            e,
+            Event::JobFinished { id: 2, status, .. } if status == "skipped"
+        )));
+        // Re-running cache-hits the fingerprinted job and logs it.
+        let _ = exec.run({
+            let mut g = JobGraph::new();
+            g.add("fine", JobKind::Lock, Some(1), vec![], |_| Ok(val(1)));
+            g
+        });
+        let replay = EventLog::replay(&path).unwrap();
+        assert!(replay.events.iter().any(|e| matches!(
+            e,
+            Event::CacheHit { id: 0, source, .. } if source == "memory"
+        )));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

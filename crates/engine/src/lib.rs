@@ -10,9 +10,15 @@
 //!   with per-job timing, cooperative cancellation ([`CancelToken`]) and
 //!   **deterministic results** — the same seed produces a byte-identical
 //!   report on any worker count;
-//! - [`ResultCache`]: a content-addressed in-memory cache keyed on
-//!   `(job kind, config fingerprint)`, so repeated campaigns skip
-//!   redundant locking / synthesis / dataset / training work;
+//! - [`ResultCache`]: a content-addressed cache keyed on `(job kind,
+//!   config fingerprint)` — an in-memory tier plus an optional
+//!   versioned on-disk tier ([`DiskStore`]) with atomic writes and
+//!   corruption eviction, so repeated campaigns (and repeated
+//!   *processes* sharing `GNNUNLOCK_CACHE_DIR`) skip redundant locking /
+//!   synthesis / dataset / training work;
+//! - [`EventLog`]: a streaming JSONL event log (job-started /
+//!   job-finished / cache-hit / stage-error), flushed per event, that
+//!   [`Campaign::resume`] replays to continue an interrupted campaign;
 //! - [`Campaign`]: a builder expanding {benchmark × locking scheme ×
 //!   key size × seed} matrices into lock → synth → dataset → train →
 //!   attack → verify → aggregate jobs with explicit dependencies,
@@ -45,17 +51,25 @@
 mod cache;
 mod campaign;
 mod cancel;
+mod codec;
+mod events;
 mod exec;
 mod graph;
+mod json;
 mod pool;
 mod report;
+mod store;
 
-pub use cache::{CacheStats, ResultCache};
-pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, StageJob};
+pub use cache::{CacheSource, CacheStats, ResultCache};
+pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, ResumeInfo, StageJob};
 pub use cancel::CancelToken;
+pub use codec::{ByteReader, ByteWriter, ValueCodec};
+pub use events::{Event, EventLog, Replay, EVENTS_ENV, EVENTS_FILE};
 pub use exec::{ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats};
 pub use graph::{
     fingerprint, fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput, JobValue,
 };
+pub use json::Json;
 pub use pool::{default_workers, run_ordered, WORKERS_ENV};
-pub use report::{Json, ReportOptions, RunReport};
+pub use report::{ReportOptions, RunReport, REPORT_SCHEMA_VERSION};
+pub use store::{sanitize_tag, DiskStore, StoreStats, CACHE_DIR_ENV};

@@ -1,143 +1,47 @@
 //! Structured JSON run reports.
 //!
 //! [`RunReport::to_json`] is **deterministic by default**: it contains
-//! only content fields (labels, kinds, statuses, cache flags, counters),
-//! so the same campaign produces a byte-identical report whether it ran
-//! on 1 worker or 16. Wall-clock timings and the worker count are opt-in
-//! via [`ReportOptions::with_timings`] for profiling runs.
+//! only content fields (labels, kinds, statuses, dependency lists,
+//! outcome counters), so the same campaign produces a byte-identical
+//! report whether it ran on 1 worker or 16 — and, because cache
+//! provenance is excluded, whether it was computed cold, served warm
+//! from a shared `GNNUNLOCK_CACHE_DIR`, or resumed mid-campaign after a
+//! crash. Where each result came from (`executed` vs `memory` vs `disk`)
+//! is opt-in via [`ReportOptions::with_provenance`]; wall-clock timings
+//! via [`ReportOptions::with_timings`].
 //!
-//! No serde in the dependency tree, so the module carries its own tiny
-//! JSON value type with insertion-ordered objects and full string
-//! escaping.
+//! The document carries a `schema` version; `tests/golden/` pins the
+//! exact rendering so accidental drift fails CI.
 
 use crate::exec::{JobStatus, RunOutcome};
-use std::fmt::Write as _;
+pub use crate::json::Json;
 
-/// A JSON value with deterministic (insertion-ordered) objects.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any finite number (rendered via shortest-roundtrip `{}`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; fields serialize in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience: an object from key/value pairs.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serialize with 2-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 9e15 {
-                    let _ = write!(out, "{}", *x as i64);
-                } else {
-                    let _ = write!(out, "{x}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                newline_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, indent + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                newline_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn newline_indent(out: &mut String, indent: usize) {
-    out.push('\n');
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+/// Version of the report document layout (bump on breaking changes;
+/// golden tests pin the rendering per version).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Rendering options for [`RunReport`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReportOptions {
-    /// Include wall-clock timings and the worker count. Off by default so
-    /// reports are byte-identical across worker counts and machines.
+    /// Include wall-clock timings. Off by default so reports are
+    /// byte-identical across worker counts and machines.
     pub with_timings: bool,
+    /// Include cache provenance (per-job cache tier, executed/hit
+    /// counters). Off by default so cold, warm and resumed runs render
+    /// byte-identical reports.
+    pub with_provenance: bool,
 }
 
 impl ReportOptions {
     /// Enable the volatile timing fields.
     pub fn with_timings(mut self) -> Self {
         self.with_timings = true;
+        self
+    }
+
+    /// Enable the cache-provenance fields.
+    pub fn with_provenance(mut self) -> Self {
+        self.with_provenance = true;
         self
     }
 }
@@ -148,7 +52,7 @@ pub struct RunReport {
     /// Campaign / run name.
     pub name: String,
     /// The JSON document (already assembled, deterministic part only
-    /// unless timings were requested).
+    /// unless timings/provenance were requested).
     doc: Json,
 }
 
@@ -165,7 +69,6 @@ impl RunReport {
                     ("label", Json::Str(r.label.clone())),
                     ("kind", Json::Str(r.kind.tag().to_string())),
                     ("status", Json::Str(r.status.tag().to_string())),
-                    ("cached", Json::Bool(r.cached)),
                     (
                         "deps",
                         Json::Arr(r.deps.iter().map(|&d| Json::Num(d as f64)).collect()),
@@ -174,23 +77,31 @@ impl RunReport {
                 if let JobStatus::Failed(msg) | JobStatus::Skipped(msg) = &r.status {
                     fields.push(("detail", Json::Str(msg.clone())));
                 }
+                if opts.with_provenance {
+                    fields.push(("cache", Json::Str(r.cache.tag().to_string())));
+                }
                 if opts.with_timings {
                     fields.push(("ms", Json::Num(r.duration.as_secs_f64() * 1e3)));
                 }
                 Json::obj(fields)
             })
             .collect();
-        let counters = Json::obj(vec![
+        let mut counters = vec![
             ("total", Json::Num(outcome.stats.total as f64)),
-            ("executed", Json::Num(outcome.stats.executed as f64)),
-            ("cache_hits", Json::Num(outcome.stats.cache_hits as f64)),
+            ("succeeded", Json::Num(outcome.stats.succeeded() as f64)),
             ("failed", Json::Num(outcome.stats.failed as f64)),
             ("skipped", Json::Num(outcome.stats.skipped as f64)),
             ("cancelled", Json::Num(outcome.stats.cancelled as f64)),
-        ]);
+        ];
+        if opts.with_provenance {
+            counters.push(("executed", Json::Num(outcome.stats.executed as f64)));
+            counters.push(("memory_hits", Json::Num(outcome.stats.memory_hits as f64)));
+            counters.push(("disk_hits", Json::Num(outcome.stats.disk_hits as f64)));
+        }
         let mut top = vec![
             ("campaign", Json::Str(name.to_string())),
-            ("counters", counters),
+            ("schema", Json::Num(REPORT_SCHEMA_VERSION as f64)),
+            ("counters", Json::obj(counters)),
             ("jobs", Json::Arr(jobs)),
         ];
         if opts.with_timings {
@@ -230,43 +141,48 @@ mod tests {
     use crate::graph::{JobGraph, JobKind, JobValue};
     use std::sync::Arc;
 
-    #[test]
-    fn json_escaping_and_shapes() {
-        let doc = Json::obj(vec![
-            ("s", Json::Str("a\"b\\c\nd\u{1}".into())),
-            ("n", Json::Num(3.0)),
-            ("x", Json::Num(0.5)),
-            ("b", Json::Bool(true)),
-            ("v", Json::Arr(vec![Json::Null])),
-            ("e", Json::Obj(vec![])),
-        ]);
-        let s = doc.render();
-        assert!(s.contains(r#""a\"b\\c\nd\u0001""#));
-        assert!(s.contains("\"n\": 3"));
-        assert!(s.contains("\"x\": 0.5"));
-        assert!(s.contains("\"e\": {}"));
+    fn build<'a>() -> JobGraph<'a> {
+        let mut g = JobGraph::new();
+        let a = g.add("a", JobKind::Lock, Some(9), vec![], |_| {
+            Ok(Arc::new(5u64) as JobValue)
+        });
+        g.add("b", JobKind::Train, None, vec![a], |_| {
+            Ok(Arc::new(6u64) as JobValue)
+        });
+        g
     }
 
     #[test]
     fn report_is_deterministic_without_timings() {
-        let build = || {
-            let mut g = JobGraph::new();
-            let a = g.add("a", JobKind::Lock, Some(9), vec![], |_| {
-                Ok(Arc::new(5u64) as JobValue)
-            });
-            g.add("b", JobKind::Train, None, vec![a], |_| {
-                Ok(Arc::new(6u64) as JobValue)
-            });
-            g
-        };
         let r1 = Executor::new(ExecConfig::with_workers(1)).run(build());
         let r4 = Executor::new(ExecConfig::with_workers(4)).run(build());
         let j1 = RunReport::from_outcome("t", &r1, ReportOptions::default()).to_json();
         let j4 = RunReport::from_outcome("t", &r4, ReportOptions::default()).to_json();
         assert_eq!(j1, j4);
+        assert!(j1.contains("\"schema\": 2"));
+        assert!(j1.contains("\"succeeded\": 2"));
         // Timing variant has the volatile fields.
         let timed =
             RunReport::from_outcome("t", &r1, ReportOptions::default().with_timings()).to_json();
         assert!(timed.contains("wall_ms"));
+    }
+
+    #[test]
+    fn provenance_is_opt_in() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let cold = exec.run(build());
+        let warm = exec.run(build());
+        // Default reports are identical cold vs warm…
+        assert_eq!(
+            RunReport::from_outcome("t", &cold, ReportOptions::default()).to_json(),
+            RunReport::from_outcome("t", &warm, ReportOptions::default()).to_json(),
+        );
+        // …while the provenance variant distinguishes them.
+        let opts = ReportOptions::default().with_provenance();
+        let cold_p = RunReport::from_outcome("t", &cold, opts).to_json();
+        let warm_p = RunReport::from_outcome("t", &warm, opts).to_json();
+        assert_ne!(cold_p, warm_p);
+        assert!(cold_p.contains("\"cache\": \"none\"") && cold_p.contains("\"executed\": 2"));
+        assert!(warm_p.contains("\"cache\": \"memory\"") && warm_p.contains("\"memory_hits\": 1"));
     }
 }

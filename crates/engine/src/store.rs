@@ -1,0 +1,419 @@
+//! A versioned, content-addressed on-disk result store.
+//!
+//! The store is the persistence tier behind [`crate::ResultCache`]: each
+//! entry is one file holding the encoded output of a job, addressed by
+//! `(job kind, fingerprint)` exactly like the in-memory tier, so
+//! campaigns sharing a directory (`GNNUNLOCK_CACHE_DIR`) skip each
+//! other's completed work across processes and machines.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/
+//!   gnnunlock-store.version      # "gnnunlock-store v1\n" — schema gate
+//!   events.jsonl                 # campaign event log (see crate::events)
+//!   objects/<kind>/<hh>/<fingerprint as 16 hex>.bin
+//! ```
+//!
+//! where `<kind>` is the sanitized job-kind tag and `<hh>` the first two
+//! hex digits of the fingerprint (a 256-way fan-out so directories stay
+//! small at campaign scale).
+//!
+//! Durability and integrity:
+//!
+//! - **atomic publish** — entries are written to a temporary file in the
+//!   same directory and `rename`d into place, so a crashed writer never
+//!   leaves a half-written entry under the final name;
+//! - **corruption detection** — every entry carries a header (magic,
+//!   schema version, kind tag, fingerprint, payload length, FNV-1a
+//!   checksum). A mismatched or truncated entry is *evicted* (deleted)
+//!   and reported as a miss, so readers recompute instead of trusting
+//!   bad bytes;
+//! - **schema versioning** — the root carries a version file; opening a
+//!   store written by an incompatible schema fails loudly instead of
+//!   misreading entries.
+
+use crate::graph::{fingerprint, JobKind};
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Environment variable naming the shared on-disk cache directory.
+pub const CACHE_DIR_ENV: &str = "GNNUNLOCK_CACHE_DIR";
+
+/// Contents of the store's version file. Bump the `v1` when the entry
+/// format changes incompatibly.
+const VERSION_TEXT: &str = "gnnunlock-store v1\n";
+const VERSION_FILE: &str = "gnnunlock-store.version";
+/// Magic prefix of every entry file (includes the entry-format version).
+const ENTRY_MAGIC: &[u8; 8] = b"GNNUCV1\n";
+
+/// Monotonic counters describing store traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries read back successfully.
+    pub loads: usize,
+    /// Lookups that found no entry.
+    pub misses: usize,
+    /// Corrupt or truncated entries detected and evicted.
+    pub evictions: usize,
+    /// Entries written.
+    pub saves: usize,
+    /// Writes that failed with an I/O error (the run continues; the
+    /// entry is simply not persisted).
+    pub save_errors: usize,
+}
+
+/// A content-addressed on-disk store of encoded job results.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    tmp_counter: AtomicU64,
+    loads: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+    saves: AtomicUsize,
+    save_errors: AtomicUsize,
+}
+
+/// Restrict a job-kind tag to `[A-Za-z0-9_-]` so entry paths can never
+/// traverse outside the store root, whatever a `JobKind::Custom` tag
+/// contains. Empty tags map to `"_"`.
+pub fn sanitize_tag(tag: &str) -> String {
+    let mut out: String = tag
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+impl DiskStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created, or if it already holds a
+    /// store with an incompatible schema version.
+    pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        let version_path = dir.join(VERSION_FILE);
+        match fs::read_to_string(&version_path) {
+            Ok(found) if found == VERSION_TEXT => {}
+            Ok(found) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "cache dir {} holds schema {:?}, this build expects {:?}; \
+                         use a fresh directory",
+                        dir.display(),
+                        found.trim(),
+                        VERSION_TEXT.trim()
+                    ),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                fs::write(&version_path, VERSION_TEXT)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(DiskStore {
+            root: dir.to_path_buf(),
+            tmp_counter: AtomicU64::new(0),
+            loads: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            saves: AtomicUsize::new(0),
+            save_errors: AtomicUsize::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an entry for `(kind, fp)` lives at. Always strictly
+    /// inside the store root (tags are sanitized).
+    pub fn entry_path(&self, kind: JobKind, fp: u64) -> PathBuf {
+        let hex = format!("{fp:016x}");
+        self.root
+            .join("objects")
+            .join(sanitize_tag(kind.tag()))
+            .join(&hex[..2])
+            .join(format!("{hex}.bin"))
+    }
+
+    /// Load the payload of `(kind, fp)`, verifying the entry header and
+    /// checksum. Corrupt or truncated entries are evicted and reported
+    /// as a miss.
+    pub fn load(&self, kind: JobKind, fp: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, fp);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let mut bytes = Vec::new();
+        if file.read_to_end(&mut bytes).is_err() {
+            return self.evict(&path);
+        }
+        match Self::decode_entry(kind, fp, &bytes) {
+            Some(payload) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => self.evict(&path),
+        }
+    }
+
+    /// Persist `payload` for `(kind, fp)` via write-then-rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (callers may treat persistence as
+    /// best-effort; [`StoreStats::save_errors`] counts failures either
+    /// way).
+    pub fn save(&self, kind: JobKind, fp: u64, payload: &[u8]) -> io::Result<()> {
+        match self.try_save(kind, fp, payload) {
+            Ok(()) => {
+                self.saves.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.save_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_save(&self, kind: JobKind, fp: u64, payload: &[u8]) -> io::Result<()> {
+        let path = self.entry_path(kind, fp);
+        let dir = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(dir)?;
+        // Unique-per-(process, call) temp name so concurrent writers of
+        // the same entry never clobber each other's half-written files;
+        // the final rename is atomic and last-writer-wins.
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut entry = Vec::with_capacity(payload.len() + 64);
+        entry.extend_from_slice(ENTRY_MAGIC);
+        let tag = sanitize_tag(kind.tag());
+        entry.extend_from_slice(&(tag.len() as u16).to_le_bytes());
+        entry.extend_from_slice(tag.as_bytes());
+        entry.extend_from_slice(&fp.to_le_bytes());
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(&fingerprint(payload).to_le_bytes());
+        entry.extend_from_slice(payload);
+        let write = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&entry)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        write
+    }
+
+    /// Validate an entry file against its header; `None` means corrupt.
+    fn decode_entry(kind: JobKind, fp: u64, bytes: &[u8]) -> Option<Vec<u8>> {
+        let mut pos = 0usize;
+        // checked_add: the length fields are corruption-controlled, and
+        // an overflowing slice bound must read as "corrupt" (evict),
+        // not panic in debug builds.
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..pos.checked_add(n)?)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, ENTRY_MAGIC.len())? != ENTRY_MAGIC {
+            return None;
+        }
+        let tag_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let tag = take(&mut pos, tag_len)?;
+        if tag != sanitize_tag(kind.tag()).as_bytes() {
+            return None;
+        }
+        let stored_fp = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        if stored_fp != fp {
+            return None;
+        }
+        let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let payload = take(&mut pos, payload_len)?;
+        if pos != bytes.len() || fingerprint(payload) != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    fn evict(&self, path: &Path) -> Option<Vec<u8>> {
+        let _ = fs::remove_file(path);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Number of entry files currently on disk (walks the tree; meant
+    /// for tests and diagnostics, not hot paths).
+    pub fn len(&self) -> usize {
+        fn walk(dir: &Path, count: &mut usize) {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, count);
+                } else if path.extension().is_some_and(|e| e == "bin") {
+                    *count += 1;
+                }
+            }
+        }
+        let mut count = 0;
+        walk(&self.root.join("objects"), &mut count);
+        count
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            saves: self.saves.load(Ordering::Relaxed),
+            save_errors: self.save_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gnnunlock-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_miss() {
+        let dir = tmp_dir("rt");
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.load(JobKind::Train, 42).is_none());
+        store.save(JobKind::Train, 42, b"payload").unwrap();
+        assert_eq!(store.load(JobKind::Train, 42).unwrap(), b"payload");
+        // Different kind or fingerprint: separate address.
+        assert!(store.load(JobKind::Lock, 42).is_none());
+        assert!(store.load(JobKind::Train, 43).is_none());
+        let stats = store.stats();
+        assert_eq!((stats.loads, stats.saves, stats.misses), (1, 1, 3));
+        // A second handle on the same dir sees the entry (cross-process
+        // sharing is just cross-handle sharing plus the version gate).
+        let other = DiskStore::open(&dir).unwrap();
+        assert_eq!(other.load(JobKind::Train, 42).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted() {
+        let dir = tmp_dir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(JobKind::Verify, 7, b"good bytes").unwrap();
+        let path = store.entry_path(JobKind::Verify, 7);
+
+        // Flipped payload byte: checksum mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(JobKind::Verify, 7).is_none());
+        assert!(!path.exists(), "corrupt entry must be evicted");
+
+        // Truncated entry.
+        store.save(JobKind::Verify, 7, b"good bytes").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.load(JobKind::Verify, 7).is_none());
+        assert!(!path.exists());
+
+        // Recompute-and-save works after eviction.
+        store.save(JobKind::Verify, 7, b"good bytes").unwrap();
+        assert_eq!(store.load(JobKind::Verify, 7).unwrap(), b"good bytes");
+        assert_eq!(store.stats().evictions, 2);
+
+        // A corrupt payload-length field (valid magic/tag/fingerprint,
+        // absurd length) must evict, not overflow: debug builds would
+        // panic on an unchecked `pos + len` slice bound.
+        store.save(JobKind::Verify, 7, b"good bytes").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let len_offset = ENTRY_MAGIC.len() + 2 + sanitize_tag("verify").len() + 8;
+        bytes[len_offset..len_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(JobKind::Verify, 7).is_none());
+        assert!(!path.exists());
+        assert_eq!(store.stats().evictions, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_refuses_to_open() {
+        let dir = tmp_dir("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(VERSION_FILE), "gnnunlock-store v0\n").unwrap();
+        let err = DiskStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tags_are_sanitized_into_the_root() {
+        let dir = tmp_dir("sanitize");
+        let store = DiskStore::open(&dir).unwrap();
+        for tag in ["../../escape", "a/b", "", "..", "ok-tag_9"] {
+            let kind = JobKind::Custom(Box::leak(tag.to_string().into_boxed_str()));
+            let path = store.entry_path(kind, 1);
+            assert!(path.starts_with(&dir), "{path:?} escaped {dir:?}");
+            assert!(path
+                .components()
+                .all(|c| c.as_os_str() != ".." && c.as_os_str() != "."));
+        }
+        assert_eq!(sanitize_tag("../x"), "___x");
+        assert_eq!(sanitize_tag(""), "_");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn len_counts_entries() {
+        let dir = tmp_dir("len");
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.save(JobKind::Lock, 1, b"a").unwrap();
+        store.save(JobKind::Lock, 2, b"b").unwrap();
+        store.save(JobKind::Train, 1, b"c").unwrap();
+        assert_eq!(store.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

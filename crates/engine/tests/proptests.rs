@@ -1,0 +1,194 @@
+//! Property tests for the persistence layer: cache-key stability,
+//! event-log round trips, and store path sanitization.
+
+use gnnunlock_engine::{
+    fingerprint, fingerprint_fields, sanitize_tag, DiskStore, Event, JobKind, StageJob,
+};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Build a printable-ish string from raw bytes (lossy UTF-8), so the
+/// generators exercise separators, dots, slashes and control bytes.
+fn bytes_to_string(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn stage_job(kind_pick: usize, scheme: u64, bench: u64, k: usize, s: u64) -> StageJob {
+    let kinds = [
+        JobKind::Lock,
+        JobKind::Synth,
+        JobKind::Dataset,
+        JobKind::Train,
+        JobKind::Attack,
+        JobKind::Verify,
+        JobKind::Aggregate,
+    ];
+    StageJob {
+        kind: kinds[kind_pick % kinds.len()],
+        scheme: format!("scheme{scheme}"),
+        benchmark: bench.is_multiple_of(2).then(|| format!("b{bench}")),
+        key_bits: (!k.is_multiple_of(3)).then_some(k),
+        seed: s.is_multiple_of(2).then_some(s),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cache keys are pure functions of the job spec: recomputing the
+    /// fingerprint — as a separate process would — yields the same key,
+    /// and any change to a field or the salt changes it.
+    #[test]
+    fn cache_keys_are_stable_and_sensitive(
+        kind_pick in 0usize..7,
+        scheme in any::<u64>(),
+        bench in any::<u64>(),
+        k in 1usize..512,
+        s in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let job = stage_job(kind_pick, scheme, bench, k, s);
+        let again = stage_job(kind_pick, scheme, bench, k, s);
+        prop_assert_eq!(job.fingerprint(salt), again.fingerprint(salt));
+        prop_assert_eq!(job.label(), again.label());
+        // Salt sensitivity.
+        prop_assert_ne!(job.fingerprint(salt), job.fingerprint(salt.wrapping_add(1)));
+        // Field sensitivity: a different scheme is a different key.
+        let mut other = job.clone();
+        other.scheme.push('x');
+        prop_assert_ne!(other.fingerprint(salt), job.fingerprint(salt));
+    }
+
+    /// Field-joined fingerprints never depend on how strings are
+    /// concatenated: moving a boundary changes the hash.
+    #[test]
+    fn fingerprint_fields_separate_boundaries(
+        a in prop::collection::vec(97u8..123, 1..8),
+        b in prop::collection::vec(97u8..123, 1..8),
+    ) {
+        let a = bytes_to_string(&a);
+        let b = bytes_to_string(&b);
+        let joined = format!("{a}{b}");
+        prop_assert_ne!(
+            fingerprint_fields(&[&a, &b]),
+            fingerprint_fields(&[joined.as_str()])
+        );
+    }
+
+    /// Event records survive serialize → parse for arbitrary contents,
+    /// including labels with quotes, newlines and control characters.
+    /// (Ids are JSON numbers — exact below 2^53, far above any graph's
+    /// job count; the generator covers the full realistic domain.)
+    #[test]
+    fn event_log_round_trips(
+        variant in 0usize..6,
+        id in 0usize..(1 << 53),
+        label_bytes in prop::collection::vec(0u8..255, 0..24),
+        text_bytes in prop::collection::vec(0u8..255, 0..24),
+        n in any::<u64>(),
+        flag in any::<bool>(),
+        ms_millis in 0u64..10_000_000,
+    ) {
+        let label = bytes_to_string(&label_bytes);
+        let text = bytes_to_string(&text_bytes);
+        let n_us = (n % 1_000_000) as usize;
+        let event = match variant {
+            0 => Event::RunStarted { campaign: text, jobs: n_us, shape: n, resumed: flag },
+            1 => Event::JobStarted { id, label },
+            2 => Event::CacheHit { id, label, source: text },
+            3 => Event::JobFinished {
+                id,
+                label,
+                status: text,
+                ms: ms_millis as f64 / 1000.0,
+            },
+            4 => Event::StageError { id, label, error: text },
+            _ => Event::RunFinished {
+                succeeded: n_us,
+                failed: id % 1000,
+                skipped: (n_us / 7) % 1000,
+                cancelled: flag as usize,
+            },
+        };
+        let line = event.to_jsonl();
+        prop_assert!(!line.contains('\n'), "JSONL must be one line: {line:?}");
+        prop_assert_eq!(Event::parse(&line).unwrap(), event);
+    }
+
+    /// Store paths never escape the cache directory, whatever bytes a
+    /// custom kind tag contains.
+    #[test]
+    fn store_paths_never_escape(tag_bytes in prop::collection::vec(0u8..255, 0..32)) {
+        let tag = bytes_to_string(&tag_bytes);
+        let sanitized = sanitize_tag(&tag);
+        prop_assert!(!sanitized.is_empty());
+        prop_assert!(
+            sanitized.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "sanitize_tag({tag:?}) produced {sanitized:?}"
+        );
+        prop_assert!(!sanitized.contains("..") || sanitized.chars().all(|c| c != '/'));
+        // Through the real path builder: the entry path stays under the
+        // root and introduces no traversal components.
+        let root = Path::new("/cache/root");
+        let path = root
+            .join("objects")
+            .join(&sanitized)
+            .join("ab")
+            .join("0123456789abcdef.bin");
+        prop_assert!(path.starts_with(root));
+        prop_assert!(path.components().all(|c| {
+            let s = c.as_os_str();
+            s != ".." && s != "."
+        }));
+    }
+}
+
+/// The FNV-1a implementation is pinned: these constants must never
+/// change across releases, or every shared cache directory silently
+/// goes cold (and, worse, a *partial* change could alias old entries).
+#[test]
+fn fingerprint_constants_are_pinned() {
+    assert_eq!(fingerprint(b"gnnunlock"), 0x5a334ccdd9ae54ee);
+    assert_eq!(
+        fingerprint_fields(&["attack", "antisat", "c7552", "16", "1", "3"]),
+        0x2b02ccb201bc8e3e
+    );
+    let job = StageJob {
+        kind: JobKind::Attack,
+        scheme: "antisat".into(),
+        benchmark: Some("c7552".into()),
+        key_bits: Some(16),
+        seed: Some(1),
+    };
+    assert_eq!(job.fingerprint(3), 0x2b02ccb201bc8e3e);
+}
+
+/// Disk-store entries round-trip through a real directory for arbitrary
+/// payloads (deterministic sweep, not a proptest: file I/O per case).
+#[test]
+fn store_round_trips_binary_payloads() {
+    let dir = std::env::temp_dir().join(format!("gnnunlock-proptest-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DiskStore::open(&dir).unwrap();
+    for (i, payload) in [
+        Vec::new(),
+        vec![0u8],
+        vec![0xff; 3],
+        (0..=255u8).collect::<Vec<u8>>(),
+        b"GNNUCV1\n".to_vec(), // payload that mimics the entry magic
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let fp = i as u64;
+        store
+            .save(JobKind::Custom("weird/../tag"), fp, &payload)
+            .unwrap();
+        assert_eq!(
+            store.load(JobKind::Custom("weird/../tag"), fp).as_deref(),
+            Some(&payload[..])
+        );
+    }
+    assert_eq!(store.stats().evictions, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -115,6 +115,46 @@ impl SageModel {
         }
     }
 
+    /// The model's four parameter layers, in forward order: encoder,
+    /// hidden 1, hidden 2, head. Together with [`SageModel::from_parts`]
+    /// this lets trained models round-trip through an external
+    /// serialization format (the campaign persistence codec).
+    pub fn parts(&self) -> [&Linear; 4] {
+        [&self.encoder, &self.layer1, &self.layer2, &self.head]
+    }
+
+    /// Reassemble a model from its configuration and parameter layers
+    /// (the inverse of [`SageModel::parts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer shapes do not match `config` — a corrupt or
+    /// mismatched serialization, never a runtime condition.
+    pub fn from_parts(
+        config: ModelConfig,
+        encoder: Linear,
+        layer1: Linear,
+        layer2: Linear,
+        head: Linear,
+    ) -> Self {
+        let h = config.hidden;
+        assert_eq!(
+            (encoder.in_dim(), encoder.out_dim()),
+            (config.feature_len, h),
+            "encoder shape mismatch"
+        );
+        assert_eq!((layer1.in_dim(), layer1.out_dim()), (2 * h, h));
+        assert_eq!((layer2.in_dim(), layer2.out_dim()), (2 * h, h));
+        assert_eq!((head.in_dim(), head.out_dim()), (h, config.classes));
+        SageModel {
+            encoder,
+            layer1,
+            layer2,
+            head,
+            config,
+        }
+    }
+
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.encoder.num_params()

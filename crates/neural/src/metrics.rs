@@ -28,6 +28,26 @@ impl Metrics {
         }
     }
 
+    /// Build directly from a `confusion[true][pred]` matrix — the
+    /// inverse of reading the counts back via [`Metrics::count`], used
+    /// by the campaign persistence codec to round-trip metrics through
+    /// the on-disk result store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn from_confusion(confusion: Vec<Vec<usize>>) -> Self {
+        let num_classes = confusion.len();
+        assert!(
+            confusion.iter().all(|row| row.len() == num_classes),
+            "confusion matrix must be square"
+        );
+        Metrics {
+            num_classes,
+            confusion,
+        }
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.num_classes
@@ -149,6 +169,15 @@ mod tests {
         assert!((m.precision(1) - 0.5).abs() < 1e-12);
         assert!((m.recall(1) - 0.5).abs() < 1e-12);
         assert_eq!(m.misclassified(), 2);
+    }
+
+    #[test]
+    fn from_confusion_round_trips() {
+        let m = Metrics::from_predictions(&[0, 0, 1, 1, 0], &[0, 0, 0, 1, 1], 2);
+        let counts: Vec<Vec<usize>> = (0..2)
+            .map(|l| (0..2).map(|p| m.count(l, p)).collect())
+            .collect();
+        assert_eq!(Metrics::from_confusion(counts), m);
     }
 
     #[test]

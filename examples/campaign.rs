@@ -50,7 +50,9 @@ fn main() {
     let stats = result.run.outcome.stats;
     println!(
         "\njobs: {} total, {} executed, {} cache hits",
-        stats.total, stats.executed, stats.cache_hits
+        stats.total,
+        stats.executed,
+        stats.cache_hits()
     );
 
     // The report is deterministic: same seed => byte-identical JSON on
@@ -68,7 +70,43 @@ fn main() {
     println!(
         "\nre-run: {} executed, {} cache hits (cache stats: {:?})",
         stats.executed,
-        stats.cache_hits,
+        stats.cache_hits(),
         executor.cache().stats()
     );
+
+    // And with a cache directory, results survive the process: trained
+    // models and outcomes are served from the on-disk store, job events
+    // stream to <dir>/events.jsonl, and a killed run can be resumed
+    // with `resume_campaign` — all rendering the byte-identical report.
+    // Per-user path: reusable across runs (that's the demo) without
+    // colliding with other users' stores on a shared machine.
+    let user = std::env::var("USER").unwrap_or_else(|_| "anon".into());
+    let dir = std::env::temp_dir().join(format!("gnnunlock-campaign-example-{user}"));
+    match run_campaign_persistent(
+        "antisat-iscas85",
+        &dataset_cfg,
+        &attack_cfg,
+        ExecConfig::with_workers(workers),
+        &dir,
+    ) {
+        Ok(persisted) => {
+            let stats = persisted.run.outcome.stats;
+            println!(
+                "\npersistent run in {}: {} executed, {} disk hits — run me again \
+                 and training comes off disk",
+                dir.display(),
+                stats.executed,
+                stats.disk_hits,
+            );
+            assert_eq!(
+                persisted.run.report(ReportOptions::default()).to_json(),
+                report.to_json(),
+                "cold, warm and persistent runs render the same report"
+            );
+        }
+        // A stale store from an older schema (or an unwritable tmp) is
+        // an environment problem, not a demo failure: say why and move
+        // on rather than panicking.
+        Err(e) => println!("\npersistent demo skipped ({}: {e})", dir.display()),
+    }
 }

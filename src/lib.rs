@@ -14,7 +14,7 @@
 //! | [`sat`] | `gnnunlock-sat` | CDCL SAT solver + equivalence checking |
 //! | [`neural`] | `gnnunlock-neural` | dense NN substrate (matrices, Adam, metrics) |
 //! | [`gnn`] | `gnnunlock-gnn` | GraphSAGE + GraphSAINT node classification |
-//! | [`engine`] | `gnnunlock-engine` | parallel campaign orchestration: job graphs, worker pool, result cache, JSON run reports |
+//! | [`engine`] | `gnnunlock-engine` | parallel campaign orchestration: job graphs, worker pool, two-tier (memory + disk) result cache, JSONL event streams, resumable runs, JSON run reports |
 //! | [`core`] | `gnnunlock-core` | datasets, attack pipeline, post-processing, removal, campaign semantics |
 //! | [`baselines`] | `gnnunlock-baselines` | SPS, FALL, SFLL-HD-Unlocked, SAT attack |
 //!
@@ -74,12 +74,14 @@ pub mod prelude {
         fall_attack, hd_unlocked_attack, sat_attack, sps_attack, FallStatus, HdUnlockedStatus,
     };
     pub use gnnunlock_core::{
-        aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, postprocess,
-        remove_protection, run_campaign, run_campaign_with_workers, AttackConfig, AttackOutcome,
-        CampaignResult, Dataset, DatasetConfig, DatasetScheme, Suite,
+        aggregate, attack_all, attack_benchmark, attack_instance, attack_targets,
+        attack_targets_on, executor_from_env, postprocess, remove_protection, resume_campaign,
+        run_campaign, run_campaign_persistent, run_campaign_with_workers, AttackConfig,
+        AttackOutcome, CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec, Suite,
     };
     pub use gnnunlock_engine::{
-        CancelToken, ExecConfig, Executor, JobGraph, JobKind, ReportOptions, ResultCache, RunReport,
+        CacheSource, CancelToken, DiskStore, Event, EventLog, ExecConfig, Executor, JobGraph,
+        JobKind, ReportOptions, ResultCache, ResumeInfo, RunReport,
     };
     pub use gnnunlock_gnn::{
         evaluate, merge_graphs, netlist_to_graph, predict, train, CircuitGraph, LabelScheme,

@@ -67,18 +67,27 @@ fn repeated_campaign_hits_the_result_cache() {
 
     let first = run_campaign("cache", &ds, &attack, &executor);
     assert!(first.run.outcome.all_succeeded());
-    assert_eq!(first.run.outcome.stats.cache_hits, 0);
+    assert_eq!(first.run.outcome.stats.cache_hits(), 0);
     assert!(first.run.outcome.stats.executed > 0);
 
-    // The repeated run skips every job; the report counters prove it.
+    // The repeated run skips every job; the provenance counters prove
+    // it (the default report deliberately hides cache provenance so
+    // cold and warm runs render byte-identical documents).
     let second = run_campaign("cache", &ds, &attack, &executor);
     assert_eq!(second.run.outcome.stats.executed, 0);
     assert_eq!(
-        second.run.outcome.stats.cache_hits,
+        second.run.outcome.stats.cache_hits(),
         second.run.outcome.stats.total
     );
-    let report = second.run.report(ReportOptions::default()).to_json();
-    assert!(report.contains("\"cache_hits\": ") && report.contains("\"executed\": 0"));
+    assert_eq!(
+        first.run.report(ReportOptions::default()).to_json(),
+        second.run.report(ReportOptions::default()).to_json(),
+    );
+    let report = second
+        .run
+        .report(ReportOptions::default().with_provenance())
+        .to_json();
+    assert!(report.contains("\"memory_hits\": ") && report.contains("\"executed\": 0"));
 
     // Same numbers out of the cache as out of the real run.
     assert_eq!(first.outcomes.len(), second.outcomes.len());

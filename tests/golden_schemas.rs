@@ -1,0 +1,145 @@
+//! Golden-file tests pinning the externally visible schemas: the JSONL
+//! event-log records and the RunReport JSON document.
+//!
+//! These files are load-bearing interfaces — other processes tail the
+//! event log, and shared cache directories + CI diffs depend on report
+//! stability — so any schema drift must be a conscious, reviewed
+//! change. To update after an intentional change:
+//!
+//! ```text
+//! GNNUNLOCK_UPDATE_GOLDEN=1 cargo test --test golden_schemas
+//! git diff tests/golden/   # review the drift, then commit it
+//! ```
+
+use gnnunlock::engine::{Event, ExecConfig, Executor, JobGraph, JobKind, JobValue};
+use gnnunlock::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("GNNUNLOCK_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with GNNUNLOCK_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "schema drift against {}; if intentional, regenerate with \
+         GNNUNLOCK_UPDATE_GOLDEN=1 and commit the diff",
+        path.display()
+    );
+}
+
+/// One representative record per event type, with fixed volatile fields.
+fn canonical_events() -> Vec<Event> {
+    vec![
+        Event::RunStarted {
+            campaign: "antisat-iscas85".into(),
+            jobs: 16,
+            shape: 0x00ab54a98ceb1f0a,
+            resumed: false,
+        },
+        Event::JobStarted {
+            id: 0,
+            label: "lock/antisat/c1355/k8/s0".into(),
+        },
+        Event::JobFinished {
+            id: 0,
+            label: "lock/antisat/c1355/k8/s0".into(),
+            status: "ok".into(),
+            ms: 12.5,
+        },
+        Event::CacheHit {
+            id: 1,
+            label: "train/antisat/c1355".into(),
+            source: "disk".into(),
+        },
+        Event::StageError {
+            id: 2,
+            label: "attack/antisat/c1355/k8/s0".into(),
+            error: "job panicked: \"model diverged\"".into(),
+        },
+        Event::JobFinished {
+            id: 2,
+            label: "attack/antisat/c1355/k8/s0".into(),
+            status: "failed".into(),
+            ms: 3.25,
+        },
+        Event::RunStarted {
+            campaign: "antisat-iscas85".into(),
+            jobs: 16,
+            shape: 0x00ab54a98ceb1f0a,
+            resumed: true,
+        },
+        Event::RunFinished {
+            succeeded: 14,
+            failed: 1,
+            skipped: 1,
+            cancelled: 0,
+        },
+    ]
+}
+
+#[test]
+fn event_jsonl_schema_is_pinned() {
+    let mut doc = String::new();
+    for event in canonical_events() {
+        doc.push_str(&event.to_jsonl());
+        doc.push('\n');
+    }
+    assert_golden("events.jsonl", &doc);
+    // And the pinned lines still parse back to the same events (the
+    // replay path reads exactly what the golden pins).
+    for (line, event) in doc.lines().zip(canonical_events()) {
+        assert_eq!(Event::parse(line).unwrap(), event);
+    }
+}
+
+/// A fixed 4-job graph covering ok / cached-kind / failed / skipped, so
+/// the report goldens exercise every job field including `detail`.
+fn canonical_outcome() -> gnnunlock::engine::RunOutcome {
+    let mut g = JobGraph::new();
+    let lock = g.add("lock/demo", JobKind::Lock, Some(9), vec![], |_| {
+        Ok(Arc::new("locked".to_string()) as JobValue)
+    });
+    let train = g.add("train/demo", JobKind::Train, Some(10), vec![lock], |_| {
+        Err("training diverged".into())
+    });
+    g.add("attack/demo", JobKind::Attack, None, vec![train], |_| {
+        Ok(Arc::new(0u64) as JobValue)
+    });
+    g.add("aggregate/demo", JobKind::Aggregate, None, vec![], |_| {
+        Ok(Arc::new(1u64) as JobValue)
+    });
+    Executor::new(ExecConfig::with_workers(1)).run(g)
+}
+
+#[test]
+fn run_report_schema_is_pinned() {
+    let outcome = canonical_outcome();
+    let report = RunReport::from_outcome("golden", &outcome, ReportOptions::default());
+    assert_golden("run_report.json", &report.to_json());
+}
+
+#[test]
+fn run_report_provenance_schema_is_pinned() {
+    let outcome = canonical_outcome();
+    let report = RunReport::from_outcome(
+        "golden",
+        &outcome,
+        ReportOptions::default().with_provenance(),
+    );
+    assert_golden("run_report_provenance.json", &report.to_json());
+}

@@ -1,0 +1,370 @@
+//! Persistence integration tests: the on-disk result store, the JSONL
+//! event log, and resumable campaigns.
+//!
+//! The determinism contract under test: **the same campaign produces a
+//! byte-identical default report whether it is computed cold, served
+//! warm from a shared cache directory, or killed mid-run and resumed.**
+
+use gnnunlock::engine::{
+    Campaign, CampaignRunner, EventLog, JobCtx, JobOutput, JobValue, StageJob, ValueCodec,
+    EVENTS_FILE,
+};
+use gnnunlock::gnn::{SaintConfig, TrainConfig};
+use gnnunlock::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gnnunlock-persistence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Toy campaign: echo-style string stages with a string codec. Fast, and
+// every job is persistable, so store behavior is fully observable.
+// ---------------------------------------------------------------------
+
+struct ToyCodec;
+
+impl ValueCodec for ToyCodec {
+    fn encode(&self, _kind: gnnunlock::engine::JobKind, value: &JobValue) -> Option<Vec<u8>> {
+        value
+            .downcast_ref::<String>()
+            .map(|s| s.as_bytes().to_vec())
+    }
+
+    fn decode(&self, _kind: gnnunlock::engine::JobKind, bytes: &[u8]) -> Option<JobValue> {
+        Some(Arc::new(String::from_utf8(bytes.to_vec()).ok()?) as JobValue)
+    }
+}
+
+struct ToyRunner;
+
+impl CampaignRunner for ToyRunner {
+    fn config_salt(&self) -> u64 {
+        42
+    }
+
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        Some(Arc::new(ToyCodec))
+    }
+
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+        let inputs: Vec<String> = (0..ctx.deps.len())
+            .map(|i| ctx.dep::<String>(i).as_ref().clone())
+            .collect();
+        Ok(Arc::new(format!("{}<-[{}]", job.label(), inputs.join(";"))) as JobValue)
+    }
+}
+
+/// A runner that cancels the run after `n` completed jobs — an
+/// in-process stand-in for `kill -9` mid-campaign: the store keeps what
+/// finished, the event log keeps the stream, the rest never happens.
+struct KillAfter {
+    remaining: AtomicUsize,
+    token: CancelToken,
+}
+
+impl CampaignRunner for KillAfter {
+    fn config_salt(&self) -> u64 {
+        ToyRunner.config_salt()
+    }
+
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        ToyRunner.codec()
+    }
+
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+        let out = ToyRunner.run(job, ctx);
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.token.cancel();
+        }
+        out
+    }
+}
+
+fn toy_campaign() -> Campaign {
+    Campaign::builder("persist")
+        .scheme("antisat")
+        .benchmarks(["c1", "c2"])
+        .key_sizes([8])
+        .seeds([0, 1])
+        .build()
+}
+
+#[test]
+fn cold_warm_and_plain_reports_are_byte_identical() {
+    let dir = tmp_dir("cold-warm");
+    let campaign = toy_campaign();
+
+    // Reference: a plain in-memory run.
+    let plain = campaign.execute(&ToyRunner, &Executor::new(ExecConfig::with_workers(2)));
+    // Cold persistent run.
+    let cold = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(2), &dir)
+        .unwrap();
+    assert_eq!(cold.outcome.stats.executed, campaign.plan().len());
+    // Warm run in a "new process" (fresh executor, same directory).
+    let warm = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(4), &dir)
+        .unwrap();
+    assert_eq!(warm.outcome.stats.disk_hits, campaign.plan().len());
+    assert_eq!(warm.outcome.stats.executed, 0);
+
+    let render =
+        |run: &gnnunlock::engine::CampaignRun| run.report(ReportOptions::default()).to_json();
+    assert_eq!(render(&plain), render(&cold));
+    assert_eq!(render(&cold), render(&warm));
+
+    // Provenance (opt-in) does distinguish them — that's its job.
+    let prov = |run: &gnnunlock::engine::CampaignRun| {
+        run.report(ReportOptions::default().with_provenance())
+            .to_json()
+    };
+    assert_ne!(prov(&cold), prov(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_campaign_resumes_to_identical_report() {
+    let uninterrupted_dir = tmp_dir("kill-ref");
+    let interrupted_dir = tmp_dir("kill-resume");
+    let campaign = toy_campaign();
+    let total = campaign.plan().len();
+
+    // Reference: uninterrupted persistent run.
+    let reference = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(1), &uninterrupted_dir)
+        .unwrap();
+    let reference_report = reference.report(ReportOptions::default()).to_json();
+
+    // "Kill" a run after 3 completed jobs (single worker: determinate).
+    let kill_after = 3;
+    let cfg = ExecConfig::with_workers(1);
+    let killer = KillAfter {
+        remaining: AtomicUsize::new(kill_after),
+        token: cfg.cancel.clone(),
+    };
+    let partial = campaign
+        .execute_persistent(&killer, cfg, &interrupted_dir)
+        .unwrap();
+    assert_eq!(partial.outcome.stats.executed, kill_after);
+    assert_eq!(partial.outcome.stats.cancelled, total - kill_after);
+
+    // Tear the event log's tail, as a mid-record crash would.
+    let events_path = interrupted_dir.join(EVENTS_FILE);
+    let mut text = std::fs::read_to_string(&events_path).unwrap();
+    text.push_str("{\"ev\":\"job-finis");
+    std::fs::write(&events_path, text).unwrap();
+
+    // Resume: completed jobs come off disk, the rest recompute.
+    let (resumed, info) = campaign
+        .resume(&ToyRunner, ExecConfig::with_workers(2), &interrupted_dir)
+        .unwrap();
+    assert!(info.log_truncated, "torn tail must be detected");
+    assert_eq!(info.prior_completed, kill_after);
+    assert_eq!(resumed.outcome.stats.disk_hits, kill_after);
+    assert_eq!(resumed.outcome.stats.executed, total - kill_after);
+    assert!(resumed.outcome.all_succeeded());
+    assert_eq!(
+        resumed.report(ReportOptions::default()).to_json(),
+        reference_report,
+        "a resumed run must render the byte-identical report"
+    );
+
+    // The appended log now records both runs; the second is marked
+    // resumed.
+    let replay = EventLog::replay(&events_path).unwrap();
+    let resumed_flags: Vec<bool> = replay
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RunStarted { resumed, .. } => Some(*resumed),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(resumed_flags, vec![false, true]);
+    let _ = std::fs::remove_dir_all(&uninterrupted_dir);
+    let _ = std::fs::remove_dir_all(&interrupted_dir);
+}
+
+#[test]
+fn corrupted_cache_entries_are_evicted_and_recomputed() {
+    let dir = tmp_dir("corruption");
+    let campaign = toy_campaign();
+    let total = campaign.plan().len();
+
+    let cold = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(2), &dir)
+        .unwrap();
+    let reference = cold.report(ReportOptions::default()).to_json();
+
+    // Corrupt one entry (flip a payload byte) and truncate another.
+    let objects: Vec<PathBuf> = walk_bins(&dir.join("objects"));
+    assert_eq!(objects.len(), total);
+    let mut bytes = std::fs::read(&objects[0]).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x55;
+    std::fs::write(&objects[0], &bytes).unwrap();
+    let bytes = std::fs::read(&objects[1]).unwrap();
+    std::fs::write(&objects[1], &bytes[..bytes.len() / 2]).unwrap();
+
+    // Warm run: the two bad entries are detected, evicted and
+    // recomputed — never trusted.
+    let warm = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(2), &dir)
+        .unwrap();
+    assert!(warm.outcome.all_succeeded());
+    assert_eq!(warm.outcome.stats.disk_hits, total - 2);
+    assert_eq!(warm.outcome.stats.executed, 2);
+    assert_eq!(warm.report(ReportOptions::default()).to_json(), reference);
+
+    // Eviction happened on disk and was recounted on recompute.
+    let again = campaign
+        .execute_persistent(&ToyRunner, ExecConfig::with_workers(2), &dir)
+        .unwrap();
+    assert_eq!(again.outcome.stats.disk_hits, total);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn walk_bins(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk_bins(&path));
+        } else if path.extension().is_some_and(|e| e == "bin") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn job_panics_surface_in_the_event_log_with_their_id() {
+    struct PanicOn;
+
+    impl CampaignRunner for PanicOn {
+        fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+            if job.label() == "train/antisat/c1" {
+                panic!("training diverged on {}", job.label());
+            }
+            ToyRunner.run(job, ctx)
+        }
+    }
+
+    let dir = tmp_dir("panics");
+    let campaign = toy_campaign();
+    let run = campaign
+        .execute_persistent(&PanicOn, ExecConfig::with_workers(2), &dir)
+        .unwrap();
+    assert_eq!(run.outcome.stats.failed, 1);
+    let failed_id = run
+        .outcome
+        .records
+        .iter()
+        .position(|r| matches!(r.status, gnnunlock::engine::JobStatus::Failed(_)))
+        .unwrap();
+
+    let replay = EventLog::replay(&dir.join(EVENTS_FILE)).unwrap();
+    let (id, error) = replay
+        .events
+        .iter()
+        .find_map(|e| match e {
+            Event::StageError { id, error, .. } => Some((*id, error.clone())),
+            _ => None,
+        })
+        .expect("the panic must be a stage-error event");
+    assert_eq!(id, failed_id);
+    assert!(
+        error.contains("job panicked") && error.contains("training diverged"),
+        "{error}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// The real pipeline: a small Anti-SAT campaign, persisted and resumed.
+// ---------------------------------------------------------------------
+
+fn real_cfgs() -> (DatasetConfig, AttackConfig) {
+    let mut ds = DatasetConfig::antisat(Suite::Iscas85, 0.02);
+    ds.key_sizes = vec![8];
+    ds.locks_per_config = 1;
+    let attack = AttackConfig {
+        train: TrainConfig {
+            epochs: 40,
+            hidden: 24,
+            eval_every: 10,
+            patience: 0,
+            saint: SaintConfig {
+                roots: 200,
+                walk_length: 2,
+                estimation_rounds: 3,
+                seed: 7,
+            },
+            class_weighting: false,
+            ..TrainConfig::default()
+        },
+        ..AttackConfig::default()
+    };
+    (ds, attack)
+}
+
+#[test]
+fn real_campaign_cold_warm_resume_byte_identical() {
+    let dir = tmp_dir("real");
+    let (ds, attack) = real_cfgs();
+
+    // Cold persistent run == plain in-memory run, byte for byte.
+    let plain = run_campaign_with_workers("real", &ds, &attack, 2);
+    let cold =
+        run_campaign_persistent("real", &ds, &attack, ExecConfig::with_workers(2), &dir).unwrap();
+    assert!(cold.run.outcome.all_succeeded());
+    let reference = plain.run.report(ReportOptions::default()).to_json();
+    assert_eq!(
+        cold.run.report(ReportOptions::default()).to_json(),
+        reference
+    );
+
+    // Trained models and outcomes hit the store; lock/dataset/attack
+    // stages recompute by design.
+    let warm =
+        run_campaign_persistent("real", &ds, &attack, ExecConfig::with_workers(2), &dir).unwrap();
+    assert!(
+        warm.run.outcome.stats.disk_hits > 0,
+        "models must come off disk"
+    );
+    assert_eq!(
+        warm.run.report(ReportOptions::default()).to_json(),
+        reference
+    );
+    // Numeric outcomes identical to the cold run's.
+    assert_eq!(cold.outcomes.len(), warm.outcomes.len());
+    for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.avg_gnn_accuracy(), b.avg_gnn_accuracy());
+        assert_eq!(a.avg_post_accuracy(), b.avg_post_accuracy());
+        assert_eq!(a.removal_success_rate(), b.removal_success_rate());
+    }
+
+    // Resume over the same directory: also byte-identical, and the
+    // replay sees the earlier completions.
+    let (resumed, info) =
+        resume_campaign("real", &ds, &attack, ExecConfig::with_workers(2), &dir).unwrap();
+    assert!(info.prior_completed > 0);
+    assert_eq!(
+        resumed.run.report(ReportOptions::default()).to_json(),
+        reference
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
