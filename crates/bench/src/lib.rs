@@ -12,7 +12,9 @@
 //! | `GNNUNLOCK_FULL` | unset | set to `1` to attack every benchmark instead of a representative subset |
 //! | `GNNUNLOCK_WORKERS` | #cpus | engine worker threads (affects wall-clock only, never results) |
 //! | `GNNUNLOCK_CACHE_DIR` | unset | persistent result-cache directory; repeated/parallel invocations skip completed work (never changes results) |
+//! | `GNNUNLOCK_CACHE_BUDGET_BYTES` | unset | cache-size budget: after each run, least-recently-used store entries are evicted down to this many bytes (this run's entries are never evicted) |
 //! | `GNNUNLOCK_EVENTS` | unset | stream per-job JSONL events to this file while the binary runs |
+//! | `GNNUNLOCK_CKPT_EPOCHS` | `50` | training epochs per resumable `train-epoch` checkpoint job (granularity only, never results) |
 
 use gnnunlock_core::{AttackConfig, AttackOutcome};
 use gnnunlock_engine::{ExecConfig, Executor};
@@ -62,7 +64,10 @@ pub fn executor() -> Executor {
 }
 
 /// Print a one-line cache summary after a run when a persistent cache
-/// is active (how much work the shared directory saved).
+/// is active (how much work the shared directory saved), then enforce
+/// the `GNNUNLOCK_CACHE_BUDGET_BYTES` size budget: least-recently-used
+/// store entries are garbage-collected down to the budget, never
+/// touching entries this run produced or consumed.
 pub fn print_cache_summary(executor: &Executor) {
     if let Some(store) = executor.cache().store() {
         let cache = executor.cache().stats();
@@ -72,6 +77,12 @@ pub fn print_cache_summary(executor: &Executor) {
              store: {} saved, {} evicted-corrupt",
             cache.hits, cache.disk_hits, cache.misses, disk.saves, disk.evictions
         );
+        if let Some(gc) = store.gc_from_env() {
+            eprintln!(
+                "[gnnunlock] cache gc: {} -> {} bytes ({} entries evicted, {} live kept)",
+                gc.bytes_before, gc.bytes_after, gc.evicted_entries, gc.live_protected
+            );
+        }
     }
 }
 
@@ -92,6 +103,7 @@ pub fn attack_config() -> AttackConfig {
             class_weighting: false,
             ..TrainConfig::default()
         },
+        checkpoint_epochs: env_usize("GNNUNLOCK_CKPT_EPOCHS", 50).max(1),
         ..AttackConfig::default()
     }
 }

@@ -243,16 +243,15 @@ pub(crate) fn lock_instance(
     .ok()
 }
 
-/// Synthesize (for Verilog flows), build the labelled graph, and wrap up
-/// a [`LockedInstance`]. `None` when synthesis rejects the netlist.
-pub(crate) fn finish_instance(
+/// The synthesis stage of one instance (Verilog flows; a no-op for
+/// `Bench8`). `None` when synthesis rejects the netlist.
+pub(crate) fn synth_locked(
     config: &DatasetConfig,
     benchmark: &str,
-    original: &Netlist,
     mut locked: LockedCircuit,
     key_bits: usize,
     copy: usize,
-) -> Option<LockedInstance> {
+) -> Option<LockedCircuit> {
     if config.library != CellLibrary::Bench8 {
         let seed = config.instance_seed(benchmark, key_bits, copy);
         let synth_cfg = SynthesisConfig {
@@ -265,19 +264,48 @@ pub(crate) fn finish_instance(
             Err(_) => return None,
         }
     }
+    Some(locked)
+}
+
+/// The feature-extraction stage: build the labelled graph of a
+/// (post-synthesis) locked netlist and wrap up a [`LockedInstance`].
+pub(crate) fn graph_instance(
+    config: &DatasetConfig,
+    benchmark: &str,
+    original: &Netlist,
+    locked: LockedCircuit,
+    key_bits: usize,
+    copy: usize,
+) -> LockedInstance {
     let graph = netlist_to_graph(
         &locked.netlist,
         config.library,
         config.scheme.label_scheme(),
     );
-    Some(LockedInstance {
+    LockedInstance {
         benchmark: benchmark.to_string(),
         key_bits,
         copy,
         original: original.clone(),
         locked,
         graph,
-    })
+    }
+}
+
+/// Synthesize (for Verilog flows), build the labelled graph, and wrap up
+/// a [`LockedInstance`]. `None` when synthesis rejects the netlist.
+pub(crate) fn finish_instance(
+    config: &DatasetConfig,
+    benchmark: &str,
+    original: &Netlist,
+    locked: LockedCircuit,
+    key_bits: usize,
+    copy: usize,
+) -> Option<LockedInstance> {
+    let locked = synth_locked(config, benchmark, locked, key_bits, copy)?;
+    Some(graph_instance(
+        config, benchmark, original, locked, key_bits, copy,
+    ))
 }
 
 impl Dataset {

@@ -36,15 +36,16 @@ mod postprocess;
 mod removal;
 
 pub use campaign::{
-    cache_dir_from_env, campaign_for, campaign_scheme_tag, events_path_from_env, executor_from_env,
-    resume_campaign, run_campaign, run_campaign_persistent, run_campaign_with_workers,
-    AttackCampaignRunner, CampaignResult,
+    cache_dir_from_env, campaign_for, campaign_for_targets, campaign_scheme_tag, checkpoint_blocks,
+    events_path_from_env, executor_from_env, resume_campaign, run_campaign,
+    run_campaign_persistent, run_campaign_with_workers, AttackCampaignRunner, CampaignResult,
 };
 pub use dataset::{Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite};
-pub use persist::{PipelineCodec, TrainValue};
+pub use persist::{CheckpointValue, ClassifyArtifact, PipelineCodec, RemovalArtifact, TrainValue};
 pub use pipeline::{
     aggregate, attack_all, attack_benchmark, attack_instance, attack_targets, attack_targets_on,
-    classify_instance, verify_instance, AggregateRow, AttackConfig, AttackOutcome, InstanceOutcome,
+    classify_instance, recover_design, verify_instance, verify_recovered, AggregateRow,
+    AttackConfig, AttackOutcome, InstanceOutcome,
 };
 pub use postprocess::{postprocess, postprocess_antisat, postprocess_sfll};
 pub use removal::remove_protection;

@@ -19,6 +19,13 @@ pub struct AttackConfig {
     pub postprocess: bool,
     /// Verify recovered designs with the SAT equivalence checker.
     pub verify: bool,
+    /// Campaign checkpoint granularity: training epochs per resumable
+    /// `train-epoch` stage job. A campaign plans
+    /// `ceil(train.epochs / checkpoint_epochs)` chained checkpoint jobs
+    /// per target, each persisted independently, so a killed run resumes
+    /// from the last completed block instead of retraining from scratch.
+    /// Never affects results — only how often training state hits disk.
+    pub checkpoint_epochs: usize,
 }
 
 impl Default for AttackConfig {
@@ -27,6 +34,7 @@ impl Default for AttackConfig {
             train: TrainConfig::default(),
             postprocess: true,
             verify: true,
+            checkpoint_epochs: 50,
         }
     }
 }
@@ -159,19 +167,32 @@ pub fn classify_instance(
     (outcome, preds)
 }
 
-/// The removal + SAT-verification stage: delete the predicted protection
-/// logic and check the recovered design against the original (the
-/// paper's "removal success" column).
-pub fn verify_instance(inst: &LockedInstance, preds: &[usize]) -> bool {
-    let recovered = remove_protection(&inst.locked.netlist, &inst.graph, preds);
+/// The removal stage: delete the predicted protection logic from a
+/// locked instance, recovering a candidate design.
+pub fn recover_design(inst: &LockedInstance, preds: &[usize]) -> gnnunlock_netlist::Netlist {
+    remove_protection(&inst.locked.netlist, &inst.graph, preds)
+}
+
+/// The SAT-verification stage: check a recovered design against the
+/// original (the paper's "removal success" column).
+pub fn verify_recovered(
+    original: &gnnunlock_netlist::Netlist,
+    recovered: &gnnunlock_netlist::Netlist,
+) -> bool {
     let opts = EquivOptions {
         key_b: Some(vec![false; recovered.key_inputs().len()]),
         ..Default::default()
     };
     matches!(
-        check_equivalence(&inst.original, &recovered, &opts),
+        check_equivalence(original, recovered, &opts),
         EquivResult::Equivalent
     )
+}
+
+/// The removal + SAT-verification stages in one call
+/// ([`recover_design`] then [`verify_recovered`]).
+pub fn verify_instance(inst: &LockedInstance, preds: &[usize]) -> bool {
+    verify_recovered(&inst.original, &recover_design(inst, preds))
 }
 
 /// Attack a single locked instance with a trained model
@@ -217,60 +238,54 @@ fn taxonomy(preds: &[usize], graph: &gnnunlock_gnn::CircuitGraph) -> Vec<String>
 /// post-processing and SAT verification are all deterministic per
 /// seed).
 ///
-/// Each job is fingerprinted over the full dataset + attack
-/// configuration and the target name, so an executor whose cache is
-/// shared — in-process, or across processes via a disk-backed cache
-/// (see [`crate::executor_from_env`]) — skips targets that were already
-/// attacked anywhere with the identical configuration. (The
-/// fingerprint derives from `dataset.config`, which fully determines
-/// the instances when the dataset came from [`Dataset::generate`] —
-/// hand-modified instance lists would alias, so don't cache those.)
+/// The targets run as a stage DAG restricted to those benchmarks (see
+/// [`crate::campaign_for_targets`]): parse → lock → featurize → dataset
+/// over the whole suite, then a resumable `train-epoch` checkpoint
+/// chain, classification, removal and verification per target cell.
+/// Every stage is content-addressed over its input cone, so an executor
+/// whose cache is shared — in-process, or across processes via a
+/// disk-backed cache (see [`crate::executor_from_env`]) — reuses every
+/// stage completed anywhere with the identical upstream configuration:
+/// two table binaries pointed at one `GNNUNLOCK_CACHE_DIR` share parsed
+/// netlists, locked instances and trained models transparently.
+///
+/// The stage DAG regenerates instances from `dataset.config`, which
+/// fully determines them when the dataset came from
+/// [`Dataset::generate`]; hand-modified instance lists are not seen by
+/// the stages, so don't use this entry point for those.
 ///
 /// # Panics
 ///
-/// Panics (with the underlying job's failure message — e.g.
-/// `attack_benchmark`'s "empty training set" on a dataset with fewer
-/// than three feasible benchmarks) if any target's attack fails.
+/// Panics if any requested target produced no outcome — an unknown
+/// benchmark name, or a target whose leave-one-out training is
+/// infeasible on this dataset (fewer than three feasible benchmarks).
 pub fn attack_targets_on(
     dataset: &Dataset,
     targets: &[String],
     cfg: &AttackConfig,
     executor: &gnnunlock_engine::Executor,
 ) -> Vec<AttackOutcome> {
-    use gnnunlock_engine::{fingerprint_fields, JobGraph, JobKind, JobValue};
-    use std::sync::Arc;
-
-    let mut graph = JobGraph::new();
-    let ids: Vec<_> = targets
+    let campaign = crate::campaign_for_targets("attack-targets", &dataset.config, cfg, targets);
+    let runner = crate::AttackCampaignRunner::with_targets(&dataset.config, cfg, targets);
+    let run = campaign.execute(&runner, executor);
+    let outcomes = run
+        .aggregate::<Vec<AttackOutcome>>(&crate::campaign_scheme_tag(&dataset.config))
+        .map(|a| a.as_ref().clone())
+        .unwrap_or_default();
+    // Results in `targets` order, as documented.
+    targets
         .iter()
         .map(|b| {
-            let fp = fingerprint_fields(&[
-                "attack-benchmark",
-                &format!("{:?}", dataset.config),
-                &format!("{:?}", cfg.train),
-                &format!("{}{}", cfg.postprocess, cfg.verify),
-                b,
-            ]);
-            graph.add(
-                format!("attack/{}/{b}", dataset.config.scheme.name()),
-                JobKind::Attack,
-                Some(fp),
-                vec![],
-                move |_ctx| Ok(Arc::new(attack_benchmark(dataset, b, cfg)) as JobValue),
-            )
-        })
-        .collect();
-    let out = executor.run(graph);
-    ids.iter()
-        .map(|&id| match out.value::<AttackOutcome>(id) {
-            Some(v) => v.as_ref().clone(),
-            None => {
-                let rec = &out.records[id.index()];
-                panic!(
-                    "attack job '{}' did not succeed: {:?}",
-                    rec.label, rec.status
-                );
-            }
+            outcomes
+                .iter()
+                .find(|o| &o.benchmark == b)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "attack on '{b}' produced no outcome (unknown benchmark, \
+                         or leave-one-out training infeasible on this dataset)"
+                    )
+                })
+                .clone()
         })
         .collect()
 }

@@ -3,8 +3,10 @@
 //!
 //! A [`Campaign`] captures the *shape* of an experiment — which
 //! benchmarks, locking schemes, key sizes and lock seeds, and which
-//! pipeline stages (lock → synth → dataset → train → attack → verify →
-//! aggregate) apply — without knowing anything about netlists or GNNs.
+//! pipeline stages (parse → lock → synth → featurize → dataset →
+//! `train-epoch` checkpoint chain → train → classify → remove → verify
+//! → aggregate) apply — without knowing anything about netlists or
+//! GNNs.
 //! A [`CampaignRunner`] supplies the semantics of each stage; the
 //! GNNUnlock implementation lives in `gnnunlock-core::campaign`, keeping
 //! this crate std-only and dependency-free.
@@ -38,12 +40,20 @@ pub struct StageJob {
     pub key_bits: Option<usize>,
     /// Lock-seed index, for per-instance stages.
     pub seed: Option<u64>,
+    /// Checkpoint-chain link index, for `train-epoch` stages.
+    pub epoch: Option<usize>,
 }
 
 impl StageJob {
-    /// Stable human-readable label, e.g. `attack/antisat/c7552/k16/s1`.
+    /// Stable human-readable label, e.g. `classify/antisat/c7552/k16/s1`
+    /// or `train-epoch/antisat/c7552/e3`. Scheme-free jobs (`parse`)
+    /// omit the scheme segment: `parse/c7552`.
     pub fn label(&self) -> String {
-        let mut s = format!("{}/{}", self.kind.tag(), self.scheme);
+        let mut s = self.kind.tag().to_string();
+        if !self.scheme.is_empty() {
+            s.push('/');
+            s.push_str(&self.scheme);
+        }
         if let Some(b) = &self.benchmark {
             s.push('/');
             s.push_str(b);
@@ -54,18 +64,35 @@ impl StageJob {
         if let Some(seed) = self.seed {
             s.push_str(&format!("/s{seed}"));
         }
+        if let Some(e) = self.epoch {
+            s.push_str(&format!("/e{e}"));
+        }
         s
     }
 
-    /// Content fingerprint of this job under `salt` (the runner's
-    /// configuration identity).
+    /// Content fingerprint of this job's *own* fields under `salt` (the
+    /// runner's per-stage configuration identity). The full cache key of
+    /// a planned job is the Merkle composition of this value with its
+    /// dependencies' keys (see [`Campaign::execute`]), so a job's
+    /// address captures everything upstream that feeds it.
+    ///
+    /// `parse` jobs exclude the scheme: the original, pre-locking
+    /// netlist is scheme-independent, so campaigns of different schemes
+    /// (and different tables sharing a cache directory) reuse each
+    /// other's parse results.
     pub fn fingerprint(&self, salt: u64) -> u64 {
+        let scheme = if self.kind == JobKind::Parse {
+            ""
+        } else {
+            self.scheme.as_str()
+        };
         fingerprint_fields(&[
             self.kind.tag(),
-            &self.scheme,
+            scheme,
             self.benchmark.as_deref().unwrap_or(""),
             &self.key_bits.map(|k| k.to_string()).unwrap_or_default(),
             &self.seed.map(|s| s.to_string()).unwrap_or_default(),
+            &self.epoch.map(|e| e.to_string()).unwrap_or_default(),
             &salt.to_string(),
         ])
     }
@@ -84,6 +111,19 @@ pub trait CampaignRunner: Sync {
     /// Configuration identity mixed into every job fingerprint.
     fn config_salt(&self) -> u64 {
         0
+    }
+
+    /// Configuration identity of one *stage*, mixed into that stage's
+    /// own fingerprint before Merkle composition. Defaults to
+    /// [`CampaignRunner::config_salt`]; runners that want cross-campaign
+    /// stage reuse override this to fold in only the configuration bits
+    /// that actually affect the stage's output (e.g. a `parse` stage
+    /// depends on the benchmark scale but not on training
+    /// hyperparameters, so two campaigns differing only in epochs share
+    /// parse entries).
+    fn stage_salt(&self, kind: JobKind) -> u64 {
+        let _ = kind;
+        self.config_salt()
     }
 
     /// The codec used to persist this runner's stage outputs on disk
@@ -109,6 +149,8 @@ pub struct CampaignBuilder {
     seeds: Vec<u64>,
     synth: bool,
     verify: bool,
+    epoch_jobs: usize,
+    targets: Option<Vec<String>>,
 }
 
 impl CampaignBuilder {
@@ -122,6 +164,8 @@ impl CampaignBuilder {
             seeds: vec![0],
             synth: false,
             verify: true,
+            epoch_jobs: 1,
+            targets: None,
         }
     }
 
@@ -156,10 +200,34 @@ impl CampaignBuilder {
         self
     }
 
-    /// Include the SAT-verification stage after each attack. On by
-    /// default.
+    /// Include the removal + SAT-verification stages after each
+    /// classification. On by default.
     pub fn with_verification(mut self, yes: bool) -> Self {
         self.verify = yes;
+        self
+    }
+
+    /// Split each target's training into `n` chained `train-epoch`
+    /// checkpoint jobs (clamped to ≥ 1; default 1 = one block). Each
+    /// link resumes from its predecessor's checkpoint, so a killed run
+    /// restarts mid-training from the last persisted link instead of
+    /// from scratch.
+    pub fn train_checkpoints(mut self, n: usize) -> Self {
+        self.epoch_jobs = n.max(1);
+        self
+    }
+
+    /// Attack only these benchmarks (default: every benchmark). The
+    /// dataset stages (parse → lock → featurize → dataset) still cover
+    /// the full benchmark axis — leave-one-out training needs every
+    /// instance — but training chains, classification, removal,
+    /// verification and aggregation are planned for the listed targets
+    /// only. Unknown names are ignored.
+    pub fn attack_targets<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        targets: I,
+    ) -> Self {
+        self.targets = Some(targets.into_iter().map(Into::into).collect());
         self
     }
 
@@ -179,74 +247,123 @@ impl CampaignBuilder {
             plan.push((job, deps));
             plan.len() - 1
         };
-        let job =
-            |kind, scheme: &str, benchmark: Option<&str>, k: Option<usize>, s: Option<u64>| {
-                StageJob {
-                    kind,
-                    scheme: scheme.to_string(),
-                    benchmark: benchmark.map(str::to_string),
-                    key_bits: k,
-                    seed: s,
-                }
-            };
+        let job = |kind,
+                   scheme: &str,
+                   benchmark: Option<&str>,
+                   k: Option<usize>,
+                   s: Option<u64>,
+                   e: Option<usize>| StageJob {
+            kind,
+            scheme: scheme.to_string(),
+            benchmark: benchmark.map(str::to_string),
+            key_bits: k,
+            seed: s,
+            epoch: e,
+        };
+
+        // One parse job per benchmark, planned once for the whole
+        // campaign: the original netlist is shared by every
+        // {scheme × key size × seed} cell of that benchmark (and, via
+        // its scheme-free content address, by other campaigns in the
+        // same cache directory). Parse jobs carry no scheme at all, so
+        // a multi-scheme campaign never plans duplicate parse work.
+        let parse_ids: Vec<usize> = self
+            .benchmarks
+            .iter()
+            .map(|b| push(job(JobKind::Parse, "", Some(b), None, None, None), vec![]))
+            .collect();
 
         for scheme in &self.schemes {
-            // Per-instance lock (and optional synth) jobs.
-            let mut shard_ids = Vec::new();
-            for b in &self.benchmarks {
+            let mut feat_ids = Vec::new();
+            for (bi, b) in self.benchmarks.iter().enumerate() {
+                let parse = parse_ids[bi];
                 for &k in &self.key_sizes {
                     for &s in &self.seeds {
                         let lock = push(
-                            job(JobKind::Lock, scheme, Some(b), Some(k), Some(s)),
-                            vec![],
+                            job(JobKind::Lock, scheme, Some(b), Some(k), Some(s), None),
+                            vec![parse],
                         );
                         let tail = if self.synth {
                             push(
-                                job(JobKind::Synth, scheme, Some(b), Some(k), Some(s)),
+                                job(JobKind::Synth, scheme, Some(b), Some(k), Some(s), None),
                                 vec![lock],
                             )
                         } else {
                             lock
                         };
-                        shard_ids.push(tail);
+                        feat_ids.push(push(
+                            job(JobKind::Featurize, scheme, Some(b), Some(k), Some(s), None),
+                            vec![tail, parse],
+                        ));
                     }
                 }
             }
             // One dataset-assembly job per scheme.
-            let dataset = push(job(JobKind::Dataset, scheme, None, None, None), shard_ids);
-            // Leave-one-out: train per target benchmark, then attack (and
-            // optionally verify) each of the target's instances.
+            let dataset = push(
+                job(JobKind::Dataset, scheme, None, None, None, None),
+                feat_ids,
+            );
+            // Leave-one-out per target benchmark: a chain of resumable
+            // train-epoch checkpoint jobs, a finalize job, then classify
+            // (and optionally remove + verify) each of the target's
+            // instances.
             let mut tails = Vec::new();
             let mut trains = Vec::new();
-            for b in &self.benchmarks {
+            let attacked: Vec<&String> = self
+                .benchmarks
+                .iter()
+                .filter(|b| self.targets.as_ref().is_none_or(|t| t.contains(b)))
+                .collect();
+            for b in attacked {
+                let mut prev = None;
+                for e in 0..self.epoch_jobs {
+                    let deps = match prev {
+                        None => vec![dataset],
+                        Some(p) => vec![dataset, p],
+                    };
+                    prev = Some(push(
+                        job(JobKind::TrainEpoch, scheme, Some(b), None, None, Some(e)),
+                        deps,
+                    ));
+                }
+                // Finalize also depends on the dataset so a runner can
+                // complete training itself if the planned chain was
+                // shorter than its configuration expects.
                 let train = push(
-                    job(JobKind::Train, scheme, Some(b), None, None),
-                    vec![dataset],
+                    job(JobKind::Train, scheme, Some(b), None, None, None),
+                    vec![prev.expect("epoch_jobs >= 1"), dataset],
                 );
                 trains.push(train);
                 for &k in &self.key_sizes {
                     for &s in &self.seeds {
-                        let attack = push(
-                            job(JobKind::Attack, scheme, Some(b), Some(k), Some(s)),
+                        let classify = push(
+                            job(JobKind::Classify, scheme, Some(b), Some(k), Some(s), None),
                             vec![train, dataset],
                         );
                         let tail = if self.verify {
+                            let remove = push(
+                                job(JobKind::Remove, scheme, Some(b), Some(k), Some(s), None),
+                                vec![classify, dataset],
+                            );
                             push(
-                                job(JobKind::Verify, scheme, Some(b), Some(k), Some(s)),
-                                vec![attack],
+                                job(JobKind::Verify, scheme, Some(b), Some(k), Some(s), None),
+                                vec![remove, dataset],
                             )
                         } else {
-                            attack
+                            classify
                         };
                         tails.push(tail);
                     }
                 }
             }
-            // Per-scheme aggregation over train reports + attack/verify
+            // Per-scheme aggregation over train reports + per-cell
             // outcomes.
             let mut agg_deps = trains;
             agg_deps.extend(tails);
-            push(job(JobKind::Aggregate, scheme, None, None, None), agg_deps);
+            push(
+                job(JobKind::Aggregate, scheme, None, None, None, None),
+                agg_deps,
+            );
         }
         Campaign {
             name: self.name,
@@ -293,19 +410,36 @@ impl Campaign {
         fingerprint_fields(&refs)
     }
 
+    /// Merkle-composed cache keys for every planned job: a job's key is
+    /// the hash of its own fields (salted per stage by the runner) plus
+    /// its dependencies' keys, so the address captures the entire input
+    /// cone — two campaigns that plan an identical sub-DAG (same
+    /// benchmark, same upstream configuration) share those entries
+    /// through a common cache directory, while any upstream difference
+    /// changes every downstream key and can never alias.
+    pub fn job_fingerprints<R: CampaignRunner>(&self, runner: &R) -> Vec<u64> {
+        let mut fps: Vec<u64> = Vec::with_capacity(self.plan.len());
+        for (stage_job, deps) in &self.plan {
+            let own = stage_job.fingerprint(runner.stage_salt(stage_job.kind));
+            let mut fields: Vec<String> = Vec::with_capacity(1 + deps.len());
+            fields.push(format!("{own:016x}"));
+            fields.extend(deps.iter().map(|&d| format!("{:016x}", fps[d])));
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            fps.push(fingerprint_fields(&refs));
+        }
+        fps
+    }
+
     /// Execute the campaign on `executor` with `runner` semantics.
     pub fn execute<R: CampaignRunner>(&self, runner: &R, executor: &Executor) -> CampaignRun {
-        let salt = fingerprint_fields(&[
-            &runner.config_salt().to_string(),
-            &self.shape_fingerprint().to_string(),
-        ]);
+        let fps = self.job_fingerprints(runner);
         let mut graph = JobGraph::new();
-        for (stage_job, deps) in &self.plan {
+        for (i, (stage_job, deps)) in self.plan.iter().enumerate() {
             let dep_ids: Vec<JobId> = deps.iter().map(|&d| JobId(d)).collect();
             graph.add(
                 stage_job.label(),
                 stage_job.kind,
-                Some(stage_job.fingerprint(salt)),
+                Some(fps[i]),
                 dep_ids,
                 move |ctx| runner.run(stage_job, ctx),
             );
@@ -368,6 +502,19 @@ impl Campaign {
             resumed,
         });
         let run = self.execute(runner, executor);
+        for s in run.outcome.stage_summaries() {
+            log.append(&Event::StageSummary {
+                kind: s.kind,
+                total: s.total,
+                executed: s.executed,
+                memory_hits: s.memory_hits,
+                disk_hits: s.disk_hits,
+                failed: s.failed,
+                skipped: s.skipped,
+                cancelled: s.cancelled,
+                ms: s.ms,
+            });
+        }
         let stats = run.outcome.stats;
         log.append(&Event::RunFinished {
             succeeded: stats.succeeded(),
@@ -399,7 +546,18 @@ impl Campaign {
         dir: &Path,
     ) -> io::Result<CampaignRun> {
         let (executor, log) = self.persistent_executor(runner, cfg, dir, false)?;
-        Ok(self.execute_logged(runner, &executor, &log, false))
+        let run = self.execute_logged(runner, &executor, &log, false);
+        Self::gc_store(&executor);
+        Ok(run)
+    }
+
+    /// Enforce the `GNNUNLOCK_CACHE_BUDGET_BYTES` size budget after a
+    /// persistent run: evict least-recently-used store entries down to
+    /// the budget, never touching entries this run produced or consumed.
+    fn gc_store(executor: &Executor) {
+        if let Some(store) = executor.cache().store() {
+            store.gc_from_env();
+        }
     }
 
     /// Resume an interrupted persistent campaign from `dir`: replay the
@@ -441,6 +599,7 @@ impl Campaign {
         };
         let (executor, log) = self.persistent_executor(runner, cfg, dir, true)?;
         let run = self.execute_logged(runner, &executor, &log, true);
+        Self::gc_store(&executor);
         Ok((run, info))
     }
 }
@@ -518,12 +677,30 @@ mod tests {
     #[test]
     fn plan_has_expected_shape() {
         let c = tiny();
-        // 4 locks + 1 dataset + 2 trains + 4 attacks + 4 verifies + 1 agg.
-        assert_eq!(c.plan().len(), 16);
+        // 2 parses + 4 locks + 4 featurizes + 1 dataset + 2×(1 epoch +
+        // 1 train) + 4 classifies + 4 removes + 4 verifies + 1 agg.
+        assert_eq!(c.plan().len(), 28);
         let (agg, agg_deps) = c.plan().last().unwrap();
         assert_eq!(agg.kind, JobKind::Aggregate);
         // 2 trains + 4 verify tails.
         assert_eq!(agg_deps.len(), 6);
+        // One parse per benchmark, shared by both seed cells.
+        let parses: Vec<usize> = c
+            .plan()
+            .iter()
+            .enumerate()
+            .filter(|(_, (j, _))| j.kind == JobKind::Parse)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(parses.len(), 2);
+        for parse in parses {
+            let dependents = c
+                .plan()
+                .iter()
+                .filter(|(j, deps)| j.kind == JobKind::Lock && deps.contains(&parse))
+                .count();
+            assert_eq!(dependents, 2, "both seed cells share one parse");
+        }
         // Synthesis off: no synth jobs.
         assert!(c.plan().iter().all(|(j, _)| j.kind != JobKind::Synth));
         // With synthesis: one synth per lock.
@@ -540,6 +717,36 @@ mod tests {
                 .filter(|(j, _)| j.kind == JobKind::Synth)
                 .count(),
             1
+        );
+        // Multi-scheme campaigns still plan one parse per benchmark.
+        let c_multi = Campaign::builder("m")
+            .scheme("antisat")
+            .scheme("sfll")
+            .benchmarks(["c1"])
+            .key_sizes([8])
+            .build();
+        assert_eq!(
+            c_multi
+                .plan()
+                .iter()
+                .filter(|(j, _)| j.kind == JobKind::Parse)
+                .count(),
+            1
+        );
+        // A deeper checkpoint chain adds train-epoch links.
+        let c_chain = Campaign::builder("chain")
+            .scheme("antisat")
+            .benchmarks(["c1"])
+            .key_sizes([8])
+            .train_checkpoints(4)
+            .build();
+        assert_eq!(
+            c_chain
+                .plan()
+                .iter()
+                .filter(|(j, _)| j.kind == JobKind::TrainEpoch)
+                .count(),
+            4
         );
     }
 
@@ -656,14 +863,86 @@ mod tests {
     #[test]
     fn labels_and_fingerprints_are_stable() {
         let j = StageJob {
-            kind: JobKind::Attack,
+            kind: JobKind::Classify,
             scheme: "antisat".into(),
             benchmark: Some("c7552".into()),
             key_bits: Some(16),
             seed: Some(1),
+            epoch: None,
         };
-        assert_eq!(j.label(), "attack/antisat/c7552/k16/s1");
+        assert_eq!(j.label(), "classify/antisat/c7552/k16/s1");
         assert_eq!(j.fingerprint(3), j.fingerprint(3));
         assert_ne!(j.fingerprint(3), j.fingerprint(4));
+        let e = StageJob {
+            kind: JobKind::TrainEpoch,
+            scheme: "antisat".into(),
+            benchmark: Some("c7552".into()),
+            key_bits: None,
+            seed: None,
+            epoch: Some(3),
+        };
+        assert_eq!(e.label(), "train-epoch/antisat/c7552/e3");
+        // Parse addresses are scheme-free: different schemes share them.
+        let parse = |scheme: &str| StageJob {
+            kind: JobKind::Parse,
+            scheme: scheme.into(),
+            benchmark: Some("c7552".into()),
+            key_bits: None,
+            seed: None,
+            epoch: None,
+        };
+        assert_eq!(
+            parse("antisat").fingerprint(3),
+            parse("sfll").fingerprint(3)
+        );
+    }
+
+    /// Merkle composition: a change anywhere upstream changes every
+    /// downstream cache key, and identical sub-DAGs across differently
+    /// shaped campaigns share keys.
+    #[test]
+    fn job_fingerprints_compose_over_dependencies() {
+        let a = Campaign::builder("a")
+            .scheme("antisat")
+            .benchmarks(["c1", "c2"])
+            .key_sizes([8])
+            .build();
+        let b = Campaign::builder("b")
+            .scheme("antisat")
+            .benchmarks(["c1", "c2"])
+            .key_sizes([8, 16])
+            .build();
+        let fa = a.job_fingerprints(&EchoRunner);
+        let fb = b.job_fingerprints(&EchoRunner);
+        let find = |c: &Campaign, fps: &[u64], label: &str| -> u64 {
+            let i = c
+                .plan()
+                .iter()
+                .position(|(j, _)| j.label() == label)
+                .unwrap_or_else(|| panic!("no job {label}"));
+            fps[i]
+        };
+        // The shared cells address identically across the two shapes…
+        for label in [
+            "parse/c1",
+            "lock/antisat/c1/k8/s0",
+            "featurize/antisat/c1/k8/s0",
+        ] {
+            assert_eq!(find(&a, &fa, label), find(&b, &fb, label));
+        }
+        // …while the dataset (whose input cone differs) does not.
+        assert_eq!(
+            find(&a, &fa, "dataset/antisat"),
+            find(&a, &a.job_fingerprints(&EchoRunner), "dataset/antisat"),
+        );
+        assert_ne!(
+            find(&a, &fa, "dataset/antisat"),
+            find(&b, &fb, "dataset/antisat"),
+        );
+        // Downstream of the dataset, everything differs too.
+        assert_ne!(
+            find(&a, &fa, "train/antisat/c1"),
+            find(&b, &fb, "train/antisat/c1"),
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! {"ev":"cache-hit","id":N,"label":..,"source":"memory"|"disk"}
 //! {"ev":"job-finished","id":N,"label":..,"status":"ok"|"failed"|"skipped"|"cancelled","ms":F}
 //! {"ev":"stage-error","id":N,"label":..,"error":..}
+//! {"ev":"stage-summary","kind":..,"total":N,"executed":N,"memory_hits":N,"disk_hits":N,"failed":N,"skipped":N,"cancelled":N,"ms":F}
 //! {"ev":"run-finished","succeeded":N,"failed":N,"skipped":N,"cancelled":N}
 //! ```
 //!
@@ -89,6 +90,30 @@ pub enum Event {
         /// Failure text.
         error: String,
     },
+    /// Per-stage aggregate emitted as a run drains (one record per stage
+    /// kind present in the graph, before `run-finished`). The counts
+    /// partition the stage's jobs: `total = executed + memory_hits +
+    /// disk_hits + failed + skipped + cancelled`.
+    StageSummary {
+        /// Stage kind tag (`parse`, `train-epoch`, …).
+        kind: String,
+        /// Jobs of this stage.
+        total: usize,
+        /// Jobs whose bodies ran.
+        executed: usize,
+        /// Jobs served from the memory cache tier.
+        memory_hits: usize,
+        /// Jobs served from the disk cache tier.
+        disk_hits: usize,
+        /// Jobs that failed.
+        failed: usize,
+        /// Jobs skipped because a dependency did not succeed.
+        skipped: usize,
+        /// Jobs cancelled before they could run.
+        cancelled: usize,
+        /// Summed execution milliseconds (volatile).
+        ms: f64,
+    },
     /// The run drained; terminal counters.
     RunFinished {
         /// Jobs that succeeded (executed or cache-served).
@@ -147,6 +172,28 @@ impl Event {
                 ("id", num(*id)),
                 ("label", Json::Str(label.clone())),
                 ("error", Json::Str(error.clone())),
+            ]),
+            Event::StageSummary {
+                kind,
+                total,
+                executed,
+                memory_hits,
+                disk_hits,
+                failed,
+                skipped,
+                cancelled,
+                ms,
+            } => Json::obj(vec![
+                ("ev", Json::Str("stage-summary".into())),
+                ("kind", Json::Str(kind.clone())),
+                ("total", num(*total)),
+                ("executed", num(*executed)),
+                ("memory_hits", num(*memory_hits)),
+                ("disk_hits", num(*disk_hits)),
+                ("failed", num(*failed)),
+                ("skipped", num(*skipped)),
+                ("cancelled", num(*cancelled)),
+                ("ms", Json::Num(*ms)),
             ]),
             Event::RunFinished {
                 succeeded,
@@ -219,6 +266,20 @@ impl Event {
                 id: num_field("id")?,
                 label: str_field("label")?,
                 error: str_field("error")?,
+            }),
+            "stage-summary" => Ok(Event::StageSummary {
+                kind: str_field("kind")?,
+                total: num_field("total")?,
+                executed: num_field("executed")?,
+                memory_hits: num_field("memory_hits")?,
+                disk_hits: num_field("disk_hits")?,
+                failed: num_field("failed")?,
+                skipped: num_field("skipped")?,
+                cancelled: num_field("cancelled")?,
+                ms: doc
+                    .get("ms")
+                    .and_then(Json::as_num)
+                    .ok_or("missing field 'ms'")?,
             }),
             "run-finished" => Ok(Event::RunFinished {
                 succeeded: num_field("succeeded")?,
@@ -416,6 +477,17 @@ mod tests {
                 status: "failed".into(),
                 ms: 0.25,
             },
+            Event::StageSummary {
+                kind: "train-epoch".into(),
+                total: 8,
+                executed: 5,
+                memory_hits: 1,
+                disk_hits: 2,
+                failed: 0,
+                skipped: 0,
+                cancelled: 0,
+                ms: 412.5,
+            },
             Event::RunFinished {
                 succeeded: 2,
                 failed: 1,
@@ -461,7 +533,10 @@ mod tests {
             label: "late".into(),
         });
         drop(log);
-        assert_eq!(EventLog::replay(&path).unwrap().events.len(), 8);
+        assert_eq!(
+            EventLog::replay(&path).unwrap().events.len(),
+            sample_events().len() + 1
+        );
         let _ = fs::remove_file(&path);
     }
 

@@ -133,6 +133,30 @@ impl RunStats {
     }
 }
 
+/// Per-stage-kind aggregate of one run: how many jobs of the stage ran,
+/// where their results came from, and how long their bodies took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage kind tag (`parse`, `train-epoch`, …).
+    pub kind: String,
+    /// Jobs of this stage in the graph.
+    pub total: usize,
+    /// Jobs whose bodies actually ran.
+    pub executed: usize,
+    /// Jobs served from the in-memory cache tier.
+    pub memory_hits: usize,
+    /// Jobs served from the on-disk cache tier.
+    pub disk_hits: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs skipped because a dependency did not succeed.
+    pub skipped: usize,
+    /// Jobs cancelled before they could run.
+    pub cancelled: usize,
+    /// Summed wall-clock execution milliseconds (volatile).
+    pub ms: f64,
+}
+
 /// Everything a run produced: records, values and counters.
 pub struct RunOutcome {
     /// One record per job, indexed by [`JobId`] — deterministic order.
@@ -145,6 +169,54 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
+    /// Aggregate the job records per stage kind, in pipeline order
+    /// ([`JobKind::BUILTIN`] first, then custom kinds in first-appearance
+    /// order; only kinds present in the graph are reported). The counts
+    /// are deterministic; `ms` is wall-clock and volatile.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        let mut order: Vec<&'static str> = Vec::new();
+        for kind in JobKind::BUILTIN {
+            if self.records.iter().any(|r| r.kind == kind) {
+                order.push(kind.tag());
+            }
+        }
+        for r in &self.records {
+            if let JobKind::Custom(tag) = r.kind {
+                if !order.contains(&tag) {
+                    order.push(tag);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|tag| {
+                let mut s = StageSummary {
+                    kind: tag.to_string(),
+                    total: 0,
+                    executed: 0,
+                    memory_hits: 0,
+                    disk_hits: 0,
+                    failed: 0,
+                    skipped: 0,
+                    cancelled: 0,
+                    ms: 0.0,
+                };
+                for r in self.records.iter().filter(|r| r.kind.tag() == tag) {
+                    s.total += 1;
+                    s.ms += r.duration.as_secs_f64() * 1e3;
+                    match (&r.status, r.cache) {
+                        (JobStatus::Succeeded, CacheSource::Memory) => s.memory_hits += 1,
+                        (JobStatus::Succeeded, CacheSource::Disk) => s.disk_hits += 1,
+                        (JobStatus::Succeeded, CacheSource::None) => s.executed += 1,
+                        (JobStatus::Failed(_), _) => s.failed += 1,
+                        (JobStatus::Skipped(_), _) => s.skipped += 1,
+                        (JobStatus::Cancelled, _) => s.cancelled += 1,
+                    }
+                }
+                s
+            })
+            .collect()
+    }
     /// The output of a succeeded job, downcast to its concrete type.
     /// `None` if the job did not succeed; panics on a type mismatch
     /// (a graph-construction bug).

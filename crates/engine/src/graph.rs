@@ -26,16 +26,27 @@ impl JobId {
 /// fingerprints in different stages never collide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobKind {
+    /// Parse / generate a benchmark's original netlist (shared by every
+    /// cell of that benchmark, whatever the key size or lock seed).
+    Parse,
     /// Insert a locking scheme into a benchmark.
     Lock,
     /// Re-synthesize a locked netlist (Verilog flows).
     Synth,
+    /// Extract the labelled graph / feature matrix of a locked netlist.
+    Featurize,
     /// Assemble locked instances into a labelled dataset shard.
     Dataset,
-    /// Train a classifier for one leave-one-out target.
+    /// One checkpointed block of training epochs (resumable chain link).
+    TrainEpoch,
+    /// Finalize a trained classifier for one leave-one-out target.
     Train,
-    /// Classify + post-process + remove on one locked instance.
+    /// Classify + post-process one locked instance with a trained model.
+    Classify,
+    /// Whole-benchmark attack (classify every instance of a target).
     Attack,
+    /// Delete the predicted protection logic, recovering a design.
+    Remove,
     /// SAT-verify a recovered design.
     Verify,
     /// Collapse stage outputs into report rows.
@@ -48,16 +59,38 @@ impl JobKind {
     /// Stable lowercase tag (used in reports and cache keys).
     pub fn tag(&self) -> &'static str {
         match self {
+            JobKind::Parse => "parse",
             JobKind::Lock => "lock",
             JobKind::Synth => "synth",
+            JobKind::Featurize => "featurize",
             JobKind::Dataset => "dataset",
+            JobKind::TrainEpoch => "train-epoch",
             JobKind::Train => "train",
+            JobKind::Classify => "classify",
             JobKind::Attack => "attack",
+            JobKind::Remove => "remove",
             JobKind::Verify => "verify",
             JobKind::Aggregate => "aggregate",
             JobKind::Custom(tag) => tag,
         }
     }
+
+    /// Every built-in stage kind, in pipeline order (used for per-stage
+    /// report aggregation; `Custom` kinds are appended dynamically).
+    pub const BUILTIN: [JobKind; 12] = [
+        JobKind::Parse,
+        JobKind::Lock,
+        JobKind::Synth,
+        JobKind::Featurize,
+        JobKind::Dataset,
+        JobKind::TrainEpoch,
+        JobKind::Train,
+        JobKind::Classify,
+        JobKind::Attack,
+        JobKind::Remove,
+        JobKind::Verify,
+        JobKind::Aggregate,
+    ];
 }
 
 /// Context handed to a running job body.

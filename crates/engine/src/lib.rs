@@ -20,9 +20,12 @@
 //!   job-finished / cache-hit / stage-error), flushed per event, that
 //!   [`Campaign::resume`] replays to continue an interrupted campaign;
 //! - [`Campaign`]: a builder expanding {benchmark × locking scheme ×
-//!   key size × seed} matrices into lock → synth → dataset → train →
-//!   attack → verify → aggregate jobs with explicit dependencies,
-//!   interpreted by a [`CampaignRunner`] (the GNNUnlock semantics live in
+//!   key size × seed} matrices into a per-cell stage DAG — parse → lock
+//!   → synth → featurize → dataset → a chain of resumable `train-epoch`
+//!   checkpoint jobs → train → classify → remove → verify → aggregate —
+//!   with explicit dependencies and Merkle-composed content addresses
+//!   (a job's cache key covers its whole input cone), interpreted by a
+//!   [`CampaignRunner`] (the GNNUnlock semantics live in
 //!   `gnnunlock-core::campaign`);
 //! - [`RunReport`]: a structured JSON run report, deterministic by
 //!   default (timings are opt-in via [`ReportOptions`]);
@@ -65,11 +68,14 @@ pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, Resum
 pub use cancel::CancelToken;
 pub use codec::{ByteReader, ByteWriter, ValueCodec};
 pub use events::{Event, EventLog, Replay, EVENTS_ENV, EVENTS_FILE};
-pub use exec::{ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats};
+pub use exec::{ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats, StageSummary};
 pub use graph::{
     fingerprint, fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput, JobValue,
 };
 pub use json::Json;
 pub use pool::{default_workers, run_ordered, WORKERS_ENV};
 pub use report::{ReportOptions, RunReport, REPORT_SCHEMA_VERSION};
-pub use store::{sanitize_tag, DiskStore, StoreStats, CACHE_DIR_ENV};
+pub use store::{
+    cache_budget_from_env, sanitize_tag, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV,
+    CACHE_DIR_ENV,
+};

@@ -18,7 +18,11 @@ pub use crate::json::Json;
 
 /// Version of the report document layout (bump on breaking changes;
 /// golden tests pin the rendering per version).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the per-stage aggregation (`stages`) to the provenance /
+/// timing variants; the default document gained no fields, preserving
+/// the cold == warm == resumed byte-identity contract.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Rendering options for [`RunReport`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -102,8 +106,36 @@ impl RunReport {
             ("campaign", Json::Str(name.to_string())),
             ("schema", Json::Num(REPORT_SCHEMA_VERSION as f64)),
             ("counters", Json::obj(counters)),
-            ("jobs", Json::Arr(jobs)),
         ];
+        // Per-stage aggregation (cache provenance and/or timing is
+        // volatile across cold/warm runs, so the whole section is
+        // opt-in, keeping default reports byte-identical).
+        if opts.with_provenance || opts.with_timings {
+            let stages: Vec<Json> = outcome
+                .stage_summaries()
+                .into_iter()
+                .map(|s| {
+                    let mut fields = vec![
+                        ("kind", Json::Str(s.kind)),
+                        ("total", Json::Num(s.total as f64)),
+                    ];
+                    if opts.with_provenance {
+                        fields.push(("executed", Json::Num(s.executed as f64)));
+                        fields.push(("memory_hits", Json::Num(s.memory_hits as f64)));
+                        fields.push(("disk_hits", Json::Num(s.disk_hits as f64)));
+                        fields.push(("failed", Json::Num(s.failed as f64)));
+                        fields.push(("skipped", Json::Num(s.skipped as f64)));
+                        fields.push(("cancelled", Json::Num(s.cancelled as f64)));
+                    }
+                    if opts.with_timings {
+                        fields.push(("ms", Json::Num(s.ms)));
+                    }
+                    Json::obj(fields)
+                })
+                .collect();
+            top.push(("stages", Json::Arr(stages)));
+        }
+        top.push(("jobs", Json::Arr(jobs)));
         if opts.with_timings {
             top.push(("wall_ms", Json::Num(outcome.wall_time.as_secs_f64() * 1e3)));
         }
@@ -159,8 +191,9 @@ mod tests {
         let j1 = RunReport::from_outcome("t", &r1, ReportOptions::default()).to_json();
         let j4 = RunReport::from_outcome("t", &r4, ReportOptions::default()).to_json();
         assert_eq!(j1, j4);
-        assert!(j1.contains("\"schema\": 2"));
+        assert!(j1.contains("\"schema\": 3"));
         assert!(j1.contains("\"succeeded\": 2"));
+        assert!(!j1.contains("\"stages\""), "stage section is opt-in");
         // Timing variant has the volatile fields.
         let timed =
             RunReport::from_outcome("t", &r1, ReportOptions::default().with_timings()).to_json();
@@ -184,5 +217,8 @@ mod tests {
         assert_ne!(cold_p, warm_p);
         assert!(cold_p.contains("\"cache\": \"none\"") && cold_p.contains("\"executed\": 2"));
         assert!(warm_p.contains("\"cache\": \"memory\"") && warm_p.contains("\"memory_hits\": 1"));
+        // The provenance variant aggregates per stage kind.
+        assert!(cold_p.contains("\"stages\""));
+        assert!(cold_p.contains("\"kind\": \"lock\"") && cold_p.contains("\"kind\": \"train\""));
     }
 }

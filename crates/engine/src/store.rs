@@ -34,13 +34,22 @@
 //!   misreading entries.
 
 use crate::graph::{fingerprint, JobKind};
+use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
 
 /// Environment variable naming the shared on-disk cache directory.
 pub const CACHE_DIR_ENV: &str = "GNNUNLOCK_CACHE_DIR";
+
+/// Environment variable bounding the store's total entry bytes: after
+/// each persistent campaign run, least-recently-used entries are evicted
+/// until the store fits the budget (entries the current process touched
+/// are never evicted). Unset or unparsable = no garbage collection.
+pub const CACHE_BUDGET_ENV: &str = "GNNUNLOCK_CACHE_BUDGET_BYTES";
 
 /// Contents of the store's version file. Bump the `v1` when the entry
 /// format changes incompatibly.
@@ -65,6 +74,20 @@ pub struct StoreStats {
     pub save_errors: usize,
 }
 
+/// What one [`DiskStore::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entry bytes on disk before the sweep.
+    pub bytes_before: u64,
+    /// Entry bytes on disk after the sweep.
+    pub bytes_after: u64,
+    /// Entries evicted.
+    pub evicted_entries: usize,
+    /// Entries kept because this process loaded or saved them (the
+    /// current run's live set is never evicted).
+    pub live_protected: usize,
+}
+
 /// A content-addressed on-disk store of encoded job results.
 #[derive(Debug)]
 pub struct DiskStore {
@@ -75,6 +98,12 @@ pub struct DiskStore {
     evictions: AtomicUsize,
     saves: AtomicUsize,
     save_errors: AtomicUsize,
+    /// Entry paths this handle loaded or saved — the live set the
+    /// garbage collector must never evict (another process may be
+    /// mid-run too, but its entries are recent by construction: every
+    /// load refreshes the entry's mtime, so LRU eviction reaches only
+    /// entries no active run is using).
+    touched: Mutex<HashSet<PathBuf>>,
 }
 
 /// Restrict a job-kind tag to `[A-Za-z0-9_-]` so entry paths can never
@@ -134,6 +163,7 @@ impl DiskStore {
             evictions: AtomicUsize::new(0),
             saves: AtomicUsize::new(0),
             save_errors: AtomicUsize::new(0),
+            touched: Mutex::new(HashSet::new()),
         })
     }
 
@@ -172,6 +202,11 @@ impl DiskStore {
         match Self::decode_entry(kind, fp, &bytes) {
             Some(payload) => {
                 self.loads.fetch_add(1, Ordering::Relaxed);
+                // A hit is a *use*: refresh the entry's mtime (the LRU
+                // clock shared across processes, best-effort) and pin it
+                // into this handle's live set so GC never evicts it.
+                let _ = file.set_modified(SystemTime::now());
+                self.touched.lock().unwrap().insert(path);
                 Some(payload)
             }
             None => self.evict(&path),
@@ -189,6 +224,10 @@ impl DiskStore {
         match self.try_save(kind, fp, payload) {
             Ok(()) => {
                 self.saves.fetch_add(1, Ordering::Relaxed);
+                self.touched
+                    .lock()
+                    .unwrap()
+                    .insert(self.entry_path(kind, fp));
                 Ok(())
             }
             Err(e) => {
@@ -305,6 +344,106 @@ impl DiskStore {
             save_errors: self.save_errors.load(Ordering::Relaxed),
         }
     }
+
+    /// Evict least-recently-used entries until the store's entry bytes
+    /// fit `budget_bytes`. Entries this handle loaded or saved (the
+    /// current run's live set) are never evicted, even if the live set
+    /// alone exceeds the budget. Recency is the entry file's mtime,
+    /// which [`DiskStore::load`] refreshes on every hit, so the LRU
+    /// order is shared across processes using the same directory.
+    pub fn gc(&self, budget_bytes: u64) -> GcStats {
+        struct Entry {
+            path: PathBuf,
+            len: u64,
+            mtime: SystemTime,
+        }
+        // `.tmp-<pid>-<n>` files are in-flight writes; one orphaned by a
+        // writer killed mid-save would otherwise leak forever (it is
+        // never renamed into place and never addressed). Any tmp file
+        // this old cannot still be in flight — saves take milliseconds.
+        const ORPHAN_TMP_AGE: Duration = Duration::from_secs(3600);
+        fn walk(dir: &Path, out: &mut Vec<Entry>, now: SystemTime) {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, out, now);
+                } else if path.extension().is_some_and(|e| e == "bin") {
+                    if let Ok(meta) = entry.metadata() {
+                        out.push(Entry {
+                            path,
+                            len: meta.len(),
+                            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                        });
+                    }
+                } else if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(".tmp-"))
+                {
+                    let orphaned = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| now.duration_since(mtime).ok())
+                        .is_some_and(|age| age >= ORPHAN_TMP_AGE);
+                    if orphaned {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        let mut entries = Vec::new();
+        walk(&self.root.join("objects"), &mut entries, SystemTime::now());
+        let bytes_before: u64 = entries.iter().map(|e| e.len).sum();
+        let mut stats = GcStats {
+            bytes_before,
+            bytes_after: bytes_before,
+            ..GcStats::default()
+        };
+        if bytes_before <= budget_bytes {
+            return stats;
+        }
+        let touched = self.touched.lock().unwrap();
+        let mut candidates: Vec<&Entry> = Vec::new();
+        for e in &entries {
+            if touched.contains(&e.path) {
+                stats.live_protected += 1;
+            } else {
+                candidates.push(e);
+            }
+        }
+        // Oldest first; path as the tie-breaker keeps the sweep
+        // deterministic on filesystems with coarse mtime granularity.
+        candidates.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let mut remaining = bytes_before;
+        for e in candidates {
+            if remaining <= budget_bytes {
+                break;
+            }
+            if fs::remove_file(&e.path).is_ok() {
+                remaining -= e.len;
+                stats.evicted_entries += 1;
+            }
+        }
+        stats.bytes_after = remaining;
+        stats
+    }
+
+    /// Run [`DiskStore::gc`] with the budget named by
+    /// [`CACHE_BUDGET_ENV`], if set and parsable. `None` when no budget
+    /// is configured.
+    pub fn gc_from_env(&self) -> Option<GcStats> {
+        Some(self.gc(cache_budget_from_env()?))
+    }
+}
+
+/// The cache-size budget named by [`CACHE_BUDGET_ENV`], if set and
+/// parsable as bytes.
+pub fn cache_budget_from_env() -> Option<u64> {
+    std::env::var(CACHE_BUDGET_ENV).ok()?.trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -402,6 +541,71 @@ mod tests {
         }
         assert_eq!(sanitize_tag("../x"), "___x");
         assert_eq!(sanitize_tag(""), "_");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_enforces_budget_and_never_evicts_live_entries() {
+        let dir = tmp_dir("gc");
+        // An earlier process filled the store with entries of known ages.
+        let old = DiskStore::open(&dir).unwrap();
+        let payload = [7u8; 64];
+        for fp in 0..6u64 {
+            old.save(JobKind::Lock, fp, &payload).unwrap();
+            let f = fs::File::open(old.entry_path(JobKind::Lock, fp)).unwrap();
+            f.set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(fp))
+                .unwrap();
+        }
+        let entry_len = fs::metadata(old.entry_path(JobKind::Lock, 0))
+            .unwrap()
+            .len();
+        drop(old);
+
+        // The current run loads one old entry and writes a new one:
+        // both are live and must survive any budget.
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.load(JobKind::Lock, 1).is_some());
+        store.save(JobKind::Lock, 99, &payload).unwrap();
+
+        // Budget for three entries: the sweep must evict oldest-first
+        // down to the budget, skipping the live pair.
+        let budget = 3 * entry_len;
+        let stats = store.gc(budget);
+        assert_eq!(stats.bytes_before, 7 * entry_len);
+        assert!(
+            stats.bytes_after <= budget,
+            "budget not enforced: {} > {budget}",
+            stats.bytes_after
+        );
+        assert_eq!(stats.evicted_entries, 4);
+        assert_eq!(stats.live_protected, 2);
+        // Live entries survived…
+        assert!(store.load(JobKind::Lock, 1).is_some());
+        assert!(store.load(JobKind::Lock, 99).is_some());
+        // …and the survivors among the old ones are the most recent
+        // (fp 0, 2, 3 were the oldest unprotected → evicted; fp 5 kept).
+        assert!(store.load(JobKind::Lock, 5).is_some());
+        assert!(store.load(JobKind::Lock, 0).is_none());
+        assert!(store.load(JobKind::Lock, 2).is_none());
+
+        // A budget the live set already satisfies evicts nothing.
+        let stats = store.gc(u64::MAX);
+        assert_eq!(stats.evicted_entries, 0);
+
+        // An orphaned in-flight temp file (a writer killed mid-save) is
+        // cleaned up once stale; a fresh one is left alone.
+        let objects = dir.join("objects").join("lock");
+        let stale = objects.join(".tmp-1234-0");
+        let fresh = objects.join(".tmp-1234-1");
+        fs::write(&stale, b"half-written").unwrap();
+        fs::write(&fresh, b"in flight").unwrap();
+        fs::File::open(&stale)
+            .unwrap()
+            .set_modified(SystemTime::now() - Duration::from_secs(7200))
+            .unwrap();
+        store.gc(0);
+        assert!(!stale.exists(), "stale tmp file must be collected");
+        assert!(fresh.exists(), "recent tmp file must be left alone");
         let _ = fs::remove_dir_all(&dir);
     }
 

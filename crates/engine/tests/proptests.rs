@@ -17,9 +17,12 @@ fn stage_job(kind_pick: usize, scheme: u64, bench: u64, k: usize, s: u64) -> Sta
     let kinds = [
         JobKind::Lock,
         JobKind::Synth,
+        JobKind::Featurize,
         JobKind::Dataset,
+        JobKind::TrainEpoch,
         JobKind::Train,
-        JobKind::Attack,
+        JobKind::Classify,
+        JobKind::Remove,
         JobKind::Verify,
         JobKind::Aggregate,
     ];
@@ -29,6 +32,7 @@ fn stage_job(kind_pick: usize, scheme: u64, bench: u64, k: usize, s: u64) -> Sta
         benchmark: bench.is_multiple_of(2).then(|| format!("b{bench}")),
         key_bits: (!k.is_multiple_of(3)).then_some(k),
         seed: s.is_multiple_of(2).then_some(s),
+        epoch: s.is_multiple_of(3).then_some((s / 3) as usize),
     }
 }
 
@@ -40,7 +44,7 @@ proptest! {
     /// and any change to a field or the salt changes it.
     #[test]
     fn cache_keys_are_stable_and_sensitive(
-        kind_pick in 0usize..7,
+        kind_pick in 0usize..10,
         scheme in any::<u64>(),
         bench in any::<u64>(),
         k in 1usize..512,
@@ -153,14 +157,21 @@ fn fingerprint_constants_are_pinned() {
         fingerprint_fields(&["attack", "antisat", "c7552", "16", "1", "3"]),
         0x2b02ccb201bc8e3e
     );
+    // StageJob fields, in order: kind, scheme, benchmark, key, seed,
+    // epoch (empty here), salt.
     let job = StageJob {
         kind: JobKind::Attack,
         scheme: "antisat".into(),
         benchmark: Some("c7552".into()),
         key_bits: Some(16),
         seed: Some(1),
+        epoch: None,
     };
-    assert_eq!(job.fingerprint(3), 0x2b02ccb201bc8e3e);
+    assert_eq!(
+        job.fingerprint(3),
+        fingerprint_fields(&["attack", "antisat", "c7552", "16", "1", "", "3"])
+    );
+    assert_eq!(job.fingerprint(3), 0x0af13779a4b2aaeb);
 }
 
 /// Disk-store entries round-trip through a real directory for arbitrary

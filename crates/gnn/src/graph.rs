@@ -17,6 +17,10 @@ use gnnunlock_neural::Matrix;
 pub struct Csr {
     offsets: Vec<usize>,
     targets: Vec<u32>,
+    /// `1 / degree` per node (1.0 for degree ≤ 1), precomputed once at
+    /// construction so the per-epoch aggregation calls don't re-derive
+    /// the degree normalization on every forward/backward pass.
+    inv_degree: Vec<f32>,
 }
 
 impl Csr {
@@ -40,7 +44,48 @@ impl Csr {
             targets.extend_from_slice(list);
             offsets.push(targets.len());
         }
-        Csr { offsets, targets }
+        Csr::from_raw(offsets, targets)
+    }
+
+    fn from_raw(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
+        let inv_degree = (0..offsets.len() - 1)
+            .map(|v| {
+                let d = offsets[v + 1] - offsets[v];
+                if d > 1 {
+                    1.0 / d as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Csr {
+            offsets,
+            targets,
+            inv_degree,
+        }
+    }
+
+    /// The raw CSR arrays `(offsets, targets)`, for external
+    /// serialization (the campaign persistence codec).
+    pub fn parts(&self) -> (&[usize], &[u32]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Reassemble a graph from [`Csr::parts`]. `None` when the arrays are
+    /// not a valid CSR (a corrupt payload decodes to a cache miss, never
+    /// a panic).
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<u32>) -> Option<Csr> {
+        if offsets.is_empty() || offsets[0] != 0 || *offsets.last().unwrap() != targets.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        let n = offsets.len() - 1;
+        if targets.iter().any(|&t| t as usize >= n) {
+            return None;
+        }
+        Some(Csr::from_raw(offsets, targets))
     }
 
     /// Number of nodes.
@@ -108,13 +153,14 @@ impl Csr {
     }
 
     /// Mean aggregation `y[i] = mean_{j ∈ N(i)} x[j]` (isolated nodes get a
-    /// zero row).
+    /// zero row). Uses the degree normalization precomputed at
+    /// construction — bit-identical to dividing in place, since the
+    /// stored factor is the same `1.0 / d as f32` value.
     pub fn mean_aggregate(&self, x: &Matrix) -> Matrix {
         let mut y = self.sum_aggregate(x);
         for v in 0..self.num_nodes() {
-            let d = self.degree(v);
-            if d > 1 {
-                let inv = 1.0 / d as f32;
+            let inv = self.inv_degree[v];
+            if inv != 1.0 {
                 for e in y.row_mut(v) {
                     *e *= inv;
                 }
@@ -128,9 +174,8 @@ impl Csr {
     pub fn mean_aggregate_backward(&self, grad: &Matrix) -> Matrix {
         let mut scaled = grad.clone();
         for v in 0..self.num_nodes() {
-            let d = self.degree(v);
-            if d > 1 {
-                let inv = 1.0 / d as f32;
+            let inv = self.inv_degree[v];
+            if inv != 1.0 {
                 for e in scaled.row_mut(v) {
                     *e *= inv;
                 }
@@ -142,7 +187,20 @@ impl Csr {
     /// Induced subgraph on `nodes` (order defines new ids). Returns the
     /// sub-CSR.
     pub fn induced(&self, nodes: &[usize]) -> Csr {
-        let mut map = vec![u32::MAX; self.num_nodes()];
+        let mut map = Vec::new();
+        self.induced_with_map(nodes, &mut map)
+    }
+
+    /// [`Csr::induced`] with a caller-owned id-map scratch buffer. The
+    /// buffer is maintained all-`u32::MAX` between calls, so repeated
+    /// induction (one subgraph per training epoch) touches only
+    /// `O(|nodes|)` of it instead of re-zeroing the full-graph map every
+    /// mini-batch.
+    pub fn induced_with_map(&self, nodes: &[usize], map: &mut Vec<u32>) -> Csr {
+        if map.len() != self.num_nodes() {
+            map.clear();
+            map.resize(self.num_nodes(), u32::MAX);
+        }
         for (new, &old) in nodes.iter().enumerate() {
             map[old] = new as u32;
         }
@@ -154,6 +212,10 @@ impl Csr {
                     edges.push((new, m as usize));
                 }
             }
+        }
+        // Restore the all-unmapped invariant for the next caller.
+        for &old in nodes {
+            map[old] = u32::MAX;
         }
         Csr::from_edges(nodes.len(), &edges)
     }
@@ -219,6 +281,57 @@ mod tests {
             (dot(&forward, &grad) - dot(&x, &backward)).abs() < 1e-4,
             "adjoint identity violated"
         );
+    }
+
+    /// The degree normalization precomputed at construction must be
+    /// bit-identical to dividing per call (the pre-hoist formula):
+    /// `1.0 / d as f32` stored once and multiplied is the same float op.
+    #[test]
+    fn hoisted_degree_normalization_matches_per_call_division() {
+        let g = Csr::from_edges(
+            64,
+            &(0..200)
+                .map(|i| ((i * 7) % 64, (i * 13 + 5) % 64))
+                .collect::<Vec<_>>(),
+        );
+        let x = Matrix::xavier(64, 5, 9);
+        let hoisted = g.mean_aggregate(&x);
+        let mut reference = g.sum_aggregate(&x);
+        for v in 0..g.num_nodes() {
+            let d = g.degree(v);
+            if d > 1 {
+                let inv = 1.0 / d as f32;
+                for e in reference.row_mut(v) {
+                    *e *= inv;
+                }
+            }
+        }
+        assert_eq!(hoisted.data(), reference.data());
+    }
+
+    #[test]
+    fn csr_parts_round_trip_and_reject_corruption() {
+        let g = path4();
+        let (offsets, targets) = g.parts();
+        let back = Csr::from_parts(offsets.to_vec(), targets.to_vec()).unwrap();
+        assert_eq!(back, g);
+        // Non-monotone offsets, dangling targets, bad tail: all rejected.
+        assert!(Csr::from_parts(vec![0, 2, 1], vec![1, 0]).is_none());
+        assert!(Csr::from_parts(vec![0, 1], vec![9]).is_none());
+        assert!(Csr::from_parts(vec![0, 1], vec![0, 0]).is_none());
+        assert!(Csr::from_parts(vec![], vec![]).is_none());
+    }
+
+    #[test]
+    fn induced_with_map_reuses_scratch() {
+        let g = path4();
+        let mut map = Vec::new();
+        let a = g.induced_with_map(&[1, 2, 3], &mut map);
+        assert_eq!(a, g.induced(&[1, 2, 3]));
+        // The invariant is restored, so the buffer is reusable as-is.
+        assert!(map.iter().all(|&m| m == u32::MAX));
+        let b = g.induced_with_map(&[0, 1], &mut map);
+        assert_eq!(b, g.induced(&[0, 1]));
     }
 
     #[test]

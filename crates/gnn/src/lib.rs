@@ -39,4 +39,6 @@ pub use features::{merge_graphs, netlist_to_graph, CircuitGraph, LabelScheme};
 pub use graph::Csr;
 pub use model::{argmax_rows, ForwardCache, ModelConfig, ModelGrads, ModelOptimizer, SageModel};
 pub use saint::{SaintConfig, SaintSampler, Subgraph};
-pub use trainer::{evaluate, predict, train, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate, predict, train, TrainCheckpoint, TrainConfig, TrainReport, TrainState,
+};

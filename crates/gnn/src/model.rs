@@ -102,6 +102,46 @@ pub struct ModelOptimizer {
     head_b: AdamState,
 }
 
+impl ModelOptimizer {
+    /// The optimizer's hyperparameters.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
+
+    /// The per-tensor Adam states, in a stable order (encoder w/b,
+    /// hidden-1 w/b, hidden-2 w/b, head w/b) — for external
+    /// serialization (training checkpoints).
+    pub fn states(&self) -> [&AdamState; 8] {
+        [
+            &self.enc_w,
+            &self.enc_b,
+            &self.l1_w,
+            &self.l1_b,
+            &self.l2_w,
+            &self.l2_b,
+            &self.head_w,
+            &self.head_b,
+        ]
+    }
+
+    /// Reassemble an optimizer from [`ModelOptimizer::states`] order —
+    /// the inverse used when restoring a training checkpoint.
+    pub fn from_states(cfg: AdamConfig, states: [AdamState; 8]) -> Self {
+        let [enc_w, enc_b, l1_w, l1_b, l2_w, l2_b, head_w, head_b] = states;
+        ModelOptimizer {
+            cfg,
+            enc_w,
+            enc_b,
+            l1_w,
+            l1_b,
+            l2_w,
+            l2_b,
+            head_w,
+            head_b,
+        }
+    }
+}
+
 impl SageModel {
     /// Build a model with He-initialized weights.
     pub fn new(config: ModelConfig) -> Self {

@@ -56,6 +56,9 @@ pub struct SaintSampler {
     rng: StdRng,
     /// Estimated inclusion probability per node.
     inclusion: Vec<f32>,
+    /// Scratch id-map reused by per-epoch subgraph induction (hoisted
+    /// out of the epoch loop; see [`Csr::induced_with_map`]).
+    induce_map: Vec<u32>,
 }
 
 impl SaintSampler {
@@ -83,6 +86,33 @@ impl SaintSampler {
             config,
             rng,
             inclusion,
+            induce_map: Vec::new(),
+        }
+    }
+
+    /// Snapshot the sampler's RNG state (for training checkpoints). The
+    /// inclusion probabilities are available via
+    /// [`SaintSampler::inclusion`]; together with the config they fully
+    /// determine the sampler's future behavior.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// The estimated per-node inclusion probabilities.
+    pub fn inclusion(&self) -> &[f32] {
+        &self.inclusion
+    }
+
+    /// Rebuild a sampler from checkpointed parts — the inverse of
+    /// [`SaintSampler::rng_state`] + [`SaintSampler::inclusion`]. Skips
+    /// the estimation phase entirely: the restored sampler produces
+    /// exactly the mini-batch stream the snapshotted one would have.
+    pub fn from_parts(config: SaintConfig, rng_state: [u64; 4], inclusion: Vec<f32>) -> Self {
+        SaintSampler {
+            config,
+            rng: StdRng::from_state(rng_state),
+            inclusion,
+            induce_map: Vec::new(),
         }
     }
 
@@ -91,7 +121,7 @@ impl SaintSampler {
         let mut nodes = sample_walk_nodes(adj, &self.config, &mut self.rng);
         nodes.sort_unstable();
         nodes.dedup();
-        let sub = adj.induced(&nodes);
+        let sub = adj.induced_with_map(&nodes, &mut self.induce_map);
         // Loss weight ∝ 1 / P(node sampled); normalized to mean 1 so the
         // learning-rate scale is preserved.
         let mut weights: Vec<f32> = nodes.iter().map(|&v| 1.0 / self.inclusion[v]).collect();

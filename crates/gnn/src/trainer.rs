@@ -3,7 +3,7 @@
 //! the validation set is used to evaluate the test set").
 
 use crate::features::CircuitGraph;
-use crate::model::{ModelConfig, SageModel};
+use crate::model::{ModelConfig, ModelOptimizer, SageModel};
 use crate::saint::{SaintConfig, SaintSampler};
 use gnnunlock_neural::{inverse_frequency_weights, softmax_cross_entropy, AdamConfig, Metrics};
 use std::time::{Duration, Instant};
@@ -80,9 +80,274 @@ pub struct TrainReport {
     pub history: Vec<(usize, f32, f64)>,
 }
 
+/// Everything the training loop carries between epochs, made explicit so
+/// training can run as a chain of resumable per-epoch steps (the
+/// campaign engine's `train-epoch` stage jobs). The invariant per-epoch
+/// setup — sampler construction with its inclusion-probability
+/// estimation, class-weight computation, the subgraph-induction scratch
+/// — happens once in [`TrainState::new`] (or is restored exactly by
+/// [`TrainState::from_checkpoint`]), never inside the epoch loop.
+#[derive(Debug)]
+pub struct TrainState {
+    cfg: TrainConfig,
+    model: SageModel,
+    opt: ModelOptimizer,
+    sampler: SaintSampler,
+    class_weights: Option<Vec<f32>>,
+    best: SageModel,
+    best_val: f64,
+    history: Vec<(usize, f32, f64)>,
+    evals_since_best: usize,
+    epochs_run: usize,
+    done: bool,
+    elapsed: Duration,
+}
+
+/// A serializable snapshot of a [`TrainState`] between two epochs:
+/// current and best-so-far model weights, full Adam state, the sampler's
+/// RNG state and inclusion probabilities, and the selection/early-stop
+/// bookkeeping. Restoring it with [`TrainState::from_checkpoint`]
+/// continues training **bit-exactly** — a run killed mid-training and
+/// resumed from its latest checkpoint produces the same model (and the
+/// same report, minus wall-clock) as an uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// The in-training model.
+    pub model: SageModel,
+    /// Optimizer state matching `model`.
+    pub opt: ModelOptimizer,
+    /// Sampler RNG state ([`SaintSampler::rng_state`]).
+    pub sampler_rng: [u64; 4],
+    /// Sampler inclusion probabilities ([`SaintSampler::inclusion`]).
+    pub inclusion: Vec<f32>,
+    /// Best-on-validation model so far.
+    pub best: SageModel,
+    /// Best validation accuracy so far (−1 before the first eval).
+    pub best_val: f64,
+    /// `(epoch, train_loss, val_accuracy)` at each evaluation point.
+    pub history: Vec<(usize, f32, f64)>,
+    /// Evaluations since the best one (early-stop counter).
+    pub evals_since_best: usize,
+    /// Epochs completed.
+    pub epochs_run: usize,
+    /// Whether training already stopped (early stop or epoch cap).
+    pub done: bool,
+    /// Accumulated wall-clock seconds (volatile; excluded from
+    /// deterministic reports).
+    pub elapsed_secs: f64,
+}
+
+impl TrainCheckpoint {
+    /// The best-on-validation model and report as of this snapshot —
+    /// what [`train`] would have returned had training stopped here.
+    /// The campaign's finalize (`train`) stage calls this on the last
+    /// chain link's checkpoint.
+    pub fn finish(&self) -> (SageModel, TrainReport) {
+        (
+            self.best.clone(),
+            TrainReport {
+                best_val_accuracy: self.best_val.max(0.0),
+                epochs_run: self.epochs_run,
+                train_time: Duration::from_secs_f64(self.elapsed_secs.max(0.0)),
+                history: self.history.clone(),
+            },
+        )
+    }
+}
+
+impl TrainState {
+    /// Fresh state for training on `train` with model selection on `val`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graphs disagree on feature length or class count.
+    pub fn new(train: &CircuitGraph, val: &CircuitGraph, cfg: &TrainConfig) -> TrainState {
+        assert_eq!(
+            train.feature_len(),
+            val.feature_len(),
+            "feature length mismatch"
+        );
+        assert_eq!(train.scheme, val.scheme, "label scheme mismatch");
+        let classes = train.scheme.num_classes();
+        let model = SageModel::new(ModelConfig {
+            feature_len: train.feature_len(),
+            hidden: cfg.hidden,
+            classes,
+            dropout: cfg.dropout,
+            seed: cfg.seed,
+        });
+        let opt = model.optimizer(AdamConfig {
+            lr: cfg.lr,
+            ..AdamConfig::default()
+        });
+        let sampler = SaintSampler::new(
+            &train.adj,
+            SaintConfig {
+                seed: cfg.seed ^ 0xabcd,
+                ..cfg.saint.clone()
+            },
+        );
+        let class_weights = cfg
+            .class_weighting
+            .then(|| inverse_frequency_weights(&train.labels, classes));
+        TrainState {
+            cfg: cfg.clone(),
+            best: model.clone(),
+            model,
+            opt,
+            sampler,
+            class_weights,
+            best_val: -1.0,
+            history: Vec::new(),
+            evals_since_best: 0,
+            epochs_run: 0,
+            done: false,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Restore a state from a checkpoint, continuing bit-exactly where
+    /// the snapshotted training left off. `train` must be the same
+    /// training graph the checkpointed run used (the class weights are
+    /// recomputed from it; everything random is restored from the
+    /// snapshot).
+    pub fn from_checkpoint(
+        train: &CircuitGraph,
+        cfg: &TrainConfig,
+        ckpt: &TrainCheckpoint,
+    ) -> TrainState {
+        let classes = train.scheme.num_classes();
+        let sampler = SaintSampler::from_parts(
+            SaintConfig {
+                seed: cfg.seed ^ 0xabcd,
+                ..cfg.saint.clone()
+            },
+            ckpt.sampler_rng,
+            ckpt.inclusion.clone(),
+        );
+        let class_weights = cfg
+            .class_weighting
+            .then(|| inverse_frequency_weights(&train.labels, classes));
+        TrainState {
+            cfg: cfg.clone(),
+            model: ckpt.model.clone(),
+            opt: ckpt.opt.clone(),
+            sampler,
+            class_weights,
+            best: ckpt.best.clone(),
+            best_val: ckpt.best_val,
+            history: ckpt.history.clone(),
+            evals_since_best: ckpt.evals_since_best,
+            epochs_run: ckpt.epochs_run,
+            done: ckpt.done,
+            elapsed: Duration::from_secs_f64(ckpt.elapsed_secs.max(0.0)),
+        }
+    }
+
+    /// Snapshot the state between epochs.
+    pub fn checkpoint(&self) -> TrainCheckpoint {
+        TrainCheckpoint {
+            model: self.model.clone(),
+            opt: self.opt.clone(),
+            sampler_rng: self.sampler.rng_state(),
+            inclusion: self.sampler.inclusion().to_vec(),
+            best: self.best.clone(),
+            best_val: self.best_val,
+            history: self.history.clone(),
+            evals_since_best: self.evals_since_best,
+            epochs_run: self.epochs_run,
+            done: self.done,
+            elapsed_secs: self.elapsed.as_secs_f64(),
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// Whether training has stopped (early stop, perfect validation, or
+    /// the epoch cap).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Run one training epoch (one GraphSAINT mini-batch step, plus the
+    /// scheduled validation / model selection / early-stop check).
+    /// Returns `true` when training is finished — either this epoch
+    /// triggered a stop or the epoch cap is reached — after which further
+    /// calls are no-ops.
+    pub fn step_epoch(&mut self, train: &CircuitGraph, val: &CircuitGraph) -> bool {
+        if self.done || self.epochs_run >= self.cfg.epochs {
+            self.done = true;
+            return true;
+        }
+        let start = Instant::now();
+        let cfg = &self.cfg;
+        let epoch = self.epochs_run + 1;
+        self.epochs_run = epoch;
+        let sub = self.sampler.sample(&train.adj);
+        let x = train.features.gather_rows(&sub.nodes);
+        let labels: Vec<usize> = sub.nodes.iter().map(|&v| train.labels[v]).collect();
+        let cache = self
+            .model
+            .forward(&sub.adj, &x, Some(cfg.seed ^ epoch as u64));
+        let loss = softmax_cross_entropy(
+            &cache.logits,
+            &labels,
+            Some(&sub.loss_weights),
+            self.class_weights.as_deref(),
+        );
+        let grads = self.model.backward(&sub.adj, &cache, &loss.grad);
+        self.model.apply(&mut self.opt, &grads);
+
+        if epoch.is_multiple_of(cfg.eval_every) || epoch == cfg.epochs {
+            let val_acc = evaluate(&self.model, val).accuracy();
+            self.history.push((epoch, loss.loss, val_acc));
+            if val_acc > self.best_val {
+                self.best_val = val_acc;
+                self.best = self.model.clone();
+                self.evals_since_best = 0;
+            } else {
+                self.evals_since_best += 1;
+                if cfg.patience > 0 && self.evals_since_best >= cfg.patience {
+                    self.done = true;
+                }
+            }
+            if (self.best_val - 1.0).abs() < f64::EPSILON {
+                // Validation is perfect; later epochs cannot improve
+                // selection.
+                self.done = true;
+            }
+        }
+        if epoch == cfg.epochs {
+            self.done = true;
+        }
+        self.elapsed += start.elapsed();
+        self.done
+    }
+
+    /// The best-on-validation model and the report, as [`train`] would
+    /// return them at this point.
+    pub fn finish(&self) -> (SageModel, TrainReport) {
+        (
+            self.best.clone(),
+            TrainReport {
+                best_val_accuracy: self.best_val.max(0.0),
+                epochs_run: self.epochs_run,
+                train_time: self.elapsed,
+                history: self.history.clone(),
+            },
+        )
+    }
+}
+
 /// Train a GraphSAGE classifier on `train` with model selection on `val`.
 ///
-/// Returns the best-on-validation model and a report.
+/// Returns the best-on-validation model and a report. Implemented as a
+/// loop over [`TrainState::step_epoch`], so it is step-for-step (and
+/// bit-for-bit) identical to running the same training as a chain of
+/// checkpointed epoch jobs.
 ///
 /// # Panics
 ///
@@ -92,84 +357,9 @@ pub fn train(
     val: &CircuitGraph,
     cfg: &TrainConfig,
 ) -> (SageModel, TrainReport) {
-    assert_eq!(
-        train.feature_len(),
-        val.feature_len(),
-        "feature length mismatch"
-    );
-    assert_eq!(train.scheme, val.scheme, "label scheme mismatch");
-    let classes = train.scheme.num_classes();
-    let model_cfg = ModelConfig {
-        feature_len: train.feature_len(),
-        hidden: cfg.hidden,
-        classes,
-        dropout: cfg.dropout,
-        seed: cfg.seed,
-    };
-    let mut model = SageModel::new(model_cfg);
-    let mut opt = model.optimizer(AdamConfig {
-        lr: cfg.lr,
-        ..AdamConfig::default()
-    });
-    let mut sampler = SaintSampler::new(
-        &train.adj,
-        SaintConfig {
-            seed: cfg.seed ^ 0xabcd,
-            ..cfg.saint.clone()
-        },
-    );
-    let class_weights = cfg
-        .class_weighting
-        .then(|| inverse_frequency_weights(&train.labels, classes));
-
-    let start = Instant::now();
-    let mut best = model.clone();
-    let mut best_val = -1.0f64;
-    let mut history = Vec::new();
-    let mut evals_since_best = 0usize;
-    let mut epochs_run = 0usize;
-    for epoch in 1..=cfg.epochs {
-        epochs_run = epoch;
-        let sub = sampler.sample(&train.adj);
-        let x = train.features.gather_rows(&sub.nodes);
-        let labels: Vec<usize> = sub.nodes.iter().map(|&v| train.labels[v]).collect();
-        let cache = model.forward(&sub.adj, &x, Some(cfg.seed ^ epoch as u64));
-        let loss = softmax_cross_entropy(
-            &cache.logits,
-            &labels,
-            Some(&sub.loss_weights),
-            class_weights.as_deref(),
-        );
-        let grads = model.backward(&sub.adj, &cache, &loss.grad);
-        model.apply(&mut opt, &grads);
-
-        if epoch % cfg.eval_every == 0 || epoch == cfg.epochs {
-            let val_acc = evaluate(&model, val).accuracy();
-            history.push((epoch, loss.loss, val_acc));
-            if val_acc > best_val {
-                best_val = val_acc;
-                best = model.clone();
-                evals_since_best = 0;
-            } else {
-                evals_since_best += 1;
-                if cfg.patience > 0 && evals_since_best >= cfg.patience {
-                    break;
-                }
-            }
-            if (best_val - 1.0).abs() < f64::EPSILON {
-                // Validation is perfect; later epochs cannot improve
-                // selection.
-                break;
-            }
-        }
-    }
-    let report = TrainReport {
-        best_val_accuracy: best_val.max(0.0),
-        epochs_run,
-        train_time: start.elapsed(),
-        history,
-    };
-    (best, report)
+    let mut state = TrainState::new(train, val, cfg);
+    while !state.step_epoch(train, val) {}
+    state.finish()
 }
 
 /// Full-graph inference metrics of `model` on `graph`.
@@ -238,6 +428,66 @@ mod tests {
             "Anti-SAT recall {:.4} too low",
             m.recall(1)
         );
+    }
+
+    /// The checkpointed chain must reproduce `train` bit-for-bit: the
+    /// same weights, the same history floats, the same epoch count —
+    /// whatever block size the chain uses, and across a checkpoint
+    /// round trip at every block boundary. This is also the regression
+    /// guard for the hoisted per-epoch setup (sampler construction,
+    /// class weights, degree normalization, induction scratch): any
+    /// drift in the refactored loop shows up as a bit difference here.
+    #[test]
+    fn checkpoint_chain_reproduces_train_bit_exactly() {
+        let train_g = crate::features::merge_graphs(&[
+            antisat_graph("c2670", 0.02, 8, 1),
+            antisat_graph("c5315", 0.02, 8, 2),
+        ]);
+        let val_g = antisat_graph("c3540", 0.02, 8, 3);
+        let cfg = TrainConfig {
+            epochs: 35,
+            hidden: 16,
+            eval_every: 5,
+            patience: 2,
+            saint: SaintConfig {
+                roots: 150,
+                walk_length: 2,
+                estimation_rounds: 3,
+                seed: 5,
+            },
+            ..TrainConfig::default()
+        };
+        let (direct_model, direct_report) = train(&train_g, &val_g, &cfg);
+
+        for block in [1usize, 7, 10, 100] {
+            let mut ckpt = None;
+            loop {
+                let mut state = match &ckpt {
+                    None => TrainState::new(&train_g, &val_g, &cfg),
+                    Some(c) => TrainState::from_checkpoint(&train_g, &cfg, c),
+                };
+                let target = state.epochs_run() + block;
+                while !state.is_done() && state.epochs_run() < target {
+                    state.step_epoch(&train_g, &val_g);
+                }
+                let done = state.is_done();
+                ckpt = Some(state.checkpoint());
+                if done {
+                    break;
+                }
+            }
+            let (model, report) = ckpt.unwrap().finish();
+            assert_eq!(report.epochs_run, direct_report.epochs_run, "block {block}");
+            assert_eq!(report.best_val_accuracy, direct_report.best_val_accuracy);
+            assert_eq!(report.history, direct_report.history);
+            for (a, b) in model.parts().iter().zip(direct_model.parts()) {
+                assert_eq!(a.weight.data(), b.weight.data(), "block {block}");
+                assert_eq!(a.bias, b.bias);
+            }
+            // Identical metrics on an unseen circuit, bit for bit.
+            let test_g = antisat_graph("c7552", 0.02, 8, 4);
+            assert_eq!(evaluate(&model, &test_g), evaluate(&direct_model, &test_g));
+        }
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use bench_io::KEY_INPUT_PREFIX;
 pub use error::{NetlistError, Result};
 pub use gate::{GateType, ParseGateTypeError, ALL_GATE_TYPES};
 pub use library::{CellLibrary, ParseCellLibraryError, EXTRA_FEATURES};
-pub use netlist::{Driver, GateId, InputId, InputKind, NetId, Netlist, NodeRole};
+pub use netlist::{Driver, GateId, InputId, InputKind, NetId, Netlist, NetlistParts, NodeRole};

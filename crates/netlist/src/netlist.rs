@@ -23,6 +23,13 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild an id from [`NetId::index`] — for external serialization
+    /// ([`Netlist::from_parts`]); an out-of-range index is rejected
+    /// there, not here.
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
+    }
 }
 
 impl GateId {
@@ -30,12 +37,22 @@ impl GateId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild an id from [`GateId::index`] — for external serialization.
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index as u32)
+    }
 }
 
 impl InputId {
     /// Raw index of the input.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuild an id from [`InputId::index`] — for external serialization.
+    pub fn from_index(index: usize) -> InputId {
+        InputId(index as u32)
     }
 }
 
@@ -159,6 +176,158 @@ pub struct Netlist {
     const_nets: [Option<NetId>; 2],
     fresh_counter: u64,
     dead_gates: usize,
+}
+
+/// A flat, fully public view of a [`Netlist`] for external serialization
+/// (the campaign persistence codec). [`Netlist::to_parts`] /
+/// [`Netlist::from_parts`] round-trip losslessly: every id, tombstone
+/// and role is preserved, so a deserialized netlist is observationally
+/// identical to the original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistParts {
+    /// Module name.
+    pub name: String,
+    /// `(net name, driver)` per net, in id order.
+    pub nets: Vec<(String, Driver)>,
+    /// `(input name, kind, driven net index)` per input, in id order.
+    pub inputs: Vec<(String, InputKind, u32)>,
+    /// `(output name, net index)` in declaration order.
+    pub outputs: Vec<(String, u32)>,
+    /// `(alive, type, input net indices, output net index, role)` per
+    /// gate slot — tombstoned gates included, keeping ids stable.
+    pub gates: Vec<(bool, GateType, Vec<u32>, u32, NodeRole)>,
+    /// Cached constant-0 / constant-1 net indices.
+    pub const_nets: [Option<u32>; 2],
+    /// Fresh-name counter (preserved so later `fresh_net` calls on the
+    /// restored netlist never collide).
+    pub fresh_counter: u64,
+}
+
+impl Netlist {
+    /// Flatten into a [`NetlistParts`] view.
+    pub fn to_parts(&self) -> NetlistParts {
+        NetlistParts {
+            name: self.name.clone(),
+            nets: self
+                .nets
+                .iter()
+                .map(|n| (n.name.clone(), n.driver))
+                .collect(),
+            inputs: self
+                .inputs
+                .iter()
+                .map(|i| (i.name.clone(), i.kind, i.net.0))
+                .collect(),
+            outputs: self
+                .outputs
+                .iter()
+                .map(|o| (o.name.clone(), o.net.0))
+                .collect(),
+            gates: self
+                .gates
+                .iter()
+                .map(|g| {
+                    (
+                        g.alive,
+                        g.ty,
+                        g.inputs.iter().map(|n| n.0).collect(),
+                        g.output.0,
+                        g.role,
+                    )
+                })
+                .collect(),
+            const_nets: [
+                self.const_nets[0].map(|n| n.0),
+                self.const_nets[1].map(|n| n.0),
+            ],
+            fresh_counter: self.fresh_counter,
+        }
+    }
+
+    /// Reassemble a netlist from [`Netlist::to_parts`]. `None` when the
+    /// parts are internally inconsistent (out-of-range indices,
+    /// duplicate net names) — a corrupt payload decodes to a cache miss,
+    /// never a panic.
+    pub fn from_parts(parts: NetlistParts) -> Option<Netlist> {
+        let n_nets = parts.nets.len();
+        let net_ok = |i: u32| (i as usize) < n_nets;
+        let mut net_by_name = HashMap::with_capacity(n_nets);
+        for (i, (name, driver)) in parts.nets.iter().enumerate() {
+            if net_by_name.insert(name.clone(), NetId(i as u32)).is_some() {
+                return None;
+            }
+            match *driver {
+                Driver::Input(id) => {
+                    if id.index() >= parts.inputs.len() {
+                        return None;
+                    }
+                }
+                Driver::Gate(id) => {
+                    if id.index() >= parts.gates.len() {
+                        return None;
+                    }
+                }
+                Driver::Const(_) | Driver::Undriven => {}
+            }
+        }
+        if parts.inputs.iter().any(|&(_, _, net)| !net_ok(net))
+            || parts.outputs.iter().any(|&(_, net)| !net_ok(net))
+            || parts
+                .gates
+                .iter()
+                .any(|(_, _, ins, out, _)| !net_ok(*out) || ins.iter().any(|&i| !net_ok(i)))
+            || parts
+                .const_nets
+                .iter()
+                .any(|slot| slot.is_some_and(|n| !net_ok(n)))
+        {
+            return None;
+        }
+        let dead_gates = parts.gates.iter().filter(|(alive, ..)| !alive).count();
+        Some(Netlist {
+            name: parts.name,
+            nets: parts
+                .nets
+                .into_iter()
+                .map(|(name, driver)| NetInfo { name, driver })
+                .collect(),
+            inputs: parts
+                .inputs
+                .into_iter()
+                .map(|(name, kind, net)| InputInfo {
+                    name,
+                    kind,
+                    net: NetId(net),
+                })
+                .collect(),
+            outputs: parts
+                .outputs
+                .into_iter()
+                .map(|(name, net)| OutputInfo {
+                    name,
+                    net: NetId(net),
+                })
+                .collect(),
+            gates: parts
+                .gates
+                .into_iter()
+                .map(|(alive, ty, inputs, output, role)| GateInfo {
+                    ty,
+                    inputs: inputs.into_iter().map(NetId).collect(),
+                    output: NetId(output),
+                    role,
+                    alive,
+                })
+                .collect(),
+            net_by_name,
+            const_nets: [
+                parts.const_nets[0].map(NetId),
+                parts.const_nets[1].map(NetId),
+            ],
+            fresh_counter: parts.fresh_counter,
+            dead_gates,
+        })
+    }
 }
 
 impl Netlist {
@@ -767,6 +936,44 @@ mod tests {
         nl.compact();
         let roles = nl.role_histogram();
         assert_eq!(roles, [1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn parts_round_trip_is_observationally_lossless() {
+        let mut nl = two_gate();
+        // Exercise the trickier state: tombstones, consts, key inputs,
+        // fresh names.
+        let k = nl.add_key_input("keyinput9");
+        let c = nl.const_net(true);
+        let g = nl.add_gate_with_role(GateType::Or, &[k, c], NodeRole::AntiSat);
+        nl.add_output("extra", nl.gate_output(g));
+        let dead = nl.add_gate(GateType::Inv, &[k]);
+        nl.remove_gate(dead);
+
+        let back = Netlist::from_parts(nl.to_parts()).expect("self-parts are valid");
+        assert_eq!(back.to_parts(), nl.to_parts());
+        assert_eq!(back.num_gates(), nl.num_gates());
+        assert_eq!(back.num_nets(), nl.num_nets());
+        assert_eq!(back.role_histogram(), nl.role_histogram());
+        assert_eq!(
+            back.key_inputs(),
+            nl.key_inputs(),
+            "input ids and kinds survive"
+        );
+        back.validate(None).unwrap();
+        // Fresh-name counter survives: no collisions after restore.
+        let mut back = back;
+        let fresh = back.fresh_net();
+        assert!(nl.net_by_name(back.net_name(fresh)).is_none());
+
+        // Inconsistent parts are rejected, not panicked on.
+        let mut bad = nl.to_parts();
+        bad.gates[0].3 = 10_000; // dangling output net
+        assert!(Netlist::from_parts(bad).is_none());
+        let mut dup = nl.to_parts();
+        let first_name = dup.nets[0].0.clone();
+        dup.nets[1].0 = first_name; // duplicate net name
+        assert!(Netlist::from_parts(dup).is_none());
     }
 
     #[test]

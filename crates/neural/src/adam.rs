@@ -43,6 +43,24 @@ impl AdamState {
         }
     }
 
+    /// The state's moment vectors and step count, for external
+    /// serialization (training checkpoints): `(m, v, t)`.
+    pub fn parts(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Reassemble a state from [`AdamState::parts`] — the inverse used
+    /// when restoring a training checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors disagree in length (a corrupt or
+    /// mismatched serialization, never a runtime condition).
+    pub fn from_parts(m: Vec<f32>, v: Vec<f32>, t: u64) -> Self {
+        assert_eq!(m.len(), v.len(), "Adam moment length mismatch");
+        AdamState { m, v, t }
+    }
+
     /// Apply one update step to `param` given `grad`.
     ///
     /// # Panics

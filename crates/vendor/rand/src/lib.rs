@@ -39,6 +39,23 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Snapshot of the generator's full internal state, for exact
+        /// checkpoint/restore (training resumption). The words are the
+        /// raw xoshiro256** state; feed them back through
+        /// [`StdRng::from_state`] to continue the identical stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot. The
+        /// restored generator produces exactly the stream the snapshotted
+        /// one would have produced next.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion of the seed, as recommended by the

@@ -75,17 +75,18 @@ pub mod prelude {
     };
     pub use gnnunlock_core::{
         aggregate, attack_all, attack_benchmark, attack_instance, attack_targets,
-        attack_targets_on, executor_from_env, postprocess, remove_protection, resume_campaign,
-        run_campaign, run_campaign_persistent, run_campaign_with_workers, AttackConfig,
-        AttackOutcome, CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec, Suite,
+        attack_targets_on, campaign_for, checkpoint_blocks, executor_from_env, postprocess,
+        remove_protection, resume_campaign, run_campaign, run_campaign_persistent,
+        run_campaign_with_workers, AttackCampaignRunner, AttackConfig, AttackOutcome,
+        CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec, Suite,
     };
     pub use gnnunlock_engine::{
-        CacheSource, CancelToken, DiskStore, Event, EventLog, ExecConfig, Executor, JobGraph,
-        JobKind, ReportOptions, ResultCache, ResumeInfo, RunReport,
+        CacheSource, CancelToken, DiskStore, Event, EventLog, ExecConfig, Executor, GcStats,
+        JobGraph, JobKind, ReportOptions, ResultCache, ResumeInfo, RunReport, StageSummary,
     };
     pub use gnnunlock_gnn::{
         evaluate, merge_graphs, netlist_to_graph, predict, train, CircuitGraph, LabelScheme,
-        SageModel, SaintConfig, TrainConfig,
+        SageModel, SaintConfig, TrainCheckpoint, TrainConfig, TrainState,
     };
     pub use gnnunlock_locking::{
         lock_antisat, lock_rll, lock_sfll_hd, lock_ttlock, AntiSatConfig, Key, LockedCircuit,

@@ -88,6 +88,29 @@ fn repeated_campaign_hits_the_result_cache() {
         .report(ReportOptions::default().with_provenance())
         .to_json();
     assert!(report.contains("\"memory_hits\": ") && report.contains("\"executed\": 0"));
+    // Stage-level reuse: every stage of the DAG — parse, featurize, the
+    // train-epoch checkpoint chain, classification, removal,
+    // verification — is served from the cache on the re-run.
+    let summaries = second.run.outcome.stage_summaries();
+    for kind in [
+        "parse",
+        "lock",
+        "featurize",
+        "dataset",
+        "train-epoch",
+        "train",
+        "classify",
+        "remove",
+        "verify",
+        "aggregate",
+    ] {
+        let s = summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .unwrap_or_else(|| panic!("stage {kind} missing from the plan"));
+        assert_eq!(s.memory_hits, s.total, "stage {kind} not fully reused");
+        assert_eq!(s.executed, 0, "stage {kind} re-executed");
+    }
 
     // Same numbers out of the cache as out of the real run.
     assert_eq!(first.outcomes.len(), second.outcomes.len());

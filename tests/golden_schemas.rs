@@ -77,6 +77,28 @@ fn canonical_events() -> Vec<Event> {
             status: "failed".into(),
             ms: 3.25,
         },
+        Event::CacheHit {
+            id: 3,
+            label: "parse/c1355".into(),
+            source: "memory".into(),
+        },
+        Event::JobFinished {
+            id: 4,
+            label: "train-epoch/antisat/c1355/e2".into(),
+            status: "ok".into(),
+            ms: 250.0,
+        },
+        Event::StageSummary {
+            kind: "train-epoch".into(),
+            total: 16,
+            executed: 10,
+            memory_hits: 2,
+            disk_hits: 4,
+            failed: 0,
+            skipped: 0,
+            cancelled: 0,
+            ms: 1234.5,
+        },
         Event::RunStarted {
             campaign: "antisat-iscas85".into(),
             jobs: 16,
@@ -107,19 +129,34 @@ fn event_jsonl_schema_is_pinned() {
     }
 }
 
-/// A fixed 4-job graph covering ok / cached-kind / failed / skipped, so
-/// the report goldens exercise every job field including `detail`.
+/// A fixed graph covering ok / cached-kind / failed / skipped plus the
+/// stage-DAG kinds (parse, train-epoch), so the report goldens exercise
+/// every job field including `detail` and the per-stage aggregation.
 fn canonical_outcome() -> gnnunlock::engine::RunOutcome {
     let mut g = JobGraph::new();
-    let lock = g.add("lock/demo", JobKind::Lock, Some(9), vec![], |_| {
+    let parse = g.add("parse/demo", JobKind::Parse, Some(8), vec![], |_| {
+        Ok(Arc::new("parsed".to_string()) as JobValue)
+    });
+    let lock = g.add("lock/demo", JobKind::Lock, Some(9), vec![parse], |_| {
         Ok(Arc::new("locked".to_string()) as JobValue)
     });
-    let train = g.add("train/demo", JobKind::Train, Some(10), vec![lock], |_| {
+    let epoch = g.add(
+        "train-epoch/demo/e0",
+        JobKind::TrainEpoch,
+        Some(11),
+        vec![lock],
+        |_| Ok(Arc::new("ckpt".to_string()) as JobValue),
+    );
+    let train = g.add("train/demo", JobKind::Train, Some(10), vec![epoch], |_| {
         Err("training diverged".into())
     });
-    g.add("attack/demo", JobKind::Attack, None, vec![train], |_| {
-        Ok(Arc::new(0u64) as JobValue)
-    });
+    g.add(
+        "classify/demo",
+        JobKind::Classify,
+        None,
+        vec![train],
+        |_| Ok(Arc::new(0u64) as JobValue),
+    );
     g.add("aggregate/demo", JobKind::Aggregate, None, vec![], |_| {
         Ok(Arc::new(1u64) as JobValue)
     });

@@ -320,6 +320,175 @@ fn real_cfgs() -> (DatasetConfig, AttackConfig) {
     (ds, attack)
 }
 
+/// One small real campaign, run cold then warm from the same directory:
+/// with every stage of the DAG covered by the codec, the second run must
+/// come (almost) entirely off disk. This is also the CI bench-smoke
+/// assertion: ≥ 90% disk hits on the re-run.
+#[test]
+fn warm_real_campaign_is_mostly_disk_hits() {
+    let dir = tmp_dir("warm-smoke");
+    let (ds, attack) = real_cfgs();
+
+    let cold =
+        run_campaign_persistent("smoke", &ds, &attack, ExecConfig::with_workers(2), &dir).unwrap();
+    assert!(cold.run.outcome.all_succeeded());
+    let reference = cold.run.report(ReportOptions::default()).to_json();
+
+    let warm =
+        run_campaign_persistent("smoke", &ds, &attack, ExecConfig::with_workers(2), &dir).unwrap();
+    let stats = warm.run.outcome.stats;
+    assert!(
+        stats.disk_hits * 10 >= stats.total * 9,
+        "second run must be >= 90% disk hits, got {}/{}",
+        stats.disk_hits,
+        stats.total
+    );
+    assert_eq!(stats.executed, 0, "every stage artifact is persistable");
+    assert_eq!(
+        warm.run.report(ReportOptions::default()).to_json(),
+        reference
+    );
+    // Stage-level reuse is visible per kind: parse, featurize, training
+    // and verification all served from the store.
+    for summary in warm.run.outcome.stage_summaries() {
+        assert_eq!(
+            summary.disk_hits, summary.total,
+            "stage {} not fully disk-served",
+            summary.kind
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill a real campaign mid-training (after two of the four per-target
+/// epoch-checkpoint links) and resume: the resumed run restarts from the
+/// last persisted checkpoint — the completed links are disk hits, not
+/// recomputed — and the final report is byte-identical to an
+/// uninterrupted run's.
+#[test]
+fn kill_mid_training_resumes_from_epoch_checkpoint() {
+    let reference_dir = tmp_dir("midtrain-ref");
+    let killed_dir = tmp_dir("midtrain-kill");
+    let (ds, mut attack) = real_cfgs();
+    // 40 epochs in blocks of 10: four train-epoch links per target.
+    attack.checkpoint_epochs = 10;
+    assert_eq!(gnnunlock::core::checkpoint_blocks(&attack), 4);
+
+    let campaign = gnnunlock::core::campaign_for("midtrain", &ds, &attack);
+    let total = campaign.plan().len();
+    let epoch_jobs = campaign
+        .plan()
+        .iter()
+        .filter(|(j, _)| j.kind == gnnunlock::engine::JobKind::TrainEpoch)
+        .count();
+    assert_eq!(epoch_jobs, 16, "4 targets x 4 links");
+
+    // Reference: uninterrupted persistent run.
+    let reference = campaign
+        .execute_persistent(
+            &gnnunlock::core::AttackCampaignRunner::new(&ds, &attack),
+            ExecConfig::with_workers(1),
+            &reference_dir,
+        )
+        .unwrap();
+    assert!(reference.outcome.all_succeeded());
+    let reference_report = reference.report(ReportOptions::default()).to_json();
+
+    // Killed run: a single worker executes jobs in plan order — 12
+    // parse/lock/featurize jobs, the dataset, then the first target's
+    // epoch chain. Killing after 15 jobs stops it two links into that
+    // chain: mid-training, between epoch checkpoints.
+    struct KillRealAfter<'a> {
+        inner: gnnunlock::core::AttackCampaignRunner<'a>,
+        remaining: AtomicUsize,
+        token: CancelToken,
+    }
+    impl CampaignRunner for KillRealAfter<'_> {
+        fn config_salt(&self) -> u64 {
+            self.inner.config_salt()
+        }
+        fn stage_salt(&self, kind: gnnunlock::engine::JobKind) -> u64 {
+            self.inner.stage_salt(kind)
+        }
+        fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+            self.inner.codec()
+        }
+        fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+            let out = self.inner.run(job, ctx);
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.token.cancel();
+            }
+            out
+        }
+    }
+    let kill_after = 15;
+    let cfg = ExecConfig::with_workers(1);
+    let killer = KillRealAfter {
+        inner: gnnunlock::core::AttackCampaignRunner::new(&ds, &attack),
+        remaining: AtomicUsize::new(kill_after),
+        token: cfg.cancel.clone(),
+    };
+    let partial = campaign
+        .execute_persistent(&killer, cfg, &killed_dir)
+        .unwrap();
+    assert_eq!(partial.outcome.stats.executed, kill_after);
+    assert_eq!(partial.outcome.stats.cancelled, total - kill_after);
+    let killed_epochs: usize = partial
+        .outcome
+        .stage_summaries()
+        .iter()
+        .find(|s| s.kind == "train-epoch")
+        .map(|s| s.executed)
+        .unwrap();
+    assert_eq!(killed_epochs, 2, "killed two links into the first chain");
+
+    // Resume: the persisted prefix — including both mid-chain epoch
+    // checkpoints — is served from disk; training continues from the
+    // second checkpoint instead of restarting.
+    let (resumed, info) = campaign
+        .resume(
+            &gnnunlock::core::AttackCampaignRunner::new(&ds, &attack),
+            ExecConfig::with_workers(2),
+            &killed_dir,
+        )
+        .unwrap();
+    assert_eq!(info.prior_completed, kill_after);
+    assert_eq!(resumed.outcome.stats.disk_hits, kill_after);
+    assert_eq!(resumed.outcome.stats.executed, total - kill_after);
+    let resumed_epoch_summary = resumed
+        .outcome
+        .stage_summaries()
+        .into_iter()
+        .find(|s| s.kind == "train-epoch")
+        .unwrap();
+    assert_eq!(resumed_epoch_summary.disk_hits, 2);
+    assert_eq!(resumed_epoch_summary.executed, epoch_jobs - 2);
+    assert!(resumed.outcome.all_succeeded());
+    assert_eq!(
+        resumed.report(ReportOptions::default()).to_json(),
+        reference_report,
+        "mid-training resume must render the byte-identical report"
+    );
+    // And the numeric outcomes match the uninterrupted run exactly.
+    let scheme = gnnunlock::core::campaign_scheme_tag(&ds);
+    let ref_outcomes = reference
+        .aggregate::<Vec<gnnunlock::core::AttackOutcome>>(&scheme)
+        .unwrap();
+    let res_outcomes = resumed
+        .aggregate::<Vec<gnnunlock::core::AttackOutcome>>(&scheme)
+        .unwrap();
+    assert_eq!(ref_outcomes.len(), res_outcomes.len());
+    for (a, b) in ref_outcomes.iter().zip(res_outcomes.iter()) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.avg_gnn_accuracy(), b.avg_gnn_accuracy());
+        assert_eq!(a.avg_post_accuracy(), b.avg_post_accuracy());
+        assert_eq!(a.removal_success_rate(), b.removal_success_rate());
+        assert_eq!(a.train_report.history, b.train_report.history);
+    }
+    let _ = std::fs::remove_dir_all(&reference_dir);
+    let _ = std::fs::remove_dir_all(&killed_dir);
+}
+
 #[test]
 fn real_campaign_cold_warm_resume_byte_identical() {
     let dir = tmp_dir("real");
