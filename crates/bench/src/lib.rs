@@ -15,6 +15,12 @@
 //! | `GNNUNLOCK_CACHE_BUDGET_BYTES` | unset | cache-size budget: after each run, least-recently-used store entries are evicted down to this many bytes (this run's entries are never evicted) |
 //! | `GNNUNLOCK_EVENTS` | unset | stream per-job JSONL events to this file while the binary runs |
 //! | `GNNUNLOCK_CKPT_EPOCHS` | `50` | training epochs per resumable `train-epoch` checkpoint job (granularity only, never results) |
+//! | `GNNUNLOCK_SHARD_ID` | `pid-<pid>` | this worker's shard identity for sharded campaign runs (lease owner + per-shard event log) |
+//! | `GNNUNLOCK_LEASE_TTL_MS` | `30000` | staleness TTL of job leases: a `kill -9`'d shard's jobs are re-claimed by survivors after this long |
+//! | `GNNUNLOCK_STAGE_BUDGET_MS` | unset | per-stage wall-clock budget; over-budget stages are marked in stage summaries (observability only) |
+//!
+//! Malformed knob values are never silently ignored: the engine's
+//! centralized parser warns on stderr and falls back to the default.
 
 use gnnunlock_core::{AttackConfig, AttackOutcome};
 use gnnunlock_engine::{ExecConfig, Executor};
@@ -108,18 +114,14 @@ pub fn attack_config() -> AttackConfig {
     }
 }
 
+// Knob parsing is centralized in the engine's `env` module, which
+// warns on malformed values instead of silently running with defaults.
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    gnnunlock_engine::knob_or(name, "a number", default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    gnnunlock_engine::knob_or(name, "a non-negative integer", default)
 }
 
 /// Percentage formatting matching the paper's tables.

@@ -29,9 +29,9 @@ use crate::pipeline::{
     InstanceOutcome,
 };
 use gnnunlock_engine::{
-    fingerprint_fields, Campaign, CampaignRun, CampaignRunner, DiskStore, EventLog, ExecConfig,
-    Executor, JobCtx, JobKind, JobOutput, JobValue, ResultCache, ResumeInfo, StageJob, ValueCodec,
-    CACHE_DIR_ENV, EVENTS_ENV,
+    fingerprint_fields, knob_path, Campaign, CampaignRun, CampaignRunner, DiskStore, EventLog,
+    ExecConfig, Executor, JobCtx, JobKind, JobOutput, JobValue, ResultCache, ResumeInfo,
+    ShardConfig, ShardedRun, StageJob, ValueCodec, CACHE_DIR_ENV, EVENTS_ENV,
 };
 use gnnunlock_gnn::{CircuitGraph, TrainState};
 use gnnunlock_locking::LockedCircuit;
@@ -590,18 +590,65 @@ pub fn resume_campaign(
     Ok((collect_outcomes(dataset, run), info))
 }
 
-/// The shared cache directory named by `GNNUNLOCK_CACHE_DIR`, if set.
-pub fn cache_dir_from_env() -> Option<PathBuf> {
-    std::env::var_os(CACHE_DIR_ENV)
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+/// Result of [`run_campaign_sharded`]: one shard's view of a
+/// multi-process campaign.
+pub struct ShardedCampaignResult {
+    /// Leave-one-out outcomes, in suite order — identical on every
+    /// shard (the aggregate value travels through the store).
+    pub outcomes: Vec<AttackOutcome>,
+    /// The shard's engine run: report builder, finalizer election,
+    /// lease counters.
+    pub sharded: ShardedRun,
 }
 
-/// The event-log path named by `GNNUNLOCK_EVENTS`, if set.
+/// Execute one shard of a multi-process attack campaign rooted at
+/// `dir`: N processes launched with distinct `GNNUNLOCK_SHARD_ID`s
+/// against one `GNNUNLOCK_CACHE_DIR` (see
+/// [`gnnunlock_engine::ShardConfig::from_env`]) split the campaign's
+/// stage DAG between them via lease files beside the store entries —
+/// no job body runs on more than one live shard, a `kill -9`'d shard's
+/// leased jobs are taken over by survivors after the lease TTL, and
+/// every shard's default report is byte-identical to a single-process
+/// run.
+///
+/// The shard that executes the final aggregate job is the elected
+/// finalizer ([`ShardedRun::is_finalizer`]) — the natural writer of the
+/// canonical report file and merger of the per-shard event streams
+/// ([`gnnunlock_engine::merge_shard_events`]).
+///
+/// # Errors
+///
+/// Fails when the store cannot be opened or the per-shard event log
+/// cannot be created.
+pub fn run_campaign_sharded(
+    name: &str,
+    dataset: &DatasetConfig,
+    attack: &AttackConfig,
+    cfg: ExecConfig,
+    dir: &Path,
+    shard: &ShardConfig,
+) -> io::Result<ShardedCampaignResult> {
+    let campaign = campaign_for(name, dataset, attack);
+    let runner = AttackCampaignRunner::new(dataset, attack);
+    let sharded = campaign.execute_sharded(&runner, cfg, dir, shard)?;
+    let outcomes = sharded
+        .run
+        .aggregate::<Vec<AttackOutcome>>(&campaign_scheme_tag(dataset))
+        .map(|a| a.as_ref().clone())
+        .unwrap_or_default();
+    Ok(ShardedCampaignResult { outcomes, sharded })
+}
+
+/// The shared cache directory named by `GNNUNLOCK_CACHE_DIR`, if set
+/// (parsed by the engine's centralized knob module).
+pub fn cache_dir_from_env() -> Option<PathBuf> {
+    knob_path(CACHE_DIR_ENV)
+}
+
+/// The event-log path named by `GNNUNLOCK_EVENTS`, if set (parsed by
+/// the engine's centralized knob module).
 pub fn events_path_from_env() -> Option<PathBuf> {
-    std::env::var_os(EVENTS_ENV)
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    knob_path(EVENTS_ENV)
 }
 
 /// An executor honoring the persistence environment knobs: with

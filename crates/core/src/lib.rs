@@ -38,7 +38,8 @@ mod removal;
 pub use campaign::{
     cache_dir_from_env, campaign_for, campaign_for_targets, campaign_scheme_tag, checkpoint_blocks,
     events_path_from_env, executor_from_env, resume_campaign, run_campaign,
-    run_campaign_persistent, run_campaign_with_workers, AttackCampaignRunner, CampaignResult,
+    run_campaign_persistent, run_campaign_sharded, run_campaign_with_workers, AttackCampaignRunner,
+    CampaignResult, ShardedCampaignResult,
 };
 pub use dataset::{Dataset, DatasetConfig, DatasetScheme, DatasetSummary, LockedInstance, Suite};
 pub use persist::{CheckpointValue, ClassifyArtifact, PipelineCodec, RemovalArtifact, TrainValue};

@@ -110,8 +110,11 @@ impl ResultCache {
                     return Some((value, CacheSource::Disk));
                 }
                 // Structurally intact entry the codec doesn't recognize
-                // (e.g. written by a different pipeline): treat as a
-                // miss and recompute; the subsequent put overwrites it.
+                // (e.g. written by a different pipeline): evict it and
+                // recompute, so the subsequent put can persist a
+                // readable replacement (put skips the disk write when
+                // an entry file is already present).
+                store.evict_entry(kind, fingerprint);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -126,7 +129,10 @@ impl ResultCache {
     /// Store a result (last writer wins; values are cheap `Arc` clones).
     /// With a disk tier attached, encodable values are also persisted —
     /// best-effort: an I/O failure leaves the memory tier authoritative
-    /// and is visible in [`crate::StoreStats::save_errors`].
+    /// and is visible in [`crate::StoreStats::save_errors`]. An entry a
+    /// peer process already published is not re-written (deterministic
+    /// jobs make same-address entries byte-identical), only pinned into
+    /// this run's GC live set.
     pub fn put(&self, kind: JobKind, fingerprint: u64, value: JobValue) {
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.map
@@ -134,7 +140,9 @@ impl ResultCache {
             .unwrap()
             .insert((kind, fingerprint), value.clone());
         if let Some((store, codec)) = &self.disk {
-            if let Some(bytes) = codec.encode(kind, &value) {
+            if store.contains(kind, fingerprint) {
+                store.mark_live(kind, fingerprint);
+            } else if let Some(bytes) = codec.encode(kind, &value) {
                 if store.save(kind, fingerprint, &bytes).is_ok() {
                     self.persisted.fetch_add(1, Ordering::Relaxed);
                 }

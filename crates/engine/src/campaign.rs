@@ -393,6 +393,11 @@ impl Campaign {
         &self.plan
     }
 
+    /// The campaign's scheme tags, in plan order.
+    pub fn schemes(&self) -> &[String] {
+        &self.schemes
+    }
+
     /// Content hash of the campaign's *shape*: every planned label and
     /// dependency list. Mixed into job fingerprints so two
     /// differently-shaped campaigns sharing one runner and cache never
@@ -444,7 +449,14 @@ impl Campaign {
                 move |ctx| runner.run(stage_job, ctx),
             );
         }
-        let outcome = executor.run(graph);
+        self.finish_run(executor.run(graph))
+    }
+
+    /// Assemble a [`CampaignRun`] from an executed outcome: the
+    /// per-scheme aggregate-job map plus campaign metadata. Shared by
+    /// [`Campaign::execute`] and the sharded path so the two can never
+    /// drift.
+    pub(crate) fn finish_run(&self, outcome: RunOutcome) -> CampaignRun {
         let aggregates = self
             .plan
             .iter()
@@ -488,20 +500,19 @@ impl Campaign {
         Ok((executor, log))
     }
 
-    fn execute_logged<R: CampaignRunner>(
-        &self,
-        runner: &R,
-        executor: &Executor,
-        log: &EventLog,
-        resumed: bool,
-    ) -> CampaignRun {
+    /// Emit the `run-started` record a logged run opens with.
+    pub(crate) fn emit_run_started(&self, log: &EventLog, resumed: bool) {
         log.append(&Event::RunStarted {
             campaign: self.name.clone(),
             jobs: self.plan.len(),
             shape: self.shape_fingerprint(),
             resumed,
         });
-        let run = self.execute(runner, executor);
+    }
+
+    /// Emit the per-stage summaries and the terminal `run-finished`
+    /// record a logged run drains into.
+    pub(crate) fn emit_run_finished(log: &EventLog, run: &CampaignRun) {
         for s in run.outcome.stage_summaries() {
             log.append(&Event::StageSummary {
                 kind: s.kind,
@@ -513,6 +524,7 @@ impl Campaign {
                 skipped: s.skipped,
                 cancelled: s.cancelled,
                 ms: s.ms,
+                over_budget: s.over_budget,
             });
         }
         let stats = run.outcome.stats;
@@ -522,6 +534,18 @@ impl Campaign {
             skipped: stats.skipped,
             cancelled: stats.cancelled,
         });
+    }
+
+    fn execute_logged<R: CampaignRunner>(
+        &self,
+        runner: &R,
+        executor: &Executor,
+        log: &EventLog,
+        resumed: bool,
+    ) -> CampaignRun {
+        self.emit_run_started(log, resumed);
+        let run = self.execute(runner, executor);
+        Self::emit_run_finished(log, &run);
         run
     }
 

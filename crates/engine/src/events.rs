@@ -14,11 +14,21 @@
 //! {"ev":"run-started","campaign":..,"jobs":N,"shape":"<hex>","resumed":bool}
 //! {"ev":"job-started","id":N,"label":..}
 //! {"ev":"cache-hit","id":N,"label":..,"source":"memory"|"disk"}
+//! {"ev":"job-claimed","id":N,"label":..,"owner":..,"generation":N,"takeover":bool}
+//! {"ev":"job-elided","id":N,"label":..}
 //! {"ev":"job-finished","id":N,"label":..,"status":"ok"|"failed"|"skipped"|"cancelled","ms":F}
 //! {"ev":"stage-error","id":N,"label":..,"error":..}
-//! {"ev":"stage-summary","kind":..,"total":N,"executed":N,"memory_hits":N,"disk_hits":N,"failed":N,"skipped":N,"cancelled":N,"ms":F}
+//! {"ev":"stage-summary","kind":..,"total":N,"executed":N,"memory_hits":N,"disk_hits":N,"failed":N,"skipped":N,"cancelled":N,"ms":F,"over_budget":bool}
 //! {"ev":"run-finished","succeeded":N,"failed":N,"skipped":N,"cancelled":N}
 //! ```
+//!
+//! `job-claimed` and `job-elided` appear only in *sharded* runs
+//! (`Campaign::execute_sharded`): a claim marks this shard acquiring
+//! the job's lease immediately before executing its body — so across
+//! the merged per-shard logs, "claims whose run also finished the job
+//! `ok`" counts true completed executions — and an elision marks a job
+//! skipped by probe-ahead scheduling (every dependent's cache entry
+//! already exists, so nobody needs its output).
 //!
 //! `stage-error` accompanies every `job-finished` with status `failed`,
 //! carrying the job id and the failure text — including the payload of a
@@ -70,6 +80,31 @@ pub enum Event {
         /// `"memory"` or `"disk"`.
         source: String,
     },
+    /// A shard acquired the lease on a job and is about to execute it
+    /// (sharded runs only). One completed successful execution of a job
+    /// leaves exactly one log run containing both its `job-claimed` and
+    /// a `job-finished` of status `ok` for it.
+    JobClaimed {
+        /// Job id (graph index).
+        id: usize,
+        /// Job label.
+        label: String,
+        /// The claiming shard's owner string.
+        owner: String,
+        /// The lease's ownership epoch (0 = fresh claim).
+        generation: u64,
+        /// Whether the claim took over a stale lease from a dead shard.
+        takeover: bool,
+    },
+    /// A job's execution was elided by probe-ahead scheduling: its own
+    /// entry is absent but every dependent's cache entry already
+    /// exists, so no one needs its output (sharded runs only).
+    JobElided {
+        /// Job id.
+        id: usize,
+        /// Job label.
+        label: String,
+    },
     /// A job reached a terminal status.
     JobFinished {
         /// Job id.
@@ -113,6 +148,9 @@ pub enum Event {
         cancelled: usize,
         /// Summed execution milliseconds (volatile).
         ms: f64,
+        /// Whether `ms` exceeded the run's `GNNUNLOCK_STAGE_BUDGET_MS`
+        /// (observability only; volatile like `ms`).
+        over_budget: bool,
     },
     /// The run drained; terminal counters.
     RunFinished {
@@ -155,6 +193,25 @@ impl Event {
                 ("label", Json::Str(label.clone())),
                 ("source", Json::Str(source.clone())),
             ]),
+            Event::JobClaimed {
+                id,
+                label,
+                owner,
+                generation,
+                takeover,
+            } => Json::obj(vec![
+                ("ev", Json::Str("job-claimed".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+                ("owner", Json::Str(owner.clone())),
+                ("generation", Json::Num(*generation as f64)),
+                ("takeover", Json::Bool(*takeover)),
+            ]),
+            Event::JobElided { id, label } => Json::obj(vec![
+                ("ev", Json::Str("job-elided".into())),
+                ("id", num(*id)),
+                ("label", Json::Str(label.clone())),
+            ]),
             Event::JobFinished {
                 id,
                 label,
@@ -183,6 +240,7 @@ impl Event {
                 skipped,
                 cancelled,
                 ms,
+                over_budget,
             } => Json::obj(vec![
                 ("ev", Json::Str("stage-summary".into())),
                 ("kind", Json::Str(kind.clone())),
@@ -194,6 +252,7 @@ impl Event {
                 ("skipped", num(*skipped)),
                 ("cancelled", num(*cancelled)),
                 ("ms", Json::Num(*ms)),
+                ("over_budget", Json::Bool(*over_budget)),
             ]),
             Event::RunFinished {
                 succeeded,
@@ -253,6 +312,17 @@ impl Event {
                 label: str_field("label")?,
                 source: str_field("source")?,
             }),
+            "job-claimed" => Ok(Event::JobClaimed {
+                id: num_field("id")?,
+                label: str_field("label")?,
+                owner: str_field("owner")?,
+                generation: num_field("generation")? as u64,
+                takeover: matches!(doc.get("takeover"), Some(Json::Bool(true))),
+            }),
+            "job-elided" => Ok(Event::JobElided {
+                id: num_field("id")?,
+                label: str_field("label")?,
+            }),
             "job-finished" => Ok(Event::JobFinished {
                 id: num_field("id")?,
                 label: str_field("label")?,
@@ -280,6 +350,9 @@ impl Event {
                     .get("ms")
                     .and_then(Json::as_num)
                     .ok_or("missing field 'ms'")?,
+                // Absent in pre-budget logs: default false so old event
+                // streams replay unchanged.
+                over_budget: matches!(doc.get("over_budget"), Some(Json::Bool(true))),
             }),
             "run-finished" => Ok(Event::RunFinished {
                 succeeded: num_field("succeeded")?,
@@ -466,6 +539,17 @@ mod tests {
                 label: "train/a".into(),
                 source: "disk".into(),
             },
+            Event::JobClaimed {
+                id: 3,
+                label: "dataset/a".into(),
+                owner: "shard-1".into(),
+                generation: 2,
+                takeover: true,
+            },
+            Event::JobElided {
+                id: 4,
+                label: "lock/a".into(),
+            },
             Event::StageError {
                 id: 2,
                 label: "attack/a".into(),
@@ -487,6 +571,7 @@ mod tests {
                 skipped: 0,
                 cancelled: 0,
                 ms: 412.5,
+                over_budget: false,
             },
             Event::RunFinished {
                 succeeded: 2,
@@ -510,6 +595,16 @@ mod tests {
             let line = ev.to_jsonl();
             assert!(!line.contains('\n'), "JSONL records are single lines");
             assert_eq!(Event::parse(&line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn stage_summary_parse_tolerates_pre_budget_records() {
+        // Logs written before the over_budget field must still replay.
+        let old = r#"{"ev": "stage-summary", "kind": "train", "total": 2, "executed": 2, "memory_hits": 0, "disk_hits": 0, "failed": 0, "skipped": 0, "cancelled": 0, "ms": 7.5}"#;
+        match Event::parse(old).unwrap() {
+            Event::StageSummary { over_budget, .. } => assert!(!over_budget),
+            other => panic!("expected stage-summary, got {other:?}"),
         }
     }
 

@@ -155,6 +155,11 @@ pub struct StageSummary {
     pub cancelled: usize,
     /// Summed wall-clock execution milliseconds (volatile).
     pub ms: f64,
+    /// Whether `ms` exceeded the per-stage wall-clock budget
+    /// (`GNNUNLOCK_STAGE_BUDGET_MS`). Observability only — over-budget
+    /// stages are marked in the stage-summary event and the timing
+    /// report section, never killed. Always `false` without a budget.
+    pub over_budget: bool,
 }
 
 /// Everything a run produced: records, values and counters.
@@ -166,14 +171,26 @@ pub struct RunOutcome {
     /// Total wall-clock time (volatile).
     pub wall_time: Duration,
     values: Vec<Option<JobValue>>,
+    /// The per-stage wall-clock budget in effect when the run executed
+    /// (`GNNUNLOCK_STAGE_BUDGET_MS`), applied by [`RunOutcome::stage_summaries`].
+    stage_budget_ms: Option<f64>,
 }
 
 impl RunOutcome {
     /// Aggregate the job records per stage kind, in pipeline order
     /// ([`JobKind::BUILTIN`] first, then custom kinds in first-appearance
     /// order; only kinds present in the graph are reported). The counts
-    /// are deterministic; `ms` is wall-clock and volatile.
+    /// are deterministic; `ms` — and the `over_budget` mark derived from
+    /// it against the run's `GNNUNLOCK_STAGE_BUDGET_MS` — is wall-clock
+    /// and volatile.
     pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.stage_summaries_with_budget(self.stage_budget_ms)
+    }
+
+    /// [`RunOutcome::stage_summaries`] against an explicit per-stage
+    /// wall-clock budget in milliseconds (`None` = no budget, nothing is
+    /// ever marked over-budget).
+    pub fn stage_summaries_with_budget(&self, budget_ms: Option<f64>) -> Vec<StageSummary> {
         let mut order: Vec<&'static str> = Vec::new();
         for kind in JobKind::BUILTIN {
             if self.records.iter().any(|r| r.kind == kind) {
@@ -200,6 +217,7 @@ impl RunOutcome {
                     skipped: 0,
                     cancelled: 0,
                     ms: 0.0,
+                    over_budget: false,
                 };
                 for r in self.records.iter().filter(|r| r.kind.tag() == tag) {
                     s.total += 1;
@@ -213,6 +231,7 @@ impl RunOutcome {
                         (JobStatus::Cancelled, _) => s.cancelled += 1,
                     }
                 }
+                s.over_budget = budget_ms.is_some_and(|budget| s.ms > budget);
                 s
             })
             .collect()
@@ -245,6 +264,12 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Called after a fingerprinted job body finishes and its result (if
+/// any) has been published to the cache: `(kind, fingerprint,
+/// succeeded)`. The sharded coordinator uses this to release a job's
+/// lease only *after* the entry is visible to peer shards.
+pub type AfterJobHook = dyn Fn(JobKind, u64, bool) + Send + Sync;
+
 /// The parallel job-graph executor.
 ///
 /// Holds the [`ResultCache`]; reusing one executor (or one cache via
@@ -255,6 +280,7 @@ pub struct Executor {
     cfg: ExecConfig,
     cache: Arc<ResultCache>,
     events: Option<Arc<EventLog>>,
+    after_job: Option<Arc<AfterJobHook>>,
 }
 
 struct Sched<'a> {
@@ -276,6 +302,7 @@ impl Executor {
             cfg,
             cache: Arc::new(ResultCache::new()),
             events: None,
+            after_job: None,
         }
     }
 
@@ -289,6 +316,15 @@ impl Executor {
     /// Stream job events to `log` (flushed per event).
     pub fn with_events(mut self, log: Arc<EventLog>) -> Self {
         self.events = Some(log);
+        self
+    }
+
+    /// Invoke `hook` after each fingerprinted job body finishes, once
+    /// its successful result has been published to the cache (and the
+    /// disk tier, when attached). Runs for failed bodies too — callers
+    /// holding per-job resources (leases) must release them either way.
+    pub fn with_after_job(mut self, hook: Arc<AfterJobHook>) -> Self {
+        self.after_job = Some(hook);
         self
     }
 
@@ -375,6 +411,7 @@ impl Executor {
             stats,
             wall_time: start.elapsed(),
             values: sched.values,
+            stage_budget_ms: crate::env::stage_budget_ms(),
         }
     }
 
@@ -512,9 +549,15 @@ impl Executor {
             }
 
             // Persist before re-locking: `put` may encode + write to
-            // disk, which must not serialize the scheduler.
+            // disk, which must not serialize the scheduler. The
+            // after-job hook runs strictly after the publish (and on
+            // failure too), so a lease released there never exposes a
+            // window where the job is neither leased nor materialized.
             if let (Ok(value), Some(fp)) = (&output, fingerprint) {
                 self.cache.put(kind, fp, value.clone());
+            }
+            if let (Some(hook), Some(fp)) = (&self.after_job, fingerprint) {
+                hook(kind, fp, output.is_ok());
             }
 
             guard = sched.lock().unwrap();
@@ -787,6 +830,82 @@ mod tests {
             Event::CacheHit { id: 0, source, .. } if source == "memory"
         )));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn after_job_hook_fires_after_publish_for_ok_and_failed() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(u64, bool, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let cache = exec.cache().clone();
+        let hook = {
+            let seen = seen.clone();
+            let cache = cache.clone();
+            Arc::new(move |kind: JobKind, fp: u64, ok: bool| {
+                // At hook time a successful result is already published.
+                let published = cache.get(kind, fp).is_some();
+                seen.lock().unwrap().push((fp, ok, published));
+            })
+        };
+        let exec = exec.with_after_job(hook);
+        let mut g = JobGraph::new();
+        g.add("good", JobKind::Lock, Some(5), vec![], |_| Ok(val(1)));
+        g.add("bad", JobKind::Train, Some(6), vec![], |_| {
+            Err("boom".into())
+        });
+        g.add("unfingerprinted", JobKind::Verify, None, vec![], |_| {
+            Ok(val(2))
+        });
+        let out = exec.run(g);
+        assert_eq!(out.stats.failed, 1);
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        // Fingerprinted jobs only; success published before the hook.
+        assert_eq!(seen, vec![(5, true, true), (6, false, false)]);
+    }
+
+    #[test]
+    fn after_job_hook_skips_cache_hits() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let fired = fired.clone();
+            Arc::new(move |_: JobKind, _: u64, _: bool| {
+                fired.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let exec = Executor::new(ExecConfig::with_workers(1)).with_after_job(hook);
+        let build = || {
+            let mut g = JobGraph::new();
+            g.add("j", JobKind::Lock, Some(5), vec![], |_| Ok(val(1)));
+            g
+        };
+        let _ = exec.run(build());
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        // Second run is a memory hit: the body never ran, no hook.
+        let _ = exec.run(build());
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stage_summaries_mark_over_budget_stages() {
+        let exec = Executor::new(ExecConfig::with_workers(1));
+        let mut g = JobGraph::new();
+        g.add("slow", JobKind::Train, None, vec![], |_| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(val(1))
+        });
+        g.add("fast", JobKind::Lock, None, vec![], |_| Ok(val(2)));
+        let out = exec.run(g);
+        // Explicit budget: the 5 ms train stage is over a 1 ms budget,
+        // and nothing is over an absent budget.
+        let with = out.stage_summaries_with_budget(Some(1.0));
+        let train = with.iter().find(|s| s.kind == "train").unwrap();
+        assert!(train.over_budget, "5 ms stage must exceed a 1 ms budget");
+        let without = out.stage_summaries_with_budget(None);
+        assert!(without.iter().all(|s| !s.over_budget));
+        // A generous budget marks nothing either.
+        let generous = out.stage_summaries_with_budget(Some(1e9));
+        assert!(generous.iter().all(|s| !s.over_budget));
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Lease files: multi-process job claims over the shared store.
+//!
+//! A lease is a small file living *beside* the cache entry it guards
+//! (`objects/<kind>/<hh>/<fp>.lease` next to `<fp>.bin`), turning the
+//! [`crate::DiskStore`] directory into a coordination substrate: N
+//! worker processes sharing one `GNNUNLOCK_CACHE_DIR` use leases to
+//! split a campaign's jobs between them with no double work.
+//!
+//! The protocol is built entirely from atomic filesystem primitives, so
+//! it needs no server and works on any shared filesystem with coherent
+//! `rename`:
+//!
+//! - **claim** — `O_CREAT|O_EXCL` (`create_new`): exactly one process
+//!   can create the lease file, whatever the interleaving;
+//! - **heartbeat** — the owner refreshes the lease file's mtime every
+//!   `ttl/4` from a background thread, so the file's age is the
+//!   owner's liveness signal. Ages are judged against the *filesystem*
+//!   clock, which all cooperating processes share;
+//! - **stale takeover** — a lease older than the TTL marks a dead (or
+//!   wedged) owner. A challenger *renames* the stale file to a unique
+//!   tomb name — `rename` has one winner; the losers see `NotFound` —
+//!   then re-creates the lease with the **generation counter** bumped,
+//!   so every ownership epoch of a lease is distinguishable;
+//! - **release** — the owner deletes the lease after publishing its
+//!   result, but only after verifying the file still carries its own
+//!   `(owner, generation)` line: a slow owner whose lease was taken
+//!   over must never delete the usurper's claim.
+//!
+//! Liveness caveat (inherent to lease protocols): a *live but stalled*
+//! owner (`SIGSTOP`, multi-second GC pause, clock jump) can be timed
+//! out and its job re-executed elsewhere. That costs duplicate work,
+//! never correctness — stage bodies are deterministic and the store's
+//! publish is an atomic last-writer-wins rename of identical bytes.
+
+use crate::graph::JobKind;
+use crate::store::DiskStore;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, SystemTime};
+
+/// Magic first token of every lease file.
+const LEASE_MAGIC: &str = "gnnunlock-lease";
+
+/// Outcome of a claim attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// This manager now owns the lease and must eventually release it.
+    Acquired {
+        /// The lease's ownership epoch: 0 for a fresh claim, previous
+        /// generation + 1 after a stale-lease takeover.
+        generation: u64,
+        /// Whether this claim took over a stale lease.
+        takeover: bool,
+    },
+    /// Another owner holds a fresh lease (or won a racing claim).
+    Busy,
+}
+
+/// Monotonic counters describing lease traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases acquired (fresh claims + takeovers).
+    pub claimed: usize,
+    /// Claim attempts that found a fresh foreign lease.
+    pub busy: usize,
+    /// Acquisitions that took over a stale lease.
+    pub takeovers: usize,
+    /// Leases this manager held but lost to a takeover (detected at
+    /// heartbeat or release time).
+    pub lost: usize,
+    /// Leases released after a successful publish.
+    pub released: usize,
+}
+
+struct Shared {
+    store: Arc<DiskStore>,
+    owner: String,
+    ttl: Duration,
+    /// Held leases: path → the exact file content written at claim
+    /// time, used to verify ownership before touching or deleting.
+    held: Mutex<HashMap<PathBuf, String>>,
+    stop: Mutex<bool>,
+    stop_signal: Condvar,
+    claimed: AtomicUsize,
+    busy: AtomicUsize,
+    takeovers: AtomicUsize,
+    lost: AtomicUsize,
+    released: AtomicUsize,
+    tomb_counter: AtomicU64,
+}
+
+impl Shared {
+    fn lease_content(&self, generation: u64) -> String {
+        format!(
+            "{LEASE_MAGIC} owner={} pid={} gen={generation}\n",
+            self.owner,
+            std::process::id()
+        )
+    }
+
+    /// Refresh the mtime of every held lease; drop (and count as lost)
+    /// any whose content no longer matches — a takeover happened.
+    fn heartbeat(&self) {
+        let snapshot: Vec<(PathBuf, String)> = {
+            let held = self.held.lock().unwrap();
+            held.iter().map(|(p, c)| (p.clone(), c.clone())).collect()
+        };
+        for (path, expected) in snapshot {
+            let still_ours = fs::read_to_string(&path).is_ok_and(|c| c == expected);
+            if still_ours {
+                let touched = fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
+                if touched.is_ok() {
+                    continue;
+                }
+            }
+            if self.held.lock().unwrap().remove(&path).is_some() {
+                self.lost.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Manages this process's lease claims over one store, heartbeating
+/// every held lease from a background thread until release (or drop,
+/// which releases everything still held).
+pub struct LeaseManager {
+    shared: Arc<Shared>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseManager {
+    /// A manager claiming leases in `store`'s directory as `owner`,
+    /// judging foreign leases stale after `ttl` without a heartbeat.
+    /// `ttl` is clamped to ≥ 20 ms (below that, heartbeats cannot
+    /// reliably outrun staleness).
+    pub fn new(store: Arc<DiskStore>, owner: impl Into<String>, ttl: Duration) -> LeaseManager {
+        let shared = Arc::new(Shared {
+            store,
+            owner: owner.into(),
+            ttl: ttl.max(Duration::from_millis(20)),
+            held: Mutex::new(HashMap::new()),
+            stop: Mutex::new(false),
+            stop_signal: Condvar::new(),
+            claimed: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            takeovers: AtomicUsize::new(0),
+            lost: AtomicUsize::new(0),
+            released: AtomicUsize::new(0),
+            tomb_counter: AtomicU64::new(0),
+        });
+        let hb = {
+            let shared = shared.clone();
+            let period = (shared.ttl / 4).max(Duration::from_millis(5));
+            std::thread::spawn(move || loop {
+                let mut stop = shared.stop.lock().unwrap();
+                let deadline = std::time::Instant::now() + period;
+                while !*stop {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, _) = shared.stop_signal.wait_timeout(stop, left).unwrap();
+                    stop = guard;
+                }
+                if *stop {
+                    return;
+                }
+                drop(stop);
+                shared.heartbeat();
+            })
+        };
+        LeaseManager {
+            shared,
+            heartbeat: Some(hb),
+        }
+    }
+
+    /// The owner string written into claimed leases.
+    pub fn owner(&self) -> &str {
+        &self.shared.owner
+    }
+
+    /// The staleness TTL this manager judges foreign leases by.
+    pub fn ttl(&self) -> Duration {
+        self.shared.ttl
+    }
+
+    /// The lease path guarding the entry `(kind, fp)` — beside the
+    /// entry file, `.lease` instead of `.bin`.
+    pub fn lease_path(&self, kind: JobKind, fp: u64) -> PathBuf {
+        self.shared
+            .store
+            .entry_path(kind, fp)
+            .with_extension("lease")
+    }
+
+    /// Try to claim the lease for `(kind, fp)`.
+    pub fn try_claim(&self, kind: JobKind, fp: u64) -> Claim {
+        self.claim_path(&self.lease_path(kind, fp))
+    }
+
+    fn claim_path(&self, path: &Path) -> Claim {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        // Bounded retry: a lease can vanish between our create failure
+        // and our stat (owner released it) — re-attempt the create a
+        // few times rather than reporting a phantom Busy.
+        for _ in 0..4 {
+            match self.try_create(path, 0, false) {
+                Ok(claim) => return claim,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(_) => break, // unwritable directory etc.
+            }
+            let mtime = match fs::metadata(path).and_then(|m| m.modified()) {
+                Ok(t) => t,
+                // Vanished between create and stat: retry the create.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(_) => break,
+            };
+            let age = SystemTime::now()
+                .duration_since(mtime)
+                .unwrap_or(Duration::ZERO);
+            if age < self.shared.ttl {
+                break; // fresh foreign lease
+            }
+            // Stale: entomb it. `rename` is the arbiter — exactly one
+            // challenger moves the file; the rest fail with NotFound
+            // and report Busy (the winner is about to re-create it).
+            let tomb = path.with_file_name(format!(
+                "{}.tomb-{}-{}",
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("lease"),
+                std::process::id(),
+                self.shared.tomb_counter.fetch_add(1, Ordering::Relaxed)
+            ));
+            match fs::rename(path, &tomb) {
+                Ok(()) => {
+                    let old_gen = parse_generation(&fs::read_to_string(&tomb).unwrap_or_default());
+                    let _ = fs::remove_file(&tomb);
+                    match self.try_create(path, old_gen + 1, true) {
+                        Ok(claim) => return claim,
+                        Err(_) => break, // lost the re-create race
+                    }
+                }
+                Err(_) => break, // lost the takeover race
+            }
+        }
+        self.shared.busy.fetch_add(1, Ordering::Relaxed);
+        Claim::Busy
+    }
+
+    /// `create_new` the lease file with `generation`, registering it as
+    /// held on success.
+    fn try_create(&self, path: &Path, generation: u64, takeover: bool) -> io::Result<Claim> {
+        let content = self.shared.lease_content(generation);
+        let mut f = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        f.write_all(content.as_bytes())?;
+        self.shared
+            .held
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), content);
+        self.shared.claimed.fetch_add(1, Ordering::Relaxed);
+        if takeover {
+            self.shared.takeovers.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Claim::Acquired {
+            generation,
+            takeover,
+        })
+    }
+
+    /// Release the lease for `(kind, fp)` if this manager holds it.
+    /// Returns whether a lease file was actually deleted — `false` when
+    /// not held, or when the lease was taken over in the meantime (the
+    /// usurper's file is left untouched and the loss is counted).
+    pub fn release(&self, kind: JobKind, fp: u64) -> bool {
+        self.release_path(&self.lease_path(kind, fp))
+    }
+
+    fn release_path(&self, path: &Path) -> bool {
+        let Some(expected) = self.shared.held.lock().unwrap().remove(path) else {
+            return false;
+        };
+        match fs::read_to_string(path) {
+            Ok(content) if content == expected => {
+                let _ = fs::remove_file(path);
+                self.shared.released.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => {
+                self.shared.lost.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Number of leases currently held.
+    pub fn held(&self) -> usize {
+        self.shared.held.lock().unwrap().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LeaseStats {
+        LeaseStats {
+            claimed: self.shared.claimed.load(Ordering::Relaxed),
+            busy: self.shared.busy.load(Ordering::Relaxed),
+            takeovers: self.shared.takeovers.load(Ordering::Relaxed),
+            lost: self.shared.lost.load(Ordering::Relaxed),
+            released: self.shared.released.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for LeaseManager {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap() = true;
+        self.shared.stop_signal.notify_all();
+        if let Some(hb) = self.heartbeat.take() {
+            let _ = hb.join();
+        }
+        // Release anything still held so an error-path exit doesn't
+        // strand fresh leases for a whole TTL.
+        let paths: Vec<PathBuf> = self.shared.held.lock().unwrap().keys().cloned().collect();
+        for path in paths {
+            self.release_path(&path);
+        }
+    }
+}
+
+impl std::fmt::Debug for LeaseManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseManager")
+            .field("owner", &self.shared.owner)
+            .field("ttl", &self.shared.ttl)
+            .field("held", &self.held())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The `gen=` field of a lease file; 0 when missing or torn (an empty
+/// or half-written lease still claims generation 0 — its mtime, not its
+/// content, carries the liveness signal).
+fn parse_generation(content: &str) -> u64 {
+    content
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("gen="))
+        .and_then(|g| g.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Arc<DiskStore> {
+        let dir =
+            std::env::temp_dir().join(format!("gnnunlock-lease-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Arc::new(DiskStore::open(&dir).unwrap())
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_release_frees() {
+        let store = tmp_store("excl");
+        let a = LeaseManager::new(store.clone(), "a", Duration::from_secs(30));
+        let b = LeaseManager::new(store.clone(), "b", Duration::from_secs(30));
+
+        assert!(matches!(
+            a.try_claim(JobKind::Train, 1),
+            Claim::Acquired {
+                generation: 0,
+                takeover: false
+            }
+        ));
+        assert_eq!(b.try_claim(JobKind::Train, 1), Claim::Busy);
+        // Different entry: independent lease.
+        assert!(matches!(
+            b.try_claim(JobKind::Train, 2),
+            Claim::Acquired { .. }
+        ));
+
+        assert!(a.release(JobKind::Train, 1));
+        assert!(matches!(
+            b.try_claim(JobKind::Train, 1),
+            Claim::Acquired {
+                generation: 0,
+                takeover: false
+            }
+        ));
+        assert_eq!(a.stats().claimed, 1);
+        assert_eq!(b.stats().busy, 1);
+        assert_eq!(b.held(), 2);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stale_leases_are_taken_over_with_a_bumped_generation() {
+        let store = tmp_store("stale");
+        let ttl = Duration::from_millis(60);
+        let survivor = LeaseManager::new(store.clone(), "survivor", ttl);
+
+        // A dead owner: lease file written directly, never heartbeated.
+        let path = survivor.lease_path(JobKind::Train, 9);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "gnnunlock-lease owner=victim pid=1 gen=4\n").unwrap();
+
+        // Fresh: busy. Stale (mtime aged past the TTL): taken over.
+        assert_eq!(survivor.try_claim(JobKind::Train, 9), Claim::Busy);
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(SystemTime::now() - Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(
+            survivor.try_claim(JobKind::Train, 9),
+            Claim::Acquired {
+                generation: 5,
+                takeover: true
+            }
+        );
+        assert_eq!(survivor.stats().takeovers, 1);
+        // The takeover produced a normal held lease: release works.
+        assert!(survivor.release(JobKind::Train, 9));
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_lease_fresh_across_the_ttl() {
+        let store = tmp_store("hb");
+        let ttl = Duration::from_millis(80);
+        let owner = LeaseManager::new(store.clone(), "owner", ttl);
+        let rival = LeaseManager::new(store.clone(), "rival", ttl);
+
+        assert!(matches!(
+            owner.try_claim(JobKind::Lock, 3),
+            Claim::Acquired { .. }
+        ));
+        // Well past the TTL, the heartbeat must have kept the lease
+        // fresh: the rival still sees Busy, never a takeover.
+        for _ in 0..6 {
+            std::thread::sleep(ttl / 2);
+            assert_eq!(rival.try_claim(JobKind::Lock, 3), Claim::Busy);
+        }
+        assert_eq!(rival.stats().takeovers, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn losing_a_takeover_is_detected_not_clobbered() {
+        let store = tmp_store("lost");
+        // Slow owner: 30 s heartbeat period (ttl/4) — it will not touch
+        // the lease again during this test.
+        let slow = LeaseManager::new(store.clone(), "slow", Duration::from_secs(120));
+        let fast = LeaseManager::new(store.clone(), "fast", Duration::from_millis(40));
+
+        assert!(matches!(
+            slow.try_claim(JobKind::Verify, 7),
+            Claim::Acquired { .. }
+        ));
+        // Age the lease so the fast rival may take it over.
+        let path = slow.lease_path(JobKind::Verify, 7);
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(SystemTime::now() - Duration::from_secs(10))
+            .unwrap();
+        assert!(matches!(
+            fast.try_claim(JobKind::Verify, 7),
+            Claim::Acquired {
+                generation: 1,
+                takeover: true
+            }
+        ));
+        // The slow owner's release must notice the loss and leave the
+        // usurper's lease in place.
+        assert!(!slow.release(JobKind::Verify, 7));
+        assert_eq!(slow.stats().lost, 1);
+        assert!(path.exists(), "usurper's lease must survive");
+        assert!(fast.release(JobKind::Verify, 7));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn drop_releases_held_leases() {
+        let store = tmp_store("drop");
+        let path;
+        {
+            let m = LeaseManager::new(store.clone(), "m", Duration::from_secs(30));
+            assert!(matches!(
+                m.try_claim(JobKind::Parse, 1),
+                Claim::Acquired { .. }
+            ));
+            path = m.lease_path(JobKind::Parse, 1);
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "drop must release held leases");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn generation_parsing_tolerates_garbage() {
+        assert_eq!(
+            parse_generation("gnnunlock-lease owner=a pid=2 gen=17\n"),
+            17
+        );
+        assert_eq!(parse_generation(""), 0);
+        assert_eq!(parse_generation("gen=notanumber"), 0);
+        assert_eq!(parse_generation("half a line with no ge"), 0);
+    }
+}

@@ -27,6 +27,13 @@
 //!   (a job's cache key covers its whole input cone), interpreted by a
 //!   [`CampaignRunner`] (the GNNUnlock semantics live in
 //!   `gnnunlock-core::campaign`);
+//! - [`Campaign::execute_sharded`] + [`LeaseManager`]: the distribution
+//!   layer — atomic lease files beside each cache entry (create-new
+//!   claims, heartbeat renewal, generation counters, stale-lease
+//!   takeover after a TTL) let N worker *processes* sharing one
+//!   `GNNUNLOCK_CACHE_DIR` cooperatively execute one campaign with no
+//!   double work and byte-identical reports
+//!   (`GNNUNLOCK_SHARD_ID` / `GNNUNLOCK_LEASE_TTL_MS`);
 //! - [`RunReport`]: a structured JSON run report, deterministic by
 //!   default (timings are opt-in via [`ReportOptions`]);
 //! - [`run_ordered`]: order-preserving batch fan-out used by dataset
@@ -55,26 +62,40 @@ mod cache;
 mod campaign;
 mod cancel;
 mod codec;
+pub mod env;
 mod events;
 mod exec;
 mod graph;
 mod json;
+mod lease;
 mod pool;
 mod report;
+mod shard;
 mod store;
 
 pub use cache::{CacheSource, CacheStats, ResultCache};
 pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, ResumeInfo, StageJob};
 pub use cancel::CancelToken;
 pub use codec::{ByteReader, ByteWriter, ValueCodec};
+pub use env::{
+    knob, knob_or, knob_path, knob_validated, knob_warnings, LEASE_TTL_ENV, SHARD_ID_ENV,
+    STAGE_BUDGET_ENV,
+};
 pub use events::{Event, EventLog, Replay, EVENTS_ENV, EVENTS_FILE};
-pub use exec::{ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats, StageSummary};
+pub use exec::{
+    AfterJobHook, ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats, StageSummary,
+};
 pub use graph::{
     fingerprint, fingerprint_fields, JobCtx, JobGraph, JobId, JobKind, JobOutput, JobValue,
 };
 pub use json::Json;
+pub use lease::{Claim, LeaseManager, LeaseStats};
 pub use pool::{default_workers, run_ordered, WORKERS_ENV};
 pub use report::{ReportOptions, RunReport, REPORT_SCHEMA_VERSION};
+pub use shard::{
+    execution_counts, merge_shard_events, shard_events_file, shard_replays, Elided, ShardConfig,
+    ShardedRun,
+};
 pub use store::{
     cache_budget_from_env, sanitize_tag, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV,
     CACHE_DIR_ENV,

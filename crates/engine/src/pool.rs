@@ -14,14 +14,14 @@ use std::sync::Mutex;
 pub const WORKERS_ENV: &str = "GNNUNLOCK_WORKERS";
 
 /// Worker count to use when the caller does not specify one:
-/// `GNNUNLOCK_WORKERS` if set, otherwise the available parallelism
-/// (capped at 16 — the workloads are memory-bandwidth-bound well before
-/// that).
+/// `GNNUNLOCK_WORKERS` if set and valid (a malformed or zero value
+/// warns via [`crate::env`] and falls back), otherwise the available
+/// parallelism (capped at 16 — the workloads are
+/// memory-bandwidth-bound well before that).
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var(WORKERS_ENV) {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = crate::env::knob_validated(WORKERS_ENV, "a positive worker count", |n| *n >= 1)
+    {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

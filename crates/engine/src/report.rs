@@ -129,6 +129,9 @@ impl RunReport {
                     }
                     if opts.with_timings {
                         fields.push(("ms", Json::Num(s.ms)));
+                        // Wall-clock-derived, so it rides with the
+                        // timing fields, never the default document.
+                        fields.push(("over_budget", Json::Bool(s.over_budget)));
                     }
                     Json::obj(fields)
                 })

@@ -151,9 +151,43 @@ impl DiskStore {
                 ));
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                fs::write(&version_path, VERSION_TEXT)?;
+                // Publish the version file atomically (write-then-
+                // rename): N worker processes may cold-open the same
+                // fresh directory concurrently, and a reader must never
+                // observe a half-written gate and misdiagnose a schema
+                // mismatch. Racing writers rename identical content —
+                // last one wins, harmlessly.
+                let tmp = dir.join(format!(".{}.tmp-{}", VERSION_FILE, std::process::id()));
+                fs::write(&tmp, VERSION_TEXT)?;
+                if let Err(e) = fs::rename(&tmp, &version_path) {
+                    let _ = fs::remove_file(&tmp);
+                    return Err(e);
+                }
             }
             Err(e) => return Err(e),
+        }
+        // Sweep version-publish temps orphaned by a writer killed
+        // between write and rename (the GC only walks objects/, so they
+        // would leak otherwise). Age-gated: a concurrent opener's
+        // in-flight temp is seconds old and must not be clobbered.
+        if let Ok(entries) = fs::read_dir(dir) {
+            let now = SystemTime::now();
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let orphan_candidate = name
+                    .to_str()
+                    .is_some_and(|n| n.starts_with(&format!(".{VERSION_FILE}.tmp-")));
+                if orphan_candidate
+                    && entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| now.duration_since(mtime).ok())
+                        .is_some_and(|age| age >= Duration::from_secs(3600))
+                {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
         }
         Ok(DiskStore {
             root: dir.to_path_buf(),
@@ -181,6 +215,35 @@ impl DiskStore {
             .join(sanitize_tag(kind.tag()))
             .join(&hex[..2])
             .join(format!("{hex}.bin"))
+    }
+
+    /// Whether an entry file for `(kind, fp)` exists on disk. A cheap
+    /// stat, no validation — a corrupt entry still counts until a
+    /// [`DiskStore::load`] detects and evicts it. Used by probe-ahead
+    /// scheduling (is a dependent's result already materialized?) and
+    /// by [`crate::ResultCache::put`] to skip re-writing entries a peer
+    /// process already published (deterministic jobs make same-address
+    /// entries byte-identical, so skipping never loses information).
+    pub fn contains(&self, kind: JobKind, fp: u64) -> bool {
+        self.entry_path(kind, fp).exists()
+    }
+
+    /// Pin `(kind, fp)` into this handle's live set (GC protection)
+    /// without loading it — used when a `put` is skipped because a peer
+    /// already published the identical entry this run still depends on.
+    pub(crate) fn mark_live(&self, kind: JobKind, fp: u64) {
+        self.touched
+            .lock()
+            .unwrap()
+            .insert(self.entry_path(kind, fp));
+    }
+
+    /// Evict the entry for `(kind, fp)` (counted in
+    /// [`StoreStats::evictions`]) — used when a structurally intact
+    /// entry turns out to be semantically unreadable (the codec
+    /// declines it), so the recompute's save can replace it.
+    pub(crate) fn evict_entry(&self, kind: JobKind, fp: u64) {
+        let _ = self.evict(&self.entry_path(kind, fp));
     }
 
     /// Load the payload of `(kind, fp)`, verifying the entry header and
@@ -378,11 +441,16 @@ impl DiskStore {
                             mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
                         });
                     }
-                } else if path
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with(".tmp-"))
-                {
+                } else if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    // In-flight writes, plus the lease-protocol files of
+                    // long-dead shards: a `.lease` this old is far past
+                    // any takeover TTL (nobody wants its job), and a
+                    // `.tomb-` this old was orphaned by a challenger
+                    // killed mid-takeover. Deleting a lease resets its
+                    // generation counter to 0, which only costs epoch
+                    // observability, never correctness.
+                    n.starts_with(".tmp-") || n.ends_with(".lease") || n.contains(".tomb-")
+                }) {
                     let orphaned = entry
                         .metadata()
                         .and_then(|m| m.modified())
@@ -441,9 +509,10 @@ impl DiskStore {
 }
 
 /// The cache-size budget named by [`CACHE_BUDGET_ENV`], if set and
-/// parsable as bytes.
+/// parsable as bytes (a malformed value warns via [`crate::env`] and
+/// disables garbage collection, visibly rather than silently).
 pub fn cache_budget_from_env() -> Option<u64> {
-    std::env::var(CACHE_BUDGET_ENV).ok()?.trim().parse().ok()
+    crate::env::knob(CACHE_BUDGET_ENV, "a byte count")
 }
 
 #[cfg(test)]
@@ -603,9 +672,38 @@ mod tests {
             .unwrap()
             .set_modified(SystemTime::now() - Duration::from_secs(7200))
             .unwrap();
+        // Same for lease-protocol leftovers of long-dead shards.
+        let stale_lease = objects.join("00000000000000aa.lease");
+        let fresh_lease = objects.join("00000000000000ab.lease");
+        let stale_tomb = objects.join("00000000000000aa.lease.tomb-99-0");
+        for p in [&stale_lease, &fresh_lease, &stale_tomb] {
+            fs::write(p, b"gnnunlock-lease owner=x pid=1 gen=0\n").unwrap();
+        }
+        for p in [&stale_lease, &stale_tomb] {
+            fs::File::open(p)
+                .unwrap()
+                .set_modified(SystemTime::now() - Duration::from_secs(7200))
+                .unwrap();
+        }
         store.gc(0);
         assert!(!stale.exists(), "stale tmp file must be collected");
         assert!(fresh.exists(), "recent tmp file must be left alone");
+        assert!(!stale_lease.exists(), "ancient lease must be collected");
+        assert!(!stale_tomb.exists(), "ancient tomb must be collected");
+        assert!(fresh_lease.exists(), "recent lease must be left alone");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contains_is_a_cheap_presence_check() {
+        let dir = tmp_dir("contains");
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!store.contains(JobKind::Lock, 8));
+        store.save(JobKind::Lock, 8, b"x").unwrap();
+        assert!(store.contains(JobKind::Lock, 8));
+        assert!(!store.contains(JobKind::Train, 8));
+        // contains never loads: stats untouched.
+        assert_eq!(store.stats().loads, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,155 @@
+//! A distributed-campaign worker process: one shard of a multi-process
+//! GNNUnlock attack campaign over a shared cache directory.
+//!
+//! Launch N of these against one `GNNUNLOCK_CACHE_DIR` and they split
+//! the campaign's stage DAG between them via lease files — no job runs
+//! on more than one live worker, a `kill -9`'d worker's jobs are taken
+//! over by survivors after `GNNUNLOCK_LEASE_TTL_MS`, and the worker
+//! that executes the final aggregate (the elected finalizer) writes the
+//! canonical `report.json`, byte-identical to a single-process run:
+//!
+//! ```text
+//! export GNNUNLOCK_CACHE_DIR=/tmp/campaign
+//! for i in 0 1 2; do
+//!   GNNUNLOCK_SHARD_ID=w$i cargo run --release --example sharded_worker &
+//! done
+//! wait
+//! # post-run integrity check + merged event stream:
+//! GNNUNLOCK_MERGE_ONLY=1 cargo run --release --example sharded_worker
+//! ```
+//!
+//! `GNNUNLOCK_MERGE_ONLY=1` skips execution: it merges the per-shard
+//! event logs into `merged-events.jsonl` and verifies that no job body
+//! completed on more than one shard (exit code 1 on a violation).
+//!
+//! The campaign itself is fixed (Anti-SAT over ISCAS-85, scaled by
+//! `GNNUNLOCK_SCALE`, default 0.02) so every worker plans the identical
+//! DAG — a requirement for cooperative execution.
+
+use gnnunlock::engine::{execution_counts, merge_shard_events, shard_replays, CACHE_DIR_ENV};
+use gnnunlock::gnn::{SaintConfig, TrainConfig};
+use gnnunlock::prelude::*;
+use std::path::Path;
+
+fn campaign_configs() -> (DatasetConfig, AttackConfig) {
+    let scale = gnnunlock::engine::knob_or("GNNUNLOCK_SCALE", "a scale factor", 0.02);
+    let mut ds = DatasetConfig::antisat(Suite::Iscas85, scale);
+    ds.key_sizes = vec![8];
+    ds.locks_per_config = 1;
+    let attack = AttackConfig {
+        train: TrainConfig {
+            epochs: 40,
+            hidden: 24,
+            eval_every: 10,
+            patience: 0,
+            saint: SaintConfig {
+                roots: 200,
+                walk_length: 2,
+                estimation_rounds: 3,
+                seed: 7,
+            },
+            class_weighting: false,
+            ..TrainConfig::default()
+        },
+        ..AttackConfig::default()
+    };
+    (ds, attack)
+}
+
+fn merge_only(dir: &Path) {
+    let replays = shard_replays(dir).expect("reading per-shard event logs");
+    let counts = execution_counts(&replays);
+    let mut violations = 0;
+    for (label, n) in &counts {
+        if *n > 1 {
+            eprintln!("[sharded-worker] DOUBLE EXECUTION: {label} ran {n} times");
+            violations += 1;
+        }
+    }
+    let merged = merge_shard_events(dir).expect("writing merged-events.jsonl");
+    println!(
+        "merged {} shard logs -> {} ({} distinct jobs executed, {} violations)",
+        replays.len(),
+        merged.display(),
+        counts.len(),
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let Some(dir) = gnnunlock::engine::knob_path(CACHE_DIR_ENV) else {
+        eprintln!("sharded_worker: set {CACHE_DIR_ENV} to the shared campaign directory");
+        std::process::exit(2);
+    };
+    if std::env::var("GNNUNLOCK_MERGE_ONLY").as_deref() == Ok("1") {
+        merge_only(&dir);
+        return;
+    }
+
+    let (ds, attack) = campaign_configs();
+    let shard = ShardConfig::from_env();
+    let workers = gnnunlock::engine::default_workers();
+    println!(
+        "shard {} starting: dir {}, lease ttl {:?}, {workers} workers",
+        shard.shard_id,
+        dir.display(),
+        shard.lease_ttl
+    );
+
+    let result = match run_campaign_sharded(
+        "sharded",
+        &ds,
+        &attack,
+        ExecConfig::with_workers(workers),
+        &dir,
+        &shard,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shard {} failed: {e}", shard.shard_id);
+            std::process::exit(1);
+        }
+    };
+
+    let stats = result.sharded.run.outcome.stats;
+    let leases = result.sharded.lease_stats;
+    println!(
+        "shard {} done: {} jobs — {} executed here, {} disk hits, {} memory hits; \
+         leases: {} claimed ({} takeovers), {} released",
+        result.sharded.shard_id,
+        stats.total,
+        stats.executed,
+        stats.disk_hits,
+        stats.memory_hits,
+        leases.claimed,
+        leases.takeovers,
+        leases.released,
+    );
+    for outcome in &result.outcomes {
+        println!(
+            "  {:<8} GNN acc {:.4}  post {:.4}  removal {:.0}%",
+            outcome.benchmark,
+            outcome.avg_gnn_accuracy(),
+            outcome.avg_post_accuracy(),
+            outcome.removal_success_rate() * 100.0,
+        );
+    }
+
+    if !result.sharded.run.outcome.all_succeeded() {
+        eprintln!("shard {}: campaign had failures", result.sharded.shard_id);
+        std::process::exit(1);
+    }
+    if result.sharded.is_finalizer {
+        let report = result.sharded.run.report(ReportOptions::default());
+        let path = dir.join("report.json");
+        report.write_to(&path).expect("writing report.json");
+        println!(
+            "shard {} is the finalizer: wrote {}",
+            result.sharded.shard_id,
+            path.display()
+        );
+    }
+}

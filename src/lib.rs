@@ -77,12 +77,14 @@ pub mod prelude {
         aggregate, attack_all, attack_benchmark, attack_instance, attack_targets,
         attack_targets_on, campaign_for, checkpoint_blocks, executor_from_env, postprocess,
         remove_protection, resume_campaign, run_campaign, run_campaign_persistent,
-        run_campaign_with_workers, AttackCampaignRunner, AttackConfig, AttackOutcome,
-        CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec, Suite,
+        run_campaign_sharded, run_campaign_with_workers, AttackCampaignRunner, AttackConfig,
+        AttackOutcome, CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec,
+        ShardedCampaignResult, Suite,
     };
     pub use gnnunlock_engine::{
         CacheSource, CancelToken, DiskStore, Event, EventLog, ExecConfig, Executor, GcStats,
-        JobGraph, JobKind, ReportOptions, ResultCache, ResumeInfo, RunReport, StageSummary,
+        JobGraph, JobKind, LeaseManager, LeaseStats, ReportOptions, ResultCache, ResumeInfo,
+        RunReport, ShardConfig, ShardedRun, StageSummary,
     };
     pub use gnnunlock_gnn::{
         evaluate, merge_graphs, netlist_to_graph, predict, train, CircuitGraph, LabelScheme,

@@ -88,6 +88,17 @@ fn canonical_events() -> Vec<Event> {
             status: "ok".into(),
             ms: 250.0,
         },
+        Event::JobClaimed {
+            id: 5,
+            label: "dataset/antisat".into(),
+            owner: "w1".into(),
+            generation: 1,
+            takeover: true,
+        },
+        Event::JobElided {
+            id: 6,
+            label: "lock/antisat/c1355/k8/s0".into(),
+        },
         Event::StageSummary {
             kind: "train-epoch".into(),
             total: 16,
@@ -98,6 +109,7 @@ fn canonical_events() -> Vec<Event> {
             skipped: 0,
             cancelled: 0,
             ms: 1234.5,
+            over_budget: false,
         },
         Event::RunStarted {
             campaign: "antisat-iscas85".into(),
