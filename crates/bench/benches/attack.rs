@@ -70,6 +70,15 @@ fn bench_attack_stages(c: &mut Criterion) {
     });
 }
 
+/// The end-to-end attack the perf harness times (`gnnunlock-bench perf`
+/// → `BENCH_attack.json`), at smoke scale so one criterion sample stays
+/// cheap: lock → featurize → train → classify → remove → verify.
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("attack/end_to_end_smoke", |b| {
+        b.iter(|| gnnunlock_bench::perf::attack_report(true))
+    });
+}
+
 fn bench_baselines(c: &mut Criterion) {
     let d = design();
     let anti = lock_antisat(&d, &AntiSatConfig::new(16, 3)).unwrap();
@@ -92,6 +101,6 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(4))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_locking, bench_synthesis, bench_attack_stages, bench_baselines
+    targets = bench_locking, bench_synthesis, bench_attack_stages, bench_end_to_end, bench_baselines
 }
 criterion_main!(attack);

@@ -85,6 +85,45 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+/// Baseline (pre-overhaul naive kernels, preserved in
+/// `gnnunlock_neural::reference`) vs optimized (tiled/packed `_into`
+/// workspace kernels) at the perf harness's medium shape — the same
+/// comparison `gnnunlock-bench perf` records in `BENCH_kernels.json`.
+fn bench_kernel_overhaul(c: &mut Criterion) {
+    use gnnunlock_bench::perf;
+    use gnnunlock_neural::{reference, Workspace};
+    let shape = perf::full_shapes()
+        .into_iter()
+        .find(|s| s.name == "medium")
+        .unwrap();
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    let a = Matrix::xavier(m, k, 1);
+    let bm = Matrix::xavier(k, n, 2);
+    let b2 = Matrix::xavier(m, n, 3);
+    let bt = Matrix::xavier(n, k, 4);
+    let mut ws = Workspace::new();
+    c.bench_function("kernels/matmul_baseline_medium", |b| {
+        b.iter(|| black_box(reference::matmul(&a, &bm)))
+    });
+    let mut out = ws.take(m, n);
+    c.bench_function("kernels/matmul_optimized_medium", |b| {
+        b.iter(|| a.matmul_into(&bm, &mut out, &mut ws))
+    });
+    c.bench_function("kernels/transpose_matmul_baseline_medium", |b| {
+        b.iter(|| black_box(reference::transpose_matmul(&a, &b2)))
+    });
+    let mut out_t = ws.take(k, n);
+    c.bench_function("kernels/transpose_matmul_optimized_medium", |b| {
+        b.iter(|| a.transpose_matmul_into(&b2, &mut out_t))
+    });
+    c.bench_function("kernels/matmul_transpose_baseline_medium", |b| {
+        b.iter(|| black_box(reference::matmul_transpose(&a, &bt)))
+    });
+    c.bench_function("kernels/matmul_transpose_optimized_medium", |b| {
+        b.iter(|| a.matmul_transpose_into(&bt, &mut out, &mut ws))
+    });
+}
+
 fn bench_cec(c: &mut Criterion) {
     let design = BenchmarkSpec::named("c2670")
         .unwrap()
@@ -111,6 +150,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_simulation, bench_features, bench_aggregation, bench_sampler,
-              bench_model, bench_matmul, bench_cec, bench_io
+              bench_model, bench_matmul, bench_kernel_overhaul, bench_cec, bench_io
 }
 criterion_main!(kernels);

@@ -1,0 +1,71 @@
+//! `gnnunlock-bench` — the perf-trajectory harness.
+//!
+//! ```text
+//! gnnunlock-bench perf             # full kernel + attack suites
+//! gnnunlock-bench perf --smoke     # tiny shapes (CI smoke)
+//! gnnunlock-bench perf --kernels   # kernels only
+//! gnnunlock-bench perf --attack    # end-to-end attack only
+//! ```
+//!
+//! Writes `BENCH_kernels.json` and `BENCH_attack.json` to
+//! `GNNUNLOCK_BENCH_OUT` (default: the current directory, i.e. the repo
+//! root when run from a checkout), self-verifying the kernels document
+//! after writing. Exit status is nonzero on a malformed document, so CI
+//! can call this directly.
+
+use gnnunlock_bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    if mode != Some("perf") {
+        eprintln!("usage: gnnunlock-bench perf [--smoke] [--kernels] [--attack]");
+        eprintln!(
+            "  writes BENCH_kernels.json / BENCH_attack.json to GNNUNLOCK_BENCH_OUT (default .)"
+        );
+        std::process::exit(2);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let kernels_only = args.iter().any(|a| a == "--kernels");
+    let attack_only = args.iter().any(|a| a == "--attack");
+    let dir = perf::out_dir();
+
+    if !attack_only {
+        eprintln!(
+            "[gnnunlock-bench] timing kernel suite ({})...",
+            if smoke { "smoke" } else { "full" }
+        );
+        let doc = perf::kernel_report(smoke);
+        match perf::write_and_verify(&dir, perf::KERNELS_FILE, &doc) {
+            Ok(path) => {
+                let speedup = doc
+                    .get("medium_speedup")
+                    .and_then(gnnunlock_engine::Json::as_num)
+                    .unwrap_or(0.0);
+                eprintln!(
+                    "[gnnunlock-bench] {} written (medium kernel-family speedup: {speedup:.2}x)",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("[gnnunlock-bench] FAILED writing kernels report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !kernels_only {
+        eprintln!(
+            "[gnnunlock-bench] timing end-to-end attack ({})...",
+            if smoke { "smoke" } else { "full" }
+        );
+        let doc = perf::attack_report(smoke);
+        match perf::write_and_verify(&dir, perf::ATTACK_FILE, &doc) {
+            Ok(path) => eprintln!("[gnnunlock-bench] {} written", path.display()),
+            Err(e) => {
+                eprintln!("[gnnunlock-bench] FAILED writing attack report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | `GNNUNLOCK_SHARD_ID` | `pid-<pid>` | this worker's shard identity for sharded campaign runs (lease owner + per-shard event log) |
 //! | `GNNUNLOCK_LEASE_TTL_MS` | `30000` | staleness TTL of job leases: a `kill -9`'d shard's jobs are re-claimed by survivors after this long |
 //! | `GNNUNLOCK_STAGE_BUDGET_MS` | unset | per-stage wall-clock budget; over-budget stages are marked in stage summaries (observability only) |
+//! | `GNNUNLOCK_BENCH_OUT` | `.` | directory where `gnnunlock-bench perf` writes its `BENCH_*.json` perf-trajectory files |
 //!
 //! Malformed knob values are never silently ignored: the engine's
 //! centralized parser warns on stderr and falls back to the default.
@@ -25,6 +26,8 @@
 use gnnunlock_core::{AttackConfig, AttackOutcome};
 use gnnunlock_engine::{ExecConfig, Executor};
 use gnnunlock_gnn::{SaintConfig, TrainConfig};
+
+pub mod perf;
 
 /// Benchmark scale factor from the environment.
 pub fn scale() -> f64 {

@@ -270,6 +270,16 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// lease only *after* the entry is visible to peer shards.
 pub type AfterJobHook = dyn Fn(JobKind, u64, bool) + Send + Sync;
 
+/// Scheduling hint consulted when a worker picks its next ready job:
+/// `(kind, fingerprint)` → `true` to *defer* the job (pick it only when
+/// every ready job is deferred). The sharded coordinator defers jobs a
+/// live peer shard currently leases, so a worker does productive
+/// unleased work instead of probe-polling a peer's result. Purely a
+/// pick-order hint: results and records are indexed by job id, so
+/// deferral can never change an outcome, only wall-clock. Called with
+/// the scheduler briefly locked — keep it cheap (a stat, not a scan).
+pub type ReadyHint = dyn Fn(JobKind, Option<u64>) -> bool + Send + Sync;
+
 /// The parallel job-graph executor.
 ///
 /// Holds the [`ResultCache`]; reusing one executor (or one cache via
@@ -281,6 +291,7 @@ pub struct Executor {
     cache: Arc<ResultCache>,
     events: Option<Arc<EventLog>>,
     after_job: Option<Arc<AfterJobHook>>,
+    ready_hint: Option<Arc<ReadyHint>>,
 }
 
 struct Sched<'a> {
@@ -303,6 +314,7 @@ impl Executor {
             cache: Arc::new(ResultCache::new()),
             events: None,
             after_job: None,
+            ready_hint: None,
         }
     }
 
@@ -325,6 +337,14 @@ impl Executor {
     /// holding per-job resources (leases) must release them either way.
     pub fn with_after_job(mut self, hook: Arc<AfterJobHook>) -> Self {
         self.after_job = Some(hook);
+        self
+    }
+
+    /// Consult `hint` when picking the next ready job: deferred jobs
+    /// (`true`) run only when every ready job is deferred. See
+    /// [`ReadyHint`].
+    pub fn with_ready_hint(mut self, hint: Arc<ReadyHint>) -> Self {
+        self.ready_hint = Some(hint);
         self
     }
 
@@ -422,7 +442,7 @@ impl Executor {
                 work_available.notify_all();
                 return;
             }
-            let Some(&i) = guard.ready.iter().next() else {
+            let Some(i) = self.pick_ready(&guard) else {
                 guard = work_available.wait(guard).unwrap();
                 continue;
             };
@@ -584,6 +604,30 @@ impl Executor {
             }
             work_available.notify_all();
         }
+    }
+
+    /// The next ready job: lowest id, except that hint-deferred jobs
+    /// (a live peer shard holds their lease) are passed over while any
+    /// non-deferred ready job exists. Falls back to the lowest id when
+    /// everything is deferred, so deferral can starve nothing. At most
+    /// [`MAX_HINT_PROBES`] candidates are consulted per pick — the hint
+    /// runs with the scheduler locked and may do (memoized) I/O, so a
+    /// large fully-deferred ready set must not turn one pick into an
+    /// unbounded probe scan.
+    fn pick_ready(&self, sched: &Sched<'_>) -> Option<usize> {
+        /// Candidates consulted per pick before falling back.
+        const MAX_HINT_PROBES: usize = 8;
+        let first = sched.ready.iter().next().copied()?;
+        let Some(hint) = &self.ready_hint else {
+            return Some(first);
+        };
+        sched
+            .ready
+            .iter()
+            .copied()
+            .take(MAX_HINT_PROBES)
+            .find(|&i| !hint(sched.nodes[i].kind, sched.nodes[i].fingerprint))
+            .or(Some(first))
     }
 
     /// Record job `i`'s terminal status and release its dependents.

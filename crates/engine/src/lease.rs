@@ -74,6 +74,9 @@ pub struct LeaseStats {
     pub lost: usize,
     /// Leases released after a successful publish.
     pub released: usize,
+    /// Probe-poll sleeps taken while waiting on a peer-held job (the
+    /// wall-clock the unleased-first scheduling preference minimizes).
+    pub poll_waits: usize,
 }
 
 struct Shared {
@@ -90,6 +93,7 @@ struct Shared {
     takeovers: AtomicUsize,
     lost: AtomicUsize,
     released: AtomicUsize,
+    poll_waits: AtomicUsize,
     tomb_counter: AtomicU64,
 }
 
@@ -153,6 +157,7 @@ impl LeaseManager {
             takeovers: AtomicUsize::new(0),
             lost: AtomicUsize::new(0),
             released: AtomicUsize::new(0),
+            poll_waits: AtomicUsize::new(0),
             tomb_counter: AtomicU64::new(0),
         });
         let hb = {
@@ -280,6 +285,36 @@ impl LeaseManager {
         })
     }
 
+    /// Whether a *fresh foreign* lease currently guards `(kind, fp)` —
+    /// a read-only probe, never a claim attempt: the lease file exists,
+    /// is younger than the TTL, and names a different owner. The shard
+    /// scheduler uses this to deprioritize ready jobs a live peer is
+    /// already executing (wall-clock only — a wrong answer merely
+    /// changes pick order, never results).
+    pub fn peer_holds(&self, kind: JobKind, fp: u64) -> bool {
+        let path = self.lease_path(kind, fp);
+        let Ok(content) = fs::read_to_string(&path) else {
+            return false;
+        };
+        let age = fs::metadata(&path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+            .unwrap_or(Duration::ZERO);
+        if age >= self.shared.ttl {
+            return false; // stale: takeover territory, not a live peer
+        }
+        let owner = content
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("owner="));
+        owner.is_some_and(|o| o != self.shared.owner)
+    }
+
+    /// Count one probe-poll sleep while waiting on a peer-held job.
+    pub fn note_poll_wait(&self) {
+        self.shared.poll_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Release the lease for `(kind, fp)` if this manager holds it.
     /// Returns whether a lease file was actually deleted — `false` when
     /// not held, or when the lease was taken over in the meantime (the
@@ -318,6 +353,7 @@ impl LeaseManager {
             takeovers: self.shared.takeovers.load(Ordering::Relaxed),
             lost: self.shared.lost.load(Ordering::Relaxed),
             released: self.shared.released.load(Ordering::Relaxed),
+            poll_waits: self.shared.poll_waits.load(Ordering::Relaxed),
         }
     }
 }

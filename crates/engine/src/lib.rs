@@ -78,8 +78,8 @@ pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, Resum
 pub use cancel::CancelToken;
 pub use codec::{ByteReader, ByteWriter, ValueCodec};
 pub use env::{
-    knob, knob_or, knob_path, knob_validated, knob_warnings, LEASE_TTL_ENV, SHARD_ID_ENV,
-    STAGE_BUDGET_ENV,
+    bench_out_from_env, knob, knob_or, knob_path, knob_validated, knob_warnings, BENCH_OUT_ENV,
+    LEASE_TTL_ENV, SHARD_ID_ENV, STAGE_BUDGET_ENV,
 };
 pub use events::{Event, EventLog, Replay, EVENTS_ENV, EVENTS_FILE};
 pub use exec::{

@@ -79,6 +79,12 @@ pub struct ShardConfig {
     /// Probe-ahead scheduling: elide a claimed job when every
     /// dependent's cache entry is already present. On by default.
     pub probe_ahead: bool,
+    /// Prefer-unleased scheduling: when picking its next ready job,
+    /// the shard passes over jobs a live peer currently leases (it
+    /// would only probe-poll them) in favor of unleased ready work.
+    /// Wall-clock only — pick order never changes results. On by
+    /// default.
+    pub prefer_unleased: bool,
 }
 
 impl ShardConfig {
@@ -90,6 +96,7 @@ impl ShardConfig {
             lease_ttl,
             poll_interval: Self::poll_for(lease_ttl),
             probe_ahead: true,
+            prefer_unleased: true,
         }
     }
 
@@ -103,6 +110,12 @@ impl ShardConfig {
     /// Enable or disable probe-ahead elision.
     pub fn with_probe_ahead(mut self, yes: bool) -> Self {
         self.probe_ahead = yes;
+        self
+    }
+
+    /// Enable or disable prefer-unleased job picking.
+    pub fn with_prefer_unleased(mut self, yes: bool) -> Self {
+        self.prefer_unleased = yes;
         self
     }
 
@@ -207,7 +220,7 @@ impl Campaign {
         // Release a job's lease only after its result is published (or
         // its body failed — failures are not persisted, so the next
         // claimant re-discovers them deterministically).
-        let executor = Executor::new(cfg)
+        let mut executor = Executor::new(cfg)
             .with_cache(cache.clone())
             .with_events(log.clone())
             .with_after_job(Arc::new({
@@ -216,6 +229,33 @@ impl Campaign {
                     leases.release(kind, fp);
                 }
             }));
+        if shard.prefer_unleased {
+            // Pick unleased ready jobs first: a job a live peer is
+            // executing would only be probe-polled, so do productive
+            // work instead and come back to it — usually as a cache
+            // hit. (A job whose entry already landed is never deferred;
+            // it costs nothing.) The probe does filesystem I/O and the
+            // hint runs under the scheduler lock, so verdicts are
+            // memoized per fingerprint for one poll interval — a stale
+            // verdict only perturbs pick order, never results.
+            let leases = leases.clone();
+            let store = store.clone();
+            let memo: std::sync::Mutex<BTreeMap<u64, (std::time::Instant, bool)>> =
+                std::sync::Mutex::new(BTreeMap::new());
+            let memo_for = shard.poll_interval;
+            executor = executor.with_ready_hint(Arc::new(move |kind, fp| {
+                let Some(fp) = fp else { return false };
+                let now = std::time::Instant::now();
+                if let Some(&(at, verdict)) = memo.lock().unwrap().get(&fp) {
+                    if now.duration_since(at) < memo_for {
+                        return verdict;
+                    }
+                }
+                let verdict = !store.contains(kind, fp) && leases.peer_holds(kind, fp);
+                memo.lock().unwrap().insert(fp, (now, verdict));
+                verdict
+            }));
+        }
 
         let mut graph = JobGraph::new();
         for (i, (stage_job, deps)) in plan.iter().enumerate() {
@@ -349,6 +389,7 @@ fn shard_body<R: CampaignRunner>(
                         stage_job.label()
                     ));
                 }
+                leases.note_poll_wait();
                 std::thread::sleep(shard.poll_interval);
             }
         }
@@ -569,6 +610,101 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    /// Prefer-unleased scheduling must reduce probe-poll iterations: a
+    /// shard facing a peer-leased job and other ready work should do
+    /// the other work first and pick the leased job up as a cache hit,
+    /// instead of sleeping in the poll loop while work waits. Two-shard
+    /// toy: a simulated peer holds the first ready job's lease and
+    /// publishes its result 400 ms in; every other body takes ~60 ms.
+    #[test]
+    fn prefer_unleased_scheduling_reduces_poll_iterations() {
+        /// Echo with per-body wall-clock, so pick order is observable.
+        struct SlowEcho;
+        impl CampaignRunner for SlowEcho {
+            fn config_salt(&self) -> u64 {
+                7
+            }
+            fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+                Some(Arc::new(EchoCodec))
+            }
+            fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+                std::thread::sleep(Duration::from_millis(60));
+                Echo.run(job, ctx)
+            }
+        }
+
+        let run_with = |prefer: bool, tag: &str| -> (usize, usize) {
+            let dir = tmp_dir(tag);
+            // Five benchmarks: the non-c1 parse/lock/featurize jobs are
+            // independent of the peer-held parse(c1), giving the
+            // preferred schedule ~12 x 60 ms of productive work — well
+            // past the peer's 400 ms publish.
+            let campaign = Campaign::builder("sharded-prefer")
+                .scheme("antisat")
+                .benchmarks(["c1", "c2", "c3", "c4", "c5"])
+                .key_sizes([8])
+                .build();
+            let plan = campaign.plan();
+            let fps = campaign.job_fingerprints(&SlowEcho);
+            // The peer leases the first ready job (lowest id, so the
+            // default scheduler would pick it first and poll).
+            let (job0, deps0) = &plan[0];
+            assert!(deps0.is_empty(), "plan[0] must be a ready root");
+            let (kind0, fp0) = (job0.kind, fps[0]);
+            let store = Arc::new(DiskStore::open(&dir).unwrap());
+            let peer = LeaseManager::new(store.clone(), "peer", Duration::from_secs(60));
+            assert!(matches!(peer.try_claim(kind0, fp0), Claim::Acquired { .. }));
+            let publisher = {
+                let store = store.clone();
+                let job0 = job0.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(400));
+                    let cache = ResultCache::with_disk(store, Arc::new(EchoCodec));
+                    let cancel = crate::CancelToken::new();
+                    let ctx = JobCtx {
+                        deps: &[],
+                        cancel: &cancel,
+                    };
+                    let value = SlowEcho.run(&job0, &ctx).unwrap();
+                    cache.put(kind0, fp0, value);
+                })
+            };
+            // TTL comfortably past the publish instant (no takeover —
+            // the test is about scheduling), but with a poll interval
+            // (ttl/8 = 150 ms) fine enough that the default schedule
+            // visibly polls across the 400 ms window.
+            let shard = ShardConfig::new("w")
+                .with_ttl(Duration::from_millis(1200))
+                .with_prefer_unleased(prefer);
+            let sharded = campaign
+                .execute_sharded(&SlowEcho, ExecConfig::with_workers(1), &dir, &shard)
+                .unwrap();
+            publisher.join().unwrap();
+            // The peer's lease release on drop must not race the next
+            // iteration's claim.
+            drop(peer);
+            assert!(sharded.run.outcome.all_succeeded());
+            let succeeded = sharded.run.outcome.stats.succeeded();
+            let _ = std::fs::remove_dir_all(&dir);
+            (sharded.lease_stats.poll_waits, succeeded)
+        };
+
+        let (with_pref, succeeded_with) = run_with(true, "prefer-on");
+        let (without_pref, succeeded_without) = run_with(false, "prefer-off");
+        // Same jobs succeed either way; only *how* the peer's job
+        // resolves differs (pre-body disk hit vs wait-served body).
+        assert_eq!(succeeded_with, succeeded_without);
+        assert!(
+            with_pref < without_pref,
+            "prefer-unleased must reduce poll iterations: {with_pref} vs {without_pref}"
+        );
+        assert_eq!(
+            with_pref, 0,
+            "with other ready work covering the peer's publish window, \
+             the preferred schedule never polls"
+        );
     }
 
     #[test]

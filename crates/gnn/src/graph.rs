@@ -1,7 +1,15 @@
 //! CSR adjacency and mean aggregation (the GraphSAGE neighborhood
 //! operator), plus block-diagonal merging of multiple circuit graphs.
+//!
+//! The aggregation kernels follow the same contract as the `Matrix`
+//! product family: `_into` variants write caller-provided outputs (zero
+//! steady-state allocation with a warm [`Workspace`]), threading
+//! partitions *output rows* with deterministic ownership, and every
+//! output element accumulates its neighbor rows in ascending CSR order
+//! — so the parallel, fused kernels are bit-identical to the historical
+//! sum-then-scale passes for any thread count.
 
-use gnnunlock_neural::Matrix;
+use gnnunlock_neural::{Matrix, Workspace};
 
 /// Undirected graph in compressed-sparse-row form.
 ///
@@ -120,36 +128,19 @@ impl Csr {
     ///
     /// Panics if `x.rows() != num_nodes`.
     pub fn sum_aggregate(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.rows(), self.num_nodes(), "feature row mismatch");
-        let cols = x.cols();
-        let mut out = Matrix::zeros(self.num_nodes(), cols);
-        let n_threads = if self.num_nodes() >= 2048 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(16)
-        } else {
-            1
-        };
-        let rows_per = self.num_nodes().div_ceil(n_threads.max(1)).max(1);
-        let out_data = out.data_mut();
-        std::thread::scope(|scope| {
-            for (t, chunk) in out_data.chunks_mut(rows_per * cols).enumerate() {
-                let start = t * rows_per;
-                scope.spawn(move || {
-                    for (local, row) in chunk.chunks_mut(cols).enumerate() {
-                        let v = start + local;
-                        for &n in self.neighbors(v) {
-                            let src = x.row(n as usize);
-                            for (o, &s) in row.iter_mut().zip(src) {
-                                *o += s;
-                            }
-                        }
-                    }
-                });
-            }
-        });
+        let mut out = Matrix::zeros(self.num_nodes(), x.cols());
+        self.aggregate_into(x, &mut out, false);
         out
+    }
+
+    /// [`Csr::sum_aggregate`] into a caller-provided output (fully
+    /// overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes` or `out` has the wrong shape.
+    pub fn sum_aggregate_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.aggregate_into(x, out, false);
     }
 
     /// Mean aggregation `y[i] = mean_{j ∈ N(i)} x[j]` (isolated nodes get a
@@ -157,22 +148,98 @@ impl Csr {
     /// construction — bit-identical to dividing in place, since the
     /// stored factor is the same `1.0 / d as f32` value.
     pub fn mean_aggregate(&self, x: &Matrix) -> Matrix {
-        let mut y = self.sum_aggregate(x);
-        for v in 0..self.num_nodes() {
-            let inv = self.inv_degree[v];
-            if inv != 1.0 {
-                for e in y.row_mut(v) {
-                    *e *= inv;
+        let mut out = Matrix::zeros(self.num_nodes(), x.cols());
+        self.aggregate_into(x, &mut out, true);
+        out
+    }
+
+    /// [`Csr::mean_aggregate`] into a caller-provided output (fully
+    /// overwritten). The degree normalization is fused into the same
+    /// row pass — each row is scaled *after* its full neighbor sum,
+    /// exactly the historical sum-then-scale op order per element, so
+    /// fusing (like threading) changes wall-clock only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes` or `out` has the wrong shape.
+    pub fn mean_aggregate_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.aggregate_into(x, out, true);
+    }
+
+    fn aggregate_into(&self, x: &Matrix, out: &mut Matrix, mean: bool) {
+        assert_eq!(x.rows(), self.num_nodes(), "feature row mismatch");
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.num_nodes(), x.cols()),
+            "aggregate output shape mismatch"
+        );
+        let cols = x.cols();
+        let n_threads = if self.num_nodes() >= 2048 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            1
+        };
+        let rows_per = self.num_nodes().div_ceil(n_threads.max(1)).max(1);
+        let out_data = out.data_mut();
+        let body = |start: usize, chunk: &mut [f32]| {
+            for (local, row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                let v = start + local;
+                row.fill(0.0);
+                for &n in self.neighbors(v) {
+                    let src = x.row(n as usize);
+                    for (o, &s) in row.iter_mut().zip(src) {
+                        *o += s;
+                    }
+                }
+                if mean {
+                    let inv = self.inv_degree[v];
+                    if inv != 1.0 {
+                        for e in row.iter_mut() {
+                            *e *= inv;
+                        }
+                    }
                 }
             }
+        };
+        if n_threads <= 1 || cols == 0 {
+            body(0, out_data);
+            return;
         }
-        y
+        std::thread::scope(|scope| {
+            for (t, chunk) in out_data.chunks_mut(rows_per * cols).enumerate() {
+                let body = &body;
+                scope.spawn(move || body(t * rows_per, chunk));
+            }
+        });
     }
 
     /// Backward of [`Csr::mean_aggregate`] w.r.t. its input: for a
     /// symmetric adjacency, `(D⁻¹A)ᵀ g = A D⁻¹ g`.
     pub fn mean_aggregate_backward(&self, grad: &Matrix) -> Matrix {
-        let mut scaled = grad.clone();
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(self.num_nodes(), grad.cols());
+        self.mean_aggregate_backward_into(grad, &mut out, &mut ws);
+        out
+    }
+
+    /// [`Csr::mean_aggregate_backward`] into a caller-provided output,
+    /// with the degree-scaled gradient staged in workspace scratch
+    /// (fully overwritten; allocation-free once `ws` is warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn mean_aggregate_backward_into(
+        &self,
+        grad: &Matrix,
+        out: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let mut scaled = ws.take(grad.rows(), grad.cols());
+        scaled.data_mut().copy_from_slice(grad.data());
         for v in 0..self.num_nodes() {
             let inv = self.inv_degree[v];
             if inv != 1.0 {
@@ -181,7 +248,8 @@ impl Csr {
                 }
             }
         }
-        self.sum_aggregate(&scaled)
+        self.aggregate_into(&scaled, out, false);
+        ws.recycle(scaled);
     }
 
     /// Induced subgraph on `nodes` (order defines new ids). Returns the

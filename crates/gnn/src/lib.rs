@@ -40,5 +40,5 @@ pub use graph::Csr;
 pub use model::{argmax_rows, ForwardCache, ModelConfig, ModelGrads, ModelOptimizer, SageModel};
 pub use saint::{SaintConfig, SaintSampler, Subgraph};
 pub use trainer::{
-    evaluate, predict, train, TrainCheckpoint, TrainConfig, TrainReport, TrainState,
+    evaluate, evaluate_ws, predict, train, TrainCheckpoint, TrainConfig, TrainReport, TrainState,
 };

@@ -14,7 +14,10 @@
 //! configurable so CI-scale experiments stay fast.
 
 use crate::graph::Csr;
-use gnnunlock_neural::{relu, relu_backward, AdamConfig, AdamState, DropoutMask, Linear, Matrix};
+use gnnunlock_neural::{
+    relu_backward_inplace, relu_inplace, AdamConfig, AdamState, DropoutMask, Linear, Matrix,
+    Workspace,
+};
 
 /// Hyperparameters of a [`SageModel`].
 #[derive(Debug, Clone)]
@@ -75,6 +78,33 @@ pub struct ForwardCache {
     masks: Option<[DropoutMask; 3]>,
 }
 
+impl ForwardCache {
+    /// Return every buffer this cache owns — activations, the gathered
+    /// input, dropout masks — to the workspace pool. The training loop
+    /// calls this at the end of each epoch so the next epoch's forward
+    /// pass is allocation-free.
+    pub fn recycle(self, ws: &mut Workspace) {
+        let ForwardCache {
+            x,
+            h0,
+            cat1,
+            h1,
+            cat2,
+            h2,
+            logits,
+            masks,
+        } = self;
+        for m in [x, h0, cat1, h1, cat2, h2, logits] {
+            ws.recycle(m);
+        }
+        if let Some(masks) = masks {
+            for mask in masks {
+                mask.recycle(ws);
+            }
+        }
+    }
+}
+
 /// Gradients for every parameter tensor of the model.
 #[derive(Debug, Clone)]
 pub struct ModelGrads {
@@ -86,6 +116,31 @@ pub struct ModelGrads {
     l2_b: Vec<f32>,
     head_w: Matrix,
     head_b: Vec<f32>,
+}
+
+impl ModelGrads {
+    /// Return every gradient buffer to the workspace pool (the inverse
+    /// of [`SageModel::backward_ws`]'s takes, called once the optimizer
+    /// step has consumed the gradients).
+    pub fn recycle(self, ws: &mut Workspace) {
+        let ModelGrads {
+            enc_w,
+            enc_b,
+            l1_w,
+            l1_b,
+            l2_w,
+            l2_b,
+            head_w,
+            head_b,
+        } = self;
+        for m in [enc_w, l1_w, l2_w, head_w] {
+            ws.recycle(m);
+        }
+        for b in [enc_b, l1_b, l2_b, head_b] {
+            let len = b.len();
+            ws.recycle(Matrix::from_vec(1, len, b));
+        }
+    }
 }
 
 /// Adam state for every parameter tensor.
@@ -206,36 +261,70 @@ impl SageModel {
     /// Forward pass on a graph with features `x`. When `dropout_seed` is
     /// `Some`, dropout masks are sampled and applied (training mode).
     ///
+    /// Allocating convenience around [`SageModel::forward_ws`].
+    ///
     /// # Panics
     ///
     /// Panics if shapes are inconsistent with the config.
     pub fn forward(&self, adj: &Csr, x: &Matrix, dropout_seed: Option<u64>) -> ForwardCache {
-        let mut h0 = relu(&self.encoder.forward(x));
+        self.forward_ws(adj, x.clone(), dropout_seed, &mut Workspace::new())
+    }
+
+    /// [`SageModel::forward`] with every temporary taken from `ws`.
+    /// Takes ownership of `x` (it is saved in the cache for the backward
+    /// pass and returned to the pool by [`ForwardCache::recycle`]).
+    /// Bit-identical to the allocating path; allocation-free once the
+    /// workspace is warm. The encoder product uses the sparse-aware
+    /// kernel — its input is the featurization matrix, which is mostly
+    /// exact zeros (one-hot gate encodings) by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the config.
+    pub fn forward_ws(
+        &self,
+        adj: &Csr,
+        x: Matrix,
+        dropout_seed: Option<u64>,
+        ws: &mut Workspace,
+    ) -> ForwardCache {
+        let n = x.rows();
+        let h = self.config.hidden;
+        let mut h0 = self.encoder.forward_ws(&x, true, ws);
+        relu_inplace(&mut h0);
         let masks = dropout_seed.map(|seed| {
             [
-                DropoutMask::sample(h0.rows(), h0.cols(), self.config.dropout, seed),
-                DropoutMask::sample(h0.rows(), h0.cols(), self.config.dropout, seed ^ 0x9e37),
-                DropoutMask::sample(h0.rows(), h0.cols(), self.config.dropout, seed ^ 0x79b9),
+                DropoutMask::sample_pooled(n, h, self.config.dropout, seed, ws),
+                DropoutMask::sample_pooled(n, h, self.config.dropout, seed ^ 0x9e37, ws),
+                DropoutMask::sample_pooled(n, h, self.config.dropout, seed ^ 0x79b9, ws),
             ]
         });
         if let Some(m) = &masks {
             m[0].apply(&mut h0);
         }
-        let agg1 = adj.mean_aggregate(&h0);
-        let cat1 = h0.hconcat(&agg1);
-        let mut h1 = relu(&self.layer1.forward(&cat1));
+        let mut agg1 = ws.take(n, h);
+        adj.mean_aggregate_into(&h0, &mut agg1);
+        let mut cat1 = ws.take(n, 2 * h);
+        h0.hconcat_into(&agg1, &mut cat1);
+        ws.recycle(agg1);
+        let mut h1 = self.layer1.forward_ws(&cat1, false, ws);
+        relu_inplace(&mut h1);
         if let Some(m) = &masks {
             m[1].apply(&mut h1);
         }
-        let agg2 = adj.mean_aggregate(&h1);
-        let cat2 = h1.hconcat(&agg2);
-        let mut h2 = relu(&self.layer2.forward(&cat2));
+        let mut agg2 = ws.take(n, h);
+        adj.mean_aggregate_into(&h1, &mut agg2);
+        let mut cat2 = ws.take(n, 2 * h);
+        h1.hconcat_into(&agg2, &mut cat2);
+        ws.recycle(agg2);
+        let mut h2 = self.layer2.forward_ws(&cat2, false, ws);
+        relu_inplace(&mut h2);
         if let Some(m) = &masks {
             m[2].apply(&mut h2);
         }
-        let logits = self.head.forward(&h2);
+        let logits = self.head.forward_ws(&h2, false, ws);
         ForwardCache {
-            x: x.clone(),
+            x,
             h0,
             cat1,
             h1,
@@ -248,33 +337,70 @@ impl SageModel {
 
     /// Backward pass from `grad_logits`; returns gradients for all
     /// parameters.
+    ///
+    /// Allocating convenience around [`SageModel::backward_ws`].
     pub fn backward(&self, adj: &Csr, cache: &ForwardCache, grad_logits: &Matrix) -> ModelGrads {
-        let head_g = self.head.backward(&cache.h2, grad_logits);
+        self.backward_ws(adj, cache, grad_logits, &mut Workspace::new())
+    }
+
+    /// [`SageModel::backward`] with every temporary taken from (and
+    /// every intermediate returned to) `ws`. Recycle the returned
+    /// gradients with [`ModelGrads::recycle`] once applied.
+    pub fn backward_ws(
+        &self,
+        adj: &Csr,
+        cache: &ForwardCache,
+        grad_logits: &Matrix,
+        ws: &mut Workspace,
+    ) -> ModelGrads {
+        let n = grad_logits.rows();
+        let h = self.config.hidden;
+        let head_g = self.head.backward_ws(&cache.h2, grad_logits, ws);
         let mut g_h2 = head_g.input;
         if let Some(m) = &cache.masks {
             m[2].apply(&mut g_h2);
         }
-        let g_pre2 = relu_backward(&cache.h2, &g_h2);
-        let l2_g = self.layer2.backward(&cache.cat2, &g_pre2);
-        let (g_h1_direct, g_agg2) = l2_g.input.hsplit(self.config.hidden);
-        let mut g_h1 = g_h1_direct;
-        g_h1.add_assign(&adj.mean_aggregate_backward(&g_agg2));
+        relu_backward_inplace(&cache.h2, &mut g_h2);
+        let l2_g = self.layer2.backward_ws(&cache.cat2, &g_h2, ws);
+        ws.recycle(g_h2);
+        let mut g_h1 = ws.take(n, h);
+        let mut g_agg2 = ws.take(n, h);
+        l2_g.input.hsplit_into(&mut g_h1, &mut g_agg2);
+        ws.recycle(l2_g.input);
+        let mut agg_back = ws.take(n, h);
+        adj.mean_aggregate_backward_into(&g_agg2, &mut agg_back, ws);
+        ws.recycle(g_agg2);
+        g_h1.add_assign(&agg_back);
+        ws.recycle(agg_back);
         if let Some(m) = &cache.masks {
             m[1].apply(&mut g_h1);
         }
-        let g_pre1 = relu_backward(&cache.h1, &g_h1);
-        let l1_g = self.layer1.backward(&cache.cat1, &g_pre1);
-        let (g_h0_direct, g_agg1) = l1_g.input.hsplit(self.config.hidden);
-        let mut g_h0 = g_h0_direct;
-        g_h0.add_assign(&adj.mean_aggregate_backward(&g_agg1));
+        relu_backward_inplace(&cache.h1, &mut g_h1);
+        let l1_g = self.layer1.backward_ws(&cache.cat1, &g_h1, ws);
+        ws.recycle(g_h1);
+        let mut g_h0 = ws.take(n, h);
+        let mut g_agg1 = ws.take(n, h);
+        l1_g.input.hsplit_into(&mut g_h0, &mut g_agg1);
+        ws.recycle(l1_g.input);
+        let mut agg_back = ws.take(n, h);
+        adj.mean_aggregate_backward_into(&g_agg1, &mut agg_back, ws);
+        ws.recycle(g_agg1);
+        g_h0.add_assign(&agg_back);
+        ws.recycle(agg_back);
         if let Some(m) = &cache.masks {
             m[0].apply(&mut g_h0);
         }
-        let g_pre0 = relu_backward(&cache.h0, &g_h0);
-        let enc_g = self.encoder.backward(&cache.x, &g_pre0);
+        relu_backward_inplace(&cache.h0, &mut g_h0);
+        // Input layer: weight/bias gradients only — the historical path
+        // also computed (and discarded) the gradient w.r.t. the raw
+        // features, an entire N x feature_len product per epoch. The
+        // input is the sparse featurization matrix, like the forward
+        // encoder product.
+        let (enc_w, enc_b) = self.encoder.backward_weights_ws(&cache.x, &g_h0, true, ws);
+        ws.recycle(g_h0);
         ModelGrads {
-            enc_w: enc_g.weight,
-            enc_b: enc_g.bias,
+            enc_w,
+            enc_b,
             l1_w: l1_g.weight,
             l1_b: l1_g.bias,
             l2_w: l2_g.weight,
@@ -284,10 +410,61 @@ impl SageModel {
         }
     }
 
+    /// Pre-size `ws` for a forward + backward pass of up to `rows`
+    /// nodes: take (then recycle) every buffer role at its largest
+    /// shape, and pre-size the GEMM packing panel for every product the
+    /// model performs. After this tour, any epoch of at most `rows`
+    /// nodes runs with zero workspace allocation — the training loop
+    /// calls it once at construction with the full-graph row count (the
+    /// upper bound of every sampled mini-batch and of full-graph
+    /// evaluation).
+    pub fn warm_workspace(&self, rows: usize, ws: &mut Workspace) {
+        let f = self.config.feature_len;
+        let h = self.config.hidden;
+        let c = self.config.classes;
+        // Peak concurrency per shape class, counted over forward +
+        // backward. `rows x H`: h0/h1/h2 + three dropout masks held in
+        // the cache, plus g_h1/g_agg/agg_back and the aggregation's
+        // scaled-gradient scratch = 10 at the first backward
+        // aggregation. `rows x 2H`: cat1/cat2 plus one layer input
+        // gradient = 3. Pool buffers are retained for the state's
+        // lifetime, so keep the margin small (the reuse tests catch an
+        // undercount as a nonzero steady-state allocation).
+        let mut shapes: Vec<(usize, usize)> = vec![(rows, f); 2];
+        shapes.extend(std::iter::repeat_n((rows, h), 11));
+        shapes.extend(std::iter::repeat_n((rows, 2 * h), 4));
+        shapes.extend(std::iter::repeat_n((rows, c), 3));
+        // Weight and bias gradients.
+        shapes.extend_from_slice(&[(f, h), (2 * h, h), (2 * h, h), (h, c)]);
+        shapes.extend_from_slice(&[(1, h), (1, h), (1, h), (1, c)]);
+        let held: Vec<Matrix> = shapes.iter().map(|&(r, cc)| ws.take(r, cc)).collect();
+        for m in held {
+            ws.recycle(m);
+        }
+        // Packing panels: forward products (the sparse encoder packs
+        // nothing), and the backward a·bᵀ products against each weight.
+        ws.warm_pack(2 * h, h);
+        ws.warm_pack(h, c);
+        ws.warm_pack(h, 2 * h);
+        ws.warm_pack(c, h);
+        ws.warm_pack(f, h);
+    }
+
     /// Predicted class per node (inference mode, no dropout).
     pub fn predict(&self, adj: &Csr, x: &Matrix) -> Vec<usize> {
-        let cache = self.forward(adj, x, None);
-        argmax_rows(&cache.logits)
+        self.predict_ws(adj, x, &mut Workspace::new())
+    }
+
+    /// [`SageModel::predict`] with all forward temporaries pooled in
+    /// `ws` (the input is staged through the pool too, so repeated
+    /// evaluation on the same graph is allocation-free).
+    pub fn predict_ws(&self, adj: &Csr, x: &Matrix, ws: &mut Workspace) -> Vec<usize> {
+        let mut staged = ws.take(x.rows(), x.cols());
+        staged.data_mut().copy_from_slice(x.data());
+        let cache = self.forward_ws(adj, staged, None, ws);
+        let preds = argmax_rows(&cache.logits);
+        cache.recycle(ws);
+        preds
     }
 
     /// Create an Adam optimizer matching this model's tensor shapes.

@@ -5,7 +5,9 @@
 use crate::features::CircuitGraph;
 use crate::model::{ModelConfig, ModelOptimizer, SageModel};
 use crate::saint::{SaintConfig, SaintSampler};
-use gnnunlock_neural::{inverse_frequency_weights, softmax_cross_entropy, AdamConfig, Metrics};
+use gnnunlock_neural::{
+    inverse_frequency_weights, softmax_cross_entropy_ws, AdamConfig, Metrics, Workspace,
+};
 use std::time::{Duration, Instant};
 
 /// Training hyperparameters.
@@ -101,6 +103,14 @@ pub struct TrainState {
     epochs_run: usize,
     done: bool,
     elapsed: Duration,
+    /// Kernel scratch reused across epochs (transient — never part of a
+    /// checkpoint; a fresh or restored state warms it lazily on the
+    /// first epoch).
+    ws: Workspace,
+    /// Largest row count the workspace has been warmed for (0 = cold).
+    warmed_rows: usize,
+    /// Per-epoch mini-batch label scratch, reused like the workspace.
+    labels_buf: Vec<usize>,
 }
 
 /// A serializable snapshot of a [`TrainState`] between two epochs:
@@ -203,6 +213,9 @@ impl TrainState {
             epochs_run: 0,
             done: false,
             elapsed: Duration::ZERO,
+            ws: Workspace::new(),
+            warmed_rows: 0,
+            labels_buf: Vec::new(),
         }
     }
 
@@ -241,6 +254,9 @@ impl TrainState {
             epochs_run: ckpt.epochs_run,
             done: ckpt.done,
             elapsed: Duration::from_secs_f64(ckpt.elapsed_secs.max(0.0)),
+            ws: Workspace::new(),
+            warmed_rows: 0,
+            labels_buf: Vec::new(),
         }
     }
 
@@ -266,6 +282,14 @@ impl TrainState {
         self.epochs_run
     }
 
+    /// Heap allocations the kernel workspace has performed so far
+    /// (pool-capacity misses). Flat across steady-state epochs — the
+    /// zero-allocation contract of the kernel overhaul, asserted by the
+    /// workspace-reuse tests.
+    pub fn workspace_allocations(&self) -> usize {
+        self.ws.allocations()
+    }
+
     /// Whether training has stopped (early stop, perfect validation, or
     /// the epoch cap).
     pub fn is_done(&self) -> bool {
@@ -283,26 +307,48 @@ impl TrainState {
             return true;
         }
         let start = Instant::now();
+        // Warm the kernel scratch to the largest shapes any epoch (a
+        // sampled subgraph) or evaluation (either full graph) can need,
+        // so steady-state epochs allocate nothing — lazily, so fresh
+        // and checkpoint-restored states behave identically.
+        let need = train.num_nodes().max(val.num_nodes());
+        if need > self.warmed_rows {
+            self.model.warm_workspace(need, &mut self.ws);
+            self.warmed_rows = need;
+        }
         let cfg = &self.cfg;
         let epoch = self.epochs_run + 1;
         self.epochs_run = epoch;
         let sub = self.sampler.sample(&train.adj);
-        let x = train.features.gather_rows(&sub.nodes);
-        let labels: Vec<usize> = sub.nodes.iter().map(|&v| train.labels[v]).collect();
+        // The whole numeric path of an epoch — gather, forward,
+        // loss, backward, optimizer step — runs on workspace-pooled
+        // buffers: once the pool has warmed to the largest mini-batch
+        // seen, an epoch performs zero kernel-path heap allocation.
+        let mut x = self.ws.take(sub.nodes.len(), train.features.cols());
+        train.features.gather_rows_into(&sub.nodes, &mut x);
+        self.labels_buf.clear();
+        self.labels_buf
+            .extend(sub.nodes.iter().map(|&v| train.labels[v]));
         let cache = self
             .model
-            .forward(&sub.adj, &x, Some(cfg.seed ^ epoch as u64));
-        let loss = softmax_cross_entropy(
+            .forward_ws(&sub.adj, x, Some(cfg.seed ^ epoch as u64), &mut self.ws);
+        let loss = softmax_cross_entropy_ws(
             &cache.logits,
-            &labels,
+            &self.labels_buf,
             Some(&sub.loss_weights),
             self.class_weights.as_deref(),
+            &mut self.ws,
         );
-        let grads = self.model.backward(&sub.adj, &cache, &loss.grad);
+        let grads = self
+            .model
+            .backward_ws(&sub.adj, &cache, &loss.grad, &mut self.ws);
         self.model.apply(&mut self.opt, &grads);
+        grads.recycle(&mut self.ws);
+        cache.recycle(&mut self.ws);
+        self.ws.recycle(loss.grad);
 
         if epoch.is_multiple_of(cfg.eval_every) || epoch == cfg.epochs {
-            let val_acc = evaluate(&self.model, val).accuracy();
+            let val_acc = evaluate_ws(&self.model, val, &mut self.ws).accuracy();
             self.history.push((epoch, loss.loss, val_acc));
             if val_acc > self.best_val {
                 self.best_val = val_acc;
@@ -364,7 +410,13 @@ pub fn train(
 
 /// Full-graph inference metrics of `model` on `graph`.
 pub fn evaluate(model: &SageModel, graph: &CircuitGraph) -> Metrics {
-    let preds = model.predict(&graph.adj, &graph.features);
+    evaluate_ws(model, graph, &mut Workspace::new())
+}
+
+/// [`evaluate`] with forward-pass temporaries pooled in `ws` (what the
+/// training loop's periodic validation uses).
+pub fn evaluate_ws(model: &SageModel, graph: &CircuitGraph, ws: &mut Workspace) -> Metrics {
+    let preds = model.predict_ws(&graph.adj, &graph.features, ws);
     Metrics::from_predictions(&preds, &graph.labels, graph.scheme.num_classes())
 }
 
@@ -488,6 +540,42 @@ mod tests {
             let test_g = antisat_graph("c7552", 0.02, 8, 4);
             assert_eq!(evaluate(&model, &test_g), evaluate(&direct_model, &test_g));
         }
+    }
+
+    /// The per-epoch kernel path must be allocation-free once the
+    /// workspace pool has warmed to the largest mini-batch: the
+    /// acceptance contract of the scratch-buffer overhaul.
+    #[test]
+    fn steady_state_epochs_do_not_allocate_kernel_buffers() {
+        let train_g = antisat_graph("c2670", 0.02, 8, 1);
+        let val_g = antisat_graph("c3540", 0.02, 8, 3);
+        let cfg = TrainConfig {
+            epochs: 100,
+            hidden: 16,
+            eval_every: 1000, // no eval inside the measured window
+            patience: 0,
+            saint: SaintConfig {
+                roots: 400, // every epoch covers ~the whole graph
+                walk_length: 2,
+                estimation_rounds: 3,
+                seed: 5,
+            },
+            ..TrainConfig::default()
+        };
+        let mut state = TrainState::new(&train_g, &val_g, &cfg);
+        for _ in 0..30 {
+            state.step_epoch(&train_g, &val_g);
+        }
+        let warm = state.workspace_allocations();
+        assert!(warm > 0, "cold epochs must have allocated");
+        for _ in 0..10 {
+            state.step_epoch(&train_g, &val_g);
+        }
+        assert_eq!(
+            state.workspace_allocations(),
+            warm,
+            "steady-state epochs must not allocate kernel buffers"
+        );
     }
 
     #[test]

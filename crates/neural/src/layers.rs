@@ -1,6 +1,13 @@
 //! Neural-network layers: linear, ReLU, dropout.
+//!
+//! The linear layer has two surfaces: the allocating `forward`/`backward`
+//! convenience pair, and the workspace-threaded `forward_ws`/`backward_ws`
+//! pair the training loop uses — bit-identical results, but all
+//! temporaries come from (and return to) a [`Workspace`], so steady-state
+//! epochs allocate nothing here.
 
 use crate::matrix::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -49,7 +56,26 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.weight);
+        let mut ws = Workspace::new();
+        self.forward_ws(x, false, &mut ws)
+    }
+
+    /// [`Linear::forward`] with workspace-owned output and pack scratch.
+    /// When `sparse_input` is set, the product uses the skip-branch
+    /// kernel ([`Matrix::matmul_sparse_aware`]) — profitable only when
+    /// `x` is provably sparse (one-hot featurization matrices), and
+    /// bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_ws(&self, x: &Matrix, sparse_input: bool, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), self.out_dim());
+        if sparse_input {
+            x.matmul_sparse_aware_into(&self.weight, &mut y);
+        } else {
+            x.matmul_into(&self.weight, &mut y, ws);
+        }
         for r in 0..y.rows() {
             for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
                 *v += b;
@@ -65,19 +91,65 @@ impl Linear {
     ///
     /// Panics on shape mismatches.
     pub fn backward(&self, x: &Matrix, grad_y: &Matrix) -> LinearGrads {
-        let weight = x.transpose_matmul(grad_y);
-        let mut bias = vec![0.0f32; self.out_dim()];
+        let mut ws = Workspace::new();
+        self.backward_ws(x, grad_y, &mut ws)
+    }
+
+    /// [`Linear::backward`] with all three gradients taken from `ws`
+    /// (recycle them through [`Workspace::recycle`] when consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward_ws(&self, x: &Matrix, grad_y: &Matrix, ws: &mut Workspace) -> LinearGrads {
+        let mut weight = ws.take(x.cols(), grad_y.cols());
+        x.transpose_matmul_into(grad_y, &mut weight);
+        // The bias gradient vector is pooled too (as a 1 x out row).
+        let mut bias = ws.take(1, self.out_dim()).into_vec();
         for r in 0..grad_y.rows() {
             for (b, &g) in bias.iter_mut().zip(grad_y.row(r)) {
                 *b += g;
             }
         }
-        let input = grad_y.matmul_transpose(&self.weight);
+        let mut input = ws.take(grad_y.rows(), self.in_dim());
+        grad_y.matmul_transpose_into(&self.weight, &mut input, ws);
         LinearGrads {
             weight,
             bias,
             input,
         }
+    }
+
+    /// Weight and bias gradients only — for the input layer, whose
+    /// input gradient nobody consumes (the historical path computed and
+    /// discarded a whole `N x in_dim` product per epoch). With
+    /// `sparse_input` set, the weight gradient uses the skip-branch
+    /// kernel — profitable exactly when `x` is the provably sparse
+    /// featurization matrix, and bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward_weights_ws(
+        &self,
+        x: &Matrix,
+        grad_y: &Matrix,
+        sparse_input: bool,
+        ws: &mut Workspace,
+    ) -> (Matrix, Vec<f32>) {
+        let mut weight = ws.take(x.cols(), grad_y.cols());
+        if sparse_input {
+            x.transpose_matmul_sparse_aware_into(grad_y, &mut weight);
+        } else {
+            x.transpose_matmul_into(grad_y, &mut weight);
+        }
+        let mut bias = ws.take(1, self.out_dim()).into_vec();
+        for r in 0..grad_y.rows() {
+            for (b, &g) in bias.iter_mut().zip(grad_y.row(r)) {
+                *b += g;
+            }
+        }
+        (weight, bias)
     }
 
     /// Number of scalar parameters.
@@ -90,8 +162,31 @@ impl Linear {
 /// output, see [`relu_backward`]).
 pub fn relu(x: &Matrix) -> Matrix {
     let mut y = x.clone();
-    y.map_inplace(|v| v.max(0.0));
+    relu_inplace(&mut y);
     y
+}
+
+/// ReLU applied in place — the allocation-free form the training loop
+/// uses on workspace-owned pre-activations (same op as [`relu`]).
+pub fn relu_inplace(x: &mut Matrix) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
+/// ReLU backward: zero the upstream gradient where the activation was
+/// clamped. The gradient is modified in place (the caller owns it and
+/// consumes it immediately); this mirrors the historical copy exactly.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward_inplace(activation: &Matrix, grad: &mut Matrix) {
+    assert_eq!(activation.rows(), grad.rows());
+    assert_eq!(activation.cols(), grad.cols());
+    for (o, &a) in grad.data_mut().iter_mut().zip(activation.data()) {
+        if a <= 0.0 {
+            *o = 0.0;
+        }
+    }
 }
 
 /// ReLU backward: zero the upstream gradient where the activation was
@@ -101,14 +196,8 @@ pub fn relu(x: &Matrix) -> Matrix {
 ///
 /// Panics on shape mismatch.
 pub fn relu_backward(activation: &Matrix, grad: &Matrix) -> Matrix {
-    assert_eq!(activation.rows(), grad.rows());
-    assert_eq!(activation.cols(), grad.cols());
     let mut out = grad.clone();
-    for (o, &a) in out.data_mut().iter_mut().zip(activation.data()) {
-        if a <= 0.0 {
-            *o = 0.0;
-        }
-    }
+    relu_backward_inplace(activation, &mut out);
     out
 }
 
@@ -129,14 +218,32 @@ impl DropoutMask {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn sample(rows: usize, cols: usize, p: f64, seed: u64) -> Self {
+        let mut ws = Workspace::new();
+        Self::sample_pooled(rows, cols, p, seed, &mut ws)
+    }
+
+    /// [`DropoutMask::sample`] with the mask buffer taken from `ws`
+    /// (identical RNG stream, so identical masks). Return it with
+    /// [`DropoutMask::recycle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn sample_pooled(rows: usize, cols: usize, p: f64, seed: u64, ws: &mut Workspace) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
         let mut rng = StdRng::seed_from_u64(seed);
         let keep = 1.0 - p;
         let scale = (1.0 / keep) as f32;
-        let mask = (0..rows * cols)
-            .map(|_| if rng.random_bool(keep) { scale } else { 0.0 })
-            .collect();
+        let mut mask = ws.take(rows, cols).into_vec();
+        for m in mask.iter_mut() {
+            *m = if rng.random_bool(keep) { scale } else { 0.0 };
+        }
         DropoutMask { mask, rows, cols }
+    }
+
+    /// Return the mask buffer to the workspace pool.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle(Matrix::from_vec(self.rows, self.cols, self.mask));
     }
 
     /// Apply the mask in place (same for forward and backward).

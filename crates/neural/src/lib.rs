@@ -25,9 +25,15 @@ mod layers;
 mod loss;
 mod matrix;
 mod metrics;
+mod workspace;
 
 pub use adam::{AdamConfig, AdamState};
-pub use layers::{relu, relu_backward, DropoutMask, Linear, LinearGrads};
-pub use loss::{inverse_frequency_weights, softmax_cross_entropy, LossOutput};
-pub use matrix::Matrix;
+pub use layers::{
+    relu, relu_backward, relu_backward_inplace, relu_inplace, DropoutMask, Linear, LinearGrads,
+};
+pub use loss::{
+    inverse_frequency_weights, softmax_cross_entropy, softmax_cross_entropy_ws, LossOutput,
+};
+pub use matrix::{reference, Matrix};
 pub use metrics::Metrics;
+pub use workspace::Workspace;

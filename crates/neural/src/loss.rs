@@ -2,6 +2,7 @@
 //! (GraphSAINT loss normalization).
 
 use crate::matrix::Matrix;
+use crate::workspace::Workspace;
 
 /// Result of a softmax cross-entropy evaluation.
 #[derive(Debug, Clone)]
@@ -10,8 +11,6 @@ pub struct LossOutput {
     pub loss: f32,
     /// Gradient w.r.t. the logits (same shape as the input).
     pub grad: Matrix,
-    /// Row-wise predicted class (argmax of logits).
-    pub predictions: Vec<usize>,
 }
 
 /// Softmax cross-entropy over logits.
@@ -32,28 +31,48 @@ pub fn softmax_cross_entropy(
     row_weight: Option<&[f32]>,
     class_weight: Option<&[f32]>,
 ) -> LossOutput {
+    softmax_cross_entropy_ws(
+        logits,
+        labels,
+        row_weight,
+        class_weight,
+        &mut Workspace::new(),
+    )
+}
+
+/// [`softmax_cross_entropy`] with the gradient matrix taken from `ws`
+/// (recycle `LossOutput::grad` once consumed). Identical arithmetic.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy_ws(
+    logits: &Matrix,
+    labels: &[usize],
+    row_weight: Option<&[f32]>,
+    class_weight: Option<&[f32]>,
+    ws: &mut Workspace,
+) -> LossOutput {
     let n = logits.rows();
     let c = logits.cols();
     assert_eq!(labels.len(), n, "label count mismatch");
-    let mut grad = Matrix::zeros(n, c);
-    let mut predictions = Vec::with_capacity(n);
+    let mut grad = ws.take(n, c);
+    // The per-row softmax scratch is pooled too (as a 1 x classes row).
+    let mut exps = ws.take(1, c).into_vec();
     let mut total = 0.0f64;
     let mut total_weight = 0.0f64;
     for r in 0..n {
         let row = logits.row(r);
         let label = labels[r];
         assert!(label < c, "label {label} out of range for {c} classes");
-        // Stable softmax.
+        // Stable softmax (the per-row scratch is hoisted out of the
+        // loop; the arithmetic — value by value, in order — is the
+        // same).
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        let mut best = 0;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
-            }
+        for (e, &v) in exps.iter_mut().zip(row) {
+            *e = (v - max).exp();
         }
-        predictions.push(best);
+        let sum: f32 = exps.iter().sum();
         let w = row_weight.map_or(1.0, |rw| rw[r]) * class_weight.map_or(1.0, |cw| cw[label]);
         let p_label = (exps[label] / sum).max(1e-12);
         total += f64::from(w) * f64::from(-p_label.ln());
@@ -71,10 +90,11 @@ pub fn softmax_cross_entropy(
     };
     // Normalize gradient by the same denominator as the loss.
     grad.scale((1.0 / denom) as f32);
+    let len = exps.len();
+    ws.recycle(Matrix::from_vec(1, len, exps));
     LossOutput {
         loss: (total / denom) as f32,
         grad,
-        predictions,
     }
 }
 
@@ -153,11 +173,18 @@ mod tests {
         assert!(weighted.loss > unweighted.loss);
     }
 
+    /// The pooled-scratch path must leave the workspace reusable: two
+    /// loss evaluations on a warm pool allocate nothing further.
     #[test]
-    fn predictions_are_argmax() {
+    fn loss_scratch_is_pooled() {
         let logits = Matrix::from_rows(&[&[0.1, 0.9], &[3.0, -1.0]]);
-        let out = softmax_cross_entropy(&logits, &[0, 0], None, None);
-        assert_eq!(out.predictions, vec![1, 0]);
+        let mut ws = Workspace::new();
+        let first = softmax_cross_entropy_ws(&logits, &[0, 0], None, None, &mut ws);
+        ws.recycle(first.grad);
+        let warm = ws.allocations();
+        let second = softmax_cross_entropy_ws(&logits, &[0, 0], None, None, &mut ws);
+        assert_eq!(ws.allocations(), warm, "warm loss calls must not allocate");
+        ws.recycle(second.grad);
     }
 
     #[test]

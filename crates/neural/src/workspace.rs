@@ -1,0 +1,177 @@
+//! A reusable scratch arena for the numeric hot path.
+//!
+//! Every per-epoch training step needs the same family of temporaries —
+//! activations, concatenations, gradients, GEMM packing panels. The
+//! naive path allocated (and freed) each of them on every call; a
+//! [`Workspace`] instead recycles the backing buffers, so a steady-state
+//! epoch whose shapes fit the high-water marks performs **zero heap
+//! allocation** in the kernel path. [`Workspace::allocations`] counts
+//! the times a request could *not* be served from recycled capacity,
+//! which is what the reuse tests pin to zero.
+//!
+//! The arena is deliberately dumb: a LIFO pool of `Vec<f32>` buffers.
+//! The training loop's take/recycle sequence is identical every epoch,
+//! so the same buffers cycle through the same roles and their
+//! capacities converge after the first epoch at the largest shapes
+//! seen. Buffers are zero-filled on take ([`Workspace::take`]) — a
+//! `memset`, never an allocation, once capacity is warm.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnnunlock_neural::{Matrix, Workspace};
+//! let mut ws = Workspace::new();
+//! let a = ws.take(8, 4);
+//! ws.recycle(a);
+//! let warm = ws.allocations();
+//! let b = ws.take(6, 5); // 30 floats fit the recycled 32-float buffer
+//! assert_eq!(ws.allocations(), warm);
+//! ws.recycle(b);
+//! ```
+
+use crate::matrix::Matrix;
+
+/// A LIFO pool of reusable `f32` buffers backing [`Matrix`] temporaries
+/// and GEMM packing panels. See the module docs.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+    /// GEMM packing panel, borrowed by the `_into` kernels for the
+    /// duration of one product (never handed out as a `Matrix`).
+    pack: Vec<f32>,
+    allocations: usize,
+    takes: usize,
+}
+
+impl Workspace {
+    /// An empty workspace. Buffers are created on demand and retained
+    /// on [`Workspace::recycle`].
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A zeroed `rows x cols` matrix, reusing pooled capacity when
+    /// available (best fit: the smallest pooled buffer that holds the
+    /// request, so large buffers stay available for large roles
+    /// whatever order takes and recycles interleave). Zero-filling is a
+    /// `memset`, not an allocation; only a capacity miss allocates and
+    /// bumps [`Workspace::allocations`].
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        self.takes += 1;
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, buf)| buf.capacity() >= n)
+            .min_by_key(|(_, buf)| buf.capacity())
+            .map(|(i, _)| i);
+        let mut data = match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => {
+                self.allocations += 1;
+                Vec::with_capacity(n)
+            }
+        };
+        data.clear();
+        data.resize(n, 0.0);
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Return a matrix's backing buffer to the pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.pool.push(m.into_vec());
+    }
+
+    /// Times a take (or an internal packing request) could not be served
+    /// from recycled capacity and had to allocate. Flat across
+    /// steady-state epochs — the zero-allocation contract the reuse
+    /// tests assert.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Total number of buffer requests served.
+    pub fn takes(&self) -> usize {
+        self.takes
+    }
+
+    /// Borrow the GEMM packing panel with capacity for at least `len`
+    /// floats (contents unspecified — the packing routines clear and
+    /// resize it themselves), counting a capacity growth as an
+    /// allocation. Growth happens here, so the counter and the actual
+    /// allocation always move together.
+    pub(crate) fn pack_buf(&mut self, len: usize) -> &mut Vec<f32> {
+        self.takes += 1;
+        if self.pack.capacity() < len {
+            self.allocations += 1;
+            self.pack.reserve(len - self.pack.len());
+        }
+        &mut self.pack
+    }
+
+    /// Pre-size the GEMM packing panel for a `k x n` right-hand side,
+    /// so later products against operands up to that shape never grow
+    /// it. Part of the warm-up tour models run at construction.
+    pub fn warm_pack(&mut self, k: usize, n: usize) {
+        let len = crate::matrix::packed_len(k, n);
+        if self.pack.capacity() < len {
+            self.allocations += 1;
+            self.pack.reserve(len - self.pack.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_reuse_is_allocation_free() {
+        let mut ws = Workspace::new();
+        // Warm-up lap: the epoch's take/recycle sequence.
+        let lap = |ws: &mut Workspace| {
+            let a = ws.take(32, 16);
+            let b = ws.take(32, 8);
+            ws.recycle(b);
+            ws.recycle(a);
+        };
+        lap(&mut ws);
+        let warm = ws.allocations();
+        assert!(warm > 0, "cold lap must have allocated");
+        for _ in 0..100 {
+            lap(&mut ws);
+        }
+        assert_eq!(
+            ws.allocations(),
+            warm,
+            "steady-state laps must not allocate"
+        );
+        assert!(ws.takes() >= 202);
+    }
+
+    #[test]
+    fn takes_are_zeroed_and_shaped() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(3, 4);
+        a.data_mut().fill(7.0);
+        ws.recycle(a);
+        let b = ws.take(2, 5);
+        assert_eq!((b.rows(), b.cols()), (2, 5));
+        assert!(
+            b.data().iter().all(|&v| v == 0.0),
+            "recycled takes are zeroed"
+        );
+    }
+
+    #[test]
+    fn smaller_takes_reuse_larger_buffers() {
+        let mut ws = Workspace::new();
+        let big = ws.take(64, 64);
+        ws.recycle(big);
+        let warm = ws.allocations();
+        let small = ws.take(8, 8);
+        assert_eq!(ws.allocations(), warm);
+        ws.recycle(small);
+    }
+}

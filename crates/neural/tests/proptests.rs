@@ -1,8 +1,8 @@
 //! Property-based tests of the dense NN substrate.
 
 use gnnunlock_neural::{
-    inverse_frequency_weights, relu, relu_backward, softmax_cross_entropy, AdamConfig, AdamState,
-    Linear, Matrix, Metrics,
+    inverse_frequency_weights, reference, relu, relu_backward, softmax_cross_entropy, AdamConfig,
+    AdamState, Linear, Matrix, Metrics, Workspace,
 };
 use proptest::prelude::*;
 
@@ -10,8 +10,107 @@ fn small_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::xavier(rows, cols, seed)
 }
 
+/// A matrix with exact zeros planted at a seed-dependent density — the
+/// shape of featurization inputs, and the adversarial case for the
+/// skip-branch-removal equivalence.
+fn zero_laden_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::xavier(rows, cols, seed);
+    let stride = 2 + (seed % 5) as usize;
+    for r in 0..rows {
+        for c in 0..cols {
+            if (r * cols + c).is_multiple_of(stride) {
+                m.set(r, c, 0.0);
+            }
+        }
+    }
+    m
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{} shape", what);
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} bit mismatch at {}", what, i);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tiled/packed kernels must be *bit-identical* (not
+    /// approximately equal) to the pre-overhaul naive kernels across
+    /// random shapes, seeds and zero densities — the kernel overhaul's
+    /// core contract. Shapes deliberately straddle the MR/NR tile edges
+    /// and the parallel threshold.
+    #[test]
+    fn optimized_kernels_bit_match_naive_references(
+        m in 1usize..140,
+        k in 1usize..48,
+        n in 1usize..40,
+        seed in 0u64..100_000,
+    ) {
+        let a = zero_laden_matrix(m, k, seed);
+        let b = small_matrix(k, n, seed ^ 0xb);
+        let b2 = zero_laden_matrix(m, n, seed ^ 0xc);
+        let bt = small_matrix(n, k, seed ^ 0xd);
+
+        assert_bits_eq(&a.matmul(&b), &reference::matmul(&a, &b), "matmul")?;
+        assert_bits_eq(
+            &a.matmul_sparse_aware(&b),
+            &reference::matmul(&a, &b),
+            "matmul_sparse_aware",
+        )?;
+        assert_bits_eq(
+            &a.transpose_matmul(&b2),
+            &reference::transpose_matmul(&a, &b2),
+            "transpose_matmul",
+        )?;
+        assert_bits_eq(
+            &a.matmul_transpose(&bt),
+            &reference::matmul_transpose(&a, &bt),
+            "matmul_transpose",
+        )?;
+    }
+
+    /// The `_into` workspace variants are bit-identical to the
+    /// allocating methods (and therefore to the naive references).
+    #[test]
+    fn workspace_variants_bit_match(
+        m in 1usize..64,
+        k in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..100_000,
+    ) {
+        let a = zero_laden_matrix(m, k, seed);
+        let b = small_matrix(k, n, seed ^ 0x1);
+        let b2 = small_matrix(m, n, seed ^ 0x2);
+        let bt = small_matrix(n, k, seed ^ 0x3);
+        let mut ws = Workspace::new();
+
+        let mut out = ws.take(m, n);
+        a.matmul_into(&b, &mut out, &mut ws);
+        assert_bits_eq(&out, &reference::matmul(&a, &b), "matmul_into")?;
+        ws.recycle(out);
+
+        let mut out = ws.take(k, n);
+        a.transpose_matmul_into(&b2, &mut out);
+        assert_bits_eq(&out, &reference::transpose_matmul(&a, &b2), "transpose_matmul_into")?;
+        ws.recycle(out);
+
+        let mut out = ws.take(k, n);
+        a.transpose_matmul_sparse_aware_into(&b2, &mut out);
+        assert_bits_eq(
+            &out,
+            &reference::transpose_matmul(&a, &b2),
+            "transpose_matmul_sparse_aware_into",
+        )?;
+        ws.recycle(out);
+
+        let mut out = ws.take(m, n);
+        a.matmul_transpose_into(&bt, &mut out, &mut ws);
+        assert_bits_eq(&out, &reference::matmul_transpose(&a, &bt), "matmul_transpose_into")?;
+        ws.recycle(out);
+    }
 
     /// Matmul is associative-with-identity and distributes over addition.
     #[test]

@@ -1,0 +1,96 @@
+//! Pinned fingerprints of training artifacts, guarding the numeric
+//! kernels' bit-exactness across refactors.
+//!
+//! The constants below were generated with the original (naive, scalar)
+//! `Matrix` kernels. Any change to the numeric hot path — the tiled
+//! matmul family, the workspace-reused forward/backward, the fused
+//! aggregation — must keep every one of them byte-for-byte: a kernel
+//! "optimization" that changes a single mantissa bit anywhere in a
+//! training run shows up here as a fingerprint mismatch.
+//!
+//! Regenerate (only for *intentional* numeric changes, which also
+//! require regenerating the report goldens):
+//! `GNNUNLOCK_UPDATE_GOLDEN=1 cargo test --test kernel_goldens -- --nocapture`
+
+use gnnunlock::core::PipelineCodec;
+use gnnunlock::engine::{fingerprint, JobKind, ValueCodec};
+use gnnunlock::gnn::{
+    merge_graphs, netlist_to_graph, CircuitGraph, LabelScheme, SaintConfig, TrainConfig, TrainState,
+};
+use gnnunlock::locking::{lock_antisat, AntiSatConfig};
+use gnnunlock::netlist::generator::BenchmarkSpec;
+use gnnunlock::netlist::CellLibrary;
+use std::sync::Arc;
+
+fn antisat_graph(bench: &str, scale: f64, key: usize, seed: u64) -> CircuitGraph {
+    let design = BenchmarkSpec::named(bench)
+        .unwrap()
+        .scaled(scale)
+        .generate();
+    let locked = lock_antisat(&design, &AntiSatConfig::new(key, seed)).unwrap();
+    netlist_to_graph(&locked.netlist, CellLibrary::Bench8, LabelScheme::AntiSat)
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 30,
+        hidden: 16,
+        eval_every: 5,
+        patience: 0,
+        saint: SaintConfig {
+            roots: 150,
+            walk_length: 2,
+            estimation_rounds: 3,
+            seed: 5,
+        },
+        ..TrainConfig::default()
+    }
+}
+
+/// FNV-1a of the codec encoding of the checkpoint after every epoch of a
+/// small-but-real training chain (wall-clock field zeroed). Pinned from
+/// the pre-overhaul naive kernels: the optimized kernels must reproduce
+/// the exact same weights, Adam moments, sampler state and history at
+/// every epoch boundary.
+const CHECKPOINT_CHAIN_FNV: u64 = 0xc21d17358a635055;
+
+#[test]
+fn epoch_chain_checkpoints_match_naive_kernel_fingerprint() {
+    let train_g = merge_graphs(&[
+        antisat_graph("c2670", 0.02, 8, 1),
+        antisat_graph("c5315", 0.02, 8, 2),
+    ]);
+    let val_g = antisat_graph("c3540", 0.02, 8, 3);
+    let cfg = train_cfg();
+    let codec = PipelineCodec;
+
+    let mut state = TrainState::new(&train_g, &val_g, &cfg);
+    let mut chain = Vec::new();
+    loop {
+        let done = state.step_epoch(&train_g, &val_g);
+        let mut ckpt = state.checkpoint();
+        ckpt.elapsed_secs = 0.0; // wall-clock is volatile, not numeric
+        let value: gnnunlock::engine::JobValue =
+            Arc::new(Some(ckpt) as gnnunlock::core::CheckpointValue);
+        let bytes = codec
+            .encode(JobKind::TrainEpoch, &value)
+            .expect("checkpoint must encode");
+        chain.extend_from_slice(&fingerprint(&bytes).to_le_bytes());
+        if done {
+            break;
+        }
+    }
+    let combined = fingerprint(&chain);
+    if std::env::var("GNNUNLOCK_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        println!(
+            "CHECKPOINT_CHAIN_FNV = {combined:#018x} ({} epochs)",
+            state.epochs_run()
+        );
+        return;
+    }
+    assert_eq!(
+        combined, CHECKPOINT_CHAIN_FNV,
+        "training checkpoint chain diverged from the pinned naive-kernel \
+         fingerprint: a numeric kernel is no longer bit-exact"
+    );
+}
