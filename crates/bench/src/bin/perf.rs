@@ -1,25 +1,82 @@
 //! `gnnunlock-bench` — the perf-trajectory harness.
 //!
 //! ```text
-//! gnnunlock-bench perf             # full kernel + attack suites
-//! gnnunlock-bench perf --smoke     # tiny shapes (CI smoke)
-//! gnnunlock-bench perf --kernels   # kernels only
-//! gnnunlock-bench perf --attack    # end-to-end attack only
+//! gnnunlock-bench perf                       # full kernel + attack suites
+//! gnnunlock-bench perf --smoke               # tiny shapes (CI smoke)
+//! gnnunlock-bench perf --kernels             # kernels only
+//! gnnunlock-bench perf --attack              # end-to-end attack only
+//! gnnunlock-bench history append [--label L] # fold BENCH_*.json into BENCH_HISTORY.jsonl
+//! gnnunlock-bench history check [--history FILE] [--tolerance 0.85]
 //! ```
 //!
-//! Writes `BENCH_kernels.json` and `BENCH_attack.json` to
+//! `perf` writes `BENCH_kernels.json` and `BENCH_attack.json` to
 //! `GNNUNLOCK_BENCH_OUT` (default: the current directory, i.e. the repo
 //! root when run from a checkout), self-verifying the kernels document
-//! after writing. Exit status is nonzero on a malformed document, so CI
-//! can call this directly.
+//! after writing. `history append` summarizes those snapshots into one
+//! tracked `BENCH_HISTORY.jsonl` line; `history check` fails (exit 1)
+//! when a gated speedup ratio regressed beyond tolerance against the
+//! most recent matching-mode history entry. Exit status is nonzero on a
+//! malformed document, so CI can call all of these directly.
 
-use gnnunlock_bench::perf;
+use gnnunlock_bench::{history, perf};
+
+fn run_history(args: &[String]) -> ! {
+    let sub = args.first().map(String::as_str);
+    let dir = perf::out_dir();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    match sub {
+        Some("append") => {
+            let label = flag("--label").unwrap_or_else(|| "untracked".to_string());
+            match history::append(&dir, &label) {
+                Ok(path) => {
+                    eprintln!("[gnnunlock-bench] appended '{label}' to {}", path.display());
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("[gnnunlock-bench] history append failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("check") => {
+            let history_path = flag("--history")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| dir.join(history::HISTORY_FILE));
+            let tolerance = flag("--tolerance")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(history::REGRESSION_TOLERANCE);
+            match history::check(&dir, &history_path, tolerance) {
+                Ok(verdict) => {
+                    eprintln!("[gnnunlock-bench] {verdict}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("[gnnunlock-bench] {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: gnnunlock-bench history append [--label L]");
+            eprintln!("       gnnunlock-bench history check [--history FILE] [--tolerance 0.85]");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
+    if mode == Some("history") {
+        run_history(&args[1..]);
+    }
     if mode != Some("perf") {
         eprintln!("usage: gnnunlock-bench perf [--smoke] [--kernels] [--attack]");
+        eprintln!("       gnnunlock-bench history append|check  (perf-trajectory gate)");
         eprintln!(
             "  writes BENCH_kernels.json / BENCH_attack.json to GNNUNLOCK_BENCH_OUT (default .)"
         );

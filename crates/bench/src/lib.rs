@@ -27,6 +27,7 @@ use gnnunlock_core::{AttackConfig, AttackOutcome};
 use gnnunlock_engine::{ExecConfig, Executor};
 use gnnunlock_gnn::{SaintConfig, TrainConfig};
 
+pub mod history;
 pub mod perf;
 
 /// Benchmark scale factor from the environment.

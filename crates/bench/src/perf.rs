@@ -76,7 +76,10 @@ pub fn full_shapes() -> Vec<Shape> {
 }
 
 /// Tiny shapes for the CI smoke run: exercises every code path and the
-/// JSON schema in well under a second.
+/// JSON schema in well under a second. The rep counts are high (the
+/// shapes are microseconds each) because the smoke speedups feed the
+/// `history check` regression gate — min-of-N must be a stable floor,
+/// not a scheduler lottery.
 pub fn smoke_shapes() -> Vec<Shape> {
     vec![
         Shape {
@@ -84,14 +87,14 @@ pub fn smoke_shapes() -> Vec<Shape> {
             m: 33,
             k: 17,
             n: 9,
-            reps: 3,
+            reps: 25,
         },
         Shape {
             name: "medium",
             m: 48,
             k: 24,
             n: 24,
-            reps: 3,
+            reps: 25,
         },
     ]
 }

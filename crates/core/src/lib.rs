@@ -34,6 +34,7 @@ mod persist;
 mod pipeline;
 mod postprocess;
 mod removal;
+mod submission;
 
 pub use campaign::{
     cache_dir_from_env, campaign_for, campaign_for_targets, campaign_scheme_tag, checkpoint_blocks,
@@ -50,3 +51,4 @@ pub use pipeline::{
 };
 pub use postprocess::{postprocess, postprocess_antisat, postprocess_sfll};
 pub use removal::remove_protection;
+pub use submission::Submission;

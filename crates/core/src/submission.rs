@@ -1,0 +1,452 @@
+//! Attack-campaign submissions: the wire format of campaign-as-a-service.
+//!
+//! A [`Submission`] is the JSON document a client sends to the
+//! `gnnunlockd` daemon's `submit` op — tenant, campaign name, dataset
+//! shape and attack hyperparameters — parsed with the engine's
+//! dependency-free [`Json`] and mapped onto the existing campaign
+//! machinery ([`campaign_for`] / [`AttackCampaignRunner`]).
+//!
+//! The submission's [`Submission::campaign_id`] is a content address:
+//! it fingerprints the tenant plus everything that determines the
+//! campaign's results (the planned stage-DAG shape and the runner's
+//! config salt, i.e. every dataset/attack field). Identical submissions
+//! therefore collapse onto one id — the daemon's deduplication key —
+//! while different tenants submitting identical configs get *different*
+//! ids, keeping their cache namespaces and quotas disjoint.
+//!
+//! Every field except `tenant` and `scheme` is optional: defaults come
+//! from the paper-shaped constructors ([`DatasetConfig::antisat`] and
+//! friends), so a minimal submission is
+//! `{"tenant":"acme","scheme":"antisat"}`.
+
+use crate::campaign::campaign_scheme_tag;
+use crate::dataset::{DatasetConfig, DatasetScheme, Suite};
+use crate::pipeline::AttackConfig;
+use crate::{campaign_for, AttackCampaignRunner};
+use gnnunlock_engine::{fingerprint_fields, Campaign, CampaignRunner as _, Json};
+use gnnunlock_gnn::TrainConfig;
+use gnnunlock_netlist::CellLibrary;
+
+/// One attack-campaign submission: who is asking (`tenant`), what to
+/// attack (the dataset shape) and how (the attack config).
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Tenant id: the cache namespace and quota bucket the campaign
+    /// runs under. Sanitized like a store tag by the consumers.
+    pub tenant: String,
+    /// Campaign name (part of the campaign identity; two names are two
+    /// campaigns even with identical configs).
+    pub name: String,
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Attack pipeline parameters.
+    pub attack: AttackConfig,
+}
+
+fn num_field<T: TryFrom<u64>>(doc: &Json, key: &str) -> Result<Option<T>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let x = v
+                .as_num()
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x < 9e15)
+                .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))?;
+            T::try_from(x as u64)
+                .map(Some)
+                .map_err(|_| format!("field '{key}' is out of range"))
+        }
+    }
+}
+
+fn float_field(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_num()
+            .filter(|x| x.is_finite())
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a finite number")),
+    }
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<Option<bool>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("field '{key}' must be a boolean")),
+    }
+}
+
+impl Submission {
+    /// Parse a submission from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field when the document
+    /// is missing `tenant` or `scheme`, or a present field has the
+    /// wrong type or an unknown enum value.
+    pub fn from_json(doc: &Json) -> Result<Submission, String> {
+        let tenant = doc
+            .get("tenant")
+            .and_then(Json::as_str)
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .ok_or("field 'tenant' (non-empty string) is required")?
+            .to_string();
+        let scheme = doc
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("field 'scheme' (string) is required")?;
+        let suite = match doc.get("suite").and_then(Json::as_str) {
+            None => Suite::Iscas85,
+            Some("iscas85") => Suite::Iscas85,
+            Some("itc99") => Suite::Itc99,
+            Some(other) => return Err(format!("unknown suite '{other}' (iscas85|itc99)")),
+        };
+        let scale = float_field(doc, "scale")?.unwrap_or(0.02);
+        // Note the NaN-rejecting comparison direction.
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("field 'scale' must be > 0".into());
+        }
+        let sfll_h = num_field::<u32>(doc, "sfll_h")?.unwrap_or(0);
+        let library = match doc.get("library").and_then(Json::as_str) {
+            None => None,
+            Some("bench8") => Some(CellLibrary::Bench8),
+            Some("lpe65") => Some(CellLibrary::Lpe65),
+            Some("nangate45") => Some(CellLibrary::Nangate45),
+            Some(other) => {
+                return Err(format!(
+                    "unknown library '{other}' (bench8|lpe65|nangate45)"
+                ))
+            }
+        };
+        let mut dataset = match scheme {
+            "antisat" => DatasetConfig::antisat(suite, scale),
+            "caslock" => DatasetConfig::caslock(suite, scale),
+            "sfll" => {
+                DatasetConfig::sfll(suite, sfll_h, library.unwrap_or(CellLibrary::Lpe65), scale)
+            }
+            other => return Err(format!("unknown scheme '{other}' (antisat|caslock|sfll)")),
+        };
+        if let Some(lib) = library {
+            dataset.library = lib;
+        }
+        if let Some(ks) = doc.get("key_sizes") {
+            let Json::Arr(items) = ks else {
+                return Err("field 'key_sizes' must be an array of integers".into());
+            };
+            let mut sizes = Vec::with_capacity(items.len());
+            for item in items {
+                let n = item
+                    .as_num()
+                    .filter(|x| x.fract() == 0.0 && *x >= 1.0)
+                    .ok_or("field 'key_sizes' must hold positive integers")?;
+                sizes.push(n as usize);
+            }
+            if sizes.is_empty() {
+                return Err("field 'key_sizes' must not be empty".into());
+            }
+            dataset.key_sizes = sizes;
+        }
+        if let Some(n) = num_field::<usize>(doc, "locks_per_config")? {
+            if n == 0 {
+                return Err("field 'locks_per_config' must be >= 1".into());
+            }
+            dataset.locks_per_config = n;
+        }
+        if let Some(n) = num_field::<u64>(doc, "seed")? {
+            dataset.seed = n;
+        }
+        if let Some(n) = num_field::<u8>(doc, "synth_effort")? {
+            dataset.synth_effort = n;
+        }
+
+        let mut attack = AttackConfig::default();
+        if let Some(b) = bool_field(doc, "postprocess")? {
+            attack.postprocess = b;
+        }
+        if let Some(b) = bool_field(doc, "verify")? {
+            attack.verify = b;
+        }
+        if let Some(n) = num_field::<usize>(doc, "checkpoint_epochs")? {
+            if n == 0 {
+                return Err("field 'checkpoint_epochs' must be >= 1".into());
+            }
+            attack.checkpoint_epochs = n;
+        }
+        if let Some(train) = doc.get("train") {
+            attack.train = Self::train_from_json(train)?;
+        }
+
+        Ok(Submission {
+            tenant,
+            name: doc
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("campaign")
+                .to_string(),
+            dataset,
+            attack,
+        })
+    }
+
+    fn train_from_json(doc: &Json) -> Result<TrainConfig, String> {
+        let mut train = TrainConfig::default();
+        if let Some(n) = num_field::<usize>(doc, "epochs")? {
+            train.epochs = n;
+        }
+        if let Some(n) = num_field::<usize>(doc, "hidden")? {
+            train.hidden = n;
+        }
+        if let Some(x) = float_field(doc, "dropout")? {
+            train.dropout = x;
+        }
+        if let Some(x) = float_field(doc, "lr")? {
+            train.lr = x as f32;
+        }
+        if let Some(b) = bool_field(doc, "class_weighting")? {
+            train.class_weighting = b;
+        }
+        if let Some(n) = num_field::<usize>(doc, "eval_every")? {
+            if n == 0 {
+                return Err("field 'eval_every' must be >= 1".into());
+            }
+            train.eval_every = n;
+        }
+        if let Some(n) = num_field::<usize>(doc, "patience")? {
+            train.patience = n;
+        }
+        if let Some(n) = num_field::<u64>(doc, "seed")? {
+            train.seed = n;
+        }
+        if let Some(saint) = doc.get("saint") {
+            if let Some(n) = num_field::<usize>(saint, "roots")? {
+                train.saint.roots = n;
+            }
+            if let Some(n) = num_field::<usize>(saint, "walk_length")? {
+                train.saint.walk_length = n;
+            }
+            if let Some(n) = num_field::<usize>(saint, "estimation_rounds")? {
+                train.saint.estimation_rounds = n;
+            }
+            if let Some(n) = num_field::<u64>(saint, "seed")? {
+                train.saint.seed = n;
+            }
+        }
+        Ok(train)
+    }
+
+    /// The canonical JSON document of this submission (every field
+    /// explicit, insertion-ordered — deterministic by construction).
+    /// Round-trips through [`Submission::from_json`].
+    pub fn to_json(&self) -> Json {
+        let num = |n: usize| Json::Num(n as f64);
+        let (scheme, sfll_h) = match self.dataset.scheme {
+            DatasetScheme::AntiSat => ("antisat", 0),
+            DatasetScheme::CasLock => ("caslock", 0),
+            DatasetScheme::SfllHd(h) => ("sfll", h),
+        };
+        let t = &self.attack.train;
+        Json::obj(vec![
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("name", Json::Str(self.name.clone())),
+            ("scheme", Json::Str(scheme.into())),
+            ("sfll_h", Json::Num(sfll_h as f64)),
+            (
+                "suite",
+                Json::Str(
+                    match self.dataset.suite {
+                        Suite::Iscas85 => "iscas85",
+                        Suite::Itc99 => "itc99",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "library",
+                Json::Str(
+                    match self.dataset.library {
+                        CellLibrary::Bench8 => "bench8",
+                        CellLibrary::Lpe65 => "lpe65",
+                        CellLibrary::Nangate45 => "nangate45",
+                    }
+                    .into(),
+                ),
+            ),
+            ("scale", Json::Num(self.dataset.scale)),
+            (
+                "key_sizes",
+                Json::Arr(self.dataset.key_sizes.iter().map(|&k| num(k)).collect()),
+            ),
+            ("locks_per_config", num(self.dataset.locks_per_config)),
+            ("seed", Json::Num(self.dataset.seed as f64)),
+            ("synth_effort", num(self.dataset.synth_effort as usize)),
+            ("postprocess", Json::Bool(self.attack.postprocess)),
+            ("verify", Json::Bool(self.attack.verify)),
+            ("checkpoint_epochs", num(self.attack.checkpoint_epochs)),
+            (
+                "train",
+                Json::obj(vec![
+                    ("epochs", num(t.epochs)),
+                    ("hidden", num(t.hidden)),
+                    ("dropout", Json::Num(t.dropout)),
+                    ("lr", Json::Num(t.lr as f64)),
+                    ("class_weighting", Json::Bool(t.class_weighting)),
+                    ("eval_every", num(t.eval_every)),
+                    ("patience", num(t.patience)),
+                    ("seed", Json::Num(t.seed as f64)),
+                    (
+                        "saint",
+                        Json::obj(vec![
+                            ("roots", num(t.saint.roots)),
+                            ("walk_length", num(t.saint.walk_length)),
+                            ("estimation_rounds", num(t.saint.estimation_rounds)),
+                            ("seed", Json::Num(t.saint.seed as f64)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// The campaign this submission plans.
+    pub fn campaign(&self) -> Campaign {
+        campaign_for(&self.name, &self.dataset, &self.attack)
+    }
+
+    /// A runner interpreting this submission's stages.
+    pub fn runner(&self) -> AttackCampaignRunner<'_> {
+        AttackCampaignRunner::new(&self.dataset, &self.attack)
+    }
+
+    /// The submission's content address: a 16-hex-digit id over the
+    /// tenant, the campaign name, the planned stage-DAG shape and the
+    /// runner's config salt (every dataset/attack field). Identical
+    /// submissions share an id; any semantic difference — including the
+    /// tenant — yields a different id.
+    pub fn campaign_id(&self) -> String {
+        let campaign = self.campaign();
+        let shape = campaign.shape_fingerprint();
+        let salt = self.runner().config_salt();
+        format!(
+            "{:016x}",
+            fingerprint_fields(&[
+                &self.tenant,
+                &self.name,
+                &campaign_scheme_tag(&self.dataset),
+                &format!("{shape:016x}"),
+                &format!("{salt:016x}"),
+            ])
+        )
+    }
+}
+
+impl std::str::FromStr for Submission {
+    type Err = String;
+
+    /// Parse a submission from JSON text. Propagates JSON parse errors
+    /// and [`Submission::from_json`] failures.
+    fn from_str(text: &str) -> Result<Submission, String> {
+        Submission::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr as _;
+
+    fn minimal() -> Submission {
+        Submission::from_str(r#"{"tenant":"acme","scheme":"antisat"}"#).unwrap()
+    }
+
+    #[test]
+    fn minimal_submission_defaults_to_the_paper_shape() {
+        let sub = minimal();
+        assert_eq!(sub.tenant, "acme");
+        assert_eq!(sub.name, "campaign");
+        assert_eq!(sub.dataset.scheme, DatasetScheme::AntiSat);
+        assert_eq!(sub.dataset.suite, Suite::Iscas85);
+        assert_eq!(sub.dataset.key_sizes, vec![8, 16, 32, 64]);
+        assert_eq!(sub.attack.checkpoint_epochs, 50);
+    }
+
+    #[test]
+    fn submissions_round_trip_through_their_canonical_json() {
+        let sub = Submission::from_str(
+            r#"{"tenant":"t1","name":"n","scheme":"sfll","sfll_h":2,"suite":"itc99",
+                "library":"nangate45","scale":0.5,"key_sizes":[16,32],"locks_per_config":3,
+                "seed":99,"synth_effort":2,"postprocess":false,"verify":false,
+                "checkpoint_epochs":10,
+                "train":{"epochs":70,"hidden":48,"dropout":0.2,"lr":0.005,
+                         "class_weighting":false,"eval_every":7,"patience":2,"seed":5,
+                         "saint":{"roots":500,"walk_length":3,"estimation_rounds":4,"seed":9}}}"#,
+        )
+        .unwrap();
+        assert_eq!(sub.dataset.scheme, DatasetScheme::SfllHd(2));
+        assert_eq!(sub.dataset.library, CellLibrary::Nangate45);
+        assert_eq!(sub.attack.train.saint.roots, 500);
+        let round = Submission::from_json(&sub.to_json()).unwrap();
+        // The canonical form is a fixed point (configs don't implement
+        // PartialEq; canonical JSON covers every field).
+        assert_eq!(
+            round.to_json().render_compact(),
+            sub.to_json().render_compact()
+        );
+        assert_eq!(round.campaign_id(), sub.campaign_id());
+    }
+
+    #[test]
+    fn campaign_ids_are_content_addresses() {
+        let a = minimal();
+        assert_eq!(a.campaign_id(), minimal().campaign_id(), "deterministic");
+        assert_eq!(a.campaign_id().len(), 16);
+
+        // Any semantic difference moves the id: tenant, name, config.
+        let mut other_tenant = a.clone();
+        other_tenant.tenant = "rival".into();
+        assert_ne!(a.campaign_id(), other_tenant.campaign_id());
+        let mut other_name = a.clone();
+        other_name.name = "other".into();
+        assert_ne!(a.campaign_id(), other_name.campaign_id());
+        let mut other_cfg = a.clone();
+        other_cfg.attack.train.epochs += 1;
+        assert_ne!(a.campaign_id(), other_cfg.campaign_id());
+        let mut other_seed = a.clone();
+        other_seed.dataset.seed += 1;
+        assert_ne!(a.campaign_id(), other_seed.campaign_id());
+    }
+
+    #[test]
+    fn bad_submissions_name_the_offending_field() {
+        for (text, needle) in [
+            (r#"{"scheme":"antisat"}"#, "tenant"),
+            (r#"{"tenant":"t"}"#, "scheme"),
+            (r#"{"tenant":"t","scheme":"rot13"}"#, "scheme"),
+            (
+                r#"{"tenant":"t","scheme":"antisat","suite":"vax"}"#,
+                "suite",
+            ),
+            (
+                r#"{"tenant":"t","scheme":"antisat","key_sizes":[]}"#,
+                "key_sizes",
+            ),
+            (
+                r#"{"tenant":"t","scheme":"antisat","key_sizes":[0]}"#,
+                "key_sizes",
+            ),
+            (r#"{"tenant":"t","scheme":"antisat","scale":-1}"#, "scale"),
+            (
+                r#"{"tenant":"t","scheme":"antisat","train":{"epochs":1.5}}"#,
+                "epochs",
+            ),
+            (
+                r#"{"tenant":"t","scheme":"antisat","verify":"yes"}"#,
+                "verify",
+            ),
+        ] {
+            let err = Submission::from_str(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+}

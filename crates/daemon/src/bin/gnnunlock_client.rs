@@ -1,0 +1,233 @@
+//! `gnnunlock-client`: a line-oriented client for `gnnunlockd`.
+//!
+//! ```text
+//! gnnunlock-client [--addr HOST:PORT] submit FILE.json [--wait]
+//! gnnunlock-client [--addr HOST:PORT] status [ID]
+//! gnnunlock-client [--addr HOST:PORT] subscribe ID
+//! gnnunlock-client [--addr HOST:PORT] report ID [--out FILE]
+//! gnnunlock-client [--addr HOST:PORT] cancel ID
+//! gnnunlock-client [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `submit` reads the submission JSON from FILE (or stdin with `-`),
+//! adds the `op`, and prints the daemon's one-line answer. `--wait`
+//! then polls `status` until the campaign is terminal. `report --out`
+//! writes the byte-exact `report.json` payload to FILE instead of
+//! stdout. `subscribe` prints event lines until the stream's
+//! `subscribe-end` sentinel. Exit code 0 iff the daemon answered
+//! `"ok":true` (and, with `--wait`, the campaign finished `done`).
+
+use gnnunlock_daemon::DEFAULT_ADDR;
+use gnnunlock_engine::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gnnunlock-client [--addr HOST:PORT] COMMAND\n\
+         commands: submit FILE [--wait] | status [ID] | subscribe ID |\n\
+         \x20         report ID [--out FILE] | cancel ID | shutdown"
+    );
+    ExitCode::FAILURE
+}
+
+/// Send one request line, return the first response line.
+fn roundtrip(addr: &str, request: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("receive: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection without answering".to_string());
+    }
+    Ok(line.trim_end().to_string())
+}
+
+fn is_ok(doc: &Json) -> bool {
+    matches!(doc.get("ok"), Some(Json::Bool(true)))
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get(key).and_then(Json::as_str)
+}
+
+fn wait_for_terminal(addr: &str, id: &str) -> Result<String, String> {
+    loop {
+        let request = Json::obj(vec![
+            ("op", Json::Str("status".into())),
+            ("id", Json::Str(id.to_string())),
+        ])
+        .render_compact();
+        let answer = roundtrip(addr, &request)?;
+        let doc = Json::parse(&answer)?;
+        if !is_ok(&doc) {
+            return Err(answer);
+        }
+        let status = doc
+            .get("campaign")
+            .and_then(|c| c.get("status"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+            println!("{answer}");
+            return Ok(status);
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--addr" {
+            addr = args.next().ok_or("--addr needs a value")?;
+        } else {
+            rest.push(arg);
+        }
+    }
+    let Some(command) = rest.first().cloned() else {
+        return Err("missing command".to_string());
+    };
+
+    match command.as_str() {
+        "submit" => {
+            let file = rest.get(1).ok_or("submit needs FILE.json (or '-')")?;
+            let wait = rest.iter().any(|a| a == "--wait");
+            let text = if file == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+            };
+            let Json::Obj(mut fields) = Json::parse(&text)? else {
+                return Err("submission must be a JSON object".to_string());
+            };
+            fields.retain(|(k, _)| k != "op");
+            fields.insert(0, ("op".to_string(), Json::Str("submit".into())));
+            let answer = roundtrip(&addr, &Json::Obj(fields).render_compact())?;
+            println!("{answer}");
+            let doc = Json::parse(&answer)?;
+            if !is_ok(&doc) {
+                return Ok(false);
+            }
+            if wait {
+                let id = field(&doc, "id").ok_or("submit answer carried no id")?;
+                return Ok(wait_for_terminal(&addr, id)? == "done");
+            }
+            Ok(true)
+        }
+        "status" => {
+            let mut fields = vec![("op", Json::Str("status".into()))];
+            if let Some(id) = rest.get(1) {
+                fields.push(("id", Json::Str(id.clone())));
+            }
+            let answer = roundtrip(&addr, &Json::obj(fields).render_compact())?;
+            println!("{answer}");
+            Ok(is_ok(&Json::parse(&answer)?))
+        }
+        "subscribe" => {
+            let id = rest.get(1).ok_or("subscribe needs a campaign ID")?;
+            let request = Json::obj(vec![
+                ("op", Json::Str("subscribe".into())),
+                ("id", Json::Str(id.clone())),
+            ])
+            .render_compact();
+            let mut stream =
+                TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            stream
+                .write_all(request.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .map_err(|e| format!("send: {e}"))?;
+            let reader = BufReader::new(stream);
+            let mut ok = false;
+            for line in reader.lines() {
+                let line = line.map_err(|e| format!("receive: {e}"))?;
+                println!("{line}");
+                if let Ok(doc) = Json::parse(&line) {
+                    if field(&doc, "op") == Some("subscribe") {
+                        ok = is_ok(&doc);
+                        if !ok {
+                            break;
+                        }
+                    }
+                    if field(&doc, "op") == Some("subscribe-end") {
+                        break;
+                    }
+                    if matches!(doc.get("ok"), Some(Json::Bool(false))) {
+                        break;
+                    }
+                }
+            }
+            Ok(ok)
+        }
+        "report" => {
+            let id = rest.get(1).ok_or("report needs a campaign ID")?;
+            let out = rest
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| rest.get(i + 1));
+            let request = Json::obj(vec![
+                ("op", Json::Str("report".into())),
+                ("id", Json::Str(id.clone())),
+            ])
+            .render_compact();
+            let answer = roundtrip(&addr, &request)?;
+            let doc = Json::parse(&answer)?;
+            if !is_ok(&doc) {
+                println!("{answer}");
+                return Ok(false);
+            }
+            let report = field(&doc, "report").ok_or("answer carried no report")?;
+            match out {
+                Some(path) => {
+                    std::fs::write(path, report).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => print!("{report}"),
+            }
+            Ok(true)
+        }
+        "cancel" => {
+            let id = rest.get(1).ok_or("cancel needs a campaign ID")?;
+            let request = Json::obj(vec![
+                ("op", Json::Str("cancel".into())),
+                ("id", Json::Str(id.clone())),
+            ])
+            .render_compact();
+            let answer = roundtrip(&addr, &request)?;
+            println!("{answer}");
+            Ok(is_ok(&Json::parse(&answer)?))
+        }
+        "shutdown" => {
+            let answer = roundtrip(&addr, r#"{"op":"shutdown"}"#)?;
+            println!("{answer}");
+            Ok(is_ok(&Json::parse(&answer)?))
+        }
+        _ => Err(format!("unknown command '{command}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("gnnunlock-client: {e}");
+            usage()
+        }
+    }
+}

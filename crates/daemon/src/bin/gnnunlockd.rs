@@ -1,0 +1,97 @@
+//! `gnnunlockd`: the campaign-as-a-service daemon binary.
+//!
+//! ```text
+//! gnnunlockd [--root DIR] [--addr HOST:PORT] [--workers N]
+//!            [--tenant-max-active N] [--tenant-budget BYTES]
+//! gnnunlockd --watch CAMPAIGN_ID [--root DIR] [--once]
+//! ```
+//!
+//! Defaults come from the environment knobs (`GNNUNLOCK_DAEMON_ADDR`,
+//! `GNNUNLOCK_DAEMON_ROOT`, `GNNUNLOCK_WORKERS`,
+//! `GNNUNLOCK_TENANT_MAX_ACTIVE`, `GNNUNLOCK_TENANT_BUDGET_BYTES`);
+//! flags override. The daemon serves until a client sends
+//! `{"op":"shutdown"}`, then drains its queue and exits. `--watch`
+//! renders a live terminal dashboard of one campaign's event streams
+//! instead of serving.
+
+use gnnunlock_daemon::{watch, Daemon, DaemonConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gnnunlockd [--root DIR] [--addr HOST:PORT] [--workers N]\n\
+         \x20                 [--tenant-max-active N] [--tenant-budget BYTES]\n\
+         \x20      gnnunlockd --watch CAMPAIGN_ID [--root DIR] [--once]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig::from_env();
+    let mut watch_id: Option<String> = None;
+    let mut once = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = match arg.as_str() {
+            "--root" => value("--root").map(|v| cfg.root = v.into()),
+            "--addr" => value("--addr").map(|v| cfg.addr = v),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| cfg.workers = n.max(1))
+                    .map_err(|_| "--workers needs a positive integer".to_string())
+            }),
+            "--tenant-max-active" => value("--tenant-max-active").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| cfg.tenant_max_active = n.max(1))
+                    .map_err(|_| "--tenant-max-active needs a positive integer".to_string())
+            }),
+            "--tenant-budget" => value("--tenant-budget").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| cfg.tenant_budget_bytes = Some(n))
+                    .map_err(|_| "--tenant-budget needs a byte count".to_string())
+            }),
+            "--watch" => value("--watch").map(|v| watch_id = Some(v)),
+            "--once" => {
+                once = true;
+                Ok(())
+            }
+            "--help" | "-h" => return usage(),
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("gnnunlockd: {e}");
+            return usage();
+        }
+    }
+
+    if let Some(id) = watch_id {
+        let dir = cfg.campaign_dir(&id);
+        return match watch::run_watch(&dir, &id, once) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gnnunlockd: watch failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = cfg.root.clone();
+    match Daemon::start(cfg) {
+        Ok(daemon) => {
+            println!(
+                "gnnunlockd listening on {} (root: {})",
+                daemon.addr(),
+                root.display()
+            );
+            daemon.wait();
+            println!("gnnunlockd drained; bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gnnunlockd: cannot start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

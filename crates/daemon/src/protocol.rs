@@ -1,0 +1,164 @@
+//! The daemon's wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one line, an object with an `"op"` discriminator;
+//! every response is one line. `subscribe` switches the connection into
+//! streaming mode: after the acknowledgement the daemon forwards the
+//! campaign's raw event-log lines as they are appended (per-shard logs
+//! included), then terminates the stream with a `subscribe-end` line
+//! once the campaign is terminal and the logs are drained.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"submit","tenant":"acme","scheme":"antisat",...}   → {"ok":true,"op":"submit","id":"…","status":"queued","deduped":false}
+//! {"op":"status"}                                          → {"ok":true,"op":"status","campaigns":[…]}
+//! {"op":"status","id":"…"}                                 → {"ok":true,"op":"status","campaign":{…}}
+//! {"op":"subscribe","id":"…"}                              → ack, then raw event lines, then {"op":"subscribe-end",…}
+//! {"op":"report","id":"…"}                                 → {"ok":true,"op":"report","id":"…","report":"<report.json text>"}
+//! {"op":"cancel","id":"…"}                                 → {"ok":true,"op":"cancel","id":"…","status":"…"}
+//! {"op":"shutdown"}                                        → {"ok":true,"op":"shutdown"} (drain queue, then exit)
+//! ```
+//!
+//! Errors are `{"ok":false,"error":"…"}`. The `report` field embeds the
+//! canonical `report.json` file contents as a JSON *string* — escaping
+//! makes it one line, and the client recovers the byte-exact file (no
+//! float re-rendering on the wire).
+
+use gnnunlock_core::Submission;
+use gnnunlock_engine::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit a campaign (the submission fields ride in the same
+    /// object as `"op"`).
+    Submit(Submission),
+    /// Status of one campaign (`id`) or of every campaign (no `id`).
+    Status(Option<String>),
+    /// Stream campaign `id`'s event-log lines live.
+    Subscribe(String),
+    /// Fetch campaign `id`'s final report.
+    Report(String),
+    /// Cooperatively cancel campaign `id`.
+    Cancel(String),
+    /// Stop accepting work, drain the queue, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message on malformed JSON, a missing or
+    /// unknown `op`, or submission-field errors.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("field 'op' (string) is required")?;
+        let id = || -> Result<String, String> {
+            doc.get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("op '{op}' requires field 'id'"))
+        };
+        match op {
+            "submit" => Ok(Request::Submit(Submission::from_json(&doc)?)),
+            "status" => Ok(Request::Status(
+                doc.get("id").and_then(Json::as_str).map(str::to_string),
+            )),
+            "subscribe" => Ok(Request::Subscribe(id()?)),
+            "report" => Ok(Request::Report(id()?)),
+            "cancel" => Ok(Request::Cancel(id()?)),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op '{other}' (submit|status|subscribe|report|cancel|shutdown)"
+            )),
+        }
+    }
+}
+
+/// Render `doc` as one response line (compact JSON + newline).
+pub fn line(doc: &Json) -> String {
+    let mut s = doc.render_compact();
+    s.push('\n');
+    s
+}
+
+/// An `{"ok":false,"error":…}` response line.
+pub fn error_line(message: &str) -> String {
+    line(&Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ]))
+}
+
+/// An `{"ok":true,"op":…}` response object with extra fields.
+pub fn ok_doc(op: &str, fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true)), ("op", Json::Str(op.to_string()))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+/// The stream-terminating sentinel of a `subscribe` connection.
+pub fn subscribe_end_line(id: &str, status: &str) -> String {
+    line(&Json::obj(vec![
+        ("op", Json::Str("subscribe-end".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("status", Json::Str(status.to_string())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject_with_field_names() {
+        assert!(matches!(
+            Request::parse(r#"{"op":"status"}"#).unwrap(),
+            Request::Status(None)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"status","id":"deadbeef"}"#).unwrap(),
+            Request::Status(Some(id)) if id == "deadbeef"
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"submit","tenant":"t","scheme":"antisat"}"#).unwrap(),
+            Request::Submit(_)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+        for (text, needle) in [
+            ("{}", "op"),
+            (r#"{"op":"report"}"#, "id"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"submit","scheme":"antisat"}"#, "tenant"),
+            ("not json", "JSON"),
+        ] {
+            let err = Request::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_single_lines() {
+        let ok = line(&ok_doc("submit", vec![("id", Json::Str("x".into()))]));
+        assert!(ok.ends_with('\n') && ok.matches('\n').count() == 1);
+        assert!(ok.contains(r#""ok":true"#));
+        let err = error_line("boom\nline2");
+        assert_eq!(err.matches('\n').count(), 1, "embedded newline escaped");
+        // A report payload with newlines stays one line on the wire and
+        // round-trips byte-exactly.
+        let report_text = "{\n  \"schema\": 1\n}\n";
+        let doc = ok_doc("report", vec![("report", Json::Str(report_text.into()))]);
+        let wire = line(&doc);
+        assert_eq!(wire.matches('\n').count(), 1);
+        let back = Json::parse(wire.trim_end()).unwrap();
+        assert_eq!(back.get("report").and_then(Json::as_str), Some(report_text));
+    }
+}

@@ -1,0 +1,549 @@
+//! The daemon's brain: submission registry, work queue, campaign
+//! executor threads, per-tenant quotas, graceful drain.
+//!
+//! [`DaemonCore`] is the transport-independent half of the service —
+//! the TCP reactor ([`crate::Daemon`]) and the in-process tests drive
+//! the same methods. Campaigns execute on the existing stage-DAG
+//! machinery via [`run_campaign_sharded`], with the daemon acting as
+//! one shard (`gnnunlockd-w<n>`) inside the campaign directory: an
+//! external worker pointed at the same directory (with the matching
+//! `GNNUNLOCK_TENANT`) cohabits the run through the lease protocol, no
+//! daemon-side coordination needed.
+
+use crate::config::DaemonConfig;
+use gnnunlock_core::{run_campaign_sharded, Submission};
+use gnnunlock_engine::{
+    gc_roots, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, Json, ReportOptions,
+    ShardConfig,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of one submitted campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// Accepted, waiting for an executor slot.
+    Queued,
+    /// Executing on a daemon worker.
+    Running,
+    /// Finished; `report.json` is canonical.
+    Done,
+    /// Finished with failed/skipped jobs, or refused to start.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl CampaignStatus {
+    /// Wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignStatus::Queued => "queued",
+            CampaignStatus::Running => "running",
+            CampaignStatus::Done => "done",
+            CampaignStatus::Failed => "failed",
+            CampaignStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the campaign will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            CampaignStatus::Done | CampaignStatus::Failed | CampaignStatus::Cancelled
+        )
+    }
+}
+
+/// What `submit` returns.
+#[derive(Debug, Clone)]
+pub struct SubmitReceipt {
+    /// The campaign's content-addressed id.
+    pub id: String,
+    /// Status at submission time.
+    pub status: CampaignStatus,
+    /// Whether an identical earlier submission answered this one (the
+    /// registry, or a canonical report from a previous daemon life).
+    pub deduped: bool,
+}
+
+struct Entry {
+    submission: Submission,
+    status: CampaignStatus,
+    cancel: CancelToken,
+    /// Job bodies the daemon's shard actually executed.
+    executed: usize,
+    /// Identical re-submissions answered from this entry.
+    dedup_hits: usize,
+    error: Option<String>,
+}
+
+struct State {
+    campaigns: BTreeMap<String, Entry>,
+    queue: VecDeque<String>,
+    stopping: bool,
+    live_workers: usize,
+}
+
+/// The shared daemon state machine (transport-independent).
+pub struct DaemonCore {
+    cfg: DaemonConfig,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+impl DaemonCore {
+    /// A fresh core with no workers running (the server spawns them).
+    pub fn new(cfg: DaemonConfig) -> Arc<DaemonCore> {
+        Arc::new(DaemonCore {
+            cfg,
+            state: Mutex::new(State {
+                campaigns: BTreeMap::new(),
+                queue: VecDeque::new(),
+                stopping: false,
+                live_workers: 0,
+            }),
+            work: Condvar::new(),
+        })
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Directory of campaign `id`.
+    pub fn campaign_dir(&self, id: &str) -> PathBuf {
+        self.cfg.campaign_dir(id)
+    }
+
+    /// Register a submission: deduplicate against the registry and the
+    /// on-disk canonical report, enforce the tenant's concurrent-
+    /// campaign quota, and queue the campaign for execution.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (without queuing) when the daemon is draining or the
+    /// tenant already has `tenant_max_active` campaigns queued/running.
+    pub fn submit(&self, submission: Submission) -> Result<SubmitReceipt, String> {
+        let id = submission.campaign_id();
+        let mut st = self.state.lock().unwrap();
+        if st.stopping {
+            return Err("daemon is shutting down; submission refused".to_string());
+        }
+        if let Some(entry) = st.campaigns.get_mut(&id) {
+            entry.dedup_hits += 1;
+            return Ok(SubmitReceipt {
+                id,
+                status: entry.status,
+                deduped: true,
+            });
+        }
+        // A previous daemon life may have completed this exact
+        // campaign: the canonical report on disk answers it without
+        // executing anything.
+        if self.cfg.campaign_dir(&id).join("report.json").is_file() {
+            st.campaigns.insert(
+                id.clone(),
+                Entry {
+                    submission,
+                    status: CampaignStatus::Done,
+                    cancel: CancelToken::new(),
+                    executed: 0,
+                    dedup_hits: 1,
+                    error: None,
+                },
+            );
+            return Ok(SubmitReceipt {
+                id,
+                status: CampaignStatus::Done,
+                deduped: true,
+            });
+        }
+        let ns = sanitize_tag(&submission.tenant);
+        let active = st
+            .campaigns
+            .values()
+            .filter(|e| {
+                sanitize_tag(&e.submission.tenant) == ns
+                    && matches!(e.status, CampaignStatus::Queued | CampaignStatus::Running)
+            })
+            .count();
+        if active >= self.cfg.tenant_max_active {
+            return Err(format!(
+                "tenant '{}' is at its concurrent-campaign quota ({active} active, max {})",
+                submission.tenant, self.cfg.tenant_max_active
+            ));
+        }
+        st.campaigns.insert(
+            id.clone(),
+            Entry {
+                submission,
+                status: CampaignStatus::Queued,
+                cancel: CancelToken::new(),
+                executed: 0,
+                dedup_hits: 0,
+                error: None,
+            },
+        );
+        st.queue.push_back(id.clone());
+        self.work.notify_all();
+        Ok(SubmitReceipt {
+            id,
+            status: CampaignStatus::Queued,
+            deduped: false,
+        })
+    }
+
+    /// Current status of campaign `id`, if registered.
+    pub fn status_of(&self, id: &str) -> Option<CampaignStatus> {
+        self.state
+            .lock()
+            .unwrap()
+            .campaigns
+            .get(id)
+            .map(|e| e.status)
+    }
+
+    fn entry_doc(id: &str, e: &Entry) -> Json {
+        let mut fields = vec![
+            ("id", Json::Str(id.to_string())),
+            ("tenant", Json::Str(e.submission.tenant.clone())),
+            ("name", Json::Str(e.submission.name.clone())),
+            ("status", Json::Str(e.status.as_str().to_string())),
+            ("executed", Json::Num(e.executed as f64)),
+            ("dedup_hits", Json::Num(e.dedup_hits as f64)),
+        ];
+        if let Some(err) = &e.error {
+            fields.push(("error", Json::Str(err.clone())));
+        }
+        Json::obj(fields)
+    }
+
+    /// Status document: one campaign (`Some(id)`) or all campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `id` names no registered campaign.
+    pub fn status_doc(&self, id: Option<&str>) -> Result<Json, String> {
+        let st = self.state.lock().unwrap();
+        match id {
+            Some(id) => st
+                .campaigns
+                .get(id)
+                .map(|e| Json::obj(vec![("campaign", Self::entry_doc(id, e))]))
+                .ok_or_else(|| format!("unknown campaign id '{id}'")),
+            None => Ok(Json::obj(vec![(
+                "campaigns",
+                Json::Arr(
+                    st.campaigns
+                        .iter()
+                        .map(|(id, e)| Self::entry_doc(id, e))
+                        .collect(),
+                ),
+            )])),
+        }
+    }
+
+    /// The campaign's canonical `report.json` text, byte-exact.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the campaign is unknown or its report does not exist
+    /// yet (not terminal, or terminal without a report).
+    pub fn report_text(&self, id: &str) -> Result<String, String> {
+        let path = self.cfg.campaign_dir(id).join("report.json");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            return Ok(text);
+        }
+        match self.status_of(id) {
+            Some(status) => Err(format!(
+                "campaign '{id}' has no report yet (status: {})",
+                status.as_str()
+            )),
+            None => Err(format!("unknown campaign id '{id}'")),
+        }
+    }
+
+    /// Cancel campaign `id`: a queued campaign is withdrawn outright, a
+    /// running one gets its [`CancelToken`] set (the engine stops
+    /// claiming jobs and the shard poll loop bails). Idempotent on
+    /// terminal campaigns. Returns the resulting status.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `id` names no registered campaign.
+    pub fn cancel(&self, id: &str) -> Result<CampaignStatus, String> {
+        let mut st = self.state.lock().unwrap();
+        let entry = st
+            .campaigns
+            .get_mut(id)
+            .ok_or_else(|| format!("unknown campaign id '{id}'"))?;
+        match entry.status {
+            CampaignStatus::Queued => {
+                entry.status = CampaignStatus::Cancelled;
+                entry.cancel.cancel();
+                st.queue.retain(|q| q != id);
+                Ok(CampaignStatus::Cancelled)
+            }
+            CampaignStatus::Running => {
+                entry.cancel.cancel();
+                Ok(CampaignStatus::Running)
+            }
+            terminal => Ok(terminal),
+        }
+    }
+
+    /// Begin the graceful drain: refuse new submissions, let workers
+    /// finish the queue, wake everyone waiting.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().stopping = true;
+        self.work.notify_all();
+    }
+
+    /// Whether the drain completed: shutdown requested, queue empty,
+    /// every worker exited.
+    pub fn is_drained(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        st.stopping && st.queue.is_empty() && st.live_workers == 0
+    }
+
+    /// Block until [`DaemonCore::is_drained`].
+    pub fn wait_drained(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !(st.stopping && st.queue.is_empty() && st.live_workers == 0) {
+            st = self.work.wait(st).unwrap();
+        }
+    }
+
+    /// Spawn the campaign executor threads (`queue_workers` of them).
+    pub fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        let n = self.cfg.queue_workers.max(1);
+        self.state.lock().unwrap().live_workers = n;
+        (0..n)
+            .map(|idx| {
+                let core = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("gnnunlockd-w{idx}"))
+                    .spawn(move || core.worker_loop(idx))
+                    .expect("spawn daemon worker")
+            })
+            .collect()
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        loop {
+            let id = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(id) = st.queue.pop_front() {
+                        break id;
+                    }
+                    if st.stopping {
+                        st.live_workers -= 1;
+                        self.work.notify_all();
+                        return;
+                    }
+                    st = self.work.wait(st).unwrap();
+                }
+            };
+            self.run_one(&id, idx);
+        }
+    }
+
+    /// Execute one queued campaign as the daemon's shard.
+    fn run_one(&self, id: &str, worker_idx: usize) {
+        let (submission, cancel) = {
+            let mut st = self.state.lock().unwrap();
+            let Some(entry) = st.campaigns.get_mut(id) else {
+                return;
+            };
+            if entry.status != CampaignStatus::Queued {
+                // Cancelled between dequeue and here.
+                return;
+            }
+            entry.status = CampaignStatus::Running;
+            (entry.submission.clone(), entry.cancel.clone())
+        };
+        let dir = self.cfg.campaign_dir(id);
+        let outcome = (|| -> std::io::Result<(CampaignStatus, usize, Option<String>)> {
+            std::fs::create_dir_all(&dir)?;
+            let mut shard = ShardConfig::new(format!("gnnunlockd-w{worker_idx}"))
+                .with_namespace(&submission.tenant);
+            if let Some(ttl) = self.cfg.lease_ttl {
+                shard = shard.with_ttl(ttl);
+            }
+            let exec = ExecConfig {
+                workers: self.cfg.workers,
+                cancel: cancel.clone(),
+            };
+            let result = run_campaign_sharded(
+                &submission.name,
+                &submission.dataset,
+                &submission.attack,
+                exec,
+                &dir,
+                &shard,
+            )?;
+            // The canonical artifacts: byte-identical to any other
+            // shard's view by the determinism contract.
+            result
+                .sharded
+                .run
+                .report(ReportOptions::default())
+                .write_to(&dir.join("report.json"))?;
+            let _ = merge_shard_events(&dir);
+            let stats = &result.sharded.run.outcome.stats;
+            let status = if result.sharded.run.outcome.all_succeeded() {
+                CampaignStatus::Done
+            } else if cancel.is_cancelled() {
+                CampaignStatus::Cancelled
+            } else {
+                CampaignStatus::Failed
+            };
+            let error = (status == CampaignStatus::Failed).then(|| {
+                format!(
+                    "{} failed, {} skipped of {} jobs",
+                    stats.failed, stats.skipped, stats.total
+                )
+            });
+            Ok((status, stats.executed, error))
+        })();
+        let tenant = submission.tenant.clone();
+        {
+            let mut st = self.state.lock().unwrap();
+            if let Some(entry) = st.campaigns.get_mut(id) {
+                match outcome {
+                    Ok((status, executed, error)) => {
+                        entry.status = status;
+                        entry.executed = executed;
+                        entry.error = error;
+                    }
+                    Err(e) => {
+                        entry.status = CampaignStatus::Failed;
+                        entry.error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        self.enforce_tenant_budget(&tenant);
+        self.work.notify_all();
+    }
+
+    /// Sweep one tenant's store entries across every campaign directory
+    /// down to the configured byte budget (LRU by mtime), protecting
+    /// campaigns that are still queued or running.
+    fn enforce_tenant_budget(&self, tenant: &str) {
+        let Some(budget) = self.cfg.tenant_budget_bytes else {
+            return;
+        };
+        let ns = sanitize_tag(tenant);
+        let (mut roots, mut protected) = (Vec::new(), Vec::new());
+        {
+            let st = self.state.lock().unwrap();
+            for (id, entry) in &st.campaigns {
+                if sanitize_tag(&entry.submission.tenant) != ns {
+                    continue;
+                }
+                let objects = self
+                    .cfg
+                    .campaign_dir(id)
+                    .join("tenants")
+                    .join(&ns)
+                    .join("objects");
+                if entry.status.is_terminal() {
+                    roots.push(objects);
+                } else {
+                    protected.push(objects);
+                }
+            }
+        }
+        gc_roots(&roots, &protected, budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnunlock_core::Submission;
+    use std::str::FromStr as _;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gnnunlockd-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sub(tenant: &str, name: &str) -> Submission {
+        Submission::from_str(&format!(
+            r#"{{"tenant":"{tenant}","name":"{name}","scheme":"antisat"}}"#
+        ))
+        .unwrap()
+    }
+
+    /// Queue management without workers: submissions register, dedup,
+    /// honor quotas and cancel — no campaign ever executes.
+    #[test]
+    fn submit_dedups_quotas_and_cancels() {
+        let root = tmp_root("submit");
+        let core = DaemonCore::new(DaemonConfig::new(&root).with_tenant_max_active(2));
+
+        let first = core.submit(sub("acme", "a")).unwrap();
+        assert_eq!(first.status, CampaignStatus::Queued);
+        assert!(!first.deduped);
+
+        // Identical submission: same id, answered from the registry.
+        let again = core.submit(sub("acme", "a")).unwrap();
+        assert_eq!(again.id, first.id);
+        assert!(again.deduped);
+
+        // Second distinct campaign fills the quota; the third bounces.
+        core.submit(sub("acme", "b")).unwrap();
+        let err = core.submit(sub("acme", "c")).unwrap_err();
+        assert!(err.contains("quota"), "{err}");
+        // Another tenant's quota is independent.
+        let other = core.submit(sub("rival", "a")).unwrap();
+        assert_ne!(other.id, first.id, "tenant is part of the identity");
+
+        // Cancelling a queued campaign frees its quota slot.
+        assert_eq!(core.cancel(&first.id).unwrap(), CampaignStatus::Cancelled);
+        assert_eq!(core.status_of(&first.id), Some(CampaignStatus::Cancelled));
+        core.submit(sub("acme", "c")).unwrap();
+
+        // Status documents cover registered campaigns.
+        let all = core.status_doc(None).unwrap();
+        let Some(Json::Arr(items)) = all.get("campaigns") else {
+            panic!("campaigns array expected");
+        };
+        assert_eq!(items.len(), 4);
+        assert!(core.status_doc(Some("nope")).is_err());
+        assert!(core.report_text(&first.id).is_err(), "no report yet");
+
+        // Draining refuses new work.
+        core.shutdown();
+        assert!(core.submit(sub("acme", "d")).is_err());
+        assert!(!core.is_drained(), "queue still holds entries");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A canonical report from a "previous daemon life" answers a fresh
+    /// submission without queuing anything.
+    #[test]
+    fn on_disk_reports_answer_resubmissions() {
+        let root = tmp_root("prior-life");
+        let core = DaemonCore::new(DaemonConfig::new(&root));
+        let id = sub("acme", "a").campaign_id();
+        let dir = core.campaign_dir(&id);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("report.json"), "{\"schema\": 1}\n").unwrap();
+
+        let receipt = core.submit(sub("acme", "a")).unwrap();
+        assert_eq!(receipt.id, id);
+        assert_eq!(receipt.status, CampaignStatus::Done);
+        assert!(receipt.deduped);
+        assert_eq!(core.report_text(&id).unwrap(), "{\"schema\": 1}\n");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -22,6 +22,21 @@ use std::time::Duration;
 /// owner + per-shard event-log name). Default: `pid-<pid>`.
 pub const SHARD_ID_ENV: &str = "GNNUNLOCK_SHARD_ID";
 
+/// Environment variable naming the tenant namespace a worker's store
+/// entries and leases live under (`tenants/<ns>/objects/` inside the
+/// cache dir — see [`crate::DiskStore::open_namespaced`]). Unset or
+/// blank: the shared default namespace. External shard workers set this
+/// to cohabit a `gnnunlockd` tenant's campaign.
+pub const TENANT_ENV: &str = "GNNUNLOCK_TENANT";
+
+/// The tenant namespace named by [`TENANT_ENV`], if set and non-blank.
+pub fn tenant_from_env() -> Option<String> {
+    std::env::var(TENANT_ENV)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
 /// Environment variable setting the lease time-to-live in milliseconds:
 /// a lease not heartbeated for this long counts as stale and may be
 /// taken over by another shard. Default: 30000 (30 s). Must be ≥ 1.

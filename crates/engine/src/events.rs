@@ -402,6 +402,25 @@ impl Replay {
     }
 }
 
+/// A chunk of complete lines read off a growing JSONL log by
+/// [`EventLog::tail_from`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogTail {
+    /// The complete (newline-terminated) lines read since the polled
+    /// offset, without their newlines, in file order. A torn final
+    /// line — a writer caught mid-record — is never included.
+    pub lines: Vec<String>,
+    /// The offset to poll from next: one byte past the last newline
+    /// consumed. Because the offset never advances past a torn line,
+    /// the line is yielded exactly once — on the poll that first sees
+    /// it complete — and never twice.
+    pub offset: u64,
+    /// The file shrank below the polled offset (log recreated, e.g. by
+    /// [`EventLog::create`]): this tail restarted from the beginning of
+    /// the new file.
+    pub reset: bool,
+}
+
 /// An append-only JSONL event sink, flushed per event.
 pub struct EventLog {
     writer: Mutex<BufWriter<fs::File>>,
@@ -460,6 +479,65 @@ impl EventLog {
         // misconfigurations).
         let _ = writeln!(w, "{}", event.to_jsonl());
         let _ = w.flush();
+    }
+
+    /// Tail a log file being appended concurrently: read the complete
+    /// lines between `offset` and the last newline currently on disk.
+    ///
+    /// The contract live subscribers need (and [`LogTail`] documents):
+    /// polling in a loop with the returned offset yields every line
+    /// **exactly once**, and never a torn final line — a record a
+    /// concurrent [`EventLog::append`] has only partially flushed is
+    /// left unconsumed until a later poll sees its newline. A missing
+    /// file is an empty tail at the same offset (the writer may simply
+    /// not have created the log yet); a file that shrank below `offset`
+    /// (recreated log) restarts from the top with `reset` set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn tail_from(path: &Path, offset: u64) -> io::Result<LogTail> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(LogTail {
+                    offset,
+                    ..LogTail::default()
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        let (start, reset) = if len < offset {
+            (0, true)
+        } else {
+            (offset, false)
+        };
+        let mut tail = LogTail {
+            offset: start,
+            reset,
+            ..LogTail::default()
+        };
+        if len == start {
+            return Ok(tail);
+        }
+        file.seek(SeekFrom::Start(start))?;
+        let mut bytes = Vec::with_capacity((len - start) as usize);
+        file.read_to_end(&mut bytes)?;
+        // Consume only up to the last newline: everything after it is a
+        // torn final line still being written, and the unadvanced offset
+        // re-reads it on the next poll — by then complete.
+        let Some(last_newline) = bytes.iter().rposition(|&b| b == b'\n') else {
+            return Ok(tail);
+        };
+        tail.lines = bytes[..last_newline]
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect();
+        tail.offset = start + last_newline as u64 + 1;
+        Ok(tail)
     }
 
     /// Replay a log file: parse every line, skipping (and flagging via
@@ -632,6 +710,97 @@ mod tests {
             EventLog::replay(&path).unwrap().events.len(),
             sample_events().len() + 1
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    /// The tailing contract under an interleaved writer: every poll
+    /// between writer flushes sees exactly the newly completed lines —
+    /// a torn final line is yielded neither early (torn) nor twice
+    /// (after completion).
+    #[test]
+    fn tail_from_interleaved_writer_flushes_and_reader_polls() {
+        use std::io::Write as _;
+        let path = tmp_path("tail");
+        let _ = fs::remove_file(&path);
+
+        // Poll 0: no file yet — empty tail, offset unmoved.
+        let t = EventLog::tail_from(&path, 0).unwrap();
+        assert_eq!((t.lines.len(), t.offset, t.reset), (0, 0, false));
+
+        let events = sample_events();
+        let log = EventLog::create(&path).unwrap();
+        let mut seen: Vec<String> = Vec::new();
+        let mut offset = 0u64;
+
+        // Interleave: after each writer flush, one reader poll must see
+        // exactly the one new line.
+        for ev in &events[..3] {
+            log.append(ev);
+            let t = EventLog::tail_from(&path, offset).unwrap();
+            assert_eq!(t.lines, vec![ev.to_jsonl()]);
+            assert!(!t.reset);
+            offset = t.offset;
+            seen.extend(t.lines);
+        }
+
+        // A torn write: the writer flushed half a record (no newline).
+        // (Drop the EventLog first — its `File::create` handle tracks
+        // its own position and would overwrite raw appends.)
+        drop(log);
+        let full = events[3].to_jsonl();
+        let (head, rest) = full.split_at(full.len() / 2);
+        let mut raw = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        raw.write_all(head.as_bytes()).unwrap();
+        raw.flush().unwrap();
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert!(t.lines.is_empty(), "a torn line must not be yielded");
+        assert_eq!(t.offset, offset, "the offset must not consume a torn line");
+
+        // Polling again before the line completes still yields nothing
+        // (no double consumption of the partial bytes either).
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert!(t.lines.is_empty());
+
+        // The writer completes the record: one poll, exactly one line,
+        // byte-identical to the full record — yielded once, not twice.
+        raw.write_all(rest.as_bytes()).unwrap();
+        raw.write_all(b"\n").unwrap();
+        raw.flush().unwrap();
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert_eq!(t.lines, vec![full.clone()]);
+        offset = t.offset;
+        seen.extend(t.lines);
+
+        // A multi-line burst arrives between polls (a resumed writer
+        // appends — open_append positions at the true end of file).
+        drop(raw);
+        let log = EventLog::open_append(&path).unwrap();
+        for ev in &events[4..] {
+            log.append(ev);
+        }
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert_eq!(t.lines.len(), events.len() - 4);
+        offset = t.offset;
+        seen.extend(t.lines);
+
+        // Quiescent poll: nothing new.
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert!(t.lines.is_empty());
+        assert_eq!(t.offset, offset);
+
+        // Loss-free and duplicate-free: the concatenation of every poll
+        // equals the writer's stream.
+        let expected: Vec<String> = events.iter().map(Event::to_jsonl).collect();
+        assert_eq!(seen, expected);
+
+        // A recreated (shrunk) log resets the tail to the new content.
+        drop(log);
+        let log = EventLog::create(&path).unwrap();
+        log.append(&events[0]);
+        let t = EventLog::tail_from(&path, offset).unwrap();
+        assert!(t.reset, "a shrunk file must be reported as a reset");
+        assert_eq!(t.lines, vec![events[0].to_jsonl()]);
+
         let _ = fs::remove_file(&path);
     }
 

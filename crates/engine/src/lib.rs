@@ -78,10 +78,10 @@ pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, Resum
 pub use cancel::CancelToken;
 pub use codec::{ByteReader, ByteWriter, ValueCodec};
 pub use env::{
-    bench_out_from_env, knob, knob_or, knob_path, knob_validated, knob_warnings, BENCH_OUT_ENV,
-    LEASE_TTL_ENV, SHARD_ID_ENV, STAGE_BUDGET_ENV,
+    bench_out_from_env, knob, knob_or, knob_path, knob_validated, knob_warnings, tenant_from_env,
+    BENCH_OUT_ENV, LEASE_TTL_ENV, SHARD_ID_ENV, STAGE_BUDGET_ENV, TENANT_ENV,
 };
-pub use events::{Event, EventLog, Replay, EVENTS_ENV, EVENTS_FILE};
+pub use events::{Event, EventLog, LogTail, Replay, EVENTS_ENV, EVENTS_FILE};
 pub use exec::{
     AfterJobHook, ExecConfig, Executor, JobRecord, JobStatus, RunOutcome, RunStats, StageSummary,
 };
@@ -97,6 +97,6 @@ pub use shard::{
     ShardedRun,
 };
 pub use store::{
-    cache_budget_from_env, sanitize_tag, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV,
-    CACHE_DIR_ENV,
+    cache_budget_from_env, gc_roots, sanitize_tag, tenant_budget_from_env, tenant_usage, DiskStore,
+    GcStats, StoreStats, CACHE_BUDGET_ENV, CACHE_DIR_ENV, TENANT_BUDGET_ENV,
 };

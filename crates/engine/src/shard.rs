@@ -85,6 +85,13 @@ pub struct ShardConfig {
     /// Wall-clock only — pick order never changes results. On by
     /// default.
     pub prefer_unleased: bool,
+    /// Tenant namespace for the store this shard executes against
+    /// ([`DiskStore::open_namespaced`]): entries — and, since lease
+    /// files live beside entries, leases — go under
+    /// `tenants/<ns>/objects/` instead of `objects/`, so multi-tenant
+    /// services keep tenants' results and coordination disjoint.
+    /// `None` (the default) is the shared default namespace.
+    pub namespace: Option<String>,
 }
 
 impl ShardConfig {
@@ -97,6 +104,7 @@ impl ShardConfig {
             poll_interval: Self::poll_for(lease_ttl),
             probe_ahead: true,
             prefer_unleased: true,
+            namespace: None,
         }
     }
 
@@ -119,16 +127,34 @@ impl ShardConfig {
         self
     }
 
+    /// Execute against the tenant namespace `tenant` (blank = default).
+    pub fn with_namespace(mut self, tenant: impl Into<String>) -> Self {
+        let tenant = tenant.into();
+        let trimmed = tenant.trim();
+        self.namespace = if trimmed.is_empty() {
+            None
+        } else {
+            Some(trimmed.to_string())
+        };
+        self
+    }
+
     /// A shard configured from the environment: `GNNUNLOCK_SHARD_ID`
-    /// (default `pid-<pid>`) and `GNNUNLOCK_LEASE_TTL_MS` (default
-    /// 30000; malformed values warn and fall back). This is what the
-    /// worker binaries use, so
+    /// (default `pid-<pid>`), `GNNUNLOCK_LEASE_TTL_MS` (default
+    /// 30000; malformed values warn and fall back) and
+    /// `GNNUNLOCK_TENANT` (default: the shared default namespace).
+    /// This is what the worker binaries use, so
     /// `for i in 0..N; do GNNUNLOCK_SHARD_ID=w$i worker & done` over
-    /// one `GNNUNLOCK_CACHE_DIR` splits a campaign across processes.
+    /// one `GNNUNLOCK_CACHE_DIR` splits a campaign across processes —
+    /// including workers cohabiting with a running `gnnunlockd`, which
+    /// set `GNNUNLOCK_TENANT` to join a tenant's campaign.
     pub fn from_env() -> Self {
         let mut cfg = ShardConfig::new(env::shard_id_from_env());
         if let Some(ttl) = env::lease_ttl_from_env() {
             cfg = cfg.with_ttl(ttl);
+        }
+        if let Some(tenant) = env::tenant_from_env() {
+            cfg = cfg.with_namespace(tenant);
         }
         cfg
     }
@@ -191,7 +217,10 @@ impl Campaign {
                  results through the store",
             )
         })?;
-        let store = Arc::new(DiskStore::open(dir)?);
+        let store = Arc::new(match &shard.namespace {
+            Some(ns) => DiskStore::open_namespaced(dir, ns)?,
+            None => DiskStore::open(dir)?,
+        });
         let cache = Arc::new(ResultCache::with_disk(store.clone(), codec));
         let leases = Arc::new(LeaseManager::new(
             store.clone(),

@@ -13,11 +13,21 @@
 //!   gnnunlock-store.version      # "gnnunlock-store v1\n" — schema gate
 //!   events.jsonl                 # campaign event log (see crate::events)
 //!   objects/<kind>/<hh>/<fingerprint as 16 hex>.bin
+//!   tenants/<ns>/objects/...     # tenant-namespaced entries (same shape)
 //! ```
 //!
 //! where `<kind>` is the sanitized job-kind tag and `<hh>` the first two
 //! hex digits of the fingerprint (a 256-way fan-out so directories stay
 //! small at campaign scale).
+//!
+//! **Tenant namespaces** ([`DiskStore::open_namespaced`]) relocate a
+//! handle's entries under `tenants/<ns>/objects/`, so multi-tenant
+//! services sharing one root keep each tenant's results (and, since
+//! lease files live beside entries, its leases) disjoint: one tenant
+//! can never be served — or evicted by — another tenant's bytes.
+//! [`tenant_usage`] accounts bytes per namespace and [`gc_roots`]
+//! enforces a byte budget across many object roots (a tenant's
+//! campaigns), complementing the per-store [`DiskStore::gc`].
 //!
 //! Durability and integrity:
 //!
@@ -50,6 +60,15 @@ pub const CACHE_DIR_ENV: &str = "GNNUNLOCK_CACHE_DIR";
 /// until the store fits the budget (entries the current process touched
 /// are never evicted). Unset or unparsable = no garbage collection.
 pub const CACHE_BUDGET_ENV: &str = "GNNUNLOCK_CACHE_BUDGET_BYTES";
+
+/// Environment variable bounding each tenant namespace's total entry
+/// bytes in a multi-tenant service (`gnnunlockd`): after a tenant's
+/// campaign completes, that tenant's least-recently-used entries are
+/// evicted (across all of its campaigns' stores, see [`gc_roots`])
+/// until the namespace fits the budget. Unset or unparsable = no
+/// per-tenant garbage collection. Orthogonal to [`CACHE_BUDGET_ENV`],
+/// which bounds one store directory.
+pub const TENANT_BUDGET_ENV: &str = "GNNUNLOCK_TENANT_BUDGET_BYTES";
 
 /// Contents of the store's version file. Bump the `v1` when the entry
 /// format changes incompatibly.
@@ -92,6 +111,9 @@ pub struct GcStats {
 #[derive(Debug)]
 pub struct DiskStore {
     root: PathBuf,
+    /// Sanitized tenant namespace; `None` = the default `objects/`
+    /// subtree, `Some(ns)` = `tenants/<ns>/objects/`.
+    namespace: Option<String>,
     tmp_counter: AtomicU64,
     loads: AtomicUsize,
     misses: AtomicUsize,
@@ -134,6 +156,30 @@ impl DiskStore {
     /// Fails if the directory cannot be created, or if it already holds a
     /// store with an incompatible schema version.
     pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        Self::open_with(dir, None)
+    }
+
+    /// Open the store rooted at `dir` with this handle's entries living
+    /// in the tenant namespace `tenant` (`tenants/<ns>/objects/` instead
+    /// of `objects/`; the id is sanitized like a job-kind tag, and an
+    /// empty id means the default namespace). Handles on different
+    /// namespaces of one root share the version gate but never each
+    /// other's entries, leases or garbage collection.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DiskStore::open`].
+    pub fn open_namespaced(dir: &Path, tenant: &str) -> io::Result<DiskStore> {
+        let ns = tenant.trim();
+        let ns = if ns.is_empty() {
+            None
+        } else {
+            Some(sanitize_tag(ns))
+        };
+        Self::open_with(dir, ns)
+    }
+
+    fn open_with(dir: &Path, namespace: Option<String>) -> io::Result<DiskStore> {
         fs::create_dir_all(dir)?;
         let version_path = dir.join(VERSION_FILE);
         match fs::read_to_string(&version_path) {
@@ -191,6 +237,7 @@ impl DiskStore {
         }
         Ok(DiskStore {
             root: dir.to_path_buf(),
+            namespace,
             tmp_counter: AtomicU64::new(0),
             loads: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -206,12 +253,26 @@ impl DiskStore {
         &self.root
     }
 
+    /// This handle's tenant namespace (sanitized), if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// The directory this handle's entries live under: `objects/` for
+    /// the default namespace, `tenants/<ns>/objects/` for a tenant
+    /// namespace. The unit [`gc_roots`] sweeps.
+    pub fn objects_root(&self) -> PathBuf {
+        match &self.namespace {
+            Some(ns) => self.root.join("tenants").join(ns).join("objects"),
+            None => self.root.join("objects"),
+        }
+    }
+
     /// The path an entry for `(kind, fp)` lives at. Always strictly
-    /// inside the store root (tags are sanitized).
+    /// inside the store root (tags and namespaces are sanitized).
     pub fn entry_path(&self, kind: JobKind, fp: u64) -> PathBuf {
         let hex = format!("{fp:016x}");
-        self.root
-            .join("objects")
+        self.objects_root()
             .join(sanitize_tag(kind.tag()))
             .join(&hex[..2])
             .join(format!("{hex}.bin"))
@@ -388,13 +449,19 @@ impl DiskStore {
             }
         }
         let mut count = 0;
-        walk(&self.root.join("objects"), &mut count);
+        walk(&self.objects_root(), &mut count);
         count
     }
 
     /// Whether the store holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total entry bytes currently under this handle's namespace (walks
+    /// the tree; quota accounting and diagnostics, not hot paths).
+    pub fn usage_bytes(&self) -> u64 {
+        entry_bytes_under(&self.objects_root())
     }
 
     /// Counter snapshot.
@@ -464,7 +531,7 @@ impl DiskStore {
             }
         }
         let mut entries = Vec::new();
-        walk(&self.root.join("objects"), &mut entries, SystemTime::now());
+        walk(&self.objects_root(), &mut entries, SystemTime::now());
         let bytes_before: u64 = entries.iter().map(|e| e.len).sum();
         let mut stats = GcStats {
             bytes_before,
@@ -513,6 +580,135 @@ impl DiskStore {
 /// disables garbage collection, visibly rather than silently).
 pub fn cache_budget_from_env() -> Option<u64> {
     crate::env::knob(CACHE_BUDGET_ENV, "a byte count")
+}
+
+/// The per-tenant byte budget named by [`TENANT_BUDGET_ENV`], if set
+/// and parsable (malformed values warn and disable per-tenant GC,
+/// visibly rather than silently).
+pub fn tenant_budget_from_env() -> Option<u64> {
+    crate::env::knob(TENANT_BUDGET_ENV, "a byte count")
+}
+
+/// Sum of `.bin` entry bytes under `dir` (0 when the tree is absent).
+fn entry_bytes_under(dir: &Path) -> u64 {
+    fn walk(dir: &Path, total: &mut u64) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, total);
+            } else if path.extension().is_some_and(|e| e == "bin") {
+                if let Ok(meta) = entry.metadata() {
+                    *total += meta.len();
+                }
+            }
+        }
+    }
+    let mut total = 0;
+    walk(dir, &mut total);
+    total
+}
+
+/// Per-namespace entry bytes under one store root: the default
+/// namespace keyed as `""`, each tenant namespace keyed by its
+/// (sanitized) id. Only namespaces currently holding a directory are
+/// listed; byte counts may be 0 for freshly created, empty namespaces.
+///
+/// # Errors
+///
+/// Propagates directory-read errors of the `tenants/` index itself
+/// (a missing index just means no tenant namespaces).
+pub fn tenant_usage(root: &Path) -> io::Result<std::collections::BTreeMap<String, u64>> {
+    let mut out = std::collections::BTreeMap::new();
+    let default_root = root.join("objects");
+    if default_root.is_dir() {
+        out.insert(String::new(), entry_bytes_under(&default_root));
+    }
+    let tenants = root.join("tenants");
+    let entries = match fs::read_dir(&tenants) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let Ok(ns) = entry.file_name().into_string() else {
+            continue;
+        };
+        out.insert(ns, entry_bytes_under(&entry.path().join("objects")));
+    }
+    Ok(out)
+}
+
+/// Evict least-recently-used entries across several object roots (each
+/// an `objects/` directory as returned by [`DiskStore::objects_root`])
+/// until their combined bytes fit `budget_bytes` — the multi-store
+/// flavor of [`DiskStore::gc`], used for tenant-level quotas that span
+/// campaign directories. Entries under a root listed in `protected`
+/// count toward the byte accounting but are never evicted (campaigns
+/// still running). Recency is entry mtime, exactly like
+/// [`DiskStore::gc`], with the path as the deterministic tie-breaker.
+pub fn gc_roots(roots: &[PathBuf], protected: &[PathBuf], budget_bytes: u64) -> GcStats {
+    struct Entry {
+        path: PathBuf,
+        len: u64,
+        mtime: SystemTime,
+        protected: bool,
+    }
+    fn walk(dir: &Path, protected: bool, out: &mut Vec<Entry>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, protected, out);
+            } else if path.extension().is_some_and(|e| e == "bin") {
+                if let Ok(meta) = entry.metadata() {
+                    out.push(Entry {
+                        path,
+                        len: meta.len(),
+                        mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                        protected,
+                    });
+                }
+            }
+        }
+    }
+    let mut entries = Vec::new();
+    for root in roots {
+        let shielded = protected.iter().any(|p| root.starts_with(p) || p == root);
+        walk(root, shielded, &mut entries);
+    }
+    let bytes_before: u64 = entries.iter().map(|e| e.len).sum();
+    let mut stats = GcStats {
+        bytes_before,
+        bytes_after: bytes_before,
+        live_protected: entries.iter().filter(|e| e.protected).count(),
+        ..GcStats::default()
+    };
+    if bytes_before <= budget_bytes {
+        return stats;
+    }
+    let mut candidates: Vec<&Entry> = entries.iter().filter(|e| !e.protected).collect();
+    candidates.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+    let mut remaining = bytes_before;
+    for e in candidates {
+        if remaining <= budget_bytes {
+            break;
+        }
+        if fs::remove_file(&e.path).is_ok() {
+            remaining -= e.len;
+            stats.evicted_entries += 1;
+        }
+    }
+    stats.bytes_after = remaining;
+    stats
 }
 
 #[cfg(test)]
@@ -692,6 +888,94 @@ mod tests {
         assert!(!stale_tomb.exists(), "ancient tomb must be collected");
         assert!(fresh_lease.exists(), "recent lease must be left alone");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_namespaces_are_disjoint_and_accounted() {
+        let dir = tmp_dir("tenant");
+        let shared = DiskStore::open(&dir).unwrap();
+        let alice = DiskStore::open_namespaced(&dir, "alice").unwrap();
+        let bob = DiskStore::open_namespaced(&dir, "b/ob").unwrap(); // sanitized
+
+        shared.save(JobKind::Lock, 1, b"shared bytes").unwrap();
+        alice.save(JobKind::Lock, 1, b"alice's bytes!").unwrap();
+        bob.save(JobKind::Lock, 1, b"bob bytes").unwrap();
+
+        // Same (kind, fp), three disjoint entries: no namespace ever
+        // serves another's bytes.
+        assert_eq!(shared.load(JobKind::Lock, 1).unwrap(), b"shared bytes");
+        assert_eq!(alice.load(JobKind::Lock, 1).unwrap(), b"alice's bytes!");
+        assert_eq!(bob.load(JobKind::Lock, 1).unwrap(), b"bob bytes");
+        assert!(alice.load(JobKind::Lock, 2).is_none());
+        assert_eq!(bob.namespace(), Some("b_ob"));
+        assert_eq!(shared.namespace(), None);
+        assert_eq!(
+            DiskStore::open_namespaced(&dir, "  ").unwrap().namespace(),
+            None,
+            "a blank tenant id is the default namespace"
+        );
+
+        // Entry paths stay inside the root, under the tenant subtree.
+        let p = bob.entry_path(JobKind::Lock, 1);
+        assert!(p.starts_with(dir.join("tenants").join("b_ob")));
+
+        // Per-namespace accounting sees each tenant's own bytes.
+        let usage = tenant_usage(&dir).unwrap();
+        assert_eq!(usage.len(), 3);
+        assert_eq!(usage[""], shared.usage_bytes());
+        assert_eq!(usage["alice"], alice.usage_bytes());
+        assert_eq!(usage["b_ob"], bob.usage_bytes());
+        assert!(usage["alice"] > 0 && usage["alice"] != usage["b_ob"]);
+
+        // Namespace-scoped GC: a sweep of alice's namespace (via a
+        // fresh handle — `alice` itself live-protects what it touched)
+        // cannot touch bob's or the default namespace's entries.
+        let sweeper = DiskStore::open_namespaced(&dir, "alice").unwrap();
+        let stats = sweeper.gc(0);
+        assert_eq!(stats.bytes_after, 0);
+        assert!(alice.is_empty());
+        assert!(shared.load(JobKind::Lock, 1).is_some());
+        assert!(bob.load(JobKind::Lock, 1).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_roots_enforces_a_cross_store_budget_with_protected_roots() {
+        // Two campaign directories of one tenant: the quota spans both,
+        // but the running campaign's root is protected.
+        let a = tmp_dir("roots-a");
+        let b = tmp_dir("roots-b");
+        let store_a = DiskStore::open_namespaced(&a, "t").unwrap();
+        let store_b = DiskStore::open_namespaced(&b, "t").unwrap();
+        let payload = [1u8; 32];
+        for fp in 0..4u64 {
+            store_a.save(JobKind::Lock, fp, &payload).unwrap();
+            store_b.save(JobKind::Lock, fp, &payload).unwrap();
+            // Make store_a's entries strictly older.
+            let f = fs::File::open(store_a.entry_path(JobKind::Lock, fp)).unwrap();
+            f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(fp))
+                .unwrap();
+        }
+        let entry_len = fs::metadata(store_a.entry_path(JobKind::Lock, 0))
+            .unwrap()
+            .len();
+        let roots = [store_a.objects_root(), store_b.objects_root()];
+
+        // Budget for five entries, nothing protected: the three oldest
+        // (all in store_a) are evicted.
+        let stats = gc_roots(&roots, &[], 5 * entry_len);
+        assert_eq!(stats.bytes_before, 8 * entry_len);
+        assert_eq!(stats.evicted_entries, 3);
+        assert!(stats.bytes_after <= 5 * entry_len);
+        assert_eq!(store_b.len(), 4, "newer store untouched");
+
+        // Protecting store_b pins its entries even under a zero budget.
+        let stats = gc_roots(&roots, &[store_b.objects_root()], 0);
+        assert_eq!(stats.live_protected, 4);
+        assert_eq!(store_a.len(), 0);
+        assert_eq!(store_b.len(), 4);
+        let _ = fs::remove_dir_all(&a);
+        let _ = fs::remove_dir_all(&b);
     }
 
     #[test]

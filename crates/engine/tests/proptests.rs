@@ -1,8 +1,10 @@
 //! Property tests for the persistence layer: cache-key stability,
-//! event-log round trips, and store path sanitization.
+//! event-log round trips, store path sanitization, and shard-log
+//! merging.
 
 use gnnunlock_engine::{
-    fingerprint, fingerprint_fields, sanitize_tag, DiskStore, Event, JobKind, StageJob,
+    fingerprint, fingerprint_fields, merge_shard_events, sanitize_tag, shard_events_file,
+    DiskStore, Event, EventLog, JobKind, StageJob,
 };
 use proptest::prelude::*;
 use std::path::Path;
@@ -117,6 +119,78 @@ proptest! {
         let line = event.to_jsonl();
         prop_assert!(!line.contains('\n'), "JSONL must be one line: {line:?}");
         prop_assert_eq!(Event::parse(&line).unwrap(), event);
+    }
+
+    /// Merging per-shard event logs is deterministic and loss-free
+    /// regardless of how the shards' appends were interleaved in time:
+    /// the merged stream is a pure function of the per-shard contents —
+    /// every appended record appears exactly once, in its shard's
+    /// order, with shards in sorted-id order — and merging twice is
+    /// byte-identical.
+    #[test]
+    fn merge_shard_events_is_deterministic_and_loss_free(
+        shard_count in 1usize..4,
+        counts in prop::collection::vec(1usize..6, 3..4),
+        schedule in prop::collection::vec(0usize..3, 0..32),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnunlock-proptest-merge-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Per-shard streams with provenance-tagged labels.
+        let queues: Vec<Vec<Event>> = (0..shard_count)
+            .map(|i| {
+                (0..counts[i])
+                    .map(|j| Event::JobStarted { id: j, label: format!("s{i}-e{j}") })
+                    .collect()
+            })
+            .collect();
+        let logs: Vec<EventLog> = (0..shard_count)
+            .map(|i| EventLog::open_append(&dir.join(shard_events_file(&format!("w{i}")))).unwrap())
+            .collect();
+
+        // Interleave the appends per the generated schedule, then drain
+        // stragglers in reverse shard order (adversarial vs the sorted
+        // merge).
+        let mut cursor = vec![0usize; shard_count];
+        for &pick in &schedule {
+            let i = pick % shard_count;
+            if cursor[i] < queues[i].len() {
+                logs[i].append(&queues[i][cursor[i]]);
+                cursor[i] += 1;
+            }
+        }
+        for i in (0..shard_count).rev() {
+            while cursor[i] < queues[i].len() {
+                logs[i].append(&queues[i][cursor[i]]);
+                cursor[i] += 1;
+            }
+        }
+        drop(logs);
+
+        // The expected merge depends only on per-shard contents, never
+        // on the schedule (ids "w0".."w2" sort lexicographically).
+        let mut expected = String::new();
+        for queue in &queues {
+            for ev in queue {
+                expected.push_str(&ev.to_jsonl());
+                expected.push('\n');
+            }
+        }
+
+        let path = merge_shard_events(&dir).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(&first, &expected, "merge must be loss-free and ordered");
+        // Deterministic: a re-merge (with the merged file already
+        // present — it must not feed back into itself) is byte-identical.
+        let again = merge_shard_events(&dir).unwrap();
+        let second = std::fs::read_to_string(&again).unwrap();
+        prop_assert_eq!(&first, &second);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Store paths never escape the cache directory, whatever bytes a

@@ -60,6 +60,7 @@
 
 pub use gnnunlock_baselines as baselines;
 pub use gnnunlock_core as core;
+pub use gnnunlock_daemon as daemon;
 pub use gnnunlock_engine as engine;
 pub use gnnunlock_gnn as gnn;
 pub use gnnunlock_locking as locking;
@@ -79,8 +80,9 @@ pub mod prelude {
         remove_protection, resume_campaign, run_campaign, run_campaign_persistent,
         run_campaign_sharded, run_campaign_with_workers, AttackCampaignRunner, AttackConfig,
         AttackOutcome, CampaignResult, Dataset, DatasetConfig, DatasetScheme, PipelineCodec,
-        ShardedCampaignResult, Suite,
+        ShardedCampaignResult, Submission, Suite,
     };
+    pub use gnnunlock_daemon::{CampaignStatus, Daemon, DaemonConfig};
     pub use gnnunlock_engine::{
         CacheSource, CancelToken, DiskStore, Event, EventLog, ExecConfig, Executor, GcStats,
         JobGraph, JobKind, LeaseManager, LeaseStats, ReportOptions, ResultCache, ResumeInfo,
