@@ -50,6 +50,12 @@ pub struct DaemonConfig {
     /// (`GNNUNLOCK_LEASE_TTL_MS`); external cohabiting workers use
     /// their own knob.
     pub lease_ttl: Option<Duration>,
+    /// Terminal campaigns kept in the in-memory registry. Beyond the
+    /// cap the oldest-terminal entries are evicted (bounding registry
+    /// memory over a long daemon lifetime); evicted campaigns keep
+    /// answering resubmissions and subscriptions from their on-disk
+    /// `report.json` and status marker. Default: 512.
+    pub terminal_retained: usize,
 }
 
 impl DaemonConfig {
@@ -64,6 +70,7 @@ impl DaemonConfig {
             tenant_max_active: 4,
             tenant_budget_bytes: None,
             lease_ttl: None,
+            terminal_retained: 512,
         }
     }
 
@@ -91,6 +98,12 @@ impl DaemonConfig {
         self
     }
 
+    /// Set how many terminal campaigns the in-memory registry retains.
+    pub fn with_terminal_retained(mut self, n: usize) -> Self {
+        self.terminal_retained = n;
+        self
+    }
+
     /// The configuration `gnnunlockd` runs with: every field from its
     /// environment knob, falling back to the documented defaults.
     pub fn from_env() -> Self {
@@ -114,6 +127,7 @@ impl DaemonConfig {
             .unwrap_or(4),
             tenant_budget_bytes: tenant_budget_from_env(),
             lease_ttl: env::lease_ttl_from_env(),
+            terminal_retained: 512,
         }
     }
 

@@ -23,6 +23,12 @@
 //! canonical `report.json` file contents as a JSON *string* — escaping
 //! makes it one line, and the client recovers the byte-exact file (no
 //! float re-rendering on the wire).
+//!
+//! Every client-supplied `id` is validated at parse time
+//! ([`validate_campaign_id`]): the daemon only ever generates 16-hex
+//! content addresses, and ids are used to name campaign directories, so
+//! anything else — path-traversal probes included — is rejected before
+//! it can reach a filesystem path.
 
 use gnnunlock_core::Submission;
 use gnnunlock_engine::Json;
@@ -45,13 +51,33 @@ pub enum Request {
     Shutdown,
 }
 
+/// Check that `id` has the only shape the daemon ever generates —
+/// 16 ASCII hex digits ([`gnnunlock_core::Submission::campaign_id`]).
+/// Ids name campaign directories on disk, so this is the trust
+/// boundary that keeps path-traversal probes (`"../.."` and friends)
+/// out of every filesystem join.
+///
+/// # Errors
+///
+/// Returns a client-facing message naming the expected shape.
+pub fn validate_campaign_id(id: &str) -> Result<(), String> {
+    if id.len() == 16 && id.chars().all(|c| c.is_ascii_hexdigit()) {
+        Ok(())
+    } else {
+        Err(format!(
+            "invalid campaign id '{id}' (expected 16 hex digits)"
+        ))
+    }
+}
+
 impl Request {
     /// Parse one request line.
     ///
     /// # Errors
     ///
     /// Returns a client-facing message on malformed JSON, a missing or
-    /// unknown `op`, or submission-field errors.
+    /// unknown `op`, an id that is not a 16-hex content address, or
+    /// submission-field errors.
     pub fn parse(line: &str) -> Result<Request, String> {
         let doc = Json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
         let op = doc
@@ -59,15 +85,23 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or("field 'op' (string) is required")?;
         let id = || -> Result<String, String> {
-            doc.get("id")
+            let id = doc
+                .get("id")
                 .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("op '{op}' requires field 'id'"))
+                .ok_or_else(|| format!("op '{op}' requires field 'id'"))?;
+            validate_campaign_id(id)?;
+            Ok(id.to_string())
         };
         match op {
             "submit" => Ok(Request::Submit(Submission::from_json(&doc)?)),
             "status" => Ok(Request::Status(
-                doc.get("id").and_then(Json::as_str).map(str::to_string),
+                match doc.get("id").and_then(Json::as_str) {
+                    Some(id) => {
+                        validate_campaign_id(id)?;
+                        Some(id.to_string())
+                    }
+                    None => None,
+                },
             )),
             "subscribe" => Ok(Request::Subscribe(id()?)),
             "report" => Ok(Request::Report(id()?)),
@@ -103,6 +137,9 @@ pub fn ok_doc(op: &str, fields: Vec<(&str, Json)>) -> Json {
 }
 
 /// The stream-terminating sentinel of a `subscribe` connection.
+/// `status` is the campaign's terminal status — or `"unknown"` when a
+/// subscription to a prior-life campaign directory timed out without
+/// ever seeing a terminal marker (the previous daemon died mid-run).
 pub fn subscribe_end_line(id: &str, status: &str) -> String {
     line(&Json::obj(vec![
         ("op", Json::Str("subscribe-end".to_string())),
@@ -122,8 +159,8 @@ mod tests {
             Request::Status(None)
         ));
         assert!(matches!(
-            Request::parse(r#"{"op":"status","id":"deadbeef"}"#).unwrap(),
-            Request::Status(Some(id)) if id == "deadbeef"
+            Request::parse(r#"{"op":"status","id":"00000000deadbeef"}"#).unwrap(),
+            Request::Status(Some(id)) if id == "00000000deadbeef"
         ));
         assert!(matches!(
             Request::parse(r#"{"op":"submit","tenant":"t","scheme":"antisat"}"#).unwrap(),
@@ -139,6 +176,18 @@ mod tests {
             (r#"{"op":"frobnicate"}"#, "unknown op"),
             (r#"{"op":"submit","scheme":"antisat"}"#, "tenant"),
             ("not json", "JSON"),
+            // Ids are 16-hex content addresses; traversal probes and
+            // short/foreign ids never reach a filesystem path.
+            (r#"{"op":"report","id":"../../.."}"#, "invalid campaign id"),
+            (
+                r#"{"op":"subscribe","id":"deadbeef"}"#,
+                "invalid campaign id",
+            ),
+            (
+                r#"{"op":"cancel","id":"0000000deadbeefX"}"#,
+                "invalid campaign id",
+            ),
+            (r#"{"op":"status","id":".."}"#, "invalid campaign id"),
         ] {
             let err = Request::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text} -> {err}");

@@ -10,7 +10,7 @@
 
 use crate::config::{poll_interval, DaemonConfig};
 use crate::protocol::{error_line, line, ok_doc, subscribe_end_line, Request};
-use crate::state::{CampaignStatus, DaemonCore, SubmitReceipt};
+use crate::state::{persisted_status, CampaignStatus, DaemonCore, SubmitReceipt};
 use crate::watch::poll_event_logs;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -105,11 +105,30 @@ impl Drop for Daemon {
     }
 }
 
+/// Largest request line accepted before the connection is dropped: no
+/// legal request (submissions included) comes anywhere near this, so
+/// anything bigger is a peer flooding bytes without a newline.
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Write-buffer high-water mark: past this many pending bytes the
+/// connection stops generating output (subscription pumping and request
+/// processing pause) until the peer drains its socket, so a slow or
+/// stalled reader cannot grow `wbuf` without bound.
+const WBUF_HIGH_WATER: usize = 256 * 1024;
+
+/// How long a subscription to a campaign the registry does not know
+/// (a prior-life directory) may stay silent with no terminal marker
+/// before the daemon ends the stream instead of polling forever — the
+/// prior daemon died mid-campaign and nobody is appending logs.
+const SUBSCRIBE_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Streaming state of a `subscribe`d connection.
 struct Stream {
     id: String,
     dir: PathBuf,
     cursors: BTreeMap<PathBuf, u64>,
+    /// Last time the stream consumed a line (or was created).
+    idle_since: Instant,
 }
 
 struct Conn {
@@ -145,6 +164,12 @@ impl Conn {
     }
 
     fn fill_read_buffer(&mut self) -> bool {
+        if self.close_after_flush || self.wbuf.len() >= WBUF_HIGH_WATER {
+            // Draining out, or the peer is not reading its responses:
+            // stop taking bytes (backpressure) — `rbuf` and `wbuf` both
+            // stay bounded.
+            return false;
+        }
         let mut any = false;
         let mut chunk = [0u8; 4096];
         loop {
@@ -158,6 +183,20 @@ impl Conn {
                 Ok(n) => {
                     self.rbuf.extend_from_slice(&chunk[..n]);
                     any = true;
+                    if self.rbuf.len() > MAX_REQUEST_LINE {
+                        if self.rbuf.contains(&b'\n') {
+                            // A pipelined burst: drain the complete
+                            // lines before reading further.
+                            return any;
+                        }
+                        // One "line" larger than any legal request:
+                        // reject it and drop the peer.
+                        self.rbuf.clear();
+                        self.wbuf
+                            .extend_from_slice(error_line("request line too long").as_bytes());
+                        self.close_after_flush = true;
+                        return any;
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return any,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -171,7 +210,15 @@ impl Conn {
 
     fn process_lines(&mut self, core: &DaemonCore) -> bool {
         let mut any = false;
-        while let Some(pos) = self.rbuf.iter().position(|&b| b == b'\n') {
+        loop {
+            if self.wbuf.len() >= WBUF_HIGH_WATER {
+                // Response backlog: leave the remaining requests in
+                // `rbuf` until the peer drains what it already owes us.
+                return any;
+            }
+            let Some(pos) = self.rbuf.iter().position(|&b| b == b'\n') else {
+                return any;
+            };
             let raw: Vec<u8> = self.rbuf.drain(..=pos).collect();
             let text = String::from_utf8_lossy(&raw[..raw.len() - 1]);
             let text = text.trim();
@@ -186,7 +233,6 @@ impl Conn {
             let response = self.handle(core, text);
             self.wbuf.extend_from_slice(response.as_bytes());
         }
-        any
     }
 
     fn handle(&mut self, core: &DaemonCore, text: &str) -> String {
@@ -248,6 +294,7 @@ impl Conn {
                     id: id.clone(),
                     dir,
                     cursors: BTreeMap::new(),
+                    idle_since: Instant::now(),
                 });
                 line(&ok_doc("subscribe", vec![("id", Json::Str(id))]))
             }
@@ -259,22 +306,30 @@ impl Conn {
     }
 
     fn pump_subscription(&mut self, core: &DaemonCore) -> bool {
-        let Some(sub) = &mut self.subscription else {
+        if self.subscription.is_none() || self.wbuf.len() >= WBUF_HIGH_WATER {
+            // No stream, or a slow reader hit the high-water mark:
+            // leave the log cursors where they are until the backlog
+            // drains.
             return false;
-        };
+        }
+        let sub = self.subscription.as_mut().expect("checked above");
         // Terminal-before-tail ordering: every log append happens
-        // before the worker marks the campaign terminal, so observing
-        // "terminal" first and then draining zero lines proves the
-        // stream is complete.
-        let terminal = match core.status_of(&sub.id) {
+        // before the worker marks the campaign terminal (registry
+        // status or on-disk marker), so observing "terminal" first and
+        // then draining zero lines proves the stream is complete.
+        let registered = core.status_of(&sub.id);
+        let terminal = match registered {
             Some(status) => status.is_terminal().then_some(status),
-            // Known only on disk (previous daemon life): terminal iff
-            // the canonical report exists.
-            None => sub
-                .dir
-                .join("report.json")
-                .is_file()
-                .then_some(CampaignStatus::Done),
+            // Known only on disk (previous daemon life, or evicted from
+            // the registry): the persisted status marker is canonical —
+            // report.json alone also exists for *failed* campaigns, so
+            // its mere presence only backs legacy marker-less dirs.
+            None => persisted_status(&sub.dir).or_else(|| {
+                sub.dir
+                    .join("report.json")
+                    .is_file()
+                    .then_some(CampaignStatus::Done)
+            }),
         };
         let wbuf = &mut self.wbuf;
         let consumed = poll_event_logs(&sub.dir, &mut sub.cursors, |l| {
@@ -282,16 +337,28 @@ impl Conn {
             wbuf.push(b'\n');
         })
         .unwrap_or(0);
-        if consumed == 0 {
-            if let Some(status) = terminal {
-                self.wbuf
-                    .extend_from_slice(subscribe_end_line(&sub.id, status.as_str()).as_bytes());
-                self.subscription = None;
-                self.close_after_flush = true;
-                return true;
-            }
+        if consumed > 0 {
+            sub.idle_since = Instant::now();
+            return true;
         }
-        consumed > 0
+        if let Some(status) = terminal {
+            self.wbuf
+                .extend_from_slice(subscribe_end_line(&sub.id, status.as_str()).as_bytes());
+            self.subscription = None;
+            self.close_after_flush = true;
+            return true;
+        }
+        if registered.is_none() && sub.idle_since.elapsed() >= SUBSCRIBE_IDLE_TIMEOUT {
+            // A prior-life directory that never reaches a terminal
+            // marker (the previous daemon died mid-campaign and nothing
+            // is appending): end the stream rather than poll forever.
+            self.wbuf
+                .extend_from_slice(subscribe_end_line(&sub.id, "unknown").as_bytes());
+            self.subscription = None;
+            self.close_after_flush = true;
+            return true;
+        }
+        false
     }
 
     fn flush(&mut self) -> bool {

@@ -11,13 +11,14 @@
 //! daemon-side coordination needed.
 
 use crate::config::DaemonConfig;
+use crate::protocol::validate_campaign_id;
 use gnnunlock_core::{run_campaign_sharded, Submission};
 use gnnunlock_engine::{
     gc_roots, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, Json, ReportOptions,
     ShardConfig,
 };
 use std::collections::{BTreeMap, VecDeque};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Lifecycle of one submitted campaign.
@@ -54,6 +55,33 @@ impl CampaignStatus {
             CampaignStatus::Done | CampaignStatus::Failed | CampaignStatus::Cancelled
         )
     }
+
+    /// Parse a wire name back into a status (inverse of
+    /// [`CampaignStatus::as_str`]); `None` on foreign text.
+    pub fn from_wire(s: &str) -> Option<CampaignStatus> {
+        match s {
+            "queued" => Some(CampaignStatus::Queued),
+            "running" => Some(CampaignStatus::Running),
+            "done" => Some(CampaignStatus::Done),
+            "failed" => Some(CampaignStatus::Failed),
+            "cancelled" => Some(CampaignStatus::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+/// Name of the terminal-status marker a worker writes into the campaign
+/// directory next to `report.json`.
+const STATUS_FILE: &str = "status";
+
+/// The terminal status a (possibly previous) daemon life persisted into
+/// campaign directory `dir`, if any. `report.json` alone is *not* proof
+/// of success — workers write it for failed campaigns too — so the
+/// marker is what `subscribe`/`submit` trust when the registry no
+/// longer holds the campaign.
+pub fn persisted_status(dir: &Path) -> Option<CampaignStatus> {
+    let text = std::fs::read_to_string(dir.join(STATUS_FILE)).ok()?;
+    CampaignStatus::from_wire(text.trim()).filter(|s| s.is_terminal())
 }
 
 /// What `submit` returns.
@@ -82,8 +110,26 @@ struct Entry {
 struct State {
     campaigns: BTreeMap<String, Entry>,
     queue: VecDeque<String>,
+    /// Terminal campaign ids, oldest first — the eviction order that
+    /// keeps the registry bounded over a long daemon lifetime.
+    terminal_order: VecDeque<String>,
     stopping: bool,
     live_workers: usize,
+}
+
+/// Record `id` as terminal and evict the oldest terminal entries beyond
+/// the retention `cap`. Evicted campaigns keep answering from disk: the
+/// canonical `report.json` dedups resubmissions and the persisted
+/// status marker settles subscriptions, exactly like a previous daemon
+/// life's campaigns.
+fn retain_terminal(st: &mut State, id: &str, cap: usize) {
+    st.terminal_order.push_back(id.to_string());
+    while st.terminal_order.len() > cap {
+        let Some(old) = st.terminal_order.pop_front() else {
+            break;
+        };
+        st.campaigns.remove(&old);
+    }
 }
 
 /// The shared daemon state machine (transport-independent).
@@ -101,6 +147,7 @@ impl DaemonCore {
             state: Mutex::new(State {
                 campaigns: BTreeMap::new(),
                 queue: VecDeque::new(),
+                terminal_order: VecDeque::new(),
                 stopping: false,
                 live_workers: 0,
             }),
@@ -141,9 +188,18 @@ impl DaemonCore {
             });
         }
         // A previous daemon life may have completed this exact
-        // campaign: the canonical report on disk answers it without
-        // executing anything.
-        if self.cfg.campaign_dir(&id).join("report.json").is_file() {
+        // campaign: a canonical report on disk answers it without
+        // executing anything — but only a *successful* one (the status
+        // marker, or legacy directories with a report and no marker).
+        // Failed or cancelled prior attempts fall through and re-queue;
+        // their cached store entries make the retry cheap.
+        let dir = self.cfg.campaign_dir(&id);
+        let prior = persisted_status(&dir).or_else(|| {
+            dir.join("report.json")
+                .is_file()
+                .then_some(CampaignStatus::Done)
+        });
+        if prior == Some(CampaignStatus::Done) {
             st.campaigns.insert(
                 id.clone(),
                 Entry {
@@ -155,6 +211,7 @@ impl DaemonCore {
                     error: None,
                 },
             );
+            retain_terminal(&mut st, &id, self.cfg.terminal_retained);
             return Ok(SubmitReceipt {
                 id,
                 status: CampaignStatus::Done,
@@ -250,9 +307,13 @@ impl DaemonCore {
     ///
     /// # Errors
     ///
-    /// Fails when the campaign is unknown or its report does not exist
-    /// yet (not terminal, or terminal without a report).
+    /// Fails when `id` is not a 16-hex content address (defense in
+    /// depth below the protocol layer — the id names a directory, so it
+    /// must never carry path components), when the campaign is unknown,
+    /// or when its report does not exist yet (not terminal, or terminal
+    /// without a report).
     pub fn report_text(&self, id: &str) -> Result<String, String> {
+        validate_campaign_id(id)?;
         let path = self.cfg.campaign_dir(id).join("report.json");
         if let Ok(text) = std::fs::read_to_string(&path) {
             return Ok(text);
@@ -285,6 +346,7 @@ impl DaemonCore {
                 entry.status = CampaignStatus::Cancelled;
                 entry.cancel.cancel();
                 st.queue.retain(|q| q != id);
+                retain_terminal(&mut st, id, self.cfg.terminal_retained);
                 Ok(CampaignStatus::Cancelled)
             }
             CampaignStatus::Running => {
@@ -411,21 +473,25 @@ impl DaemonCore {
             Ok((status, stats.executed, error))
         })();
         let tenant = submission.tenant.clone();
+        let (status, executed, error) = match outcome {
+            Ok(res) => res,
+            Err(e) => (CampaignStatus::Failed, 0, Some(e.to_string())),
+        };
+        // Persist the terminal status next to the report *before* the
+        // registry flips terminal (logs are already flushed, so the
+        // terminal-before-tail ordering holds): subscribers that find
+        // this campaign evicted from the registry — or a future daemon
+        // life — read the true status instead of inferring "done" from
+        // the mere existence of report.json.
+        let _ = std::fs::write(dir.join(STATUS_FILE), format!("{}\n", status.as_str()));
         {
             let mut st = self.state.lock().unwrap();
             if let Some(entry) = st.campaigns.get_mut(id) {
-                match outcome {
-                    Ok((status, executed, error)) => {
-                        entry.status = status;
-                        entry.executed = executed;
-                        entry.error = error;
-                    }
-                    Err(e) => {
-                        entry.status = CampaignStatus::Failed;
-                        entry.error = Some(e.to_string());
-                    }
-                }
+                entry.status = status;
+                entry.executed = executed;
+                entry.error = error;
             }
+            retain_terminal(&mut st, id, self.cfg.terminal_retained);
         }
         self.enforce_tenant_budget(&tenant);
         self.work.notify_all();
@@ -452,11 +518,15 @@ impl DaemonCore {
                     .join("tenants")
                     .join(&ns)
                     .join("objects");
-                if entry.status.is_terminal() {
-                    roots.push(objects);
-                } else {
-                    protected.push(objects);
+                // Every campaign's store counts toward the tenant's
+                // bytes; still-active campaigns are additionally
+                // shielded (gc_roots counts entries under a protected
+                // root but never evicts them), so a tenant with running
+                // campaigns pays for them by losing terminal entries.
+                if !entry.status.is_terminal() {
+                    protected.push(objects.clone());
                 }
+                roots.push(objects);
             }
         }
         gc_roots(&roots, &protected, budget);
@@ -529,7 +599,9 @@ mod tests {
     }
 
     /// A canonical report from a "previous daemon life" answers a fresh
-    /// submission without queuing anything.
+    /// submission without queuing anything — but only a *successful*
+    /// one; a persisted failure re-queues instead of masquerading as
+    /// done.
     #[test]
     fn on_disk_reports_answer_resubmissions() {
         let root = tmp_root("prior-life");
@@ -544,6 +616,100 @@ mod tests {
         assert_eq!(receipt.status, CampaignStatus::Done);
         assert!(receipt.deduped);
         assert_eq!(core.report_text(&id).unwrap(), "{\"schema\": 1}\n");
+
+        // A failed prior attempt (status marker says so, even though a
+        // report exists) queues a fresh attempt instead of deduping.
+        let failed_id = sub("acme", "b").campaign_id();
+        let failed_dir = core.campaign_dir(&failed_id);
+        std::fs::create_dir_all(&failed_dir).unwrap();
+        std::fs::write(failed_dir.join("report.json"), "{\"schema\": 1}\n").unwrap();
+        std::fs::write(failed_dir.join(STATUS_FILE), "failed\n").unwrap();
+        assert_eq!(persisted_status(&failed_dir), Some(CampaignStatus::Failed));
+        let receipt = core.submit(sub("acme", "b")).unwrap();
+        assert_eq!(receipt.status, CampaignStatus::Queued);
+        assert!(!receipt.deduped);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Ids are validated below the protocol layer too: a traversal
+    /// probe never reaches a filesystem read.
+    #[test]
+    fn report_text_rejects_non_content_address_ids() {
+        let root = tmp_root("traversal");
+        std::fs::create_dir_all(&root).unwrap();
+        // A juicy target one level above the campaigns dir.
+        std::fs::write(root.join("report.json"), "secret\n").unwrap();
+        let core = DaemonCore::new(DaemonConfig::new(&root));
+        for id in ["..", "../..", "x", "0000000deadbeefX", ""] {
+            let err = core.report_text(id).unwrap_err();
+            assert!(err.contains("invalid campaign id"), "{id:?} -> {err}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The registry stays bounded: terminal entries beyond the
+    /// retention cap are evicted, oldest first, and resubmissions of an
+    /// evicted campaign start afresh (no on-disk report here).
+    #[test]
+    fn terminal_entries_evict_beyond_retention() {
+        let root = tmp_root("retention");
+        let core = DaemonCore::new(
+            DaemonConfig::new(&root)
+                .with_terminal_retained(1)
+                .with_tenant_max_active(8),
+        );
+        let a = core.submit(sub("acme", "a")).unwrap().id;
+        let b = core.submit(sub("acme", "b")).unwrap().id;
+        core.cancel(&a).unwrap();
+        assert_eq!(core.status_of(&a), Some(CampaignStatus::Cancelled));
+        core.cancel(&b).unwrap();
+        // `a` was the oldest terminal entry; the cap of 1 evicts it.
+        assert_eq!(core.status_of(&a), None);
+        assert_eq!(core.status_of(&b), Some(CampaignStatus::Cancelled));
+        let again = core.submit(sub("acme", "a")).unwrap();
+        assert_eq!(again.id, a);
+        assert!(!again.deduped, "evicted+reportless campaigns re-queue");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Tenant budget accounting covers active campaigns' bytes: they
+    /// are protected from eviction but still count, so terminal entries
+    /// are swept to make room.
+    #[test]
+    fn tenant_budget_counts_active_campaign_bytes() {
+        let root = tmp_root("budget");
+        let core = DaemonCore::new(
+            DaemonConfig::new(&root)
+                .with_tenant_budget(1024)
+                .with_tenant_max_active(8),
+        );
+        // No workers spawned: `active` stays queued (= protected).
+        let active = core.submit(sub("acme", "active")).unwrap().id;
+        let done = core.submit(sub("acme", "done")).unwrap().id;
+        core.cancel(&done).unwrap();
+        let write_obj = |id: &str, name: &str, len: usize| {
+            let objects = core
+                .campaign_dir(id)
+                .join("tenants")
+                .join("acme")
+                .join("objects");
+            std::fs::create_dir_all(&objects).unwrap();
+            std::fs::write(objects.join(name), vec![0u8; len]).unwrap();
+        };
+        write_obj(&active, "live.bin", 900);
+        write_obj(&done, "old.bin", 900);
+        core.enforce_tenant_budget("acme");
+        // 900 + 900 > 1024: the active campaign's bytes alone would fit
+        // the budget, but they count — so the terminal entry must go
+        // while the active one survives untouched.
+        assert!(core
+            .campaign_dir(&active)
+            .join("tenants/acme/objects/live.bin")
+            .is_file());
+        assert!(!core
+            .campaign_dir(&done)
+            .join("tenants/acme/objects/old.bin")
+            .is_file());
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -107,6 +107,100 @@ fn wait_done(addr: SocketAddr, id: &str) -> Instant {
     }
 }
 
+/// Hardening: traversal ids bounce at the protocol layer, oversize
+/// request lines drop the connection instead of growing buffers, and a
+/// prior-life campaign directory streams its *persisted* terminal
+/// status (a failed run must not be announced as done).
+#[test]
+fn daemon_guards_ids_buffers_and_prior_life_status() {
+    let root = tmp_dir("guards");
+    // A prior daemon life left a failed campaign behind: event log,
+    // report (written for failures too) and the status marker.
+    let failed_id = "00000000deadbeef";
+    let dir = root.join("campaigns").join(failed_id);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("events.jsonl"), "{\"ev\":\"prior\"}\n").unwrap();
+    std::fs::write(dir.join("report.json"), "{\"schema\": 1}\n").unwrap();
+    std::fs::write(dir.join("status"), "failed\n").unwrap();
+    // A juicy traversal target one level above the campaigns dir.
+    std::fs::write(root.join("report.json"), "secret\n").unwrap();
+
+    let daemon = Daemon::start(DaemonConfig::new(&root)).unwrap();
+    let addr = daemon.addr();
+
+    // Path-traversal probes: rejected before any filesystem join, for
+    // every id-carrying op.
+    for probe in [
+        r#"{"op":"report","id":"../.."}"#,
+        r#"{"op":"report","id":".."}"#,
+        r#"{"op":"subscribe","id":"../.."}"#,
+        r#"{"op":"cancel","id":"deadbeef"}"#,
+        r#"{"op":"status","id":"../../etc"}"#,
+    ] {
+        let doc = request(addr, probe);
+        assert!(!is_ok(&doc), "{probe} must be rejected: {doc:?}");
+        assert!(
+            str_field(&doc, "error").contains("invalid campaign id"),
+            "{probe} -> {doc:?}"
+        );
+    }
+
+    // An oversize request line (no newline) is answered with an error
+    // and the connection is dropped — the read buffer never grows past
+    // the cap.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let chunk = vec![b'a'; 64 * 1024];
+        for _ in 0..17 {
+            // 17 * 64 KiB > 1 MiB
+            stream.write_all(&chunk).unwrap();
+        }
+        let mut reader = BufReader::new(stream);
+        let mut answer = String::new();
+        reader.read_line(&mut answer).unwrap();
+        let doc = Json::parse(answer.trim_end()).unwrap();
+        assert!(!is_ok(&doc), "{doc:?}");
+        assert!(str_field(&doc, "error").contains("too long"), "{doc:?}");
+        // Closed afterwards: clean EOF, or a reset if our unread bytes
+        // were still in the daemon's receive buffer.
+        let mut rest = String::new();
+        let n = reader.read_line(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection must close after the error: {rest:?}");
+    }
+
+    // Subscribing to the prior-life campaign replays its log and ends
+    // with the persisted status — "failed", not "done".
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        stream
+            .write_all(format!("{{\"op\":\"subscribe\",\"id\":\"{failed_id}\"}}\n").as_bytes())
+            .unwrap();
+        let reader = BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert!(is_ok(&Json::parse(&lines[0]).unwrap()), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("prior")), "{lines:?}");
+        let sentinel = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(str_field(&sentinel, "op"), "subscribe-end");
+        assert_eq!(str_field(&sentinel, "status"), "failed", "{lines:?}");
+    }
+
+    // And `report` still serves the prior-life report by its real id.
+    let doc = request(addr, &format!(r#"{{"op":"report","id":"{failed_id}"}}"#));
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(str_field(&doc, "report"), "{\"schema\": 1}\n");
+
+    let doc = request(addr, r#"{"op":"shutdown"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn daemon_serves_submits_streams_and_dedups() {
     let root = tmp_dir("service");
