@@ -1,9 +1,10 @@
 //! Daemon configuration and its `GNNUNLOCK_*` environment knobs.
 
 use gnnunlock_engine::{
-    default_workers, env, knob_or, knob_path, knob_validated, tenant_budget_from_env,
+    default_workers, env, knob_or, knob_path, knob_validated, tenant_budget_from_env, StoreBackend,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Environment variable naming the address `gnnunlockd` binds
@@ -56,6 +57,12 @@ pub struct DaemonConfig {
     /// answering resubmissions and subscriptions from their on-disk
     /// `report.json` and status marker. Default: 512.
     pub terminal_retained: usize,
+    /// Store backend campaign executions and tenant budget sweeps run
+    /// against. `None` (the default) resolves per campaign directory via
+    /// [`gnnunlock_engine::STORE_BACKEND_ENV`] — the local filesystem
+    /// unless overridden. Tests pass a [`gnnunlock_engine::FaultBackend`]
+    /// here to run the daemon's store traffic in memory.
+    pub store_backend: Option<Arc<dyn StoreBackend>>,
 }
 
 impl DaemonConfig {
@@ -71,6 +78,7 @@ impl DaemonConfig {
             tenant_budget_bytes: None,
             lease_ttl: None,
             terminal_retained: 512,
+            store_backend: None,
         }
     }
 
@@ -104,6 +112,13 @@ impl DaemonConfig {
         self
     }
 
+    /// Run campaign stores and budget sweeps against an explicit
+    /// backend (overriding [`gnnunlock_engine::STORE_BACKEND_ENV`]).
+    pub fn with_store_backend(mut self, backend: Arc<dyn StoreBackend>) -> Self {
+        self.store_backend = Some(backend);
+        self
+    }
+
     /// The configuration `gnnunlockd` runs with: every field from its
     /// environment knob, falling back to the documented defaults.
     pub fn from_env() -> Self {
@@ -128,6 +143,7 @@ impl DaemonConfig {
             tenant_budget_bytes: tenant_budget_from_env(),
             lease_ttl: env::lease_ttl_from_env(),
             terminal_retained: 512,
+            store_backend: None,
         }
     }
 

@@ -14,8 +14,8 @@ use crate::config::DaemonConfig;
 use crate::protocol::validate_campaign_id;
 use gnnunlock_core::{run_campaign_sharded, Submission};
 use gnnunlock_engine::{
-    gc_roots, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, Json, ReportOptions,
-    ShardConfig,
+    gc_roots, gc_roots_with, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, Json,
+    ReportOptions, ShardConfig,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -436,6 +436,9 @@ impl DaemonCore {
             if let Some(ttl) = self.cfg.lease_ttl {
                 shard = shard.with_ttl(ttl);
             }
+            if let Some(backend) = &self.cfg.store_backend {
+                shard = shard.with_backend(backend.clone());
+            }
             let exec = ExecConfig {
                 workers: self.cfg.workers,
                 cancel: cancel.clone(),
@@ -529,7 +532,14 @@ impl DaemonCore {
                 roots.push(objects);
             }
         }
-        gc_roots(&roots, &protected, budget);
+        match &self.cfg.store_backend {
+            Some(backend) => {
+                gc_roots_with(backend.as_ref(), &roots, &protected, budget);
+            }
+            None => {
+                gc_roots(&roots, &protected, budget);
+            }
+        }
     }
 }
 
@@ -710,6 +720,65 @@ mod tests {
             .campaign_dir(&done)
             .join("tenants/acme/objects/old.bin")
             .is_file());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The budget sweep runs against the *configured* store backend:
+    /// with an in-memory `FaultBackend` installed, eviction happens in
+    /// memory and nothing touches the real filesystem. In-flight
+    /// protocol files (`.tmp-*`, `.lease`) are never billed to the
+    /// tenant's budget, and stale orphaned ones are collected by the
+    /// same sweep.
+    #[test]
+    fn tenant_budget_sweep_runs_on_the_configured_backend() {
+        use gnnunlock_engine::{FaultBackend, StoreBackend};
+        use std::time::Duration;
+
+        let root = tmp_root("budget-backend");
+        let backend = Arc::new(FaultBackend::new());
+        let core = DaemonCore::new(
+            DaemonConfig::new(&root)
+                .with_tenant_budget(1024)
+                .with_tenant_max_active(8)
+                .with_store_backend(backend.clone()),
+        );
+        let active = core.submit(sub("acme", "active")).unwrap().id;
+        let done = core.submit(sub("acme", "done")).unwrap().id;
+        core.cancel(&done).unwrap();
+        let obj = |id: &str, name: &str| {
+            core.campaign_dir(id)
+                .join("tenants/acme/objects")
+                .join(name)
+        };
+        backend.insert_raw(&obj(&active, "live.bin"), &[0u8; 900]);
+        backend.insert_raw(&obj(&done, "old.bin"), &[0u8; 900]);
+        // A huge in-flight temp and a held lease: invisible to the
+        // 1024-byte budget (billing them would evict every entry) and
+        // untouched while fresh.
+        backend.insert_raw(&obj(&done, ".tmp-42-0"), &[0u8; 64 * 1024]);
+        backend.insert_raw(
+            &obj(&done, "x.lease"),
+            b"gnnunlock-lease owner=w pid=1 gen=0\n",
+        );
+        // A *stale* orphaned temp is collected by the sweep itself.
+        let stale = obj(&done, ".tmp-7-7");
+        backend.insert_raw(&stale, b"orphan");
+        backend.age(&stale, Duration::from_secs(2 * 3600));
+
+        core.enforce_tenant_budget("acme");
+        assert!(backend.contains(&obj(&active, "live.bin")), "protected");
+        assert!(
+            !backend.contains(&obj(&done, "old.bin")),
+            "terminal entry evicted, in memory"
+        );
+        assert!(
+            backend.contains(&obj(&done, ".tmp-42-0")),
+            "fresh in-flight temp is not the sweep's to take"
+        );
+        assert!(backend.contains(&obj(&done, "x.lease")), "fresh lease kept");
+        assert!(!backend.contains(&stale), "stale orphan swept");
+        // Nothing leaked onto the real filesystem.
+        assert!(!core.campaign_dir(&done).join("tenants").exists());
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,1115 @@
+//! Pluggable store backends: the atomicity obligations of the
+//! persistence + coordination substrate, as a trait.
+//!
+//! [`crate::DiskStore`] and [`crate::LeaseManager`] are built from a
+//! small set of filesystem tricks — write-then-rename publish,
+//! create-new lease claims, rename-arbitrated takeover. [`StoreBackend`]
+//! names those tricks as trait obligations so the engine's correctness
+//! argument is stated once, against the trait, and every backend either
+//! honors the contract or is a bug:
+//!
+//! - [`StoreBackend::publish`] — **atomic last-writer-wins**: a reader
+//!   observes either no file or one writer's complete bytes, never a
+//!   torn mixture, whatever the crash/interleaving;
+//! - [`StoreBackend::claim`] — **exactly-one-winner create**: among any
+//!   number of concurrent claimants of one path, exactly one succeeds
+//!   and the rest fail with [`io::ErrorKind::AlreadyExists`];
+//! - [`StoreBackend::entomb`] — **rename-arbitrated takeover**: among
+//!   concurrent renames of one source path, exactly one wins; losers
+//!   fail (the file is gone).
+//!
+//! Two implementations ship today: [`LocalDirBackend`] (the production
+//! backend — the original `DiskStore`/`LeaseManager` filesystem code
+//! moved behind the trait, byte-for-byte compatible with stores written
+//! before the trait existed) and [`FaultBackend`] (an in-memory backend
+//! whose deterministic, seeded fault schedule simulates crashed writers,
+//! torn reads/writes, NFS-style delayed visibility and transient I/O
+//! errors — turning the crash/takeover test matrix from
+//! timing-dependent SIGKILL choreography into fast exhaustive unit
+//! tests). The NFS- and object-store-shaped backends on the roadmap
+//! implement the same trait: conditional-put/ETag leases are just
+//! another way to discharge the `claim` obligation.
+//!
+//! Backend selection: explicit (`ShardConfig::with_backend`,
+//! `DaemonConfig::with_store_backend`, `DiskStore::open_with_backend`)
+//! or via [`STORE_BACKEND_ENV`] (`local` — the default — or `memory`,
+//! which maps each store root onto a process-global [`FaultBackend`]
+//! with no faults scheduled; CI runs the backend-agnostic suite under
+//! both values).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, SystemTime};
+
+/// Environment variable selecting the store backend implementation:
+/// `local` (the default; real directories + atomic renames) or `memory`
+/// (a process-global in-memory [`FaultBackend`] per store root — no
+/// durability, used by the CI backend matrix and fault soak). Malformed
+/// values warn via [`crate::env`] and fall back to `local`.
+pub const STORE_BACKEND_ENV: &str = "GNNUNLOCK_STORE_BACKEND";
+
+/// One file's metadata as reported by [`StoreBackend::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Full path of the file (under the listed directory).
+    pub path: PathBuf,
+    /// File length in bytes.
+    pub len: u64,
+    /// Last-modified time — the LRU/staleness clock every cooperating
+    /// process shares.
+    pub mtime: SystemTime,
+}
+
+/// The atomicity obligations of a store + lease substrate. See the
+/// [module docs](self) for the contract each method must honor.
+///
+/// All paths are absolute-or-relative paths *as the engine computes
+/// them*; a backend is free to treat them as opaque keys (the in-memory
+/// backend does) as long as prefix/parent relationships still hold for
+/// [`StoreBackend::list`].
+pub trait StoreBackend: Send + Sync + std::fmt::Debug {
+    /// Short stable name for diagnostics (`"local"`, `"memory"`).
+    fn name(&self) -> &'static str;
+
+    /// Ensure `dir` exists (no-op where directories aren't real).
+    fn ensure_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Atomically materialize `bytes` at `path` (last writer wins).
+    /// Readers must never observe a torn mixture under `path`; a
+    /// crashed publish may leave an orphaned `.tmp-*` sibling but never
+    /// a partial file under the final name. Creates parent directories.
+    fn publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Create `path` holding exactly `content` iff it does not already
+    /// exist: among concurrent claimants exactly one succeeds, the rest
+    /// fail with [`io::ErrorKind::AlreadyExists`]. Creates parent
+    /// directories.
+    fn claim(&self, path: &Path, content: &[u8]) -> io::Result<()>;
+
+    /// Atomically rename `path` to `tomb`: among concurrent entombers
+    /// of one `path`, exactly one wins; losers fail (typically
+    /// [`io::ErrorKind::NotFound`]).
+    fn entomb(&self, path: &Path, tomb: &Path) -> io::Result<()>;
+
+    /// Read the full contents of `path`.
+    fn load(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whether `path` currently exists (a cheap probe, no validation).
+    fn contains(&self, path: &Path) -> bool;
+
+    /// Delete `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Refresh `path`'s mtime to now — the heartbeat / LRU-touch
+    /// primitive.
+    fn refresh(&self, path: &Path) -> io::Result<()>;
+
+    /// `path`'s last-modified time.
+    fn mtime(&self, path: &Path) -> io::Result<SystemTime>;
+
+    /// The files under `dir` — direct children only, or the whole
+    /// subtree when `recursive`. A missing directory lists as empty.
+    fn list(&self, dir: &Path, recursive: bool) -> io::Result<Vec<FileMeta>>;
+}
+
+/// Whether an I/O error kind is transient — worth retrying rather than
+/// treating as a verdict (entry corrupt, lease lost). Shared by the
+/// store's load path and the lease readers.
+pub(crate) fn is_transient_kind(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted | io::ErrorKind::TimedOut
+    )
+}
+
+/// Process-wide counter making `.tmp-<pid>-<n>` staging names unique
+/// across every handle in this process, not just within one.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The production backend: real directories, write-then-rename publish,
+/// `O_CREAT|O_EXCL`-style claims, `rename(2)` arbitration. Byte-for-byte
+/// compatible with store directories written before [`StoreBackend`]
+/// existed.
+#[derive(Debug, Default)]
+pub struct LocalDirBackend;
+
+impl LocalDirBackend {
+    /// A local-directory backend.
+    pub fn new() -> Self {
+        LocalDirBackend
+    }
+
+    fn staging_name(prefix: &str) -> String {
+        format!(
+            ".tmp-{prefix}{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+}
+
+impl StoreBackend for LocalDirBackend {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn ensure_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().unwrap_or(Path::new("."));
+        fs::create_dir_all(dir)?;
+        // Unique-per-(process, call) temp name so concurrent writers of
+        // the same path never clobber each other's half-written files;
+        // the final rename is atomic and last-writer-wins.
+        let tmp = dir.join(Self::staging_name(""));
+        let write = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        write
+    }
+
+    fn claim(&self, path: &Path, content: &[u8]) -> io::Result<()> {
+        let dir = path.parent().unwrap_or(Path::new("."));
+        fs::create_dir_all(dir)?;
+        // Stage the full content first, then link it under the claimed
+        // name: `link(2)` fails with EEXIST if the path exists, so the
+        // claim stays exactly-one-winner *and* no reader can ever see a
+        // half-written claim file (the create-new-then-write protocol
+        // this replaces had a torn window between create and write).
+        // The staging name reuses the `.tmp-` prefix so a claimant
+        // crashed mid-stage is collected by the regular orphan sweep.
+        let staged = dir.join(Self::staging_name("claim-"));
+        fs::write(&staged, content)?;
+        let linked = fs::hard_link(&staged, path);
+        let _ = fs::remove_file(&staged);
+        match linked {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Err(e),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Unsupported | io::ErrorKind::PermissionDenied
+                ) =>
+            {
+                // Filesystems without hard links: fall back to the
+                // legacy create-new + write protocol (still exactly one
+                // winner; readers tolerate the torn window).
+                let mut f = fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(path)?;
+                f.write_all(content)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn entomb(&self, path: &Path, tomb: &Path) -> io::Result<()> {
+        fs::rename(path, tomb)
+    }
+
+    fn load(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn contains(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn refresh(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .append(true)
+            .open(path)?
+            .set_modified(SystemTime::now())
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<SystemTime> {
+        fs::metadata(path)?.modified()
+    }
+
+    fn list(&self, dir: &Path, recursive: bool) -> io::Result<Vec<FileMeta>> {
+        fn walk(dir: &Path, recursive: bool, out: &mut Vec<FileMeta>) {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    if recursive {
+                        walk(&path, recursive, out);
+                    }
+                } else if let Ok(meta) = entry.metadata() {
+                    out.push(FileMeta {
+                        path,
+                        len: meta.len(),
+                        mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    });
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(dir, recursive, &mut out);
+        Ok(out)
+    }
+}
+
+/// The operation an injected fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// [`StoreBackend::publish`].
+    Publish,
+    /// [`StoreBackend::claim`].
+    Claim,
+    /// [`StoreBackend::entomb`].
+    Entomb,
+    /// [`StoreBackend::load`].
+    Load,
+    /// [`StoreBackend::refresh`].
+    Refresh,
+    /// [`StoreBackend::remove`].
+    Remove,
+}
+
+impl FaultOp {
+    /// Stable lowercase tag (journal / diagnostics).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultOp::Publish => "publish",
+            FaultOp::Claim => "claim",
+            FaultOp::Entomb => "entomb",
+            FaultOp::Load => "load",
+            FaultOp::Refresh => "refresh",
+            FaultOp::Remove => "remove",
+        }
+    }
+}
+
+/// The failure a matched [`FaultRule`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The writer died after staging its bytes but before the atomic
+    /// rename: the final path is untouched, an orphaned `.tmp-crash-*`
+    /// sibling is left behind, and the operation errors.
+    CrashBeforeRename,
+    /// The challenger died immediately after the tomb rename: the
+    /// rename *is applied* (the lease is gone, the tomb exists), then
+    /// the operation errors — the crash window of satellite bug 3.
+    CrashAfterEntomb,
+    /// The writer died (or a reader raced it) mid-write: the path holds
+    /// only the first `n` bytes of the content. On `claim` the torn
+    /// file *exists* (modeling the legacy create-new-then-write
+    /// protocol and NFS partial visibility); on `publish` the torn
+    /// bytes land in an orphaned temp sibling, never under the final
+    /// name (publish is atomic).
+    TornWrite(usize),
+    /// The reader observed only the first `n` bytes — an NFS
+    /// close-to-open cache serving a stale partial page.
+    TornRead(usize),
+    /// The path is reported absent for this one operation even though
+    /// it exists — NFS close-to-open delayed visibility.
+    Invisible,
+    /// A spurious transient error ([`io::ErrorKind::WouldBlock`]); the
+    /// operation has no effect and succeeds if retried.
+    Transient,
+}
+
+impl Fault {
+    /// Stable lowercase tag (journal / diagnostics).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Fault::CrashBeforeRename => "crash-before-rename",
+            Fault::CrashAfterEntomb => "crash-after-entomb",
+            Fault::TornWrite(_) => "torn-write",
+            Fault::TornRead(_) => "torn-read",
+            Fault::Invisible => "invisible",
+            Fault::Transient => "transient",
+        }
+    }
+}
+
+/// One entry of a [`FaultBackend`] schedule: the `skip`-th-and-after
+/// matching operation (op kind + path substring) fires `fault`, once.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// The operation kind this rule matches.
+    pub op: FaultOp,
+    /// Substring the operation's path must contain (`""` matches all).
+    pub path_contains: String,
+    /// Matching operations to let through before firing.
+    pub skip: usize,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+impl FaultRule {
+    /// A rule firing `fault` on the first `op` whose path contains
+    /// `path_contains`.
+    pub fn on(op: FaultOp, path_contains: impl Into<String>, fault: Fault) -> Self {
+        FaultRule {
+            op,
+            path_contains: path_contains.into(),
+            skip: 0,
+            fault,
+        }
+    }
+
+    /// Let `skip` matching operations through before firing.
+    pub fn after(mut self, skip: usize) -> Self {
+        self.skip = skip;
+        self
+    }
+}
+
+/// One journaled backend operation (for test assertions).
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Global operation sequence number.
+    pub seq: u64,
+    /// The operation kind.
+    pub op: FaultOp,
+    /// The path operated on.
+    pub path: PathBuf,
+    /// The fault injected into this operation, if any.
+    pub fault: Option<Fault>,
+    /// Whether the operation returned `Ok`.
+    pub ok: bool,
+}
+
+#[derive(Debug, Clone)]
+struct MemFile {
+    bytes: Vec<u8>,
+    mtime: SystemTime,
+}
+
+#[derive(Debug)]
+struct ArmedRule {
+    rule: FaultRule,
+    seen: usize,
+    fired: bool,
+}
+
+/// In-memory [`StoreBackend`] with deterministic fault injection.
+///
+/// Files live in a `BTreeMap` guarded by one mutex, so the
+/// exactly-one-winner obligations hold trivially; mtimes are real
+/// [`SystemTime`]s that tests doctor directly ([`FaultBackend::age`])
+/// instead of sleeping, which is what makes the crash matrix run in
+/// milliseconds. Faults are scheduled as [`FaultRule`]s — each fires
+/// exactly once on the first matching operation past its `skip` count —
+/// and every mutating/reading operation is journaled for assertions.
+#[derive(Debug, Default)]
+pub struct FaultBackend {
+    files: Mutex<BTreeMap<PathBuf, MemFile>>,
+    rules: Mutex<Vec<ArmedRule>>,
+    journal: Mutex<Vec<JournalEntry>>,
+    seq: AtomicU64,
+}
+
+impl FaultBackend {
+    /// A fault-free in-memory backend.
+    pub fn new() -> Self {
+        FaultBackend::default()
+    }
+
+    /// A backend with `rules` pre-scheduled.
+    pub fn with_rules(rules: impl IntoIterator<Item = FaultRule>) -> Self {
+        let b = FaultBackend::new();
+        for r in rules {
+            b.inject(r);
+        }
+        b
+    }
+
+    /// Schedule one more fault rule.
+    pub fn inject(&self, rule: FaultRule) {
+        self.rules.lock().unwrap().push(ArmedRule {
+            rule,
+            seen: 0,
+            fired: false,
+        });
+    }
+
+    /// Drop all scheduled (fired or not) rules.
+    pub fn clear_rules(&self) {
+        self.rules.lock().unwrap().clear();
+    }
+
+    /// How many scheduled rules have fired.
+    pub fn faults_fired(&self) -> usize {
+        self.rules
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|r| r.fired)
+            .count()
+    }
+
+    /// The operation journal so far.
+    pub fn journal(&self) -> Vec<JournalEntry> {
+        self.journal.lock().unwrap().clone()
+    }
+
+    /// Every path currently stored, in sorted order.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.files.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Raw bytes at `path`, bypassing faults and the journal.
+    pub fn read_raw(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)
+            .map(|f| f.bytes.clone())
+    }
+
+    /// Insert `bytes` at `path` directly (mtime now), bypassing faults
+    /// and the journal — for constructing post-crash states in tests.
+    pub fn insert_raw(&self, path: &Path, bytes: &[u8]) {
+        self.files.lock().unwrap().insert(
+            path.to_path_buf(),
+            MemFile {
+                bytes: bytes.to_vec(),
+                mtime: SystemTime::now(),
+            },
+        );
+    }
+
+    /// Set `path`'s mtime exactly; `false` when absent.
+    pub fn set_mtime(&self, path: &Path, mtime: SystemTime) -> bool {
+        match self.files.lock().unwrap().get_mut(path) {
+            Some(f) => {
+                f.mtime = mtime;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Back-date `path`'s mtime by `by` — the no-sleep way to make a
+    /// lease stale or an orphan old. `false` when absent.
+    pub fn age(&self, path: &Path, by: Duration) -> bool {
+        self.set_mtime(path, SystemTime::now() - by)
+    }
+
+    /// The first due rule matching `(op, path)`, marked fired. Every
+    /// matching unfired rule's skip count advances — `.after(n)` counts
+    /// matching *operations*, not operations left over by earlier rules.
+    fn check(&self, op: FaultOp, path: &Path) -> Option<Fault> {
+        let path_str = path.to_string_lossy();
+        let mut rules = self.rules.lock().unwrap();
+        let mut hit = None;
+        for armed in rules.iter_mut() {
+            if armed.fired || armed.rule.op != op || !path_str.contains(&armed.rule.path_contains) {
+                continue;
+            }
+            let due = armed.seen >= armed.rule.skip;
+            armed.seen += 1;
+            if hit.is_none() && due {
+                armed.fired = true;
+                hit = Some(armed.rule.fault);
+            }
+        }
+        hit
+    }
+
+    fn record(&self, op: FaultOp, path: &Path, fault: Option<Fault>, ok: bool) {
+        self.journal.lock().unwrap().push(JournalEntry {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            op,
+            path: path.to_path_buf(),
+            fault,
+            ok,
+        });
+    }
+
+    fn injected(&self, op: FaultOp, path: &Path, fault: Fault, kind: io::ErrorKind) -> io::Error {
+        self.record(op, path, Some(fault), false);
+        io::Error::new(
+            kind,
+            format!("injected fault: {} on {}", fault.tag(), op.tag()),
+        )
+    }
+}
+
+impl StoreBackend for FaultBackend {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn ensure_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let op = FaultOp::Publish;
+        match self.check(op, path) {
+            Some(f @ Fault::Transient) => {
+                return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock))
+            }
+            Some(f @ (Fault::CrashBeforeRename | Fault::TornWrite(_))) => {
+                // The staged temp sibling survives the crash; the final
+                // path is untouched (publish stays atomic even when the
+                // writer dies).
+                let staged = match f {
+                    Fault::TornWrite(n) => &bytes[..n.min(bytes.len())],
+                    _ => bytes,
+                };
+                let tmp =
+                    path.with_file_name(format!(".tmp-crash-{}", self.seq.load(Ordering::Relaxed)));
+                self.insert_raw(&tmp, staged);
+                return Err(self.injected(op, path, f, io::ErrorKind::Other));
+            }
+            Some(f) => return Err(self.injected(op, path, f, io::ErrorKind::Other)),
+            None => {}
+        }
+        self.insert_raw(path, bytes);
+        self.record(op, path, None, true);
+        Ok(())
+    }
+
+    fn claim(&self, path: &Path, content: &[u8]) -> io::Result<()> {
+        let op = FaultOp::Claim;
+        let fault = self.check(op, path);
+        if let Some(f @ Fault::Transient) = fault {
+            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
+        }
+        let mut files = self.files.lock().unwrap();
+        if files.contains_key(path) {
+            drop(files);
+            self.record(op, path, None, false);
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("lease exists: {}", path.display()),
+            ));
+        }
+        if let Some(Fault::TornWrite(n)) = fault {
+            // The claimant won the create but died mid-write: the file
+            // exists under the claimed name with a content prefix only.
+            files.insert(
+                path.to_path_buf(),
+                MemFile {
+                    bytes: content[..n.min(content.len())].to_vec(),
+                    mtime: SystemTime::now(),
+                },
+            );
+            drop(files);
+            return Err(self.injected(op, path, Fault::TornWrite(n), io::ErrorKind::Other));
+        }
+        if let Some(f) = fault {
+            drop(files);
+            return Err(self.injected(op, path, f, io::ErrorKind::Other));
+        }
+        files.insert(
+            path.to_path_buf(),
+            MemFile {
+                bytes: content.to_vec(),
+                mtime: SystemTime::now(),
+            },
+        );
+        drop(files);
+        self.record(op, path, None, true);
+        Ok(())
+    }
+
+    fn entomb(&self, path: &Path, tomb: &Path) -> io::Result<()> {
+        let op = FaultOp::Entomb;
+        let fault = self.check(op, path);
+        if let Some(f @ Fault::Transient) = fault {
+            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
+        }
+        let mut files = self.files.lock().unwrap();
+        let Some(file) = files.remove(path) else {
+            drop(files);
+            self.record(op, path, None, false);
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("entomb source missing: {}", path.display()),
+            ));
+        };
+        files.insert(tomb.to_path_buf(), file);
+        drop(files);
+        if let Some(f @ Fault::CrashAfterEntomb) = fault {
+            // The rename is applied — the challenger died before it
+            // could read the tomb and re-create the lease.
+            return Err(self.injected(op, path, f, io::ErrorKind::Other));
+        }
+        if let Some(f) = fault {
+            return Err(self.injected(op, path, f, io::ErrorKind::Other));
+        }
+        self.record(op, path, None, true);
+        Ok(())
+    }
+
+    fn load(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let op = FaultOp::Load;
+        match self.check(op, path) {
+            Some(f @ Fault::Transient) => {
+                return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock))
+            }
+            Some(f @ Fault::Invisible) => {
+                return Err(self.injected(op, path, f, io::ErrorKind::NotFound))
+            }
+            Some(Fault::TornRead(n)) => {
+                let files = self.files.lock().unwrap();
+                let Some(file) = files.get(path) else {
+                    drop(files);
+                    self.record(op, path, Some(Fault::TornRead(n)), false);
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "no such file"));
+                };
+                let torn = file.bytes[..n.min(file.bytes.len())].to_vec();
+                drop(files);
+                self.record(op, path, Some(Fault::TornRead(n)), true);
+                return Ok(torn);
+            }
+            Some(f) => return Err(self.injected(op, path, f, io::ErrorKind::Other)),
+            None => {}
+        }
+        let files = self.files.lock().unwrap();
+        match files.get(path) {
+            Some(file) => {
+                let bytes = file.bytes.clone();
+                drop(files);
+                self.record(op, path, None, true);
+                Ok(bytes)
+            }
+            None => {
+                drop(files);
+                self.record(op, path, None, false);
+                Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file: {}", path.display()),
+                ))
+            }
+        }
+    }
+
+    fn contains(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let op = FaultOp::Remove;
+        if let Some(f @ Fault::Transient) = self.check(op, path) {
+            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
+        }
+        let removed = self.files.lock().unwrap().remove(path).is_some();
+        self.record(op, path, None, removed);
+        if removed {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            ))
+        }
+    }
+
+    fn refresh(&self, path: &Path) -> io::Result<()> {
+        let op = FaultOp::Refresh;
+        if let Some(f @ Fault::Transient) = self.check(op, path) {
+            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
+        }
+        let refreshed = self.set_mtime(path, SystemTime::now());
+        self.record(op, path, None, refreshed);
+        if refreshed {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            ))
+        }
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<SystemTime> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)
+            .map(|f| f.mtime)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn list(&self, dir: &Path, recursive: bool) -> io::Result<Vec<FileMeta>> {
+        let files = self.files.lock().unwrap();
+        Ok(files
+            .iter()
+            .filter(|(p, _)| {
+                if recursive {
+                    p.starts_with(dir) && p.as_path() != dir
+                } else {
+                    p.parent() == Some(dir)
+                }
+            })
+            .map(|(p, f)| FileMeta {
+                path: p.clone(),
+                len: f.bytes.len() as u64,
+                mtime: f.mtime,
+            })
+            .collect())
+    }
+}
+
+/// A deterministic pseudo-random schedule of *recoverable* faults
+/// (transient errors, delayed visibility, torn reads) for soak testing:
+/// the same `seed` always yields the same schedule, so a failing soak
+/// iteration reproduces exactly from its printed seed. Crash faults are
+/// deliberately excluded — an injected crash aborts the injected-into
+/// shard's operation but not its process, which is a different scenario
+/// than the crash matrix constructs; recoverable faults must never
+/// change a campaign's report, only its wall-clock.
+pub fn recoverable_schedule(seed: u64, rules: usize) -> Vec<FaultRule> {
+    // xorshift must not start at 0; xor with an odd constant keeps
+    // adjacent seeds distinct (a plain `| 1` would alias 2k with 2k+1).
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    if state == 0 {
+        state = 0x2545_F491_4F6C_DD1D;
+    }
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..rules)
+        .map(|_| {
+            let op = match next() % 4 {
+                0 => FaultOp::Load,
+                1 => FaultOp::Publish,
+                2 => FaultOp::Claim,
+                _ => FaultOp::Refresh,
+            };
+            let fault = match (next() % 3, op) {
+                // Visibility and torn reads only make sense on loads.
+                (0, FaultOp::Load) => Fault::Invisible,
+                (1, FaultOp::Load) => Fault::TornRead((next() % 24) as usize),
+                _ => Fault::Transient,
+            };
+            let path_contains = match next() % 3 {
+                0 => ".lease",
+                1 => ".bin",
+                _ => "",
+            };
+            FaultRule::on(op, path_contains, fault).after((next() % 6) as usize)
+        })
+        .collect()
+}
+
+/// The process-global registry behind the `memory` value of
+/// [`STORE_BACKEND_ENV`]: every store root maps to one shared
+/// [`FaultBackend`] (no faults scheduled), so the N shard handles a test
+/// opens on one directory cooperate exactly as N `LocalDirBackend`
+/// handles would on a real directory.
+pub fn memory_backend_for(root: &Path) -> Arc<FaultBackend> {
+    static ROOTS: OnceLock<Mutex<BTreeMap<PathBuf, Arc<FaultBackend>>>> = OnceLock::new();
+    ROOTS
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap()
+        .entry(root.to_path_buf())
+        .or_default()
+        .clone()
+}
+
+/// The backend selected by [`STORE_BACKEND_ENV`] for a store rooted at
+/// `root`: `local`/unset → [`LocalDirBackend`], `memory` →
+/// the shared [`memory_backend_for`] registry entry. Malformed values
+/// warn (via [`crate::env`]) and fall back to `local`.
+pub fn backend_from_env(root: &Path) -> Arc<dyn StoreBackend> {
+    match crate::env::knob_validated::<String>(STORE_BACKEND_ENV, "\"local\" or \"memory\"", |v| {
+        matches!(v.as_str(), "local" | "memory")
+    })
+    .as_deref()
+    {
+        Some("memory") => memory_backend_for(root),
+        _ => Arc::new(LocalDirBackend::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnunlock-backend-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Both backends under the same contract exercises.
+    fn backends(tag: &str) -> Vec<(Arc<dyn StoreBackend>, PathBuf)> {
+        let local_root = tmp_dir(tag);
+        vec![
+            (
+                Arc::new(LocalDirBackend::new()) as Arc<dyn StoreBackend>,
+                local_root,
+            ),
+            (
+                Arc::new(FaultBackend::new()) as Arc<dyn StoreBackend>,
+                PathBuf::from("/virtual/backend-test"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn publish_is_atomic_last_writer_wins() {
+        for (backend, root) in backends("publish") {
+            let path = root.join("objects/a/entry.bin");
+            backend.publish(&path, b"first").unwrap();
+            assert_eq!(backend.load(&path).unwrap(), b"first");
+            backend.publish(&path, b"second, longer").unwrap();
+            assert_eq!(backend.load(&path).unwrap(), b"second, longer");
+            assert!(backend.contains(&path));
+            // No staging debris after successful publishes.
+            let leftovers: Vec<_> = backend
+                .list(path.parent().unwrap(), false)
+                .unwrap()
+                .into_iter()
+                .filter(|m| m.path != path)
+                .collect();
+            assert!(leftovers.is_empty(), "{}: {leftovers:?}", backend.name());
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn claim_has_exactly_one_winner_under_contention() {
+        for (backend, root) in backends("claim") {
+            let path = root.join("objects/a/entry.lease");
+            let backend = &backend;
+            let winners: usize = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|i| {
+                        let path = path.clone();
+                        s.spawn(move || {
+                            match backend.claim(&path, format!("owner={i}\n").as_bytes()) {
+                                Ok(()) => 1usize,
+                                Err(e) => {
+                                    assert_eq!(
+                                        e.kind(),
+                                        io::ErrorKind::AlreadyExists,
+                                        "loser must see AlreadyExists, got {e:?}"
+                                    );
+                                    0
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(winners, 1, "{}: exactly one claimant wins", backend.name());
+            // The winner's content is complete (never torn).
+            let content = backend.load(&path).unwrap();
+            assert!(content.starts_with(b"owner=") && content.ends_with(b"\n"));
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn entomb_has_exactly_one_winner_and_preserves_content() {
+        for (backend, root) in backends("entomb") {
+            let path = root.join("objects/a/entry.lease");
+            backend.claim(&path, b"victim content\n").unwrap();
+            let backend = &backend;
+            let winners: usize = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..6)
+                    .map(|i| {
+                        let path = path.clone();
+                        let tomb = path.with_file_name(format!("entry.lease.tomb-{i}"));
+                        s.spawn(move || match backend.entomb(&path, &tomb) {
+                            Ok(()) => {
+                                assert_eq!(backend.load(&tomb).unwrap(), b"victim content\n");
+                                1usize
+                            }
+                            Err(_) => 0,
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(winners, 1, "{}: exactly one entomber wins", backend.name());
+            assert!(!backend.contains(&path), "source gone after entomb");
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn refresh_and_mtime_round_trip() {
+        for (backend, root) in backends("refresh") {
+            let path = root.join("x.lease");
+            backend.claim(&path, b"c").unwrap();
+            let before = backend.mtime(&path).unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+            backend.refresh(&path).unwrap();
+            let after = backend.mtime(&path).unwrap();
+            assert!(
+                after > before,
+                "{}: refresh must advance mtime",
+                backend.name()
+            );
+            assert!(backend.refresh(&root.join("missing")).is_err());
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn list_is_scoped_and_recursive_when_asked() {
+        for (backend, root) in backends("list") {
+            backend
+                .publish(&root.join("objects/k/aa/1.bin"), b"one")
+                .unwrap();
+            backend
+                .publish(&root.join("objects/k/aa/2.bin"), b"two")
+                .unwrap();
+            backend
+                .publish(&root.join("objects/k/bb/3.bin"), b"three")
+                .unwrap();
+            backend.publish(&root.join("outside.bin"), b"x").unwrap();
+            let all = backend.list(&root.join("objects"), true).unwrap();
+            assert_eq!(all.len(), 3, "{}", backend.name());
+            let direct = backend.list(&root.join("objects/k/aa"), false).unwrap();
+            assert_eq!(direct.len(), 2);
+            assert!(direct.iter().all(|m| m.len > 0));
+            let missing = backend.list(&root.join("nope"), true).unwrap();
+            assert!(missing.is_empty());
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn fault_rules_fire_once_in_schedule_order() {
+        let b = FaultBackend::with_rules([
+            FaultRule::on(FaultOp::Load, ".bin", Fault::Transient),
+            FaultRule::on(FaultOp::Load, ".bin", Fault::Invisible).after(1),
+        ]);
+        let path = Path::new("/v/x.bin");
+        b.publish(path, b"payload").unwrap();
+        // 1st load: transient. 2nd: the second rule has skipped one
+        // match, so it fires invisible. 3rd: clean.
+        assert_eq!(b.load(path).unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(b.load(path).unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(b.load(path).unwrap(), b"payload");
+        assert_eq!(b.faults_fired(), 2);
+        let journal = b.journal();
+        assert_eq!(journal.len(), 4); // publish + 3 loads
+        assert_eq!(journal[1].fault, Some(Fault::Transient));
+        assert_eq!(journal[2].fault, Some(Fault::Invisible));
+        assert!(journal[3].ok && journal[3].fault.is_none());
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_an_orphan_tmp_not_a_torn_entry() {
+        let b = FaultBackend::with_rules([FaultRule::on(
+            FaultOp::Publish,
+            "entry.bin",
+            Fault::CrashBeforeRename,
+        )]);
+        let path = Path::new("/v/objects/entry.bin");
+        assert!(b.publish(path, b"payload").is_err());
+        assert!(!b.contains(path), "final path untouched by the crash");
+        let orphans: Vec<_> = b
+            .paths()
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(".tmp-"))
+            })
+            .collect();
+        assert_eq!(orphans.len(), 1, "crash leaves exactly the staged temp");
+        // Retried publish (no fault left) succeeds.
+        b.publish(path, b"payload").unwrap();
+        assert_eq!(b.load(path).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn torn_claim_leaves_a_partial_lease_file() {
+        let b = FaultBackend::with_rules([FaultRule::on(
+            FaultOp::Claim,
+            ".lease",
+            Fault::TornWrite(7),
+        )]);
+        let path = Path::new("/v/objects/x.lease");
+        assert!(b.claim(path, b"gnnunlock-lease owner=a gen=0\n").is_err());
+        assert_eq!(b.read_raw(path).unwrap(), b"gnnunlo");
+        // The torn file *exists*: a later claimant must see AlreadyExists.
+        let err = b.claim(path, b"other\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn crash_after_entomb_applies_the_rename_then_errors() {
+        let b = FaultBackend::with_rules([FaultRule::on(
+            FaultOp::Entomb,
+            ".lease",
+            Fault::CrashAfterEntomb,
+        )]);
+        let path = Path::new("/v/objects/x.lease");
+        let tomb = Path::new("/v/objects/x.lease.tomb-1-0");
+        b.claim(path, b"victim\n").unwrap();
+        assert!(b.entomb(path, tomb).is_err());
+        assert!(!b.contains(path), "lease gone: the rename was applied");
+        assert_eq!(b.read_raw(tomb).unwrap(), b"victim\n");
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_recoverable_only() {
+        let a = recoverable_schedule(42, 8);
+        let b = recoverable_schedule(42, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.op, y.op);
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.path_contains, y.path_contains);
+            assert_eq!(x.skip, y.skip);
+        }
+        let c = recoverable_schedule(43, 8);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.op != y.op || x.fault != y.fault || x.skip != y.skip),
+            "different seeds must differ"
+        );
+        for r in a.iter().chain(&c) {
+            assert!(
+                matches!(
+                    r.fault,
+                    Fault::Transient | Fault::Invisible | Fault::TornRead(_)
+                ),
+                "soak schedules must stay recoverable: {:?}",
+                r.fault
+            );
+        }
+    }
+
+    #[test]
+    fn memory_registry_shares_one_backend_per_root() {
+        let a = memory_backend_for(Path::new("/reg/alpha"));
+        let b = memory_backend_for(Path::new("/reg/alpha"));
+        let c = memory_backend_for(Path::new("/reg/beta"));
+        a.publish(Path::new("/reg/alpha/x.bin"), b"shared").unwrap();
+        assert_eq!(b.load(Path::new("/reg/alpha/x.bin")).unwrap(), b"shared");
+        assert!(!c.contains(Path::new("/reg/alpha/x.bin")));
+    }
+}

@@ -8,6 +8,15 @@
 //! locking / synthesis / dataset / training work entirely; attaching a
 //! [`DiskStore`] + [`ValueCodec`] (see [`ResultCache::with_disk`])
 //! extends that reuse across *processes* sharing a cache directory.
+//!
+//! The disk tier inherits its [`crate::StoreBackend`] from the attached
+//! [`DiskStore`]: every persist and disk probe goes through the store's
+//! backend, so a cache built on a [`DiskStore::open_with_backend`]
+//! handle (or under `GNNUNLOCK_STORE_BACKEND=memory`) runs entirely
+//! against that backend with no cache-side plumbing — including fault
+//! injection via [`crate::FaultBackend`], which the cache tolerates the
+//! same way it tolerates real I/O errors: persistence is best-effort,
+//! the memory tier stays authoritative.
 
 use crate::codec::ValueCodec;
 use crate::graph::{JobKind, JobValue};

@@ -32,11 +32,11 @@
 //! never correctness — stage bodies are deterministic and the store's
 //! publish is an atomic last-writer-wins rename of identical bytes.
 
+use crate::backend::{is_transient_kind, StoreBackend};
 use crate::graph::JobKind;
 use crate::store::DiskStore;
 use std::collections::HashMap;
-use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,6 +44,17 @@ use std::time::{Duration, SystemTime};
 
 /// Magic first token of every lease file.
 const LEASE_MAGIC: &str = "gnnunlock-lease";
+
+/// Whether lease-file bytes are a *torn observation* — a reader racing
+/// a writer (or an NFS-style cache serving a partial page) saw only a
+/// prefix. An intact lease always starts with the magic token and ends
+/// with a newline; anything else says nothing about ownership, so
+/// readers must retry (or stay conservative), never act on it — acting
+/// on a torn read of its *own* lease is how an owner used to abandon a
+/// perfectly live claim, handing the job to a spurious takeover.
+fn lease_torn(bytes: &[u8]) -> bool {
+    !(bytes.starts_with(LEASE_MAGIC.as_bytes()) && bytes.ends_with(b"\n"))
+}
 
 /// Outcome of a claim attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +92,7 @@ pub struct LeaseStats {
 
 struct Shared {
     store: Arc<DiskStore>,
+    backend: Arc<dyn StoreBackend>,
     owner: String,
     ttl: Duration,
     /// Held leases: path → the exact file content written at claim
@@ -107,24 +119,30 @@ impl Shared {
     }
 
     /// Refresh the mtime of every held lease; drop (and count as lost)
-    /// any whose content no longer matches — a takeover happened.
+    /// any whose content *provably* no longer matches — a takeover
+    /// happened. Torn observations and transient errors say nothing
+    /// about ownership, so the lease is kept and re-judged next beat:
+    /// abandoning on a torn read would stop the heartbeat, let the
+    /// lease go stale, and hand a live owner's job to a spurious
+    /// takeover.
     fn heartbeat(&self) {
         let snapshot: Vec<(PathBuf, String)> = {
             let held = self.held.lock().unwrap();
             held.iter().map(|(p, c)| (p.clone(), c.clone())).collect()
         };
         for (path, expected) in snapshot {
-            let still_ours = fs::read_to_string(&path).is_ok_and(|c| c == expected);
-            if still_ours {
-                let touched = fs::OpenOptions::new()
-                    .append(true)
-                    .open(&path)
-                    .and_then(|f| f.set_modified(SystemTime::now()));
-                if touched.is_ok() {
-                    continue;
-                }
-            }
-            if self.held.lock().unwrap().remove(&path).is_some() {
+            let lost = match self.backend.load(&path) {
+                Ok(c) if c == expected.as_bytes() => match self.backend.refresh(&path) {
+                    Ok(()) => continue,
+                    Err(e) if is_transient_kind(e.kind()) => continue,
+                    Err(_) => true, // vanished between read and touch
+                },
+                Ok(c) if lease_torn(&c) => continue,
+                Ok(_) => true, // intact foreign content: usurped
+                Err(e) if is_transient_kind(e.kind()) => continue,
+                Err(_) => true, // gone (NotFound): deleted under us
+            };
+            if lost && self.held.lock().unwrap().remove(&path).is_some() {
                 self.lost.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -145,8 +163,10 @@ impl LeaseManager {
     /// `ttl` is clamped to ≥ 20 ms (below that, heartbeats cannot
     /// reliably outrun staleness).
     pub fn new(store: Arc<DiskStore>, owner: impl Into<String>, ttl: Duration) -> LeaseManager {
+        let backend = store.backend().clone();
         let shared = Arc::new(Shared {
             store,
+            backend,
             owner: owner.into(),
             ttl: ttl.max(Duration::from_millis(20)),
             held: Mutex::new(HashMap::new()),
@@ -212,19 +232,30 @@ impl LeaseManager {
     }
 
     fn claim_path(&self, path: &Path) -> Claim {
-        if let Some(parent) = path.parent() {
-            let _ = fs::create_dir_all(parent);
-        }
+        let backend = &self.shared.backend;
+        // Tombs orphaned by a challenger that died *between* the tomb
+        // rename and the lease re-create: without eager cleanup they
+        // linger until the hour-stale GC, and their generation is lost.
+        // Adopt the highest orphaned generation (epochs stay monotonic
+        // across the crash) and sweep the tombs once a claim succeeds.
+        let (orphan_gen, orphan_tombs) = self.scan_orphan_tombs(path);
+        let base_gen = orphan_gen.map_or(0, |g| g + 1);
         // Bounded retry: a lease can vanish between our create failure
         // and our stat (owner released it) — re-attempt the create a
         // few times rather than reporting a phantom Busy.
         for _ in 0..4 {
-            match self.try_create(path, 0, false) {
-                Ok(claim) => return claim,
+            // Completing a dead challenger's interrupted takeover *is*
+            // a takeover, even though the lease file itself is absent.
+            match self.try_create(path, base_gen, orphan_gen.is_some()) {
+                Ok(claim) => {
+                    self.sweep_tombs(&orphan_tombs);
+                    return claim;
+                }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(e) if is_transient_kind(e.kind()) => continue,
                 Err(_) => break, // unwritable directory etc.
             }
-            let mtime = match fs::metadata(path).and_then(|m| m.modified()) {
+            let mtime = match backend.mtime(path) {
                 Ok(t) => t,
                 // Vanished between create and stat: retry the create.
                 Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
@@ -236,7 +267,7 @@ impl LeaseManager {
             if age < self.shared.ttl {
                 break; // fresh foreign lease
             }
-            // Stale: entomb it. `rename` is the arbiter — exactly one
+            // Stale: entomb it. The rename is the arbiter — exactly one
             // challenger moves the file; the rest fail with NotFound
             // and report Busy (the winner is about to re-create it).
             let tomb = path.with_file_name(format!(
@@ -245,12 +276,16 @@ impl LeaseManager {
                 std::process::id(),
                 self.shared.tomb_counter.fetch_add(1, Ordering::Relaxed)
             ));
-            match fs::rename(path, &tomb) {
+            match backend.entomb(path, &tomb) {
                 Ok(()) => {
-                    let old_gen = parse_generation(&fs::read_to_string(&tomb).unwrap_or_default());
-                    let _ = fs::remove_file(&tomb);
-                    match self.try_create(path, old_gen + 1, true) {
-                        Ok(claim) => return claim,
+                    let buried = backend.load(&tomb).unwrap_or_default();
+                    let old_gen = parse_generation(&String::from_utf8_lossy(&buried));
+                    let _ = backend.remove(&tomb);
+                    match self.try_create(path, (old_gen + 1).max(base_gen), true) {
+                        Ok(claim) => {
+                            self.sweep_tombs(&orphan_tombs);
+                            return claim;
+                        }
                         Err(_) => break, // lost the re-create race
                     }
                 }
@@ -261,15 +296,49 @@ impl LeaseManager {
         Claim::Busy
     }
 
-    /// `create_new` the lease file with `generation`, registering it as
-    /// held on success.
+    /// Orphaned tombs of `path`'s lease (highest buried generation,
+    /// plus their paths): a takeover killed between entomb and
+    /// re-create leaves one. Torn tomb contents parse as generation 0 —
+    /// the tomb's *existence*, not its bytes, carries the signal.
+    fn scan_orphan_tombs(&self, path: &Path) -> (Option<u64>, Vec<PathBuf>) {
+        let Some((parent, name)) = path.parent().zip(path.file_name().and_then(|n| n.to_str()))
+        else {
+            return (None, Vec::new());
+        };
+        let prefix = format!("{name}.tomb-");
+        let mut max_gen = None;
+        let mut tombs = Vec::new();
+        for meta in self.shared.backend.list(parent, false).unwrap_or_default() {
+            let is_tomb = meta
+                .path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix));
+            if !is_tomb {
+                continue;
+            }
+            let buried = self.shared.backend.load(&meta.path).unwrap_or_default();
+            let gen = parse_generation(&String::from_utf8_lossy(&buried));
+            max_gen = Some(max_gen.map_or(gen, |m: u64| m.max(gen)));
+            tombs.push(meta.path);
+        }
+        (max_gen, tombs)
+    }
+
+    /// Delete orphaned tombs after a successful claim (best-effort; a
+    /// racing challenger may have removed one already).
+    fn sweep_tombs(&self, tombs: &[PathBuf]) {
+        for tomb in tombs {
+            let _ = self.shared.backend.remove(tomb);
+        }
+    }
+
+    /// Create-new the lease file with `generation` through the
+    /// backend's exactly-one-winner claim, registering it as held on
+    /// success.
     fn try_create(&self, path: &Path, generation: u64, takeover: bool) -> io::Result<Claim> {
         let content = self.shared.lease_content(generation);
-        let mut f = fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(path)?;
-        f.write_all(content.as_bytes())?;
+        self.shared.backend.claim(path, content.as_bytes())?;
         self.shared
             .held
             .lock()
@@ -293,17 +362,26 @@ impl LeaseManager {
     /// changes pick order, never results).
     pub fn peer_holds(&self, kind: JobKind, fp: u64) -> bool {
         let path = self.lease_path(kind, fp);
-        let Ok(content) = fs::read_to_string(&path) else {
+        let Ok(content) = self.shared.backend.load(&path) else {
             return false;
         };
-        let age = fs::metadata(&path)
-            .and_then(|m| m.modified())
+        let age = self
+            .shared
+            .backend
+            .mtime(&path)
             .ok()
             .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
             .unwrap_or(Duration::ZERO);
         if age >= self.shared.ttl {
             return false; // stale: takeover territory, not a live peer
         }
+        // A fresh-but-torn lease is conservatively a live peer: the
+        // probe only tunes pick order, and assuming "held" on a racy
+        // read avoids dog-piling onto a job its owner just claimed.
+        if lease_torn(&content) {
+            return true;
+        }
+        let content = String::from_utf8_lossy(&content).into_owned();
         let owner = content
             .split_whitespace()
             .find_map(|tok| tok.strip_prefix("owner="));
@@ -327,17 +405,46 @@ impl LeaseManager {
         let Some(expected) = self.shared.held.lock().unwrap().remove(path) else {
             return false;
         };
-        match fs::read_to_string(path) {
-            Ok(content) if content == expected => {
-                let _ = fs::remove_file(path);
-                self.shared.released.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            _ => {
-                self.shared.lost.fetch_add(1, Ordering::Relaxed);
-                false
+        // A torn or transient read says nothing about ownership; retry
+        // a few times before concluding anything. If it stays unreadable
+        // the lease is left in place — wrongly deleting a usurper's
+        // claim is the one mistake this path must never make, while a
+        // stranded lease merely costs one TTL.
+        for _ in 0..4 {
+            match self.shared.backend.load(path) {
+                Ok(content) if content == expected.as_bytes() => {
+                    let _ = self.shared.backend.remove(path);
+                    self.shared.released.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Ok(content) if lease_torn(&content) => continue,
+                Err(e) if is_transient_kind(e.kind()) => continue,
+                _ => break, // intact foreign content or gone: usurped
             }
         }
+        self.shared.lost.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Drop every held lease *without* releasing the files — the
+    /// deterministic stand-in for process death in fault tests: the
+    /// lease files stay on the backend exactly as a SIGKILLed owner
+    /// would leave them, and the heartbeat thread is stopped so they
+    /// age toward takeover.
+    pub fn abandon(mut self) {
+        *self.shared.stop.lock().unwrap() = true;
+        self.shared.stop_signal.notify_all();
+        if let Some(hb) = self.heartbeat.take() {
+            let _ = hb.join();
+        }
+        self.shared.held.lock().unwrap().clear();
+        // Drop now finds nothing held and releases nothing.
+    }
+
+    /// Run one heartbeat pass synchronously — a deterministic test hook
+    /// (the background thread beats on its own schedule).
+    pub fn force_heartbeat(&self) {
+        self.shared.heartbeat();
     }
 
     /// Number of leases currently held.
@@ -398,6 +505,7 @@ fn parse_generation(content: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_store(tag: &str) -> Arc<DiskStore> {
         let dir =

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod cache;
 mod campaign;
 mod cancel;
@@ -73,6 +74,10 @@ mod report;
 mod shard;
 mod store;
 
+pub use backend::{
+    backend_from_env, memory_backend_for, recoverable_schedule, Fault, FaultBackend, FaultOp,
+    FaultRule, FileMeta, JournalEntry, LocalDirBackend, StoreBackend, STORE_BACKEND_ENV,
+};
 pub use cache::{CacheSource, CacheStats, ResultCache};
 pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, ResumeInfo, StageJob};
 pub use cancel::CancelToken;
@@ -97,6 +102,7 @@ pub use shard::{
     ShardedRun,
 };
 pub use store::{
-    cache_budget_from_env, gc_roots, sanitize_tag, tenant_budget_from_env, tenant_usage, DiskStore,
-    GcStats, StoreStats, CACHE_BUDGET_ENV, CACHE_DIR_ENV, TENANT_BUDGET_ENV,
+    cache_budget_from_env, gc_roots, gc_roots_with, sanitize_tag, tenant_budget_from_env,
+    tenant_usage, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV, CACHE_DIR_ENV,
+    TENANT_BUDGET_ENV,
 };

@@ -43,6 +43,7 @@
 //! them — sharding requires a codec precisely because peer results
 //! travel through the store.
 
+use crate::backend::StoreBackend;
 use crate::cache::ResultCache;
 use crate::campaign::{Campaign, CampaignRun, CampaignRunner};
 use crate::env;
@@ -92,6 +93,12 @@ pub struct ShardConfig {
     /// services keep tenants' results and coordination disjoint.
     /// `None` (the default) is the shared default namespace.
     pub namespace: Option<String>,
+    /// Store backend this shard executes against. `None` (the default)
+    /// resolves via [`crate::STORE_BACKEND_ENV`] — the local filesystem
+    /// unless overridden. Tests pass a shared [`crate::FaultBackend`]
+    /// here to run whole sharded campaigns in memory under injected
+    /// faults.
+    pub backend: Option<Arc<dyn StoreBackend>>,
 }
 
 impl ShardConfig {
@@ -105,6 +112,7 @@ impl ShardConfig {
             probe_ahead: true,
             prefer_unleased: true,
             namespace: None,
+            backend: None,
         }
     }
 
@@ -136,6 +144,13 @@ impl ShardConfig {
         } else {
             Some(trimmed.to_string())
         };
+        self
+    }
+
+    /// Execute against an explicit store backend (overriding
+    /// [`crate::STORE_BACKEND_ENV`] resolution).
+    pub fn with_backend(mut self, backend: Arc<dyn StoreBackend>) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -217,10 +232,11 @@ impl Campaign {
                  results through the store",
             )
         })?;
-        let store = Arc::new(match &shard.namespace {
-            Some(ns) => DiskStore::open_namespaced(dir, ns)?,
-            None => DiskStore::open(dir)?,
-        });
+        let store = Arc::new(DiskStore::open_opts(
+            dir,
+            shard.namespace.as_deref(),
+            shard.backend.clone(),
+        )?);
         let cache = Arc::new(ResultCache::with_disk(store.clone(), codec));
         let leases = Arc::new(LeaseManager::new(
             store.clone(),

@@ -43,13 +43,16 @@
 //!   store written by an incompatible schema fails loudly instead of
 //!   misreading entries.
 
+use crate::backend::{
+    backend_from_env, is_transient_kind, FileMeta, LocalDirBackend, StoreBackend,
+};
 use crate::graph::{fingerprint, JobKind};
 use std::collections::HashSet;
 use std::fs;
-use std::io::{self, Read as _, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
 /// Environment variable naming the shared on-disk cache directory.
@@ -114,7 +117,9 @@ pub struct DiskStore {
     /// Sanitized tenant namespace; `None` = the default `objects/`
     /// subtree, `Some(ns)` = `tenants/<ns>/objects/`.
     namespace: Option<String>,
-    tmp_counter: AtomicU64,
+    /// The substrate every persistence and coordination primitive goes
+    /// through — see [`crate::StoreBackend`].
+    backend: Arc<dyn StoreBackend>,
     loads: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -156,7 +161,7 @@ impl DiskStore {
     /// Fails if the directory cannot be created, or if it already holds a
     /// store with an incompatible schema version.
     pub fn open(dir: &Path) -> io::Result<DiskStore> {
-        Self::open_with(dir, None)
+        Self::open_opts(dir, None, None)
     }
 
     /// Open the store rooted at `dir` with this handle's entries living
@@ -170,75 +175,108 @@ impl DiskStore {
     ///
     /// Same failure modes as [`DiskStore::open`].
     pub fn open_namespaced(dir: &Path, tenant: &str) -> io::Result<DiskStore> {
-        let ns = tenant.trim();
-        let ns = if ns.is_empty() {
-            None
-        } else {
-            Some(sanitize_tag(ns))
-        };
-        Self::open_with(dir, ns)
+        Self::open_opts(dir, Some(tenant), None)
     }
 
-    fn open_with(dir: &Path, namespace: Option<String>) -> io::Result<DiskStore> {
-        fs::create_dir_all(dir)?;
+    /// Open the store rooted at `dir` on an explicit [`StoreBackend`]
+    /// (bypassing [`crate::STORE_BACKEND_ENV`] selection). `tenant`
+    /// selects a namespace exactly like [`DiskStore::open_namespaced`];
+    /// blank means the default namespace.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DiskStore::open`].
+    pub fn open_with_backend(
+        dir: &Path,
+        tenant: &str,
+        backend: Arc<dyn StoreBackend>,
+    ) -> io::Result<DiskStore> {
+        Self::open_opts(dir, Some(tenant), Some(backend))
+    }
+
+    pub(crate) fn open_opts(
+        dir: &Path,
+        tenant: Option<&str>,
+        backend: Option<Arc<dyn StoreBackend>>,
+    ) -> io::Result<DiskStore> {
+        let namespace = tenant
+            .map(str::trim)
+            .filter(|ns| !ns.is_empty())
+            .map(sanitize_tag);
+        let backend = backend.unwrap_or_else(|| backend_from_env(dir));
+        backend.ensure_dir(dir)?;
         let version_path = dir.join(VERSION_FILE);
-        match fs::read_to_string(&version_path) {
-            Ok(found) if found == VERSION_TEXT => {}
-            Ok(found) => {
-                return Err(io::Error::new(
+        // Bounded retry around the gate: a transient read/write error or
+        // a torn observation (a strict prefix of the expected text — an
+        // NFS-style cache serving a partial page) says nothing about the
+        // schema, so it must not fail the open or misdiagnose a
+        // mismatch. Only a stable verdict escapes the loop.
+        let mut gate = Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "store version gate kept erroring transiently",
+        ));
+        for _ in 0..4 {
+            gate = match backend.load(&version_path) {
+                Ok(found) if found == VERSION_TEXT.as_bytes() => Ok(()),
+                Ok(found) if VERSION_TEXT.as_bytes().starts_with(&found) => continue, // torn
+                Ok(found) => Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
                         "cache dir {} holds schema {:?}, this build expects {:?}; \
                          use a fresh directory",
                         dir.display(),
-                        found.trim(),
+                        String::from_utf8_lossy(&found).trim(),
                         VERSION_TEXT.trim()
                     ),
-                ));
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                // Publish the version file atomically (write-then-
-                // rename): N worker processes may cold-open the same
-                // fresh directory concurrently, and a reader must never
-                // observe a half-written gate and misdiagnose a schema
-                // mismatch. Racing writers rename identical content —
-                // last one wins, harmlessly.
-                let tmp = dir.join(format!(".{}.tmp-{}", VERSION_FILE, std::process::id()));
-                fs::write(&tmp, VERSION_TEXT)?;
-                if let Err(e) = fs::rename(&tmp, &version_path) {
-                    let _ = fs::remove_file(&tmp);
-                    return Err(e);
+                )),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // Publish the version file atomically: N worker
+                    // processes may cold-open the same fresh directory
+                    // concurrently, and a reader must never observe a
+                    // half-written gate and misdiagnose a schema
+                    // mismatch. Racing writers publish identical
+                    // content — last one wins, harmlessly.
+                    match backend.publish(&version_path, VERSION_TEXT.as_bytes()) {
+                        Ok(()) => Ok(()),
+                        Err(e) if is_transient_kind(e.kind()) => continue,
+                        Err(e) => Err(e),
+                    }
                 }
-            }
-            Err(e) => return Err(e),
+                Err(e) if is_transient_kind(e.kind()) => continue,
+                Err(e) => Err(e),
+            };
+            break;
         }
-        // Sweep version-publish temps orphaned by a writer killed
-        // between write and rename (the GC only walks objects/, so they
+        gate?;
+        // Sweep staging temps orphaned in the root by a writer killed
+        // mid-version-publish (the GC only walks objects/, so they
         // would leak otherwise). Age-gated: a concurrent opener's
         // in-flight temp is seconds old and must not be clobbered.
-        if let Ok(entries) = fs::read_dir(dir) {
+        // (`.{VERSION_FILE}.tmp-` covers pre-trait store directories.)
+        if let Ok(listed) = backend.list(dir, false) {
             let now = SystemTime::now();
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let orphan_candidate = name
-                    .to_str()
-                    .is_some_and(|n| n.starts_with(&format!(".{VERSION_FILE}.tmp-")));
+            for meta in listed {
+                let orphan_candidate =
+                    meta.path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| {
+                            n.starts_with(".tmp-")
+                                || n.starts_with(&format!(".{VERSION_FILE}.tmp-"))
+                        });
                 if orphan_candidate
-                    && entry
-                        .metadata()
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|mtime| now.duration_since(mtime).ok())
-                        .is_some_and(|age| age >= Duration::from_secs(3600))
+                    && now
+                        .duration_since(meta.mtime)
+                        .is_ok_and(|age| age >= Duration::from_secs(3600))
                 {
-                    let _ = fs::remove_file(entry.path());
+                    let _ = backend.remove(&meta.path);
                 }
             }
         }
         Ok(DiskStore {
             root: dir.to_path_buf(),
             namespace,
-            tmp_counter: AtomicU64::new(0),
+            backend,
             loads: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -246,6 +284,12 @@ impl DiskStore {
             save_errors: AtomicUsize::new(0),
             touched: Mutex::new(HashSet::new()),
         })
+    }
+
+    /// The backend this store (and any [`crate::LeaseManager`] built on
+    /// it) runs against.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
     }
 
     /// The store's root directory.
@@ -286,7 +330,7 @@ impl DiskStore {
     /// process already published (deterministic jobs make same-address
     /// entries byte-identical, so skipping never loses information).
     pub fn contains(&self, kind: JobKind, fp: u64) -> bool {
-        self.entry_path(kind, fp).exists()
+        self.backend.contains(&self.entry_path(kind, fp))
     }
 
     /// Pin `(kind, fp)` into this handle's live set (GC protection)
@@ -312,24 +356,28 @@ impl DiskStore {
     /// as a miss.
     pub fn load(&self, kind: JobKind, fp: u64) -> Option<Vec<u8>> {
         let path = self.entry_path(kind, fp);
-        let mut file = match fs::File::open(&path) {
-            Ok(f) => f,
-            Err(_) => {
+        let bytes = match self.backend.load(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
+            // A transient read error (EAGAIN-style) says nothing about
+            // the entry's integrity — report a miss and leave the entry
+            // for the retry, instead of evicting a good entry.
+            Err(e) if is_transient_kind(e.kind()) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => return self.evict(&path),
         };
-        let mut bytes = Vec::new();
-        if file.read_to_end(&mut bytes).is_err() {
-            return self.evict(&path);
-        }
         match Self::decode_entry(kind, fp, &bytes) {
             Some(payload) => {
                 self.loads.fetch_add(1, Ordering::Relaxed);
                 // A hit is a *use*: refresh the entry's mtime (the LRU
                 // clock shared across processes, best-effort) and pin it
                 // into this handle's live set so GC never evicts it.
-                let _ = file.set_modified(SystemTime::now());
+                let _ = self.backend.refresh(&path);
                 self.touched.lock().unwrap().insert(path);
                 Some(payload)
             }
@@ -363,16 +411,6 @@ impl DiskStore {
 
     fn try_save(&self, kind: JobKind, fp: u64, payload: &[u8]) -> io::Result<()> {
         let path = self.entry_path(kind, fp);
-        let dir = path.parent().expect("entry path has a parent");
-        fs::create_dir_all(dir)?;
-        // Unique-per-(process, call) temp name so concurrent writers of
-        // the same entry never clobber each other's half-written files;
-        // the final rename is atomic and last-writer-wins.
-        let tmp = dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
         let mut entry = Vec::with_capacity(payload.len() + 64);
         entry.extend_from_slice(ENTRY_MAGIC);
         let tag = sanitize_tag(kind.tag());
@@ -382,16 +420,9 @@ impl DiskStore {
         entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         entry.extend_from_slice(&fingerprint(payload).to_le_bytes());
         entry.extend_from_slice(payload);
-        let write = (|| {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&entry)?;
-            f.sync_all()?;
-            fs::rename(&tmp, &path)
-        })();
-        if write.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        write
+        // The atomic last-writer-wins obligation (staging temp, sync,
+        // rename on the local backend) lives in the backend.
+        self.backend.publish(&path, &entry)
     }
 
     /// Validate an entry file against its header; `None` means corrupt.
@@ -427,7 +458,7 @@ impl DiskStore {
     }
 
     fn evict(&self, path: &Path) -> Option<Vec<u8>> {
-        let _ = fs::remove_file(path);
+        let _ = self.backend.remove(path);
         self.evictions.fetch_add(1, Ordering::Relaxed);
         None
     }
@@ -435,22 +466,10 @@ impl DiskStore {
     /// Number of entry files currently on disk (walks the tree; meant
     /// for tests and diagnostics, not hot paths).
     pub fn len(&self) -> usize {
-        fn walk(dir: &Path, count: &mut usize) {
-            let Ok(entries) = fs::read_dir(dir) else {
-                return;
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                if path.is_dir() {
-                    walk(&path, count);
-                } else if path.extension().is_some_and(|e| e == "bin") {
-                    *count += 1;
-                }
-            }
-        }
-        let mut count = 0;
-        walk(&self.objects_root(), &mut count);
-        count
+        self.backend
+            .list(&self.objects_root(), true)
+            .map(|files| files.iter().filter(|m| is_object_entry(&m.path)).count())
+            .unwrap_or(0)
     }
 
     /// Whether the store holds no entries.
@@ -460,8 +479,19 @@ impl DiskStore {
 
     /// Total entry bytes currently under this handle's namespace (walks
     /// the tree; quota accounting and diagnostics, not hot paths).
+    /// Counts `.bin` entries only — in-flight `.tmp-*` staging files
+    /// and `.lease`/`.tomb-*` protocol files never bill a budget.
     pub fn usage_bytes(&self) -> u64 {
-        entry_bytes_under(&self.objects_root())
+        self.backend
+            .list(&self.objects_root(), true)
+            .map(|files| {
+                files
+                    .iter()
+                    .filter(|m| is_object_entry(&m.path))
+                    .map(|m| m.len)
+                    .sum()
+            })
+            .unwrap_or(0)
     }
 
     /// Counter snapshot.
@@ -482,56 +512,7 @@ impl DiskStore {
     /// which [`DiskStore::load`] refreshes on every hit, so the LRU
     /// order is shared across processes using the same directory.
     pub fn gc(&self, budget_bytes: u64) -> GcStats {
-        struct Entry {
-            path: PathBuf,
-            len: u64,
-            mtime: SystemTime,
-        }
-        // `.tmp-<pid>-<n>` files are in-flight writes; one orphaned by a
-        // writer killed mid-save would otherwise leak forever (it is
-        // never renamed into place and never addressed). Any tmp file
-        // this old cannot still be in flight — saves take milliseconds.
-        const ORPHAN_TMP_AGE: Duration = Duration::from_secs(3600);
-        fn walk(dir: &Path, out: &mut Vec<Entry>, now: SystemTime) {
-            let Ok(entries) = fs::read_dir(dir) else {
-                return;
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                if path.is_dir() {
-                    walk(&path, out, now);
-                } else if path.extension().is_some_and(|e| e == "bin") {
-                    if let Ok(meta) = entry.metadata() {
-                        out.push(Entry {
-                            path,
-                            len: meta.len(),
-                            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
-                        });
-                    }
-                } else if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
-                    // In-flight writes, plus the lease-protocol files of
-                    // long-dead shards: a `.lease` this old is far past
-                    // any takeover TTL (nobody wants its job), and a
-                    // `.tomb-` this old was orphaned by a challenger
-                    // killed mid-takeover. Deleting a lease resets its
-                    // generation counter to 0, which only costs epoch
-                    // observability, never correctness.
-                    n.starts_with(".tmp-") || n.ends_with(".lease") || n.contains(".tomb-")
-                }) {
-                    let orphaned = entry
-                        .metadata()
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|mtime| now.duration_since(mtime).ok())
-                        .is_some_and(|age| age >= ORPHAN_TMP_AGE);
-                    if orphaned {
-                        let _ = fs::remove_file(&path);
-                    }
-                }
-            }
-        }
-        let mut entries = Vec::new();
-        walk(&self.objects_root(), &mut entries, SystemTime::now());
+        let entries = sweep_orphans_and_list(self.backend.as_ref(), &self.objects_root());
         let bytes_before: u64 = entries.iter().map(|e| e.len).sum();
         let mut stats = GcStats {
             bytes_before,
@@ -542,7 +523,7 @@ impl DiskStore {
             return stats;
         }
         let touched = self.touched.lock().unwrap();
-        let mut candidates: Vec<&Entry> = Vec::new();
+        let mut candidates: Vec<&FileMeta> = Vec::new();
         for e in &entries {
             if touched.contains(&e.path) {
                 stats.live_protected += 1;
@@ -558,7 +539,7 @@ impl DiskStore {
             if remaining <= budget_bytes {
                 break;
             }
-            if fs::remove_file(&e.path).is_ok() {
+            if self.backend.remove(&e.path).is_ok() {
                 remaining -= e.len;
                 stats.evicted_entries += 1;
             }
@@ -589,26 +570,67 @@ pub fn tenant_budget_from_env() -> Option<u64> {
     crate::env::knob(TENANT_BUDGET_ENV, "a byte count")
 }
 
-/// Sum of `.bin` entry bytes under `dir` (0 when the tree is absent).
-fn entry_bytes_under(dir: &Path) -> u64 {
-    fn walk(dir: &Path, total: &mut u64) {
-        let Ok(entries) = fs::read_dir(dir) else {
-            return;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                walk(&path, total);
-            } else if path.extension().is_some_and(|e| e == "bin") {
-                if let Ok(meta) = entry.metadata() {
-                    *total += meta.len();
-                }
-            }
+/// Whether `path` is a store entry (`*.bin`) — the only files byte
+/// accounting and budget sweeps may count or evict. Everything else
+/// under an objects root is protocol traffic: `.tmp-*` staging files,
+/// `.lease` claims, `.tomb-*` takeover arbitration.
+pub(crate) fn is_object_entry(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "bin")
+}
+
+/// Whether a file name is lease/staging protocol traffic — collectable
+/// once hour-stale (see [`sweep_orphans_and_list`]), never billable.
+pub(crate) fn is_protocol_name(name: &str) -> bool {
+    name.starts_with(".tmp-") || name.ends_with(".lease") || name.contains(".tomb-")
+}
+
+/// Orphaned protocol files are collectable after this age: a `.tmp-`
+/// staging file this old cannot still be in flight (saves take
+/// milliseconds), a `.lease` is far past any takeover TTL (nobody
+/// wants its job), and a `.tomb-` was orphaned by a challenger killed
+/// mid-takeover. Deleting a lease resets its generation counter to 0,
+/// which only costs epoch observability, never correctness.
+const ORPHAN_PROTOCOL_AGE: Duration = Duration::from_secs(3600);
+
+/// List the `.bin` entries under `root`, sweeping hour-stale orphaned
+/// protocol files along the way — the shared walk behind
+/// [`DiskStore::gc`] and [`gc_roots_with`], so *every* budget sweep
+/// reclaims the debris of crashed writers and dead shards.
+fn sweep_orphans_and_list(backend: &dyn StoreBackend, root: &Path) -> Vec<FileMeta> {
+    let now = SystemTime::now();
+    let mut entries = Vec::new();
+    for meta in backend.list(root, true).unwrap_or_default() {
+        if is_object_entry(&meta.path) {
+            entries.push(meta);
+        } else if meta
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(is_protocol_name)
+            && now
+                .duration_since(meta.mtime)
+                .is_ok_and(|age| age >= ORPHAN_PROTOCOL_AGE)
+        {
+            let _ = backend.remove(&meta.path);
         }
     }
-    let mut total = 0;
-    walk(dir, &mut total);
-    total
+    entries
+}
+
+/// Sum of `.bin` entry bytes under `dir` (0 when the tree is absent).
+/// Protocol files ([`is_protocol_name`]) are never billed: a crash that
+/// orphans a large `.tmp-*` must not eat a tenant's budget.
+fn entry_bytes_under(dir: &Path) -> u64 {
+    LocalDirBackend::new()
+        .list(dir, true)
+        .map(|files| {
+            files
+                .iter()
+                .filter(|m| is_object_entry(&m.path))
+                .map(|m| m.len)
+                .sum()
+        })
+        .unwrap_or(0)
 }
 
 /// Per-namespace entry bytes under one store root: the default
@@ -654,38 +676,40 @@ pub fn tenant_usage(root: &Path) -> io::Result<std::collections::BTreeMap<String
 /// still running). Recency is entry mtime, exactly like
 /// [`DiskStore::gc`], with the path as the deterministic tie-breaker.
 pub fn gc_roots(roots: &[PathBuf], protected: &[PathBuf], budget_bytes: u64) -> GcStats {
+    gc_roots_with(&LocalDirBackend::new(), roots, protected, budget_bytes)
+}
+
+/// [`gc_roots`] against an explicit [`StoreBackend`] — what
+/// `gnnunlockd` uses when its campaigns run on a configured backend.
+///
+/// Besides byte-budget eviction, the sweep collects hour-stale orphaned
+/// protocol files (`.tmp-*`, `.lease`, `.tomb-*`) under every root,
+/// protected or not — exactly like [`DiskStore::gc`]. Without this, a
+/// worker crashed mid-save would strand its staging file in a tenant's
+/// namespace forever: tenant budget sweeps were the only GC that ever
+/// visited daemon-managed campaign directories, and they skipped
+/// non-entry files entirely.
+pub fn gc_roots_with(
+    backend: &dyn StoreBackend,
+    roots: &[PathBuf],
+    protected: &[PathBuf],
+    budget_bytes: u64,
+) -> GcStats {
     struct Entry {
-        path: PathBuf,
-        len: u64,
-        mtime: SystemTime,
+        meta: FileMeta,
         protected: bool,
-    }
-    fn walk(dir: &Path, protected: bool, out: &mut Vec<Entry>) {
-        let Ok(entries) = fs::read_dir(dir) else {
-            return;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                walk(&path, protected, out);
-            } else if path.extension().is_some_and(|e| e == "bin") {
-                if let Ok(meta) = entry.metadata() {
-                    out.push(Entry {
-                        path,
-                        len: meta.len(),
-                        mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
-                        protected,
-                    });
-                }
-            }
-        }
     }
     let mut entries = Vec::new();
     for root in roots {
         let shielded = protected.iter().any(|p| root.starts_with(p) || p == root);
-        walk(root, shielded, &mut entries);
+        for meta in sweep_orphans_and_list(backend, root) {
+            entries.push(Entry {
+                meta,
+                protected: shielded,
+            });
+        }
     }
-    let bytes_before: u64 = entries.iter().map(|e| e.len).sum();
+    let bytes_before: u64 = entries.iter().map(|e| e.meta.len).sum();
     let mut stats = GcStats {
         bytes_before,
         bytes_after: bytes_before,
@@ -696,14 +720,19 @@ pub fn gc_roots(roots: &[PathBuf], protected: &[PathBuf], budget_bytes: u64) -> 
         return stats;
     }
     let mut candidates: Vec<&Entry> = entries.iter().filter(|e| !e.protected).collect();
-    candidates.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+    candidates.sort_by(|a, b| {
+        a.meta
+            .mtime
+            .cmp(&b.meta.mtime)
+            .then_with(|| a.meta.path.cmp(&b.meta.path))
+    });
     let mut remaining = bytes_before;
     for e in candidates {
         if remaining <= budget_bytes {
             break;
         }
-        if fs::remove_file(&e.path).is_ok() {
-            remaining -= e.len;
+        if backend.remove(&e.meta.path).is_ok() {
+            remaining -= e.meta.len;
             stats.evicted_entries += 1;
         }
     }
@@ -1001,5 +1030,117 @@ mod tests {
         store.save(JobKind::Train, 1, b"c").unwrap();
         assert_eq!(store.len(), 3);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: byte accounting (usage_bytes,
+    /// tenant_usage, gc bytes_before) never bills in-flight or orphaned
+    /// protocol files — a crashed writer's large `.tmp-*` must not eat
+    /// a tenant's budget.
+    #[test]
+    fn protocol_files_are_never_billed_to_budgets() {
+        let dir = tmp_dir("billing");
+        let store = DiskStore::open_namespaced(&dir, "acme").unwrap();
+        store.save(JobKind::Lock, 1, &[7u8; 64]).unwrap();
+        let entries_only = store.usage_bytes();
+        assert!(entries_only > 0);
+
+        // A crashed writer's huge staging file, a live lease, a tomb.
+        let objects = store.objects_root().join("lock");
+        fs::write(objects.join(".tmp-999-0"), vec![0u8; 1 << 16]).unwrap();
+        fs::write(objects.join("00000000000000aa.lease"), b"lease\n").unwrap();
+        fs::write(objects.join("00000000000000aa.lease.tomb-9-0"), b"tomb\n").unwrap();
+
+        assert_eq!(store.usage_bytes(), entries_only);
+        assert_eq!(tenant_usage(&dir).unwrap()["acme"], entries_only);
+        let stats = store.gc(u64::MAX);
+        assert_eq!(stats.bytes_before, entries_only);
+        let stats = gc_roots(&[store.objects_root()], &[], u64::MAX);
+        assert_eq!(stats.bytes_before, entries_only);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: the tenant-budget sweep ([`gc_roots`], the
+    /// only GC that ever visits daemon-managed campaign directories)
+    /// must collect hour-stale orphaned protocol files — pre-fix it
+    /// walked right past them and a crashed writer's staging file
+    /// leaked forever.
+    #[test]
+    fn gc_roots_collects_stale_orphaned_protocol_files() {
+        let dir = tmp_dir("roots-orphans");
+        let store = DiskStore::open_namespaced(&dir, "t").unwrap();
+        store.save(JobKind::Lock, 1, &[1u8; 16]).unwrap();
+        let objects = store.objects_root().join("lock");
+        let stale_tmp = objects.join(".tmp-4242-0");
+        let stale_tomb = objects.join("00000000000000bb.lease.tomb-4242-0");
+        let fresh_tmp = objects.join(".tmp-4242-1");
+        for p in [&stale_tmp, &stale_tomb, &fresh_tmp] {
+            fs::write(p, b"debris").unwrap();
+        }
+        for p in [&stale_tmp, &stale_tomb] {
+            fs::File::open(p)
+                .unwrap()
+                .set_modified(SystemTime::now() - Duration::from_secs(7200))
+                .unwrap();
+        }
+        // Even a no-op budget sweep (and even over a *protected* root)
+        // reclaims the stale debris; in-flight files are left alone.
+        let stats = gc_roots(&[store.objects_root()], &[store.objects_root()], u64::MAX);
+        assert_eq!(stats.evicted_entries, 0);
+        assert!(!stale_tmp.exists(), "stale orphan tmp must be collected");
+        assert!(!stale_tomb.exists(), "stale orphan tomb must be collected");
+        assert!(fresh_tmp.exists(), "in-flight tmp must be left alone");
+        assert!(store.load(JobKind::Lock, 1).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A transient read error (EAGAIN-style) must read as a miss and
+    /// leave the entry intact — pre-hardening it evicted a good entry.
+    #[test]
+    fn transient_load_errors_do_not_evict() {
+        use crate::backend::{Fault, FaultBackend, FaultOp, FaultRule};
+        let backend = Arc::new(FaultBackend::new());
+        let store =
+            DiskStore::open_with_backend(Path::new("/virtual/transient"), "", backend.clone())
+                .unwrap();
+        store.save(JobKind::Train, 5, b"payload").unwrap();
+        backend.inject(FaultRule::on(FaultOp::Load, ".bin", Fault::Transient));
+        assert!(store.load(JobKind::Train, 5).is_none(), "transient = miss");
+        assert_eq!(store.stats().evictions, 0, "entry must not be evicted");
+        assert_eq!(store.load(JobKind::Train, 5).unwrap(), b"payload");
+    }
+
+    /// The whole store surface works identically over the in-memory
+    /// backend: version gate, round trip, corruption eviction, GC.
+    #[test]
+    fn memory_backend_round_trips_and_gcs() {
+        use crate::backend::FaultBackend;
+        let backend = Arc::new(FaultBackend::new());
+        let root = Path::new("/virtual/mem-store");
+        let store = DiskStore::open_with_backend(root, "", backend.clone()).unwrap();
+        store.save(JobKind::Train, 42, b"payload").unwrap();
+        assert_eq!(store.load(JobKind::Train, 42).unwrap(), b"payload");
+        assert!(store.contains(JobKind::Train, 42));
+        assert_eq!(store.len(), 1);
+
+        // A second handle over the same backend shares entries and the
+        // version gate.
+        let other = DiskStore::open_with_backend(root, "", backend.clone()).unwrap();
+        assert_eq!(other.load(JobKind::Train, 42).unwrap(), b"payload");
+
+        // Corrupt in place: evicted on load.
+        let path = store.entry_path(JobKind::Train, 42);
+        let mut bytes = backend.read_raw(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        backend.insert_raw(&path, &bytes);
+        assert!(store.load(JobKind::Train, 42).is_none());
+        assert!(!backend.contains(&path), "corrupt entry evicted");
+
+        // GC under a zero budget clears a fresh handle's view.
+        store.save(JobKind::Train, 43, b"x").unwrap();
+        let sweeper = DiskStore::open_with_backend(root, "", backend.clone()).unwrap();
+        let stats = sweeper.gc(0);
+        assert_eq!(stats.bytes_after, 0);
+        assert!(sweeper.is_empty());
     }
 }

@@ -1,0 +1,122 @@
+//! Backend-agnostic smoke: the same store round trip and sharded toy
+//! campaign, run against whichever backend `GNNUNLOCK_STORE_BACKEND`
+//! selects. CI executes this binary twice — `local` and `memory` — so
+//! every release exercises the [`gnnunlock_engine::StoreBackend`]
+//! contract through both implementations, not just the filesystem one.
+//!
+//! Everything here goes through env-driven construction
+//! ([`DiskStore::open`], default [`ShardConfig`]) precisely so the
+//! matrix variable is the environment, not the test code.
+
+use gnnunlock_engine::{
+    execution_counts, shard_replays, Campaign, CampaignRunner, DiskStore, ExecConfig, JobCtx,
+    JobKind, JobOutput, JobValue, ReportOptions, ShardConfig, StageJob, ValueCodec,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Echo;
+
+struct EchoCodec;
+
+impl ValueCodec for EchoCodec {
+    fn encode(&self, _kind: JobKind, value: &JobValue) -> Option<Vec<u8>> {
+        value
+            .downcast_ref::<String>()
+            .map(|s| s.as_bytes().to_vec())
+    }
+
+    fn decode(&self, _kind: JobKind, bytes: &[u8]) -> Option<JobValue> {
+        Some(Arc::new(String::from_utf8(bytes.to_vec()).ok()?) as JobValue)
+    }
+}
+
+impl CampaignRunner for Echo {
+    fn config_salt(&self) -> u64 {
+        7
+    }
+
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        Some(Arc::new(EchoCodec))
+    }
+
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+        let inputs: Vec<String> = (0..ctx.deps.len())
+            .map(|i| ctx.dep::<String>(i).as_ref().clone())
+            .collect();
+        Ok(Arc::new(format!("{}<-[{}]", job.label(), inputs.join(";"))) as JobValue)
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gnnunlock-backend-matrix-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_store_round_trips_on_the_selected_backend() {
+    let dir = tmp_dir("store");
+    let store = DiskStore::open(&dir).unwrap();
+    assert!(!store.contains(JobKind::Train, 0xfeed));
+    store
+        .save(JobKind::Train, 0xfeed, b"round trip payload")
+        .unwrap();
+    assert!(store.contains(JobKind::Train, 0xfeed));
+    assert_eq!(
+        store.load(JobKind::Train, 0xfeed).as_deref(),
+        Some(&b"round trip payload"[..]),
+        "backend {}",
+        store.backend().name()
+    );
+    assert!(store.usage_bytes() > 0);
+    // A second handle on the same root shares the entries — the
+    // cross-process story every backend must support.
+    let peer = DiskStore::open(&dir).unwrap();
+    assert!(peer.contains(JobKind::Train, 0xfeed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_toy_campaign_completes_on_the_selected_backend() {
+    let dir = tmp_dir("sharded");
+    let campaign = Campaign::builder("backend-matrix")
+        .scheme("antisat")
+        .benchmarks(["c1", "c2"])
+        .key_sizes([8])
+        .build();
+
+    let cold = campaign
+        .execute_sharded(
+            &Echo,
+            ExecConfig::with_workers(2),
+            &dir,
+            &ShardConfig::new("s0"),
+        )
+        .unwrap();
+    assert!(cold.run.outcome.all_succeeded());
+    let report = cold.run.report(ReportOptions::default()).to_json();
+
+    let warm = campaign
+        .execute_sharded(
+            &Echo,
+            ExecConfig::with_workers(2),
+            &dir,
+            &ShardConfig::new("s1"),
+        )
+        .unwrap();
+    assert!(warm.run.outcome.all_succeeded());
+    assert_eq!(
+        warm.run.report(ReportOptions::default()).to_json(),
+        report,
+        "cold and warm shards must agree byte-for-byte on every backend"
+    );
+
+    let counts = execution_counts(&shard_replays(&dir).unwrap());
+    assert_eq!(counts.len(), campaign.plan().len());
+    assert!(counts.values().all(|&n| n == 1), "{counts:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,458 @@
+//! The deterministic crash/takeover matrix: every crash window of the
+//! claim/publish/takeover/heartbeat protocol, reproduced in memory on a
+//! [`FaultBackend`] with no sleeps, no SIGKILL choreography and no
+//! timing dependence (`tests/sharded.rs` keeps one real-process SIGKILL
+//! test as smoke).
+//!
+//! Strategy: each scenario *constructs* the genuine post-crash state
+//! through the real APIs — claim a lease, [`LeaseManager::abandon`] it
+//! (the deterministic stand-in for process death: files stay, heartbeat
+//! stops), back-date mtimes with [`FaultBackend::age`] instead of
+//! sleeping, or fire one injected fault — then runs clean survivor
+//! shards over the shared backend and asserts the invariants the
+//! protocol promises: the campaign completes, the report is
+//! byte-identical to a faultless reference, no job body completes more
+//! than once, and no lease or tomb file is left wedged.
+
+use gnnunlock_engine::{
+    execution_counts, shard_replays, Campaign, CampaignRunner, Claim, DiskStore, ExecConfig, Fault,
+    FaultBackend, FaultOp, FaultRule, JobCtx, JobKind, JobOutput, JobValue, LeaseManager,
+    ReportOptions, ShardConfig, StageJob, StoreBackend, ValueCodec,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Echo runner + string codec (mirrors the shard/campaign unit tests').
+struct Echo;
+
+struct EchoCodec;
+
+impl ValueCodec for EchoCodec {
+    fn encode(&self, _kind: JobKind, value: &JobValue) -> Option<Vec<u8>> {
+        value
+            .downcast_ref::<String>()
+            .map(|s| s.as_bytes().to_vec())
+    }
+
+    fn decode(&self, _kind: JobKind, bytes: &[u8]) -> Option<JobValue> {
+        Some(Arc::new(String::from_utf8(bytes.to_vec()).ok()?) as JobValue)
+    }
+}
+
+impl CampaignRunner for Echo {
+    fn config_salt(&self) -> u64 {
+        7
+    }
+
+    fn codec(&self) -> Option<Arc<dyn ValueCodec>> {
+        Some(Arc::new(EchoCodec))
+    }
+
+    fn run(&self, job: &StageJob, ctx: &JobCtx<'_>) -> JobOutput {
+        let inputs: Vec<String> = (0..ctx.deps.len())
+            .map(|i| ctx.dep::<String>(i).as_ref().clone())
+            .collect();
+        Ok(Arc::new(format!("{}<-[{}]", job.label(), inputs.join(";"))) as JobValue)
+    }
+}
+
+fn toy() -> Campaign {
+    Campaign::builder("fault-matrix")
+        .scheme("antisat")
+        .benchmarks(["c1", "c2"])
+        .key_sizes([8])
+        .build()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gnnunlock-fault-matrix-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The faultless reference report every scenario's shards must match.
+fn reference_report() -> String {
+    let dir = tmp_dir("reference");
+    let backend = Arc::new(FaultBackend::new());
+    let run = toy()
+        .execute_sharded(
+            &Echo,
+            ExecConfig::with_workers(2),
+            &dir,
+            &ShardConfig::new("ref").with_backend(backend),
+        )
+        .unwrap();
+    assert!(run.run.outcome.all_succeeded());
+    let report = run.run.report(ReportOptions::default()).to_json();
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// Run shards `s0..sN` sequentially over `backend`, asserting each
+/// succeeds and reproduces `reference` byte-for-byte.
+fn run_survivors(
+    dir: &std::path::Path,
+    backend: &Arc<FaultBackend>,
+    shards: usize,
+    ttl: Duration,
+    reference: &str,
+    scenario: &str,
+) {
+    for i in 0..shards {
+        let run = toy()
+            .execute_sharded(
+                &Echo,
+                ExecConfig::with_workers(2),
+                dir,
+                &ShardConfig::new(format!("s{i}"))
+                    .with_ttl(ttl)
+                    .with_backend(backend.clone() as Arc<dyn gnnunlock_engine::StoreBackend>),
+            )
+            .unwrap_or_else(|e| panic!("{scenario}: shard s{i} failed: {e}"));
+        assert!(
+            run.run.outcome.all_succeeded(),
+            "{scenario}: shard s{i} had failed jobs"
+        );
+        assert_eq!(
+            run.run.report(ReportOptions::default()).to_json(),
+            reference,
+            "{scenario}: shard s{i} diverged from the faultless reference"
+        );
+    }
+}
+
+/// After a scenario: no lease still claimed, no tomb left behind.
+fn assert_no_wedged_protocol_files(backend: &FaultBackend, scenario: &str) {
+    let leftovers: Vec<_> = backend
+        .paths()
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".lease") || n.contains(".tomb-"))
+        })
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "{scenario}: wedged protocol files: {leftovers:?}"
+    );
+}
+
+/// Every job body completed exactly once across all shard logs.
+fn assert_single_execution(dir: &std::path::Path, scenario: &str) {
+    let replays = shard_replays(dir).unwrap();
+    let counts = execution_counts(&replays);
+    assert_eq!(
+        counts.len(),
+        toy().plan().len(),
+        "{scenario}: every job must have completed somewhere"
+    );
+    assert!(
+        counts.values().all(|&n| n == 1),
+        "{scenario}: double execution: {counts:?}"
+    );
+}
+
+/// The store, lease manager and (kind, fp, lease path) of the
+/// campaign's first ready job, for pre-seeding crash states.
+fn victim_setup(
+    dir: &std::path::Path,
+    backend: &Arc<FaultBackend>,
+    ttl: Duration,
+) -> (Arc<DiskStore>, LeaseManager, JobKind, u64, PathBuf) {
+    let store = Arc::new(
+        DiskStore::open_with_backend(
+            dir,
+            "",
+            backend.clone() as Arc<dyn gnnunlock_engine::StoreBackend>,
+        )
+        .unwrap(),
+    );
+    let victim = LeaseManager::new(store.clone(), "victim", ttl);
+    let campaign = toy();
+    let plan = campaign.plan();
+    let fps = campaign.job_fingerprints(&Echo);
+    let (job0, deps0) = &plan[0];
+    assert!(deps0.is_empty(), "plan[0] must be a ready root");
+    let lease = victim.lease_path(job0.kind, fps[0]);
+    (store, victim, job0.kind, fps[0], lease)
+}
+
+/// Crash window: the owner dies mid-job (lease on disk, heartbeat
+/// gone). Survivors must take the job over after the TTL and finish the
+/// campaign with no double execution — the in-memory replica of the
+/// SIGKILL smoke test, with `age` standing in for the TTL wait.
+#[test]
+fn dead_owner_lease_is_taken_over_without_sleeps() {
+    let dir = tmp_dir("dead-owner");
+    let backend = Arc::new(FaultBackend::new());
+    let ttl = Duration::from_secs(30);
+    let reference = reference_report();
+
+    let (_store, victim, kind, fp, lease) = victim_setup(&dir, &backend, ttl);
+    assert!(matches!(victim.try_claim(kind, fp), Claim::Acquired { .. }));
+    victim.abandon(); // process death: the lease file stays, unbeaten
+    assert!(backend.age(&lease, ttl * 2), "lease must exist to age");
+
+    run_survivors(&dir, &backend, 3, ttl, &reference, "dead-owner");
+    assert_single_execution(&dir, "dead-owner");
+    assert_no_wedged_protocol_files(&backend, "dead-owner");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash window: a challenger died *between* the tomb rename and the
+/// lease re-create. Pre-fix, the orphaned tomb sat until hour-stale GC
+/// and its generation was lost; now the next claimant adopts the
+/// buried generation, claims immediately, and sweeps the tomb.
+#[test]
+fn interrupted_takeover_is_completed_by_the_next_claimant() {
+    let dir = tmp_dir("interrupted-takeover");
+    let backend = Arc::new(FaultBackend::new());
+    let ttl = Duration::from_secs(30);
+    let reference = reference_report();
+
+    // A stale lease at generation 3 (an owner that died mid-epoch)...
+    let (store, victim, kind, fp, lease) = victim_setup(&dir, &backend, ttl);
+    backend.insert_raw(&lease, b"gnnunlock-lease owner=old pid=1 gen=3\n");
+    backend.age(&lease, ttl * 2);
+    drop(victim);
+    // ...whose takeover crashes right after the entomb rename.
+    backend.inject(FaultRule::on(
+        FaultOp::Entomb,
+        ".lease",
+        Fault::CrashAfterEntomb,
+    ));
+    let challenger = LeaseManager::new(store.clone(), "challenger", ttl);
+    assert_eq!(challenger.try_claim(kind, fp), Claim::Busy);
+    challenger.abandon();
+    let tombs: Vec<_> = backend
+        .paths()
+        .into_iter()
+        .filter(|p| p.to_string_lossy().contains(".tomb-"))
+        .collect();
+    assert_eq!(tombs.len(), 1, "the crash leaves exactly the orphan tomb");
+    assert!(!backend.contains(&lease), "the lease itself is gone");
+
+    // The next claimant needs no TTL wait: the job is free *now*, the
+    // buried generation is adopted (monotonic epochs), the tomb swept.
+    let next = LeaseManager::new(store.clone(), "next", ttl);
+    assert_eq!(
+        next.try_claim(kind, fp),
+        Claim::Acquired {
+            generation: 4,
+            takeover: true
+        },
+        "orphaned takeover must be completable immediately"
+    );
+    assert!(
+        !backend
+            .paths()
+            .iter()
+            .any(|p| p.to_string_lossy().contains(".tomb-")),
+        "successful claim must sweep the orphaned tomb"
+    );
+    assert!(next.release(kind, fp));
+    drop(next);
+
+    run_survivors(&dir, &backend, 3, ttl, &reference, "interrupted-takeover");
+    assert_single_execution(&dir, "interrupted-takeover");
+    assert_no_wedged_protocol_files(&backend, "interrupted-takeover");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash window: a writer died after staging its entry bytes but before
+/// the atomic rename. The final name must stay untouched (no torn entry
+/// served to anyone), the campaign re-executes the job cleanly, and the
+/// orphaned temp is invisible to byte accounting and collectable by GC.
+#[test]
+fn crash_before_publish_rename_leaves_no_torn_entry() {
+    let dir = tmp_dir("crash-publish");
+    let backend = Arc::new(FaultBackend::new());
+    let ttl = Duration::from_secs(30);
+    let reference = reference_report();
+
+    let (store, victim, _kind, _fp, lease) = victim_setup(&dir, &backend, ttl);
+    let entry = lease.with_extension("bin");
+    backend.inject(FaultRule::on(
+        FaultOp::Publish,
+        ".bin",
+        Fault::CrashBeforeRename,
+    ));
+    assert!(backend.publish(&entry, b"half-written payload").is_err());
+    assert!(
+        !backend.contains(&entry),
+        "final name untouched by the crash"
+    );
+    let orphan = backend
+        .paths()
+        .into_iter()
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(".tmp-"))
+        })
+        .expect("crash leaves the staged temp behind");
+    victim.abandon();
+
+    run_survivors(&dir, &backend, 3, ttl, &reference, "crash-publish");
+    assert_single_execution(&dir, "crash-publish");
+    assert_no_wedged_protocol_files(&backend, "crash-publish");
+
+    // The orphan never counts toward byte budgets, and once stale it is
+    // swept by the next GC pass (any budget — orphans are not entries).
+    let billed = store.usage_bytes();
+    assert!(
+        backend.contains(&orphan),
+        "orphan survives until it goes stale"
+    );
+    backend.age(&orphan, Duration::from_secs(2 * 3600));
+    store.gc(u64::MAX);
+    assert!(!backend.contains(&orphan), "stale orphan must be collected");
+    assert_eq!(store.usage_bytes(), billed, "orphans were never billed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash window: a claimant won the create but died mid-write, leaving
+/// a *torn* lease file under the claimed name (the legacy
+/// create-new-then-write protocol; NFS partial visibility). Torn bytes
+/// must never decide ownership: fresh → a live peer (conservative),
+/// stale → normal takeover arbitrated by mtime, with the generation
+/// parsing as 0.
+#[test]
+fn torn_lease_files_never_decide_ownership() {
+    let dir = tmp_dir("torn-claim");
+    let backend = Arc::new(FaultBackend::new());
+    let ttl = Duration::from_secs(30);
+    let reference = reference_report();
+
+    let (store, victim, kind, fp, lease) = victim_setup(&dir, &backend, ttl);
+    drop(victim);
+    backend.inject(FaultRule::on(FaultOp::Claim, ".lease", Fault::TornWrite(9)));
+    let peer = LeaseManager::new(store.clone(), "peer", ttl);
+    // The peer's claim "succeeded" at the backend then the peer died:
+    // a torn lease file exists under the claimed name.
+    assert_eq!(peer.try_claim(kind, fp), Claim::Busy);
+    peer.abandon();
+    let torn = backend.read_raw(&lease).expect("torn lease file exists");
+    assert!(torn.len() < 20, "file must actually be torn: {torn:?}");
+
+    // Fresh + torn: conservatively a live peer — no spurious takeover.
+    let rival = LeaseManager::new(store.clone(), "rival", ttl);
+    assert_eq!(rival.try_claim(kind, fp), Claim::Busy);
+    assert!(
+        rival.peer_holds(kind, fp),
+        "fresh torn lease reads as held (scheduling stays conservative)"
+    );
+    // Stale + torn: the mtime, not the unreadable content, carries the
+    // verdict — taken over at generation 0 + 1.
+    backend.age(&lease, ttl * 2);
+    assert_eq!(
+        rival.try_claim(kind, fp),
+        Claim::Acquired {
+            generation: 1,
+            takeover: true
+        }
+    );
+    assert!(rival.release(kind, fp));
+    drop(rival);
+
+    run_survivors(&dir, &backend, 3, ttl, &reference, "torn-claim");
+    assert_single_execution(&dir, "torn-claim");
+    assert_no_wedged_protocol_files(&backend, "torn-claim");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash window: the *owner's own heartbeat* observes a torn read of
+/// its lease (reader racing the filesystem, NFS partial page). Pre-fix
+/// the owner dropped the lease as lost, stopped heartbeating, and a
+/// peer took over a perfectly live owner's job; now a torn observation
+/// keeps the lease and the next beat re-judges it.
+#[test]
+fn torn_heartbeat_read_does_not_abandon_a_live_lease() {
+    let dir = tmp_dir("torn-heartbeat");
+    let backend = Arc::new(FaultBackend::new());
+    let ttl = Duration::from_secs(30);
+
+    let (store, owner, kind, fp, _lease) = victim_setup(&dir, &backend, ttl);
+    assert!(matches!(owner.try_claim(kind, fp), Claim::Acquired { .. }));
+
+    // One torn read, one transient error, then clean again.
+    backend.inject(FaultRule::on(FaultOp::Load, ".lease", Fault::TornRead(7)));
+    backend.inject(FaultRule::on(FaultOp::Load, ".lease", Fault::Transient).after(1));
+    owner.force_heartbeat(); // torn observation
+    owner.force_heartbeat(); // transient error
+    assert_eq!(
+        owner.held(),
+        1,
+        "torn/transient reads must not drop the lease"
+    );
+    assert_eq!(owner.stats().lost, 0);
+    owner.force_heartbeat(); // clean: refreshes
+    assert_eq!(owner.held(), 1);
+
+    // A rival still sees a fresh, held lease — no spurious takeover.
+    let rival = LeaseManager::new(store.clone(), "rival", ttl);
+    assert_eq!(rival.try_claim(kind, fp), Claim::Busy);
+    assert_eq!(rival.stats().takeovers, 0);
+
+    // An *intact foreign* observation still means usurped: that path
+    // must not have been loosened by torn-tolerance.
+    backend.insert_raw(
+        &owner.lease_path(kind, fp),
+        b"gnnunlock-lease owner=usurper pid=9 gen=7\n",
+    );
+    owner.force_heartbeat();
+    assert_eq!(owner.held(), 0, "intact foreign content is a real loss");
+    assert_eq!(owner.stats().lost, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seeded soak: N pseudo-random schedules of *recoverable* faults
+/// (transient errors, delayed visibility, torn reads) thrown at full
+/// sharded runs. Recoverable faults may cost duplicate work — a shard
+/// that transiently cannot see a peer's entry legitimately re-executes
+/// the job — but must never change the report or fail the campaign.
+/// `GNNUNLOCK_FAULT_SOAK_SEEDS` (default 6) widens the sweep in CI; a
+/// failure names its seed so the exact schedule reproduces.
+#[test]
+fn recoverable_fault_soak_never_diverges_the_report() {
+    let reference = reference_report();
+    let seeds: u64 = std::env::var("GNNUNLOCK_FAULT_SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(6);
+    for seed in 1..=seeds {
+        let dir = tmp_dir(&format!("soak-{seed}"));
+        let backend = Arc::new(FaultBackend::with_rules(
+            gnnunlock_engine::recoverable_schedule(seed, 10),
+        ));
+        for i in 0..2 {
+            let run = toy()
+                .execute_sharded(
+                    &Echo,
+                    ExecConfig::with_workers(2),
+                    &dir,
+                    &ShardConfig::new(format!("s{i}")).with_backend(backend.clone()),
+                )
+                .unwrap_or_else(|e| panic!("soak seed {seed}: shard s{i} failed: {e}"));
+            assert!(
+                run.run.outcome.all_succeeded(),
+                "soak seed {seed}: shard s{i} had failed jobs"
+            );
+            assert_eq!(
+                run.run.report(ReportOptions::default()).to_json(),
+                reference,
+                "soak seed {seed}: shard s{i} diverged from the reference"
+            );
+        }
+        // No wedged-files assertion here: a visibility fault during
+        // release legitimately strands a lease (the owner counts it
+        // lost; it ages out via the normal stale path). Reports and
+        // success are the soak invariants.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

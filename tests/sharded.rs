@@ -240,6 +240,14 @@ fn probe_ahead_elides_interior_stages_nobody_needs() {
 // SIGKILL'd while holding the lease. A survivor shard must take the
 // lease over after the TTL, complete the job, and render the
 // byte-identical report.
+//
+// This is deliberately the ONE remaining real-process crash test — a
+// smoke check that the `LocalDirBackend` primitives behave under actual
+// process death. The exhaustive crash/takeover matrix (every crash
+// window, torn writes, delayed visibility, seeded fault soak) lives in
+// `crates/engine/tests/fault_matrix.rs` on the deterministic in-memory
+// `FaultBackend`, where it needs no TTL waits, kill timing, or child
+// processes.
 // ---------------------------------------------------------------------
 
 const STALL_DIR_ENV: &str = "GNNUNLOCK_TEST_STALL_DIR";
