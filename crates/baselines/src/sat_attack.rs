@@ -9,7 +9,10 @@
 
 use gnnunlock_locking::Key;
 use gnnunlock_netlist::Netlist;
-use gnnunlock_sat::{assert_lit, encode_netlist, or_lit, xor_lit, Lit, SolveResult, Solver};
+use gnnunlock_sat::{
+    assert_lit, encode_netlist_filtered, fresh_lit, or_lit, xor_lit, Lit, SolveResult, Solver,
+    StrashTable,
+};
 use std::collections::HashMap;
 
 /// Result of a SAT attack run.
@@ -37,15 +40,24 @@ pub fn sat_attack(
     max_iterations: usize,
 ) -> SatAttackOutcome {
     let mut solver = Solver::new();
-    // Two copies with shared PIs, independent keys.
-    let enc_a = encode_netlist(&mut solver, locked, None);
+    // Two copies with shared PIs, independent keys. One structural-hash
+    // table spans every encoding into this solver, so logic outside the
+    // key fanin collapses between the two key copies (and, per DIP with
+    // matching constant inputs, between the I/O-constraint copies too).
+    let mut strash = StrashTable::new();
+    let enc_a = encode_netlist_filtered(&mut solver, locked, None, None, Some(&mut strash));
     let shared: HashMap<String, Lit> = enc_a
         .primary_inputs
         .iter()
         .map(|(n, l)| (n.clone(), *l))
         .collect();
-    let enc_b = encode_netlist(&mut solver, locked, Some(&shared));
-    // Miter: some output differs.
+    let enc_b =
+        encode_netlist_filtered(&mut solver, locked, Some(&shared), None, Some(&mut strash));
+    // Miter behind an activation literal: `act → some output differs`.
+    // The DIP loop solves under the assumption `act`; once UNSAT, the
+    // same solver — with the miter switched off via `!act` — yields a
+    // correct key directly from the accumulated I/O constraints, so no
+    // separate key solver (and no third circuit copy per DIP) is needed.
     let diffs: Vec<Lit> = enc_a
         .outputs
         .iter()
@@ -53,22 +65,29 @@ pub fn sat_attack(
         .map(|((_, a), (_, b))| xor_lit(&mut solver, *a, *b))
         .collect();
     let any = or_lit(&mut solver, &diffs);
-    assert_lit(&mut solver, any, true);
+    let act = fresh_lit(&mut solver);
+    solver.add_clause(&[!act, any]);
 
-    // A second solver accumulates only the I/O constraints over one
-    // canonical key-variable vector; after the miter becomes UNSAT, any
-    // model of this solver is a correct key.
-    let mut key_solver = Solver::new();
-    let key_vars: Vec<Lit> = locked
-        .key_inputs()
+    // A constant-true literal lets each per-DIP circuit copy take its
+    // primary inputs as shared literals instead of fresh variables plus
+    // unit clauses.
+    let lit_true = fresh_lit(&mut solver);
+    assert_lit(&mut solver, lit_true, true);
+    let keys_a: HashMap<String, Lit> = enc_a
+        .key_inputs
         .iter()
-        .map(|_| gnnunlock_sat::fresh_lit(&mut key_solver))
+        .map(|(n, l)| (n.clone(), *l))
+        .collect();
+    let keys_b: HashMap<String, Lit> = enc_b
+        .key_inputs
+        .iter()
+        .map(|(n, l)| (n.clone(), *l))
         .collect();
 
     let mut converged = false;
     let mut iterations = 0;
     while iterations < max_iterations {
-        match solver.solve() {
+        match solver.solve_with_assumptions(&[act]) {
             SolveResult::Unsat => {
                 converged = true;
                 break;
@@ -82,20 +101,32 @@ pub fn sat_attack(
                     .collect();
                 let response = oracle(&dip);
                 // Constrain both key copies to agree with the oracle on
-                // the DIP: add fresh circuit copies with inputs fixed.
-                for key_enc in [&enc_a, &enc_b] {
-                    let keys: Vec<Lit> = key_enc.key_inputs.iter().map(|&(_, l)| l).collect();
-                    add_io_constraint(&mut solver, locked, &keys, &dip, &response);
+                // the DIP: one circuit copy per key vector, with PIs tied
+                // to the DIP constants and keys tied to the live key
+                // literals (the shared-input map carries both, so the
+                // copy introduces no input variables at all).
+                for key_map in [&keys_a, &keys_b] {
+                    add_io_constraint(
+                        &mut solver,
+                        &mut strash,
+                        locked,
+                        key_map,
+                        lit_true,
+                        &dip,
+                        &response,
+                    );
                 }
-                add_io_constraint(&mut key_solver, locked, &key_vars, &dip, &response);
             }
         }
     }
-    let key = if converged && key_solver.solve() == SolveResult::Sat {
+    // With the miter deactivated, any model satisfying every recorded
+    // I/O observation assigns copy-A's key vector a correct key.
+    let key = if converged && solver.solve_with_assumptions(&[!act]) == SolveResult::Sat {
         Some(Key::from_bits(
-            key_vars
+            enc_a
+                .key_inputs
                 .iter()
-                .map(|&l| key_solver.model_lit(l).unwrap_or(false))
+                .map(|&(_, l)| solver.model_lit(l).unwrap_or(false))
                 .collect(),
         ))
     } else {
@@ -108,25 +139,34 @@ pub fn sat_attack(
     }
 }
 
-/// Encode a fresh copy of `locked` whose PIs are fixed to `dip`, whose
-/// key inputs are tied to `key_lits` (in `keyinput{i}` order), and whose
-/// outputs are asserted equal to `response`.
+/// Encode a copy of `locked` whose PIs are fixed to `dip` (as constant
+/// literals), whose key inputs reuse `key_lits`, and whose outputs are
+/// asserted equal to `response`. The shared-input map means the copy
+/// adds only gate variables — no per-copy input variables, unit clauses
+/// or key-equality clauses.
 fn add_io_constraint(
     solver: &mut Solver,
+    strash: &mut StrashTable,
     locked: &Netlist,
-    key_lits: &[Lit],
+    key_lits: &HashMap<String, Lit>,
+    lit_true: Lit,
     dip: &[bool],
     response: &[bool],
 ) {
-    let copy = encode_netlist(solver, locked, None);
-    for ((_, lit), &v) in copy.primary_inputs.iter().zip(dip) {
-        assert_lit(solver, *lit, v);
+    let mut inputs = key_lits.clone();
+    for ((name, _), &v) in locked
+        .inputs()
+        .filter(|(_, k, _)| *k == gnnunlock_netlist::InputKind::Primary)
+        .map(|(n, _, net)| (n, net))
+        .zip(dip)
+    {
+        inputs.insert(name.to_string(), if v { lit_true } else { !lit_true });
     }
-    for ((_, fresh), &shared) in copy.key_inputs.iter().zip(key_lits) {
-        // fresh == shared.
-        solver.add_clause(&[!*fresh, shared]);
-        solver.add_clause(&[*fresh, !shared]);
-    }
+    let copy = encode_netlist_filtered(solver, locked, Some(&inputs), None, Some(strash));
+    debug_assert!(copy
+        .primary_inputs
+        .iter()
+        .all(|&(_, l)| l.var() == lit_true.var()));
     for ((_, out), &v) in copy.outputs.iter().zip(response) {
         assert_lit(solver, *out, v);
     }

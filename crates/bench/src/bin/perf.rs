@@ -1,17 +1,20 @@
 //! `gnnunlock-bench` — the perf-trajectory harness.
 //!
 //! ```text
-//! gnnunlock-bench perf                       # full kernel + attack suites
+//! gnnunlock-bench perf                       # full kernel + attack + verify suites
 //! gnnunlock-bench perf --smoke               # tiny shapes (CI smoke)
 //! gnnunlock-bench perf --kernels             # kernels only
 //! gnnunlock-bench perf --attack              # end-to-end attack only
+//! gnnunlock-bench perf --verify              # equivalence-verification only
 //! gnnunlock-bench history append [--label L] # fold BENCH_*.json into BENCH_HISTORY.jsonl
 //! gnnunlock-bench history check [--history FILE] [--tolerance 0.85]
 //! ```
 //!
-//! `perf` writes `BENCH_kernels.json` and `BENCH_attack.json` to
+//! `perf` writes `BENCH_kernels.json`, `BENCH_attack.json` and
+//! `BENCH_verify.json` to
 //! `GNNUNLOCK_BENCH_OUT` (default: the current directory, i.e. the repo
-//! root when run from a checkout), self-verifying the kernels document
+//! root when run from a checkout), self-verifying the kernels and verify
+//! documents
 //! after writing. `history append` summarizes those snapshots into one
 //! tracked `BENCH_HISTORY.jsonl` line; `history check` fails (exit 1)
 //! when a gated speedup ratio regressed beyond tolerance against the
@@ -75,19 +78,21 @@ fn main() {
         run_history(&args[1..]);
     }
     if mode != Some("perf") {
-        eprintln!("usage: gnnunlock-bench perf [--smoke] [--kernels] [--attack]");
+        eprintln!("usage: gnnunlock-bench perf [--smoke] [--kernels] [--attack] [--verify]");
         eprintln!("       gnnunlock-bench history append|check  (perf-trajectory gate)");
         eprintln!(
-            "  writes BENCH_kernels.json / BENCH_attack.json to GNNUNLOCK_BENCH_OUT (default .)"
+            "  writes BENCH_kernels.json / BENCH_attack.json / BENCH_verify.json \
+             to GNNUNLOCK_BENCH_OUT (default .)"
         );
         std::process::exit(2);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let kernels_only = args.iter().any(|a| a == "--kernels");
     let attack_only = args.iter().any(|a| a == "--attack");
+    let verify_only = args.iter().any(|a| a == "--verify");
     let dir = perf::out_dir();
 
-    if !attack_only {
+    if !attack_only && !verify_only {
         eprintln!(
             "[gnnunlock-bench] timing kernel suite ({})...",
             if smoke { "smoke" } else { "full" }
@@ -111,7 +116,7 @@ fn main() {
         }
     }
 
-    if !kernels_only {
+    if !kernels_only && !verify_only {
         eprintln!(
             "[gnnunlock-bench] timing end-to-end attack ({})...",
             if smoke { "smoke" } else { "full" }
@@ -121,6 +126,30 @@ fn main() {
             Ok(path) => eprintln!("[gnnunlock-bench] {} written", path.display()),
             Err(e) => {
                 eprintln!("[gnnunlock-bench] FAILED writing attack report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !kernels_only && !attack_only {
+        eprintln!(
+            "[gnnunlock-bench] timing equivalence verification ({})...",
+            if smoke { "smoke" } else { "full" }
+        );
+        let doc = perf::verify_report(smoke);
+        match perf::write_and_verify(&dir, perf::VERIFY_FILE, &doc) {
+            Ok(path) => {
+                let speedup = doc
+                    .get("verify_family_speedup")
+                    .and_then(gnnunlock_engine::Json::as_num)
+                    .unwrap_or(0.0);
+                eprintln!(
+                    "[gnnunlock-bench] {} written (verify-family speedup: {speedup:.2}x)",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("[gnnunlock-bench] FAILED writing verify report: {e}");
                 std::process::exit(1);
             }
         }

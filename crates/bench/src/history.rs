@@ -1,6 +1,7 @@
 //! The perf trajectory: `BENCH_HISTORY.jsonl`.
 //!
-//! `BENCH_kernels.json` / `BENCH_attack.json` are snapshots — each
+//! `BENCH_kernels.json` / `BENCH_attack.json` / `BENCH_verify.json` are
+//! snapshots — each
 //! `gnnunlock-bench perf` run overwrites them. This module folds every
 //! snapshot into one tracked append-only line
 //! (`gnnunlock-bench history append`) and gates CI on it
@@ -13,7 +14,7 @@
 //! same process, so their ratio transfers across machines where raw
 //! wall-clock never would.
 
-use crate::perf::{ATTACK_FILE, KERNELS_FILE};
+use crate::perf::{ATTACK_FILE, KERNELS_FILE, VERIFY_FILE};
 use gnnunlock_engine::Json;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -52,9 +53,15 @@ pub fn kernel_speedup(kernels_doc: &Json, kernel: &str) -> Option<f64> {
 ///
 /// # Errors
 ///
-/// A kernels document missing a gated metric (nothing meaningful could
-/// be appended, and a later `check` would silently pass).
-pub fn summarize(label: &str, kernels: &Json, attack: Option<&Json>) -> Result<Json, String> {
+/// A kernels document missing a gated metric, or a verify document
+/// missing its family speedup (nothing meaningful could be appended,
+/// and a later `check` would silently pass).
+pub fn summarize(
+    label: &str,
+    kernels: &Json,
+    attack: Option<&Json>,
+    verify: Option<&Json>,
+) -> Result<Json, String> {
     let mode = kernels
         .get("mode")
         .and_then(Json::as_str)
@@ -73,6 +80,15 @@ pub fn summarize(label: &str, kernels: &Json, attack: Option<&Json>) -> Result<J
     if let Some(speedup) = kernels.get("medium_speedup").and_then(Json::as_num) {
         fields.push(("medium_speedup", Json::Num(speedup)));
     }
+    if let Some(verify) = verify {
+        // Gated exactly like kernel_family: a speedup ratio, so it
+        // transfers across machines.
+        let speedup = verify
+            .get(VERIFY_METRIC)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{VERIFY_FILE} carries no '{VERIFY_METRIC}'"))?;
+        fields.push((VERIFY_METRIC, Json::Num(speedup)));
+    }
     if let Some(attack) = attack {
         // Informational context, never gated: absolute times don't
         // transfer across machines.
@@ -84,6 +100,9 @@ pub fn summarize(label: &str, kernels: &Json, attack: Option<&Json>) -> Result<J
     }
     Ok(Json::obj(fields))
 }
+
+/// The gated metric from the verify document (and its history-line key).
+pub const VERIFY_METRIC: &str = "verify_family_speedup";
 
 fn speedup_key(kernel: &str) -> &'static str {
     match kernel {
@@ -116,7 +135,8 @@ fn read_json(path: &Path) -> Result<Json, String> {
 pub fn append(dir: &Path, label: &str) -> Result<PathBuf, String> {
     let kernels = read_json(&dir.join(KERNELS_FILE))?;
     let attack = read_json(&dir.join(ATTACK_FILE)).ok();
-    let line = summarize(label, &kernels, attack.as_ref())?;
+    let verify = read_json(&dir.join(VERIFY_FILE)).ok();
+    let line = summarize(label, &kernels, attack.as_ref(), verify.as_ref())?;
     let path = dir.join(HISTORY_FILE);
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -183,6 +203,29 @@ pub fn check(dir: &Path, history_path: &Path, tolerance: f64) -> Result<String, 
         }
         report.push_str(&format!("  {kernel}: {current:.3}x vs {base:.3}x ok\n"));
     }
+    // Verification family: gated like kernel_family, read from its own
+    // snapshot. A baseline line predating the metric skips with a note;
+    // a baseline that has it makes the current snapshot mandatory (so
+    // the gate cannot be dodged by not producing BENCH_verify.json).
+    match baseline.get(VERIFY_METRIC).and_then(Json::as_num) {
+        None => report.push_str(&format!("  {VERIFY_METRIC}: no baseline metric, skipped\n")),
+        Some(base) => {
+            let verify = read_json(&dir.join(VERIFY_FILE))?;
+            let current = verify
+                .get(VERIFY_METRIC)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("current {VERIFY_FILE} carries no '{VERIFY_METRIC}'"))?;
+            if current < tolerance * base {
+                return Err(format!(
+                    "perf regression: {VERIFY_METRIC} {current:.3}x fell below \
+                     {tolerance:.2} x baseline {base:.3}x (from '{label}', mode {mode})"
+                ));
+            }
+            report.push_str(&format!(
+                "  {VERIFY_METRIC}: {current:.3}x vs {base:.3}x ok\n"
+            ));
+        }
+    }
     Ok(report)
 }
 
@@ -225,7 +268,7 @@ mod tests {
     fn summarize_prefers_the_medium_shape() {
         let doc = kernels_doc("smoke", 3.5, 2.0);
         assert_eq!(kernel_speedup(&doc, "kernel_family"), Some(3.5));
-        let line = summarize("t", &doc, None).unwrap();
+        let line = summarize("t", &doc, None, None).unwrap();
         assert_eq!(
             line.get("kernel_family_speedup").and_then(Json::as_num),
             Some(3.5)
@@ -283,6 +326,43 @@ mod tests {
         .unwrap();
         let err = check(&dir, &history, REGRESSION_TOLERANCE).unwrap_err();
         assert!(err.contains("kernel_family"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn verify_doc(speedup: f64) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Num(1.0)),
+            ("mode", Json::Str("smoke".to_string())),
+            (VERIFY_METRIC, Json::Num(speedup)),
+        ])
+    }
+
+    #[test]
+    fn verify_family_is_gated_like_kernel_family() {
+        let dir = tmp("verify-gate");
+        std::fs::write(
+            dir.join(KERNELS_FILE),
+            kernels_doc("smoke", 3.0, 2.0).render(),
+        )
+        .unwrap();
+        // A run without a verify snapshot appends a line without the
+        // metric; checks against it skip with a note (pre-metric lines
+        // stay valid baselines).
+        let history = append(&dir, "pre-verify").unwrap();
+        std::fs::write(dir.join(VERIFY_FILE), verify_doc(4.0).render()).unwrap();
+        let note = check(&dir, &history, REGRESSION_TOLERANCE).unwrap();
+        assert!(note.contains("no baseline metric"), "{note}");
+
+        // Once a line carries the metric, it is gated.
+        append(&dir, "with-verify").unwrap();
+        let ok = check(&dir, &history, REGRESSION_TOLERANCE).unwrap();
+        assert!(ok.contains(VERIFY_METRIC), "{ok}");
+        std::fs::write(dir.join(VERIFY_FILE), verify_doc(1.0).render()).unwrap();
+        let err = check(&dir, &history, REGRESSION_TOLERANCE).unwrap_err();
+        assert!(err.contains(VERIFY_METRIC), "{err}");
+        // ... and deleting the snapshot does not dodge the gate.
+        std::fs::remove_file(dir.join(VERIFY_FILE)).unwrap();
+        assert!(check(&dir, &history, REGRESSION_TOLERANCE).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

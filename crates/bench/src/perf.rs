@@ -1,6 +1,7 @@
 //! The perf harness behind `gnnunlock-bench perf`: machine-readable
-//! kernel and end-to-end timings, written as `BENCH_kernels.json` and
-//! `BENCH_attack.json` at the repo root (or `GNNUNLOCK_BENCH_OUT`).
+//! kernel, end-to-end and verification timings, written as
+//! `BENCH_kernels.json`, `BENCH_attack.json` and `BENCH_verify.json` at
+//! the repo root (or `GNNUNLOCK_BENCH_OUT`).
 //!
 //! Every kernel entry times the **pre-overhaul naive kernel** (kept
 //! verbatim in `gnnunlock_neural::reference`, allocation and historical
@@ -17,10 +18,10 @@
 
 use gnnunlock_engine::Json;
 use gnnunlock_gnn::{netlist_to_graph, train, Csr, LabelScheme, SaintConfig, TrainConfig};
-use gnnunlock_locking::{lock_antisat, AntiSatConfig};
-use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary};
+use gnnunlock_locking::{lock_antisat, lock_rll, AntiSatConfig};
+use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
 use gnnunlock_neural::{reference, Matrix, Workspace};
-use gnnunlock_sat::{check_equivalence, EquivOptions};
+use gnnunlock_sat::{check_equivalence, equiv, EquivOptions, EquivResult};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -29,6 +30,9 @@ pub const KERNELS_FILE: &str = "BENCH_kernels.json";
 
 /// Name of the end-to-end attack trajectory file.
 pub const ATTACK_FILE: &str = "BENCH_attack.json";
+
+/// Name of the equivalence-verification trajectory file.
+pub const VERIFY_FILE: &str = "BENCH_verify.json";
 
 /// One `(m, k, n)` product benchmark shape.
 #[derive(Debug, Clone, Copy)]
@@ -450,6 +454,7 @@ pub fn attack_report(smoke: bool) -> Json {
     let t0 = Instant::now();
     let opts = EquivOptions {
         key_b: Some(vec![false; recovered.key_inputs().len()]),
+        workers: gnnunlock_engine::default_workers(),
         ..Default::default()
     };
     let verdict = check_equivalence(&design, &recovered, &opts);
@@ -488,6 +493,195 @@ pub fn attack_report(smoke: bool) -> Json {
     ])
 }
 
+/// One equivalence-verification benchmark case: the circuits, the key
+/// bindings, and which pipeline stage is expected to carry the load.
+struct VerifyCase {
+    name: &'static str,
+    a: Netlist,
+    b: Netlist,
+    opts: EquivOptions,
+}
+
+fn verdict_name(r: &EquivResult) -> &'static str {
+    match r {
+        EquivResult::Equivalent => "equivalent",
+        EquivResult::NotEquivalent(_) => "not_equivalent",
+        EquivResult::InterfaceMismatch(_) => "interface_mismatch",
+    }
+}
+
+/// The verification case family, all on the same c5315 benchmark the
+/// attack report uses:
+///
+/// - `prefilter_hit` — RLL-locked vs original under a wrong key: random
+///   simulation distinguishes almost immediately (the XOR corruption
+///   fires on ~half of all patterns), so this times the prefilter path.
+/// - `not_equivalent` — Anti-SAT-locked vs original under a wrong key:
+///   the corruption fires on ~2⁻¹⁶ of patterns, so random simulation
+///   (almost always) misses and the SAT stage must find the
+///   counterexample.
+/// - `cone_unsat` — the design against a clone of itself: no
+///   counterexample exists, so this times the full UNSAT proof over the
+///   partitioned cones.
+fn verify_cases(smoke: bool) -> Vec<VerifyCase> {
+    let scale = if smoke { 0.02 } else { 0.05 };
+    let design = BenchmarkSpec::named("c5315")
+        .unwrap()
+        .scaled(scale)
+        .generate();
+    let workers = gnnunlock_engine::default_workers();
+    let rll = lock_rll(&design, 16, 5).unwrap();
+    let wrong_rll: Vec<bool> = rll.key.bits().iter().map(|b| !b).collect();
+    let antisat = lock_antisat(&design, &AntiSatConfig::new(16, 2)).unwrap();
+    // Flip exactly one bit: Anti-SAT accepts any key with K1 == K2, so
+    // flipping *all* bits lands on another correct key. One flipped bit
+    // makes K1 != K2, which corrupts exactly one input pattern.
+    let wrong_anti: Vec<bool> = antisat
+        .key
+        .bits()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| if i == 0 { !b } else { *b })
+        .collect();
+    vec![
+        VerifyCase {
+            name: "prefilter_hit",
+            a: design.clone(),
+            b: rll.netlist,
+            opts: EquivOptions {
+                key_b: Some(wrong_rll),
+                workers,
+                ..Default::default()
+            },
+        },
+        VerifyCase {
+            name: "not_equivalent",
+            a: design.clone(),
+            b: antisat.netlist,
+            opts: EquivOptions {
+                key_b: Some(wrong_anti),
+                workers,
+                ..Default::default()
+            },
+        },
+        VerifyCase {
+            name: "cone_unsat",
+            a: design.clone(),
+            b: design,
+            opts: EquivOptions {
+                workers,
+                ..Default::default()
+            },
+        },
+    ]
+}
+
+/// Run the verification suite and return the `BENCH_verify.json`
+/// document. `baseline_ns` times the retained monolithic checker
+/// ([`gnnunlock_sat::equiv::reference`], per-pattern allocation storm
+/// included); `optimized_ns` times the staged pipeline on identical
+/// inputs. Verdicts must agree case by case (the document records both;
+/// the self-check rejects disagreement).
+pub fn verify_report(smoke: bool) -> Json {
+    let reps = if smoke { 7 } else { 5 };
+    let mut entries = Vec::new();
+    let (mut base_total, mut opt_total) = (0u64, 0u64);
+    for case in verify_cases(smoke) {
+        let baseline_verdict = equiv::reference::check_equivalence(&case.a, &case.b, &case.opts);
+        let optimized_verdict = check_equivalence(&case.a, &case.b, &case.opts);
+        let baseline_ns = time_ns(reps, || {
+            std::hint::black_box(equiv::reference::check_equivalence(
+                &case.a, &case.b, &case.opts,
+            ));
+        });
+        let optimized_ns = time_ns(reps, || {
+            std::hint::black_box(check_equivalence(&case.a, &case.b, &case.opts));
+        });
+        base_total += baseline_ns;
+        opt_total += optimized_ns;
+        entries.push(Json::obj(vec![
+            ("case", Json::Str(case.name.to_string())),
+            ("baseline_ns", Json::Num(baseline_ns as f64)),
+            ("optimized_ns", Json::Num(optimized_ns as f64)),
+            (
+                "speedup",
+                Json::Num(baseline_ns as f64 / optimized_ns.max(1) as f64),
+            ),
+            (
+                "baseline_verdict",
+                Json::Str(verdict_name(&baseline_verdict).to_string()),
+            ),
+            (
+                "optimized_verdict",
+                Json::Str(verdict_name(&optimized_verdict).to_string()),
+            ),
+        ]));
+    }
+    Json::obj(vec![
+        ("schema", Json::Num(1.0)),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        (
+            "contract",
+            Json::Str(
+                "baseline = monolithic checker (equiv::reference); optimized = staged \
+                 pipeline (word prefilter + cone-partitioned incremental SAT); verdicts \
+                 must agree case by case"
+                    .to_string(),
+            ),
+        ),
+        ("benchmark", Json::Str("c5315".to_string())),
+        ("cases", Json::Arr(entries)),
+        ("verify_family_baseline_ns", Json::Num(base_total as f64)),
+        ("verify_family_optimized_ns", Json::Num(opt_total as f64)),
+        (
+            "verify_family_speedup",
+            Json::Num(base_total as f64 / opt_total.max(1) as f64),
+        ),
+    ])
+}
+
+/// Check a verify document contains every expected case with positive
+/// timings and agreeing verdicts.
+///
+/// # Errors
+///
+/// Describes the first missing or malformed entry.
+pub fn verify_verify_doc(doc: &Json) -> Result<(), String> {
+    let cases = match doc.get("cases") {
+        Some(Json::Arr(entries)) => entries,
+        _ => return Err("missing cases array".to_string()),
+    };
+    for expected in ["prefilter_hit", "not_equivalent", "cone_unsat"] {
+        let found = cases
+            .iter()
+            .find(|e| e.get("case").and_then(Json::as_str) == Some(expected))
+            .ok_or_else(|| format!("verify case '{expected}' missing"))?;
+        for field in ["baseline_ns", "optimized_ns"] {
+            if found.get(field).and_then(Json::as_num).unwrap_or(0.0) <= 0.0 {
+                return Err(format!("verify case '{expected}' lacks {field}"));
+            }
+        }
+        let base = found.get("baseline_verdict").and_then(Json::as_str);
+        let opt = found.get("optimized_verdict").and_then(Json::as_str);
+        if base.is_none() || base != opt {
+            return Err(format!(
+                "verify case '{expected}' verdicts disagree: {base:?} vs {opt:?}"
+            ));
+        }
+    }
+    if doc
+        .get("verify_family_speedup")
+        .and_then(Json::as_num)
+        .is_none()
+    {
+        return Err("missing verify_family_speedup".to_string());
+    }
+    Ok(())
+}
+
 /// Where the `BENCH_*.json` files go: `GNNUNLOCK_BENCH_OUT`, or the
 /// current directory (the repo root when invoked from a checkout).
 pub fn out_dir() -> PathBuf {
@@ -510,6 +704,9 @@ pub fn write_and_verify(dir: &Path, name: &str, doc: &Json) -> std::io::Result<P
         .map_err(|e| std::io::Error::other(format!("{name} failed to re-parse: {e}")))?;
     if name == KERNELS_FILE {
         verify_kernels_doc(&parsed).map_err(std::io::Error::other)?;
+    }
+    if name == VERIFY_FILE {
+        verify_verify_doc(&parsed).map_err(std::io::Error::other)?;
     }
     Ok(path)
 }
@@ -568,5 +765,18 @@ mod tests {
     fn verify_rejects_incomplete_docs() {
         let doc = Json::obj(vec![("kernels", Json::Arr(vec![]))]);
         assert!(verify_kernels_doc(&doc).is_err());
+        let doc = Json::obj(vec![("cases", Json::Arr(vec![]))]);
+        assert!(verify_verify_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn smoke_verify_report_is_complete_and_verifies() {
+        let doc = verify_report(true);
+        verify_verify_doc(&doc).unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("gnnunlock-verify-test-{}", std::process::id()));
+        let path = write_and_verify(&dir, VERIFY_FILE, &doc).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -181,6 +181,7 @@ pub fn verify_recovered(
 ) -> bool {
     let opts = EquivOptions {
         key_b: Some(vec![false; recovered.key_inputs().len()]),
+        workers: gnnunlock_engine::default_workers(),
         ..Default::default()
     };
     matches!(

@@ -31,6 +31,17 @@ impl FanoutMap {
     }
 }
 
+/// Transitive fan-in of one primary output: the gates implementing it and
+/// the top-level inputs it depends on (see [`Netlist::output_cones`], one
+/// entry per output in declaration order).
+#[derive(Debug, Clone)]
+pub struct OutputCone {
+    /// Every live gate in the output's fan-in cone, including the driver.
+    pub gates: Vec<GateId>,
+    /// Every top-level input net (primary or key) in the cone.
+    pub inputs: Vec<NetId>,
+}
+
 impl Netlist {
     /// Gates in topological (fan-in before fan-out) order.
     ///
@@ -174,6 +185,61 @@ impl Netlist {
             }
         }
         cone
+    }
+
+    /// Transitive-fanin summary of one primary output: every gate and every
+    /// top-level input (primary or key) the output depends on.
+    ///
+    /// Built by [`Netlist::output_cones`]; the equivalence checker groups
+    /// outputs with overlapping `inputs` into independently-checkable
+    /// sub-miters.
+    pub fn output_cones(&self) -> Vec<OutputCone> {
+        let mut gate_stamp = vec![u32::MAX; self.gate_capacity()];
+        let mut net_stamp = vec![u32::MAX; self.num_nets()];
+        let mut queue: Vec<GateId> = Vec::new();
+        self.outputs()
+            .enumerate()
+            .map(|(idx, (_, net))| {
+                let stamp = idx as u32;
+                let mut gates = Vec::new();
+                let mut inputs = Vec::new();
+                queue.clear();
+                match self.driver(net) {
+                    Driver::Gate(g) if self.is_alive(g) => {
+                        gate_stamp[g.index()] = stamp;
+                        gates.push(g);
+                        queue.push(g);
+                    }
+                    Driver::Input(_) => {
+                        net_stamp[net.index()] = stamp;
+                        inputs.push(net);
+                    }
+                    _ => {}
+                }
+                let mut head = 0;
+                while head < queue.len() {
+                    let g = queue[head];
+                    head += 1;
+                    for &inp in self.gate_inputs(g) {
+                        match self.driver(inp) {
+                            Driver::Gate(src)
+                                if self.is_alive(src) && gate_stamp[src.index()] != stamp =>
+                            {
+                                gate_stamp[src.index()] = stamp;
+                                gates.push(src);
+                                queue.push(src);
+                            }
+                            Driver::Input(_) if net_stamp[inp.index()] != stamp => {
+                                net_stamp[inp.index()] = stamp;
+                                inputs.push(inp);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                OutputCone { gates, inputs }
+            })
+            .collect()
     }
 
     /// Logic level (longest path from any top-level input, inputs at 0) per

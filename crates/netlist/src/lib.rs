@@ -42,7 +42,7 @@ mod netlist;
 mod sim;
 mod verilog_io;
 
-pub use analysis::FanoutMap;
+pub use analysis::{FanoutMap, OutputCone};
 pub use bench_io::KEY_INPUT_PREFIX;
 pub use error::{NetlistError, Result};
 pub use gate::{GateType, ParseGateTypeError, ALL_GATE_TYPES};

@@ -19,7 +19,27 @@ impl Netlist {
     /// Propagates [`crate::NetlistError::CombinationalCycle`].
     pub fn simulate_words(&self, input_words: &dyn Fn(NetId) -> u64) -> Result<Vec<u64>> {
         let order = self.topo_order()?;
-        let mut words = vec![0u64; self.num_nets()];
+        let mut words = Vec::new();
+        self.simulate_words_into(&order, input_words, &mut words);
+        Ok(words)
+    }
+
+    /// [`Netlist::simulate_words`] with a precomputed topological order and
+    /// a caller-owned output buffer, for repeated-simulation hot paths
+    /// (random-simulation prefilters run dozens of words over the same
+    /// netlist; recomputing the topological sort and reallocating the
+    /// net-word vector per word dominates at small circuit sizes).
+    ///
+    /// `order` must come from [`Netlist::topo_order`] on this (unmutated)
+    /// netlist. `words` is cleared and resized to `num_nets()`.
+    pub fn simulate_words_into(
+        &self,
+        order: &[crate::netlist::GateId],
+        input_words: &dyn Fn(NetId) -> u64,
+        words: &mut Vec<u64>,
+    ) {
+        words.clear();
+        words.resize(self.num_nets(), 0u64);
         for (_, _, net) in self.inputs() {
             words[net.index()] = input_words(net);
         }
@@ -29,12 +49,11 @@ impl Netlist {
             }
         }
         let mut in_buf: Vec<u64> = Vec::with_capacity(8);
-        for g in order {
+        for &g in order {
             in_buf.clear();
             in_buf.extend(self.gate_inputs(g).iter().map(|n| words[n.index()]));
             words[self.gate_output(g).index()] = self.gate_type(g).eval_word(&in_buf);
         }
-        Ok(words)
     }
 
     /// Evaluate the netlist on one Boolean pattern. `pi` follows

@@ -35,9 +35,13 @@ impl CircuitEncoding {
     }
 }
 
-/// Encode `nl` into `solver`, optionally reusing existing literals for the
-/// primary inputs (`shared_pis`, keyed by input name). Key inputs always
-/// get fresh variables.
+/// Encode `nl` into `solver`, optionally reusing existing literals for
+/// inputs (`shared_inputs`, keyed by input name). An input of *any* kind
+/// whose name appears in the map reuses the mapped literal — miters share
+/// primary inputs this way, and the incremental SAT attack ties per-DIP
+/// circuit copies to its canonical key literals and to constant literals
+/// for the fixed primary inputs. Inputs not in the map get fresh
+/// variables.
 ///
 /// # Panics
 ///
@@ -45,17 +49,59 @@ impl CircuitEncoding {
 pub fn encode_netlist(
     solver: &mut Solver,
     nl: &Netlist,
-    shared_pis: Option<&HashMap<String, Lit>>,
+    shared_inputs: Option<&HashMap<String, Lit>>,
+) -> CircuitEncoding {
+    encode_netlist_filtered(solver, nl, shared_inputs, None, None)
+}
+
+/// A structural-hashing table: `(gate type, exact input literals)` →
+/// the literal already encoding that function in the solver.
+///
+/// Passing one table across several `encode_netlist_filtered` calls into
+/// the *same* solver deduplicates structurally identical logic: a gate
+/// whose type and input literals match an earlier gate reuses its output
+/// literal instead of re-encoding (sound — identical inputs plus
+/// identical function is identical output). Equivalence miters collapse
+/// this way wherever the two circuits share structure over the shared
+/// inputs — for a perfect structural match the outputs become the *same
+/// literal* and no SAT search is needed at all. Keys are exact literal
+/// sequences (no commutative normalization): cheap, conservative, and
+/// deterministic.
+pub type StrashTable = HashMap<(GateType, Vec<Lit>), Lit>;
+
+/// [`encode_netlist`] restricted to a subset of gates: only gates whose
+/// raw index is set in `gate_filter` are encoded. The filter must be
+/// fan-in closed (every encoded gate's transitive gate fan-in is also in
+/// the filter — [`gnnunlock_netlist::Netlist::output_cones`] cones are,
+/// by construction). Inputs and constants are always encoded (they are
+/// single variables); outputs whose driver falls outside the filter are
+/// omitted from [`CircuitEncoding::outputs`].
+///
+/// The cone-partitioned equivalence checker uses this to encode only the
+/// logic feeding the outputs a worker owns instead of the full circuit.
+///
+/// `strash` optionally threads a [`StrashTable`] through the encoding
+/// (and across encodings sharing a solver) so structurally identical
+/// gates reuse one literal.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle, or if the
+/// filter is not fan-in closed.
+pub fn encode_netlist_filtered(
+    solver: &mut Solver,
+    nl: &Netlist,
+    shared_inputs: Option<&HashMap<String, Lit>>,
+    gate_filter: Option<&[bool]>,
+    mut strash: Option<&mut StrashTable>,
 ) -> CircuitEncoding {
     let mut net_lits: HashMap<NetId, Lit> = HashMap::new();
     let mut primary_inputs = Vec::new();
     let mut key_inputs = Vec::new();
     for (name, kind, net) in nl.inputs() {
-        let lit = match (kind, shared_pis) {
-            (gnnunlock_netlist::InputKind::Primary, Some(map)) if map.contains_key(name) => {
-                map[name]
-            }
-            _ => Lit::positive(solver.new_var()),
+        let lit = match shared_inputs.and_then(|map| map.get(name)) {
+            Some(&l) => l,
+            None => Lit::positive(solver.new_var()),
         };
         net_lits.insert(net, lit);
         match kind {
@@ -76,13 +122,29 @@ pub fn encode_netlist(
         }
     }
     for g in nl.topo_order().expect("acyclic netlist") {
+        if let Some(filter) = gate_filter {
+            if !filter.get(g.index()).copied().unwrap_or(false) {
+                continue;
+            }
+        }
         let ins: Vec<Lit> = nl.gate_inputs(g).iter().map(|n| net_lits[n]).collect();
-        let out = encode_gate(solver, nl.gate_type(g), &ins);
+        let ty = nl.gate_type(g);
+        let out = match strash.as_mut() {
+            Some(table) => match table.entry((ty, ins.clone())) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let out = encode_gate(solver, ty, &ins);
+                    e.insert(out);
+                    out
+                }
+            },
+            None => encode_gate(solver, ty, &ins),
+        };
         net_lits.insert(nl.gate_output(g), out);
     }
     let outputs = nl
         .outputs()
-        .map(|(name, net)| (name.to_string(), net_lits[&net]))
+        .filter_map(|(name, net)| Some((name.to_string(), *net_lits.get(&net)?)))
         .collect();
     CircuitEncoding {
         primary_inputs,

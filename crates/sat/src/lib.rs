@@ -8,9 +8,12 @@
 //! - [`encode_netlist`]: Tseitin encoding of a
 //!   [`gnnunlock_netlist::Netlist`] into CNF with shared-input support for
 //!   miter construction;
-//! - [`check_equivalence`]: the Formality stand-in — random-simulation
-//!   prefilter plus SAT miter, used to verify recovered designs and by the
-//!   FALL / SAT-attack baselines.
+//! - [`check_equivalence`]: the Formality stand-in — a staged pipeline
+//!   (bit-parallel random-simulation prefilter, output-cone-partitioned
+//!   incremental SAT miters solved across a worker pool), used to verify
+//!   recovered designs and by the FALL / SAT-attack baselines. The
+//!   pre-pipeline monolithic checker is retained as [`equiv::reference`]
+//!   for oracle comparisons and benchmarking.
 //!
 //! # Examples
 //!
@@ -27,12 +30,15 @@
 
 mod dimacs;
 mod encode;
-mod equiv;
+pub mod equiv;
 mod lit;
 mod solver;
 
 pub use dimacs::Cnf;
-pub use encode::{assert_lit, encode_netlist, fresh_lit, or_lit, xor_lit, CircuitEncoding};
+pub use encode::{
+    assert_lit, encode_netlist, encode_netlist_filtered, fresh_lit, or_lit, xor_lit,
+    CircuitEncoding, StrashTable,
+};
 pub use equiv::{check_equivalence, EquivOptions, EquivResult};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -144,6 +144,88 @@ proptest! {
         }
     }
 
+    /// The staged pipeline agrees with the retained monolithic oracle
+    /// (`equiv::reference`) on random netlists across three scenarios:
+    /// identical circuits, a single-gate mutation, and a hand-locked
+    /// circuit under the wrong key. Verdict classes must match exactly;
+    /// any counterexample from either checker must distinguish.
+    #[test]
+    fn staged_pipeline_agrees_with_reference_oracle(seed in 0u64..500, wrong_key in any::<bool>()) {
+        use gnnunlock_sat::equiv::reference;
+        let mut spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.02);
+        spec.seed = seed;
+        let nl = spec.generate();
+        let mut mutated = nl.clone();
+        let victim = mutated
+            .gate_ids()
+            .find(|&g| mutated.gate_type(g) == GateType::And);
+        if let Some(victim) = victim {
+            mutated.set_gate_type(victim, GateType::Nand);
+        }
+        let mut locked = nl.clone();
+        let victim = locked.gate_ids().next().map(|g| locked.gate_output(g));
+        let locked = victim.map(|victim| {
+            let ki = locked.add_key_input("keyinput0");
+            let kg = locked.add_gate(GateType::Xor, &[victim, ki]);
+            let knet = locked.gate_output(kg);
+            locked.replace_net_uses(victim, knet);
+            locked.set_gate_inputs(kg, &[victim, ki]);
+            locked
+        });
+        let keyed = EquivOptions { key_b: Some(vec![wrong_key]), ..Default::default() };
+        let mut scenarios = vec![
+            (nl.clone(), EquivOptions::default()),
+            (mutated, EquivOptions::default()),
+        ];
+        if let Some(locked) = locked {
+            scenarios.push((locked, keyed));
+        }
+        for (other, opts) in scenarios {
+            let staged = check_equivalence(&nl, &other, &opts);
+            let oracle = reference::check_equivalence(&nl, &other, &opts);
+            prop_assert_eq!(
+                staged.is_equivalent(),
+                oracle.is_equivalent(),
+                "verdicts diverge: staged {:?} vs oracle {:?}",
+                staged,
+                oracle
+            );
+            for r in [&staged, &oracle] {
+                if let gnnunlock_sat::EquivResult::NotEquivalent(cex) = r {
+                    prop_assert_ne!(
+                        nl.eval_outputs(cex, &[]).unwrap(),
+                        other.eval_outputs(cex, &opts.key_b.clone().unwrap_or_default()).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equivalence verdicts — including counterexample bytes — are
+    /// independent of the worker count.
+    #[test]
+    fn verdicts_are_worker_count_independent(seed in 0u64..500, sim_words in 0usize..3) {
+        let mut spec = BenchmarkSpec::named("c2670").unwrap().scaled(0.02);
+        spec.seed = seed;
+        let nl = spec.generate();
+        let mut other = nl.clone();
+        let victim = other
+            .gate_ids()
+            .find(|&g| other.gate_type(g) == GateType::And);
+        if let Some(victim) = victim {
+            other.set_gate_type(victim, GateType::Nand);
+        }
+        // Tiny sim budgets force the SAT stage to decide some cases.
+        let base = EquivOptions { sim_words, ..Default::default() };
+        let serial_eq = check_equivalence(&nl, &nl.clone(), &base);
+        let serial_ne = check_equivalence(&nl, &other, &base);
+        for workers in [2usize, 5] {
+            let opts = EquivOptions { workers, ..base.clone() };
+            prop_assert_eq!(&check_equivalence(&nl, &nl.clone(), &opts), &serial_eq);
+            prop_assert_eq!(&check_equivalence(&nl, &other, &opts), &serial_ne);
+        }
+    }
+
     /// Key-bound equivalence: a hand-locked circuit equals the original
     /// under the pass-through key and differs under the flipped key.
     #[test]
