@@ -8,6 +8,7 @@
 //! gnnunlock-bench perf --verify              # equivalence-verification only
 //! gnnunlock-bench history append [--label L] # fold BENCH_*.json into BENCH_HISTORY.jsonl
 //! gnnunlock-bench history check [--history FILE] [--tolerance 0.85]
+//! gnnunlock-bench trace check PATH           # validate a Chrome-trace timeline
 //! ```
 //!
 //! `perf` writes `BENCH_kernels.json`, `BENCH_attack.json` and
@@ -15,11 +16,15 @@
 //! `GNNUNLOCK_BENCH_OUT` (default: the current directory, i.e. the repo
 //! root when run from a checkout), self-verifying the kernels and verify
 //! documents
-//! after writing. `history append` summarizes those snapshots into one
+//! after writing. The attack suite also emits a Chrome `trace_event`
+//! timeline of its stage spans (`BENCH_trace.json`, or wherever
+//! `GNNUNLOCK_TRACE_OUT` points; suppressed by `GNNUNLOCK_TELEMETRY=off`).
+//! `history append` summarizes those snapshots into one
 //! tracked `BENCH_HISTORY.jsonl` line; `history check` fails (exit 1)
 //! when a gated speedup ratio regressed beyond tolerance against the
-//! most recent matching-mode history entry. Exit status is nonzero on a
-//! malformed document, so CI can call all of these directly.
+//! most recent matching-mode history entry. `trace check` structurally
+//! validates a trace file (exit 1 on violation). Exit status is nonzero
+//! on a malformed document, so CI can call all of these directly.
 
 use gnnunlock_bench::{history, perf};
 
@@ -71,15 +76,51 @@ fn run_history(args: &[String]) -> ! {
     }
 }
 
+fn run_trace(args: &[String]) -> ! {
+    let (Some("check"), Some(path)) = (args.first().map(String::as_str), args.get(1)) else {
+        eprintln!("usage: gnnunlock-bench trace check PATH");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[gnnunlock-bench] cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match gnnunlock_engine::Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("[gnnunlock-bench] {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match perf::validate_trace_doc(&doc) {
+        Ok(n) => {
+            eprintln!("[gnnunlock-bench] {path}: valid Chrome trace ({n} events)");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[gnnunlock-bench] {path}: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    gnnunlock_engine::apply_telemetry_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
     if mode == Some("history") {
         run_history(&args[1..]);
     }
+    if mode == Some("trace") {
+        run_trace(&args[1..]);
+    }
     if mode != Some("perf") {
         eprintln!("usage: gnnunlock-bench perf [--smoke] [--kernels] [--attack] [--verify]");
         eprintln!("       gnnunlock-bench history append|check  (perf-trajectory gate)");
+        eprintln!("       gnnunlock-bench trace check PATH      (Chrome-trace validation)");
         eprintln!(
             "  writes BENCH_kernels.json / BENCH_attack.json / BENCH_verify.json \
              to GNNUNLOCK_BENCH_OUT (default .)"
@@ -126,6 +167,14 @@ fn main() {
             Ok(path) => eprintln!("[gnnunlock-bench] {} written", path.display()),
             Err(e) => {
                 eprintln!("[gnnunlock-bench] FAILED writing attack report: {e}");
+                std::process::exit(1);
+            }
+        }
+        match perf::write_attack_trace(&dir) {
+            Ok(Some(path)) => eprintln!("[gnnunlock-bench] {} written", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("[gnnunlock-bench] FAILED writing attack trace: {e}");
                 std::process::exit(1);
             }
         }

@@ -19,6 +19,8 @@
 //! | `GNNUNLOCK_LEASE_TTL_MS` | `30000` | staleness TTL of job leases: a `kill -9`'d shard's jobs are re-claimed by survivors after this long |
 //! | `GNNUNLOCK_STAGE_BUDGET_MS` | unset | per-stage wall-clock budget; over-budget stages are marked in stage summaries (observability only) |
 //! | `GNNUNLOCK_BENCH_OUT` | `.` | directory where `gnnunlock-bench perf` writes its `BENCH_*.json` perf-trajectory files |
+//! | `GNNUNLOCK_TRACE_OUT` | unset | override path for Chrome-trace timelines (per-run `trace.json` / `BENCH_trace.json`) |
+//! | `GNNUNLOCK_TELEMETRY` | on | set to `off` to disable the metrics registry and span recording process-wide |
 //!
 //! Malformed knob values are never silently ignored: the engine's
 //! centralized parser warns on stderr and falls back to the default.

@@ -21,7 +21,8 @@ use gnnunlock_gnn::{netlist_to_graph, train, Csr, LabelScheme, SaintConfig, Trai
 use gnnunlock_locking::{lock_antisat, lock_rll, AntiSatConfig};
 use gnnunlock_netlist::{generator::BenchmarkSpec, CellLibrary, Netlist};
 use gnnunlock_neural::{reference, Matrix, Workspace};
-use gnnunlock_sat::{check_equivalence, equiv, EquivOptions, EquivResult};
+use gnnunlock_sat::{check_equivalence, check_equivalence_stats, equiv, EquivOptions, EquivResult};
+use gnnunlock_telemetry as telemetry;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -33,6 +34,10 @@ pub const ATTACK_FILE: &str = "BENCH_attack.json";
 
 /// Name of the equivalence-verification trajectory file.
 pub const VERIFY_FILE: &str = "BENCH_verify.json";
+
+/// Name of the Chrome-trace timeline the attack suite emits (overridden
+/// by `GNNUNLOCK_TRACE_OUT`).
+pub const TRACE_FILE: &str = "BENCH_trace.json";
 
 /// One `(m, k, n)` product benchmark shape.
 #[derive(Debug, Clone, Copy)]
@@ -407,8 +412,25 @@ pub fn attack_report(smoke: bool) -> Json {
         .scaled(scale)
         .generate();
 
+    // The bench harness times stages by hand (it never goes through the
+    // engine executor), so it records its own spans: one root for the
+    // whole attack, one child per stage, ids derived from the stage
+    // names so the trace's id graph is deterministic run to run.
+    let root_id = telemetry::derived_id(0, "bench-attack");
+    let run_start = Instant::now();
     let mut stages: Vec<(String, u64)> = Vec::new();
-    let mut stage = |name: &str, ns: u64| stages.push((name.to_string(), ns));
+    let mut stage = |name: &str, ns: u64| {
+        let end = Instant::now();
+        telemetry::record_span_at(
+            &format!("bench-attack/{name}"),
+            "bench-stage",
+            telemetry::derived_id(root_id, name),
+            root_id,
+            end - std::time::Duration::from_nanos(ns),
+            end,
+        );
+        stages.push((name.to_string(), ns));
+    };
 
     let t0 = Instant::now();
     let locked = lock_antisat(&design, &AntiSatConfig::new(16, 2)).unwrap();
@@ -459,6 +481,8 @@ pub fn attack_report(smoke: bool) -> Json {
     };
     let verdict = check_equivalence(&design, &recovered, &opts);
     stage("verify", t0.elapsed().as_nanos() as u64);
+
+    telemetry::record_span("bench-attack", "bench-run", root_id, 0, run_start);
 
     let total: u64 = stages.iter().map(|(_, ns)| ns).sum();
     Json::obj(vec![
@@ -581,14 +605,17 @@ fn verify_cases(smoke: bool) -> Vec<VerifyCase> {
 /// ([`gnnunlock_sat::equiv::reference`], per-pattern allocation storm
 /// included); `optimized_ns` times the staged pipeline on identical
 /// inputs. Verdicts must agree case by case (the document records both;
-/// the self-check rejects disagreement).
+/// the self-check rejects disagreement). Each case also records the
+/// staged pipeline's solver-effort counters (solver calls, conflicts,
+/// propagations, learnt clauses, cone/strash discharge) — recording
+/// only, never a gate.
 pub fn verify_report(smoke: bool) -> Json {
     let reps = if smoke { 7 } else { 5 };
     let mut entries = Vec::new();
     let (mut base_total, mut opt_total) = (0u64, 0u64);
     for case in verify_cases(smoke) {
         let baseline_verdict = equiv::reference::check_equivalence(&case.a, &case.b, &case.opts);
-        let optimized_verdict = check_equivalence(&case.a, &case.b, &case.opts);
+        let (optimized_verdict, stats) = check_equivalence_stats(&case.a, &case.b, &case.opts);
         let baseline_ns = time_ns(reps, || {
             std::hint::black_box(equiv::reference::check_equivalence(
                 &case.a, &case.b, &case.opts,
@@ -615,6 +642,22 @@ pub fn verify_report(smoke: bool) -> Json {
                 "optimized_verdict",
                 Json::Str(verdict_name(&optimized_verdict).to_string()),
             ),
+            // Solver-effort counters from the staged pipeline's first
+            // (untimed) pass — recorded for trajectory analysis only,
+            // never gated.
+            (
+                "prefilter_discharged",
+                Json::Bool(stats.prefilter_discharged),
+            ),
+            ("cones", Json::Num(stats.cones as f64)),
+            (
+                "strash_collapsed_cones",
+                Json::Num(stats.strash_collapsed_cones as f64),
+            ),
+            ("solver_calls", Json::Num(stats.solver_calls as f64)),
+            ("conflicts", Json::Num(stats.conflicts as f64)),
+            ("propagations", Json::Num(stats.propagations as f64)),
+            ("learnt_clauses", Json::Num(stats.learnt_clauses as f64)),
         ]));
     }
     Json::obj(vec![
@@ -671,6 +714,25 @@ pub fn verify_verify_doc(doc: &Json) -> Result<(), String> {
                 "verify case '{expected}' verdicts disagree: {base:?} vs {opt:?}"
             ));
         }
+        // Solver-effort counters are recorded (zero is legal — the
+        // prefilter path never calls the solver), but must be present.
+        for field in [
+            "cones",
+            "strash_collapsed_cones",
+            "solver_calls",
+            "conflicts",
+            "propagations",
+            "learnt_clauses",
+        ] {
+            if found.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("verify case '{expected}' lacks {field}"));
+            }
+        }
+        if !matches!(found.get("prefilter_discharged"), Some(Json::Bool(_))) {
+            return Err(format!(
+                "verify case '{expected}' lacks prefilter_discharged"
+            ));
+        }
     }
     if doc
         .get("verify_family_speedup")
@@ -686,6 +748,73 @@ pub fn verify_verify_doc(doc: &Json) -> Result<(), String> {
 /// current directory (the repo root when invoked from a checkout).
 pub fn out_dir() -> PathBuf {
     gnnunlock_engine::bench_out_from_env().unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Drain this thread's recorded spans and write them as a Chrome
+/// `trace_event` timeline: to `GNNUNLOCK_TRACE_OUT` when set, else
+/// `dir/`[`TRACE_FILE`]. Returns `None` (and writes nothing) when
+/// telemetry is disabled or no spans were recorded.
+///
+/// # Errors
+///
+/// I/O errors writing the trace file.
+pub fn write_attack_trace(dir: &Path) -> std::io::Result<Option<PathBuf>> {
+    let spans = telemetry::take_thread_spans();
+    if spans.is_empty() {
+        return Ok(None);
+    }
+    let path = gnnunlock_engine::trace_out_from_env().unwrap_or_else(|| dir.join(TRACE_FILE));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&path, telemetry::chrome_trace_json(&spans))?;
+    Ok(Some(path))
+}
+
+/// Structurally validate a Chrome `trace_event` document: a
+/// `traceEvents` array of complete (`"ph":"X"`) events, each carrying
+/// `name`/`cat`/`ts`/`dur`/`pid`/`tid` and the deterministic
+/// `args.id`/`args.parent` pair. This is what `gnnunlock-bench trace
+/// check` (and the CI perf-smoke step through it) runs against the
+/// per-run trace files.
+///
+/// # Errors
+///
+/// Describes the first structural violation.
+pub fn validate_trace_doc(doc: &Json) -> Result<usize, String> {
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing traceEvents array".to_string()),
+    };
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["name", "cat", "ph"] {
+            if ev.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i} lacks string field '{field}'"));
+            }
+        }
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(format!("event {i} is not a complete ('X') event"));
+        }
+        for field in ["ts", "dur", "pid", "tid"] {
+            if ev.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("event {i} lacks numeric field '{field}'"));
+            }
+        }
+        let args = ev
+            .get("args")
+            .ok_or_else(|| format!("event {i} lacks args"))?;
+        for field in ["id", "parent"] {
+            if args.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i} lacks args.{field}"));
+            }
+        }
+    }
+    Ok(events.len())
 }
 
 /// Write `doc` under `dir/name`, then parse it back and sanity-check the
@@ -767,6 +896,41 @@ mod tests {
         assert!(verify_kernels_doc(&doc).is_err());
         let doc = Json::obj(vec![("cases", Json::Arr(vec![]))]);
         assert!(verify_verify_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn trace_validation_accepts_rendered_spans_and_rejects_junk() {
+        let spans = vec![
+            telemetry::SpanRecord {
+                name: "bench-attack".to_string(),
+                cat: "bench-run".to_string(),
+                id: telemetry::derived_id(0, "bench-attack"),
+                parent: 0,
+                start_us: 0,
+                dur_us: 100,
+                tid: 0,
+            },
+            telemetry::SpanRecord {
+                name: "bench-attack/lock".to_string(),
+                cat: "bench-stage".to_string(),
+                id: telemetry::derived_id(telemetry::derived_id(0, "bench-attack"), "lock"),
+                parent: telemetry::derived_id(0, "bench-attack"),
+                start_us: 1,
+                dur_us: 9,
+                tid: 0,
+            },
+        ];
+        let doc = Json::parse(&telemetry::chrome_trace_json(&spans)).unwrap();
+        assert_eq!(validate_trace_doc(&doc), Ok(2));
+
+        assert!(validate_trace_doc(&Json::obj(vec![])).is_err());
+        let empty = Json::obj(vec![("traceEvents", Json::Arr(vec![]))]);
+        assert!(validate_trace_doc(&empty).is_err());
+        let partial = Json::obj(vec![(
+            "traceEvents",
+            Json::Arr(vec![Json::obj(vec![("name", Json::Str("x".into()))])]),
+        )]);
+        assert!(validate_trace_doc(&partial).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    gnnunlock_engine::apply_telemetry_env();
     let mut cfg = DaemonConfig::from_env();
     let mut watch_id: Option<String> = None;
     let mut once = false;

@@ -16,8 +16,13 @@
 //! {"op":"subscribe","id":"…"}                              → ack, then raw event lines, then {"op":"subscribe-end",…}
 //! {"op":"report","id":"…"}                                 → {"ok":true,"op":"report","id":"…","report":"<report.json text>"}
 //! {"op":"cancel","id":"…"}                                 → {"ok":true,"op":"cancel","id":"…","status":"…"}
+//! {"op":"metrics"}                                         → {"ok":true,"op":"metrics","metrics":"<Prometheus text>"}
 //! {"op":"shutdown"}                                        → {"ok":true,"op":"shutdown"} (drain queue, then exit)
 //! ```
+//!
+//! The same reactor also answers plain HTTP `GET /metrics` with the
+//! identical Prometheus exposition (`text/plain; version=0.0.4`), so a
+//! scraper needs no NDJSON client.
 //!
 //! Errors are `{"ok":false,"error":"…"}`. The `report` field embeds the
 //! canonical `report.json` file contents as a JSON *string* — escaping
@@ -47,6 +52,10 @@ pub enum Request {
     Report(String),
     /// Cooperatively cancel campaign `id`.
     Cancel(String),
+    /// Fetch the process-wide telemetry registry (Prometheus text
+    /// embedded as a JSON string; the HTTP `GET /metrics` surface
+    /// serves the same bytes).
+    Metrics,
     /// Stop accepting work, drain the queue, exit.
     Shutdown,
 }
@@ -106,9 +115,10 @@ impl Request {
             "subscribe" => Ok(Request::Subscribe(id()?)),
             "report" => Ok(Request::Report(id()?)),
             "cancel" => Ok(Request::Cancel(id()?)),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op '{other}' (submit|status|subscribe|report|cancel|shutdown)"
+                "unknown op '{other}' (submit|status|subscribe|report|cancel|metrics|shutdown)"
             )),
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! One reactor thread owns the listener and every connection. Sockets
 //! are non-blocking; the loop accepts, reads whatever bytes are
-//! available, processes complete NDJSON lines, pumps `subscribe`
+//! available, processes complete NDJSON lines (plus one-shot HTTP
+//! `GET /metrics` scrapes on the same port), pumps `subscribe`
 //! streams from the campaign event logs, and flushes write buffers —
 //! then dozes [`crate::config::poll_interval`] when nothing moved. No
 //! async runtime, no epoll: at daemon scale (a handful of clients and
@@ -230,6 +231,17 @@ impl Conn {
                 // A streaming connection is output-only.
                 continue;
             }
+            if let Some(path) = text.strip_prefix("GET ") {
+                // A plain HTTP scraper (curl, Prometheus): answer the
+                // one request, ignore the header lines still buffered,
+                // and close — the daemon speaks HTTP/1.0-style
+                // one-shot responses, never keep-alive.
+                let path = path.split_whitespace().next().unwrap_or("");
+                self.wbuf.extend_from_slice(http_response(path).as_bytes());
+                self.rbuf.clear();
+                self.close_after_flush = true;
+                return any;
+            }
             let response = self.handle(core, text);
             self.wbuf.extend_from_slice(response.as_bytes());
         }
@@ -298,6 +310,13 @@ impl Conn {
                 });
                 line(&ok_doc("subscribe", vec![("id", Json::Str(id))]))
             }
+            Ok(Request::Metrics) => line(&ok_doc(
+                "metrics",
+                vec![(
+                    "metrics",
+                    Json::Str(gnnunlock_telemetry::Registry::global().render_prometheus()),
+                )],
+            )),
             Ok(Request::Shutdown) => {
                 core.shutdown();
                 line(&ok_doc("shutdown", vec![]))
@@ -386,6 +405,29 @@ impl Conn {
         }
         any
     }
+}
+
+/// Render the one-shot HTTP response for `path`. `/metrics` serves the
+/// process-wide registry in Prometheus text format (0.0.4); anything
+/// else is a 404 pointing the caller at the right path.
+fn http_response(path: &str) -> String {
+    let (status, content_type, body) = if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            gnnunlock_telemetry::Registry::global().render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics)\n".to_string(),
+        )
+    };
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
 }
 
 fn reactor_loop(listener: TcpListener, core: Arc<DaemonCore>) {

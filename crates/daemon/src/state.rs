@@ -21,6 +21,43 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Process-wide telemetry mirrors of the daemon's traffic (handles
+/// resolved once; increments are relaxed atomics).
+mod metrics {
+    use gnnunlock_telemetry::{Counter, Registry};
+    use std::sync::OnceLock;
+
+    pub(super) fn submissions() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            Registry::global().counter_with(
+                "daemon_submissions_total",
+                "Campaign submissions accepted (deduplicated ones included).",
+                &[],
+            )
+        })
+    }
+
+    pub(super) fn dedup_hits() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| {
+            Registry::global().counter_with(
+                "daemon_dedup_hits_total",
+                "Submissions answered from the registry or an on-disk canonical report.",
+                &[],
+            )
+        })
+    }
+
+    pub(super) fn campaign_terminal(status: &str) -> Counter {
+        Registry::global().counter_with(
+            "daemon_campaigns_total",
+            "Campaigns that reached a terminal status.",
+            &[("status", status)],
+        )
+    }
+}
+
 /// Lifecycle of one submitted campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignStatus {
@@ -179,8 +216,10 @@ impl DaemonCore {
         if st.stopping {
             return Err("daemon is shutting down; submission refused".to_string());
         }
+        metrics::submissions().inc();
         if let Some(entry) = st.campaigns.get_mut(&id) {
             entry.dedup_hits += 1;
+            metrics::dedup_hits().inc();
             return Ok(SubmitReceipt {
                 id,
                 status: entry.status,
@@ -212,6 +251,7 @@ impl DaemonCore {
                 },
             );
             retain_terminal(&mut st, &id, self.cfg.terminal_retained);
+            metrics::dedup_hits().inc();
             return Ok(SubmitReceipt {
                 id,
                 status: CampaignStatus::Done,
@@ -347,6 +387,7 @@ impl DaemonCore {
                 entry.cancel.cancel();
                 st.queue.retain(|q| q != id);
                 retain_terminal(&mut st, id, self.cfg.terminal_retained);
+                metrics::campaign_terminal("cancelled").inc();
                 Ok(CampaignStatus::Cancelled)
             }
             CampaignStatus::Running => {
@@ -487,6 +528,7 @@ impl DaemonCore {
         // life — read the true status instead of inferring "done" from
         // the mere existence of report.json.
         let _ = std::fs::write(dir.join(STATUS_FILE), format!("{}\n", status.as_str()));
+        metrics::campaign_terminal(status.as_str()).inc();
         {
             let mut st = self.state.lock().unwrap();
             if let Some(entry) = st.campaigns.get_mut(id) {

@@ -64,6 +64,27 @@ pub fn poll_event_logs(
     Ok(consumed)
 }
 
+/// Per-stage metric row of the watch dashboard, folded from
+/// `stage-summary` events (the latest record per stage kind wins — each
+/// shard's run emits one rollup per stage at run end).
+#[derive(Debug, Clone, Default)]
+pub struct StageRow {
+    /// Jobs of this stage.
+    pub total: usize,
+    /// Jobs whose bodies ran.
+    pub executed: usize,
+    /// Jobs served from either cache tier.
+    pub cache_hits: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Summed execution milliseconds.
+    pub ms: f64,
+    /// The stage blew through `GNNUNLOCK_STAGE_BUDGET_MS` — rendered as
+    /// a highlighted row so overruns are visible live, not only in the
+    /// opt-in timing report.
+    pub over_budget: bool,
+}
+
 /// Aggregated view of a campaign's event streams, fed line by line.
 #[derive(Debug, Clone, Default)]
 pub struct WatchState {
@@ -93,6 +114,8 @@ pub struct WatchState {
     pub last_label: String,
     /// Lines that failed to parse as events (foreign content).
     pub unparsed: usize,
+    /// Per-stage metric rows keyed by stage kind tag.
+    pub stages: BTreeMap<String, StageRow>,
 }
 
 impl WatchState {
@@ -141,8 +164,28 @@ impl WatchState {
                 self.errors += 1;
                 self.last_label = label.clone();
             }
-            // Per-stage timing rollups carry no per-job progress.
-            Event::StageSummary { .. } => {}
+            // Per-stage timing rollups: no per-job progress, but they
+            // are the dashboard's metric rows (and the only live
+            // surface of an `over_budget` mark).
+            Event::StageSummary {
+                kind,
+                total,
+                executed,
+                memory_hits,
+                disk_hits,
+                failed,
+                ms,
+                over_budget,
+                ..
+            } => {
+                let row = self.stages.entry(kind.clone()).or_default();
+                row.total = *total;
+                row.executed = *executed;
+                row.cache_hits = *memory_hits + *disk_hits;
+                row.failed = *failed;
+                row.ms = *ms;
+                row.over_budget = *over_budget;
+            }
         }
     }
 
@@ -151,8 +194,9 @@ impl WatchState {
         self.finished_ok + self.finished_other + self.cache_hits + self.elided
     }
 
-    /// One dashboard frame (plain text, no ANSI — the caller owns the
-    /// screen).
+    /// One dashboard frame. Mostly plain text (the caller owns the
+    /// screen); the only ANSI inside the frame is the red highlight on
+    /// over-budget stage rows.
     pub fn render(&self, id: &str) -> String {
         let header = if self.campaign.is_empty() {
             format!("campaign {id} — waiting for events")
@@ -167,7 +211,7 @@ impl WatchState {
         let bar: String = std::iter::repeat_n('#', filled)
             .chain(std::iter::repeat_n('.', width - filled))
             .collect();
-        format!(
+        let mut frame = format!(
             "{header}\n\
              [{bar}] {}/{} jobs settled\n\
              ok {}  hits {}  claimed {}  elided {}  failed {}  errors {}\n\
@@ -187,7 +231,20 @@ impl WatchState {
             } else {
                 &self.last_label
             },
-        )
+        );
+        for (kind, row) in &self.stages {
+            let line = format!(
+                "  {kind:<14} {:>3} jobs  {:>3} run  {:>3} hits  {:>3} failed  {:>9.1} ms",
+                row.total, row.executed, row.cache_hits, row.failed, row.ms,
+            );
+            if row.over_budget {
+                frame.push_str(&format!("\x1b[31;1m{line}  OVER BUDGET\x1b[0m\n"));
+            } else {
+                frame.push_str(&line);
+                frame.push('\n');
+            }
+        }
+        frame
     }
 }
 
@@ -304,5 +361,50 @@ mod tests {
         assert!(frame.contains("deadbeef"));
         assert!(frame.contains("2/4 jobs settled"));
         assert!(frame.contains("lock/c1"));
+    }
+
+    /// Stage-summary events become per-stage metric rows; an
+    /// `over_budget` mark gets the red highlight instead of being
+    /// silently dropped (the old fold ignored these events entirely).
+    #[test]
+    fn stage_summary_rows_render_and_highlight_overruns() {
+        let summary = |kind: &str, ms: f64, over_budget: bool| Event::StageSummary {
+            kind: kind.into(),
+            total: 4,
+            executed: 2,
+            memory_hits: 1,
+            disk_hits: 1,
+            failed: 0,
+            skipped: 0,
+            cancelled: 0,
+            ms,
+            over_budget,
+        };
+        let mut state = WatchState::default();
+        state.apply(&summary("parse", 12.5, false));
+        state.apply(&summary("train-epoch", 905.0, true));
+        assert_eq!(state.stages.len(), 2);
+        assert!(state.stages["train-epoch"].over_budget);
+        let frame = state.render("deadbeef");
+        assert!(frame.contains("parse"), "{frame}");
+        assert!(frame.contains("905.0 ms"), "{frame}");
+        let highlighted = frame
+            .lines()
+            .find(|l| l.contains("train-epoch"))
+            .expect("row rendered");
+        assert!(
+            highlighted.starts_with("\x1b[31;1m") && highlighted.contains("OVER BUDGET"),
+            "{highlighted}"
+        );
+        assert!(
+            !frame
+                .lines()
+                .any(|l| l.contains("parse") && l.contains("\x1b[31;1m")),
+            "within-budget rows stay plain"
+        );
+        // Re-applying a later rollup replaces the row, never duplicates.
+        state.apply(&summary("parse", 14.0, false));
+        assert_eq!(state.stages.len(), 2);
+        assert_eq!(state.stages["parse"].ms, 14.0);
     }
 }

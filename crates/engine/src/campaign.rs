@@ -569,9 +569,11 @@ impl Campaign {
         cfg: ExecConfig,
         dir: &Path,
     ) -> io::Result<CampaignRun> {
+        crate::env::apply_telemetry_env();
         let (executor, log) = self.persistent_executor(runner, cfg, dir, false)?;
         let run = self.execute_logged(runner, &executor, &log, false);
         Self::gc_store(&executor);
+        write_trace(dir, &run.outcome, "trace.json");
         Ok(run)
     }
 
@@ -602,6 +604,7 @@ impl Campaign {
         cfg: ExecConfig,
         dir: &Path,
     ) -> io::Result<(CampaignRun, ResumeInfo)> {
+        crate::env::apply_telemetry_env();
         let replay = EventLog::replay(&dir.join(EVENTS_FILE))?;
         if let Some(shape) = replay.last_shape() {
             if shape != self.shape_fingerprint() {
@@ -624,8 +627,25 @@ impl Campaign {
         let (executor, log) = self.persistent_executor(runner, cfg, dir, true)?;
         let run = self.execute_logged(runner, &executor, &log, true);
         Self::gc_store(&executor);
+        write_trace(dir, &run.outcome, "trace.json");
         Ok((run, info))
     }
+}
+
+/// Write a run's Chrome `trace_event` timeline beside its event log:
+/// `dir/<default_name>`, or the path named by
+/// [`crate::env::TRACE_OUT_ENV`] when set. Best-effort and skipped
+/// entirely when telemetry is off — the trace is volatile timing data
+/// and never feeds the deterministic report.
+pub(crate) fn write_trace(dir: &Path, outcome: &RunOutcome, default_name: &str) {
+    if !gnnunlock_telemetry::enabled() {
+        return;
+    }
+    let path = crate::env::trace_out_from_env().unwrap_or_else(|| dir.join(default_name));
+    let _ = std::fs::write(
+        &path,
+        gnnunlock_telemetry::chrome_trace_json(&outcome.spans),
+    );
 }
 
 /// What [`Campaign::resume`] recovered from the interrupted run's event

@@ -60,6 +60,43 @@ pub fn bench_out_from_env() -> Option<PathBuf> {
 /// budget.
 pub const STAGE_BUDGET_ENV: &str = "GNNUNLOCK_STAGE_BUDGET_MS";
 
+/// Environment variable overriding where a persistent campaign run
+/// writes its Chrome `trace_event` timeline JSON. Unset = `trace.json`
+/// beside the run's event log (`trace-<shard>.json` for sharded
+/// workers); set to a path = write there instead. The trace is timing
+/// data — volatile by design — and never feeds the deterministic report.
+pub const TRACE_OUT_ENV: &str = "GNNUNLOCK_TRACE_OUT";
+
+/// Environment variable switching telemetry recording off: `off`, `0`
+/// or `false` (case-insensitive) disable every metric increment and
+/// span recording in the process. Anything else (including unset) keeps
+/// telemetry on — recording is cheap relaxed atomics and the default
+/// reports are byte-identical either way.
+pub const TELEMETRY_ENV: &str = "GNNUNLOCK_TELEMETRY";
+
+/// The trace output path named by [`TRACE_OUT_ENV`], if set.
+pub fn trace_out_from_env() -> Option<PathBuf> {
+    knob_path(TRACE_OUT_ENV)
+}
+
+/// Whether [`TELEMETRY_ENV`] leaves telemetry enabled (the default).
+pub fn telemetry_enabled_from_env() -> bool {
+    match std::env::var(TELEMETRY_ENV) {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "off" || v == "0" || v == "false")
+        }
+        Err(_) => true,
+    }
+}
+
+/// Apply [`TELEMETRY_ENV`] to the process-wide telemetry switch. Called
+/// at the entry points that own a run (persistent campaign execution,
+/// the daemon, the bench harness).
+pub fn apply_telemetry_env() {
+    gnnunlock_telemetry::set_enabled(telemetry_enabled_from_env());
+}
+
 static WARNINGS: AtomicUsize = AtomicUsize::new(0);
 
 fn warn(name: &str, value: &str, expected: &str) {

@@ -17,7 +17,10 @@ use crate::cache::{CacheSource, ResultCache};
 use crate::cancel::CancelToken;
 use crate::events::{Event, EventLog};
 use crate::graph::{JobCtx, JobGraph, JobId, JobKind, JobValue};
+use crate::metrics;
 use crate::pool::default_workers;
+use gnnunlock_telemetry as telemetry;
+use gnnunlock_telemetry::SpanRecord;
 use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -170,6 +173,12 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// Total wall-clock time (volatile).
     pub wall_time: Duration,
+    /// Spans recorded during the run — one per executed or cache-served
+    /// job, plus any spans job bodies recorded (shard probes, lease
+    /// waits). Span ids are deterministic (derived from fingerprints);
+    /// timestamps, durations and thread ids are volatile. Render with
+    /// [`gnnunlock_telemetry::chrome_trace_json`].
+    pub spans: Vec<SpanRecord>,
     values: Vec<Option<JobValue>>,
     /// The per-stage wall-clock budget in effect when the run executed
     /// (`GNNUNLOCK_STAGE_BUDGET_MS`), applied by [`RunOutcome::stage_summaries`].
@@ -301,8 +310,13 @@ struct Sched<'a> {
     /// Why a job must be skipped (first failing dependency), if any.
     poison: Vec<Option<String>>,
     ready: BTreeSet<usize>,
+    /// When each job entered the ready set (taken at claim time to
+    /// observe queue wait; `None` once claimed or not yet ready).
+    ready_at: Vec<Option<Instant>>,
     values: Vec<Option<JobValue>>,
     records: Vec<Option<(JobStatus, CacheSource, Duration)>>,
+    /// Spans drained from worker thread-local buffers at job boundaries.
+    spans: Vec<SpanRecord>,
     pending: usize,
 }
 
@@ -382,14 +396,20 @@ impl Executor {
             }
         }
         let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut ready_at = vec![None; n];
+        for &i in &ready {
+            ready_at[i] = Some(start);
+        }
         let sched = Mutex::new(Sched {
             nodes: graph.jobs,
             remaining,
             dependents,
             poison: vec![None; n],
             ready,
+            ready_at,
             values: vec![None; n],
             records: vec![None; n],
+            spans: Vec::new(),
             pending: n,
         });
         let work_available = Condvar::new();
@@ -401,7 +421,10 @@ impl Executor {
             }
         });
 
-        let sched = sched.into_inner().unwrap();
+        let mut sched = sched.into_inner().unwrap();
+        // Stable rendering order: by start time, ties broken by the
+        // deterministic span id.
+        sched.spans.sort_by_key(|s| (s.start_us, s.id));
         let mut records = Vec::with_capacity(n);
         let mut stats = RunStats {
             total: n,
@@ -430,6 +453,7 @@ impl Executor {
             records,
             stats,
             wall_time: start.elapsed(),
+            spans: sched.spans,
             values: sched.values,
             stage_budget_ms: crate::env::stage_budget_ms(),
         }
@@ -439,6 +463,10 @@ impl Executor {
         let mut guard = sched.lock().unwrap();
         loop {
             if guard.pending == 0 {
+                // Catch any spans a body recorded without a later flush
+                // point (nothing in the normal paths, but cheap).
+                let mut spans = telemetry::take_thread_spans();
+                guard.spans.append(&mut spans);
                 work_available.notify_all();
                 return;
             }
@@ -447,6 +475,9 @@ impl Executor {
                 continue;
             };
             guard.ready.remove(&i);
+            // Queue wait ends at claim time; observed (outside the
+            // lock) only for jobs that execute or cache-serve.
+            let queued_s = guard.ready_at[i].take().map(|t| t.elapsed().as_secs_f64());
 
             // Resolve without running when cancelled or poisoned
             // (cancellation wins so a cancelled run reads uniformly).
@@ -503,10 +534,21 @@ impl Executor {
             // the job, release the scheduler, then look up.
             if let Some(fp) = fingerprint {
                 drop(guard);
+                let probe_t0 = Instant::now();
                 let found = self.cache.lookup(kind, fp);
+                if let Some((_, source)) = &found {
+                    let tag = kind.tag();
+                    metrics::cache_hits(tag, source.tag()).inc();
+                    if let Some(q) = queued_s {
+                        metrics::stage_queue_seconds(tag).observe(q);
+                    }
+                    telemetry::record_span(&label, tag, fp, 0, probe_t0);
+                }
                 guard = sched.lock().unwrap();
                 if let Some((value, source)) = found {
                     guard.values[i] = Some(value);
+                    let mut spans = telemetry::take_thread_spans();
+                    guard.spans.append(&mut spans);
                     Self::finish(&mut guard, i, JobStatus::Succeeded, source, Duration::ZERO);
                     drop(guard);
                     self.emit(Event::CacheHit {
@@ -542,6 +584,21 @@ impl Executor {
                 .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_text(payload))));
             let elapsed = t0.elapsed();
             let ms = elapsed.as_secs_f64() * 1e3;
+
+            // Telemetry at the job boundary: counters + histograms are
+            // relaxed atomics (handle lookup is a cold registration
+            // map), and the span goes to this thread's local buffer.
+            let tag = kind.tag();
+            if let Some(q) = queued_s {
+                metrics::stage_queue_seconds(tag).observe(q);
+            }
+            metrics::stage_wall_seconds(tag).observe(elapsed.as_secs_f64());
+            match &output {
+                Ok(_) => metrics::jobs_executed(tag).inc(),
+                Err(_) => metrics::jobs_failed(tag).inc(),
+            }
+            let span_id = fingerprint.unwrap_or_else(|| telemetry::derived_id(0, &label));
+            telemetry::record_span_at(&label, tag, span_id, 0, t0, t0 + elapsed);
 
             match &output {
                 Ok(_) => self.emit(Event::JobFinished {
@@ -581,6 +638,12 @@ impl Executor {
             }
 
             guard = sched.lock().unwrap();
+            {
+                // Flush this thread's span buffer (the job span plus any
+                // spans the body recorded) into the run's aggregate.
+                let mut spans = telemetry::take_thread_spans();
+                guard.spans.append(&mut spans);
+            }
             match output {
                 Ok(value) => {
                     guard.values[i] = Some(value);
@@ -660,6 +723,7 @@ impl Executor {
             sched.remaining[d] -= 1;
             if sched.remaining[d] == 0 {
                 sched.ready.insert(d);
+                sched.ready_at[d] = Some(Instant::now());
             }
         }
     }

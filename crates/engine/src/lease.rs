@@ -34,6 +34,7 @@
 
 use crate::backend::{is_transient_kind, StoreBackend};
 use crate::graph::JobKind;
+use crate::metrics;
 use crate::store::DiskStore;
 use std::collections::HashMap;
 use std::io;
@@ -133,7 +134,10 @@ impl Shared {
         for (path, expected) in snapshot {
             let lost = match self.backend.load(&path) {
                 Ok(c) if c == expected.as_bytes() => match self.backend.refresh(&path) {
-                    Ok(()) => continue,
+                    Ok(()) => {
+                        metrics::lease_event("heartbeats").inc();
+                        continue;
+                    }
                     Err(e) if is_transient_kind(e.kind()) => continue,
                     Err(_) => true, // vanished between read and touch
                 },
@@ -144,6 +148,7 @@ impl Shared {
             };
             if lost && self.held.lock().unwrap().remove(&path).is_some() {
                 self.lost.fetch_add(1, Ordering::Relaxed);
+                metrics::lease_event("lost").inc();
             }
         }
     }
@@ -293,6 +298,7 @@ impl LeaseManager {
             }
         }
         self.shared.busy.fetch_add(1, Ordering::Relaxed);
+        metrics::lease_event("busy").inc();
         Claim::Busy
     }
 
@@ -345,8 +351,10 @@ impl LeaseManager {
             .unwrap()
             .insert(path.to_path_buf(), content);
         self.shared.claimed.fetch_add(1, Ordering::Relaxed);
+        metrics::lease_event("claims").inc();
         if takeover {
             self.shared.takeovers.fetch_add(1, Ordering::Relaxed);
+            metrics::lease_event("takeovers").inc();
         }
         Ok(Claim::Acquired {
             generation,
@@ -391,6 +399,7 @@ impl LeaseManager {
     /// Count one probe-poll sleep while waiting on a peer-held job.
     pub fn note_poll_wait(&self) {
         self.shared.poll_waits.fetch_add(1, Ordering::Relaxed);
+        metrics::lease_event("poll_waits").inc();
     }
 
     /// Release the lease for `(kind, fp)` if this manager holds it.
@@ -415,6 +424,7 @@ impl LeaseManager {
                 Ok(content) if content == expected.as_bytes() => {
                     let _ = self.shared.backend.remove(path);
                     self.shared.released.fetch_add(1, Ordering::Relaxed);
+                    metrics::lease_event("released").inc();
                     return true;
                 }
                 Ok(content) if lease_torn(&content) => continue,
@@ -423,6 +433,7 @@ impl LeaseManager {
             }
         }
         self.shared.lost.fetch_add(1, Ordering::Relaxed);
+        metrics::lease_event("lost").inc();
         false
     }
 

@@ -69,6 +69,7 @@ mod exec;
 mod graph;
 mod json;
 mod lease;
+mod metrics;
 mod pool;
 mod report;
 mod shard;
@@ -83,8 +84,9 @@ pub use campaign::{Campaign, CampaignBuilder, CampaignRun, CampaignRunner, Resum
 pub use cancel::CancelToken;
 pub use codec::{ByteReader, ByteWriter, ValueCodec};
 pub use env::{
-    bench_out_from_env, knob, knob_or, knob_path, knob_validated, knob_warnings, tenant_from_env,
-    BENCH_OUT_ENV, LEASE_TTL_ENV, SHARD_ID_ENV, STAGE_BUDGET_ENV, TENANT_ENV,
+    apply_telemetry_env, bench_out_from_env, knob, knob_or, knob_path, knob_validated,
+    knob_warnings, telemetry_enabled_from_env, tenant_from_env, trace_out_from_env, BENCH_OUT_ENV,
+    LEASE_TTL_ENV, SHARD_ID_ENV, STAGE_BUDGET_ENV, TELEMETRY_ENV, TENANT_ENV, TRACE_OUT_ENV,
 };
 pub use events::{Event, EventLog, LogTail, Replay, EVENTS_ENV, EVENTS_FILE};
 pub use exec::{

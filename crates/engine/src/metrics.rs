@@ -1,0 +1,93 @@
+//! Engine handles into the global telemetry [`Registry`].
+//!
+//! One function per metric family keeps names, labels and help strings
+//! in a single place. Handle lookup takes the registry's registration
+//! mutex, so callers on hot paths should fetch a handle once per job /
+//! operation boundary, never per inner-loop iteration.
+
+use gnnunlock_telemetry::{Counter, Histogram, Registry, DURATION_BUCKETS};
+
+/// Bodies of `kind` jobs that actually ran to completion.
+pub(crate) fn jobs_executed(kind: &str) -> Counter {
+    Registry::global().counter_with(
+        "engine_jobs_executed_total",
+        "Job bodies executed (not cache-served), per stage kind",
+        &[("kind", kind)],
+    )
+}
+
+/// Bodies of `kind` jobs that returned an error or panicked.
+pub(crate) fn jobs_failed(kind: &str) -> Counter {
+    Registry::global().counter_with(
+        "engine_jobs_failed_total",
+        "Job bodies that failed or panicked, per stage kind",
+        &[("kind", kind)],
+    )
+}
+
+/// Jobs of `kind` served from cache tier `tier` (`memory` / `disk`).
+pub(crate) fn cache_hits(kind: &str, tier: &str) -> Counter {
+    Registry::global().counter_with(
+        "engine_cache_hits_total",
+        "Jobs served from a cache tier instead of executing, per stage kind",
+        &[("kind", kind), ("tier", tier)],
+    )
+}
+
+/// Wall-clock seconds job bodies of `kind` spent executing.
+pub(crate) fn stage_wall_seconds(kind: &str) -> Histogram {
+    Registry::global().histogram_with(
+        "engine_stage_wall_seconds",
+        "Wall-clock job body execution time, per stage kind",
+        &[("kind", kind)],
+        DURATION_BUCKETS,
+    )
+}
+
+/// Seconds jobs of `kind` sat ready before a worker claimed them.
+pub(crate) fn stage_queue_seconds(kind: &str) -> Histogram {
+    Registry::global().histogram_with(
+        "engine_stage_queue_seconds",
+        "Time between a job becoming ready and a worker claiming it, per stage kind",
+        &[("kind", kind)],
+        DURATION_BUCKETS,
+    )
+}
+
+/// Lease-lifecycle counter `event` (`claims`, `busy`, `takeovers`,
+/// `lost`, `released`, `poll_waits`, `heartbeats`, `expired_observed`).
+pub(crate) fn lease_event(event: &str) -> Counter {
+    Registry::global().counter_with(
+        "lease_events_total",
+        "Lease lifecycle events across all lease managers",
+        &[("event", event)],
+    )
+}
+
+/// Store-lifecycle counter `op` (`loads`, `misses`, `corrupt_evictions`,
+/// `saves`, `save_errors`, `transient_retries`).
+pub(crate) fn store_event(op: &str) -> Counter {
+    Registry::global().counter_with(
+        "store_events_total",
+        "Disk-store operations across all stores",
+        &[("op", op)],
+    )
+}
+
+/// Entries evicted by garbage collection.
+pub(crate) fn store_gc_evicted() -> Counter {
+    Registry::global().counter_with(
+        "store_gc_evicted_entries_total",
+        "Cache entries evicted by GC budget enforcement",
+        &[],
+    )
+}
+
+/// Bytes reclaimed by garbage collection.
+pub(crate) fn store_gc_reclaimed_bytes() -> Counter {
+    Registry::global().counter_with(
+        "store_gc_reclaimed_bytes_total",
+        "Bytes reclaimed from the cache directory by GC",
+        &[],
+    )
+}

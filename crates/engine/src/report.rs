@@ -141,6 +141,47 @@ impl RunReport {
         top.push(("jobs", Json::Arr(jobs)));
         if opts.with_timings {
             top.push(("wall_ms", Json::Num(outcome.wall_time.as_secs_f64() * 1e3)));
+            // Snapshot of the process-wide telemetry registry. Values
+            // accumulate across runs in one process and are volatile by
+            // nature, so the section rides the timing opt-in and never
+            // touches the deterministic default document.
+            let metrics: Vec<Json> = gnnunlock_telemetry::Registry::global()
+                .snapshot()
+                .into_iter()
+                .map(|s| {
+                    let mut fields = vec![("name", Json::Str(s.name))];
+                    if !s.labels.is_empty() {
+                        fields.push((
+                            "labels",
+                            Json::Obj(
+                                s.labels
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    match s.value {
+                        gnnunlock_telemetry::MetricValue::Counter(n) => {
+                            fields.push(("value", Json::Num(n as f64)));
+                        }
+                        gnnunlock_telemetry::MetricValue::Gauge(n) => {
+                            fields.push(("value", Json::Num(n as f64)));
+                        }
+                        gnnunlock_telemetry::MetricValue::Histogram { sum, count, .. } => {
+                            fields.push((
+                                "value",
+                                Json::obj(vec![
+                                    ("sum", Json::Num(sum)),
+                                    ("count", Json::Num(count as f64)),
+                                ]),
+                            ));
+                        }
+                    }
+                    Json::obj(fields)
+                })
+                .collect();
+            top.push(("telemetry", Json::Arr(metrics)));
         }
         RunReport {
             name: name.to_string(),

@@ -52,12 +52,13 @@ use crate::exec::{ExecConfig, Executor};
 use crate::graph::{JobCtx, JobGraph, JobId, JobKind, JobOutput, JobValue};
 use crate::lease::{Claim, LeaseManager, LeaseStats};
 use crate::store::{sanitize_tag, DiskStore};
+use gnnunlock_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Placeholder value of a job elided by probe-ahead scheduling. Lives
 /// in the memory tier only (no codec encodes it); dependents of an
@@ -225,6 +226,7 @@ impl Campaign {
         dir: &Path,
         shard: &ShardConfig,
     ) -> io::Result<ShardedRun> {
+        env::apply_telemetry_env();
         let codec = runner.codec().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -345,6 +347,11 @@ impl Campaign {
         if let Some(store) = executor.cache().store() {
             store.gc_from_env();
         }
+        crate::campaign::write_trace(
+            dir,
+            &run.outcome,
+            &format!("trace-{}.json", sanitize_tag(&shard.shard_id)),
+        );
         let lease_stats = leases.stats();
         Ok(ShardedRun {
             run,
@@ -376,10 +383,28 @@ fn shard_body<R: CampaignRunner>(
     is_final_aggregate: bool,
 ) -> JobOutput {
     let kind = stage_job.kind;
+    // Wall-clock spent probe-polling a peer-held lease, surfaced as one
+    // `lease-wait` span (child of the job's own span via `parent: fp`)
+    // in the Chrome trace. Recorded into the worker thread's local span
+    // buffer — the executor drains it at the job boundary; no locks on
+    // this path.
+    let mut wait_start: Option<Instant> = None;
+    let note_wait = |wait_start: &mut Option<Instant>| {
+        if let Some(t0) = wait_start.take() {
+            telemetry::record_span(
+                &format!("lease-wait/{}", stage_job.label()),
+                "lease-wait",
+                telemetry::derived_id(fp, "lease-wait"),
+                fp,
+                t0,
+            );
+        }
+    };
     loop {
         // A peer may have published since the executor's cache probe
         // (or since the last poll tick).
         if let Some((value, _)) = cache.lookup(kind, fp) {
+            note_wait(&mut wait_start);
             return Ok(value);
         }
         match leases.try_claim(kind, fp) {
@@ -387,6 +412,7 @@ fn shard_body<R: CampaignRunner>(
                 generation,
                 takeover,
             } => {
+                note_wait(&mut wait_start);
                 // Double-check under the lease: the entry may have
                 // landed between the probe and the claim.
                 if let Some((value, _)) = cache.lookup(kind, fp) {
@@ -435,6 +461,7 @@ fn shard_body<R: CampaignRunner>(
                     ));
                 }
                 leases.note_poll_wait();
+                wait_start.get_or_insert_with(Instant::now);
                 std::thread::sleep(shard.poll_interval);
             }
         }

@@ -47,6 +47,7 @@ use crate::backend::{
     backend_from_env, is_transient_kind, FileMeta, LocalDirBackend, StoreBackend,
 };
 use crate::graph::{fingerprint, JobKind};
+use crate::metrics;
 use std::collections::HashSet;
 use std::fs;
 use std::io;
@@ -238,11 +239,17 @@ impl DiskStore {
                     // content — last one wins, harmlessly.
                     match backend.publish(&version_path, VERSION_TEXT.as_bytes()) {
                         Ok(()) => Ok(()),
-                        Err(e) if is_transient_kind(e.kind()) => continue,
+                        Err(e) if is_transient_kind(e.kind()) => {
+                            metrics::store_event("transient_retries").inc();
+                            continue;
+                        }
                         Err(e) => Err(e),
                     }
                 }
-                Err(e) if is_transient_kind(e.kind()) => continue,
+                Err(e) if is_transient_kind(e.kind()) => {
+                    metrics::store_event("transient_retries").inc();
+                    continue;
+                }
                 Err(e) => Err(e),
             };
             break;
@@ -360,6 +367,7 @@ impl DiskStore {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::store_event("misses").inc();
                 return None;
             }
             // A transient read error (EAGAIN-style) says nothing about
@@ -367,6 +375,8 @@ impl DiskStore {
             // for the retry, instead of evicting a good entry.
             Err(e) if is_transient_kind(e.kind()) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::store_event("misses").inc();
+                metrics::store_event("transient_retries").inc();
                 return None;
             }
             Err(_) => return self.evict(&path),
@@ -374,6 +384,7 @@ impl DiskStore {
         match Self::decode_entry(kind, fp, &bytes) {
             Some(payload) => {
                 self.loads.fetch_add(1, Ordering::Relaxed);
+                metrics::store_event("loads").inc();
                 // A hit is a *use*: refresh the entry's mtime (the LRU
                 // clock shared across processes, best-effort) and pin it
                 // into this handle's live set so GC never evicts it.
@@ -396,6 +407,7 @@ impl DiskStore {
         match self.try_save(kind, fp, payload) {
             Ok(()) => {
                 self.saves.fetch_add(1, Ordering::Relaxed);
+                metrics::store_event("saves").inc();
                 self.touched
                     .lock()
                     .unwrap()
@@ -404,6 +416,7 @@ impl DiskStore {
             }
             Err(e) => {
                 self.save_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::store_event("save_errors").inc();
                 Err(e)
             }
         }
@@ -460,6 +473,7 @@ impl DiskStore {
     fn evict(&self, path: &Path) -> Option<Vec<u8>> {
         let _ = self.backend.remove(path);
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        metrics::store_event("corrupt_evictions").inc();
         None
     }
 
@@ -545,6 +559,10 @@ impl DiskStore {
             }
         }
         stats.bytes_after = remaining;
+        if stats.evicted_entries > 0 {
+            metrics::store_gc_evicted().add(stats.evicted_entries as u64);
+            metrics::store_gc_reclaimed_bytes().add(stats.bytes_before - stats.bytes_after);
+        }
         stats
     }
 
@@ -737,6 +755,10 @@ pub fn gc_roots_with(
         }
     }
     stats.bytes_after = remaining;
+    if stats.evicted_entries > 0 {
+        metrics::store_gc_evicted().add(stats.evicted_entries as u64);
+        metrics::store_gc_reclaimed_bytes().add(stats.bytes_before - stats.bytes_after);
+    }
     stats
 }
 

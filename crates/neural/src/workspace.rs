@@ -30,6 +30,35 @@
 //! ```
 
 use crate::matrix::Matrix;
+use gnnunlock_telemetry::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Process-wide mirror of every workspace's allocation-miss count.
+/// Handles are resolved once (the registry lookup takes a mutex) and
+/// increments are relaxed atomics, keeping the kernel path lock-free.
+fn allocations_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter_with(
+            "neural_workspace_allocations_total",
+            "Workspace buffer requests that missed recycled capacity and allocated.",
+            &[],
+        )
+    })
+}
+
+/// Process-wide mirror of every workspace's serve count (matrix takes
+/// plus GEMM pack-panel borrows).
+fn takes_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter_with(
+            "neural_workspace_takes_total",
+            "Workspace buffer requests served (matrix takes and pack-panel borrows).",
+            &[],
+        )
+    })
+}
 
 /// A LIFO pool of reusable `f32` buffers backing [`Matrix`] temporaries
 /// and GEMM packing panels. See the module docs.
@@ -59,6 +88,7 @@ impl Workspace {
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
         let n = rows * cols;
         self.takes += 1;
+        takes_total().inc();
         let best = self
             .pool
             .iter()
@@ -70,6 +100,7 @@ impl Workspace {
             Some(i) => self.pool.swap_remove(i),
             None => {
                 self.allocations += 1;
+                allocations_total().inc();
                 Vec::with_capacity(n)
             }
         };
@@ -103,8 +134,10 @@ impl Workspace {
     /// allocation always move together.
     pub(crate) fn pack_buf(&mut self, len: usize) -> &mut Vec<f32> {
         self.takes += 1;
+        takes_total().inc();
         if self.pack.capacity() < len {
             self.allocations += 1;
+            allocations_total().inc();
             self.pack.reserve(len - self.pack.len());
         }
         &mut self.pack
@@ -117,6 +150,7 @@ impl Workspace {
         let len = crate::matrix::packed_len(k, n);
         if self.pack.capacity() < len {
             self.allocations += 1;
+            allocations_total().inc();
             self.pack.reserve(len - self.pack.len());
         }
     }

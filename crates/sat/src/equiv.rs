@@ -38,7 +38,7 @@ use crate::lit::Lit;
 use crate::solver::{SolveResult, Solver};
 use gnnunlock_netlist::{InputKind, Netlist, OutputCone, KEY_INPUT_PREFIX};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +76,65 @@ pub struct EquivOptions {
     /// at any value — the lowest not-equivalent cone index always wins,
     /// and its counterexample is re-derived in a fresh solver.
     pub workers: usize,
+}
+
+/// Aggregate statistics of one staged equivalence check: how far each
+/// stage got and what the SAT search cost. Purely observational — the
+/// verdict never depends on them — and summed across every worker of
+/// the cone stage (plus the canonical-counterexample re-solve).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// The random-simulation prefilter found the counterexample; no CNF
+    /// was ever built.
+    pub prefilter_discharged: bool,
+    /// Output-cone groups the SAT stage partitioned the miter into
+    /// (0 when the prefilter discharged the instance).
+    pub cones: usize,
+    /// Cones whose every output collapsed to identical literals under
+    /// structural hashing — equivalent with no SAT search at all.
+    pub strash_collapsed_cones: usize,
+    /// `solve` / `solve_with_assumptions` queries issued.
+    pub solver_calls: u64,
+    /// Conflicts across every solver involved.
+    pub conflicts: u64,
+    /// Decisions across every solver involved.
+    pub decisions: u64,
+    /// Unit propagations across every solver involved.
+    pub propagations: u64,
+    /// Restarts across every solver involved.
+    pub restarts: u64,
+    /// Learnt clauses still live per worker solver at the end of its
+    /// cone family — reuse across the family is the point of the
+    /// incremental encoding.
+    pub learnt_clauses: u64,
+}
+
+/// Shared accumulator the cone-stage workers fold their solver costs
+/// into (relaxed atomics; the totals are read only after the worker
+/// scope joins).
+#[derive(Default)]
+struct StatsAcc {
+    solver_calls: AtomicU64,
+    conflicts: AtomicU64,
+    decisions: AtomicU64,
+    propagations: AtomicU64,
+    restarts: AtomicU64,
+    learnt_clauses: AtomicU64,
+    strash_collapsed: AtomicU64,
+}
+
+impl StatsAcc {
+    /// Fold one solver's cumulative stats (and live learnt count) in.
+    fn fold_solver(&self, solver: &Solver) {
+        let s = solver.stats();
+        self.conflicts.fetch_add(s.conflicts, Ordering::Relaxed);
+        self.decisions.fetch_add(s.decisions, Ordering::Relaxed);
+        self.propagations
+            .fetch_add(s.propagations, Ordering::Relaxed);
+        self.restarts.fetch_add(s.restarts, Ordering::Relaxed);
+        self.learnt_clauses
+            .fetch_add(solver.num_learnts() as u64, Ordering::Relaxed);
+    }
 }
 
 /// The matched interface of the two circuits: name↔position index maps
@@ -202,14 +261,110 @@ impl Interface {
 /// function of `(a, b, opts)` minus `opts.workers`: any worker count
 /// produces identical bytes.
 pub fn check_equivalence(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> EquivResult {
+    check_equivalence_stats(a, b, opts).0
+}
+
+/// [`check_equivalence`] plus the per-check [`VerifyStats`]. The
+/// verdict is identical; the stats are observational (and mirrored
+/// into the process-wide telemetry registry).
+pub fn check_equivalence_stats(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &EquivOptions,
+) -> (EquivResult, VerifyStats) {
+    let mut stats = VerifyStats::default();
     let iface = match Interface::match_up(a, b, opts) {
         Ok(iface) => iface,
-        Err(msg) => return EquivResult::InterfaceMismatch(msg),
+        Err(msg) => return (EquivResult::InterfaceMismatch(msg), stats),
     };
     if let Some(cex) = word_prefilter(a, b, opts, &iface) {
-        return EquivResult::NotEquivalent(cex);
+        stats.prefilter_discharged = true;
+        metrics::mirror(&stats);
+        return (EquivResult::NotEquivalent(cex), stats);
     }
-    solve_cones(a, b, opts, &iface)
+    let result = solve_cones(a, b, opts, &iface, &mut stats);
+    metrics::mirror(&stats);
+    (result, stats)
+}
+
+/// Process-wide telemetry mirrors of [`VerifyStats`] (resolved once;
+/// increments are relaxed atomics off the solver's inner loops — stats
+/// are folded per check, never per conflict).
+mod metrics {
+    use super::VerifyStats;
+    use gnnunlock_telemetry::{Counter, Registry};
+    use std::sync::OnceLock;
+
+    fn counter(
+        slot: &'static OnceLock<Counter>,
+        name: &'static str,
+        help: &'static str,
+    ) -> &'static Counter {
+        slot.get_or_init(|| Registry::global().counter_with(name, help, &[]))
+    }
+
+    macro_rules! sat_counter {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            fn $fn_name() -> &'static Counter {
+                static C: OnceLock<Counter> = OnceLock::new();
+                counter(&C, $name, $help)
+            }
+        };
+    }
+
+    sat_counter!(
+        checks,
+        "sat_equiv_checks_total",
+        "Staged equivalence checks completed."
+    );
+    sat_counter!(
+        prefilter,
+        "sat_prefilter_discharged_total",
+        "Checks discharged by the random-simulation prefilter (no CNF built)."
+    );
+    sat_counter!(
+        cones,
+        "sat_cones_total",
+        "Output-cone groups partitioned across all checks."
+    );
+    sat_counter!(
+        strash_collapsed,
+        "sat_strash_collapsed_cones_total",
+        "Cones proved equivalent by structural hashing alone (no SAT search)."
+    );
+    sat_counter!(
+        solver_calls,
+        "sat_solver_calls_total",
+        "SAT solve queries issued by the equivalence pipeline."
+    );
+    sat_counter!(
+        conflicts,
+        "sat_conflicts_total",
+        "Solver conflicts across all equivalence checks."
+    );
+    sat_counter!(
+        propagations,
+        "sat_propagations_total",
+        "Solver unit propagations across all equivalence checks."
+    );
+    sat_counter!(
+        learnt,
+        "sat_learnt_clauses_total",
+        "Learnt clauses live at the end of each worker's cone family."
+    );
+
+    pub(super) fn mirror(stats: &VerifyStats) {
+        checks().inc();
+        if stats.prefilter_discharged {
+            prefilter().inc();
+        }
+        cones().add(stats.cones as u64);
+        strash_collapsed().add(stats.strash_collapsed_cones as u64);
+        solver_calls().add(stats.solver_calls);
+        conflicts().add(stats.conflicts);
+        propagations().add(stats.propagations);
+        learnt().add(stats.learnt_clauses);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -472,6 +627,7 @@ fn solve_owned_cones(
     groups: &[Vec<usize>],
     owned: &[usize],
     best: &AtomicUsize,
+    acc: &StatsAcc,
 ) {
     if owned.is_empty() {
         return;
@@ -494,15 +650,19 @@ fn solve_owned_cones(
             break;
         }
         let Some(d) = cone_diff_lit(&mut ctx, iface, &groups[c]) else {
-            continue; // every output strash-collapsed: trivially equivalent
+            // every output strash-collapsed: trivially equivalent
+            acc.strash_collapsed.fetch_add(1, Ordering::Relaxed);
+            continue;
         };
         let act = fresh_lit(&mut ctx.solver);
         ctx.solver.add_clause(&[!act, d]);
+        acc.solver_calls.fetch_add(1, Ordering::Relaxed);
         if ctx.solver.solve_with_assumptions(&[act]) == SolveResult::Sat {
             best.fetch_min(c, Ordering::AcqRel);
             break;
         }
     }
+    acc.fold_solver(&ctx.solver);
 }
 
 /// Re-solve the winning cone in a fresh solver to extract a canonical
@@ -519,6 +679,7 @@ fn canonical_cex(
     b_cones: &[OutputCone],
     groups: &[Vec<usize>],
     winner: usize,
+    acc: &StatsAcc,
 ) -> Vec<bool> {
     let mut ctx = encode_cones(
         a,
@@ -533,12 +694,14 @@ fn canonical_cex(
     let d = cone_diff_lit(&mut ctx, iface, &groups[winner])
         .expect("winning cone has at least one non-collapsed output diff");
     assert_lit(&mut ctx.solver, d, true);
+    acc.solver_calls.fetch_add(1, Ordering::Relaxed);
     let r = ctx.solver.solve();
     assert_eq!(
         r,
         SolveResult::Sat,
         "winning cone must re-solve SAT (it did under assumptions)"
     );
+    acc.fold_solver(&ctx.solver);
     ctx.a_pi_lits
         .iter()
         .map(|&l| ctx.solver.model_lit(l).unwrap_or(false))
@@ -548,7 +711,13 @@ fn canonical_cex(
 /// The SAT stage: partition outputs into support cones, fan the cones
 /// out over `opts.workers` threads (each with one incremental solver
 /// over its cones' union logic), pick the deterministic winner.
-fn solve_cones(a: &Netlist, b: &Netlist, opts: &EquivOptions, iface: &Interface) -> EquivResult {
+fn solve_cones(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &EquivOptions,
+    iface: &Interface,
+    stats: &mut VerifyStats,
+) -> EquivResult {
     let n_out = iface.a_out_names.len();
     if n_out == 0 {
         return EquivResult::Equivalent;
@@ -556,30 +725,43 @@ fn solve_cones(a: &Netlist, b: &Netlist, opts: &EquivOptions, iface: &Interface)
     let a_cones = a.output_cones();
     let b_cones = b.output_cones();
     let groups = partition_outputs(a, b, iface, &a_cones, &b_cones);
+    stats.cones = groups.len();
     let workers = opts.workers.max(1).min(groups.len());
     let best = AtomicUsize::new(usize::MAX);
+    let acc = StatsAcc::default();
     if workers <= 1 {
         let owned: Vec<usize> = (0..groups.len()).collect();
         solve_owned_cones(
-            a, b, opts, iface, &a_cones, &b_cones, &groups, &owned, &best,
+            a, b, opts, iface, &a_cones, &b_cones, &groups, &owned, &best, &acc,
         );
     } else {
         std::thread::scope(|scope| {
             for w in 0..workers {
-                let (a_cones, b_cones, groups, best) = (&a_cones, &b_cones, &groups, &best);
+                let (a_cones, b_cones, groups, best, acc) =
+                    (&a_cones, &b_cones, &groups, &best, &acc);
                 let owned: Vec<usize> = (w..groups.len()).step_by(workers).collect();
                 scope.spawn(move || {
-                    solve_owned_cones(a, b, opts, iface, a_cones, b_cones, groups, &owned, best);
+                    solve_owned_cones(
+                        a, b, opts, iface, a_cones, b_cones, groups, &owned, best, acc,
+                    );
                 });
             }
         });
     }
-    match best.into_inner() {
+    let result = match best.into_inner() {
         usize::MAX => EquivResult::Equivalent,
         winner => EquivResult::NotEquivalent(canonical_cex(
-            a, b, opts, iface, &a_cones, &b_cones, &groups, winner,
+            a, b, opts, iface, &a_cones, &b_cones, &groups, winner, &acc,
         )),
-    }
+    };
+    stats.strash_collapsed_cones = acc.strash_collapsed.load(Ordering::Relaxed) as usize;
+    stats.solver_calls = acc.solver_calls.load(Ordering::Relaxed);
+    stats.conflicts = acc.conflicts.load(Ordering::Relaxed);
+    stats.decisions = acc.decisions.load(Ordering::Relaxed);
+    stats.propagations = acc.propagations.load(Ordering::Relaxed);
+    stats.restarts = acc.restarts.load(Ordering::Relaxed);
+    stats.learnt_clauses = acc.learnt_clauses.load(Ordering::Relaxed);
+    result
 }
 
 pub mod reference {
@@ -940,6 +1122,40 @@ mod tests {
             };
             assert!(check_equivalence(&x, &x.clone(), &opts_eq).is_equivalent());
         }
+    }
+
+    /// The stats surface tracks which stage discharged the instance: a
+    /// clone strash-collapses every cone (zero SAT search), a mutated
+    /// circuit under the default prefilter dies before CNF exists.
+    #[test]
+    fn verify_stats_reflect_stage_discharge() {
+        let nl = BenchmarkSpec::named("c2670")
+            .unwrap()
+            .scaled(0.02)
+            .generate();
+        let (r, s) = check_equivalence_stats(&nl, &nl.clone(), &EquivOptions::default());
+        assert!(r.is_equivalent());
+        assert!(!s.prefilter_discharged);
+        assert!(s.cones > 0);
+        assert_eq!(
+            s.strash_collapsed_cones, s.cones,
+            "a clone's cones all collapse under shared structural hashing"
+        );
+        assert_eq!(s.solver_calls, 0);
+        assert_eq!(s.conflicts, 0);
+
+        let mut other = nl.clone();
+        let victim = other
+            .gate_ids()
+            .find(|&g| other.gate_type(g) == GateType::And)
+            .expect("an AND exists");
+        other.set_gate_type(victim, GateType::Nand);
+        let (r, s) = check_equivalence_stats(&nl, &other, &EquivOptions::default());
+        assert!(!r.is_equivalent());
+        assert!(
+            s.prefilter_discharged || s.solver_calls > 0,
+            "a real difference is found by simulation or by SAT: {s:?}"
+        );
     }
 
     /// The staged pipeline and the retained monolithic oracle agree on

@@ -39,6 +39,8 @@ pub use encode::{
     assert_lit, encode_netlist, encode_netlist_filtered, fresh_lit, or_lit, xor_lit,
     CircuitEncoding, StrashTable,
 };
-pub use equiv::{check_equivalence, EquivOptions, EquivResult};
+pub use equiv::{
+    check_equivalence, check_equivalence_stats, EquivOptions, EquivResult, VerifyStats,
+};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -143,6 +143,12 @@ impl Solver {
         self.stats
     }
 
+    /// Number of learnt clauses currently live in the database (grows
+    /// with conflicts, shrinks on DB reduction).
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
+    }
+
     /// Limit the number of conflicts for subsequent `solve` calls; `None`
     /// removes the limit. When the budget is exhausted the query returns
     /// `Unsat`-like `None` from [`Solver::solve_limited`].

@@ -1,0 +1,55 @@
+//! Process-wide telemetry for the GNNUnlock reproduction.
+//!
+//! Two halves, both std-only and lock-free on the hot path:
+//!
+//! - a **metrics [`Registry`]** of counters, gauges and fixed-bucket
+//!   histograms. Registration (cold) takes a mutex; every recording
+//!   operation afterwards is a relaxed atomic on an `Arc`'d cell, so
+//!   instrumenting the executor, lease manager, store, SAT layer and
+//!   kernel workspace costs nanoseconds and never serializes workers.
+//!   [`Registry::global`] is the process-wide instance the engine,
+//!   daemon and report surfaces share; [`Registry::new`] builds
+//!   isolated instances for tests and goldens.
+//! - **span tracing** with deterministic ids: [`record_span`] appends
+//!   to a thread-local buffer (no shared state, no lock), and the
+//!   executor drains each worker's buffer at job boundaries via
+//!   [`take_thread_spans`]. Span ids derive from job fingerprints
+//!   ([`derived_id`]), so the id set of a run is a pure function of the
+//!   campaign — byte-identical at any worker count. A run's spans
+//!   render as Chrome `trace_event` JSON ([`chrome_trace_json`]) that
+//!   loads directly in Perfetto / `chrome://tracing`.
+//!
+//! Recording is on by default; [`set_enabled`] (driven by the
+//! `GNNUNLOCK_TELEMETRY` knob in the engine) turns every recording
+//! operation into a cheap early return. Nothing in this crate touches
+//! the environment or the filesystem — callers own both.
+
+#![warn(missing_docs)]
+
+mod registry;
+mod span;
+
+pub use registry::{
+    Counter, Gauge, Histogram, MetricSample, MetricValue, Registry, DURATION_BUCKETS,
+};
+pub use span::{
+    chrome_trace_json, derived_id, process_epoch, record_span, record_span_at, take_thread_spans,
+    thread_index, SpanRecord,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether telemetry recording is enabled (the default). Recording
+/// calls check this with one relaxed load and become no-ops when off.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry recording on or off process-wide. The engine calls
+/// this from its `GNNUNLOCK_TELEMETRY` knob; tests may toggle it, but
+/// note the flag is process-global.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}

@@ -1,0 +1,520 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) wrap `Arc`'d atomic
+//! cells; cloning a handle is cheap and recording through one is a
+//! relaxed atomic operation. The registry itself only locks on
+//! registration and snapshot — never on the recording path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Histogram bucket upper bounds for wall-clock durations in seconds:
+/// 100 µs up to ~100 s in roughly-logarithmic steps. Shared by every
+/// duration histogram so exposition stays comparable across subsystems.
+pub const DURATION_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0, 100.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`. A no-op while telemetry is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the gauge to `v`. A no-op while telemetry is disabled.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (may be negative). A no-op while telemetry is disabled.
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// Upper bounds (ascending); `buckets` has one extra slot for +Inf.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values as f64 bits (relaxed CAS loop).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram (Prometheus semantics: a bucket with upper
+/// bound `le` counts every observation `v <= le`, cumulatively).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation. Lock-free: one atomic add on the first
+    /// bucket whose bound holds the value (cumulative counts are
+    /// computed at snapshot time), plus sum/count updates.
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cells = &*self.0;
+        let idx = cells
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(cells.bounds.len());
+        cells.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = cells.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cells.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper bound, count of observations <= bound)` pairs
+    /// ending with the implicit `+Inf` bucket (bound = `f64::INFINITY`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let cells = &*self.0;
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(cells.bounds.len() + 1);
+        for (i, cell) in cells.buckets.iter().enumerate() {
+            acc += cell.load(Ordering::Relaxed);
+            let bound = cells.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cells {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram: cumulative `(le, count)` buckets (ending at +Inf),
+    /// sum and count.
+    Histogram {
+        /// Cumulative buckets, `(upper bound, count <= bound)`.
+        buckets: Vec<(f64, u64)>,
+        /// Sum of all observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One metric in a [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric family name (`snake_case`, `_total` suffix on counters).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text (one line).
+    pub help: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+#[derive(Debug)]
+struct Registered {
+    help: String,
+    cells: Cells,
+}
+
+type Key = (String, Vec<(String, String)>);
+
+/// A metrics registry. See the crate docs; [`Registry::global`] is the
+/// shared process-wide instance.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Registered>>,
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry (isolated — for tests and goldens).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry every subsystem records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Register (or retrieve) the counter `name` with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or retrieve) the counter `name{labels}`. Repeated
+    /// registration of the same name + labels returns a handle to the
+    /// same cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric
+    /// type — always a programming error.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry((name.to_string(), own_labels(labels)))
+            .or_insert_with(|| Registered {
+                help: help.to_string(),
+                cells: Cells::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+            });
+        match &entry.cells {
+            Cells::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered as a non-counter"),
+        }
+    }
+
+    /// Register (or retrieve) the gauge `name` with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or retrieve) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different type.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry((name.to_string(), own_labels(labels)))
+            .or_insert_with(|| Registered {
+                help: help.to_string(),
+                cells: Cells::Gauge(Gauge(Arc::new(AtomicI64::new(0)))),
+            });
+        match &entry.cells {
+            Cells::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered as a non-gauge"),
+        }
+    }
+
+    /// Register (or retrieve) the histogram `name` with no labels over
+    /// the given ascending bucket bounds (an implicit `+Inf` bucket is
+    /// always added).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Register (or retrieve) the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different type.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry((name.to_string(), own_labels(labels)))
+            .or_insert_with(|| {
+                let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+                Registered {
+                    help: help.to_string(),
+                    cells: Cells::Histogram(Histogram(Arc::new(HistogramCells {
+                        bounds: bounds.to_vec(),
+                        buckets,
+                        sum_bits: AtomicU64::new(0f64.to_bits()),
+                        count: AtomicU64::new(0),
+                    }))),
+                }
+            });
+        match &entry.cells {
+            Cells::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered as a non-histogram"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, ordered by
+    /// `(name, labels)` — deterministic given deterministic values.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|((name, labels), reg)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                help: reg.help.clone(),
+                value: match &reg.cells {
+                    Cells::Counter(c) => MetricValue::Counter(c.get()),
+                    Cells::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Cells::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.cumulative_buckets(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers once per family,
+    /// histogram `_bucket{le=...}` / `_sum` / `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for sample in self.snapshot() {
+            if last_family.as_deref() != Some(sample.name.as_str()) {
+                let kind = match sample.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", sample.name, sample.help));
+                out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+                last_family = Some(sample.name.clone());
+            }
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        sample.name,
+                        label_set(&sample.labels, &[])
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        sample.name,
+                        label_set(&sample.labels, &[])
+                    ));
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    for (le, c) in buckets {
+                        let le = if le.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            fmt_f64(*le)
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {c}\n",
+                            sample.name,
+                            label_set(&sample.labels, &[("le", &le)])
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        sample.name,
+                        label_set(&sample.labels, &[]),
+                        fmt_f64(*sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {count}\n",
+                        sample.name,
+                        label_set(&sample.labels, &[])
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shortest round-trip-safe decimal for `v` (Rust's f64 Display),
+/// matching what Prometheus clients conventionally emit.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `{k="v",...}` from registered labels plus extras (the
+/// histogram `le`); empty when there are none. Label values are escaped
+/// per the exposition format (backslash, quote, newline).
+fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let escape = |v: &str| {
+        v.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))));
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_concurrent_increments_are_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "test");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        // A second registration returns the same cell.
+        assert_eq!(reg.counter("t_total", "test").get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "test", &[1.0, 2.0, 5.0]);
+        // Exactly-on-boundary observations land in that bucket
+        // (Prometheus `le` semantics), above-the-top goes to +Inf.
+        for v in [0.5, 1.0, 1.5, 2.0, 5.0, 7.0] {
+            h.observe(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 2)); // 0.5, 1.0
+        assert_eq!(buckets[1], (2.0, 4)); // + 1.5, 2.0
+        assert_eq!(buckets[2], (5.0, 5)); // + 5.0
+        assert_eq!(buckets[3].1, 6); // + 7.0
+        assert!(buckets[3].0.is_infinite());
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_concurrent_observes_are_exact() {
+        let reg = Registry::new();
+        let h = reg.histogram("conc", "test", &[10.0]);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(if (i + t) % 2 == 0 { 1.0 } else { 100.0 });
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets[0], (10.0, 2000));
+        assert_eq!(buckets[1].1, 4000);
+        assert!((h.sum() - (2000.0 + 200_000.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("q", "test");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let reg = Registry::new();
+        let c = reg.counter("gated_total", "test");
+        crate::set_enabled(false);
+        c.inc();
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families() {
+        let reg = Registry::new();
+        reg.counter_with("jobs_total", "jobs", &[("kind", "lock")])
+            .add(3);
+        reg.counter_with("jobs_total", "jobs", &[("kind", "train")])
+            .add(4);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+        assert!(text.contains("jobs_total{kind=\"lock\"} 3\n"));
+        assert!(text.contains("jobs_total{kind=\"train\"} 4\n"));
+    }
+}

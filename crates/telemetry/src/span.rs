@@ -1,0 +1,198 @@
+//! Span recording and Chrome `trace_event` rendering.
+//!
+//! Spans go into a **thread-local** buffer — recording never touches
+//! shared state, so instrumenting a worker's job loop costs a `Vec`
+//! push. The owner of a run (the engine executor) drains each worker's
+//! buffer at job boundaries with [`take_thread_spans`] and aggregates
+//! the records per run; [`chrome_trace_json`] renders an aggregate as a
+//! `chrome://tracing` / Perfetto-loadable JSON document.
+//!
+//! Span **ids are deterministic**: callers derive them from job content
+//! fingerprints (optionally via [`derived_id`]), so the id/parent graph
+//! of a campaign run is identical at any worker count — only
+//! timestamps, durations and thread ids vary.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Human-readable span name (job label, `probe/...`, `lease-wait/...`).
+    pub name: String,
+    /// Category (job-kind tag or span family).
+    pub cat: String,
+    /// Deterministic span id (job fingerprint or [`derived_id`] of one).
+    pub id: u64,
+    /// Parent span id; 0 = root.
+    pub parent: u64,
+    /// Start, microseconds since [`process_epoch`].
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small per-thread index (stable within a thread's lifetime).
+    pub tid: u64,
+}
+
+/// The instant all span timestamps are measured from (first use wins).
+pub fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A small dense id for the calling thread (0, 1, 2, … in first-use
+/// order) — Chrome traces want small integer `tid`s, not OS thread ids.
+pub fn thread_index() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    INDEX.with(|i| *i)
+}
+
+thread_local! {
+    static SPANS: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record a span that started at `start` and just ended. No-op while
+/// telemetry is disabled.
+pub fn record_span(name: &str, cat: &str, id: u64, parent: u64, start: Instant) {
+    record_span_at(name, cat, id, parent, start, Instant::now());
+}
+
+/// Record a span with an explicit end instant. No-op while telemetry is
+/// disabled.
+pub fn record_span_at(name: &str, cat: &str, id: u64, parent: u64, start: Instant, end: Instant) {
+    if !crate::enabled() {
+        return;
+    }
+    let epoch = process_epoch();
+    let start_us = start.saturating_duration_since(epoch).as_micros() as u64;
+    let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+    let record = SpanRecord {
+        name: name.to_string(),
+        cat: cat.to_string(),
+        id,
+        parent,
+        start_us,
+        dur_us,
+        tid: thread_index(),
+    };
+    SPANS.with(|s| s.borrow_mut().push(record));
+}
+
+/// Drain the calling thread's span buffer. The executor calls this at
+/// every job boundary and folds the result into the run's span list.
+pub fn take_thread_spans() -> Vec<SpanRecord> {
+    SPANS.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+/// Derive a deterministic child id from a base id and a tag (FNV-1a
+/// over the base bytes followed by the tag) — e.g. the lease-wait span
+/// of job `fp` is `derived_id(fp, "lease-wait")`.
+pub fn derived_id(base: u64, tag: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in base.to_le_bytes() {
+        mix(b);
+    }
+    for b in tag.bytes() {
+        mix(b);
+    }
+    h
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render spans as a Chrome `trace_event` JSON document (complete `"X"`
+/// events with `name`/`cat`/`ph`/`ts`/`dur`/`pid`/`tid`, deterministic
+/// ids under `args`). Loads directly in `chrome://tracing` / Perfetto.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let pid = std::process::id();
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{pid},\"tid\":{},\"args\":{{\"id\":\"{:016x}\",\"parent\":\"{:016x}\"}}}}",
+            escape_json(&s.name),
+            escape_json(&s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            s.id,
+            s.parent,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_buffer_per_thread_and_drain() {
+        let t0 = Instant::now();
+        record_span("job/a", "lock", 7, 0, t0);
+        record_span("job/b", "train", 8, 7, t0);
+        let spans = take_thread_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "job/a");
+        assert_eq!(spans[1].parent, 7);
+        assert!(take_thread_spans().is_empty(), "drained");
+        // Another thread's buffer is independent.
+        std::thread::spawn(|| assert!(take_thread_spans().is_empty()))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn derived_ids_are_stable_and_distinct() {
+        assert_eq!(derived_id(42, "lease-wait"), derived_id(42, "lease-wait"));
+        assert_ne!(derived_id(42, "lease-wait"), derived_id(42, "probe"));
+        assert_ne!(derived_id(42, "lease-wait"), derived_id(43, "lease-wait"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_structures() {
+        let spans = vec![SpanRecord {
+            name: "weird \"name\"\n".to_string(),
+            cat: "lock".to_string(),
+            id: 1,
+            parent: 0,
+            start_us: 10,
+            dur_us: 5,
+            tid: 0,
+        }];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\\\"name\\\"\\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":5"));
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`neural`] | `gnnunlock-neural` | dense NN substrate (matrices, Adam, metrics) |
 //! | [`gnn`] | `gnnunlock-gnn` | GraphSAGE + GraphSAINT node classification |
 //! | [`engine`] | `gnnunlock-engine` | parallel campaign orchestration: job graphs, worker pool, two-tier (memory + disk) result cache, JSONL event streams, resumable runs, JSON run reports |
+//! | [`telemetry`] | `gnnunlock-telemetry` | metrics registry (counters/gauges/histograms), span tracing, Chrome-trace rendering, Prometheus text exposition |
 //! | [`core`] | `gnnunlock-core` | datasets, attack pipeline, post-processing, removal, campaign semantics |
 //! | [`baselines`] | `gnnunlock-baselines` | SPS, FALL, SFLL-HD-Unlocked, SAT attack |
 //!
@@ -68,6 +69,7 @@ pub use gnnunlock_netlist as netlist;
 pub use gnnunlock_neural as neural;
 pub use gnnunlock_sat as sat;
 pub use gnnunlock_synth as synth;
+pub use gnnunlock_telemetry as telemetry;
 
 /// Commonly used items in one import.
 pub mod prelude {

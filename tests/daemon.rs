@@ -401,6 +401,66 @@ fn daemon_serves_submits_streams_and_dedups() {
         "the report itself is tenant-independent"
     );
 
+    // --- Telemetry surfaces: the NDJSON `metrics` op and the plain
+    // HTTP `GET /metrics` endpoint both serve the Prometheus
+    // exposition, with the campaign counters reflecting this run.
+    let doc = request(addr, r#"{"op":"metrics"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    let ndjson_text = str_field(&doc, "metrics").to_string();
+    assert!(
+        ndjson_text.contains("# TYPE daemon_campaigns_total counter"),
+        "{ndjson_text}"
+    );
+
+    let http = {
+        use std::io::Read as _;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: daemon\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    assert!(http.starts_with("HTTP/1.1 200 OK"), "{http}");
+    assert!(http.contains("text/plain; version=0.0.4"), "{http}");
+    let body = http.split("\r\n\r\n").nth(1).expect("HTTP body");
+    // Parseable exposition: every non-comment line is `name[{labels}] value`.
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line.rsplit_once(' ').expect("metric line shape");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+    }
+    let done = body
+        .lines()
+        .find(|l| l.starts_with("daemon_campaigns_total{status=\"done\"}"))
+        .expect("done-campaign counter must be exposed");
+    let done_count: f64 = done.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert!(done_count >= 2.0, "acme + rival completed: {done}");
+    assert!(
+        body.lines()
+            .any(|l| l.starts_with("daemon_submissions_total")),
+        "{body}"
+    );
+    // The NDJSON op serves the same families.
+    assert!(ndjson_text.contains("daemon_submissions_total"));
+
+    // An unknown HTTP path 404s instead of hanging the reactor.
+    let http = {
+        use std::io::Read as _;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    assert!(http.starts_with("HTTP/1.1 404"), "{http}");
+
     // --- Status lists all three campaigns; graceful shutdown drains.
     let doc = request(addr, r#"{"op":"status"}"#);
     let Some(Json::Arr(items)) = doc.get("campaigns") else {

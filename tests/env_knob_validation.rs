@@ -8,9 +8,11 @@
 //! threads.
 
 use gnnunlock::engine::{
-    cache_budget_from_env, default_workers, knob_warnings, JobGraph, JobKind, JobValue, ShardConfig,
+    apply_telemetry_env, cache_budget_from_env, default_workers, knob_warnings,
+    telemetry_enabled_from_env, trace_out_from_env, JobGraph, JobKind, JobValue, ShardConfig,
 };
 use gnnunlock::prelude::*;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,4 +87,31 @@ fn malformed_knobs_warn_and_fall_back() {
     std::env::remove_var("GNNUNLOCK_STAGE_BUDGET_MS");
     let out = run_one();
     assert!(out.stage_summaries().iter().all(|s| !s.over_budget));
+
+    // --- telemetry switch: `off`/`0`/`false` (case-insensitive)
+    // disable, anything else — including unset — keeps telemetry on.
+    for off in ["off", "OFF", "0", "false", " False "] {
+        std::env::set_var("GNNUNLOCK_TELEMETRY", off);
+        assert!(!telemetry_enabled_from_env(), "{off:?} must disable");
+    }
+    for on in ["1", "on", "yes", "anything"] {
+        std::env::set_var("GNNUNLOCK_TELEMETRY", on);
+        assert!(telemetry_enabled_from_env(), "{on:?} must stay enabled");
+    }
+    std::env::remove_var("GNNUNLOCK_TELEMETRY");
+    assert!(telemetry_enabled_from_env(), "unset defaults to enabled");
+    // Applying the (unset) knob flips the process switch back on for
+    // the rest of this binary.
+    apply_telemetry_env();
+
+    // --- trace output override: a plain path pass-through.
+    std::env::remove_var("GNNUNLOCK_TRACE_OUT");
+    assert_eq!(trace_out_from_env(), None);
+    std::env::set_var("GNNUNLOCK_TRACE_OUT", "/tmp/my-trace.json");
+    assert_eq!(
+        trace_out_from_env(),
+        Some(PathBuf::from("/tmp/my-trace.json"))
+    );
+    std::env::remove_var("GNNUNLOCK_TRACE_OUT");
+    assert_eq!(trace_out_from_env(), None);
 }
