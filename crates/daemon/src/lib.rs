@@ -41,4 +41,4 @@ pub use config::{
     TENANT_MAX_ACTIVE_ENV,
 };
 pub use server::Daemon;
-pub use state::{CampaignStatus, DaemonCore, SubmitReceipt};
+pub use state::{persisted_error, CampaignStatus, DaemonCore, SubmitReceipt};

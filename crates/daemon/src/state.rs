@@ -14,8 +14,8 @@ use crate::config::DaemonConfig;
 use crate::protocol::validate_campaign_id;
 use gnnunlock_core::{run_campaign_sharded, Submission};
 use gnnunlock_engine::{
-    gc_roots, gc_roots_with, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, Json,
-    ReportOptions, ShardConfig,
+    gc_roots, gc_roots_with, merge_shard_events, sanitize_tag, CancelToken, ExecConfig, JobStatus,
+    Json, ReportOptions, ShardConfig, DEGRADED_PREFIX,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -118,7 +118,18 @@ const STATUS_FILE: &str = "status";
 /// longer holds the campaign.
 pub fn persisted_status(dir: &Path) -> Option<CampaignStatus> {
     let text = std::fs::read_to_string(dir.join(STATUS_FILE)).ok()?;
-    CampaignStatus::from_wire(text.trim()).filter(|s| s.is_terminal())
+    // First line only: a failed campaign's marker carries the error on
+    // the following lines.
+    CampaignStatus::from_wire(text.lines().next().unwrap_or("").trim()).filter(|s| s.is_terminal())
+}
+
+/// The error a worker persisted alongside a `failed` status marker, if
+/// any — for a store outage this is the backend's `store-degraded`
+/// message.
+pub fn persisted_error(dir: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(dir.join(STATUS_FILE)).ok()?;
+    let error = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+    (!error.trim().is_empty()).then(|| error.trim().to_string())
 }
 
 /// What `submit` returns.
@@ -509,10 +520,27 @@ impl DaemonCore {
                 CampaignStatus::Failed
             };
             let error = (status == CampaignStatus::Failed).then(|| {
-                format!(
-                    "{} failed, {} skipped of {} jobs",
-                    stats.failed, stats.skipped, stats.total
-                )
+                // A store-degraded stage error is the root cause of the
+                // whole failure: surface the backend message instead of
+                // the generic job tally.
+                result
+                    .sharded
+                    .run
+                    .outcome
+                    .records
+                    .iter()
+                    .find_map(|r| match &r.status {
+                        JobStatus::Failed(msg) if msg.contains(DEGRADED_PREFIX) => {
+                            Some(msg.clone())
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| {
+                        format!(
+                            "{} failed, {} skipped of {} jobs",
+                            stats.failed, stats.skipped, stats.total
+                        )
+                    })
             });
             Ok((status, stats.executed, error))
         })();
@@ -527,7 +555,11 @@ impl DaemonCore {
         // this campaign evicted from the registry — or a future daemon
         // life — read the true status instead of inferring "done" from
         // the mere existence of report.json.
-        let _ = std::fs::write(dir.join(STATUS_FILE), format!("{}\n", status.as_str()));
+        let marker = match &error {
+            Some(e) => format!("{}\n{e}\n", status.as_str()),
+            None => format!("{}\n", status.as_str()),
+        };
+        let _ = std::fs::write(dir.join(STATUS_FILE), marker);
         metrics::campaign_terminal(status.as_str()).inc();
         {
             let mut st = self.state.lock().unwrap();
@@ -821,6 +853,55 @@ mod tests {
         assert!(!backend.contains(&stale), "stale orphan swept");
         // Nothing leaked onto the real filesystem.
         assert!(!core.campaign_dir(&done).join("tenants").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A store outage mid-campaign fails the campaign *cleanly*: the
+    /// worker records terminal status `failed`, the status marker
+    /// carries the backend's `store-degraded` error on its second line,
+    /// and the resilience layer's retry traffic is scrape-able from the
+    /// global metrics registry (the daemon's `/metrics` surface).
+    /// Deterministic: the campaign is executed synchronously through
+    /// the worker path, and every retry pause lands on the fault
+    /// backend's virtual clock.
+    #[test]
+    fn store_outage_fails_campaign_with_persisted_error_and_metrics() {
+        use gnnunlock_engine::{Fault, FaultBackend, FaultOp, FaultRule, StoreBackend};
+
+        let root = tmp_root("store-outage");
+        let backend = Arc::new(FaultBackend::new());
+        // The store answers briefly, then disappears for good: every
+        // gated operation after the first few times out, forever.
+        backend.inject(FaultRule::on(FaultOp::Load, "", Fault::Unavailable(usize::MAX)).after(8));
+        let core = DaemonCore::new(
+            DaemonConfig::new(&root).with_store_backend(backend.clone() as Arc<dyn StoreBackend>),
+        );
+        let tiny = Submission::from_str(concat!(
+            r#"{"tenant":"acme","name":"outage","scheme":"antisat","scale":0.02,"#,
+            r#""key_sizes":[8],"locks_per_config":1,"#,
+            r#""train":{"epochs":2,"hidden":8,"eval_every":1,"patience":0,"#,
+            r#""class_weighting":false,"#,
+            r#""saint":{"roots":50,"walk_length":2,"estimation_rounds":1,"seed":7}}}"#
+        ))
+        .unwrap();
+        let id = core.submit(tiny).unwrap().id;
+        core.run_one(&id, 0);
+
+        assert_eq!(core.status_of(&id), Some(CampaignStatus::Failed));
+        let dir = core.campaign_dir(&id);
+        assert_eq!(persisted_status(&dir), Some(CampaignStatus::Failed));
+        let error = persisted_error(&dir).expect("the backend error must be persisted");
+        assert!(error.contains(DEGRADED_PREFIX), "persisted error: {error}");
+        let rendered = gnnunlock_telemetry::Registry::global().render_prometheus();
+        let retried: f64 = rendered
+            .lines()
+            .filter(|l| l.starts_with("store_retries_total{"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+            .sum();
+        assert!(
+            retried > 0.0,
+            "store_retries_total must be scrape-able and nonzero:\n{rendered}"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -6,7 +6,7 @@
 //! never surfaced, so every line handed out is a complete JSONL record
 //! exactly once per (file, offset) cursor.
 
-use gnnunlock_engine::{Event, EventLog, LogTail};
+use gnnunlock_engine::{Event, EventLog, LogTail, DEGRADED_PREFIX};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -110,6 +110,11 @@ pub struct WatchState {
     pub elided: usize,
     /// Stage errors.
     pub errors: usize,
+    /// Stage errors carrying the `store-degraded` marker — the store
+    /// backend's circuit breaker tripped while this campaign ran.
+    pub degraded: usize,
+    /// The most recent `store-degraded` stage-error message.
+    pub last_degraded: String,
     /// Label of the most recent job-level record.
     pub last_label: String,
     /// Lines that failed to parse as events (foreign content).
@@ -160,8 +165,12 @@ impl WatchState {
                 self.elided += 1;
                 self.last_label = label.clone();
             }
-            Event::StageError { label, .. } => {
+            Event::StageError { label, error, .. } => {
                 self.errors += 1;
+                if error.contains(DEGRADED_PREFIX) {
+                    self.degraded += 1;
+                    self.last_degraded = error.clone();
+                }
                 self.last_label = label.clone();
             }
             // Per-stage timing rollups: no per-job progress, but they
@@ -196,7 +205,7 @@ impl WatchState {
 
     /// One dashboard frame. Mostly plain text (the caller owns the
     /// screen); the only ANSI inside the frame is the red highlight on
-    /// over-budget stage rows.
+    /// over-budget stage rows and the store-degraded banner.
     pub fn render(&self, id: &str) -> String {
         let header = if self.campaign.is_empty() {
             format!("campaign {id} — waiting for events")
@@ -232,6 +241,12 @@ impl WatchState {
                 &self.last_label
             },
         );
+        if self.degraded > 0 {
+            frame.push_str(&format!(
+                "\x1b[31;1mSTORE DEGRADED  {} store-degraded stage errors   last: {}\x1b[0m\n",
+                self.degraded, self.last_degraded
+            ));
+        }
         for (kind, row) in &self.stages {
             let line = format!(
                 "  {kind:<14} {:>3} jobs  {:>3} run  {:>3} hits  {:>3} failed  {:>9.1} ms",
@@ -406,5 +421,36 @@ mod tests {
         state.apply(&summary("parse", 14.0, false));
         assert_eq!(state.stages.len(), 2);
         assert_eq!(state.stages["parse"].ms, 14.0);
+    }
+
+    /// `store-degraded` stage errors surface as a highlighted banner —
+    /// a tripped store breaker must be visible live, not buried in the
+    /// generic error count.
+    #[test]
+    fn store_degraded_stage_errors_render_a_highlighted_banner() {
+        let mut state = WatchState::default();
+        state.apply(&Event::StageError {
+            id: 3,
+            label: "train/c1".into(),
+            error: "ordinary failure".into(),
+        });
+        assert_eq!(state.degraded, 0, "plain errors are not degradations");
+        assert!(!state.render("deadbeef").contains("STORE DEGRADED"));
+        state.apply(&Event::StageError {
+            id: 4,
+            label: "verify/c1".into(),
+            error: "store-degraded: object backend circuit breaker is open (load rejected)".into(),
+        });
+        assert_eq!(state.errors, 2);
+        assert_eq!(state.degraded, 1);
+        let frame = state.render("deadbeef");
+        let banner = frame
+            .lines()
+            .find(|l| l.contains("STORE DEGRADED"))
+            .expect("banner rendered");
+        assert!(
+            banner.starts_with("\x1b[31;1m") && banner.contains("circuit breaker is open"),
+            "{banner}"
+        );
     }
 }

@@ -30,12 +30,22 @@
 //! implement the same trait: conditional-put/ETag leases are just
 //! another way to discharge the `claim` obligation.
 //!
+//! A third implementation, [`crate::ObjectStoreBackend`], discharges
+//! the same obligations over a minimal blob API with no renames and no
+//! hard links: publish is a last-writer-wins put, claim is
+//! `put_if_absent`, and entomb is an ETag-conditional swap (copy to the
+//! tomb key, then delete-if-match on the observed ETag — exactly one
+//! challenger's conditional delete can win).
+//!
 //! Backend selection: explicit (`ShardConfig::with_backend`,
 //! `DaemonConfig::with_store_backend`, `DiskStore::open_with_backend`)
-//! or via [`STORE_BACKEND_ENV`] (`local` — the default — or `memory`,
+//! or via [`STORE_BACKEND_ENV`] (`local` — the default — `memory`,
 //! which maps each store root onto a process-global [`FaultBackend`]
-//! with no faults scheduled; CI runs the backend-agnostic suite under
-//! both values).
+//! with no faults scheduled, or `object`, the blob-API backend; CI runs
+//! the backend-agnostic suite under all three values). Whatever the
+//! selection, [`crate::DiskStore`] wraps the backend in the
+//! [`crate::resilience`] layer — deterministic retries, a per-backend
+//! circuit breaker, and a publish spill queue.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -46,10 +56,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, SystemTime};
 
 /// Environment variable selecting the store backend implementation:
-/// `local` (the default; real directories + atomic renames) or `memory`
+/// `local` (the default; real directories + atomic renames), `memory`
 /// (a process-global in-memory [`FaultBackend`] per store root — no
-/// durability, used by the CI backend matrix and fault soak). Malformed
-/// values warn via [`crate::env`] and fall back to `local`.
+/// durability, used by the CI backend matrix and fault soak) or
+/// `object` (a process-global [`crate::ObjectStoreBackend`] per store
+/// root — blob API, conditional-put arbitration). Malformed values warn
+/// via [`crate::env`] and fall back to `local`.
 pub const STORE_BACKEND_ENV: &str = "GNNUNLOCK_STORE_BACKEND";
 
 /// One file's metadata as reported by [`StoreBackend::list`].
@@ -114,6 +126,24 @@ pub trait StoreBackend: Send + Sync + std::fmt::Debug {
     /// The files under `dir` — direct children only, or the whole
     /// subtree when `recursive`. A missing directory lists as empty.
     fn list(&self, dir: &Path, recursive: bool) -> io::Result<Vec<FileMeta>>;
+
+    /// Park the caller for `pause` between retry attempts — the clock
+    /// every wait of the [`crate::resilience`] layer goes through.
+    /// Substrate-backed backends really sleep; the deterministic
+    /// in-memory backends advance a virtual clock instead (the
+    /// `age()`-style mtime doctoring applied to time itself), which is
+    /// what lets the whole retry/breaker matrix run timing-free.
+    fn backoff_wait(&self, pause: Duration) {
+        std::thread::sleep(pause);
+    }
+
+    /// Whether the backend is currently degraded — its resilience
+    /// wrapper tripped the circuit breaker open and operations fail
+    /// fast instead of reaching the substrate. Plain backends are never
+    /// degraded; only [`crate::ResilientBackend`] overrides this.
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 /// Whether an I/O error kind is transient — worth retrying rather than
@@ -327,6 +357,22 @@ pub enum Fault {
     /// A spurious transient error ([`io::ErrorKind::WouldBlock`]); the
     /// operation has no effect and succeeds if retried.
     Transient,
+    /// The service answered only after `ms` milliseconds — surfaced to
+    /// the caller as [`io::ErrorKind::TimedOut`] (its patience ran out
+    /// first) with the latency charged to the backend's virtual clock,
+    /// never slept. The operation has no effect and succeeds if
+    /// retried.
+    Latency(u64),
+    /// A sustained outage: this operation fails with
+    /// [`io::ErrorKind::TimedOut`] and opens a window in which the next
+    /// `n` operations of any kind fail the same way — the schedule
+    /// vocabulary for exercising retry exhaustion and the circuit
+    /// breaker.
+    Unavailable(usize),
+    /// A degraded-but-correct replica: the read completes with the full
+    /// bytes, but its slowness is charged to the backend's virtual
+    /// clock.
+    SlowRead,
 }
 
 impl Fault {
@@ -339,7 +385,27 @@ impl Fault {
             Fault::TornRead(_) => "torn-read",
             Fault::Invisible => "invisible",
             Fault::Transient => "transient",
+            Fault::Latency(_) => "latency",
+            Fault::Unavailable(_) => "unavailable",
+            Fault::SlowRead => "slow-read",
         }
+    }
+
+    /// Whether a schedule of this fault can never change a campaign's
+    /// outcome, only its wall-clock — the admission criterion for the
+    /// seeded soak schedules. Crash and torn-write faults are excluded:
+    /// they mutate durable state mid-operation, which is the crash
+    /// matrix's scenario, not the soak's.
+    pub fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            Fault::Transient
+                | Fault::Invisible
+                | Fault::TornRead(_)
+                | Fault::Latency(_)
+                | Fault::Unavailable(_)
+                | Fault::SlowRead
+        )
     }
 }
 
@@ -404,6 +470,59 @@ struct ArmedRule {
     fired: bool,
 }
 
+/// An armed schedule of [`FaultRule`]s — the rule store shared by every
+/// fault-injecting substrate ([`FaultBackend`] and the object store's
+/// blob service), so `.after(n)` / fire-once semantics are defined in
+/// exactly one place.
+#[derive(Debug, Default)]
+pub(crate) struct FaultSchedule {
+    rules: Mutex<Vec<ArmedRule>>,
+}
+
+impl FaultSchedule {
+    pub(crate) fn inject(&self, rule: FaultRule) {
+        self.rules.lock().unwrap().push(ArmedRule {
+            rule,
+            seen: 0,
+            fired: false,
+        });
+    }
+
+    pub(crate) fn clear(&self) {
+        self.rules.lock().unwrap().clear();
+    }
+
+    pub(crate) fn fired(&self) -> usize {
+        self.rules
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|r| r.fired)
+            .count()
+    }
+
+    /// The first due rule matching `(op, path)`, marked fired. Every
+    /// matching unfired rule's skip count advances — `.after(n)` counts
+    /// matching *operations*, not operations left over by earlier rules.
+    pub(crate) fn check(&self, op: FaultOp, path: &Path) -> Option<Fault> {
+        let path_str = path.to_string_lossy();
+        let mut rules = self.rules.lock().unwrap();
+        let mut hit = None;
+        for armed in rules.iter_mut() {
+            if armed.fired || armed.rule.op != op || !path_str.contains(&armed.rule.path_contains) {
+                continue;
+            }
+            let due = armed.seen >= armed.rule.skip;
+            armed.seen += 1;
+            if hit.is_none() && due {
+                armed.fired = true;
+                hit = Some(armed.rule.fault);
+            }
+        }
+        hit
+    }
+}
+
 /// In-memory [`StoreBackend`] with deterministic fault injection.
 ///
 /// Files live in a `BTreeMap` guarded by one mutex, so the
@@ -416,9 +535,14 @@ struct ArmedRule {
 #[derive(Debug, Default)]
 pub struct FaultBackend {
     files: Mutex<BTreeMap<PathBuf, MemFile>>,
-    rules: Mutex<Vec<ArmedRule>>,
+    rules: FaultSchedule,
     journal: Mutex<Vec<JournalEntry>>,
     seq: AtomicU64,
+    /// Remaining operations in an open [`Fault::Unavailable`] window.
+    unavailable: AtomicU64,
+    /// Virtual microseconds parked in [`StoreBackend::backoff_wait`] or
+    /// charged by latency faults — the timing-free stand-in for sleeping.
+    waited: AtomicU64,
 }
 
 impl FaultBackend {
@@ -438,26 +562,26 @@ impl FaultBackend {
 
     /// Schedule one more fault rule.
     pub fn inject(&self, rule: FaultRule) {
-        self.rules.lock().unwrap().push(ArmedRule {
-            rule,
-            seen: 0,
-            fired: false,
-        });
+        self.rules.inject(rule);
     }
 
-    /// Drop all scheduled (fired or not) rules.
+    /// Drop all scheduled (fired or not) rules and close any open
+    /// unavailability window.
     pub fn clear_rules(&self) {
-        self.rules.lock().unwrap().clear();
+        self.rules.clear();
+        self.unavailable.store(0, Ordering::Relaxed);
     }
 
     /// How many scheduled rules have fired.
     pub fn faults_fired(&self) -> usize {
-        self.rules
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|r| r.fired)
-            .count()
+        self.rules.fired()
+    }
+
+    /// Total virtual time parked in backoff waits or charged by
+    /// latency/slow-read faults — what a wall clock would have measured
+    /// had the backend really slept.
+    pub fn virtual_waited(&self) -> Duration {
+        Duration::from_micros(self.waited.load(Ordering::Relaxed))
     }
 
     /// The operation journal so far.
@@ -508,25 +632,41 @@ impl FaultBackend {
         self.set_mtime(path, SystemTime::now() - by)
     }
 
-    /// The first due rule matching `(op, path)`, marked fired. Every
-    /// matching unfired rule's skip count advances — `.after(n)` counts
-    /// matching *operations*, not operations left over by earlier rules.
-    fn check(&self, op: FaultOp, path: &Path) -> Option<Fault> {
-        let path_str = path.to_string_lossy();
-        let mut rules = self.rules.lock().unwrap();
-        let mut hit = None;
-        for armed in rules.iter_mut() {
-            if armed.fired || armed.rule.op != op || !path_str.contains(&armed.rule.path_contains) {
-                continue;
-            }
-            let due = armed.seen >= armed.rule.skip;
-            armed.seen += 1;
-            if hit.is_none() && due {
-                armed.fired = true;
-                hit = Some(armed.rule.fault);
-            }
+    /// The service-level fault semantics every operation shares, ahead
+    /// of the op-specific faults: an open unavailability window fails
+    /// the operation outright; transient/latency faults error
+    /// retryably; slow reads are charged to the virtual clock and let
+    /// through. `Ok(Some(..))` is an op-specific fault (crash, torn
+    /// write, visibility) the caller must stage itself.
+    fn gate(&self, op: FaultOp, path: &Path) -> Result<Option<Fault>, io::Error> {
+        let in_window = self
+            .unavailable
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if in_window {
+            return Err(self.injected(op, path, Fault::Unavailable(0), io::ErrorKind::TimedOut));
         }
-        hit
+        match self.rules.check(op, path) {
+            Some(f @ Fault::Transient) => {
+                Err(self.injected(op, path, f, io::ErrorKind::WouldBlock))
+            }
+            Some(f @ Fault::Latency(ms)) => {
+                self.waited
+                    .fetch_add(ms.saturating_mul(1000), Ordering::Relaxed);
+                Err(self.injected(op, path, f, io::ErrorKind::TimedOut))
+            }
+            Some(f @ Fault::Unavailable(n)) => {
+                self.unavailable.store(n as u64, Ordering::Relaxed);
+                Err(self.injected(op, path, f, io::ErrorKind::TimedOut))
+            }
+            Some(Fault::SlowRead) => {
+                // A nominal 25 ms of replica lag, charged not slept.
+                self.waited.fetch_add(25_000, Ordering::Relaxed);
+                self.record(op, path, Some(Fault::SlowRead), true);
+                Ok(None)
+            }
+            other => Ok(other),
+        }
     }
 
     fn record(&self, op: FaultOp, path: &Path, fault: Option<Fault>, ok: bool) {
@@ -559,10 +699,7 @@ impl StoreBackend for FaultBackend {
 
     fn publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let op = FaultOp::Publish;
-        match self.check(op, path) {
-            Some(f @ Fault::Transient) => {
-                return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock))
-            }
+        match self.gate(op, path)? {
             Some(f @ (Fault::CrashBeforeRename | Fault::TornWrite(_))) => {
                 // The staged temp sibling survives the crash; the final
                 // path is untouched (publish stays atomic even when the
@@ -586,10 +723,7 @@ impl StoreBackend for FaultBackend {
 
     fn claim(&self, path: &Path, content: &[u8]) -> io::Result<()> {
         let op = FaultOp::Claim;
-        let fault = self.check(op, path);
-        if let Some(f @ Fault::Transient) = fault {
-            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
-        }
+        let fault = self.gate(op, path)?;
         let mut files = self.files.lock().unwrap();
         if files.contains_key(path) {
             drop(files);
@@ -630,10 +764,7 @@ impl StoreBackend for FaultBackend {
 
     fn entomb(&self, path: &Path, tomb: &Path) -> io::Result<()> {
         let op = FaultOp::Entomb;
-        let fault = self.check(op, path);
-        if let Some(f @ Fault::Transient) = fault {
-            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
-        }
+        let fault = self.gate(op, path)?;
         let mut files = self.files.lock().unwrap();
         let Some(file) = files.remove(path) else {
             drop(files);
@@ -659,10 +790,7 @@ impl StoreBackend for FaultBackend {
 
     fn load(&self, path: &Path) -> io::Result<Vec<u8>> {
         let op = FaultOp::Load;
-        match self.check(op, path) {
-            Some(f @ Fault::Transient) => {
-                return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock))
-            }
+        match self.gate(op, path)? {
             Some(f @ Fault::Invisible) => {
                 return Err(self.injected(op, path, f, io::ErrorKind::NotFound))
             }
@@ -706,9 +834,7 @@ impl StoreBackend for FaultBackend {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         let op = FaultOp::Remove;
-        if let Some(f @ Fault::Transient) = self.check(op, path) {
-            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
-        }
+        let _ = self.gate(op, path)?;
         let removed = self.files.lock().unwrap().remove(path).is_some();
         self.record(op, path, None, removed);
         if removed {
@@ -723,9 +849,7 @@ impl StoreBackend for FaultBackend {
 
     fn refresh(&self, path: &Path) -> io::Result<()> {
         let op = FaultOp::Refresh;
-        if let Some(f @ Fault::Transient) = self.check(op, path) {
-            return Err(self.injected(op, path, f, io::ErrorKind::WouldBlock));
-        }
+        let _ = self.gate(op, path)?;
         let refreshed = self.set_mtime(path, SystemTime::now());
         self.record(op, path, None, refreshed);
         if refreshed {
@@ -765,6 +889,13 @@ impl StoreBackend for FaultBackend {
             })
             .collect())
     }
+
+    fn backoff_wait(&self, pause: Duration) {
+        // Nothing real to wait for: charge the virtual clock so retry
+        // schedules stay observable without costing wall-clock.
+        self.waited
+            .fetch_add(pause.as_micros() as u64, Ordering::Relaxed);
+    }
 }
 
 /// A deterministic pseudo-random schedule of *recoverable* faults
@@ -796,10 +927,16 @@ pub fn recoverable_schedule(seed: u64, rules: usize) -> Vec<FaultRule> {
                 2 => FaultOp::Claim,
                 _ => FaultOp::Refresh,
             };
-            let fault = match (next() % 3, op) {
-                // Visibility and torn reads only make sense on loads.
+            let fault = match (next() % 6, op) {
+                // Visibility, torn and slow reads only make sense on loads.
                 (0, FaultOp::Load) => Fault::Invisible,
                 (1, FaultOp::Load) => Fault::TornRead((next() % 24) as usize),
+                (2, FaultOp::Load) => Fault::SlowRead,
+                // Short windows only: the retry budget (4 attempts by
+                // default) must be able to outlast an injected outage,
+                // or the soak would assert on a legitimate degradation.
+                (3, _) => Fault::Unavailable(1 + (next() % 2) as usize),
+                (4, _) => Fault::Latency(1 + next() % 40),
                 _ => Fault::Transient,
             };
             let path_contains = match next() % 3 {
@@ -829,16 +966,20 @@ pub fn memory_backend_for(root: &Path) -> Arc<FaultBackend> {
 }
 
 /// The backend selected by [`STORE_BACKEND_ENV`] for a store rooted at
-/// `root`: `local`/unset → [`LocalDirBackend`], `memory` →
-/// the shared [`memory_backend_for`] registry entry. Malformed values
-/// warn (via [`crate::env`]) and fall back to `local`.
+/// `root`: `local`/unset → [`LocalDirBackend`], `memory` → the shared
+/// [`memory_backend_for`] registry entry, `object` → the shared
+/// [`crate::object_backend_for`] registry entry. Malformed values warn
+/// (via [`crate::env`]) and fall back to `local`.
 pub fn backend_from_env(root: &Path) -> Arc<dyn StoreBackend> {
-    match crate::env::knob_validated::<String>(STORE_BACKEND_ENV, "\"local\" or \"memory\"", |v| {
-        matches!(v.as_str(), "local" | "memory")
-    })
+    match crate::env::knob_validated::<String>(
+        STORE_BACKEND_ENV,
+        "\"local\", \"memory\" or \"object\"",
+        |v| matches!(v.as_str(), "local" | "memory" | "object"),
+    )
     .as_deref()
     {
         Some("memory") => memory_backend_for(root),
+        Some("object") => crate::object::object_backend_for(root),
         _ => Arc::new(LocalDirBackend::new()),
     }
 }
@@ -856,7 +997,7 @@ mod tests {
         dir
     }
 
-    /// Both backends under the same contract exercises.
+    /// Every shipped backend under the same contract exercises.
     fn backends(tag: &str) -> Vec<(Arc<dyn StoreBackend>, PathBuf)> {
         let local_root = tmp_dir(tag);
         vec![
@@ -867,6 +1008,10 @@ mod tests {
             (
                 Arc::new(FaultBackend::new()) as Arc<dyn StoreBackend>,
                 PathBuf::from("/virtual/backend-test"),
+            ),
+            (
+                Arc::new(crate::object::ObjectStoreBackend::new()) as Arc<dyn StoreBackend>,
+                PathBuf::from("/bucket/backend-test"),
             ),
         ]
     }
@@ -1093,14 +1238,63 @@ mod tests {
         );
         for r in a.iter().chain(&c) {
             assert!(
-                matches!(
-                    r.fault,
-                    Fault::Transient | Fault::Invisible | Fault::TornRead(_)
-                ),
+                r.fault.recoverable(),
                 "soak schedules must stay recoverable: {:?}",
                 r.fault
             );
+            if let Fault::Unavailable(n) = r.fault {
+                assert!(
+                    n <= 2,
+                    "soak outage windows must stay inside the default retry budget"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn latency_fault_errs_timed_out_and_charges_the_virtual_clock() {
+        let b = FaultBackend::with_rules([FaultRule::on(FaultOp::Load, ".bin", Fault::Latency(7))]);
+        let path = Path::new("/v/x.bin");
+        b.publish(path, b"payload").unwrap();
+        let err = b.load(path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(b.virtual_waited(), Duration::from_millis(7));
+        // The retry succeeds and a backoff wait is charged, not slept.
+        b.backoff_wait(Duration::from_millis(13));
+        assert_eq!(b.load(path).unwrap(), b"payload");
+        assert_eq!(b.virtual_waited(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn unavailable_fault_opens_a_window_over_every_operation() {
+        let b = FaultBackend::with_rules([FaultRule::on(FaultOp::Load, "", Fault::Unavailable(2))]);
+        let path = Path::new("/v/x.bin");
+        b.publish(path, b"payload").unwrap();
+        // The matched load fails and opens a 2-op window: the next two
+        // operations — whatever their kind or path — fail too.
+        assert_eq!(b.load(path).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(
+            b.publish(Path::new("/v/y.bin"), b"z").unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(b.refresh(path).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        // Window exhausted: service back.
+        assert_eq!(b.load(path).unwrap(), b"payload");
+        // clear_rules also closes a half-consumed window.
+        b.inject(FaultRule::on(FaultOp::Load, "", Fault::Unavailable(9)));
+        assert!(b.load(path).is_err());
+        b.clear_rules();
+        assert_eq!(b.load(path).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn slow_read_succeeds_with_full_bytes_but_is_charged() {
+        let b = FaultBackend::with_rules([FaultRule::on(FaultOp::Load, ".bin", Fault::SlowRead)]);
+        let path = Path::new("/v/x.bin");
+        b.publish(path, b"payload").unwrap();
+        assert_eq!(b.load(path).unwrap(), b"payload");
+        assert!(b.virtual_waited() > Duration::ZERO);
+        assert_eq!(b.faults_fired(), 1);
     }
 
     #[test]

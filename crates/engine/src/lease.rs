@@ -35,6 +35,7 @@
 use crate::backend::{is_transient_kind, StoreBackend};
 use crate::graph::JobKind;
 use crate::metrics;
+use crate::resilience::RetryPolicy;
 use crate::store::DiskStore;
 use std::collections::HashMap;
 use std::io;
@@ -94,6 +95,7 @@ pub struct LeaseStats {
 struct Shared {
     store: Arc<DiskStore>,
     backend: Arc<dyn StoreBackend>,
+    retry: RetryPolicy,
     owner: String,
     ttl: Duration,
     /// Held leases: path → the exact file content written at claim
@@ -172,6 +174,7 @@ impl LeaseManager {
         let shared = Arc::new(Shared {
             store,
             backend,
+            retry: RetryPolicy::from_env(),
             owner: owner.into(),
             ttl: ttl.max(Duration::from_millis(20)),
             held: Mutex::new(HashMap::new()),
@@ -414,23 +417,30 @@ impl LeaseManager {
         let Some(expected) = self.shared.held.lock().unwrap().remove(path) else {
             return false;
         };
-        // A torn or transient read says nothing about ownership; retry
-        // a few times before concluding anything. If it stays unreadable
-        // the lease is left in place — wrongly deleting a usurper's
-        // claim is the one mistake this path must never make, while a
-        // stranded lease merely costs one TTL.
-        for _ in 0..4 {
-            match self.shared.backend.load(path) {
-                Ok(content) if content == expected.as_bytes() => {
-                    let _ = self.shared.backend.remove(path);
-                    self.shared.released.fetch_add(1, Ordering::Relaxed);
-                    metrics::lease_event("released").inc();
-                    return true;
-                }
-                Ok(content) if lease_torn(&content) => continue,
-                Err(e) if is_transient_kind(e.kind()) => continue,
-                _ => break, // intact foreign content or gone: usurped
+        // A torn or transient read says nothing about ownership; the
+        // shared retry policy re-reads (backing off through the
+        // backend's clock) before concluding anything. If it stays
+        // unreadable the lease is left in place — wrongly deleting a
+        // usurper's claim is the one mistake this path must never make,
+        // while a stranded lease merely costs one TTL.
+        let backend = self.shared.backend.as_ref();
+        let owned = self.shared.retry.run(backend, "lease_release", || {
+            match backend.load(path) {
+                Ok(content) if content == expected.as_bytes() => Ok(true),
+                Ok(content) if lease_torn(&content) => Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "torn lease read",
+                )),
+                Ok(_) => Ok(false), // intact foreign content: usurped
+                Err(e) if is_transient_kind(e.kind()) => Err(e),
+                Err(_) => Ok(false), // gone (NotFound): deleted under us
             }
+        });
+        if let Ok(true) = owned {
+            let _ = backend.remove(path);
+            self.shared.released.fetch_add(1, Ordering::Relaxed);
+            metrics::lease_event("released").inc();
+            return true;
         }
         self.shared.lost.fetch_add(1, Ordering::Relaxed);
         metrics::lease_event("lost").inc();

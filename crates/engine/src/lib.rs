@@ -70,8 +70,10 @@ mod graph;
 mod json;
 mod lease;
 mod metrics;
+mod object;
 mod pool;
 mod report;
+pub mod resilience;
 mod shard;
 mod store;
 
@@ -97,14 +99,21 @@ pub use graph::{
 };
 pub use json::Json;
 pub use lease::{Claim, LeaseManager, LeaseStats};
+pub use object::{object_backend_for, BlobService, ObjectStoreBackend};
 pub use pool::{default_workers, run_ordered, WORKERS_ENV};
 pub use report::{ReportOptions, RunReport, REPORT_SCHEMA_VERSION};
+pub use resilience::{
+    degraded_error, is_degraded, BreakerState, HealthTracker, ResilientBackend, RetryPolicy,
+    DEGRADED_PREFIX, SPILL_CAP, STORE_BREAKER_PROBE_EVERY_ENV, STORE_BREAKER_THRESHOLD_ENV,
+    STORE_RETRY_ATTEMPTS_ENV, STORE_RETRY_BASE_MS_ENV, STORE_RETRY_DEADLINE_MS_ENV,
+    STORE_RETRY_JITTER_SEED_ENV,
+};
 pub use shard::{
     execution_counts, merge_shard_events, shard_events_file, shard_replays, Elided, ShardConfig,
     ShardedRun,
 };
 pub use store::{
     cache_budget_from_env, gc_roots, gc_roots_with, sanitize_tag, tenant_budget_from_env,
-    tenant_usage, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV, CACHE_DIR_ENV,
-    TENANT_BUDGET_ENV,
+    tenant_usage, tenant_usage_with, DiskStore, GcStats, StoreStats, CACHE_BUDGET_ENV,
+    CACHE_DIR_ENV, TENANT_BUDGET_ENV,
 };

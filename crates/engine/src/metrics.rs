@@ -5,7 +5,13 @@
 //! mutex, so callers on hot paths should fetch a handle once per job /
 //! operation boundary, never per inner-loop iteration.
 
-use gnnunlock_telemetry::{Counter, Histogram, Registry, DURATION_BUCKETS};
+use gnnunlock_telemetry::{Counter, Gauge, Histogram, Registry, DURATION_BUCKETS};
+
+/// Millisecond buckets for retry backoff pauses: the knob range runs
+/// from single-digit base pauses to multi-second deadline budgets.
+pub(crate) const BACKOFF_MS_BUCKETS: &[f64] = &[
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
 
 /// Bodies of `kind` jobs that actually ran to completion.
 pub(crate) fn jobs_executed(kind: &str) -> Counter {
@@ -71,6 +77,36 @@ pub(crate) fn store_event(op: &str) -> Counter {
         "store_events_total",
         "Disk-store operations across all stores",
         &[("op", op)],
+    )
+}
+
+/// Backend operations of logical kind `op` that were retried by the
+/// resilience layer after a transient failure.
+pub(crate) fn store_retry(op: &str) -> Counter {
+    Registry::global().counter_with(
+        "store_retries_total",
+        "Store operations retried after a transient backend failure, per logical op",
+        &[("op", op)],
+    )
+}
+
+/// Milliseconds of (possibly virtual) backoff parked between retry
+/// attempts.
+pub(crate) fn store_backoff_ms() -> Histogram {
+    Registry::global().histogram_with(
+        "store_backoff_ms",
+        "Backoff pauses between store retry attempts, in milliseconds",
+        &[],
+        BACKOFF_MS_BUCKETS,
+    )
+}
+
+/// Circuit-breaker state of the most recently transitioned store
+/// backend: 0 closed, 1 half-open, 2 open.
+pub(crate) fn store_breaker_state() -> Gauge {
+    Registry::global().gauge(
+        "store_breaker_state",
+        "Store circuit-breaker state: 0 closed, 1 half-open (probing), 2 open",
     )
 }
 

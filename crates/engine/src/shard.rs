@@ -460,6 +460,18 @@ fn shard_body<R: CampaignRunner>(
                         stage_job.label()
                     ));
                 }
+                // A degraded store makes Busy unresolvable: claims fail
+                // fast, peers cannot publish, and polling would spin
+                // until cancellation. Fail the job cleanly instead —
+                // in-flight peers keep executing; this cell reports a
+                // `store-degraded` stage error.
+                if store.backend().degraded() {
+                    return Err(format!(
+                        "{}: store backend circuit breaker is open while waiting for '{}'",
+                        crate::resilience::DEGRADED_PREFIX,
+                        stage_job.label()
+                    ));
+                }
                 leases.note_poll_wait();
                 wait_start.get_or_insert_with(Instant::now);
                 std::thread::sleep(shard.poll_interval);

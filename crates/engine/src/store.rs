@@ -48,6 +48,7 @@ use crate::backend::{
 };
 use crate::graph::{fingerprint, JobKind};
 use crate::metrics;
+use crate::resilience::{ResilientBackend, RetryPolicy};
 use std::collections::HashSet;
 use std::fs;
 use std::io;
@@ -204,22 +205,24 @@ impl DiskStore {
             .map(str::trim)
             .filter(|ns| !ns.is_empty())
             .map(sanitize_tag);
-        let backend = backend.unwrap_or_else(|| backend_from_env(dir));
+        // Every backend — whatever the selection — runs behind the
+        // resilience layer: deterministic transient retries, a circuit
+        // breaker, and the publish spill queue.
+        let backend: Arc<dyn StoreBackend> =
+            ResilientBackend::wrap(backend.unwrap_or_else(|| backend_from_env(dir)));
         backend.ensure_dir(dir)?;
         let version_path = dir.join(VERSION_FILE);
-        // Bounded retry around the gate: a transient read/write error or
-        // a torn observation (a strict prefix of the expected text — an
-        // NFS-style cache serving a partial page) says nothing about the
-        // schema, so it must not fail the open or misdiagnose a
-        // mismatch. Only a stable verdict escapes the loop.
-        let mut gate = Err(io::Error::new(
-            io::ErrorKind::TimedOut,
-            "store version gate kept erroring transiently",
-        ));
-        for _ in 0..4 {
-            gate = match backend.load(&version_path) {
+        // The gate runs under the shared RetryPolicy: a torn observation
+        // (a strict prefix of the expected text — an NFS-style cache
+        // serving a partial page) says nothing about the schema, so it
+        // is surfaced as a transient error the policy retries. Only a
+        // stable verdict (match, mismatch, hard I/O failure) escapes.
+        RetryPolicy::from_env().run(backend.as_ref(), "version_gate", || {
+            match backend.load(&version_path) {
                 Ok(found) if found == VERSION_TEXT.as_bytes() => Ok(()),
-                Ok(found) if VERSION_TEXT.as_bytes().starts_with(&found) => continue, // torn
+                Ok(found) if VERSION_TEXT.as_bytes().starts_with(&found[..]) => Err(
+                    io::Error::new(io::ErrorKind::Interrupted, "torn version-gate read"),
+                ),
                 Ok(found) => Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
@@ -237,24 +240,11 @@ impl DiskStore {
                     // half-written gate and misdiagnose a schema
                     // mismatch. Racing writers publish identical
                     // content — last one wins, harmlessly.
-                    match backend.publish(&version_path, VERSION_TEXT.as_bytes()) {
-                        Ok(()) => Ok(()),
-                        Err(e) if is_transient_kind(e.kind()) => {
-                            metrics::store_event("transient_retries").inc();
-                            continue;
-                        }
-                        Err(e) => Err(e),
-                    }
-                }
-                Err(e) if is_transient_kind(e.kind()) => {
-                    metrics::store_event("transient_retries").inc();
-                    continue;
+                    backend.publish(&version_path, VERSION_TEXT.as_bytes())
                 }
                 Err(e) => Err(e),
-            };
-            break;
-        }
-        gate?;
+            }
+        })?;
         // Sweep staging temps orphaned in the root by a writer killed
         // mid-version-publish (the GC only walks objects/, so they
         // would leak otherwise). Age-gated: a concurrent opener's
@@ -370,10 +360,12 @@ impl DiskStore {
                 metrics::store_event("misses").inc();
                 return None;
             }
-            // A transient read error (EAGAIN-style) says nothing about
-            // the entry's integrity — report a miss and leave the entry
-            // for the retry, instead of evicting a good entry.
-            Err(e) if is_transient_kind(e.kind()) => {
+            // A transient read error (EAGAIN-style, already retried by
+            // the resilience layer) or a degraded fail-fast says
+            // nothing about the entry's integrity — report a miss and
+            // leave the entry for the retry, instead of evicting a good
+            // entry.
+            Err(e) if is_transient_kind(e.kind()) || crate::resilience::is_degraded(&e) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 metrics::store_event("misses").inc();
                 metrics::store_event("transient_retries").inc();
@@ -637,9 +629,10 @@ fn sweep_orphans_and_list(backend: &dyn StoreBackend, root: &Path) -> Vec<FileMe
 
 /// Sum of `.bin` entry bytes under `dir` (0 when the tree is absent).
 /// Protocol files ([`is_protocol_name`]) are never billed: a crash that
-/// orphans a large `.tmp-*` must not eat a tenant's budget.
-fn entry_bytes_under(dir: &Path) -> u64 {
-    LocalDirBackend::new()
+/// orphans a large `.tmp-*` (or an in-flight `.lease`/`.tomb-*`) must
+/// not eat a tenant's budget.
+fn entry_bytes_under(backend: &dyn StoreBackend, dir: &Path) -> u64 {
+    backend
         .list(dir, true)
         .map(|files| {
             files
@@ -661,10 +654,11 @@ fn entry_bytes_under(dir: &Path) -> u64 {
 /// Propagates directory-read errors of the `tenants/` index itself
 /// (a missing index just means no tenant namespaces).
 pub fn tenant_usage(root: &Path) -> io::Result<std::collections::BTreeMap<String, u64>> {
+    let backend = LocalDirBackend::new();
     let mut out = std::collections::BTreeMap::new();
     let default_root = root.join("objects");
     if default_root.is_dir() {
-        out.insert(String::new(), entry_bytes_under(&default_root));
+        out.insert(String::new(), entry_bytes_under(&backend, &default_root));
     }
     let tenants = root.join("tenants");
     let entries = match fs::read_dir(&tenants) {
@@ -680,7 +674,47 @@ pub fn tenant_usage(root: &Path) -> io::Result<std::collections::BTreeMap<String
         let Ok(ns) = entry.file_name().into_string() else {
             continue;
         };
-        out.insert(ns, entry_bytes_under(&entry.path().join("objects")));
+        out.insert(
+            ns,
+            entry_bytes_under(&backend, &entry.path().join("objects")),
+        );
+    }
+    Ok(out)
+}
+
+/// [`tenant_usage`] against an explicit [`StoreBackend`]. Virtual
+/// backends have no real directories, so namespaces are enumerated from
+/// the key space itself: a tenant exists iff some key lives under
+/// `tenants/<ns>/`. The billing rule is identical — only `.bin` entry
+/// bytes count; in-flight protocol blobs (`.tmp-*`, `.lease`,
+/// `.tomb-*`) never do.
+///
+/// # Errors
+///
+/// Propagates a failed listing of the `tenants/` prefix.
+pub fn tenant_usage_with(
+    backend: &dyn StoreBackend,
+    root: &Path,
+) -> io::Result<std::collections::BTreeMap<String, u64>> {
+    let mut out = std::collections::BTreeMap::new();
+    let default_root = root.join("objects");
+    if !backend.list(&default_root, true)?.is_empty() || default_root.is_dir() {
+        out.insert(String::new(), entry_bytes_under(backend, &default_root));
+    }
+    let tenants = root.join("tenants");
+    let mut namespaces = std::collections::BTreeSet::new();
+    for meta in backend.list(&tenants, true)? {
+        if let Ok(rest) = meta.path.strip_prefix(&tenants) {
+            if let Some(ns) = rest.components().next() {
+                namespaces.insert(ns.as_os_str().to_string_lossy().into_owned());
+            }
+        }
+    }
+    for ns in namespaces {
+        out.insert(
+            ns.clone(),
+            entry_bytes_under(backend, &tenants.join(&ns).join("objects")),
+        );
     }
     Ok(out)
 }
@@ -1115,8 +1149,10 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
-    /// A transient read error (EAGAIN-style) must read as a miss and
-    /// leave the entry intact — pre-hardening it evicted a good entry.
+    /// A single transient read error (EAGAIN-style) is absorbed by the
+    /// retry layer; a *sustained* outage that exhausts the retry budget
+    /// reads as a miss and leaves the entry intact — pre-hardening a
+    /// lone transient evicted a good entry.
     #[test]
     fn transient_load_errors_do_not_evict() {
         use crate::backend::{Fault, FaultBackend, FaultOp, FaultRule};
@@ -1126,8 +1162,20 @@ mod tests {
                 .unwrap();
         store.save(JobKind::Train, 5, b"payload").unwrap();
         backend.inject(FaultRule::on(FaultOp::Load, ".bin", Fault::Transient));
-        assert!(store.load(JobKind::Train, 5).is_none(), "transient = miss");
+        assert_eq!(
+            store.load(JobKind::Train, 5).unwrap(),
+            b"payload",
+            "one transient is retried through"
+        );
         assert_eq!(store.stats().evictions, 0, "entry must not be evicted");
+        backend.inject(FaultRule::on(
+            FaultOp::Load,
+            "",
+            Fault::Unavailable(usize::MAX),
+        ));
+        assert!(store.load(JobKind::Train, 5).is_none(), "outage = miss");
+        assert_eq!(store.stats().evictions, 0, "entry must not be evicted");
+        backend.clear_rules();
         assert_eq!(store.load(JobKind::Train, 5).unwrap(), b"payload");
     }
 

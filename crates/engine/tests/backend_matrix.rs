@@ -1,16 +1,22 @@
-//! Backend-agnostic smoke: the same store round trip and sharded toy
-//! campaign, run against whichever backend `GNNUNLOCK_STORE_BACKEND`
-//! selects. CI executes this binary twice — `local` and `memory` — so
-//! every release exercises the [`gnnunlock_engine::StoreBackend`]
-//! contract through both implementations, not just the filesystem one.
+//! The backend-conformance suite: every [`StoreBackend`] implementation
+//! must discharge the same protocol obligations — atomic last-writer-
+//! wins publish, exactly-one-winner claim, rename/swap-arbitrated
+//! takeover, and usage accounting that never bills in-flight protocol
+//! blobs. The `conformance_*` tests below run each obligation against
+//! all three implementations (`local` directories, the in-memory
+//! `FaultBackend`, the conditional-put `ObjectStoreBackend`) in one
+//! process, so a contract regression names the offending backend.
 //!
-//! Everything here goes through env-driven construction
-//! ([`DiskStore::open`], default [`ShardConfig`]) precisely so the
-//! matrix variable is the environment, not the test code.
+//! The two env-driven smokes at the bottom additionally run the *same
+//! binary* under each `GNNUNLOCK_STORE_BACKEND` value in CI's backends
+//! matrix, exercising env-selected construction ([`DiskStore::open`],
+//! default [`ShardConfig`]) where the matrix variable is the
+//! environment, not the test code.
 
 use gnnunlock_engine::{
-    execution_counts, shard_replays, Campaign, CampaignRunner, DiskStore, ExecConfig, JobCtx,
-    JobKind, JobOutput, JobValue, ReportOptions, ShardConfig, StageJob, ValueCodec,
+    execution_counts, shard_replays, tenant_usage_with, Campaign, CampaignRunner, DiskStore,
+    ExecConfig, FaultBackend, JobCtx, JobKind, JobOutput, JobValue, LocalDirBackend,
+    ObjectStoreBackend, ReportOptions, ShardConfig, StageJob, StoreBackend, ValueCodec,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -55,6 +61,189 @@ fn tmp_dir(tag: &str) -> PathBuf {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// The three implementations under conformance, each with a root unique
+/// to `tag`: `local` needs a real temp directory; the virtual backends
+/// use absolute virtual paths.
+fn conformance_backends(tag: &str) -> Vec<(&'static str, Arc<dyn StoreBackend>, PathBuf)> {
+    let local_root = tmp_dir(&format!("conf-{tag}-local"));
+    std::fs::create_dir_all(&local_root).unwrap();
+    vec![
+        ("local", Arc::new(LocalDirBackend::new()), local_root),
+        (
+            "memory",
+            Arc::new(FaultBackend::new()),
+            PathBuf::from(format!("/virtual/conformance/{tag}")),
+        ),
+        (
+            "object",
+            Arc::new(ObjectStoreBackend::new()),
+            PathBuf::from(format!("/bucket/conformance/{tag}")),
+        ),
+    ]
+}
+
+fn conformance_cleanup(name: &str, root: &PathBuf) {
+    if name == "local" {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// Publish is an atomic last-writer-wins swap on every backend: a later
+/// publish replaces an earlier one, and racing publishers never leave
+/// interleaved bytes under the final name.
+#[test]
+fn conformance_publish_is_atomic_and_last_writer_wins() {
+    for (name, backend, root) in conformance_backends("publish") {
+        let path = root.join("objects/train/aa/entry.bin");
+        backend.ensure_dir(path.parent().unwrap()).unwrap();
+        backend.publish(&path, b"first").unwrap();
+        backend.publish(&path, b"second").unwrap();
+        assert_eq!(backend.load(&path).unwrap(), b"second", "{name}: LWW");
+
+        let payloads: Vec<Vec<u8>> = (0..8)
+            .map(|i| format!("payload-{i:02}").into_bytes())
+            .collect();
+        std::thread::scope(|s| {
+            for payload in &payloads {
+                let backend = &backend;
+                let path = &path;
+                s.spawn(move || backend.publish(path, payload).unwrap());
+            }
+        });
+        let got = backend.load(&path).unwrap();
+        assert!(
+            payloads.contains(&got),
+            "{name}: racing publishes tore the entry: {got:?}"
+        );
+        conformance_cleanup(name, &root);
+    }
+}
+
+/// Claim is exactly-one-winner on every backend: of N concurrent
+/// claimants on one path, one succeeds and the rest fail
+/// `AlreadyExists`, and the surviving content is the winner's in full.
+#[test]
+fn conformance_claim_has_exactly_one_winner() {
+    for (name, backend, root) in conformance_backends("claim") {
+        let path = root.join("objects/train/aa/job.lease");
+        backend.ensure_dir(path.parent().unwrap()).unwrap();
+        let contents: Vec<Vec<u8>> = (0..6)
+            .map(|i| format!("gnnunlock-lease owner=w{i} pid={i} gen=0\n").into_bytes())
+            .collect();
+        let outcomes: Vec<Result<(), std::io::ErrorKind>> = std::thread::scope(|s| {
+            let handles: Vec<_> = contents
+                .iter()
+                .map(|content| {
+                    let backend = &backend;
+                    let path = &path;
+                    s.spawn(move || backend.claim(path, content).map_err(|e| e.kind()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let winners = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(
+            winners, 1,
+            "{name}: exactly one claim must win: {outcomes:?}"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| o.is_ok() || *o == Err(std::io::ErrorKind::AlreadyExists)),
+            "{name}: losers must fail AlreadyExists: {outcomes:?}"
+        );
+        let winner = outcomes.iter().position(|o| o.is_ok()).unwrap();
+        assert_eq!(
+            backend.load(&path).unwrap(),
+            contents[winner],
+            "{name}: the winner's content must survive intact"
+        );
+        conformance_cleanup(name, &root);
+    }
+}
+
+/// Takeover arbitration: of N concurrent challengers entombing one
+/// stale lease to distinct tomb names, exactly one wins (rename on
+/// filesystems, the ETag-conditional swap on blobs), losers fail
+/// `NotFound` and leave no tomb debris, and the winner's tomb carries
+/// the buried bytes.
+#[test]
+fn conformance_takeover_entomb_arbitrates_one_winner() {
+    for (name, backend, root) in conformance_backends("entomb") {
+        let lease = root.join("objects/train/aa/job.lease");
+        backend.ensure_dir(lease.parent().unwrap()).unwrap();
+        let buried = b"gnnunlock-lease owner=dead pid=1 gen=3\n";
+        backend.publish(&lease, buried).unwrap();
+        let outcomes: Vec<Result<(), std::io::ErrorKind>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let backend = &backend;
+                    let lease = &lease;
+                    let tomb = lease.with_file_name(format!("job.lease.tomb-{i}"));
+                    s.spawn(move || backend.entomb(lease, &tomb).map_err(|e| e.kind()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let winners = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(
+            winners, 1,
+            "{name}: exactly one entomb must win: {outcomes:?}"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| o.is_ok() || *o == Err(std::io::ErrorKind::NotFound)),
+            "{name}: losers must see the source as gone: {outcomes:?}"
+        );
+        assert!(!backend.contains(&lease), "{name}: the lease itself moved");
+        let tombs: Vec<_> = backend
+            .list(lease.parent().unwrap(), false)
+            .unwrap()
+            .into_iter()
+            .filter(|m| m.path.to_string_lossy().contains(".tomb-"))
+            .collect();
+        assert_eq!(tombs.len(), 1, "{name}: losers must leave no tomb debris");
+        assert_eq!(
+            backend.load(&tombs[0].path).unwrap(),
+            buried,
+            "{name}: the tomb must carry the buried lease"
+        );
+        conformance_cleanup(name, &root);
+    }
+}
+
+/// Usage accounting bills `.bin` entries only: leases, staged temps and
+/// tombs — in-flight protocol blobs — never count, on any backend, via
+/// either the store's own gauge or the tenant-usage rollup.
+#[test]
+fn conformance_usage_accounting_excludes_in_flight_protocol_blobs() {
+    for (name, backend, root) in conformance_backends("usage") {
+        let store = DiskStore::open_with_backend(&root, "", backend.clone()).unwrap();
+        store.save(JobKind::Train, 0xabc, b"entry payload").unwrap();
+        let billed = store.usage_bytes();
+        assert!(billed > 0, "{name}: the entry itself is billed");
+        let objects = store.objects_root().join("train");
+        for blob in ["job.lease", ".tmp-99-0", "job.lease.tomb-99-0"] {
+            backend
+                .publish(&objects.join(blob), b"protocol bytes")
+                .unwrap();
+        }
+        assert_eq!(
+            store.usage_bytes(),
+            billed,
+            "{name}: protocol blobs must never be billed"
+        );
+        let usage = tenant_usage_with(backend.as_ref(), &root).unwrap();
+        assert_eq!(
+            usage.get("").copied(),
+            Some(billed),
+            "{name}: tenant rollup must agree: {usage:?}"
+        );
+        conformance_cleanup(name, &root);
+    }
 }
 
 #[test]

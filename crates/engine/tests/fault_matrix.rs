@@ -16,8 +16,9 @@
 
 use gnnunlock_engine::{
     execution_counts, shard_replays, Campaign, CampaignRunner, Claim, DiskStore, ExecConfig, Fault,
-    FaultBackend, FaultOp, FaultRule, JobCtx, JobKind, JobOutput, JobValue, LeaseManager,
-    ReportOptions, ShardConfig, StageJob, StoreBackend, ValueCodec,
+    FaultBackend, FaultOp, FaultRule, JobCtx, JobKind, JobOutput, JobStatus, JobValue,
+    LeaseManager, ObjectStoreBackend, ReportOptions, ShardConfig, StageJob, StoreBackend,
+    ValueCodec, DEGRADED_PREFIX,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -94,9 +95,9 @@ fn reference_report() -> String {
 
 /// Run shards `s0..sN` sequentially over `backend`, asserting each
 /// succeeds and reproduces `reference` byte-for-byte.
-fn run_survivors(
+fn run_survivors<B: StoreBackend + 'static>(
     dir: &std::path::Path,
-    backend: &Arc<FaultBackend>,
+    backend: &Arc<B>,
     shards: usize,
     ttl: Duration,
     reference: &str,
@@ -453,6 +454,178 @@ fn recoverable_fault_soak_never_diverges_the_report() {
         // release legitimately strands a lease (the owner counts it
         // lost; it ages out via the normal stale path). Reports and
         // success are the soak invariants.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Chaos acceptance: a 3-shard campaign over the object-store backend
+/// under a seeded schedule of service-shaped faults — latency spikes,
+/// short unavailability windows, transient errors — must stay
+/// byte-identical to the faultless reference with every job body
+/// executed exactly once. The resilience layer's retries absorb the
+/// whole schedule, and every backoff pause lands on the service's
+/// virtual clock, so the test is timing-free.
+#[test]
+fn object_backend_chaos_schedule_is_byte_identical_and_exactly_once() {
+    let reference = reference_report();
+    let dir = tmp_dir("object-chaos");
+    let backend = Arc::new(ObjectStoreBackend::with_rules([
+        FaultRule::on(FaultOp::Load, ".bin", Fault::Transient),
+        FaultRule::on(FaultOp::Publish, ".bin", Fault::Latency(12)).after(1),
+        FaultRule::on(FaultOp::Claim, ".lease", Fault::Unavailable(2)).after(2),
+        FaultRule::on(FaultOp::Load, ".lease", Fault::Latency(3)).after(4),
+        FaultRule::on(FaultOp::Publish, ".bin", Fault::Unavailable(1)).after(3),
+        FaultRule::on(FaultOp::Load, ".bin", Fault::SlowRead).after(5),
+        FaultRule::on(FaultOp::Load, ".bin", Fault::Transient).after(7),
+    ]));
+
+    run_survivors(
+        &dir,
+        &backend,
+        3,
+        Duration::from_secs(30),
+        &reference,
+        "object-chaos",
+    );
+    assert_single_execution(&dir, "object-chaos");
+    assert!(
+        backend.service().faults_fired() > 0,
+        "the schedule must actually have fired"
+    );
+    assert!(
+        backend.service().virtual_waited() > Duration::ZERO,
+        "backoff must be charged to the virtual clock, not slept"
+    );
+    let wedged: Vec<_> = backend
+        .service()
+        .keys()
+        .into_iter()
+        .filter(|k| {
+            k.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".lease") || n.contains(".tomb-"))
+        })
+        .collect();
+    assert!(wedged.is_empty(), "object-chaos: wedged blobs: {wedged:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Degradation acceptance: mid-campaign the object store becomes
+/// unavailable *for good*. The run must fail cleanly — a
+/// `store-degraded` stage error, no panic, no poll-forever — and once
+/// the outage clears, a fresh shard over the same bucket (stranded
+/// leases aged past the TTL, exactly as wall-clock would) converges to
+/// the reference report, proving no lease was left wedged.
+#[test]
+fn sustained_object_outage_fails_cleanly_and_recovers() {
+    let reference = reference_report();
+    let dir = tmp_dir("object-outage");
+    let ttl = Duration::from_millis(200);
+    let backend = Arc::new(ObjectStoreBackend::new());
+    // After a handful of healthy operations the service disappears:
+    // every subsequent gated op times out, forever.
+    backend
+        .service()
+        .inject(FaultRule::on(FaultOp::Load, "", Fault::Unavailable(usize::MAX)).after(12));
+
+    let run = toy()
+        .execute_sharded(
+            &Echo,
+            ExecConfig::with_workers(2),
+            &dir,
+            &ShardConfig::new("s0")
+                .with_ttl(ttl)
+                .with_backend(backend.clone() as Arc<dyn StoreBackend>),
+        )
+        .expect("the outage must fail jobs, not the run itself");
+    assert!(
+        !run.run.outcome.all_succeeded(),
+        "the campaign cannot survive a permanent outage"
+    );
+    let degraded_failures: Vec<_> = run
+        .run
+        .outcome
+        .records
+        .iter()
+        .filter_map(|r| match &r.status {
+            JobStatus::Failed(msg) if msg.contains(DEGRADED_PREFIX) => Some(msg.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !degraded_failures.is_empty(),
+        "failures must carry the store-degraded marker: {:?}",
+        run.run
+            .outcome
+            .records
+            .iter()
+            .map(|r| &r.status)
+            .collect::<Vec<_>>()
+    );
+
+    // Recovery: the outage ends. Stranded leases (owners that could not
+    // release through the dead store) age past the TTL — the virtual
+    // stand-in for waiting out one TTL — and a clean shard converges.
+    backend.service().clear_rules();
+    for key in backend.service().keys() {
+        let is_protocol = key
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".lease") || n.contains(".tomb-"));
+        if is_protocol {
+            backend.service().age(&key, ttl * 4);
+        }
+    }
+    let recovery_dir = tmp_dir("object-outage-recovery");
+    run_survivors(
+        &recovery_dir,
+        &backend,
+        1,
+        ttl,
+        &reference,
+        "object-outage-recovery",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+}
+
+/// Seeded soak over the object-store backend: the same recoverable-
+/// fault schedules as the memory soak — now including the service-
+/// shaped latency/unavailability/slow-read kinds — run against the
+/// conditional-put substrate. `GNNUNLOCK_FAULT_SOAK_SEEDS` widens the
+/// sweep in CI; a failure names its seed.
+#[test]
+fn object_backend_recoverable_soak_never_diverges_the_report() {
+    let reference = reference_report();
+    let seeds: u64 = std::env::var("GNNUNLOCK_FAULT_SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(6);
+    for seed in 1..=seeds {
+        let dir = tmp_dir(&format!("object-soak-{seed}"));
+        let backend = Arc::new(ObjectStoreBackend::with_rules(
+            gnnunlock_engine::recoverable_schedule(seed, 10),
+        ));
+        for i in 0..2 {
+            let run = toy()
+                .execute_sharded(
+                    &Echo,
+                    ExecConfig::with_workers(2),
+                    &dir,
+                    &ShardConfig::new(format!("s{i}"))
+                        .with_backend(backend.clone() as Arc<dyn StoreBackend>),
+                )
+                .unwrap_or_else(|e| panic!("object soak seed {seed}: shard s{i} failed: {e}"));
+            assert!(
+                run.run.outcome.all_succeeded(),
+                "object soak seed {seed}: shard s{i} had failed jobs"
+            );
+            assert_eq!(
+                run.run.report(ReportOptions::default()).to_json(),
+                reference,
+                "object soak seed {seed}: shard s{i} diverged from the reference"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

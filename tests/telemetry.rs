@@ -227,5 +227,35 @@ fn prometheus_exposition_is_pinned() {
     for v in [0.0001, 0.003, 0.25, 42.0] {
         h.observe(v);
     }
+    // The store-resilience families scrapers alert on: retry traffic,
+    // backoff pauses (the engine's millisecond bucket ladder), and the
+    // circuit-breaker state gauge at its most alarming value.
+    reg.counter_with(
+        "store_retries_total",
+        "Store operations retried after a transient backend failure, per logical op",
+        &[("op", "claim")],
+    )
+    .add(4);
+    reg.counter_with(
+        "store_retries_total",
+        "Store operations retried after a transient backend failure, per logical op",
+        &[("op", "publish")],
+    )
+    .add(1);
+    let b = reg.histogram(
+        "store_backoff_ms",
+        "Backoff pauses between store retry attempts, in milliseconds",
+        &[
+            1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+        ],
+    );
+    for v in [10.0, 20.0, 40.0, 80.0] {
+        b.observe(v);
+    }
+    reg.gauge(
+        "store_breaker_state",
+        "Store circuit-breaker state: 0 closed, 1 half-open (probing), 2 open",
+    )
+    .set(2);
     assert_golden("prometheus.txt", &reg.render_prometheus());
 }
